@@ -1,0 +1,61 @@
+// Ablation: sensitivity to the Table I thresholds — the ARPT trigger
+// (sigma_ARPT as a coefficient of variation), the HCDS trigger, and the
+// hot-set quantile behind l_hot. Sweeps one knob at a time on ycsb-zipf.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "sim/report.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+void sweep(const bench::BenchEnv& env, const char* title,
+           const std::vector<double>& values,
+           void (*apply)(core::ChameleonOptions&, double)) {
+  std::printf("%s\n", title);
+  sim::TextTable table({"value", "erase stddev", "total erases",
+                        "balancing MB", "write lat (us)"});
+  for (const double v : values) {
+    auto cfg = bench::make_config(env, sim::Scheme::kChameleonEc, "ycsb-zipf");
+    apply(cfg.chameleon, v);
+    std::fprintf(stderr, "[bench] %s = %g...\n", title, v);
+    const auto r = sim::run_experiment(cfg);
+    table.add_row(
+        {sim::TextTable::num(v, 3), sim::TextTable::num(r.erase_stddev, 1),
+         sim::TextTable::num(r.total_erases),
+         sim::TextTable::num(
+             static_cast<double>(r.conversion_bytes + r.swap_bytes) /
+                 static_cast<double>(kMiB),
+             1),
+         sim::TextTable::num(
+             static_cast<double>(r.avg_device_write_latency) / 1000.0, 1)});
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::BenchEnv::from_env();
+  env.use_cache = false;  // variants differ in options the cache cannot key
+  bench::print_header("Ablation: balancing thresholds",
+                      "Sensitivity of wear balance and overhead to the "
+                      "sigma_ARPT / sigma_HCDS triggers and the hot-set "
+                      "quantile (l_hot), ycsb-zipf, Chameleon(EC).",
+                      env);
+
+  sweep(env, "--- sigma_ARPT trigger (stddev/mean) ---",
+        {0.02, 0.05, 0.10, 0.20, 0.40},
+        [](core::ChameleonOptions& o, double v) { o.sigma_arpt_cv = v; });
+  sweep(env, "--- sigma_HCDS trigger (stddev/mean) ---",
+        {0.01, 0.05, 0.10, 0.20},
+        [](core::ChameleonOptions& o, double v) { o.sigma_hcds_cv = v; });
+  sweep(env, "--- hot-set quantile behind l_hot ---", {0.90, 0.95, 0.99, 0.999},
+        [](core::ChameleonOptions& o, double v) {
+          o.adaptive_hot_quantile = v;
+        });
+  return 0;
+}

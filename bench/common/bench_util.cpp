@@ -1,0 +1,142 @@
+#include "common/bench_util.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "workload/registry.hpp"
+
+namespace chameleon::bench {
+namespace {
+
+constexpr const char* kCachePath = "chameleon_bench_cache.csv";
+// Bump when the simulator changes in ways that invalidate cached results.
+constexpr int kCacheVersion = 13;
+
+std::string cache_key(const sim::ExperimentConfig& c) {
+  std::ostringstream os;
+  os << kCacheVersion << '|' << c.workload << '|'
+     << sim::scheme_name(c.scheme) << '|' << c.servers << '|' << c.scale
+     << '|' << c.seed << '|' << c.target_utilization;
+  return os.str();
+}
+
+std::string serialize(const sim::ExperimentResult& r) {
+  std::ostringstream os;
+  os << r.erase_mean << ',' << r.erase_stddev << ',' << r.total_erases << ','
+     << r.write_amplification << ',' << r.avg_device_write_latency << ','
+     << r.put_latency_p50 << ',' << r.put_latency_p99 << ','
+     << r.requests << ',' << r.write_ops << ',' << r.read_ops << ','
+     << r.network_bytes_total << ',' << r.migration_bytes << ','
+     << r.conversion_bytes << ',' << r.swap_bytes;
+  os << ',';
+  for (std::size_t i = 0; i < r.erase_counts.size(); ++i) {
+    if (i > 0) os << ';';
+    os << r.erase_counts[i];
+  }
+  return os.str();
+}
+
+bool deserialize(const std::string& payload, sim::ExperimentResult& r) {
+  std::istringstream is(payload);
+  char comma = 0;
+  is >> r.erase_mean >> comma >> r.erase_stddev >> comma >> r.total_erases >>
+      comma >> r.write_amplification >> comma >> r.avg_device_write_latency >>
+      comma >> r.put_latency_p50 >> comma >> r.put_latency_p99 >>
+      comma >> r.requests >> comma >> r.write_ops >> comma >> r.read_ops >>
+      comma >> r.network_bytes_total >> comma >> r.migration_bytes >> comma >>
+      r.conversion_bytes >> comma >> r.swap_bytes >> comma;
+  if (!is) return false;
+  std::string counts;
+  std::getline(is, counts);
+  r.erase_counts.clear();
+  std::istringstream cs(counts);
+  std::string tok;
+  while (std::getline(cs, tok, ';')) {
+    if (!tok.empty()) r.erase_counts.push_back(std::stoull(tok));
+  }
+  return true;
+}
+
+}  // namespace
+
+BenchEnv BenchEnv::from_env() {
+  BenchEnv env;
+  env.scale = scale_from_env(0.1);
+  if (auto v = Config::from_env("servers")) {
+    env.servers = static_cast<std::uint32_t>(std::stoul(*v));
+  }
+  if (auto v = Config::from_env("seed")) env.seed = std::stoull(*v);
+  if (auto v = Config::from_env("cache")) {
+    env.use_cache = !(*v == "0" || *v == "false" || *v == "off");
+  }
+  return env;
+}
+
+sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,
+                                  const std::string& workload) {
+  sim::ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.scheme = scheme;
+  cfg.servers = env.servers;
+  cfg.scale = env.scale;
+  cfg.seed = env.seed;
+  cfg.collect_timeline = false;
+  return cfg;
+}
+
+sim::ExperimentResult run_cached(const BenchEnv& env,
+                                 const sim::ExperimentConfig& config) {
+  const std::string key = cache_key(config);
+  if (env.use_cache) {
+    std::ifstream in(kCachePath);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      if (tab == std::string::npos) continue;
+      if (line.compare(0, tab, key) != 0) continue;
+      sim::ExperimentResult r;
+      if (deserialize(line.substr(tab + 1), r)) {
+        r.workload = config.workload;
+        r.scheme = config.scheme;
+        r.servers = config.servers;
+        return r;
+      }
+    }
+  }
+
+  std::fprintf(stderr, "[bench] running %s / %s (scale %.3g)...\n",
+               config.workload.c_str(), sim::scheme_name(config.scheme),
+               config.scale);
+  const auto result = sim::run_experiment(config);
+  std::fprintf(stderr, "[bench]   done in %.1fs\n", result.wall_seconds);
+
+  if (env.use_cache) {
+    std::ofstream out(kCachePath, std::ios::app);
+    out << key << '\t' << serialize(result) << '\n';
+  }
+  return result;
+}
+
+void print_header(const std::string& figure, const std::string& description,
+                  const BenchEnv& env) {
+  std::printf("==== %s ====\n%s\n", figure.c_str(), description.c_str());
+  std::printf(
+      "environment: %u servers, scale %.3g (paper volume = 1.0), seed %llu\n",
+      env.servers, env.scale, static_cast<unsigned long long>(env.seed));
+  const flashsim::SsdConfig ssd;
+  std::printf(
+      "SSD (Table II): page %uB, block %uKB, read %lldus, write %lldus, "
+      "erase %.1fms, OP %.0f%%\n\n",
+      ssd.page_size_bytes, ssd.pages_per_block * ssd.page_size_bytes / 1024,
+      static_cast<long long>(ssd.read_latency / 1000),
+      static_cast<long long>(ssd.write_latency / 1000),
+      static_cast<double>(ssd.erase_latency) / 1e6, ssd.over_provision * 100);
+}
+
+std::vector<std::string> figure_workloads() {
+  return workload::evaluation_preset_names();
+}
+
+}  // namespace chameleon::bench

@@ -1,0 +1,42 @@
+// Shared plumbing for the figure-reproduction harnesses: default experiment
+// configuration from the environment (CHAMELEON_SCALE, CHAMELEON_SERVERS,
+// CHAMELEON_SEED) and a file-backed result cache so that running every
+// bench binary back to back replays each (workload, scheme) pair once.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace chameleon::bench {
+
+/// Experiment knobs shared by every figure harness.
+struct BenchEnv {
+  double scale = 0.1;
+  std::uint32_t servers = 50;
+  std::uint64_t seed = 42;
+  bool use_cache = true;
+
+  static BenchEnv from_env();
+};
+
+sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,
+                                  const std::string& workload);
+
+/// Run (or fetch from the cache file "chameleon_bench_cache.csv" in the
+/// working directory) one experiment. Cached entries do not carry the
+/// Chameleon per-epoch timeline; harnesses that need it (Fig 8) must run
+/// uncached. Disable caching entirely with CHAMELEON_CACHE=0.
+sim::ExperimentResult run_cached(const BenchEnv& env,
+                                 const sim::ExperimentConfig& config);
+
+/// Print the standard header every harness emits: what figure this is,
+/// Table II device parameters, and the environment.
+void print_header(const std::string& figure, const std::string& description,
+                  const BenchEnv& env);
+
+/// The evaluation workloads in the order the paper's figures list them.
+std::vector<std::string> figure_workloads();
+
+}  // namespace chameleon::bench

@@ -1,0 +1,93 @@
+// Figure 4: wear variance across the 50 flash servers.
+// (a) redundancy schemes without balancing: REP, REP+EC hybrid, EC.
+// (b) balancers on top of EC: EDM vs EC-baseline vs Chameleon.
+// Paper shape: EC's stddev << REP's; Chameleon cuts EC-baseline's stddev by
+// ~52% on average (up to 81%) and beats EDM by ~43%.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "sim/report.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+void part(const bench::BenchEnv& env, const char* title,
+          const std::vector<sim::Scheme>& schemes) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers{"workload"};
+  for (const auto s : schemes) {
+    headers.push_back(std::string(sim::scheme_name(s)) + " mean");
+    headers.push_back("stddev");
+  }
+  sim::TextTable table(headers);
+
+  std::vector<double> stddev_sum(schemes.size(), 0.0);
+  for (const auto& w : bench::figure_workloads()) {
+    std::vector<std::string> row{w};
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto r =
+          bench::run_cached(env, bench::make_config(env, schemes[i], w));
+      row.push_back(sim::TextTable::num(r.erase_mean, 0));
+      row.push_back(sim::TextTable::num(r.erase_stddev, 0));
+      stddev_sum[i] += r.erase_stddev;
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_header(
+      "Figure 4", "Wear variance: per-server erase-count mean and standard "
+                  "deviation (the error bars of the paper's Fig 4).",
+      env);
+
+  part(env, "--- Fig 4a: redundancy schemes, no wear balancing ---",
+       {sim::Scheme::kRepBaseline, sim::Scheme::kRepEcBaseline,
+        sim::Scheme::kEcBaseline});
+  part(env, "--- Fig 4b: balancers over EC ---",
+       {sim::Scheme::kEdmEc, sim::Scheme::kEcBaseline,
+        sim::Scheme::kChameleonEc});
+
+  // Headline reductions (paper: Chameleon -52% avg / -81% max vs
+  // EC-baseline; -43% avg / -70% max vs EDM).
+  double vs_base_sum = 0.0;
+  double vs_base_best = 0.0;
+  double vs_edm_sum = 0.0;
+  double vs_edm_best = 0.0;
+  std::size_t n = 0;
+  for (const auto& w : bench::figure_workloads()) {
+    const auto base = bench::run_cached(
+        env, bench::make_config(env, sim::Scheme::kEcBaseline, w));
+    const auto edm = bench::run_cached(
+        env, bench::make_config(env, sim::Scheme::kEdmEc, w));
+    const auto cham = bench::run_cached(
+        env, bench::make_config(env, sim::Scheme::kChameleonEc, w));
+    if (base.erase_stddev > 0) {
+      const double red = 1.0 - cham.erase_stddev / base.erase_stddev;
+      vs_base_sum += red;
+      vs_base_best = std::max(vs_base_best, red);
+    }
+    if (edm.erase_stddev > 0) {
+      const double red = 1.0 - cham.erase_stddev / edm.erase_stddev;
+      vs_edm_sum += red;
+      vs_edm_best = std::max(vs_edm_best, red);
+    }
+    ++n;
+  }
+  std::printf("Chameleon wear-stddev reduction vs EC-baseline: avg %.0f%%, "
+              "best %.0f%%  (paper: 52%% / 81%%)\n",
+              vs_base_sum / static_cast<double>(n) * 100.0,
+              vs_base_best * 100.0);
+  std::printf("Chameleon wear-stddev reduction vs EDM:        avg %.0f%%, "
+              "best %.0f%%  (paper: 43%% / 70%%)\n",
+              vs_edm_sum / static_cast<double>(n) * 100.0,
+              vs_edm_best * 100.0);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 6: impact on SSD write latency (device service time including GC
+// stalls). (a) redundancy schemes normalized to REP-baseline: EC is
+// 1.12-1.35x slower (scattered small stripes fragment blocks -> more GC).
+// (b) balancers over REP normalized to Chameleon: Chameleon cuts REP's
+// write latency by ~25% (<=33%); EDM only manages ~7%.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "sim/report.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+double latency_of(const bench::BenchEnv& env, sim::Scheme scheme,
+                  const std::string& w) {
+  return static_cast<double>(
+      bench::run_cached(env, bench::make_config(env, scheme, w))
+          .avg_device_write_latency);
+}
+
+}  // namespace
+
+int main() {
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_header("Figure 6",
+                      "SSD write latency (mean device service time per page "
+                      "write, GC stalls included).",
+                      env);
+
+  std::printf(
+      "--- Fig 6a: redundancy schemes (normalized to REP-baseline) ---\n");
+  sim::TextTable a({"workload", "EC-baseline", "REP+EC-baseline",
+                    "REP-baseline", "abs REP (us)"});
+  for (const auto& w : bench::figure_workloads()) {
+    const double rep = latency_of(env, sim::Scheme::kRepBaseline, w);
+    a.add_row({w,
+               sim::TextTable::num(
+                   latency_of(env, sim::Scheme::kEcBaseline, w) / rep, 2),
+               sim::TextTable::num(
+                   latency_of(env, sim::Scheme::kRepEcBaseline, w) / rep, 2),
+               "1.00", sim::TextTable::num(rep / 1000.0, 1)});
+  }
+  a.print(std::cout);
+
+  std::printf("\n--- Fig 6b: balancers over REP (normalized to Chameleon) ---\n");
+  sim::TextTable b({"workload", "REP-baseline", "EDM(REP)", "Chameleon(REP)",
+                    "abs Chameleon (us)"});
+  double cham_red_sum = 0.0;
+  double cham_red_best = 0.0;
+  double edm_red_sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& w : bench::figure_workloads()) {
+    const double rep = latency_of(env, sim::Scheme::kRepBaseline, w);
+    const double edm = latency_of(env, sim::Scheme::kEdmRep, w);
+    const double cham = latency_of(env, sim::Scheme::kChameleonRep, w);
+    b.add_row({w, sim::TextTable::num(rep / cham, 2),
+               sim::TextTable::num(edm / cham, 2), "1.00",
+               sim::TextTable::num(cham / 1000.0, 1)});
+    cham_red_sum += 1.0 - cham / rep;
+    cham_red_best = std::max(cham_red_best, 1.0 - cham / rep);
+    edm_red_sum += 1.0 - edm / rep;
+    ++n;
+  }
+  b.print(std::cout);
+
+  std::printf("\nChameleon write-latency reduction vs REP-baseline: avg "
+              "%.0f%%, best %.0f%% (paper: 25%% / 33%%)\n",
+              cham_red_sum / static_cast<double>(n) * 100.0,
+              cham_red_best * 100.0);
+  std::printf("EDM write-latency reduction vs REP-baseline:       avg %.0f%% "
+              "(paper: ~7%%)\n",
+              edm_red_sum / static_cast<double>(n) * 100.0);
+  return 0;
+}

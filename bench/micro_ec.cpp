@@ -1,0 +1,80 @@
+// Micro-benchmark: Reed-Solomon codec throughput (our ISA-L stand-in) —
+// encode, reconstruct-from-parity, and GF(256) kernel rates.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ec/gf256.hpp"
+#include "ec/reed_solomon.hpp"
+
+namespace {
+
+using chameleon::Xoshiro256;
+using chameleon::ec::Gf256;
+using chameleon::ec::ReedSolomon;
+
+std::vector<std::uint8_t> random_payload(std::size_t n) {
+  Xoshiro256 rng(n);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+void BM_Rs64Encode(benchmark::State& state) {
+  const ReedSolomon rs(6, 4);
+  const auto payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto shards = rs.encode_object(payload);
+    benchmark::DoNotOptimize(shards);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Rs64Encode)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_Rs64ReconstructTwoLost(benchmark::State& state) {
+  const ReedSolomon rs(6, 4);
+  const auto payload = random_payload(static_cast<std::size_t>(state.range(0)));
+  const auto shards = rs.encode_object(payload);
+  std::vector<std::optional<std::vector<std::uint8_t>>> slots(6);
+  for (std::size_t i = 2; i < 6; ++i) slots[i] = shards[i];  // lose 2 data
+  for (auto _ : state) {
+    auto data = rs.reconstruct_data(slots);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Rs64ReconstructTwoLost)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_GfMulAdd(benchmark::State& state) {
+  const auto& gf = Gf256::instance();
+  const auto src = random_payload(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint8_t> dst(src.size(), 0);
+  for (auto _ : state) {
+    gf.mul_add(0xA7, src, dst);
+    benchmark::DoNotOptimize(dst);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GfMulAdd)->Arg(4 << 10)->Arg(64 << 10);
+
+void BM_EncodeVsReplicationFootprint(benchmark::State& state) {
+  // Not a speed benchmark: documents the storage trade REP vs RS(6,4).
+  const ReedSolomon rs(6, 4);
+  const auto payload = random_payload(64 << 10);
+  for (auto _ : state) {
+    const auto shards = rs.encode_object(payload);
+    std::size_t ec_bytes = 0;
+    for (const auto& s : shards) ec_bytes += s.size();
+    benchmark::DoNotOptimize(ec_bytes);
+  }
+}
+BENCHMARK(BM_EncodeVsReplicationFootprint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Micro-benchmark: FTL operation rates — sequential/random page writes
+// (with GC in steady state) and object-level writes through the local log.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "flashsim/local_log.hpp"
+
+namespace {
+
+using namespace chameleon;
+
+flashsim::SsdConfig bench_config() {
+  flashsim::SsdConfig cfg;
+  cfg.block_count = 2048;  // 512 MB device
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+void BM_FtlSequentialWrite(benchmark::State& state) {
+  flashsim::Ftl ftl(bench_config());
+  const Lpn logical = ftl.config().logical_pages();
+  Lpn next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftl.write(next));
+    next = (next + 1) % logical;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlSequentialWrite);
+
+void BM_FtlRandomWriteSteadyState(benchmark::State& state) {
+  flashsim::Ftl ftl(bench_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);  // reach steady state
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ftl.write(static_cast<Lpn>(rng.next_below(logical))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FtlRandomWriteSteadyState);
+
+void BM_FtlTrim(benchmark::State& state) {
+  flashsim::Ftl ftl(bench_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  Lpn next = 0;
+  for (auto _ : state) {
+    ftl.trim(next);
+    ftl.write(next);
+    next = (next + 1) % logical;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FtlTrim);
+
+void BM_LocalLogObjectWrite(benchmark::State& state) {
+  flashsim::LocalLog log(bench_config());
+  const std::uint64_t object_bytes = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t objects =
+      log.ftl().config().logical_bytes() / object_bytes / 2;
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        log.write_object(rng.next_below(objects), object_bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_LocalLogObjectWrite)->Arg(4 << 10)->Arg(64 << 10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

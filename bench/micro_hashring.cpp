@@ -1,0 +1,76 @@
+// Micro-benchmark: consistent-hash ring lookups and mapping-table ops —
+// the metadata fast path every request traverses.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hash_ring.hpp"
+#include "common/fnv.hpp"
+#include "common/rng.hpp"
+#include "meta/mapping_table.hpp"
+
+namespace {
+
+using namespace chameleon;
+
+void BM_RingPrimary(benchmark::State& state) {
+  const cluster::HashRing ring(50, static_cast<std::uint32_t>(state.range(0)));
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.primary(rng.next()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingPrimary)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_RingSuccessors6(benchmark::State& state) {
+  const cluster::HashRing ring(50, 128);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.successors(rng.next(), 6));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingSuccessors6);
+
+void BM_Fnv1a64(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fnv1a64(v++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Fnv1a64);
+
+void BM_MappingTableGet(benchmark::State& state) {
+  meta::MappingTable table(16);
+  for (ObjectId oid = 0; oid < 100'000; ++oid) {
+    meta::ObjectMeta m;
+    m.oid = oid;
+    table.create(m);
+  }
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.get(rng.next_below(100'000)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MappingTableGet);
+
+void BM_MappingTableMutate(benchmark::State& state) {
+  meta::MappingTable table(16);
+  for (ObjectId oid = 0; oid < 100'000; ++oid) {
+    meta::ObjectMeta m;
+    m.oid = oid;
+    table.create(m);
+  }
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    table.mutate(rng.next_below(100'000),
+                 [](meta::ObjectMeta& m) { m.writes_in_epoch++; });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MappingTableMutate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

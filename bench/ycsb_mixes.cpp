@@ -1,0 +1,67 @@
+// Extra analysis: Chameleon across the canonical YCSB mixes (A-F). Write-
+// heavy mixes (A, F) should show the biggest wear-balance win; read-mostly
+// mixes (B, D) less; the read-only mix (C) generates no wear at all.
+#include <cstdio>
+#include <iostream>
+
+#include "common/bench_util.hpp"
+#include "sim/report.hpp"
+#include "workload/ycsb.hpp"
+
+using namespace chameleon;
+
+int main() {
+  auto env = bench::BenchEnv::from_env();
+  env.use_cache = false;  // custom streams are not cacheable by name
+  bench::print_header(
+      "YCSB core mixes (extension)",
+      "EC-baseline vs Chameleon(EC) wear under the standard YCSB A-F mixes.",
+      env);
+
+  sim::TextTable table({"mix", "reads", "EC-baseline stddev",
+                        "Chameleon stddev", "reduction", "total erases (EC)",
+                        "total erases (Cham)"});
+
+  for (const auto mix : workload::all_ycsb_mixes()) {
+    workload::YcsbConfig wcfg;
+    wcfg.mix = mix;
+    wcfg.record_count =
+        static_cast<std::uint64_t>(1'000'000 * env.scale);
+    wcfg.operation_count =
+        static_cast<std::uint64_t>(10'000'000 * env.scale);
+    wcfg.duration = 48 * kHour;
+    wcfg.seed = env.seed;
+    const std::uint64_t dataset =
+        wcfg.record_count * wcfg.record_bytes;
+
+    sim::ExperimentResult base;
+    sim::ExperimentResult cham;
+    for (const bool chameleon_on : {false, true}) {
+      workload::YcsbWorkload stream(wcfg);
+      auto cfg = bench::make_config(env,
+                                    chameleon_on ? sim::Scheme::kChameleonEc
+                                                 : sim::Scheme::kEcBaseline,
+                                    "ycsb-zipf" /*unused label*/);
+      std::fprintf(stderr, "[bench] %s / %s...\n",
+                   workload::ycsb_mix_name(mix),
+                   chameleon_on ? "Chameleon" : "EC-baseline");
+      auto result = sim::run_experiment_on(cfg, stream, dataset);
+      (chameleon_on ? cham : base) = std::move(result);
+    }
+
+    workload::YcsbWorkload probe(wcfg);
+    const double reduction =
+        base.erase_stddev > 0
+            ? (1.0 - cham.erase_stddev / base.erase_stddev) * 100.0
+            : 0.0;
+    table.add_row({workload::ycsb_mix_name(mix),
+                   sim::TextTable::num(probe.read_fraction(), 2),
+                   sim::TextTable::num(base.erase_stddev, 1),
+                   sim::TextTable::num(cham.erase_stddev, 1),
+                   sim::TextTable::num(reduction, 0) + "%",
+                   sim::TextTable::num(base.total_erases),
+                   sim::TextTable::num(cham.total_erases)});
+  }
+  table.print(std::cout);
+  return 0;
+}

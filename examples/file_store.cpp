@@ -1,0 +1,78 @@
+// Distributed file store on Chameleon (the paper's future-work direction):
+// files are chunked into KV objects that the wear balancer manages like any
+// other data. Writes a few files, survives a server failure + repair, and
+// prints the namespace and wear report.
+//
+//   ./build/examples/file_store
+#include <cstdio>
+#include <string>
+
+#include "core/balancer.hpp"
+#include "fs/file_system.hpp"
+#include "kv/repair.hpp"
+
+using namespace chameleon;
+
+int main() {
+  cluster::Cluster cluster(16, flashsim::SsdConfig::sized_for(8 * kMiB, 0.7));
+  meta::MappingTable table;
+  kv::KvConfig kv_config;
+  kv_config.initial_scheme = meta::RedState::kEc;
+  kv::KvStore store(cluster, table, kv_config);
+  fs::ChameleonFs filesystem(store, /*chunk_bytes=*/64 * 1024);
+
+  std::printf("== Chameleon file store ==\n\n");
+
+  // 1. Write a few files, including a multi-chunk one.
+  filesystem.write("/etc/motd", 0, std::string_view("flash clusters wear out unevenly\n"));
+  std::string big(300 * 1024, 'x');
+  for (std::size_t i = 0; i < big.size(); i += 4096) big[i] = '#';
+  filesystem.write("/data/dataset.bin", 0, big);
+  filesystem.write("/logs/app.log", 0, std::string_view("boot\n"));
+  filesystem.write("/logs/app.log", 5, std::string_view("balancing online\n"));
+
+  std::printf("namespace:\n");
+  for (const auto& path : filesystem.list()) {
+    const auto st = *filesystem.stat(path);
+    std::printf("  %-18s %8llu bytes  %llu chunk(s)\n", path.c_str(),
+                static_cast<unsigned long long>(st.size),
+                static_cast<unsigned long long>(st.chunk_count()));
+  }
+  std::printf("\n/etc/motd -> %s", filesystem.read_string("/etc/motd").c_str());
+  std::printf("/logs/app.log -> %s\n",
+              filesystem.read_string("/logs/app.log").c_str());
+
+  // 2. Kill a server; repair; verify content integrity.
+  kv::RepairManager repair(store);
+  const ServerId failed = 5;
+  const auto report = repair.repair_server(failed, /*now=*/1);
+  std::printf("server %u failed: repaired %zu fragments (%llu bytes) across "
+              "%zu objects\n",
+              failed, report.fragments_rebuilt,
+              static_cast<unsigned long long>(report.bytes_rebuilt),
+              report.objects_scanned);
+  const auto bytes = filesystem.read("/data/dataset.bin", 0, big.size());
+  const bool intact = std::string(bytes.begin(), bytes.end()) == big;
+  std::printf("/data/dataset.bin intact after repair: %s\n\n",
+              intact ? "yes" : "NO");
+
+  // 3. Run the balancer a few epochs under churn and report wear.
+  core::Balancer balancer(store, core::ChameleonOptions{});
+  for (Epoch e = 2; e <= 8; ++e) {
+    for (int i = 0; i < 400; ++i) {
+      filesystem.write("/logs/app.log",
+                       filesystem.stat("/logs/app.log")->size,
+                       std::string_view("tick\n"), e);
+    }
+    balancer.on_epoch(e);
+  }
+  const auto wear = cluster.erase_stats();
+  std::printf("after 7 epochs of log appends: wear mean=%.1f stddev=%.1f\n",
+              wear.mean(), wear.stddev());
+  std::printf("log tail: ...%s\n",
+              filesystem
+                  .read_string("/logs/app.log")
+                  .substr(filesystem.stat("/logs/app.log")->size - 10)
+                  .c_str());
+  return intact ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// EDM (Ou et al., IPDPS'14): the state-of-the-art migration-based wear
+// balancer the paper compares against. When the erase-count deviation
+// crosses a threshold it *bulk-migrates* hot data from the most-worn server
+// to the least-worn server — reads at the source, network transfer, and
+// programs at the destination. Those extra programs are precisely the
+// overhead Chameleon's write offloading avoids (Fig 5b shows EDM up to
+// ~+20% total erasures). EDM is redundancy-oblivious: it runs under a
+// single scheme (REP or EC) and never converts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_index.hpp"
+#include "core/flash_monitor.hpp"
+#include "core/wear_estimator.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::baselines {
+
+struct EdmOptions {
+  /// Trigger/stop threshold on the erase-count deviation, as a coefficient
+  /// of variation (or absolute if _abs is nonzero) — kept identical to
+  /// Chameleon's ARPT trigger for a fair comparison.
+  double sigma_cv = 0.10;
+  double sigma_abs = 0.0;
+  std::size_t max_migrations = 20'000;  ///< absolute per-epoch ceiling
+  /// Per-epoch cap as a fraction of objects (floor 16): EDM re-balances
+  /// progressively, it does not churn the whole cluster per epoch.
+  double migration_fraction = 0.01;
+  /// Never migrate onto a server whose logical utilization exceeds this.
+  double space_guard_utilization = 0.90;
+};
+
+struct EdmEpochReport {
+  Epoch epoch = 0;
+  bool triggered = false;
+  std::size_t migrations = 0;
+  std::uint64_t bytes_moved = 0;
+  double sigma_before = 0.0;
+  double sigma_after_est = 0.0;
+};
+
+class EdmBalancer {
+ public:
+  EdmBalancer(kv::KvStore& store, const EdmOptions& opts);
+
+  /// Epoch-boundary hook (same cadence as Chameleon's balancer).
+  void on_epoch(Epoch now);
+
+  const std::vector<EdmEpochReport>& timeline() const { return timeline_; }
+
+ private:
+  kv::KvStore& store_;
+  EdmOptions opts_;
+  core::FlashMonitor monitor_;
+  core::WearEstimator estimator_;
+  std::vector<EdmEpochReport> timeline_;
+};
+
+}  // namespace chameleon::baselines

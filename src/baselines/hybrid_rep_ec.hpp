@@ -1,0 +1,44 @@
+// REP+EC-baseline (Table IV): the HDFS-RAID-style hybrid scheme — all newly
+// created data is replicated, and data that has cooled down is *eagerly*
+// converted from REP to EC (gather, re-encode, distribute). No wear
+// awareness anywhere: conversions target the default ring placement and
+// never move back to REP.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/kv_store.hpp"
+
+namespace chameleon::baselines {
+
+struct HybridOptions {
+  /// Heat (Eq 1 units) below which a replicated object is encoded.
+  double cold_threshold = 2.0;
+  /// An object must be at least this many epochs old before conversion
+  /// ("recently created data stays replicated").
+  Epoch min_age_epochs = 2;
+  std::size_t max_conversions_per_epoch = 10'000;
+};
+
+struct HybridEpochReport {
+  Epoch epoch = 0;
+  std::size_t conversions = 0;
+};
+
+class HybridRepEcPolicy {
+ public:
+  HybridRepEcPolicy(kv::KvStore& store, const HybridOptions& opts)
+      : store_(store), opts_(opts) {}
+
+  void on_epoch(Epoch now);
+
+  const std::vector<HybridEpochReport>& timeline() const { return timeline_; }
+
+ private:
+  kv::KvStore& store_;
+  HybridOptions opts_;
+  std::vector<HybridEpochReport> timeline_;
+};
+
+}  // namespace chameleon::baselines

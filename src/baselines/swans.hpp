@@ -1,0 +1,52 @@
+// SWANS (Wang, Xie & Sharma, ACM TOS'16): inter-disk wear leveling for SSD
+// arrays that "dynamically monitors the variance of write intensity and
+// redistributes writes based only on the number of writes that an SSD has
+// received". Unlike EDM it reacts to *write intensity* (pages written per
+// epoch), not accumulated erase counts, and like EDM it is redundancy-
+// oblivious and migrates data in bulk. Included for related-work breadth;
+// the paper's evaluation compares against EDM only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_index.hpp"
+#include "core/flash_monitor.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::baselines {
+
+struct SwansOptions {
+  /// Trigger on the coefficient of variation of per-epoch write intensity.
+  double intensity_cv = 0.20;
+  /// Activity floor: below this mean pages/server/epoch the cluster is
+  /// considered idle (prevents chasing the noise of its own migrations).
+  double min_mean_pages = 64.0;
+  std::size_t max_migrations = 20'000;
+  double migration_fraction = 0.01;
+  double space_guard_utilization = 0.90;
+};
+
+struct SwansEpochReport {
+  Epoch epoch = 0;
+  bool triggered = false;
+  std::size_t migrations = 0;
+  double intensity_cv_before = 0.0;
+};
+
+class SwansBalancer {
+ public:
+  SwansBalancer(kv::KvStore& store, const SwansOptions& opts);
+
+  void on_epoch(Epoch now);
+
+  const std::vector<SwansEpochReport>& timeline() const { return timeline_; }
+
+ private:
+  kv::KvStore& store_;
+  SwansOptions opts_;
+  core::FlashMonitor monitor_;
+  std::vector<SwansEpochReport> timeline_;
+};
+
+}  // namespace chameleon::baselines

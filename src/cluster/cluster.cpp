@@ -1,0 +1,62 @@
+#include "cluster/cluster.hpp"
+
+namespace chameleon::cluster {
+
+Cluster::Cluster(std::uint32_t server_count,
+                 const flashsim::SsdConfig& ssd_config,
+                 std::uint32_t ring_vnodes, const NetworkConfig& net_config)
+    : ssd_config_(ssd_config),
+      ring_(server_count, ring_vnodes),
+      network_(net_config) {
+  ssd_config_.validate();
+  servers_.reserve(server_count);
+  for (ServerId id = 0; id < server_count; ++id) {
+    servers_.push_back(std::make_unique<FlashServer>(id, ssd_config_));
+  }
+}
+
+std::vector<std::uint64_t> Cluster::erase_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(servers_.size());
+  for (const auto& s : servers_) counts.push_back(s->total_erases());
+  return counts;
+}
+
+std::uint64_t Cluster::total_erases() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : servers_) sum += s->total_erases();
+  return sum;
+}
+
+RunningStats Cluster::erase_stats() const {
+  RunningStats stats;
+  for (const auto& s : servers_) {
+    stats.add(static_cast<double>(s->total_erases()));
+  }
+  return stats;
+}
+
+double Cluster::write_amplification() const {
+  std::uint64_t host = 0;
+  std::uint64_t moved = 0;
+  for (const auto& s : servers_) {
+    const auto& st = s->ssd_stats();
+    host += st.host_page_writes;
+    moved += st.gc_page_copies + st.wl_page_copies;
+  }
+  return host == 0 ? 1.0
+                   : static_cast<double>(host + moved) /
+                         static_cast<double>(host);
+}
+
+Nanos Cluster::avg_write_latency() const {
+  Nanos total = 0;
+  std::uint64_t ops = 0;
+  for (const auto& s : servers_) {
+    total += s->ssd_stats().total_write_latency;
+    ops += s->ssd_stats().write_ops;
+  }
+  return ops == 0 ? 0 : total / static_cast<Nanos>(ops);
+}
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,58 @@
+// The flash cluster: N FlashServers joined by a consistent-hash ring and a
+// byte-accounting network. This is the substrate both Chameleon and the
+// baseline balancers operate on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/flash_server.hpp"
+#include "cluster/hash_ring.hpp"
+#include "cluster/network.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "flashsim/ssd_config.hpp"
+
+namespace chameleon::cluster {
+
+class Cluster {
+ public:
+  Cluster(std::uint32_t server_count, const flashsim::SsdConfig& ssd_config,
+          std::uint32_t ring_vnodes = 128,
+          const NetworkConfig& net_config = {});
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(servers_.size());
+  }
+  FlashServer& server(ServerId id) { return *servers_[id]; }
+  const FlashServer& server(ServerId id) const { return *servers_[id]; }
+
+  HashRing& ring() { return ring_; }
+  const HashRing& ring() const { return ring_; }
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  const flashsim::SsdConfig& ssd_config() const { return ssd_config_; }
+
+  /// Per-server cumulative erase counts, indexed by ServerId.
+  std::vector<std::uint64_t> erase_counts() const;
+  std::uint64_t total_erases() const;
+
+  /// Population statistics of per-server erase counts. The paper's "wear
+  /// variance sigma" is stddev() of this.
+  RunningStats erase_stats() const;
+
+  /// Cluster-mean write amplification weighted by host pages written.
+  double write_amplification() const;
+
+  /// Mean device write latency across servers, weighted by write ops.
+  Nanos avg_write_latency() const;
+
+ private:
+  flashsim::SsdConfig ssd_config_;
+  std::vector<std::unique_ptr<FlashServer>> servers_;
+  HashRing ring_;
+  Network network_;
+};
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,80 @@
+// One storage node: a simulated SSD behind a local object log. The unit
+// stored here is a *fragment* — a full replica or a single EC shard of an
+// object — identified by a key that encodes (object, placement version,
+// shard index) so that old and new incarnations of the same object can
+// coexist on one server mid-transition.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/fnv.hpp"
+#include "common/types.hpp"
+#include "flashsim/local_log.hpp"
+
+namespace chameleon::cluster {
+
+/// Key of a stored fragment. Mixes object id, placement version and shard
+/// index through FNV-1a; 64 bits make collisions negligible at our scales.
+using FragmentKey = std::uint64_t;
+
+inline FragmentKey fragment_key(ObjectId oid, std::uint32_t placement_version,
+                                std::uint32_t shard_index) {
+  // One FNV-1a stream over the whole tuple plus a finalizer: XOR-combining
+  // two independent hashes is collision-prone for structured inputs.
+  const std::uint64_t packed =
+      (static_cast<std::uint64_t>(placement_version) << 32) | shard_index;
+  return mix64(fnv1a64_continue(fnv1a64(oid), packed));
+}
+
+class FlashServer {
+ public:
+  FlashServer(ServerId id, const flashsim::SsdConfig& config)
+      : id_(id), log_(config) {}
+
+  FlashServer(const FlashServer&) = delete;
+  FlashServer& operator=(const FlashServer&) = delete;
+
+  ServerId id() const { return id_; }
+
+  /// Store (or overwrite) a fragment of `bytes`; returns device latency.
+  /// `hint` routes the pages to the device's hot/cold write stream.
+  Nanos write_fragment(
+      FragmentKey key, std::uint64_t bytes,
+      flashsim::StreamHint hint = flashsim::StreamHint::kDefault) {
+    return log_.write_object(key, bytes, hint).latency;
+  }
+
+  Nanos read_fragment(FragmentKey key) { return log_.read_object(key).latency; }
+
+  /// Invalidate a fragment (trim; no flash writes). Returns pages released.
+  std::uint32_t remove_fragment(FragmentKey key) {
+    return log_.remove_object(key);
+  }
+
+  bool has_fragment(FragmentKey key) const { return log_.has_object(key); }
+
+  /// Drop every fragment (device replacement after a failure). Wear history
+  /// stays with the physical blocks.
+  std::size_t wipe_data() { return log_.remove_all_objects(); }
+
+  const flashsim::SsdStats& ssd_stats() const { return log_.stats(); }
+  std::uint64_t total_erases() const { return log_.ftl().total_erases(); }
+  double write_amplification() const {
+    return log_.stats().write_amplification();
+  }
+  double avg_victim_utilization() const {
+    return log_.stats().avg_victim_utilization();
+  }
+  double logical_utilization() const { return log_.logical_utilization(); }
+  std::size_t fragment_count() const { return log_.object_count(); }
+
+  const flashsim::LocalLog& log() const { return log_; }
+  flashsim::LocalLog& log() { return log_; }
+
+ private:
+  ServerId id_;
+  flashsim::LocalLog log_;
+};
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,47 @@
+// Consistent hashing ring with virtual nodes (Karger et al.), the paper's
+// data distribution mechanism ("maps data to a 50-node cluster using
+// consistent hashing... the hash function is FNV-1a").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chameleon::cluster {
+
+class HashRing {
+ public:
+  /// Build a ring for servers 0..server_count-1, each owning `vnodes` points.
+  explicit HashRing(std::uint32_t server_count, std::uint32_t vnodes = 128);
+
+  void add_server(ServerId id);
+  void remove_server(ServerId id);
+
+  /// Owner of a key: first ring point clockwise from the key's hash.
+  ServerId primary(std::uint64_t key_hash) const;
+
+  /// The n distinct servers clockwise from the key's hash (replica set /
+  /// stripe set). n must not exceed the number of servers on the ring.
+  std::vector<ServerId> successors(std::uint64_t key_hash, std::size_t n) const;
+
+  std::size_t server_count() const { return server_count_; }
+  std::size_t point_count() const { return points_.size(); }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    ServerId server;
+    bool operator<(const Point& other) const {
+      return hash < other.hash || (hash == other.hash && server < other.server);
+    }
+  };
+
+  static std::uint64_t vnode_hash(ServerId id, std::uint32_t vnode);
+
+  std::vector<Point> points_;  ///< sorted by hash
+  std::uint32_t vnodes_;
+  std::size_t server_count_ = 0;
+};
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,61 @@
+#include "cluster/membership.hpp"
+
+#include <stdexcept>
+
+namespace chameleon::cluster {
+
+MembershipService::MembershipService(std::uint32_t server_count,
+                                     Nanos lease_length)
+    : last_heartbeat_(server_count, 0), lease_length_(lease_length) {
+  if (server_count == 0 || lease_length <= 0) {
+    throw std::invalid_argument("MembershipService: bad parameters");
+  }
+}
+
+void MembershipService::heartbeat(ServerId server, Nanos now) {
+  if (server >= last_heartbeat_.size()) {
+    throw std::out_of_range("MembershipService::heartbeat: unknown server");
+  }
+  if (dead_.contains(server)) return;  // must rejoin explicitly
+  last_heartbeat_[server] = now;
+}
+
+std::vector<ServerId> MembershipService::detect_failures(Nanos now) {
+  std::vector<ServerId> newly_dead;
+  for (ServerId s = 0; s < last_heartbeat_.size(); ++s) {
+    if (dead_.contains(s)) continue;
+    if (now - last_heartbeat_[s] > lease_length_) {
+      dead_.insert(s);
+      newly_dead.push_back(s);
+    }
+  }
+  return newly_dead;
+}
+
+void MembershipService::declare_dead(ServerId server) {
+  if (server >= last_heartbeat_.size()) {
+    throw std::out_of_range("MembershipService::declare_dead: unknown server");
+  }
+  dead_.insert(server);
+}
+
+void MembershipService::rejoin(ServerId server, Nanos now) {
+  if (server >= last_heartbeat_.size()) {
+    throw std::out_of_range("MembershipService::rejoin: unknown server");
+  }
+  dead_.erase(server);
+  last_heartbeat_[server] = now;
+}
+
+std::size_t MembershipService::live_count() const {
+  return last_heartbeat_.size() - dead_.size();
+}
+
+ServerId MembershipService::coordinator() const {
+  for (ServerId s = 0; s < last_heartbeat_.size(); ++s) {
+    if (!dead_.contains(s)) return s;
+  }
+  return kInvalidServer;
+}
+
+}  // namespace chameleon::cluster

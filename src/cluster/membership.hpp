@@ -1,0 +1,50 @@
+// Lease-based cluster membership — the coordination layer the paper gets
+// from ZooKeeper. Every flash server renews a lease with its heartbeat;
+// a server whose lease lapses is declared dead, and the lowest-id live
+// server is the coordinator that runs the wear balancer (paper §IV-A:
+// "One flash server is chosen as a coordinator").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chameleon::cluster {
+
+class MembershipService {
+ public:
+  /// All `server_count` servers join live, with leases expiring
+  /// `lease_length` after their last heartbeat.
+  MembershipService(std::uint32_t server_count, Nanos lease_length);
+
+  /// A heartbeat from `server` at time `now` renews its lease. Heartbeats
+  /// from declared-dead servers are ignored until rejoin().
+  void heartbeat(ServerId server, Nanos now);
+
+  /// Evaluate leases at `now`; newly expired servers are declared dead and
+  /// returned (each server is reported dead exactly once).
+  std::vector<ServerId> detect_failures(Nanos now);
+
+  /// Immediately declare a server dead (e.g. its device reported end of
+  /// life) without waiting for its lease to lapse. Idempotent.
+  void declare_dead(ServerId server);
+
+  /// Re-admit a repaired/replaced server, live as of `now`.
+  void rejoin(ServerId server, Nanos now);
+
+  bool is_live(ServerId server) const { return !dead_.contains(server); }
+  const std::set<ServerId>& dead_servers() const { return dead_; }
+  std::size_t live_count() const;
+
+  /// Coordinator: the lowest-id live server (kInvalidServer if none).
+  ServerId coordinator() const;
+
+ private:
+  std::vector<Nanos> last_heartbeat_;
+  std::set<ServerId> dead_;
+  Nanos lease_length_;
+};
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,88 @@
+#include "cluster/messages.hpp"
+
+#include <stdexcept>
+
+namespace chameleon::cluster {
+namespace wire {
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t get_varint(const std::string& in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size() || shift > 63) {
+      throw std::runtime_error("wire: truncated or oversized varint");
+    }
+    const auto byte = static_cast<std::uint8_t>(in[pos++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+}  // namespace wire
+
+std::string HeartbeatMessage::serialize() const {
+  std::string out;
+  wire::put_varint(out, server);
+  wire::put_varint(out, epoch);
+  wire::put_varint(out, erase_count);
+  wire::put_varint(out, host_pages_this_epoch);
+  wire::put_varint(out, logical_utilization_q);
+  wire::put_varint(out, victim_utilization_q);
+  return out;
+}
+
+HeartbeatMessage HeartbeatMessage::deserialize(const std::string& bytes) {
+  HeartbeatMessage msg;
+  std::size_t pos = 0;
+  msg.server = static_cast<ServerId>(wire::get_varint(bytes, pos));
+  msg.epoch = static_cast<Epoch>(wire::get_varint(bytes, pos));
+  msg.erase_count = wire::get_varint(bytes, pos);
+  msg.host_pages_this_epoch = wire::get_varint(bytes, pos);
+  msg.logical_utilization_q =
+      static_cast<std::uint32_t>(wire::get_varint(bytes, pos));
+  msg.victim_utilization_q =
+      static_cast<std::uint32_t>(wire::get_varint(bytes, pos));
+  if (pos != bytes.size()) {
+    throw std::runtime_error("HeartbeatMessage: trailing bytes");
+  }
+  return msg;
+}
+
+std::string RemapCommand::serialize() const {
+  std::string out;
+  wire::put_varint(out, oid);
+  wire::put_varint(out, epoch);
+  wire::put_varint(out, new_state);
+  wire::put_varint(out, destination.size());
+  for (const ServerId s : destination) wire::put_varint(out, s);
+  return out;
+}
+
+RemapCommand RemapCommand::deserialize(const std::string& bytes) {
+  RemapCommand cmd;
+  std::size_t pos = 0;
+  cmd.oid = wire::get_varint(bytes, pos);
+  cmd.epoch = static_cast<Epoch>(wire::get_varint(bytes, pos));
+  cmd.new_state = static_cast<std::uint8_t>(wire::get_varint(bytes, pos));
+  const auto n = wire::get_varint(bytes, pos);
+  if (n > 64) throw std::runtime_error("RemapCommand: implausible set size");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cmd.destination.push_back(
+        static_cast<ServerId>(wire::get_varint(bytes, pos)));
+  }
+  if (pos != bytes.size()) {
+    throw std::runtime_error("RemapCommand: trailing bytes");
+  }
+  return cmd;
+}
+
+}  // namespace chameleon::cluster

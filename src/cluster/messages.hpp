@@ -1,0 +1,52 @@
+// Typed wire messages between the flash monitors and the wear balancer —
+// our stand-in for the paper's Google Protocol Buffers integration. Each
+// message serializes to a compact length-delimited byte string; the network
+// model accounts the real serialized sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chameleon::cluster {
+
+/// Monitor -> coordinator: one server's device statistics (paper §III-A).
+struct HeartbeatMessage {
+  ServerId server = 0;
+  Epoch epoch = 0;
+  std::uint64_t erase_count = 0;
+  std::uint64_t host_pages_this_epoch = 0;
+  /// Fixed-point fields (x 10^-4): utilizations in [0, 1].
+  std::uint32_t logical_utilization_q = 0;
+  std::uint32_t victim_utilization_q = 0;
+
+  std::string serialize() const;
+  static HeartbeatMessage deserialize(const std::string& bytes);
+
+  bool operator==(const HeartbeatMessage&) const = default;
+};
+
+/// Coordinator -> mapping table / servers: re-target one object (the
+/// metadata update ARPT and HCDS emit for each decision).
+struct RemapCommand {
+  ObjectId oid = 0;
+  Epoch epoch = 0;
+  std::uint8_t new_state = 0;  ///< meta::RedState as a wire byte
+  std::vector<ServerId> destination;
+
+  std::string serialize() const;
+  static RemapCommand deserialize(const std::string& bytes);
+
+  bool operator==(const RemapCommand&) const = default;
+};
+
+namespace wire {
+
+/// Varint primitives (protobuf-style LEB128) used by the messages above.
+void put_varint(std::string& out, std::uint64_t value);
+std::uint64_t get_varint(const std::string& in, std::size_t& pos);
+
+}  // namespace wire
+}  // namespace chameleon::cluster

@@ -1,0 +1,48 @@
+#include "cluster/network.hpp"
+
+#include <cmath>
+
+namespace chameleon::cluster {
+
+const char* traffic_name(Traffic t) {
+  switch (t) {
+    case Traffic::kClientWrite: return "client_write";
+    case Traffic::kClientRead: return "client_read";
+    case Traffic::kReplication: return "replication";
+    case Traffic::kEcDistribution: return "ec_distribution";
+    case Traffic::kConversion: return "conversion";
+    case Traffic::kSwap: return "swap";
+    case Traffic::kMigration: return "migration";
+    case Traffic::kHeartbeat: return "heartbeat";
+    case Traffic::kMetadata: return "metadata";
+    case Traffic::kCount: break;
+  }
+  return "unknown";
+}
+
+Nanos Network::transfer(Traffic kind, std::uint64_t bytes) {
+  bytes_[static_cast<std::size_t>(kind)] += bytes;
+  ++messages_[static_cast<std::size_t>(kind)];
+  const double seconds =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  return config_.per_message_overhead +
+         static_cast<Nanos>(std::llround(seconds * 1e9));
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto b : bytes_) sum += b;
+  return sum;
+}
+
+std::uint64_t Network::balancing_bytes() const {
+  return bytes(Traffic::kConversion) + bytes(Traffic::kSwap) +
+         bytes(Traffic::kMigration);
+}
+
+void Network::reset() {
+  bytes_.fill(0);
+  messages_.fill(0);
+}
+
+}  // namespace chameleon::cluster

@@ -1,0 +1,62 @@
+// In-process stand-in for the cluster interconnect. Carries no payloads;
+// it accounts bytes per traffic class (the paper's network-overhead claims
+// about EDM vs EWO are claims about these counters) and can model transfer
+// latency with a simple bandwidth + per-message cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace chameleon::cluster {
+
+enum class Traffic : std::size_t {
+  kClientWrite = 0,   ///< client -> primary object payload
+  kClientRead,        ///< server -> client object payload
+  kReplication,       ///< fan-out of replica copies
+  kEcDistribution,    ///< fan-out of EC stripes
+  kConversion,        ///< eager REP<->EC conversion transfers
+  kSwap,              ///< HCDS eager swap transfers
+  kMigration,         ///< EDM bulk data migration
+  kHeartbeat,         ///< monitor -> balancer statistics
+  kMetadata,          ///< mapping table updates
+  kCount
+};
+
+const char* traffic_name(Traffic t);
+
+struct NetworkConfig {
+  /// Effective per-link bandwidth in bytes/second (10 Gb/s default).
+  double bandwidth_bytes_per_sec = 1.25e9;
+  Nanos per_message_overhead = 10 * kMicrosecond;
+};
+
+class Network {
+ public:
+  explicit Network(const NetworkConfig& config = {}) : config_(config) {}
+
+  /// Account one transfer and return its modeled latency.
+  Nanos transfer(Traffic kind, std::uint64_t bytes);
+
+  std::uint64_t bytes(Traffic kind) const {
+    return bytes_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t messages(Traffic kind) const {
+    return messages_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_bytes() const;
+
+  /// Balancing-attributable traffic: everything except client I/O fan-out.
+  std::uint64_t balancing_bytes() const;
+
+  void reset();
+
+ private:
+  NetworkConfig config_;
+  std::array<std::uint64_t, static_cast<std::size_t>(Traffic::kCount)> bytes_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(Traffic::kCount)>
+      messages_{};
+};
+
+}  // namespace chameleon::cluster

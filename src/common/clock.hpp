@@ -1,0 +1,32 @@
+// Virtual time source driven by trace timestamps. All simulation components
+// read time from here; nothing in the library consults wall-clock time.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+
+namespace chameleon {
+
+class VirtualClock {
+ public:
+  Nanos now() const { return now_; }
+
+  /// Move time forward to `t`; moving backwards is ignored (trace records
+  /// occasionally carry non-monotonic timestamps).
+  void advance_to(Nanos t) { now_ = std::max(now_, t); }
+
+  void advance_by(Nanos delta) { now_ += delta; }
+
+  void reset(Nanos t = 0) { now_ = t; }
+
+  /// Epoch index for a fixed epoch length.
+  Epoch epoch_of(Nanos epoch_length) const {
+    return epoch_length > 0 ? static_cast<Epoch>(now_ / epoch_length) : 0;
+  }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace chameleon

@@ -1,0 +1,63 @@
+// FNV-1a hashing, the hash function the paper uses for its consistent-hash
+// data distribution ("The hash function used in our experiments is FVN-a1").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace chameleon {
+
+inline constexpr std::uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// 64-bit FNV-1a over an arbitrary byte range.
+constexpr std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// Hash of a 64-bit integer key (used to derive object ids and ring points).
+constexpr std::uint64_t fnv1a64(std::uint64_t v) {
+  std::uint64_t h = kFnv64OffsetBasis;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// Continue an FNV-1a stream with eight more bytes (for tuple keys).
+constexpr std::uint64_t fnv1a64_continue(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// 64-bit finalizer (splitmix64 tail). FNV-1a of short structured keys has
+/// weak high-bit avalanche, which matters wherever the *full 64-bit value*
+/// is used as a position (consistent-hash ring points) or compared for
+/// uniqueness (fragment keys); this mixes it to full avalanche.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace chameleon

@@ -1,0 +1,64 @@
+// Fixed-capacity inline vector. Object location arrays are at most 6 entries
+// (the RS(6,4) stripe set), so metadata for millions of objects stays flat
+// in memory with no per-object heap allocations.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+
+namespace chameleon {
+
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    if (init.size() > N) throw std::length_error("InlineVec: initializer too long");
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == N) throw std::length_error("InlineVec: capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("InlineVec::at");
+    return data_[i];
+  }
+  const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("InlineVec::at");
+    return data_[i];
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+  bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  bool operator==(const InlineVec& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace chameleon

@@ -1,0 +1,43 @@
+// Tiny leveled logger. Experiments are chatty only at kInfo and above;
+// kDebug is compiled in but filtered at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chameleon {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted log line to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define CHAMELEON_LOG(level)                                               \
+  if (static_cast<int>(level) < static_cast<int>(::chameleon::log_level())) \
+    ;                                                                      \
+  else                                                                     \
+    ::chameleon::detail::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define LOG_DEBUG CHAMELEON_LOG(::chameleon::LogLevel::kDebug)
+#define LOG_INFO CHAMELEON_LOG(::chameleon::LogLevel::kInfo)
+#define LOG_WARN CHAMELEON_LOG(::chameleon::LogLevel::kWarn)
+#define LOG_ERROR CHAMELEON_LOG(::chameleon::LogLevel::kError)
+
+}  // namespace chameleon

@@ -1,0 +1,10 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace chameleon {
+
+double Xoshiro256::sqrt_impl(double x) { return std::sqrt(x); }
+double Xoshiro256::log_impl(double x) { return std::log(x); }
+
+}  // namespace chameleon

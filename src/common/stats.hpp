@@ -1,0 +1,77 @@
+// Streaming statistics used everywhere results are reported: Welford
+// mean/variance, min/max, and a fixed-bin histogram with percentile queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chameleon {
+
+/// Numerically stable streaming mean / variance / extremes (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (the paper's wear variance sigma is the population
+  /// standard deviation of per-server erasure counts).
+  double variance() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  /// Sample variance (n-1 denominator) for inference-style uses.
+  double sample_variance() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation: stddev / mean (0 when mean is 0).
+  double cv() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: population stats over a finished container of values.
+RunningStats summarize(std::span<const double> values);
+RunningStats summarize(std::span<const std::uint64_t> values);
+
+/// Linear-bin histogram over [lo, hi) with overflow/underflow buckets.
+/// Supports percentile queries by linear interpolation inside a bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return total_; }
+  double percentile(double p) const;  ///< p in [0, 100]
+  double bin_low(std::size_t i) const;
+  double bin_width() const { return width_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin_value(std::size_t i) const { return counts_[i]; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile over a (copied, sorted) sample; fine for <= ~1e6 values.
+double exact_percentile(std::vector<double> values, double p);
+
+}  // namespace chameleon

@@ -1,0 +1,48 @@
+// Fundamental identifier and unit types shared by every Chameleon subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace chameleon {
+
+/// Logical object identifier (FNV-1a hash of the client key; see kv::Client).
+using ObjectId = std::uint64_t;
+
+/// Index of a flash server within a cluster (dense, 0..N-1).
+using ServerId = std::uint32_t;
+
+/// Logical page number within one server's SSD address space.
+using Lpn = std::uint32_t;
+
+/// Physical page index within one SSD (block * pages_per_block + offset).
+using Ppn = std::uint32_t;
+
+/// Flash block index within one SSD.
+using BlockId = std::uint32_t;
+
+/// Monitoring/balancing epoch counter (one epoch = one virtual interval).
+using Epoch = std::uint32_t;
+
+/// Virtual time in nanoseconds since the start of a run.
+using Nanos = std::int64_t;
+
+inline constexpr std::uint32_t kInvalidU32 =
+    std::numeric_limits<std::uint32_t>::max();
+inline constexpr Lpn kInvalidLpn = kInvalidU32;
+inline constexpr Ppn kInvalidPpn = kInvalidU32;
+inline constexpr BlockId kInvalidBlock = kInvalidU32;
+inline constexpr ServerId kInvalidServer = kInvalidU32;
+
+/// Handy duration literals for the virtual clock.
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+inline constexpr Nanos kMinute = 60 * kSecond;
+inline constexpr Nanos kHour = 60 * kMinute;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+}  // namespace chameleon

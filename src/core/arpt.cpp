@@ -1,0 +1,314 @@
+#include "core/arpt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace chameleon::core {
+
+using meta::ObjectMeta;
+using meta::RedState;
+using meta::ServerSet;
+
+namespace {
+
+double stddev_of(const std::vector<double>& v) {
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  return s.stddev();
+}
+
+double mean_of(const std::vector<double>& v) {
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  return s.mean();
+}
+
+/// Servers with the n smallest (or largest) projected erase counts.
+std::vector<ServerId> extreme_servers(const std::vector<double>& est,
+                                      std::size_t n, bool smallest) {
+  std::vector<ServerId> ids(est.size());
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    ids[i] = static_cast<ServerId>(i);
+  }
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(n),
+                    ids.end(), [&](ServerId a, ServerId b) {
+                      if (est[a] != est[b]) {
+                        return smallest ? est[a] < est[b] : est[a] > est[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(n);
+  return ids;
+}
+
+}  // namespace
+
+double Arpt::effective_hot_threshold(Epoch now) const {
+  if (opts_.adaptive_hot_quantile <= 0.0) return opts_.hot_threshold;
+  std::vector<double> heats;
+  store_.table().for_each([&](const ObjectMeta& m) {
+    const double h = m.heat(now);
+    if (h > 0.0) heats.push_back(h);
+  });
+  if (heats.empty()) return opts_.hot_threshold;
+  const double q = exact_percentile(std::move(heats),
+                                    opts_.adaptive_hot_quantile * 100.0);
+  return std::max(opts_.hot_threshold, q);
+}
+
+ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
+                     const WearEstimator& estimator) {
+  ArptReport report;
+  report.triggered = true;
+
+  // Projected per-server erase counts (doubles: Eq 2 adds fractions).
+  std::vector<double> est(wear.size(), 0.0);
+  double mean_util = 0.0;
+  for (const auto& info : wear) {
+    est[info.server] = static_cast<double>(info.erase_count);
+    mean_util += info.logical_utilization;
+  }
+  mean_util /= static_cast<double>(wear.size());
+  report.sigma_before = stddev_of(est);
+
+  const double l_hot = effective_hot_threshold(now);
+  report.hot_threshold_used = l_hot;
+  const std::size_t ec_k = store_.config().ec_data;
+  const double cluster_logical_bytes =
+      static_cast<double>(store_.cluster().ssd_config().logical_bytes()) *
+      static_cast<double>(wear.size());
+  double projected_util = mean_util;
+
+  // ---- Step 1: screen candidates (lines 1-11 of Algorithm 1) ------------
+  // Collected first, applied after the scan: applying inside for_each would
+  // re-enter the mapping table's shard locks.
+  std::vector<ScreenedCandidate> to_late_rep;
+  std::vector<ScreenedCandidate> to_late_ec;
+  std::vector<ObjectId> cancel_to_rep;
+  std::vector<ObjectId> cancel_to_ec;
+
+  store_.table().for_each([&](const ObjectMeta& m) {
+    const double heat = m.heat(now);
+    if (heat >= l_hot) {
+      switch (m.state) {
+        case RedState::kEc:
+          to_late_rep.push_back({m.oid, heat, m.size_bytes});
+          break;
+        case RedState::kLateEc:
+          cancel_to_rep.push_back(m.oid);  // got hot again before converting
+          break;
+        default:
+          break;  // already REP / pending REP / pending move
+      }
+    } else {
+      switch (m.state) {
+        case RedState::kRep:
+          to_late_ec.push_back({m.oid, heat, m.size_bytes});
+          break;
+        case RedState::kLateRep:
+          cancel_to_ec.push_back(m.oid);  // cooled before converting (Fig 3)
+          break;
+        default:
+          break;
+      }
+    }
+  });
+
+  for (const ObjectId oid : cancel_to_rep) {
+    store_.table().mutate(oid, [&](ObjectMeta& m) {
+      if (m.state != RedState::kLateEc) return;
+      m.state = RedState::kRep;
+      m.dst.clear();
+      m.state_since = now;
+    });
+    store_.table().log_change(
+        oid, meta::EpochLogEntry{now, RedState::kRep, {}, {}});
+    ++report.cancelled;
+  }
+  for (const ObjectId oid : cancel_to_ec) {
+    store_.table().mutate(oid, [&](ObjectMeta& m) {
+      if (m.state != RedState::kLateRep) return;
+      m.state = RedState::kEc;
+      m.dst.clear();
+      m.state_since = now;
+    });
+    store_.table().log_change(oid,
+                              meta::EpochLogEntry{now, RedState::kEc, {}, {}});
+    ++report.cancelled;
+  }
+
+  // Hottest first for upgrades, coldest first for downgrades.
+  std::sort(to_late_rep.begin(), to_late_rep.end(),
+            [](const auto& a, const auto& b) {
+              return a.heat > b.heat || (a.heat == b.heat && a.oid < b.oid);
+            });
+  std::sort(to_late_ec.begin(), to_late_ec.end(),
+            [](const auto& a, const auto& b) {
+              return a.heat < b.heat || (a.heat == b.heat && a.oid < b.oid);
+            });
+
+  // Arm the screened transitions with their default (ring) destinations.
+  // Upgrades triple an object's footprint and roughly double its write
+  // volume, so they are admitted only while (a) the projected cluster
+  // utilization and (b) the endurance budget stay under their guards.
+  std::uint64_t cluster_pages_per_epoch = 0;
+  for (const auto& info : wear) {
+    cluster_pages_per_epoch += info.host_pages_this_epoch;
+  }
+  const double page_bytes =
+      static_cast<double>(store_.cluster().ssd_config().page_size_bytes);
+  const double volume_budget =
+      opts_.max_upgrade_volume_fraction *
+      std::max(1.0, static_cast<double>(cluster_pages_per_epoch));
+  double volume_spent = 0.0;
+
+  std::vector<ScreenedCandidate> armed_rep;
+  for (const auto& c : to_late_rep) {
+    const double extra =
+        static_cast<double>(c.size_bytes) *
+        (static_cast<double>(store_.config().replicas) -
+         store_.config()
+             .stripe_geometry(store_.cluster().ssd_config().page_size_bytes)
+             .storage_factor());
+    if (projected_util + extra / cluster_logical_bytes >
+        opts_.max_logical_utilization) {
+      break;
+    }
+    // Projected extra pages/epoch: heat x (replica pages - stripe pages).
+    // Greedy knapsack: a head object too hot for the remaining budget is
+    // skipped, cooler (cheaper) hot objects may still fit — under Zipfian
+    // skew the single hottest object alone can exceed the whole budget.
+    const double rep_pages =
+        std::max(1.0, static_cast<double>(c.size_bytes) / page_bytes) *
+        static_cast<double>(store_.config().replicas);
+    const double ec_pages =
+        std::max(1.0, static_cast<double>(c.size_bytes) /
+                          static_cast<double>(store_.config().ec_data) /
+                          page_bytes) *
+        static_cast<double>(store_.config().ec_total);
+    const double extra_volume = c.heat * std::max(0.0, rep_pages - ec_pages);
+    if (volume_spent + extra_volume > volume_budget) continue;
+    volume_spent += extra_volume;
+    projected_util += extra / cluster_logical_bytes;
+    const ServerSet dst = store_.place(c.oid, RedState::kRep);
+    store_.table().mutate(c.oid, [&](ObjectMeta& m) {
+      if (m.state != RedState::kEc) return;
+      m.state = RedState::kLateRep;
+      m.dst = dst;
+      m.state_since = now;
+    });
+    store_.table().log_change(
+        c.oid, meta::EpochLogEntry{now, RedState::kLateRep, {}, dst});
+    ++report.screened_to_late_rep;
+    armed_rep.push_back(c);
+  }
+  to_late_rep = std::move(armed_rep);
+
+  for (const auto& c : to_late_ec) {
+    const ServerSet dst = store_.place(c.oid, RedState::kEc);
+    store_.table().mutate(c.oid, [&](ObjectMeta& m) {
+      if (m.state != RedState::kRep) return;
+      m.state = RedState::kLateEc;
+      m.dst = dst;
+      m.state_since = now;
+    });
+    store_.table().log_change(
+        c.oid, meta::EpochLogEntry{now, RedState::kLateEc, {}, dst});
+    ++report.screened_to_late_ec;
+  }
+
+  // ---- Step 2: endurance-aware rearrangement (lines 12-21) --------------
+  const double target =
+      opts_.sigma_arpt_abs > 0.0
+          ? opts_.sigma_arpt_abs
+          : opts_.sigma_arpt_cv * mean_of(est);
+  std::size_t hot_i = 0;
+  std::size_t cold_i = 0;
+  double sigma = report.sigma_before;
+  std::size_t moves = 0;
+  const std::size_t move_cap = ChameleonOptions::effective_cap(
+      opts_.max_arpt_moves, opts_.arpt_move_fraction,
+      store_.table().object_count());
+
+  const auto has_space = [this](const ServerSet& dst) {
+    for (const ServerId s : dst) {
+      if (store_.cluster().server(s).logical_utilization() >
+          opts_.space_guard_utilization) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (sigma > target && moves < move_cap &&
+         (hot_i < to_late_rep.size() || cold_i < to_late_ec.size())) {
+    if (hot_i < to_late_rep.size()) {
+      const auto& c = to_late_rep[hot_i++];
+      // X: the replica-set-many servers with the fewest projected erases.
+      const auto x_servers =
+          extreme_servers(est, store_.config().replicas, /*smallest=*/true);
+      ServerSet dst;
+      for (const ServerId s : x_servers) dst.push_back(s);
+      const auto live = store_.table().get(c.oid);
+      if (live && live->state == RedState::kLateRep && has_space(dst)) {
+        if (opts_.eager_conversions) {
+          store_.convert(c.oid, RedState::kRep, dst,
+                         cluster::Traffic::kConversion);
+          ++report.eager_conversions;
+        } else {
+          store_.table().mutate(c.oid,
+                                [&](ObjectMeta& m) { m.dst = dst; });
+        }
+        // Project the hot object's next-epoch writes onto its new hosts
+        // (Eq 2) and drain them from its previous hosts.
+        for (const ServerId s : dst) {
+          est[s] += estimator.object_cost(s, c.heat, c.size_bytes,
+                                          RedState::kRep, ec_k);
+        }
+        for (const ServerId s : live->src) {
+          est[s] -= estimator.object_cost(s, c.heat, c.size_bytes,
+                                          RedState::kEc, ec_k);
+        }
+        ++report.placed_hot;
+        ++moves;
+      }
+    }
+    if (cold_i < to_late_ec.size()) {
+      const auto& c = to_late_ec[cold_i++];
+      // Y: the stripe-set-many servers with the most projected erases.
+      const auto y_servers =
+          extreme_servers(est, store_.config().ec_total, /*smallest=*/false);
+      ServerSet dst;
+      for (const ServerId s : y_servers) dst.push_back(s);
+      const auto live = store_.table().get(c.oid);
+      if (live && live->state == RedState::kLateEc && has_space(dst)) {
+        if (opts_.eager_conversions) {
+          store_.convert(c.oid, RedState::kEc, dst,
+                         cluster::Traffic::kConversion);
+          ++report.eager_conversions;
+        } else {
+          store_.table().mutate(c.oid,
+                                [&](ObjectMeta& m) { m.dst = dst; });
+        }
+        for (const ServerId s : dst) {
+          est[s] += estimator.object_cost(s, c.heat, c.size_bytes,
+                                          RedState::kEc, ec_k);
+        }
+        for (const ServerId s : live->src) {
+          est[s] -= estimator.object_cost(s, c.heat, c.size_bytes,
+                                          RedState::kRep, ec_k);
+        }
+        ++report.placed_cold;
+        ++moves;
+      }
+    }
+    sigma = stddev_of(est);
+  }
+
+  report.sigma_after_est = sigma;
+  return report;
+}
+
+}  // namespace chameleon::core

@@ -1,0 +1,64 @@
+// Adaptive Redundancy Policy Transition — Algorithm 1.
+//
+// Step 1 (screening): every object is classified hot/cold against l_hot.
+// Hot objects not already (pending-)REP become late-REP; cold objects not
+// already (pending-)EC become late-EC. Objects whose pending transition no
+// longer matches their temperature are cancelled in place (the Fig 3
+// epoch-log example: a late-REP object that cooled down reverts to EC with
+// zero data movement).
+//
+// Step 2 (endurance-aware rearrangement): while the projected wear variance
+// stays above sigma_ARPT, the hottest screened candidate is re-targeted at
+// the 3 lowest-erasure servers and the coldest at the 6 highest-erasure
+// servers, with per-server erase counts projected through Eq 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flash_monitor.hpp"
+#include "core/options.hpp"
+#include "core/wear_estimator.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::core {
+
+struct ArptReport {
+  bool triggered = false;
+  std::size_t screened_to_late_rep = 0;
+  std::size_t screened_to_late_ec = 0;
+  std::size_t cancelled = 0;       ///< pending transitions reverted in place
+  std::size_t placed_hot = 0;      ///< step-2 placements onto min-wear servers
+  std::size_t placed_cold = 0;     ///< step-2 placements onto max-wear servers
+  std::size_t eager_conversions = 0;  ///< only in the eager-conversion ablation
+  double sigma_before = 0.0;
+  double sigma_after_est = 0.0;
+  double hot_threshold_used = 0.0;
+};
+
+class Arpt {
+ public:
+  Arpt(kv::KvStore& store, const ChameleonOptions& opts)
+      : store_(store), opts_(opts) {}
+
+  /// Run one ARPT round. `wear` comes from the flash monitor; `estimator`
+  /// must already be update()d with it.
+  ArptReport run(Epoch now, const std::vector<ServerWearInfo>& wear,
+                 const WearEstimator& estimator);
+
+ private:
+  struct ScreenedCandidate {
+    ObjectId oid;
+    double heat;
+    std::uint64_t size_bytes;
+  };
+
+  /// Effective l_hot for this round (fixed threshold, or heat quantile when
+  /// adaptive mode is enabled; see options.hpp).
+  double effective_hot_threshold(Epoch now) const;
+
+  kv::KvStore& store_;
+  const ChameleonOptions& opts_;
+};
+
+}  // namespace chameleon::core

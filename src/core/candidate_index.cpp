@@ -1,0 +1,78 @@
+#include "core/candidate_index.hpp"
+
+#include <algorithm>
+
+namespace chameleon::core {
+
+CandidateIndex::CandidateIndex(const meta::MappingTable& table,
+                               std::uint32_t server_count, Epoch now,
+                               HeatKind heat_kind)
+    : servers_(server_count) {
+  table.for_each([&](const meta::ObjectMeta& m) {
+    if (meta::is_intermediate(m.state)) return;
+    Candidate c;
+    c.oid = m.oid;
+    c.heat = heat_kind == HeatKind::kDecayed
+                 ? m.heat(now)
+                 : static_cast<double>(m.total_writes);
+    c.size_bytes = m.size_bytes;
+    c.state = m.state;
+    for (const ServerId s : m.src) {
+      if (s < servers_.size()) {
+        servers_[s].items.push_back(c);
+        ++total_;
+      }
+    }
+  });
+}
+
+void CandidateIndex::prepare(PerServer& s) {
+  if (s.sorted) return;
+  std::sort(s.items.begin(), s.items.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.heat < b.heat || (a.heat == b.heat && a.oid < b.oid);
+            });
+  s.hot_cursor = s.items.size();
+  s.cold_cursor = 0;
+  s.sorted = true;
+}
+
+const Candidate* CandidateIndex::take(ServerId server, ServerId exclude,
+                                      bool hottest,
+                                      const meta::MappingTable& table) {
+  if (server >= servers_.size()) return nullptr;
+  PerServer& s = servers_[server];
+  prepare(s);
+  while (s.cold_cursor < s.hot_cursor) {
+    const Candidate* c = nullptr;
+    if (hottest) {
+      c = &s.items[s.hot_cursor - 1];
+      --s.hot_cursor;
+    } else {
+      c = &s.items[s.cold_cursor];
+      ++s.cold_cursor;
+    }
+    // Revalidate against the live table: an earlier decision this epoch may
+    // have moved the object into an intermediate state or off this server.
+    const auto live = table.get(c->oid);
+    if (!live || meta::is_intermediate(live->state)) continue;
+    if (!live->src.contains(server)) continue;
+    if (exclude != kInvalidServer && live->src.contains(exclude)) continue;
+    return c;
+  }
+  return nullptr;
+}
+
+const Candidate* CandidateIndex::take_hottest(ServerId server,
+                                              ServerId exclude,
+                                              const meta::MappingTable& table) {
+  return take(server, exclude, /*hottest=*/true, table);
+}
+
+const Candidate* CandidateIndex::take_coldest(ServerId server,
+                                              ServerId exclude,
+                                              const meta::MappingTable& table) {
+  return take(server, exclude, /*hottest=*/false, table);
+}
+
+}  // namespace chameleon::core

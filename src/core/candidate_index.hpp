@@ -1,0 +1,61 @@
+// Per-server candidate lists for the swap/migration loops: every stable
+// (REP/EC) object indexed under each server that hosts one of its fragments,
+// sortable by write heat. Shared by HCDS and the EDM baseline, both of which
+// repeatedly ask "hottest/coldest object on server s".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meta/mapping_table.hpp"
+
+namespace chameleon::core {
+
+struct Candidate {
+  ObjectId oid = 0;
+  double heat = 0.0;
+  std::uint64_t size_bytes = 0;
+  meta::RedState state = meta::RedState::kEc;
+};
+
+/// How candidates are ranked hot-to-cold.
+enum class HeatKind : std::uint8_t {
+  kDecayed,     ///< Eq 1 exponential-decay heat (Chameleon)
+  kCumulative,  ///< lifetime write count (EDM/SWANS-style, drift-blind)
+};
+
+class CandidateIndex {
+ public:
+  /// Build from the mapping table at epoch `now`. Only objects in stable
+  /// redundancy states are indexed — objects with a pending transition
+  /// already have a destination and must not be re-targeted.
+  CandidateIndex(const meta::MappingTable& table, std::uint32_t server_count,
+                 Epoch now, HeatKind heat_kind = HeatKind::kDecayed);
+
+  /// Hottest not-yet-consumed candidate on `server` whose location set does
+  /// not contain `exclude`; kInvalidU32 disables the exclusion. Consumes the
+  /// returned candidate. Returns nullptr when exhausted.
+  const Candidate* take_hottest(ServerId server, ServerId exclude,
+                                const meta::MappingTable& table);
+  const Candidate* take_coldest(ServerId server, ServerId exclude,
+                                const meta::MappingTable& table);
+
+  std::size_t total_candidates() const { return total_; }
+
+ private:
+  struct PerServer {
+    std::vector<Candidate> items;  ///< sorted by heat asc once prepared
+    std::size_t cold_cursor = 0;   ///< next coldest
+    std::size_t hot_cursor = 0;    ///< next hottest, counted from the back
+    bool sorted = false;
+  };
+
+  void prepare(PerServer& s);
+  const Candidate* take(ServerId server, ServerId exclude, bool hottest,
+                        const meta::MappingTable& table);
+
+  std::vector<PerServer> servers_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace chameleon::core

@@ -1,0 +1,52 @@
+#include "core/chameleon.hpp"
+
+namespace chameleon::core {
+
+Chameleon::Chameleon(const ChameleonConfig& config)
+    : config_(config),
+      cluster_(config.servers, config.ssd, config.ring_vnodes, config.network),
+      table_(),
+      store_(cluster_, table_, config.kv),
+      client_(store_) {
+  if (config_.supervised) {
+    supervisor_ = std::make_unique<Supervisor>(store_, config_.balancer,
+                                               config_.epoch_length);
+  } else {
+    balancer_ = std::make_unique<Balancer>(store_, config_.balancer);
+  }
+}
+
+std::uint32_t Chameleon::advance_time(Nanos now) {
+  clock_.advance_to(now);
+  const Epoch current = clock_.epoch_of(config_.epoch_length);
+  std::uint32_t ran = 0;
+  while (last_epoch_ran_ < current) {
+    ++last_epoch_ran_;
+    if (supervisor_) {
+      supervisor_->on_epoch(last_epoch_ran_,
+                            static_cast<Nanos>(last_epoch_ran_) *
+                                config_.epoch_length);
+    } else {
+      balancer_->on_epoch(last_epoch_ran_);
+    }
+    ++ran;
+  }
+  return ran;
+}
+
+kv::OpResult Chameleon::put(ObjectId oid, std::uint64_t bytes, Nanos now) {
+  advance_time(now);
+  if (supervisor_) {
+    return supervisor_->put_with_failover(oid, bytes, current_epoch());
+  }
+  return store_.put(oid, bytes, current_epoch());
+}
+
+kv::OpResult Chameleon::get(ObjectId oid, Nanos now) {
+  advance_time(now);
+  return store_.get(oid, current_epoch());
+}
+
+bool Chameleon::remove(ObjectId oid) { return store_.remove(oid); }
+
+}  // namespace chameleon::core

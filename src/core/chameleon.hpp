@@ -1,0 +1,82 @@
+// Chameleon facade: wires the whole stack together — cluster of simulated
+// flash servers, mapping table, KV store, and the wear balancer — behind a
+// single object with a put/get interface and an epoch-paced tick. This is
+// the entry point library users (and the examples) program against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "common/clock.hpp"
+#include "core/balancer.hpp"
+#include "core/options.hpp"
+#include "core/supervisor.hpp"
+#include "kv/client.hpp"
+#include "kv/kv_store.hpp"
+#include "meta/mapping_table.hpp"
+
+namespace chameleon::core {
+
+struct ChameleonConfig {
+  std::uint32_t servers = 50;
+  flashsim::SsdConfig ssd;             ///< per-server device (Table II)
+  kv::KvConfig kv;                     ///< redundancy parameters
+  ChameleonOptions balancer;           ///< thresholds & caps (Table I)
+  Nanos epoch_length = 1 * kHour;      ///< monitoring/balancing cadence
+  std::uint32_t ring_vnodes = 128;
+  cluster::NetworkConfig network;
+  /// Run the full supervisor control loop (lease-based failure detection,
+  /// automatic repair, end-of-life failover) instead of the bare balancer.
+  bool supervised = false;
+};
+
+class Chameleon {
+ public:
+  explicit Chameleon(const ChameleonConfig& config);
+
+  // --- data path ----------------------------------------------------------
+  /// Size-only write at virtual time `now` (simulation fast path). Advances
+  /// the clock and runs any due balancing epochs first.
+  kv::OpResult put(ObjectId oid, std::uint64_t bytes, Nanos now);
+  kv::OpResult get(ObjectId oid, Nanos now);
+  bool remove(ObjectId oid);
+
+  /// Application-facing string/payload client (enables the payload plane).
+  kv::Client& client() { return client_; }
+
+  // --- time ----------------------------------------------------------------
+  /// Advance virtual time, firing the balancer at every epoch boundary
+  /// crossed. Returns the number of epochs that ran.
+  std::uint32_t advance_time(Nanos now);
+  Epoch current_epoch() const {
+    return clock_.epoch_of(config_.epoch_length);
+  }
+  Nanos now() const { return clock_.now(); }
+
+  // --- introspection --------------------------------------------------------
+  cluster::Cluster& cluster() { return cluster_; }
+  const cluster::Cluster& cluster() const { return cluster_; }
+  meta::MappingTable& table() { return table_; }
+  kv::KvStore& store() { return store_; }
+  /// The balancer driving epochs (the supervisor's, when supervised).
+  Balancer& balancer() {
+    return supervisor_ ? supervisor_->balancer() : *balancer_;
+  }
+  /// Supervised mode only (nullptr otherwise).
+  Supervisor* supervisor() { return supervisor_.get(); }
+  const ChameleonConfig& config() const { return config_; }
+
+ private:
+  ChameleonConfig config_;
+  cluster::Cluster cluster_;
+  meta::MappingTable table_;
+  kv::KvStore store_;
+  std::unique_ptr<Balancer> balancer_;      ///< unsupervised mode
+  std::unique_ptr<Supervisor> supervisor_;  ///< supervised mode
+  kv::Client client_;
+  VirtualClock clock_;
+  Epoch last_epoch_ran_ = 0;
+};
+
+}  // namespace chameleon::core

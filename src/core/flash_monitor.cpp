@@ -1,0 +1,52 @@
+#include "core/flash_monitor.hpp"
+
+#include <cmath>
+
+#include "cluster/messages.hpp"
+
+namespace chameleon::core {
+
+FlashMonitor::FlashMonitor(cluster::Cluster& cluster)
+    : cluster_(cluster),
+      prev_erases_(cluster.size(), 0),
+      prev_host_pages_(cluster.size(), 0) {}
+
+std::vector<ServerWearInfo> FlashMonitor::collect(Epoch now) {
+  
+  std::vector<ServerWearInfo> out;
+  out.reserve(cluster_.size());
+  for (ServerId id = 0; id < cluster_.size(); ++id) {
+    const auto& server = cluster_.server(id);
+    const auto& stats = server.ssd_stats();
+    ServerWearInfo info;
+    info.server = id;
+    info.erase_count = stats.block_erases;
+    info.erases_this_epoch = stats.block_erases - prev_erases_[id];
+    info.host_pages_this_epoch =
+        stats.host_page_writes - prev_host_pages_[id];
+    info.logical_utilization = server.logical_utilization();
+    info.victim_utilization = stats.avg_victim_utilization();
+    info.write_amplification = stats.write_amplification();
+    prev_erases_[id] = stats.block_erases;
+    prev_host_pages_[id] = stats.host_page_writes;
+    out.push_back(info);
+
+    if (id != coordinator()) {
+      // Account the real serialized heartbeat size on the wire.
+      cluster::HeartbeatMessage msg;
+      msg.server = id;
+      msg.epoch = now;
+      msg.erase_count = info.erase_count;
+      msg.host_pages_this_epoch = info.host_pages_this_epoch;
+      msg.logical_utilization_q = static_cast<std::uint32_t>(
+          std::lround(info.logical_utilization * 1e4));
+      msg.victim_utilization_q = static_cast<std::uint32_t>(
+          std::lround(info.victim_utilization * 1e4));
+      cluster_.network().transfer(cluster::Traffic::kHeartbeat,
+                                  msg.serialize().size());
+    }
+  }
+  return out;
+}
+
+}  // namespace chameleon::core

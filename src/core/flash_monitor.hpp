@@ -1,0 +1,46 @@
+// Flash monitor (paper §III-A): runs on each flash server, samples the
+// device statistics the wear balancer needs (erase count, space utilization,
+// victim-block utilization) and ships them to the coordinator as heartbeat
+// messages. The coordinator is the lowest-id server, standing in for the
+// paper's ZooKeeper-elected node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace chameleon::core {
+
+/// One server's wear statistics as of an epoch boundary.
+struct ServerWearInfo {
+  ServerId server = 0;
+  std::uint64_t erase_count = 0;       ///< cumulative block erases
+  std::uint64_t erases_this_epoch = 0;
+  std::uint64_t host_pages_this_epoch = 0;
+  double logical_utilization = 0.0;    ///< stored pages / logical pages
+  double victim_utilization = 0.0;     ///< mean mu of GC victims (Eq 2)
+  double write_amplification = 1.0;
+};
+
+class FlashMonitor {
+ public:
+  explicit FlashMonitor(cluster::Cluster& cluster);
+
+  /// Snapshot every server and account the heartbeat traffic to the
+  /// coordinator. Deltas are relative to the previous collect() call.
+  std::vector<ServerWearInfo> collect(Epoch now);
+
+  ServerId coordinator() const { return 0; }
+
+ private:
+  
+  
+
+  cluster::Cluster& cluster_;
+  std::vector<std::uint64_t> prev_erases_;
+  std::vector<std::uint64_t> prev_host_pages_;
+};
+
+}  // namespace chameleon::core

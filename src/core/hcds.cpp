@@ -1,0 +1,146 @@
+#include "core/hcds.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace chameleon::core {
+
+using meta::ObjectMeta;
+using meta::RedState;
+using meta::ServerSet;
+
+namespace {
+
+double stddev_of(const std::vector<double>& v) {
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  return s.stddev();
+}
+
+double mean_of(const std::vector<double>& v) {
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  return s.mean();
+}
+
+ServerId argmax(const std::vector<double>& v) {
+  ServerId best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = static_cast<ServerId>(i);
+  }
+  return best;
+}
+
+ServerId argmin(const std::vector<double>& v) {
+  ServerId best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[best]) best = static_cast<ServerId>(i);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool Hcds::schedule_move(const Candidate& c, ServerId from, ServerId to,
+                         Epoch now, HcdsReport& report) {
+  const auto live = store_.table().get(c.oid);
+  if (!live || meta::is_intermediate(live->state)) return false;
+  if (!live->src.contains(from) || live->src.contains(to)) return false;
+  // Space guard on the receiving server.
+  if (store_.cluster().server(to).logical_utilization() >
+      opts_.space_guard_utilization) {
+    return false;
+  }
+
+  // Destination set: same servers with `from` replaced by `to`.
+  ServerSet dst;
+  for (const ServerId s : live->src) dst.push_back(s == from ? to : s);
+
+  if (opts_.eager_conversions) {
+    store_.relocate(c.oid, dst, cluster::Traffic::kSwap);
+    ++report.eager_relocations;
+    return true;
+  }
+
+  const RedState ewo = live->state == RedState::kRep ? RedState::kRepEwo
+                                                     : RedState::kEcEwo;
+  store_.table().mutate(c.oid, [&](ObjectMeta& m) {
+    if (meta::is_intermediate(m.state)) return;
+    m.state = ewo;
+    m.dst = dst;
+    m.state_since = now;
+  });
+  store_.table().log_change(
+      c.oid, meta::EpochLogEntry{now, ewo, live->src, dst});
+  return true;
+}
+
+HcdsReport Hcds::run(Epoch now, const std::vector<ServerWearInfo>& wear,
+                     const WearEstimator& estimator) {
+  HcdsReport report;
+  report.triggered = true;
+
+  std::vector<double> est(wear.size(), 0.0);
+  for (const auto& info : wear) {
+    est[info.server] = static_cast<double>(info.erase_count);
+  }
+  report.sigma_before = stddev_of(est);
+
+  const double target = opts_.sigma_hcds_abs > 0.0
+                            ? opts_.sigma_hcds_abs
+                            : opts_.sigma_hcds_cv * mean_of(est);
+  const std::size_t ec_k = store_.config().ec_data;
+
+  CandidateIndex index(store_.table(), store_.cluster().size(), now);
+  double sigma = report.sigma_before;
+  std::size_t swap_cap = ChameleonOptions::effective_cap(
+      opts_.max_hcds_swaps, opts_.hcds_swap_fraction,
+      store_.table().object_count());
+
+  // Respect the outstanding-EWO ceiling (Fig 8: <=20% of data pending).
+  const auto census = store_.table().census();
+  const std::size_t pending =
+      census.objects_in(meta::RedState::kRepEwo) +
+      census.objects_in(meta::RedState::kEcEwo);
+  const auto pending_ceiling = std::max<std::size_t>(
+      4, static_cast<std::size_t>(opts_.max_pending_ewo_fraction *
+                                  static_cast<double>(census.total_objects())));
+  const std::size_t headroom =
+      pending >= pending_ceiling ? 0 : pending_ceiling - pending;
+  swap_cap = std::min(swap_cap, headroom);
+
+  while (sigma > target && report.swaps < swap_cap) {
+    const ServerId x = argmax(est);  // most worn
+    const ServerId y = argmin(est);  // least worn
+    if (x == y) break;
+
+    const Candidate* hot = index.take_hottest(x, y, store_.table());
+    bool progressed = false;
+    if (hot != nullptr && schedule_move(*hot, x, y, now, report)) {
+      est[x] -= estimator.object_cost(x, hot->heat, hot->size_bytes,
+                                      hot->state, ec_k);
+      est[y] += estimator.object_cost(y, hot->heat, hot->size_bytes,
+                                      hot->state, ec_k);
+      progressed = true;
+    }
+
+    const Candidate* cold = index.take_coldest(y, x, store_.table());
+    if (cold != nullptr && schedule_move(*cold, y, x, now, report)) {
+      est[y] -= estimator.object_cost(y, cold->heat, cold->size_bytes,
+                                      cold->state, ec_k);
+      est[x] += estimator.object_cost(x, cold->heat, cold->size_bytes,
+                                      cold->state, ec_k);
+      progressed = true;
+    }
+
+    if (!progressed) break;  // both extremes exhausted their candidates
+    ++report.swaps;
+    sigma = stddev_of(est);
+  }
+
+  report.sigma_after_est = sigma;
+  return report;
+}
+
+}  // namespace chameleon::core

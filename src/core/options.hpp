@@ -1,0 +1,107 @@
+// Tunables of the Chameleon balancer (Table I's thresholds and the
+// operational caps the paper leaves implicit).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace chameleon::core {
+
+struct ChameleonOptions {
+  // --- trigger thresholds -------------------------------------------------
+  /// sigma_ARPT. The paper uses a preset absolute erase-count deviation; a
+  /// coefficient-of-variation (stddev/mean) trigger is scale-invariant, so
+  /// both are supported: if the absolute value is nonzero it wins.
+  double sigma_arpt_cv = 0.10;
+  double sigma_arpt_abs = 0.0;
+  /// sigma_HCDS: the tighter "further balance" threshold (Fig 2b).
+  double sigma_hcds_cv = 0.05;
+  double sigma_hcds_abs = 0.0;
+
+  /// l_hot: popularity threshold (Eq 1 heat units, i.e. decayed writes per
+  /// epoch) separating hot (REP-worthy) from cold (EC-worthy) objects.
+  /// With the adaptive quantile enabled this is only a floor that keeps
+  /// decayed noise out of the hot set.
+  double hot_threshold = 1.0;
+  /// When > 0, l_hot is adapted each round to this quantile of the nonzero
+  /// object heats (floored at hot_threshold), keeping the hot set a small
+  /// fixed fraction across workload intensities. The paper presets l_hot
+  /// per deployment; the quantile mode is our scale-robust equivalent.
+  /// Replicating hot data doubles its cluster write volume (3x vs 1.5x),
+  /// so the hot set must stay small for total erases to track EC-baseline
+  /// (Fig 5b) — hence the 99th percentile default.
+  double adaptive_hot_quantile = 0.99;
+
+  // --- per-epoch work caps ------------------------------------------------
+  // Effective per-epoch cap = min(absolute, max(16, fraction x objects)).
+  /// Bound on objects ARPT re-targets per epoch (keeps the "<5% of data in
+  /// ARPT per hour" behaviour of Fig 8).
+  std::size_t max_arpt_moves = 20'000;
+  double arpt_move_fraction = 0.01;
+  /// Bound on HCDS swaps per epoch (Fig 8 shows <=20% of data in EWO).
+  std::size_t max_hcds_swaps = 50'000;
+  double hcds_swap_fraction = 0.05;
+  /// Cap on the *outstanding* fraction of objects sitting in EWO states:
+  /// HCDS stops scheduling new swaps while the pending pool is this full.
+  /// Matches Fig 8's <=20% of data in the EWO state, and bounds the eager
+  /// cold-data migration the pending pool eventually costs.
+  double max_pending_ewo_fraction = 0.20;
+
+  // --- lazy-transition housekeeping ---------------------------------------
+  /// Intermediate-state objects unwritten for this many epochs are resolved
+  /// eagerly: pending-EC data is migrated/encoded (the paper's cold-stripe
+  /// migration), pending-REP data is cancelled back to its current scheme
+  /// (the Fig 3 epoch-log example).
+  Epoch cold_resolve_epochs = 8;
+  /// Per-epoch bound on eager materializations (fraction of objects, floor
+  /// 16): this is real data movement, so it is rate-limited to keep
+  /// Chameleon's balancing traffic far below EDM's bulk migration.
+  double eager_resolve_fraction = 0.005;
+
+  /// Effective per-epoch cap helper.
+  static std::size_t effective_cap(std::size_t absolute, double fraction,
+                                   std::size_t object_count) {
+    const auto frac = static_cast<std::size_t>(
+        fraction * static_cast<double>(object_count));
+    const std::size_t floor = frac < 16 ? 16 : frac;
+    return absolute < floor ? absolute : floor;
+  }
+  /// Epoch-log compaction cadence.
+  Epoch compact_every = 4;
+
+  // --- host-managed background GC (open-channel SSDs, paper §III-A) -------
+  /// When > 0, idle servers pre-clean each epoch until their free pool
+  /// reaches this fraction of blocks, so future write bursts hit fewer
+  /// foreground GC stalls. 0 disables (device-driven GC only).
+  double background_gc_free_target = 0.0;
+  /// "Idle" = the server's epoch write volume is below this fraction of the
+  /// cluster mean.
+  double background_gc_idle_factor = 0.25;
+  std::uint32_t background_gc_max_victims = 64;
+
+  // --- feature switches (ablations) ---------------------------------------
+  bool enable_arpt = true;
+  bool enable_hcds = true;
+  /// Ablation: perform conversions eagerly (bulk re-encode + transfer)
+  /// instead of late-REP/late-EC + EWO.
+  bool eager_conversions = false;
+
+  /// Guard: do not upgrade objects to REP when the cluster-mean logical
+  /// utilization would exceed this (replication triples the footprint).
+  double max_logical_utilization = 0.88;
+  /// Never schedule or materialize a move onto a server whose logical
+  /// utilization exceeds this (per-server space guard).
+  double space_guard_utilization = 0.90;
+
+  /// Endurance budget for upgrades: replicating an object nearly doubles
+  /// its cluster write volume (3 full copies vs 1.5x in stripes), and under
+  /// Zipfian skew even a handful of head objects carries a large share of
+  /// all writes. ARPT admits hot->REP upgrades only while their projected
+  /// extra page-write volume stays below this fraction of the cluster's
+  /// current per-epoch write volume — keeping total erases near the
+  /// EC-baseline (the paper's Fig 5b "similar amount").
+  double max_upgrade_volume_fraction = 0.05;
+};
+
+}  // namespace chameleon::core

@@ -1,0 +1,79 @@
+#include "core/supervisor.hpp"
+
+namespace chameleon::core {
+
+Supervisor::Supervisor(kv::KvStore& store, const ChameleonOptions& options,
+                       Nanos epoch_length)
+    : store_(store),
+      // A lease survives two missed epochs: one slow heartbeat is not a
+      // failure, two are.
+      membership_(store.cluster().size(), 2 * epoch_length + 1),
+      balancer_(store, options),
+      repair_(store) {}
+
+void Supervisor::recover_server(ServerId server) {
+  failed_.erase(server);
+  repair_.mark_recovered(server);
+}
+
+SupervisorEpochReport Supervisor::on_epoch(Epoch epoch, Nanos now) {
+  SupervisorEpochReport report;
+  report.epoch = epoch;
+
+  // 1. Live servers heartbeat.
+  for (ServerId s = 0; s < store_.cluster().size(); ++s) {
+    if (!failed_.contains(s)) membership_.heartbeat(s, now);
+  }
+
+  // 2. Lapsed leases -> declare dead: take the server off the placement
+  // ring (new objects must not land on it) and rebuild its data.
+  report.failures_detected = membership_.detect_failures(now);
+  for (const ServerId dead : report.failures_detected) {
+    handle_failure(dead, epoch, &report);
+  }
+
+  // 3. Recovered servers rejoin membership and the placement ring.
+  for (ServerId s = 0; s < store_.cluster().size(); ++s) {
+    if (!failed_.contains(s) && !membership_.is_live(s) &&
+        !repair_.failed_servers().contains(s)) {
+      membership_.rejoin(s, now);
+      store_.cluster().ring().add_server(s);
+    }
+  }
+
+  // 4. Wear balancing on whoever coordinates now.
+  report.coordinator = membership_.coordinator();
+  balancer_.on_epoch(epoch);
+  return report;
+}
+
+void Supervisor::handle_failure(ServerId server, Epoch epoch,
+                                SupervisorEpochReport* report) {
+  store_.cluster().ring().remove_server(server);
+  const auto r = repair_.repair_server(server, epoch);
+  if (report != nullptr) report->fragments_rebuilt += r.fragments_rebuilt;
+}
+
+kv::OpResult Supervisor::put_with_failover(ObjectId oid, std::uint64_t bytes,
+                                           Epoch epoch) {
+  for (;;) {
+    try {
+      return store_.put(oid, bytes, epoch);
+    } catch (const flashsim::DeviceWornOut&) {
+      // Identify the worn device(s) and retire them like any other failure.
+      bool found = false;
+      for (ServerId s = 0; s < store_.cluster().size(); ++s) {
+        if (!store_.cluster().server(s).log().ftl().is_worn_out()) continue;
+        if (repair_.failed_servers().contains(s)) continue;
+        fail_server(s);  // it will stop heartbeating too
+        // Bypass lease lapse: the device told us directly.
+        membership_.declare_dead(s);
+        handle_failure(s, epoch, nullptr);
+        found = true;
+      }
+      if (!found) throw;  // not a wear-out we can absorb: surface it
+    }
+  }
+}
+
+}  // namespace chameleon::core

@@ -1,0 +1,65 @@
+// Cluster supervisor: ties membership, the balancer and the repair manager
+// into one epoch-paced control loop — the operational shell around
+// Chameleon. Live servers heartbeat, lapsed leases trigger automatic data
+// repair, replaced servers rejoin, and wear balancing runs on whatever
+// coordinator is currently alive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "core/balancer.hpp"
+#include "kv/repair.hpp"
+
+namespace chameleon::core {
+
+struct SupervisorEpochReport {
+  Epoch epoch = 0;
+  std::vector<ServerId> failures_detected;
+  std::size_t fragments_rebuilt = 0;
+  ServerId coordinator = 0;
+};
+
+class Supervisor {
+ public:
+  Supervisor(kv::KvStore& store, const ChameleonOptions& options,
+             Nanos epoch_length);
+
+  /// Simulate the failure of a server: it stops heartbeating from `now` on
+  /// (detection happens once its lease lapses on a later epoch).
+  void fail_server(ServerId server) { failed_.insert(server); }
+
+  /// A replaced server comes back (empty); it resumes heartbeating and is
+  /// eligible as a repair target again.
+  void recover_server(ServerId server);
+
+  /// One epoch: heartbeats from live servers, failure detection + repair,
+  /// then wear balancing. `now` is the virtual time of the epoch boundary.
+  SupervisorEpochReport on_epoch(Epoch epoch, Nanos now);
+
+  /// Write with end-of-life failover: if a device throws DeviceWornOut
+  /// mid-fan-out, the worn server is failed immediately (off the ring,
+  /// lease revoked, data repaired onto survivors) and the write retried.
+  /// Retries until it succeeds or no server is worn out anymore.
+  kv::OpResult put_with_failover(ObjectId oid, std::uint64_t bytes,
+                                 Epoch epoch);
+
+  cluster::MembershipService& membership() { return membership_; }
+  Balancer& balancer() { return balancer_; }
+  kv::RepairManager& repair() { return repair_; }
+
+ private:
+  /// Declare a server dead right now: ring removal + lease teardown + data
+  /// repair. Used by lease-lapse detection and by write-path failover.
+  void handle_failure(ServerId server, Epoch epoch,
+                      SupervisorEpochReport* report);
+
+  kv::KvStore& store_;
+  cluster::MembershipService membership_;
+  Balancer balancer_;
+  kv::RepairManager repair_;
+  std::set<ServerId> failed_;  ///< servers currently not heartbeating
+};
+
+}  // namespace chameleon::core

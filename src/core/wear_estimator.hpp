@@ -1,0 +1,68 @@
+// Erasure-cost model of §III-B1, Eq 2:
+//   E_t = W_t / (B_p * (1 - mu))
+// where W_t is the page writes an object is expected to attract next epoch,
+// B_p the pages per block and mu the victim-block utilization on the target
+// server. ARPT/HCDS use this to project per-server erase counts while they
+// search for a placement that brings the wear variance under threshold.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/flash_monitor.hpp"
+#include "meta/object_meta.hpp"
+
+namespace chameleon::core {
+
+class WearEstimator {
+ public:
+  WearEstimator(std::uint32_t pages_per_block, std::uint32_t page_size_bytes)
+      : pages_per_block_(pages_per_block), page_size_bytes_(page_size_bytes) {}
+
+  /// Refresh per-server victim utilizations from monitor data.
+  void update(const std::vector<ServerWearInfo>& wear) {
+    mu_.assign(wear.size(), 0.0);
+    for (const auto& info : wear) {
+      if (info.server < mu_.size()) {
+        mu_[info.server] = std::clamp(info.victim_utilization, 0.0, 0.98);
+      }
+    }
+  }
+
+  /// Eq 2 for `page_writes` landing on `server`. Servers that have not run
+  /// GC yet report mu = 0, i.e. one erase per block of writes.
+  double erases_for(ServerId server, double page_writes) const {
+    const double mu = server < mu_.size() ? mu_[server] : 0.0;
+    return page_writes /
+           (static_cast<double>(pages_per_block_) * (1.0 - mu));
+  }
+
+  /// Pages one fragment write of `object_bytes` under `scheme` programs
+  /// (whole object per replica; one shard per stripe server, RS(6,4) -> /4).
+  double fragment_pages(std::uint64_t object_bytes, meta::RedState scheme,
+                        std::size_t ec_data_shards) const {
+    const double page = static_cast<double>(page_size_bytes_);
+    double bytes = static_cast<double>(object_bytes);
+    if (meta::current_scheme(scheme) == meta::RedState::kEc) {
+      bytes /= static_cast<double>(ec_data_shards);
+    }
+    return std::max(1.0, bytes / page);
+  }
+
+  /// Projected erases object `m` costs `server` next epoch if a fragment of
+  /// it lives there: heat (expected writes, Eq 1) x pages per fragment write.
+  double object_cost(ServerId server, double heat, std::uint64_t object_bytes,
+                     meta::RedState scheme, std::size_t ec_data_shards) const {
+    const double pages =
+        fragment_pages(object_bytes, scheme, ec_data_shards) * heat;
+    return erases_for(server, pages);
+  }
+
+ private:
+  std::uint32_t pages_per_block_;
+  std::uint32_t page_size_bytes_;
+  std::vector<double> mu_;
+};
+
+}  // namespace chameleon::core

@@ -1,0 +1,69 @@
+#include "ec/gf256.hpp"
+
+#include <stdexcept>
+
+namespace chameleon::ec {
+
+namespace {
+constexpr unsigned kPrimitivePoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+}
+
+Gf256::Gf256() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPrimitivePoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  log_[0] = 0;  // undefined; guarded by callers
+
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      mul_table_[a * 256 + b] =
+          (a == 0 || b == 0)
+              ? 0
+              : exp_[static_cast<unsigned>(log_[a]) + log_[b]];
+    }
+  }
+}
+
+const Gf256& Gf256::instance() {
+  static const Gf256 gf;
+  return gf;
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) const {
+  if (b == 0) throw std::domain_error("Gf256::div by zero");
+  if (a == 0) return 0;
+  return exp_[static_cast<unsigned>(255 + log_[a] - log_[b])];
+}
+
+std::uint8_t Gf256::inv(std::uint8_t a) const {
+  if (a == 0) throw std::domain_error("Gf256::inv of zero");
+  return exp_[255 - log_[a]];
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, unsigned e) const {
+  if (a == 0) return e == 0 ? 1 : 0;
+  const unsigned l = (static_cast<unsigned>(log_[a]) * e) % 255;
+  return exp_[l];
+}
+
+void Gf256::mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
+                    std::span<std::uint8_t> dst) const {
+  if (c == 0) return;
+  const std::uint8_t* row = &mul_table_[static_cast<std::size_t>(c) * 256];
+  const std::size_t n = src.size() < dst.size() ? src.size() : dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void Gf256::mul_into(std::uint8_t c, std::span<const std::uint8_t> src,
+                     std::span<std::uint8_t> dst) const {
+  const std::uint8_t* row = &mul_table_[static_cast<std::size_t>(c) * 256];
+  const std::size_t n = src.size() < dst.size() ? src.size() : dst.size();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace chameleon::ec

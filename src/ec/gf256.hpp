@@ -1,0 +1,53 @@
+// GF(2^8) arithmetic over the AES/ISA-L polynomial x^8+x^4+x^3+x^2+1 (0x1D),
+// implemented with log/exp tables. This is the arithmetic substrate for the
+// Reed-Solomon codec that stands in for Intel ISA-L in the paper's setup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace chameleon::ec {
+
+class Gf256 {
+ public:
+  /// Tables are built once; the instance is immutable and thread-safe.
+  static const Gf256& instance();
+
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[log_[a] + log_[b]];
+  }
+
+  std::uint8_t div(std::uint8_t a, std::uint8_t b) const;
+
+  std::uint8_t inv(std::uint8_t a) const;
+
+  std::uint8_t pow(std::uint8_t a, unsigned e) const;
+
+  static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;  // addition == subtraction == XOR in GF(2^8)
+  }
+
+  /// dst[i] ^= c * src[i] — the inner loop of RS encode/decode.
+  void mul_add(std::uint8_t c, std::span<const std::uint8_t> src,
+               std::span<std::uint8_t> dst) const;
+
+  /// dst[i] = c * src[i].
+  void mul_into(std::uint8_t c, std::span<const std::uint8_t> src,
+                std::span<std::uint8_t> dst) const;
+
+  std::uint8_t exp_table(unsigned i) const { return exp_[i % 255]; }
+  std::uint8_t log_table(std::uint8_t a) const { return log_[a]; }
+
+ private:
+  Gf256();
+
+  // exp_ is doubled so mul can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+  // 256 x 256 product table for the byte-stream kernels.
+  std::array<std::uint8_t, 256 * 256> mul_table_{};
+};
+
+}  // namespace chameleon::ec

@@ -1,0 +1,111 @@
+#include "ec/matrix.hpp"
+
+#include <stdexcept>
+
+#include "ec/gf256.hpp"
+
+namespace chameleon::ec {
+
+GfMatrix::GfMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("GfMatrix: zero dimension");
+  }
+}
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::cauchy(std::size_t rows, std::size_t cols) {
+  if (rows + cols > 256) {
+    throw std::invalid_argument("GfMatrix::cauchy: rows + cols > 256");
+  }
+  const auto& gf = Gf256::instance();
+  GfMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto xi = static_cast<std::uint8_t>(i + cols);
+      const auto yj = static_cast<std::uint8_t>(j);
+      m.at(i, j) = gf.inv(Gf256::add(xi, yj));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::multiply(const GfMatrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("GfMatrix::multiply: dimension mismatch");
+  }
+  const auto& gf = Gf256::instance();
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) = Gf256::add(out.at(i, j), gf.mul(a, other.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::inverted() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("GfMatrix::inverted: not square");
+  }
+  const auto& gf = Gf256::instance();
+  const std::size_t n = rows_;
+  GfMatrix work(*this);
+  GfMatrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw std::domain_error("GfMatrix::inverted: singular");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Scale pivot row to 1.
+    const std::uint8_t scale = gf.inv(work.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      work.at(col, j) = gf.mul(work.at(col, j), scale);
+      inv.at(col, j) = gf.mul(inv.at(col, j), scale);
+    }
+    // Eliminate all other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) =
+            Gf256::add(work.at(r, j), gf.mul(factor, work.at(col, j)));
+        inv.at(r, j) =
+            Gf256::add(inv.at(r, j), gf.mul(factor, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<std::size_t>& indices) const {
+  GfMatrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      throw std::out_of_range("GfMatrix::select_rows: index out of range");
+    }
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.at(i, j) = at(indices[i], j);
+    }
+  }
+  return out;
+}
+
+}  // namespace chameleon::ec

@@ -1,0 +1,46 @@
+// Dense matrices over GF(2^8) with Gauss-Jordan inversion; used to build and
+// invert Reed-Solomon generator submatrices during decode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace chameleon::ec {
+
+class GfMatrix {
+ public:
+  GfMatrix(std::size_t rows, std::size_t cols);
+
+  static GfMatrix identity(std::size_t n);
+  /// Cauchy matrix rows x cols: a[i][j] = 1 / (x_i + y_j) with
+  /// x_i = i + cols, y_j = j. Any square submatrix is invertible, which is
+  /// what makes it a valid MDS code generator.
+  static GfMatrix cauchy(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  const std::uint8_t* row(std::size_t r) const { return &data_[r * cols_]; }
+
+  GfMatrix multiply(const GfMatrix& other) const;
+
+  /// Gauss-Jordan inverse. Throws std::domain_error if singular.
+  GfMatrix inverted() const;
+
+  /// Select a subset of rows (used to build the decode matrix from the
+  /// surviving shard rows).
+  GfMatrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  bool operator==(const GfMatrix& other) const = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace chameleon::ec

@@ -1,0 +1,63 @@
+// Object <-> stripe geometry helpers shared by the KV redundancy engine and
+// the simulator's metadata-only fast path. The byte-level split/join lives in
+// ReedSolomon; this layer answers "how many pages does shard i of an object
+// of B bytes occupy on its server?" without touching payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chameleon::ec {
+
+struct StripeGeometry {
+  std::size_t total_shards;   ///< n (6 in RS(6,4))
+  std::size_t data_shards;    ///< k (4 in RS(6,4))
+  std::uint32_t page_size;    ///< flash page in bytes
+
+  std::size_t parity_shards() const { return total_shards - data_shards; }
+
+  /// Bytes per shard for an object of `object_bytes` (all shards equal size,
+  /// tail zero-padded).
+  std::uint64_t shard_bytes(std::uint64_t object_bytes) const {
+    const std::uint64_t k = data_shards;
+    const std::uint64_t b = (object_bytes + k - 1) / k;
+    return b == 0 ? 1 : b;
+  }
+
+  /// Flash pages per shard.
+  std::uint32_t shard_pages(std::uint64_t object_bytes) const {
+    const std::uint64_t b = shard_bytes(object_bytes);
+    return static_cast<std::uint32_t>((b + page_size - 1) / page_size);
+  }
+
+  /// Total pages across all n shards (what EC storage actually costs).
+  std::uint64_t total_pages(std::uint64_t object_bytes) const {
+    return static_cast<std::uint64_t>(shard_pages(object_bytes)) * total_shards;
+  }
+
+  /// Storage overhead factor n/k (1.5 for RS(6,4)).
+  double storage_factor() const {
+    return static_cast<double>(total_shards) / static_cast<double>(data_shards);
+  }
+};
+
+/// Replication geometry for symmetry with StripeGeometry.
+struct ReplicaGeometry {
+  std::size_t replicas;    ///< r (3 in the paper)
+  std::uint32_t page_size;
+
+  std::uint32_t replica_pages(std::uint64_t object_bytes) const {
+    const std::uint64_t p = (object_bytes + page_size - 1) / page_size;
+    return static_cast<std::uint32_t>(p == 0 ? 1 : p);
+  }
+
+  std::uint64_t total_pages(std::uint64_t object_bytes) const {
+    return static_cast<std::uint64_t>(replica_pages(object_bytes)) * replicas;
+  }
+
+  double storage_factor() const { return static_cast<double>(replicas); }
+};
+
+}  // namespace chameleon::ec

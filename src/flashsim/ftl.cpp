@@ -1,0 +1,421 @@
+#include "flashsim/ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace chameleon::flashsim {
+
+Ftl::Ftl(const SsdConfig& config) : config_(config) {
+  config_.validate();
+  l2p_.assign(config_.logical_pages(), kInvalidPpn);
+  p2l_.assign(config_.physical_pages(), kInvalidLpn);
+  blocks_.resize(config_.block_count);
+  bucket_heads_.assign(config_.pages_per_block + 1, -1);
+  for (BlockId b = 0; b < config_.block_count; ++b) {
+    free_blocks_.emplace(0, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bucket list maintenance (full blocks grouped by valid count).
+
+void Ftl::bucket_insert(BlockId b) {
+  Block& blk = blocks_[b];
+  const std::uint16_t v = blk.valid_count;
+  blk.bucket_prev = -1;
+  blk.bucket_next = bucket_heads_[v];
+  if (blk.bucket_next >= 0) {
+    blocks_[static_cast<BlockId>(blk.bucket_next)].bucket_prev =
+        static_cast<std::int32_t>(b);
+  }
+  bucket_heads_[v] = static_cast<std::int32_t>(b);
+  min_valid_hint_ = std::min<std::uint32_t>(min_valid_hint_, v);
+}
+
+void Ftl::bucket_remove(BlockId b) {
+  Block& blk = blocks_[b];
+  if (blk.bucket_prev >= 0) {
+    blocks_[static_cast<BlockId>(blk.bucket_prev)].bucket_next = blk.bucket_next;
+  } else {
+    bucket_heads_[blk.valid_count] = blk.bucket_next;
+  }
+  if (blk.bucket_next >= 0) {
+    blocks_[static_cast<BlockId>(blk.bucket_next)].bucket_prev = blk.bucket_prev;
+  }
+  blk.bucket_prev = -1;
+  blk.bucket_next = -1;
+}
+
+void Ftl::bucket_move(BlockId b, std::uint16_t old_valid) {
+  Block& blk = blocks_[b];
+  // Manual unlink using the old bucket index.
+  if (blk.bucket_prev >= 0) {
+    blocks_[static_cast<BlockId>(blk.bucket_prev)].bucket_next = blk.bucket_next;
+  } else {
+    bucket_heads_[old_valid] = blk.bucket_next;
+  }
+  if (blk.bucket_next >= 0) {
+    blocks_[static_cast<BlockId>(blk.bucket_next)].bucket_prev = blk.bucket_prev;
+  }
+  bucket_insert(b);
+}
+
+// ---------------------------------------------------------------------------
+// Page-level primitives.
+
+void Ftl::invalidate_ppn(Ppn ppn) {
+  const BlockId b = block_of(ppn);
+  Block& blk = blocks_[b];
+  assert(p2l_[ppn] != kInvalidLpn);
+  p2l_[ppn] = kInvalidLpn;
+  const std::uint16_t old_valid = blk.valid_count;
+  --blk.valid_count;
+  --valid_pages_;
+  if (blk.state == BlockState::kFull) {
+    bucket_move(b, old_valid);
+  }
+}
+
+BlockId Ftl::allocate_free_block(Frontier frontier) {
+  if (free_blocks_.empty()) {
+    if (config_.max_pe_cycles > 0 && retired_blocks_ > 0) {
+      throw DeviceWornOut();  // retirements consumed the spare pool
+    }
+    throw std::runtime_error(
+        "Ftl: free-block pool exhausted (device overfilled; check sizing)");
+  }
+  // Dynamic wear leveling: host/GC data goes to the least-worn free block;
+  // the static-WL frontier (cold data) goes to the most-worn free block so
+  // that worn blocks stop being recycled.
+  const auto it = frontier == Frontier::kWl ? std::prev(free_blocks_.end())
+                                            : free_blocks_.begin();
+  const BlockId b = it->second;
+  free_blocks_.erase(it);
+  Block& blk = blocks_[b];
+  blk.state = BlockState::kOpen;
+  blk.write_ptr = 0;
+  blk.alloc_seq = ++alloc_seq_;
+  return b;
+}
+
+void Ftl::retire_frontier_block(BlockId b) {
+  Block& blk = blocks_[b];
+  blk.state = BlockState::kFull;
+  bucket_insert(b);
+}
+
+Nanos Ftl::program_page(Lpn lpn, Frontier frontier) {
+  auto& frontier_block = frontier_[static_cast<std::size_t>(frontier)];
+  if (frontier_block == kInvalidBlock) {
+    frontier_block = allocate_free_block(frontier);
+  }
+  Block& blk = blocks_[frontier_block];
+  const Ppn ppn = block_first_ppn(frontier_block) + blk.write_ptr;
+  ++blk.write_ptr;
+  ++blk.valid_count;
+  ++valid_pages_;
+  p2l_[ppn] = lpn;
+  l2p_[lpn] = ppn;
+  if (blk.write_ptr == config_.pages_per_block) {
+    retire_frontier_block(frontier_block);
+    frontier_block = kInvalidBlock;
+  }
+  return config_.write_latency;
+}
+
+// ---------------------------------------------------------------------------
+// Victim selection.
+
+BlockId Ftl::choose_victim_greedy(bool wear_tiebreak) const {
+  for (std::uint32_t v = min_valid_hint_; v < bucket_heads_.size(); ++v) {
+    const std::int32_t head = bucket_heads_[v];
+    if (head < 0) continue;
+    // Within the lowest non-empty bucket pick the *oldest* block (FIFO).
+    // Buckets are LIFO-linked; taking the head would starve early entries
+    // and leave a tail of never-erased blocks. Wear-aware mode breaks ties
+    // on erase count instead, so worn blocks are recycled less often.
+    BlockId best = static_cast<BlockId>(head);
+    for (std::int32_t cur = head; cur >= 0;
+         cur = blocks_[static_cast<BlockId>(cur)].bucket_next) {
+      const auto b = static_cast<BlockId>(cur);
+      const bool better =
+          wear_tiebreak
+              ? blocks_[b].erase_count < blocks_[best].erase_count
+              : blocks_[b].alloc_seq < blocks_[best].alloc_seq;
+      if (better) best = b;
+    }
+    return best;
+  }
+  return kInvalidBlock;
+}
+
+BlockId Ftl::choose_victim_cost_benefit() const {
+  BlockId best = kInvalidBlock;
+  double best_score = -1.0;
+  const double ppb = static_cast<double>(config_.pages_per_block);
+  for (BlockId b = 0; b < config_.block_count; ++b) {
+    const Block& blk = blocks_[b];
+    if (blk.state != BlockState::kFull) continue;
+    const double u = static_cast<double>(blk.valid_count) / ppb;
+    const double age =
+        static_cast<double>(alloc_seq_ - blk.alloc_seq + 1);
+    const double score =
+        u >= 1.0 ? 0.0 : (1.0 - u) / (2.0 * std::max(u, 1e-9)) * age;
+    if (score > best_score) {
+      best_score = score;
+      best = b;
+    }
+  }
+  return best;
+}
+
+BlockId Ftl::choose_victim() const {
+  switch (config_.gc_policy) {
+    case GcVictimPolicy::kGreedy:
+      return choose_victim_greedy(/*wear_tiebreak=*/false);
+    case GcVictimPolicy::kWearAware:
+      return choose_victim_greedy(/*wear_tiebreak=*/true);
+    case GcVictimPolicy::kCostBenefit:
+      return choose_victim_cost_benefit();
+  }
+  return kInvalidBlock;
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection and static wear leveling.
+
+Nanos Ftl::relocate_and_erase(BlockId victim, Frontier dest) {
+  Block& blk = blocks_[victim];
+  bucket_remove(victim);
+  blk.state = BlockState::kOpen;  // transiently; not eligible as victim
+
+  Nanos latency = 0;
+  const Ppn first = block_first_ppn(victim);
+  const double ppb = static_cast<double>(config_.pages_per_block);
+  stats_.victim_utilization_sum +=
+      static_cast<double>(blk.valid_count) / ppb;
+  ++stats_.gc_invocations;
+
+  for (std::uint32_t i = 0; i < config_.pages_per_block; ++i) {
+    const Ppn ppn = first + i;
+    const Lpn lpn = p2l_[ppn];
+    if (lpn == kInvalidLpn) continue;
+    // Copy-back: read the valid page, program it at the dest frontier, then
+    // invalidate the source copy (program-first keeps the mapping valid if
+    // the device dies mid-relocation).
+    latency += config_.read_latency;
+    latency += program_page(lpn, dest);
+    p2l_[ppn] = kInvalidLpn;
+    --blk.valid_count;
+    --valid_pages_;
+    if (dest == Frontier::kWl) {
+      ++stats_.wl_page_copies;
+    } else {
+      ++stats_.gc_page_copies;
+    }
+  }
+
+  latency += config_.erase_latency;
+  ++blk.erase_count;
+  ++stats_.block_erases;
+  blk.write_ptr = 0;
+  blk.valid_count = 0;
+  if (config_.max_pe_cycles > 0 && blk.erase_count >= config_.max_pe_cycles) {
+    // End of this block's endurance: retire it instead of recycling.
+    blk.state = BlockState::kRetired;
+    ++retired_blocks_;
+  } else {
+    blk.state = BlockState::kFree;
+    free_blocks_.emplace(blk.erase_count, victim);
+  }
+  return latency;
+}
+
+Nanos Ftl::gc_once() {
+  const BlockId victim = choose_victim();
+  if (victim == kInvalidBlock) return 0;
+  // A fully-valid victim reclaims no space: erasing it would consume exactly
+  // as many frontier pages as it frees. Refuse rather than livelock; writes
+  // continue while any free blocks remain.
+  if (blocks_[victim].valid_count == config_.pages_per_block &&
+      !free_blocks_.empty()) {
+    return 0;
+  }
+  return relocate_and_erase(victim, Frontier::kGc);
+}
+
+Nanos Ftl::maybe_static_wl() {
+  if (config_.static_wl_delta == 0) return 0;
+  const std::uint32_t lo = min_block_erase();
+  const std::uint32_t hi = max_block_erase();
+  if (hi - lo < config_.static_wl_delta) return 0;
+
+  // Find the coldest full block: fewest erases, oldest data as tie-break.
+  BlockId coldest = kInvalidBlock;
+  for (BlockId b = 0; b < config_.block_count; ++b) {
+    const Block& blk = blocks_[b];
+    if (blk.state != BlockState::kFull) continue;
+    if (coldest == kInvalidBlock ||
+        blk.erase_count < blocks_[coldest].erase_count ||
+        (blk.erase_count == blocks_[coldest].erase_count &&
+         blk.alloc_seq < blocks_[coldest].alloc_seq)) {
+      coldest = b;
+    }
+  }
+  if (coldest == kInvalidBlock ||
+      blocks_[coldest].erase_count > lo + config_.static_wl_delta / 4) {
+    return 0;  // the cold data is not on a low-wear block; nothing to gain
+  }
+  // Move the cold data onto the most-worn free block (kWl frontier) so the
+  // low-wear block re-enters circulation.
+  return relocate_and_erase(coldest, Frontier::kWl);
+}
+
+// ---------------------------------------------------------------------------
+// Host-facing operations.
+
+bool Ftl::is_worn_out() const {
+  if (config_.max_pe_cycles == 0 || retired_blocks_ == 0) return false;
+  const std::uint32_t usable = config_.block_count - retired_blocks_;
+  const std::uint32_t needed_for_logical =
+      (config_.logical_pages() + config_.pages_per_block - 1) /
+      config_.pages_per_block;
+  // Keep room for the logical space, the GC watermark and the frontiers.
+  return usable < needed_for_logical + config_.gc_low_blocks() + 3;
+}
+
+WriteResult Ftl::write(Lpn lpn, StreamHint hint) {
+  if (lpn >= l2p_.size()) {
+    throw std::out_of_range("Ftl::write: lpn beyond logical capacity");
+  }
+  if (is_worn_out()) throw DeviceWornOut();
+  WriteResult result;
+  const std::uint64_t erases_before = stats_.block_erases;
+  const std::uint64_t copies_before =
+      stats_.gc_page_copies + stats_.wl_page_copies;
+
+  const Frontier frontier = hint == StreamHint::kHot    ? Frontier::kHostHot
+                            : hint == StreamHint::kCold ? Frontier::kHostCold
+                                                        : Frontier::kHost;
+  // Program the new copy first, then invalidate the old one: if the program
+  // throws (device worn out mid-operation) the previous mapping stays valid.
+  const Ppn old_ppn = l2p_[lpn];
+  result.latency += program_page(lpn, frontier);
+  if (old_ppn != kInvalidPpn) invalidate_ppn(old_ppn);
+  ++stats_.host_page_writes;
+
+  // On-demand GC: reclaim until the pool is back above the watermark. The
+  // stall is charged to this write, which is how GC degrades write latency.
+  if (!in_gc_) {
+    in_gc_ = true;
+    const std::uint32_t low = config_.gc_low_blocks();
+    while (free_block_count() < low) {
+      const Nanos gc_latency = gc_once();
+      if (gc_latency == 0) break;  // nothing reclaimable
+      result.latency += gc_latency;
+    }
+    result.latency += maybe_static_wl();
+    in_gc_ = false;
+  }
+
+  result.gc_erases =
+      static_cast<std::uint32_t>(stats_.block_erases - erases_before);
+  result.gc_copies = static_cast<std::uint32_t>(
+      stats_.gc_page_copies + stats_.wl_page_copies - copies_before);
+  stats_.total_write_latency += result.latency;
+  ++stats_.write_ops;
+  return result;
+}
+
+Nanos Ftl::read(Lpn lpn) {
+  if (lpn >= l2p_.size()) {
+    throw std::out_of_range("Ftl::read: lpn beyond logical capacity");
+  }
+  ++stats_.page_reads;
+  ++stats_.read_ops;
+  stats_.total_read_latency += config_.read_latency;
+  return config_.read_latency;
+}
+
+Nanos Ftl::background_gc(std::uint32_t max_victims,
+                         double free_target_fraction) {
+  if (in_gc_ || is_worn_out()) return 0;
+  const auto target = static_cast<std::uint32_t>(
+      free_target_fraction * static_cast<double>(config_.block_count));
+  Nanos total = 0;
+  in_gc_ = true;
+  for (std::uint32_t v = 0; v < max_victims && free_block_count() < target;
+       ++v) {
+    const Nanos latency = gc_once();
+    if (latency == 0) break;  // nothing profitably reclaimable
+    total += latency;
+  }
+  in_gc_ = false;
+  return total;
+}
+
+void Ftl::trim(Lpn lpn) {
+  if (lpn >= l2p_.size()) {
+    throw std::out_of_range("Ftl::trim: lpn beyond logical capacity");
+  }
+  if (l2p_[lpn] == kInvalidPpn) return;
+  invalidate_ppn(l2p_[lpn]);
+  l2p_[lpn] = kInvalidPpn;
+  ++stats_.page_trims;
+}
+
+bool Ftl::is_mapped(Lpn lpn) const {
+  return lpn < l2p_.size() && l2p_[lpn] != kInvalidPpn;
+}
+
+std::uint32_t Ftl::min_block_erase() const {
+  std::uint32_t lo = blocks_[0].erase_count;
+  for (const Block& b : blocks_) lo = std::min(lo, b.erase_count);
+  return lo;
+}
+
+std::uint32_t Ftl::max_block_erase() const {
+  std::uint32_t hi = blocks_[0].erase_count;
+  for (const Block& b : blocks_) hi = std::max(hi, b.erase_count);
+  return hi;
+}
+
+void Ftl::check_invariants() const {
+  std::uint64_t valid_total = 0;
+  for (BlockId b = 0; b < config_.block_count; ++b) {
+    const Block& blk = blocks_[b];
+    std::uint32_t valid_in_block = 0;
+    for (std::uint32_t i = 0; i < config_.pages_per_block; ++i) {
+      const Ppn ppn = block_first_ppn(b) + i;
+      const Lpn lpn = p2l_[ppn];
+      if (lpn == kInvalidLpn) continue;
+      ++valid_in_block;
+      if (l2p_[lpn] != ppn) {
+        throw std::logic_error("Ftl invariant: l2p/p2l mismatch");
+      }
+      if (i >= blk.write_ptr && blk.state != BlockState::kFree) {
+        throw std::logic_error("Ftl invariant: valid page beyond write_ptr");
+      }
+    }
+    if (valid_in_block != blk.valid_count) {
+      throw std::logic_error("Ftl invariant: valid_count mismatch");
+    }
+    if ((blk.state == BlockState::kFree || blk.state == BlockState::kRetired) &&
+        blk.valid_count != 0) {
+      throw std::logic_error("Ftl invariant: free/retired block with valid pages");
+    }
+    valid_total += valid_in_block;
+  }
+  if (valid_total != valid_pages_) {
+    throw std::logic_error("Ftl invariant: global valid page count mismatch");
+  }
+  // Every mapped lpn must round-trip.
+  for (Lpn l = 0; l < l2p_.size(); ++l) {
+    if (l2p_[l] != kInvalidPpn && p2l_[l2p_[l]] != l) {
+      throw std::logic_error("Ftl invariant: dangling l2p entry");
+    }
+  }
+}
+
+}  // namespace chameleon::flashsim

@@ -1,0 +1,127 @@
+#include "flashsim/local_log.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chameleon::flashsim {
+
+LocalLog::LocalLog(const SsdConfig& config) : ftl_(config) {
+  free_lpns_.reserve(256);
+}
+
+std::uint32_t LocalLog::pages_for_bytes(std::uint64_t bytes) const {
+  const std::uint64_t page = ftl_.config().page_size_bytes;
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  return pages == 0 ? 1u : static_cast<std::uint32_t>(pages);
+}
+
+Lpn LocalLog::allocate_lpn() {
+  if (!free_lpns_.empty()) {
+    const Lpn lpn = free_lpns_.back();
+    free_lpns_.pop_back();
+    return lpn;
+  }
+  if (next_fresh_lpn_ >= ftl_.config().logical_pages()) {
+    throw std::runtime_error(
+        "LocalLog: logical capacity exhausted (device sized too small for "
+        "the stored dataset)");
+  }
+  return next_fresh_lpn_++;
+}
+
+void LocalLog::release_lpn(Lpn lpn) {
+  ftl_.trim(lpn);
+  free_lpns_.push_back(lpn);
+}
+
+Nanos LocalLog::lane_parallel(const std::vector<Nanos>& page_latencies) const {
+  // Pages stripe round-robin across channels; each channel's lane runs
+  // serially, lanes run in parallel -> the operation completes when the
+  // busiest lane does.
+  const std::uint32_t channels = ftl_.config().channels;
+  if (channels <= 1) {
+    Nanos sum = 0;
+    for (const Nanos l : page_latencies) sum += l;
+    return sum;
+  }
+  std::vector<Nanos> lanes(channels, 0);
+  for (std::size_t i = 0; i < page_latencies.size(); ++i) {
+    lanes[i % channels] += page_latencies[i];
+  }
+  Nanos max_lane = 0;
+  for (const Nanos l : lanes) max_lane = std::max(max_lane, l);
+  return max_lane;
+}
+
+ObjectOpResult LocalLog::write_object(ObjectId oid, std::uint64_t bytes,
+                                      StreamHint hint) {
+  const std::uint32_t pages = pages_for_bytes(bytes);
+  ObjectOpResult result;
+  result.pages = pages;
+
+  auto [it, inserted] = extents_.try_emplace(oid);
+  std::vector<Lpn>& extent = it->second;
+
+  if (!inserted && extent.size() != pages) {
+    // Size change: out-of-place at the object layer too.
+    for (const Lpn lpn : extent) release_lpn(lpn);
+    stored_pages_ -= extent.size();
+    extent.clear();
+  }
+  if (extent.empty()) {
+    extent.reserve(pages);
+    for (std::uint32_t i = 0; i < pages; ++i) extent.push_back(allocate_lpn());
+    stored_pages_ += pages;
+  }
+  std::vector<Nanos> page_latencies;
+  page_latencies.reserve(extent.size());
+  for (const Lpn lpn : extent) {
+    page_latencies.push_back(ftl_.write(lpn, hint).latency);
+  }
+  result.latency = lane_parallel(page_latencies);
+  return result;
+}
+
+ObjectOpResult LocalLog::read_object(ObjectId oid) {
+  const auto it = extents_.find(oid);
+  if (it == extents_.end()) {
+    throw std::out_of_range("LocalLog::read_object: unknown object");
+  }
+  ObjectOpResult result;
+  result.pages = static_cast<std::uint32_t>(it->second.size());
+  std::vector<Nanos> page_latencies;
+  page_latencies.reserve(it->second.size());
+  for (const Lpn lpn : it->second) {
+    page_latencies.push_back(ftl_.read(lpn));
+  }
+  result.latency = lane_parallel(page_latencies);
+  return result;
+}
+
+std::uint32_t LocalLog::remove_object(ObjectId oid) {
+  const auto it = extents_.find(oid);
+  if (it == extents_.end()) return 0;
+  const auto pages = static_cast<std::uint32_t>(it->second.size());
+  for (const Lpn lpn : it->second) release_lpn(lpn);
+  stored_pages_ -= pages;
+  extents_.erase(it);
+  return pages;
+}
+
+std::size_t LocalLog::remove_all_objects() {
+  const std::size_t count = extents_.size();
+  for (auto& [oid, extent] : extents_) {
+    for (const Lpn lpn : extent) release_lpn(lpn);
+  }
+  stored_pages_ = 0;
+  extents_.clear();
+  return count;
+}
+
+std::uint32_t LocalLog::object_pages(ObjectId oid) const {
+  const auto it = extents_.find(oid);
+  return it == extents_.end() ? 0
+                              : static_cast<std::uint32_t>(it->second.size());
+}
+
+}  // namespace chameleon::flashsim

@@ -1,0 +1,26 @@
+#include "flashsim/ssd_config.hpp"
+
+#include <cmath>
+
+namespace chameleon::flashsim {
+
+SsdConfig SsdConfig::sized_for(std::uint64_t bytes, double target_utilization) {
+  if (target_utilization <= 0.0 || target_utilization > 0.95) {
+    throw std::invalid_argument("sized_for: target_utilization out of (0,0.95]");
+  }
+  SsdConfig cfg;
+  const double logical_bytes_needed =
+      static_cast<double>(bytes) / target_utilization;
+  const double block_bytes =
+      static_cast<double>(cfg.page_size_bytes) * cfg.pages_per_block;
+  const double usable_blocks = logical_bytes_needed / block_bytes;
+  const double physical_blocks = usable_blocks / (1.0 - cfg.over_provision);
+  cfg.block_count =
+      static_cast<std::uint32_t>(std::ceil(physical_blocks)) + 1;
+  // Keep a sane floor so the GC watermark math works for tiny experiments.
+  if (cfg.block_count < 64) cfg.block_count = 64;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace chameleon::flashsim

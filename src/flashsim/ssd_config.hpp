@@ -1,0 +1,92 @@
+// Device geometry and timing parameters for the simulated SSD.
+// Defaults reproduce Table II of the paper exactly: 4KB pages, 256KB blocks,
+// 25us read / 200us program / 1.5ms erase, 15% over-provisioned space.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace chameleon::flashsim {
+
+/// Victim-block selection policy used by garbage collection.
+enum class GcVictimPolicy : std::uint8_t {
+  kGreedy,       ///< fewest valid pages (paper/FlashSim default)
+  kCostBenefit,  ///< maximize (1-u)/(2u) * age (Rosenblum-style)
+  kWearAware,    ///< greedy valid count, tie-break on lowest erase count
+};
+
+struct SsdConfig {
+  std::uint32_t page_size_bytes = 4096;
+  std::uint32_t pages_per_block = 64;  ///< 64 * 4KB = 256KB blocks
+  std::uint32_t block_count = 1024;
+  double over_provision = 0.15;  ///< fraction of physical space hidden from host
+
+  Nanos read_latency = 25 * kMicrosecond;
+  Nanos write_latency = 200 * kMicrosecond;
+  Nanos erase_latency = 1'500 * kMicrosecond;
+
+  /// GC starts when the free-block pool drops below this fraction of blocks.
+  double gc_low_watermark = 0.05;
+  GcVictimPolicy gc_policy = GcVictimPolicy::kGreedy;
+
+  /// Static wear leveling: relocate cold blocks once the in-device erase
+  /// spread (max - min over blocks) exceeds this many cycles. 0 disables.
+  std::uint32_t static_wl_delta = 96;
+
+  /// Independent flash channels: pages of one multi-page operation are
+  /// striped across channels and proceed in parallel (the operation's
+  /// latency is the busiest channel's lane). 1 = fully serial device.
+  std::uint32_t channels = 1;
+
+  /// Endurance limit: a block that reaches this many P/E cycles is retired
+  /// as a bad block (typical MLC NAND: ~3000). 0 disables wear-out, which
+  /// is the default for the paper's experiments — they measure erase
+  /// *counts*, not device death. The lifetime analysis bench enables it.
+  std::uint32_t max_pe_cycles = 0;
+
+  /// Number of physical pages.
+  std::uint64_t physical_pages() const {
+    return static_cast<std::uint64_t>(block_count) * pages_per_block;
+  }
+
+  /// Host-visible logical pages (physical minus over-provisioned space).
+  std::uint32_t logical_pages() const {
+    const auto usable_blocks = static_cast<std::uint32_t>(
+        static_cast<double>(block_count) * (1.0 - over_provision));
+    return usable_blocks * pages_per_block;
+  }
+
+  std::uint64_t logical_bytes() const {
+    return static_cast<std::uint64_t>(logical_pages()) * page_size_bytes;
+  }
+
+  /// Free-block count at/below which GC runs.
+  std::uint32_t gc_low_blocks() const {
+    const auto b = static_cast<std::uint32_t>(
+        static_cast<double>(block_count) * gc_low_watermark);
+    return b < 2 ? 2 : b;
+  }
+
+  void validate() const {
+    if (pages_per_block == 0 || block_count == 0 || page_size_bytes == 0) {
+      throw std::invalid_argument("SsdConfig: zero geometry");
+    }
+    if (channels == 0) {
+      throw std::invalid_argument("SsdConfig: channels must be >= 1");
+    }
+    if (over_provision <= 0.0 || over_provision >= 0.9) {
+      throw std::invalid_argument("SsdConfig: over_provision out of (0, 0.9)");
+    }
+    if (block_count < 8 || gc_low_blocks() >= block_count / 2) {
+      throw std::invalid_argument("SsdConfig: too few blocks for GC watermark");
+    }
+  }
+
+  /// Convenience: smallest config whose logical space holds `bytes` at the
+  /// given target utilization, keeping the default 15% over-provisioning.
+  static SsdConfig sized_for(std::uint64_t bytes, double target_utilization);
+};
+
+}  // namespace chameleon::flashsim

@@ -1,0 +1,55 @@
+// Cumulative device counters. Monitors compute per-epoch deltas by
+// snapshotting these; nothing here is reset during a run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace chameleon::flashsim {
+
+struct SsdStats {
+  std::uint64_t host_page_writes = 0;  ///< pages written on behalf of the host
+  std::uint64_t gc_page_copies = 0;    ///< valid pages relocated by GC
+  std::uint64_t wl_page_copies = 0;    ///< valid pages relocated by static WL
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_trims = 0;
+  std::uint64_t block_erases = 0;   ///< total erase operations (wear metric)
+  std::uint64_t gc_invocations = 0; ///< victim selections (GC + static WL)
+
+  /// Sum over victims of their valid-page utilization at collection time;
+  /// divide by gc_invocations for the mean victim utilization "mu" of Eq 2.
+  double victim_utilization_sum = 0.0;
+
+  Nanos total_write_latency = 0;  ///< host write latency incl. GC stalls
+  Nanos total_read_latency = 0;
+  std::uint64_t write_ops = 0;  ///< host write operations (page granularity)
+  std::uint64_t read_ops = 0;
+
+  /// Write amplification: total pages programmed / host pages programmed.
+  double write_amplification() const {
+    return host_page_writes == 0
+               ? 1.0
+               : static_cast<double>(host_page_writes + gc_page_copies +
+                                     wl_page_copies) /
+                     static_cast<double>(host_page_writes);
+  }
+
+  double avg_victim_utilization() const {
+    return gc_invocations == 0
+               ? 0.0
+               : victim_utilization_sum / static_cast<double>(gc_invocations);
+  }
+
+  Nanos avg_write_latency() const {
+    return write_ops == 0 ? 0
+                          : total_write_latency / static_cast<Nanos>(write_ops);
+  }
+
+  Nanos avg_read_latency() const {
+    return read_ops == 0 ? 0
+                         : total_read_latency / static_cast<Nanos>(read_ops);
+  }
+};
+
+}  // namespace chameleon::flashsim

@@ -1,0 +1,240 @@
+#include "fs/file_system.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace chameleon::fs {
+
+namespace {
+
+std::string serialize_stat(const FileStat& st) {
+  std::ostringstream os;
+  os << st.size << '|' << st.chunk_bytes << '|' << st.created << '|'
+     << st.modified;
+  return os.str();
+}
+
+FileStat deserialize_stat(const std::string& path, const std::string& body) {
+  FileStat st;
+  st.path = path;
+  char sep = 0;
+  std::istringstream is(body);
+  is >> st.size >> sep >> st.chunk_bytes >> sep >> st.created >> sep >>
+      st.modified;
+  if (!is || st.chunk_bytes == 0) {
+    throw std::runtime_error("ChameleonFs: corrupt inode for " + path);
+  }
+  return st;
+}
+
+}  // namespace
+
+ChameleonFs::ChameleonFs(kv::KvStore& store, std::uint32_t chunk_bytes)
+    : store_(store), client_(store), chunk_bytes_(chunk_bytes) {
+  if (chunk_bytes_ == 0) {
+    throw std::invalid_argument("ChameleonFs: chunk_bytes must be > 0");
+  }
+  store_.enable_payloads();
+}
+
+std::string ChameleonFs::inode_key(const std::string& path) {
+  return "fs:inode:" + path;
+}
+
+std::string ChameleonFs::chunk_key(const std::string& path,
+                                   std::uint64_t index) {
+  return "fs:data:" + path + ":" + std::to_string(index);
+}
+
+FileStat ChameleonFs::load_inode(const std::string& path) const {
+  if (!client_.contains(inode_key(path))) {
+    throw std::out_of_range("ChameleonFs: no such file: " + path);
+  }
+  return deserialize_stat(path, client_.get_string(inode_key(path)));
+}
+
+void ChameleonFs::store_inode(const FileStat& st, Epoch now) {
+  client_.put(inode_key(st.path), serialize_stat(st), now);
+}
+
+std::vector<std::string> ChameleonFs::load_directory() const {
+  std::vector<std::string> paths;
+  if (!client_.contains(kDirectoryKey)) return paths;
+  const std::string body = client_.get_string(kDirectoryKey);
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) paths.push_back(line);
+  }
+  return paths;
+}
+
+void ChameleonFs::store_directory(const std::vector<std::string>& paths,
+                                  Epoch now) {
+  std::ostringstream os;
+  for (const auto& p : paths) os << p << '\n';
+  client_.put(kDirectoryKey, os.str(), now);
+}
+
+bool ChameleonFs::create(const std::string& path, Epoch now) {
+  if (path.empty()) {
+    throw std::invalid_argument("ChameleonFs: empty path");
+  }
+  if (exists(path)) return false;
+  FileStat st;
+  st.path = path;
+  st.size = 0;
+  st.chunk_bytes = chunk_bytes_;
+  st.created = now;
+  st.modified = now;
+  store_inode(st, now);
+  auto dir = load_directory();
+  dir.push_back(path);
+  std::sort(dir.begin(), dir.end());
+  store_directory(dir, now);
+  return true;
+}
+
+bool ChameleonFs::exists(const std::string& path) const {
+  return client_.contains(inode_key(path));
+}
+
+bool ChameleonFs::unlink(const std::string& path) {
+  if (!exists(path)) return false;
+  const FileStat st = load_inode(path);
+  for (std::uint64_t c = 0; c < st.chunk_count(); ++c) {
+    client_.remove(chunk_key(path, c));
+  }
+  client_.remove(inode_key(path));
+  auto dir = load_directory();
+  dir.erase(std::remove(dir.begin(), dir.end(), path), dir.end());
+  store_directory(dir, 0);
+  return true;
+}
+
+std::vector<std::string> ChameleonFs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& p : load_directory()) {
+    if (p.rfind(prefix, 0) == 0) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<FileStat> ChameleonFs::stat(const std::string& path) const {
+  if (!exists(path)) return std::nullopt;
+  return load_inode(path);
+}
+
+std::vector<std::uint8_t> ChameleonFs::load_chunk(const FileStat& st,
+                                                  std::uint64_t index,
+                                                  Epoch now) {
+  const std::string key = chunk_key(st.path, index);
+  std::vector<std::uint8_t> bytes;
+  if (client_.contains(key)) {
+    bytes = client_.get(key, now);
+  }
+  // Nominal size of this chunk given the file size (tail may be short).
+  const std::uint64_t start = index * st.chunk_bytes;
+  const std::uint64_t nominal =
+      st.size > start ? std::min<std::uint64_t>(st.chunk_bytes, st.size - start)
+                      : 0;
+  if (bytes.size() < nominal) bytes.resize(nominal, 0);  // sparse gap
+  return bytes;
+}
+
+void ChameleonFs::store_chunk(const FileStat& st, std::uint64_t index,
+                              std::vector<std::uint8_t> bytes, Epoch now) {
+  client_.put(chunk_key(st.path, index), bytes, now);
+}
+
+void ChameleonFs::write(const std::string& path, std::uint64_t offset,
+                        std::span<const std::uint8_t> data, Epoch now) {
+  if (!exists(path)) create(path, now);
+  FileStat st = load_inode(path);
+
+  const std::uint64_t end = offset + data.size();
+  std::uint64_t written = 0;
+  for (std::uint64_t pos = offset; pos < end;) {
+    const std::uint64_t index = pos / st.chunk_bytes;
+    const std::uint64_t in_chunk = pos % st.chunk_bytes;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(st.chunk_bytes - in_chunk, end - pos);
+
+    // Grow the logical size first so load_chunk zero-fills correctly.
+    st.size = std::max(st.size, pos + take);
+    auto chunk = load_chunk(st, index, now);
+    if (chunk.size() < in_chunk + take) chunk.resize(in_chunk + take, 0);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(written), take,
+                chunk.begin() + static_cast<std::ptrdiff_t>(in_chunk));
+    store_chunk(st, index, std::move(chunk), now);
+
+    pos += take;
+    written += take;
+  }
+  st.modified = now;
+  store_inode(st, now);
+}
+
+void ChameleonFs::write(const std::string& path, std::uint64_t offset,
+                        std::string_view data, Epoch now) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data.data());
+  write(path, offset, std::span<const std::uint8_t>(p, data.size()), now);
+}
+
+std::vector<std::uint8_t> ChameleonFs::read(const std::string& path,
+                                            std::uint64_t offset,
+                                            std::uint64_t length, Epoch now) {
+  const FileStat st = load_inode(path);
+  if (offset >= st.size) return {};
+  const std::uint64_t end = std::min(st.size, offset + length);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(end - offset);
+  for (std::uint64_t pos = offset; pos < end;) {
+    const std::uint64_t index = pos / st.chunk_bytes;
+    const std::uint64_t in_chunk = pos % st.chunk_bytes;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(st.chunk_bytes - in_chunk, end - pos);
+    const auto chunk = load_chunk(st, index, now);
+    for (std::uint64_t i = 0; i < take; ++i) {
+      out.push_back(in_chunk + i < chunk.size()
+                        ? chunk[in_chunk + i]
+                        : std::uint8_t{0});
+    }
+    pos += take;
+  }
+  return out;
+}
+
+std::string ChameleonFs::read_string(const std::string& path, Epoch now) {
+  const FileStat st = load_inode(path);
+  const auto bytes = read(path, 0, st.size, now);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void ChameleonFs::truncate(const std::string& path, std::uint64_t new_size,
+                           Epoch now) {
+  FileStat st = load_inode(path);
+  if (new_size == st.size) return;
+
+  if (new_size < st.size) {
+    const std::uint64_t keep_chunks =
+        (new_size + st.chunk_bytes - 1) / st.chunk_bytes;
+    for (std::uint64_t c = keep_chunks; c < st.chunk_count(); ++c) {
+      client_.remove(chunk_key(path, c));
+    }
+    // Trim the (possibly partial) tail chunk.
+    if (new_size % st.chunk_bytes != 0 && keep_chunks > 0) {
+      const std::uint64_t tail = keep_chunks - 1;
+      auto chunk = load_chunk(st, tail, now);
+      chunk.resize(new_size % st.chunk_bytes);
+      store_chunk(st, tail, std::move(chunk), now);
+    }
+  }
+  st.size = new_size;  // growth is sparse: gaps read back as zeroes
+  st.modified = now;
+  store_inode(st, now);
+}
+
+}  // namespace chameleon::fs

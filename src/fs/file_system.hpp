@@ -1,0 +1,89 @@
+// A small distributed file system layered on the Chameleon KV store — the
+// integration the paper names as future work ("integrate Chameleon to other
+// distributed storage types such as distributed file systems"). Files are
+// chunked into fixed-size objects placed (and wear-balanced) like any other
+// Chameleon data: inodes and directory listings are themselves KV objects,
+// so the whole namespace inherits REP/EC redundancy, lazy transitions and
+// repair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "kv/client.hpp"
+
+namespace chameleon::fs {
+
+struct FileStat {
+  std::string path;
+  std::uint64_t size = 0;
+  std::uint32_t chunk_bytes = 0;
+  Epoch created = 0;
+  Epoch modified = 0;
+
+  std::uint64_t chunk_count() const {
+    return chunk_bytes == 0 ? 0 : (size + chunk_bytes - 1) / chunk_bytes;
+  }
+};
+
+class ChameleonFs {
+ public:
+  /// `store` must outlive the file system. Payloads are enabled on it.
+  explicit ChameleonFs(kv::KvStore& store,
+                       std::uint32_t chunk_bytes = 256 * 1024);
+
+  // --- namespace -----------------------------------------------------------
+  /// Create an empty file. Returns false if it already exists.
+  bool create(const std::string& path, Epoch now = 0);
+  bool exists(const std::string& path) const;
+  /// Remove a file and all its chunks. Returns false if absent.
+  bool unlink(const std::string& path);
+  /// Paths starting with `prefix`, sorted.
+  std::vector<std::string> list(const std::string& prefix = "") const;
+  std::optional<FileStat> stat(const std::string& path) const;
+
+  // --- data ----------------------------------------------------------------
+  /// Write `data` at `offset`, extending the file as needed (gaps read back
+  /// as zeroes). Creates the file if it does not exist.
+  void write(const std::string& path, std::uint64_t offset,
+             std::span<const std::uint8_t> data, Epoch now = 0);
+  void write(const std::string& path, std::uint64_t offset,
+             std::string_view data, Epoch now = 0);
+
+  /// Read up to `length` bytes at `offset` (short reads at EOF).
+  std::vector<std::uint8_t> read(const std::string& path,
+                                 std::uint64_t offset, std::uint64_t length,
+                                 Epoch now = 0);
+  std::string read_string(const std::string& path, Epoch now = 0);
+
+  /// Grow (zero-fill) or shrink the file to `new_size`.
+  void truncate(const std::string& path, std::uint64_t new_size,
+                Epoch now = 0);
+
+  std::uint32_t chunk_bytes() const { return chunk_bytes_; }
+
+ private:
+  static std::string inode_key(const std::string& path);
+  static std::string chunk_key(const std::string& path, std::uint64_t index);
+  static constexpr const char* kDirectoryKey = "fs:/directory";
+
+  FileStat load_inode(const std::string& path) const;
+  void store_inode(const FileStat& st, Epoch now);
+  std::vector<std::string> load_directory() const;
+  void store_directory(const std::vector<std::string>& paths, Epoch now);
+
+  /// Fetch chunk `index` of `path`, zero-filled to its nominal size.
+  std::vector<std::uint8_t> load_chunk(const FileStat& st,
+                                       std::uint64_t index, Epoch now);
+  void store_chunk(const FileStat& st, std::uint64_t index,
+                   std::vector<std::uint8_t> bytes, Epoch now);
+
+  kv::KvStore& store_;
+  mutable kv::Client client_;
+  std::uint32_t chunk_bytes_;
+};
+
+}  // namespace chameleon::fs

@@ -1,0 +1,41 @@
+#include "kv/client.hpp"
+
+namespace chameleon::kv {
+
+OpResult Client::put(std::string_view key, std::span<const std::uint8_t> value,
+                     Epoch now) {
+  store_.enable_payloads();
+  return store_.put_value(object_id(key), value, now);
+}
+
+OpResult Client::put(std::string_view key, std::string_view value, Epoch now) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(value.data());
+  return put(key, std::span<const std::uint8_t>(data, value.size()), now);
+}
+
+std::vector<std::uint8_t> Client::get(std::string_view key, Epoch now,
+                                      const std::set<ServerId>& down) {
+  return store_.get_value(object_id(key), now, down);
+}
+
+std::string Client::get_string(std::string_view key, Epoch now,
+                               const std::set<ServerId>& down) {
+  const auto bytes = get(key, now, down);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+bool Client::remove(std::string_view key) {
+  return store_.remove(object_id(key));
+}
+
+bool Client::contains(std::string_view key) const {
+  return store_.table().exists(object_id(key));
+}
+
+std::optional<meta::RedState> Client::state_of(std::string_view key) const {
+  const auto m = store_.table().get(object_id(key));
+  if (!m) return std::nullopt;
+  return m->state;
+}
+
+}  // namespace chameleon::kv

@@ -1,0 +1,52 @@
+// The Chameleon client library (paper §III-A / §IV-A): the application-
+// facing API for reading and writing data to the flash cluster, with the
+// choice of REP or EC as the initial redundancy policy. Keys are strings,
+// hashed to ObjectIds with FNV-1a, placed by the cluster's consistent ring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fnv.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::kv {
+
+class Client {
+ public:
+  /// `store` must outlive the client. Payloads are enabled on the store the
+  /// first time a payload-carrying call is made.
+  explicit Client(KvStore& store) : store_(store) {}
+
+  static ObjectId object_id(std::string_view key) { return fnv1a64(key); }
+
+  /// Store a value under `key`. Returns the operation latency.
+  OpResult put(std::string_view key, std::span<const std::uint8_t> value,
+               Epoch now = 0);
+  OpResult put(std::string_view key, std::string_view value, Epoch now = 0);
+
+  /// Fetch the value of `key`; `down` lists unavailable servers for
+  /// degraded reads. Throws std::out_of_range for unknown keys.
+  std::vector<std::uint8_t> get(std::string_view key, Epoch now = 0,
+                                const std::set<ServerId>& down = {});
+  std::string get_string(std::string_view key, Epoch now = 0,
+                         const std::set<ServerId>& down = {});
+
+  bool remove(std::string_view key);
+  bool contains(std::string_view key) const;
+
+  /// Current redundancy state of a key (for observability/examples).
+  std::optional<meta::RedState> state_of(std::string_view key) const;
+
+  KvStore& store() { return store_; }
+
+ private:
+  KvStore& store_;
+};
+
+}  // namespace chameleon::kv

@@ -1,0 +1,442 @@
+#include "kv/kv_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::kv {
+
+using meta::ObjectMeta;
+using meta::RedState;
+using meta::ServerSet;
+
+KvStore::KvStore(cluster::Cluster& cluster, meta::MappingTable& table,
+                 const KvConfig& config)
+    : cluster_(cluster),
+      table_(table),
+      config_(config),
+      codec_(config.ec_total, config.ec_data) {
+  if (config_.replicas == 0) {
+    throw std::invalid_argument("KvConfig: bad redundancy parameters");
+  }
+  if (config_.replicas > meta::ServerSet::capacity() ||
+      config_.ec_total > meta::ServerSet::capacity()) {
+    throw std::invalid_argument(
+        "KvConfig: redundancy set exceeds ServerSet inline capacity");
+  }
+  if (cluster_.size() < std::max(config_.replicas, config_.ec_total)) {
+    throw std::invalid_argument("KvStore: cluster smaller than redundancy set");
+  }
+}
+
+void KvStore::enable_payloads() {
+  if (!payloads_) payloads_ = std::make_unique<PayloadStore>();
+}
+
+ServerSet KvStore::place(ObjectId oid, RedState scheme) const {
+  const std::size_t n = scheme == RedState::kRep ? config_.replicas
+                                                 : config_.ec_total;
+  const auto servers = cluster_.ring().successors(placement_hash(oid), n);
+  ServerSet out;
+  for (const ServerId s : servers) out.push_back(s);
+  return out;
+}
+
+std::uint64_t KvStore::fragment_bytes(std::uint64_t object_bytes,
+                                      RedState scheme) const {
+  if (scheme == RedState::kRep) return object_bytes;
+  return config_.stripe_geometry(cluster_.ssd_config().page_size_bytes)
+      .shard_bytes(object_bytes);
+}
+
+KvStore::FragmentPayloads KvStore::shard_payload(
+    const std::vector<std::uint8_t>& value, RedState scheme) const {
+  if (scheme == RedState::kRep) {
+    return FragmentPayloads(config_.replicas, value);
+  }
+  return codec_.encode_object(value);
+}
+
+flashsim::StreamHint KvStore::stream_hint(double heat) const {
+  if (!config_.multi_stream) return flashsim::StreamHint::kDefault;
+  return heat >= config_.hot_stream_threshold ? flashsim::StreamHint::kHot
+                                              : flashsim::StreamHint::kCold;
+}
+
+Nanos KvStore::write_fragments(ObjectId oid, std::uint64_t bytes,
+                               RedState scheme, const ServerSet& servers,
+                               std::uint32_t version,
+                               const FragmentPayloads* payloads,
+                               flashsim::StreamHint hint) {
+  if (servers.size() != fragments_of(scheme)) {
+    throw std::invalid_argument(
+        "KvStore::write_fragments: wrong fragment-set size for scheme");
+  }
+  const std::uint64_t frag_bytes = fragment_bytes(bytes, scheme);
+  Nanos latency = 0;  // fragments are written in parallel -> take the max
+  for (std::uint32_t i = 0; i < servers.size(); ++i) {
+    const auto key = cluster::fragment_key(oid, version, i);
+    const Nanos l =
+        cluster_.server(servers[i]).write_fragment(key, frag_bytes, hint);
+    latency = std::max(latency, l);
+    if (payloads_ && payloads != nullptr) {
+      payloads_->store(servers[i], key, (*payloads)[i]);
+    }
+  }
+  return latency;
+}
+
+void KvStore::remove_fragments(ObjectId oid, RedState scheme,
+                               const ServerSet& servers,
+                               std::uint32_t version) {
+  (void)scheme;
+  for (std::uint32_t i = 0; i < servers.size(); ++i) {
+    const auto key = cluster::fragment_key(oid, version, i);
+    cluster_.server(servers[i]).remove_fragment(key);
+    if (payloads_) payloads_->erase(servers[i], key);
+  }
+}
+
+Nanos KvStore::network_fanout(std::uint64_t bytes, RedState scheme,
+                              cluster::Traffic traffic) {
+  Nanos latency = cluster_.network().transfer(traffic, bytes);
+  if (scheme == RedState::kRep) {
+    latency = std::max(latency,
+                       cluster_.network().transfer(
+                           cluster::Traffic::kReplication,
+                           bytes * (config_.replicas - 1)));
+  } else {
+    const std::uint64_t shard = fragment_bytes(bytes, RedState::kEc);
+    latency = std::max(latency,
+                       cluster_.network().transfer(
+                           cluster::Traffic::kEcDistribution,
+                           shard * (config_.ec_total - 1)));
+  }
+  return latency;
+}
+
+OpResult KvStore::put(ObjectId oid, std::uint64_t bytes, Epoch now) {
+  return put_impl(oid, bytes, now, nullptr);
+}
+
+OpResult KvStore::put_value(ObjectId oid, std::span<const std::uint8_t> value,
+                            Epoch now) {
+  if (!payloads_) {
+    throw std::logic_error("KvStore::put_value: payloads not enabled");
+  }
+  const std::vector<std::uint8_t> copy(value.begin(), value.end());
+  return put_impl(oid, copy.size(), now, &copy);
+}
+
+OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
+                           const std::vector<std::uint8_t>* value) {
+  OpResult result;
+
+  auto existing = table_.get(oid);
+  if (!existing) {
+    ObjectMeta m;
+    m.oid = oid;
+    m.size_bytes = bytes;
+    m.state = config_.initial_scheme;
+    m.placement_version = 0;
+    m.src = place(oid, m.state);
+    m.state_since = now;
+    m.heat_epoch = now;
+    m.note_write(now);
+    if (!table_.create(m)) {
+      throw std::logic_error("KvStore::put: concurrent create");
+    }
+    FragmentPayloads frags;
+    if (value != nullptr) frags = shard_payload(*value, m.state);
+    result.latency = write_fragments(oid, bytes, m.state, m.src, 0,
+                                     value ? &frags : nullptr,
+                                     stream_hint(m.heat(now)));
+    result.latency +=
+        network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
+    result.state = m.state;
+    return result;
+  }
+
+  ObjectMeta m = *existing;
+  m.note_write(now);
+  m.size_bytes = bytes;
+
+  // A destination that has filled up since the transition was scheduled
+  // cancels the move: the update is applied in place instead.
+  if (meta::is_intermediate(m.state)) {
+    for (const ServerId s : m.dst) {
+      if (!m.src.contains(s) &&
+          cluster_.server(s).logical_utilization() > config_.dst_space_guard) {
+        m.state = meta::current_scheme(m.state);
+        m.dst.clear();
+        m.state_since = now;
+        break;
+      }
+    }
+  }
+
+  if (meta::is_intermediate(m.state)) {
+    // Lazy transition: this very update materializes the pending scheme on
+    // the destination servers; the old fragments are merely invalidated
+    // (trim — no flash writes), which is the EWO/late-REP/late-EC payoff.
+    const RedState old_scheme = meta::current_scheme(m.state);
+    const RedState new_scheme = meta::target_scheme(m.state);
+    const std::uint32_t new_version = m.placement_version + 1;
+    FragmentPayloads frags;
+    if (value != nullptr) frags = shard_payload(*value, new_scheme);
+    result.latency = write_fragments(oid, bytes, new_scheme, m.dst,
+                                     new_version, value ? &frags : nullptr,
+                                     stream_hint(m.heat(now)));
+    remove_fragments(oid, old_scheme, m.src, m.placement_version);
+    m.src = m.dst;
+    m.dst.clear();
+    m.state = new_scheme;
+    m.placement_version = new_version;
+    m.state_since = now;
+    result.converted = true;
+  } else {
+    FragmentPayloads frags;
+    if (value != nullptr) frags = shard_payload(*value, m.state);
+    result.latency = write_fragments(oid, bytes, m.state, m.src,
+                                     m.placement_version,
+                                     value ? &frags : nullptr,
+                                     stream_hint(m.heat(now)));
+  }
+  result.latency +=
+      network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
+  result.state = m.state;
+
+  table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  return result;
+}
+
+Nanos KvStore::read_fragments_for_object(const ObjectMeta& m) {
+  const RedState scheme = meta::current_scheme(m.state);
+  Nanos latency = 0;
+  if (scheme == RedState::kRep) {
+    // Any replica holds the whole object; rotate deterministically.
+    const std::uint32_t i = static_cast<std::uint32_t>(m.oid % m.src.size());
+    latency = cluster_.server(m.src[i])
+                  .read_fragment(
+                      cluster::fragment_key(m.oid, m.placement_version, i));
+  } else {
+    // Read the k data shards in parallel; parity only on degraded reads.
+    for (std::uint32_t i = 0; i < config_.ec_data; ++i) {
+      latency = std::max(
+          latency, cluster_.server(m.src[i])
+                       .read_fragment(cluster::fragment_key(
+                           m.oid, m.placement_version, i)));
+    }
+  }
+  return latency;
+}
+
+OpResult KvStore::get(ObjectId oid, Epoch now) {
+  (void)now;  // reads do not contribute to write heat (Eq 1 counts writes)
+  const auto existing = table_.get(oid);
+  if (!existing) {
+    throw std::out_of_range("KvStore::get: unknown object");
+  }
+  OpResult result;
+  result.state = existing->state;
+  // Intermediate states: the source array still holds the latest bytes
+  // (paper Fig 3 / §III-C); read_fragments_for_object reads from src.
+  result.latency = read_fragments_for_object(*existing);
+  result.latency += cluster_.network().transfer(cluster::Traffic::kClientRead,
+                                                existing->size_bytes);
+  return result;
+}
+
+OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
+                               const std::set<ServerId>& down) {
+  (void)now;
+  const auto existing = table_.get(oid);
+  if (!existing) {
+    throw std::out_of_range("KvStore::get_degraded: unknown object");
+  }
+  const ObjectMeta& m = *existing;
+  const RedState scheme = meta::current_scheme(m.state);
+  OpResult result;
+  result.state = m.state;
+
+  if (scheme == RedState::kRep) {
+    bool served = false;
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      const std::uint32_t idx =
+          static_cast<std::uint32_t>((m.oid + i) % m.src.size());
+      if (down.contains(m.src[idx])) continue;
+      result.latency = cluster_.server(m.src[idx])
+                           .read_fragment(cluster::fragment_key(
+                               m.oid, m.placement_version, idx));
+      served = true;
+      break;
+    }
+    if (!served) {
+      throw std::runtime_error("KvStore::get_degraded: all replicas down");
+    }
+  } else {
+    // Gather any k live shards; using a parity shard costs a decode pass.
+    std::size_t gathered = 0;
+    bool used_parity = false;
+    for (std::uint32_t i = 0; i < m.src.size() && gathered < config_.ec_data;
+         ++i) {
+      if (down.contains(m.src[i])) continue;
+      result.latency = std::max(
+          result.latency,
+          cluster_.server(m.src[i])
+              .read_fragment(
+                  cluster::fragment_key(m.oid, m.placement_version, i)));
+      if (i >= config_.ec_data) used_parity = true;
+      ++gathered;
+    }
+    if (gathered < config_.ec_data) {
+      throw std::runtime_error(
+          "KvStore::get_degraded: fewer than k shards survive");
+    }
+    if (used_parity) {
+      result.latency += static_cast<Nanos>(
+          config_.decode_ns_per_byte * static_cast<double>(m.size_bytes));
+    }
+  }
+  result.latency += cluster_.network().transfer(cluster::Traffic::kClientRead,
+                                                m.size_bytes);
+  return result;
+}
+
+std::vector<std::uint8_t> KvStore::gather_value(
+    const ObjectMeta& m, const std::set<ServerId>& down) const {
+  if (!payloads_) {
+    throw std::logic_error("KvStore::gather_value: payloads not enabled");
+  }
+  const RedState scheme = meta::current_scheme(m.state);
+  if (scheme == RedState::kRep) {
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      if (down.contains(m.src[i])) continue;
+      const auto bytes = payloads_->load(
+          m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+      if (bytes) return *bytes;
+    }
+    throw std::runtime_error("KvStore: all replicas unavailable");
+  }
+  // EC: collect surviving shards, reconstruct if any data shard is missing.
+  std::vector<std::optional<std::vector<std::uint8_t>>> shards(
+      config_.ec_total);
+  for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+    if (down.contains(m.src[i])) continue;
+    shards[i] = payloads_->load(
+        m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+  }
+  const auto data = codec_.reconstruct_data(shards);
+  return ec::ReedSolomon::join(data, m.size_bytes);
+}
+
+std::vector<std::uint8_t> KvStore::get_value(ObjectId oid, Epoch now,
+                                             const std::set<ServerId>& down) {
+  const auto existing = table_.get(oid);
+  if (!existing) {
+    throw std::out_of_range("KvStore::get_value: unknown object");
+  }
+  (void)get(oid, now);  // account device reads + network as a normal get
+  return gather_value(*existing, down);
+}
+
+bool KvStore::remove(ObjectId oid) {
+  const auto existing = table_.get(oid);
+  if (!existing) return false;
+  remove_fragments(oid, meta::current_scheme(existing->state), existing->src,
+                   existing->placement_version);
+  return table_.erase(oid);
+}
+
+Nanos KvStore::relocate(ObjectId oid, const ServerSet& dst,
+                        cluster::Traffic traffic) {
+  auto existing = table_.get(oid);
+  if (!existing) {
+    throw std::out_of_range("KvStore::relocate: unknown object");
+  }
+  ObjectMeta m = *existing;
+  const RedState scheme = meta::current_scheme(m.state);
+
+  // Bulk copy: read every live fragment, push it over the network, program
+  // it at the destination. This is the data-migration cost Chameleon avoids
+  // and EDM pays.
+  Nanos latency = read_fragments_for_object(m);
+  const std::uint64_t frag_bytes = fragment_bytes(m.size_bytes, scheme);
+  const std::uint64_t moved_bytes = frag_bytes * fragments_of(scheme);
+  latency += cluster_.network().transfer(traffic, moved_bytes);
+
+  FragmentPayloads frags;
+  bool have_payload = false;
+  if (payloads_) {
+    frags.resize(fragments_of(scheme));
+    have_payload = true;
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      const auto bytes = payloads_->load(
+          m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+      if (!bytes) {
+        have_payload = false;
+        break;
+      }
+      frags[i] = *bytes;
+    }
+  }
+
+  const std::uint32_t new_version = m.placement_version + 1;
+  latency += write_fragments(oid, m.size_bytes, scheme, dst, new_version,
+                             have_payload ? &frags : nullptr);
+  remove_fragments(oid, scheme, m.src, m.placement_version);
+
+  m.src = dst;
+  m.dst.clear();
+  m.state = scheme;  // any pending lazy transition is superseded
+  m.placement_version = new_version;
+  table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  return latency;
+}
+
+Nanos KvStore::convert(ObjectId oid, RedState target, const ServerSet& dst,
+                       cluster::Traffic traffic) {
+  if (target != RedState::kRep && target != RedState::kEc) {
+    throw std::invalid_argument("KvStore::convert: target must be REP or EC");
+  }
+  auto existing = table_.get(oid);
+  if (!existing) {
+    throw std::out_of_range("KvStore::convert: unknown object");
+  }
+  ObjectMeta m = *existing;
+  const RedState old_scheme = meta::current_scheme(m.state);
+
+  // Eager conversion (what HDFS-RAID-style downgrades do): gather the
+  // object, re-encode/replicate, distribute, invalidate the old fragments.
+  Nanos latency = read_fragments_for_object(m);
+  const std::uint64_t written_bytes =
+      fragment_bytes(m.size_bytes, target) * fragments_of(target);
+  latency += cluster_.network().transfer(traffic, m.size_bytes + written_bytes);
+
+  FragmentPayloads frags;
+  bool have_payload = false;
+  if (payloads_) {
+    try {
+      const auto value = gather_value(m, {});
+      frags = shard_payload(value, target);
+      have_payload = true;
+    } catch (const std::exception&) {
+      have_payload = false;  // object was stored metadata-only
+    }
+  }
+
+  const std::uint32_t new_version = m.placement_version + 1;
+  latency += write_fragments(oid, m.size_bytes, target, dst, new_version,
+                             have_payload ? &frags : nullptr);
+  remove_fragments(oid, old_scheme, m.src, m.placement_version);
+
+  m.src = dst;
+  m.dst.clear();
+  m.state = target;
+  m.placement_version = new_version;
+  table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  return latency;
+}
+
+}  // namespace chameleon::kv

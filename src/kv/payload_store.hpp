@@ -1,0 +1,46 @@
+// Optional data plane: real fragment bytes keyed by (server, fragment).
+// The wear simulation itself is metadata-sized; attaching a PayloadStore
+// to the KvStore additionally carries payloads through the same placement
+// and codec paths, so examples and tests can verify end-to-end content
+// correctness (including degraded reads through Reed-Solomon reconstruct).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/flash_server.hpp"
+#include "common/types.hpp"
+
+namespace chameleon::kv {
+
+class PayloadStore {
+ public:
+  void store(ServerId server, cluster::FragmentKey key,
+             std::vector<std::uint8_t> bytes) {
+    data_[slot(server, key)] = std::move(bytes);
+  }
+
+  std::optional<std::vector<std::uint8_t>> load(
+      ServerId server, cluster::FragmentKey key) const {
+    const auto it = data_.find(slot(server, key));
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void erase(ServerId server, cluster::FragmentKey key) {
+    data_.erase(slot(server, key));
+  }
+
+  std::size_t fragment_count() const { return data_.size(); }
+
+ private:
+  static std::uint64_t slot(ServerId server, cluster::FragmentKey key) {
+    return key ^ (static_cast<std::uint64_t>(server) * 0x9E3779B97F4A7C15ULL);
+  }
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> data_;
+};
+
+}  // namespace chameleon::kv

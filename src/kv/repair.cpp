@@ -1,0 +1,162 @@
+#include "kv/repair.hpp"
+
+#include <vector>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::kv {
+
+using meta::ObjectMeta;
+using meta::RedState;
+using meta::ServerSet;
+
+ServerId RepairManager::pick_replacement(const ObjectMeta& m,
+                                         ServerId failed) {
+  auto& cluster = store_.cluster();
+  // Walk the ring from the object's hash; take the first server that is
+  // neither failed nor already holding a fragment (src or pending dst).
+  // The ring may have fewer servers than the cluster if the supervisor
+  // already removed the dead ones.
+  const auto candidates = cluster.ring().successors(
+      KvStore::placement_hash(m.oid), cluster.ring().server_count());
+  for (const ServerId s : candidates) {
+    if (s == failed || failed_.contains(s)) continue;
+    if (m.src.contains(s) || m.dst.contains(s)) continue;
+    return s;
+  }
+  throw std::runtime_error("RepairManager: no replacement server available");
+}
+
+RepairReport RepairManager::repair_server(ServerId failed, Epoch now) {
+  RepairReport report;
+  failed_.insert(failed);
+  // The failed device's contents are gone; model the replacement drive as
+  // empty. (Payload entries keyed to it become unreachable and are dropped
+  // with the fragments.)
+  store_.cluster().server(failed).wipe_data();
+
+  // Collect affected objects first (acting inside for_each would re-enter
+  // the mapping table's shard locks).
+  std::vector<ObjectId> affected;
+  store_.table().for_each([&](const ObjectMeta& m) {
+    if (m.src.contains(failed) || m.dst.contains(failed)) {
+      affected.push_back(m.oid);
+    }
+  });
+
+  auto& cluster = store_.cluster();
+  for (const ObjectId oid : affected) {
+    const auto live = store_.table().get(oid);
+    if (!live) continue;
+    ++report.objects_scanned;
+    ObjectMeta m = *live;
+    const RedState scheme = meta::current_scheme(m.state);
+    bool meta_changed = false;
+
+    // 1. Rebuild lost data fragments (entries of src on the failed server).
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      if (m.src[i] != failed) continue;
+      const ServerId replacement = pick_replacement(m, failed);
+      const auto key = cluster::fragment_key(oid, m.placement_version, i);
+      const std::uint64_t frag_bytes =
+          store_.fragment_bytes(m.size_bytes, scheme);
+
+      // Survivors must actually hold their fragments: a write that died
+      // mid-fan-out can leave an object partially materialized.
+      Nanos latency = 0;
+      bool recoverable = true;
+      if (scheme == RedState::kRep) {
+        // Copy from any surviving replica.
+        bool found = false;
+        for (std::uint32_t j = 0; j < m.src.size(); ++j) {
+          if (j == i || m.src[j] == failed) continue;
+          const auto jkey = cluster::fragment_key(oid, m.placement_version, j);
+          if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
+          latency += cluster.server(m.src[j]).read_fragment(jkey);
+          found = true;
+          break;
+        }
+        recoverable = found;
+      } else {
+        // Reconstruct from k surviving shards.
+        std::size_t read = 0;
+        for (std::uint32_t j = 0;
+             j < m.src.size() && read < store_.config().ec_data; ++j) {
+          if (j == i || m.src[j] == failed) continue;
+          const auto jkey = cluster::fragment_key(oid, m.placement_version, j);
+          if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
+          latency += cluster.server(m.src[j]).read_fragment(jkey);
+          ++read;
+        }
+        recoverable = read >= store_.config().ec_data;
+      }
+      if (!recoverable) {
+        // Torn object (e.g. a create that died mid-fan-out): the bytes are
+        // gone, but still redirect the placement off the dead server so the
+        // next write rematerializes it somewhere alive. Counted, not
+        // thrown — one torn object must not abort the whole repair.
+        m.src[i] = replacement;
+        meta_changed = true;
+        ++report.unrecoverable;
+        continue;
+      }
+      latency += cluster.network().transfer(cluster::Traffic::kConversion,
+                                            frag_bytes);
+      latency += cluster.server(replacement).write_fragment(key, frag_bytes);
+
+      // Payload plane: reconstruct the real bytes when they exist.
+      if (store_.payloads_enabled()) {
+        try {
+          const auto value = store_.get_value(oid, now, {failed});
+          const auto frags =
+              scheme == RedState::kRep
+                  ? std::vector<std::vector<std::uint8_t>>(
+                        store_.config().replicas, value)
+                  : store_.codec().encode_object(value);
+          store_.payload_store_mutable()->store(replacement, key, frags[i]);
+        } catch (const std::exception&) {
+          // Metadata-only object; nothing to rebuild on the payload plane.
+        }
+      }
+
+      m.src[i] = replacement;
+      report.device_time += latency;
+      ++report.fragments_rebuilt;
+      report.bytes_rebuilt += frag_bytes;
+      meta_changed = true;
+    }
+
+    // 2. Redirect pending destinations (no data lives there yet).
+    for (std::uint32_t i = 0; i < m.dst.size(); ++i) {
+      if (m.dst[i] != failed) continue;
+      m.dst[i] = pick_replacement(m, failed);
+      ++report.placements_updated;
+      meta_changed = true;
+    }
+
+    if (meta_changed) {
+      store_.table().mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+      store_.table().log_change(
+          oid, meta::EpochLogEntry{now, m.state, m.src, m.dst});
+      ++report.placements_updated;
+    }
+  }
+  return report;
+}
+
+std::size_t RepairManager::objects_at_risk(ServerId candidate) {
+  std::size_t at_risk = 0;
+  const auto& config = store_.config();
+  store_.table().for_each([&](const ObjectMeta& m) {
+    if (!m.src.contains(candidate)) return;
+    const RedState scheme = meta::current_scheme(m.state);
+    // Survivable if at least one replica, or at least k shards, remain.
+    const std::size_t survivors = m.src.size() - 1;
+    const std::size_t needed =
+        scheme == RedState::kRep ? 1 : config.ec_data;
+    if (survivors < needed) ++at_risk;
+  });
+  return at_risk;
+}
+
+}  // namespace chameleon::kv

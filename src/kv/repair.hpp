@@ -1,0 +1,57 @@
+// Failure recovery: rebuild every fragment a failed server hosted onto
+// replacement servers. Replicated objects re-copy from a surviving replica;
+// encoded objects reconstruct the lost shard from any k survivors through
+// the Reed-Solomon codec. This is the availability story the paper's
+// redundancy schemes exist for (and what the mapping table's epoch logs
+// recover): Chameleon's balancing must never reduce an object below its
+// fault-tolerance target.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "kv/kv_store.hpp"
+
+namespace chameleon::kv {
+
+struct RepairReport {
+  std::size_t objects_scanned = 0;
+  std::size_t fragments_rebuilt = 0;   ///< data actually reconstructed
+  std::size_t placements_updated = 0;  ///< src/dst entries redirected
+  std::size_t unrecoverable = 0;  ///< too few surviving fragments to rebuild
+  std::uint64_t bytes_rebuilt = 0;
+  Nanos device_time = 0;  ///< read + reconstruct-write service time
+};
+
+class RepairManager {
+ public:
+  explicit RepairManager(KvStore& store) : store_(store) {}
+
+  /// Rebuild everything `failed` hosted. Data held on the failed server is
+  /// reconstructed onto replacement servers (ring successors not already in
+  /// the object's set); pending destinations that pointed at the failed
+  /// server are redirected without data movement. `now` stamps the epoch
+  /// log entries. The failed server is remembered as dead — later repairs
+  /// never pick it as a replacement — until mark_recovered() is called.
+  RepairReport repair_server(ServerId failed, Epoch now);
+
+  /// Declare a previously failed server healthy again (re-provisioned).
+  void mark_recovered(ServerId server) { failed_.erase(server); }
+  const std::set<ServerId>& failed_servers() const { return failed_; }
+
+  /// Fault-tolerance audit: returns the number of objects whose current
+  /// fragment set would be lost if `candidate` failed *and* the object has
+  /// no redundancy to rebuild from (0 means the cluster tolerates the
+  /// failure). Used by tests and operators before decommissioning.
+  std::size_t objects_at_risk(ServerId candidate);
+
+ private:
+  /// Pick a replacement server, walking the ring from the object's hash
+  /// past servers already in the set and `failed`.
+  ServerId pick_replacement(const meta::ObjectMeta& m, ServerId failed);
+
+  KvStore& store_;
+  std::set<ServerId> failed_;
+};
+
+}  // namespace chameleon::kv

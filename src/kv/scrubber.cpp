@@ -1,0 +1,143 @@
+#include "kv/scrubber.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace chameleon::kv {
+
+using meta::ObjectMeta;
+using meta::RedState;
+
+ScrubReport Scrubber::scrub(Epoch now, bool repair) {
+  ScrubReport report;
+  // Collect oids first: repairs mutate the table mid-walk otherwise.
+  std::vector<ObjectId> oids;
+  store_.table().for_each(
+      [&](const ObjectMeta& m) { oids.push_back(m.oid); });
+
+  for (const ObjectId oid : oids) {
+    const auto live = store_.table().get(oid);
+    if (!live) continue;
+    scrub_object(*live, now, repair, report);
+    ++report.objects_checked;
+  }
+  return report;
+}
+
+void Scrubber::scrub_object(const ObjectMeta& m, Epoch now, bool repair,
+                            ScrubReport& report) {
+  (void)now;
+  auto& cluster = store_.cluster();
+  const RedState scheme = meta::current_scheme(m.state);
+  const std::uint64_t frag_bytes = store_.fragment_bytes(m.size_bytes, scheme);
+
+  // --- 1. presence: every fragment the table claims must exist ------------
+  std::vector<std::uint32_t> missing;
+  for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+    const auto key = cluster::fragment_key(m.oid, m.placement_version, i);
+    if (!cluster.server(m.src[i]).has_fragment(key)) {
+      missing.push_back(i);
+    }
+  }
+  report.missing_fragments += missing.size();
+
+  const std::size_t needed =
+      scheme == RedState::kRep ? 1 : store_.config().ec_data;
+  const std::size_t survivors = m.src.size() - missing.size();
+  if (survivors < needed) {
+    ++report.unrecoverable;
+    return;
+  }
+
+  if (repair && !missing.empty()) {
+    // Rebuild in place: read one survivor (REP) or k survivors (EC), then
+    // rewrite the lost fragment at its original server and index.
+    for (const std::uint32_t i : missing) {
+      std::size_t read = 0;
+      for (std::uint32_t j = 0;
+           j < m.src.size() && read < (scheme == RedState::kRep ? 1 : needed);
+           ++j) {
+        const auto jkey = cluster::fragment_key(m.oid, m.placement_version, j);
+        if (j == i || !cluster.server(m.src[j]).has_fragment(jkey)) continue;
+        cluster.server(m.src[j]).read_fragment(jkey);
+        ++read;
+      }
+      const auto key = cluster::fragment_key(m.oid, m.placement_version, i);
+      cluster.server(m.src[i]).write_fragment(key, frag_bytes);
+      if (store_.payloads_enabled()) {
+        try {
+          const auto value = store_.get_value(m.oid, 0, {m.src[i]});
+          const auto frags =
+              scheme == RedState::kRep
+                  ? std::vector<std::vector<std::uint8_t>>(
+                        store_.config().replicas, value)
+                  : store_.codec().encode_object(value);
+          store_.payload_store_mutable()->store(m.src[i], key, frags[i]);
+        } catch (const std::exception&) {
+          // Metadata-only object: nothing to restore on the payload plane.
+        }
+      }
+      ++report.repaired;
+    }
+  }
+
+  // --- 2. content: replica agreement / parity consistency (payload mode) --
+  if (!store_.payloads_enabled() || !missing.empty()) return;
+  const auto* payloads = store_.payload_store();
+
+  if (scheme == RedState::kRep) {
+    std::optional<std::vector<std::uint8_t>> reference;
+    std::vector<std::uint32_t> bad;
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      const auto bytes = payloads->load(
+          m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+      if (!bytes) return;  // metadata-only object
+      if (!reference) {
+        reference = bytes;
+      } else if (*bytes != *reference) {
+        bad.push_back(i);
+      }
+    }
+    report.corrupt_replicas += bad.size();
+    if (repair && !bad.empty()) {
+      // Majority-free heuristic: replica 0 is the reference copy.
+      for (const std::uint32_t i : bad) {
+        const auto key = cluster::fragment_key(m.oid, m.placement_version, i);
+        cluster.server(m.src[i]).write_fragment(key, frag_bytes);
+        store_.payload_store_mutable()->store(m.src[i], key, *reference);
+        ++report.repaired;
+      }
+    }
+    return;
+  }
+
+  // EC: verify the full shard set against the generator matrix.
+  std::vector<std::vector<std::uint8_t>> shards;
+  for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+    const auto bytes = payloads->load(
+        m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+    if (!bytes) return;  // metadata-only object
+    shards.push_back(*bytes);
+  }
+  if (store_.codec().verify(shards)) return;
+  ++report.parity_mismatches;
+  if (repair) {
+    // Trust the data shards; regenerate parity from them.
+    std::vector<std::vector<std::uint8_t>> data(
+        shards.begin(),
+        shards.begin() + static_cast<std::ptrdiff_t>(store_.config().ec_data));
+    std::vector<std::vector<std::uint8_t>> parity(
+        store_.config().ec_total - store_.config().ec_data);
+    store_.codec().encode(data, parity);
+    for (std::size_t p = 0; p < parity.size(); ++p) {
+      const auto idx = static_cast<std::uint32_t>(store_.config().ec_data + p);
+      const auto key = cluster::fragment_key(m.oid, m.placement_version, idx);
+      cluster.server(m.src[idx]).write_fragment(key, frag_bytes);
+      store_.payload_store_mutable()->store(m.src[idx], key,
+                                            std::move(parity[p]));
+      ++report.repaired;
+    }
+  }
+}
+
+}  // namespace chameleon::kv

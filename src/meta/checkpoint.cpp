@@ -1,0 +1,83 @@
+#include "meta/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace chameleon::meta {
+
+std::string serialize_object_meta(const ObjectMeta& m) {
+  std::ostringstream os;
+  os << m.oid << ' ' << m.size_bytes << ' '
+     << static_cast<int>(m.state) << ' ' << m.placement_version << ' '
+     << m.state_since << ' ' << m.popularity << ' ' << m.writes_in_epoch
+     << ' ' << m.total_writes << ' ' << m.heat_epoch << ' '
+     << m.last_write_epoch;
+  os << " src";
+  for (const ServerId s : m.src) os << ' ' << s;
+  os << " dst";
+  for (const ServerId s : m.dst) os << ' ' << s;
+  return os.str();
+}
+
+ObjectMeta deserialize_object_meta(const std::string& line) {
+  std::istringstream is(line);
+  ObjectMeta m;
+  int state = 0;
+  is >> m.oid >> m.size_bytes >> state >> m.placement_version >>
+      m.state_since >> m.popularity >> m.writes_in_epoch >> m.total_writes >>
+      m.heat_epoch >> m.last_write_epoch;
+  if (!is || state < 0 || state > 5) {
+    throw std::runtime_error("checkpoint: malformed object line");
+  }
+  m.state = static_cast<RedState>(state);
+
+  std::string token;
+  is >> token;
+  if (token != "src") {
+    throw std::runtime_error("checkpoint: expected src marker");
+  }
+  while (is >> token && token != "dst") {
+    m.src.push_back(static_cast<ServerId>(std::stoul(token)));
+  }
+  if (token != "dst") {
+    throw std::runtime_error("checkpoint: expected dst marker");
+  }
+  while (is >> token) {
+    m.dst.push_back(static_cast<ServerId>(std::stoul(token)));
+  }
+  return m;
+}
+
+std::size_t save_mapping_table(const MappingTable& table,
+                               const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  std::size_t written = 0;
+  table.for_each([&](const ObjectMeta& m) {
+    out << serialize_object_meta(m) << '\n';
+    ++written;
+  });
+  if (!out) {
+    throw std::runtime_error("checkpoint: write failed for " + path);
+  }
+  return written;
+}
+
+std::size_t load_mapping_table(MappingTable& table, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  std::size_t restored = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (table.create(deserialize_object_meta(line))) ++restored;
+  }
+  return restored;
+}
+
+}  // namespace chameleon::meta

@@ -1,0 +1,30 @@
+// Mapping-table checkpointing: serialize every object's metadata to a flat
+// file and restore it into a fresh table. This is the durability half of
+// the paper's metadata story — the epoch logs track in-flight changes for
+// recovery, the checkpoint captures the compacted state (what the paper's
+// MySQL-backed table would persist).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "meta/mapping_table.hpp"
+
+namespace chameleon::meta {
+
+/// Write all object metadata to `path` (text, one object per line).
+/// Returns the number of objects written. Epoch logs are not persisted:
+/// a checkpoint is by definition compacted state.
+std::size_t save_mapping_table(const MappingTable& table,
+                               const std::string& path);
+
+/// Load objects from `path` into `table` (which should be empty; duplicate
+/// oids are skipped). Returns the number of objects restored. Throws
+/// std::runtime_error on unreadable files or malformed lines.
+std::size_t load_mapping_table(MappingTable& table, const std::string& path);
+
+/// Single-object (de)serialization, exposed for tests and tooling.
+std::string serialize_object_meta(const ObjectMeta& m);
+ObjectMeta deserialize_object_meta(const std::string& line);
+
+}  // namespace chameleon::meta

@@ -1,0 +1,49 @@
+// Per-object history of state/location changes (paper Fig 3). Every
+// balancing decision appends a versioned entry; compaction folds the log to
+// the single current entry to bound metadata memory, exactly the mechanism
+// §III-C describes for failure recovery vs. memory overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "meta/object_meta.hpp"
+
+namespace chameleon::meta {
+
+struct EpochLogEntry {
+  Epoch epoch = 0;
+  RedState state = RedState::kEc;
+  ServerSet src;
+  ServerSet dst;
+};
+
+class EpochLog {
+ public:
+  void append(const EpochLogEntry& entry) { entries_.push_back(entry); }
+
+  /// Fold the log down to its newest entry. Returns entries discarded.
+  std::size_t compact() {
+    if (entries_.size() <= 1) return 0;
+    const std::size_t removed = entries_.size() - 1;
+    entries_.front() = entries_.back();
+    entries_.resize(1);
+    entries_.shrink_to_fit();
+    return removed;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const EpochLogEntry& latest() const { return entries_.back(); }
+  const std::vector<EpochLogEntry>& entries() const { return entries_; }
+
+  /// Approximate in-memory footprint, for the metadata-overhead report.
+  std::size_t memory_bytes() const {
+    return sizeof(EpochLog) + entries_.capacity() * sizeof(EpochLogEntry);
+  }
+
+ private:
+  std::vector<EpochLogEntry> entries_;
+};
+
+}  // namespace chameleon::meta

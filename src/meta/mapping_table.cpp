@@ -1,0 +1,152 @@
+#include "meta/mapping_table.hpp"
+
+#include <stdexcept>
+
+namespace chameleon::meta {
+
+std::string_view red_state_name(RedState s) {
+  switch (s) {
+    case RedState::kRep: return "REP";
+    case RedState::kEc: return "EC";
+    case RedState::kLateRep: return "late-REP";
+    case RedState::kLateEc: return "late-EC";
+    case RedState::kRepEwo: return "REP-EWO";
+    case RedState::kEcEwo: return "EC-EWO";
+  }
+  return "?";
+}
+
+std::uint64_t StateCensus::total_objects() const {
+  std::uint64_t sum = 0;
+  for (const auto v : objects) sum += v;
+  return sum;
+}
+
+std::uint64_t StateCensus::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto v : bytes) sum += v;
+  return sum;
+}
+
+MappingTable::MappingTable(std::size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count) {}
+
+bool MappingTable::create(const ObjectMeta& meta) {
+  Shard& shard = shard_for(meta.oid);
+  std::lock_guard lock(shard.mutex);
+  return shard.objects.try_emplace(meta.oid, meta).second;
+}
+
+std::optional<ObjectMeta> MappingTable::get(ObjectId oid) const {
+  const Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.objects.find(oid);
+  if (it == shard.objects.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MappingTable::exists(ObjectId oid) const {
+  const Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  return shard.objects.contains(oid);
+}
+
+bool MappingTable::mutate(ObjectId oid,
+                          const std::function<void(ObjectMeta&)>& fn) {
+  Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.objects.find(oid);
+  if (it == shard.objects.end()) return false;
+  fn(it->second);
+  return true;
+}
+
+bool MappingTable::erase(ObjectId oid) {
+  Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  shard.logs.erase(oid);
+  return shard.objects.erase(oid) > 0;
+}
+
+void MappingTable::for_each(
+    const std::function<void(const ObjectMeta&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [oid, meta] : shard.objects) fn(meta);
+  }
+}
+
+void MappingTable::for_each_mutable(
+    const std::function<void(ObjectMeta&)>& fn) {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto& [oid, meta] : shard.objects) fn(meta);
+  }
+}
+
+void MappingTable::log_change(ObjectId oid, const EpochLogEntry& entry) {
+  Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  if (!shard.objects.contains(oid)) {
+    throw std::invalid_argument("MappingTable::log_change: unknown object");
+  }
+  shard.logs[oid].append(entry);
+}
+
+std::size_t MappingTable::compact_logs() {
+  std::size_t removed = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (auto& [oid, log] : shard.logs) removed += log.compact();
+  }
+  return removed;
+}
+
+std::size_t MappingTable::log_entry_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [oid, log] : shard.logs) total += log.size();
+  }
+  return total;
+}
+
+std::size_t MappingTable::log_memory_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [oid, log] : shard.logs) total += log.memory_bytes();
+  }
+  return total;
+}
+
+std::size_t MappingTable::epoch_log_size(ObjectId oid) const {
+  const Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.logs.find(oid);
+  return it == shard.logs.end() ? 0 : it->second.size();
+}
+
+std::size_t MappingTable::object_count() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    total += shard.objects.size();
+  }
+  return total;
+}
+
+StateCensus MappingTable::census() const {
+  StateCensus census;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [oid, meta] : shard.objects) {
+      const auto idx = static_cast<std::size_t>(meta.state);
+      ++census.objects[idx];
+      census.bytes[idx] += meta.size_bytes;
+    }
+  }
+  return census;
+}
+
+}  // namespace chameleon::meta

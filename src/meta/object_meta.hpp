@@ -1,0 +1,130 @@
+// Per-object metadata: redundancy state machine (Fig 2b), popularity
+// tracking (Eq 1), and the two-level location indirection (Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/inline_vec.hpp"
+#include "common/types.hpp"
+
+namespace chameleon::meta {
+
+/// Redundancy and intermediate states of an object (paper Fig 2b).
+/// kRep/kEc are stable redundancy states; the other four are intermediate:
+/// the transition they announce is performed lazily on the next write.
+enum class RedState : std::uint8_t {
+  kRep = 0,     ///< 3-way replicated on src servers
+  kEc,          ///< RS(6,4) encoded on src servers
+  kLateRep,     ///< EC now; becomes REP on dst servers at next write (ARPT)
+  kLateEc,      ///< REP now; becomes EC on dst servers at next write (ARPT)
+  kRepEwo,      ///< REP now on src; re-placed onto dst at next write (HCDS)
+  kEcEwo,       ///< EC now on src; re-placed onto dst at next write (HCDS)
+};
+
+constexpr bool is_intermediate(RedState s) {
+  return s != RedState::kRep && s != RedState::kEc;
+}
+
+/// Redundancy scheme the object's *current bytes* are stored under.
+constexpr RedState current_scheme(RedState s) {
+  switch (s) {
+    case RedState::kRep:
+    case RedState::kLateEc:
+    case RedState::kRepEwo:
+      return RedState::kRep;
+    case RedState::kEc:
+    case RedState::kLateRep:
+    case RedState::kEcEwo:
+      return RedState::kEc;
+  }
+  return RedState::kRep;
+}
+
+/// Redundancy scheme the object will be in after its pending transition.
+constexpr RedState target_scheme(RedState s) {
+  switch (s) {
+    case RedState::kRep:
+    case RedState::kLateRep:
+    case RedState::kRepEwo:
+      return RedState::kRep;
+    case RedState::kEc:
+    case RedState::kLateEc:
+    case RedState::kEcEwo:
+      return RedState::kEc;
+  }
+  return RedState::kEc;
+}
+
+std::string_view red_state_name(RedState s);
+
+/// Server location list. Inline capacity 16 covers every supported
+/// redundancy geometry (the paper's RS(6,4) needs 6) without per-object
+/// heap allocations.
+using ServerSet = InlineVec<ServerId, 16>;
+
+struct ObjectMeta {
+  ObjectId oid = 0;
+  std::uint64_t size_bytes = 0;
+  RedState state = RedState::kEc;
+
+  /// Bumped whenever the object's fragments are (re)written to a new
+  /// placement; used to derive distinct FragmentKeys per incarnation.
+  std::uint32_t placement_version = 0;
+
+  /// First-level indirection: servers currently holding the latest bytes.
+  ServerSet src;
+  /// Second-level indirection: pending destination for intermediate states.
+  ServerSet dst;
+
+  Epoch state_since = 0;  ///< epoch the current state was entered
+
+  // --- popularity (write heat, Eq 1: p_k = p_{k-1}/2 + w_k) ---
+  /// Heat folded through the end of epoch (heat_epoch - 1).
+  double popularity = 0.0;
+  /// Writes observed during heat_epoch (the epoch being accumulated).
+  std::uint32_t writes_in_epoch = 0;
+  /// Lifetime write count (un-decayed; what SWANS/EDM-style balancers use).
+  std::uint64_t total_writes = 0;
+  Epoch heat_epoch = 0;
+  Epoch last_write_epoch = 0;
+
+  /// Fold the exponential-decay recurrence forward to `now`. After this,
+  /// `popularity` includes every epoch before `now` and `writes_in_epoch`
+  /// counts only epoch `now`.
+  void fold_heat(Epoch now) {
+    while (heat_epoch < now) {
+      popularity = popularity / 2.0 + writes_in_epoch;
+      writes_in_epoch = 0;
+      ++heat_epoch;
+      // Once the pending writes are folded, the remaining catch-up epochs
+      // only halve; shortcut when the heat has decayed to nothing.
+      if (popularity == 0.0 && writes_in_epoch == 0) {
+        heat_epoch = now;
+        break;
+      }
+    }
+  }
+
+  /// Record one write during epoch `now`.
+  void note_write(Epoch now) {
+    fold_heat(now);
+    ++writes_in_epoch;
+    ++total_writes;
+    last_write_epoch = now;
+  }
+
+  /// Current write heat including the partially-elapsed epoch.
+  double heat(Epoch now) const {
+    double p = popularity;
+    std::uint32_t w = writes_in_epoch;
+    for (Epoch e = heat_epoch; e < now; ++e) {
+      p = p / 2.0 + w;
+      w = 0;
+      if (p == 0.0) break;
+    }
+    return p + w;
+  }
+};
+
+}  // namespace chameleon::meta

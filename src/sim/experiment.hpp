@@ -1,0 +1,105 @@
+// Experiment harness: Table IV's five evaluated schemes, plus the knobs
+// that size the cluster and pace the balancer. run_experiment() replays one
+// (workload, scheme) pair and returns everything the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/edm.hpp"
+#include "baselines/hybrid_rep_ec.hpp"
+#include "baselines/swans.hpp"
+#include "core/balancer.hpp"
+#include "core/options.hpp"
+#include "meta/mapping_table.hpp"
+#include "workload/request.hpp"
+
+namespace chameleon::sim {
+
+/// Table IV test schemes. EDM and Chameleon are evaluated under a single
+/// fixed redundancy scheme each (the paper pairs them with EC for the wear
+/// figures and REP for the performance figures), hence the -Rep/-Ec pairs.
+enum class Scheme {
+  kRepBaseline,    ///< 3-way replication, no balancing
+  kEcBaseline,     ///< RS(6,4), no balancing
+  kRepEcBaseline,  ///< hybrid: REP for new data, eager EC for cold data
+  kEdmRep,         ///< EDM migration balancer over REP
+  kEdmEc,          ///< EDM migration balancer over EC
+  kSwansEc,        ///< SWANS write-intensity balancer over EC (extension)
+  kChameleonRep,   ///< Chameleon (ARPT+HCDS+EWO), initial policy REP
+  kChameleonEc,    ///< Chameleon (ARPT+HCDS+EWO), initial policy EC
+};
+
+const char* scheme_name(Scheme s);
+meta::RedState initial_scheme_of(Scheme s);
+bool scheme_balances(Scheme s);
+
+struct ExperimentConfig {
+  std::string workload = "ycsb-zipf";
+  Scheme scheme = Scheme::kChameleonEc;
+  std::uint32_t servers = 50;
+  double scale = 0.1;         ///< CHAMELEON_SCALE; 1.0 = paper volumes
+  std::uint64_t seed = 42;
+  /// SSDs are sized so the initial scheme's footprint fills this fraction
+  /// of the host-visible space (over-provisioning stays at Table II's 15%).
+  double target_utilization = 0.85;
+  Nanos epoch_length = 1 * kHour;
+  std::uint32_t ring_vnodes = 128;
+  core::ChameleonOptions chameleon;
+  baselines::EdmOptions edm;
+  baselines::HybridOptions hybrid;
+  baselines::SwansOptions swans;
+  bool collect_timeline = true;  ///< keep Chameleon per-epoch snapshots
+  /// Heat-tagged hot/cold SSD write streams (see KvConfig::multi_stream).
+  bool multi_stream = false;
+};
+
+struct ExperimentResult {
+  std::string workload;
+  Scheme scheme = Scheme::kEcBaseline;
+  std::uint32_t servers = 0;
+
+  // Wear (Figs 1, 4, 5).
+  std::vector<std::uint64_t> erase_counts;  ///< per server
+  double erase_mean = 0.0;
+  double erase_stddev = 0.0;
+  std::uint64_t total_erases = 0;
+
+  // Performance (Figs 6, 7).
+  double write_amplification = 1.0;
+  Nanos avg_device_write_latency = 0;
+  /// Client-visible put latency percentiles (fan-out max + network).
+  Nanos put_latency_p50 = 0;
+  Nanos put_latency_p99 = 0;
+
+  // Volumes.
+  std::uint64_t requests = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t read_ops = 0;
+  std::uint64_t load_writes = 0;  ///< read-before-write warm misses
+  std::uint64_t network_bytes_total = 0;
+  std::uint64_t migration_bytes = 0;
+  std::uint64_t conversion_bytes = 0;
+  std::uint64_t swap_bytes = 0;
+
+  meta::StateCensus final_census;
+  std::vector<core::EpochSnapshot> chameleon_timeline;  ///< Fig 8
+
+  double wall_seconds = 0.0;
+
+  double erase_cv() const {
+    return erase_mean > 0.0 ? erase_stddev / erase_mean : 0.0;
+  }
+};
+
+/// Replay `config.workload` through a fresh cluster under `config.scheme`.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Replay a caller-provided stream (e.g. a real MSR trace) instead of a
+/// named preset; `dataset_bytes` sizes the SSDs.
+ExperimentResult run_experiment_on(const ExperimentConfig& config,
+                                   workload::WorkloadStream& stream,
+                                   std::uint64_t dataset_bytes);
+
+}  // namespace chameleon::sim

@@ -1,0 +1,22 @@
+#include "sim/parallel_runner.hpp"
+
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace chameleon::sim {
+
+std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentConfig>& configs, std::size_t workers) {
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+
+  std::vector<ExperimentResult> results(configs.size());
+  ThreadPool pool(std::min(workers, configs.size() == 0 ? 1 : configs.size()));
+  pool.parallel_for(0, configs.size(), [&](std::size_t i) {
+    results[i] = run_experiment(configs[i]);
+  });
+  return results;
+}
+
+}  // namespace chameleon::sim

@@ -1,0 +1,18 @@
+// Run independent experiment configurations across a thread pool. Each
+// experiment owns its entire world (cluster, table, workload generator), so
+// runs are embarrassingly parallel and remain bit-identical to sequential
+// execution.
+#pragma once
+
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace chameleon::sim {
+
+/// Run every configuration, using up to `workers` threads (0 = hardware
+/// concurrency). Results are returned in input order.
+std::vector<ExperimentResult> run_experiments_parallel(
+    const std::vector<ExperimentConfig>& configs, std::size_t workers = 0);
+
+}  // namespace chameleon::sim

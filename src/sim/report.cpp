@@ -1,0 +1,93 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace chameleon::sim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (const auto w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string summary_line(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << r.workload << " / " << scheme_name(r.scheme) << ": erases mean="
+     << TextTable::num(r.erase_mean, 1) << " stddev="
+     << TextTable::num(r.erase_stddev, 1) << " total=" << r.total_erases
+     << " WA=" << TextTable::num(r.write_amplification, 3)
+     << " wlat_us="
+     << TextTable::num(static_cast<double>(r.avg_device_write_latency) / 1e3,
+                       1);
+  return os.str();
+}
+
+void write_erase_distribution_csv(const ExperimentResult& r,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return;
+  auto sorted = r.erase_counts;
+  std::sort(sorted.begin(), sorted.end());
+  out << "rank,erases\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out << i << ',' << sorted[i] << '\n';
+  }
+}
+
+void append_result_csv(const ExperimentResult& r, const std::string& path) {
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  if (fresh) {
+    out << "workload,scheme,servers,erase_mean,erase_stddev,total_erases,"
+           "write_amplification,avg_write_latency_ns,requests,write_ops,"
+           "read_ops,network_bytes,migration_bytes,conversion_bytes,"
+           "swap_bytes,wall_seconds\n";
+  }
+  out << r.workload << ',' << scheme_name(r.scheme) << ',' << r.servers << ','
+      << r.erase_mean << ',' << r.erase_stddev << ',' << r.total_erases << ','
+      << r.write_amplification << ',' << r.avg_device_write_latency << ','
+      << r.requests << ',' << r.write_ops << ',' << r.read_ops << ','
+      << r.network_bytes_total << ',' << r.migration_bytes << ','
+      << r.conversion_bytes << ',' << r.swap_bytes << ',' << r.wall_seconds
+      << '\n';
+}
+
+}  // namespace chameleon::sim

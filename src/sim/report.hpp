@@ -1,0 +1,42 @@
+// Plain-text table / CSV rendering for the experiment harnesses, so each
+// bench binary prints the same rows and series the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace chameleon::sim {
+
+/// Minimal aligned-column text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One-line summary of an experiment (workload, scheme, wear, perf).
+std::string summary_line(const ExperimentResult& r);
+
+/// Write per-server erase counts as CSV (server,erases), sorted ascending —
+/// the series behind Fig 1.
+void write_erase_distribution_csv(const ExperimentResult& r,
+                                  const std::string& path);
+
+/// Append one experiment as a CSV row (creates the file with a header when
+/// absent); used by all benches for machine-readable output.
+void append_result_csv(const ExperimentResult& r, const std::string& path);
+
+}  // namespace chameleon::sim

@@ -1,0 +1,82 @@
+#include "workload/registry.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::workload {
+namespace {
+
+struct PresetRow {
+  const char* name;
+  std::uint64_t requests;
+  double dataset_gb;
+  double request_gb;  ///< total R/W request bytes (Table III "Reqs. Data")
+  double write_ratio;
+  double zipf_theta;
+  Nanos duration;
+};
+
+// Table III rows; YCSB runs 85 virtual hours (Fig 8), MSR traces one week.
+// zipf_theta: YCSB uses its default 0.99; MSR block traces are strongly
+// skewed at block level — 0.9 reproduces the 3-4x erasure spreads of Fig 1.
+// prn_0/proj_0 are not in Table III; their request volumes come from the
+// published MSR trace summaries, rounded.
+constexpr PresetRow kPresets[] = {
+    {"ycsb-zipf", 1'200'000, 10.4, 55.0, 0.811, 0.99, 85 * kHour},
+    {"mds_0", 1'300'000, 3.1, 44.0, 0.932, 0.90, 168 * kHour},
+    {"web_1", 1'300'000, 3.8, 18.0, 0.769, 0.90, 168 * kHour},
+    {"usr_0", 2'200'000, 2.5, 194.0, 0.836, 0.90, 168 * kHour},
+    {"hm_0", 4'000'000, 1.9, 135.0, 0.866, 0.90, 168 * kHour},
+    {"prn_0", 2'200'000, 5.5, 83.0, 0.892, 0.90, 168 * kHour},
+    {"proj_0", 4'200'000, 3.2, 145.0, 0.875, 0.90, 168 * kHour},
+};
+
+const PresetRow& find_preset(const std::string& name) {
+  for (const auto& row : kPresets) {
+    if (name == row.name) return row;
+  }
+  throw std::invalid_argument("unknown workload preset: " + name);
+}
+
+}  // namespace
+
+std::vector<std::string> preset_names() {
+  std::vector<std::string> names;
+  for (const auto& row : kPresets) names.emplace_back(row.name);
+  return names;
+}
+
+std::vector<std::string> evaluation_preset_names() {
+  return {"hm_0", "mds_0", "usr_0", "web_1", "ycsb-zipf"};
+}
+
+SyntheticTraceConfig preset_config(const std::string& name) {
+  const PresetRow& row = find_preset(name);
+  SyntheticTraceConfig cfg;
+  cfg.name = row.name;
+  cfg.total_requests = row.requests;
+  cfg.dataset_bytes =
+      static_cast<std::uint64_t>(row.dataset_gb * static_cast<double>(kGiB));
+  cfg.write_ratio = row.write_ratio;
+  cfg.zipf_theta = row.zipf_theta;
+  cfg.duration = row.duration;
+  cfg.hotspot_shift = row.duration / 8;  // hot set drifts ~8x per trace
+  // Mean request size = request bytes / request count (requests address
+  // whole objects, so this is also the mean object size).
+  const double mean_size = row.request_gb * static_cast<double>(kGiB) /
+                           static_cast<double>(row.requests);
+  cfg.mean_object_bytes = static_cast<std::uint32_t>(mean_size);
+  cfg.seed = 42 + fnv1a64(std::string_view(row.name)) % 1000;
+  return cfg;
+}
+
+std::unique_ptr<SyntheticTrace> make_preset(const std::string& name,
+                                            double scale, std::uint64_t seed) {
+  SyntheticTraceConfig cfg = preset_config(name).scaled(scale);
+  cfg.seed = seed + fnv1a64(std::string_view(name)) % 997;
+  return std::make_unique<SyntheticTrace>(cfg);
+}
+
+}  // namespace chameleon::workload

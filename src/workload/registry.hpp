@@ -1,0 +1,29 @@
+// Named workload presets: the five evaluation traces of Table III plus the
+// two extra MSR traces (prn_0, proj_0) used by the Fig 1 motivation study.
+// Parameters derive from the paper's Table III; mean request size is
+// total request bytes / request count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic_trace.hpp"
+
+namespace chameleon::workload {
+
+/// All preset names, in the order the paper's figures list them.
+std::vector<std::string> preset_names();
+
+/// Names of the five traces used in the evaluation (Figs 4-8).
+std::vector<std::string> evaluation_preset_names();
+
+/// Table III parameters for a named preset (unscaled). Throws
+/// std::invalid_argument for unknown names.
+SyntheticTraceConfig preset_config(const std::string& name);
+
+/// Construct a stream for a preset at the given scale factor.
+std::unique_ptr<SyntheticTrace> make_preset(const std::string& name,
+                                            double scale, std::uint64_t seed = 42);
+
+}  // namespace chameleon::workload

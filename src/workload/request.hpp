@@ -1,0 +1,37 @@
+// Trace record model and the stream interface shared by synthetic
+// generators and real trace file readers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace chameleon::workload {
+
+/// One I/O request. Each record addresses a whole logical object, matching
+/// the paper's mapping of trace records to objects (§IV-A).
+struct TraceRecord {
+  Nanos timestamp = 0;
+  ObjectId oid = 0;
+  std::uint32_t size_bytes = 0;
+  bool is_write = true;
+};
+
+/// Pull-based request stream. Implementations must be deterministic for a
+/// fixed configuration and seed.
+class WorkloadStream {
+ public:
+  virtual ~WorkloadStream() = default;
+
+  /// Produce the next record; returns false at end of stream.
+  virtual bool next(TraceRecord& out) = 0;
+
+  /// Rewind to the beginning (restores the generator's initial state).
+  virtual void reset() = 0;
+
+  virtual std::uint64_t expected_requests() const = 0;
+  virtual const std::string& name() const = 0;
+};
+
+}  // namespace chameleon::workload

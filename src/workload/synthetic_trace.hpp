@@ -1,0 +1,82 @@
+// Synthetic trace engine calibrated to the aggregate characteristics the
+// paper reports in Table III (request count, dataset size, request bytes,
+// write ratio). Stands in for the YCSB benchmark and the MSR-Cambridge
+// block traces, which are not shipped offline; see DESIGN.md §2.
+//
+// Mechanics:
+//  * object population sized so  object_count x mean_object_size = dataset;
+//  * per-object sizes are deterministic lognormal draws (hash-seeded),
+//    rescaled at construction so the empirical mean hits the target;
+//  * accesses are Zipfian over ranks; ranks map to objects through a
+//    phase-salted hash permutation, so the hot set *drifts* every
+//    `hotspot_shift` of virtual time — the "time varying workload patterns"
+//    the paper motivates with (Facebook KV analysis);
+//  * arrivals are exponential with rate = requests / duration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "workload/request.hpp"
+#include "workload/zipf.hpp"
+
+namespace chameleon::workload {
+
+struct SyntheticTraceConfig {
+  std::string name = "synthetic";
+  std::uint64_t total_requests = 100'000;
+  std::uint64_t dataset_bytes = 1 * kGiB;
+  double write_ratio = 0.85;
+  double zipf_theta = 0.9;
+  Nanos duration = 24 * kHour;
+  /// Period of hot-set drift; 0 disables drift.
+  Nanos hotspot_shift = 12 * kHour;
+  /// Mean object size; object_count = dataset_bytes / mean_object_bytes.
+  std::uint32_t mean_object_bytes = 32 * 1024;
+  /// Lognormal sigma of object sizes.
+  double size_sigma = 0.8;
+  std::uint32_t min_object_bytes = 4 * 1024;
+  std::uint32_t max_object_bytes = 1 * 1024 * 1024;
+  std::uint64_t seed = 42;
+
+  /// Multiply request volume and dataset by `s`, keeping per-object write
+  /// intensity (and thus GC pressure) invariant.
+  SyntheticTraceConfig scaled(double s) const;
+};
+
+class SyntheticTrace final : public WorkloadStream {
+ public:
+  explicit SyntheticTrace(const SyntheticTraceConfig& config);
+
+  bool next(TraceRecord& out) override;
+  void reset() override;
+  std::uint64_t expected_requests() const override {
+    return config_.total_requests;
+  }
+  const std::string& name() const override { return config_.name; }
+
+  const SyntheticTraceConfig& config() const { return config_; }
+  std::uint64_t object_count() const { return object_count_; }
+
+  /// Deterministic size of object index u (same for every pass).
+  std::uint32_t object_size(std::uint64_t index) const;
+  /// Stable object id for object index u.
+  ObjectId object_id(std::uint64_t index) const;
+
+ private:
+  std::uint64_t rank_to_index(std::uint64_t rank, std::uint64_t phase) const;
+  double raw_size(std::uint64_t index) const;
+
+  SyntheticTraceConfig config_;
+  std::uint64_t object_count_;
+  ZipfGenerator zipf_;
+  double size_scale_ = 1.0;  ///< calibration factor so mean size hits target
+  double mu_ = 0.0;          ///< lognormal location parameter
+
+  Xoshiro256 rng_;
+  std::uint64_t emitted_ = 0;
+  Nanos now_ = 0;
+};
+
+}  // namespace chameleon::workload

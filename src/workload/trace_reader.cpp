@@ -1,0 +1,114 @@
+#include "workload/trace_reader.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::workload {
+namespace {
+
+/// Split a CSV line into at most 7 fields (no quoting in MSR traces).
+std::size_t split_csv(std::string_view line, std::string_view* fields,
+                      std::size_t max_fields) {
+  std::size_t count = 0;
+  std::size_t start = 0;
+  while (count < max_fields) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields[count++] = line.substr(start);
+      break;
+    }
+    fields[count++] = line.substr(start, comma - start);
+    start = comma + 1;
+  }
+  return count;
+}
+
+template <typename T>
+bool parse_number(std::string_view s, T& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+}  // namespace
+
+MsrTraceReader::MsrTraceReader(const TraceReaderConfig& config)
+    : config_(config), file_(config.path) {
+  if (!file_.is_open()) {
+    throw std::runtime_error("MsrTraceReader: cannot open " + config.path);
+  }
+  // Derive a short display name from the file path.
+  const auto slash = config.path.find_last_of('/');
+  name_ = slash == std::string::npos ? config.path
+                                     : config.path.substr(slash + 1);
+}
+
+bool MsrTraceReader::parse_line(const std::string& line,
+                                std::uint32_t object_bytes, TraceRecord& out) {
+  std::string_view fields[7];
+  if (split_csv(line, fields, 7) < 6) return false;
+
+  std::uint64_t filetime = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  if (!parse_number(fields[0], filetime) || !parse_number(fields[4], offset) ||
+      !parse_number(fields[5], size)) {
+    return false;
+  }
+  const std::string_view type = fields[3];
+  const bool is_write = (type == "Write" || type == "write" || type == "W");
+  const bool is_read = (type == "Read" || type == "read" || type == "R");
+  if (!is_write && !is_read) return false;
+
+  // FILETIME is 100ns ticks; convert to nanoseconds (absolute; the caller
+  // normalizes to trace start). Quantize the extent into one object.
+  out.timestamp = static_cast<Nanos>(filetime * 100ULL);
+  const std::uint64_t extent = offset / object_bytes;
+  // Mix the disk number in so multi-disk traces do not alias extents.
+  std::uint64_t disk = 0;
+  (void)parse_number(fields[2], disk);
+  out.oid = fnv1a64(extent ^ (disk << 56));
+  out.size_bytes = static_cast<std::uint32_t>(
+      size == 0 ? object_bytes : (size > object_bytes ? object_bytes : size));
+  out.is_write = is_write;
+  return true;
+}
+
+bool MsrTraceReader::next(TraceRecord& out) {
+  if (config_.limit != 0 && emitted_ >= config_.limit) return false;
+  std::string line;
+  while (std::getline(file_, line)) {
+    if (line.empty()) continue;
+    if (!parse_line(line, config_.object_bytes, out)) {
+      ++parse_errors_;
+      continue;
+    }
+    if (!have_first_timestamp_) {
+      first_timestamp_ = out.timestamp;
+      have_first_timestamp_ = true;
+    }
+    // Unsigned subtraction: FILETIME * 100ns overflows Nanos for absolute
+    // dates, but differences within one trace are exact modulo 2^64.
+    out.timestamp = static_cast<Nanos>(
+        static_cast<std::uint64_t>(out.timestamp) -
+        static_cast<std::uint64_t>(first_timestamp_));
+    ++emitted_;
+    return true;
+  }
+  return false;
+}
+
+void MsrTraceReader::reset() {
+  file_.clear();
+  file_.seekg(0);
+  emitted_ = 0;
+  parse_errors_ = 0;
+  have_first_timestamp_ = false;
+}
+
+}  // namespace chameleon::workload

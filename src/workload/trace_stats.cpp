@@ -1,0 +1,29 @@
+#include "workload/trace_stats.hpp"
+
+namespace chameleon::workload {
+
+TraceCharacteristics characterize(WorkloadStream& stream) {
+  stream.reset();
+  TraceCharacteristics out;
+  std::unordered_map<ObjectId, std::uint32_t> seen;
+  TraceRecord rec;
+  while (stream.next(rec)) {
+    ++out.request_count;
+    if (rec.is_write) {
+      ++out.write_count;
+    } else {
+      ++out.read_count;
+    }
+    out.request_bytes += rec.size_bytes;
+    out.duration = rec.timestamp;
+    const auto [it, inserted] = seen.try_emplace(rec.oid, rec.size_bytes);
+    if (inserted) {
+      out.dataset_bytes += rec.size_bytes;
+    }
+  }
+  out.unique_objects = seen.size();
+  stream.reset();
+  return out;
+}
+
+}  // namespace chameleon::workload

@@ -1,0 +1,37 @@
+// Aggregate characteristics of a request stream — the columns of Table III.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "workload/request.hpp"
+
+namespace chameleon::workload {
+
+struct TraceCharacteristics {
+  std::uint64_t request_count = 0;
+  std::uint64_t write_count = 0;
+  std::uint64_t read_count = 0;
+  std::uint64_t request_bytes = 0;  ///< total R/W bytes ("Reqs. Data")
+  std::uint64_t dataset_bytes = 0;  ///< sum of distinct objects' sizes
+  std::uint64_t unique_objects = 0;
+  Nanos duration = 0;
+
+  double write_ratio() const {
+    return request_count == 0
+               ? 0.0
+               : static_cast<double>(write_count) /
+                     static_cast<double>(request_count);
+  }
+  double dataset_gb() const {
+    return static_cast<double>(dataset_bytes) / static_cast<double>(kGiB);
+  }
+  double request_gb() const {
+    return static_cast<double>(request_bytes) / static_cast<double>(kGiB);
+  }
+};
+
+/// Drain (and reset) a stream, computing its Table III row.
+TraceCharacteristics characterize(WorkloadStream& stream);
+
+}  // namespace chameleon::workload

@@ -1,0 +1,42 @@
+#include "workload/trace_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace chameleon::workload {
+
+std::uint64_t write_msr_trace(WorkloadStream& stream,
+                              const TraceWriterConfig& config) {
+  std::ofstream out(config.path);
+  if (!out) {
+    throw std::runtime_error("write_msr_trace: cannot open " + config.path);
+  }
+  // The published traces start at a large absolute FILETIME; any base works
+  // as long as deltas are preserved. 116444736000000000 = 1970-01-01.
+  constexpr std::uint64_t kEpochFiletime = 116444736000000000ULL;
+
+  // Assign each distinct object a dense extent-aligned offset so the reader
+  // quantizes it back to one object.
+  std::unordered_map<ObjectId, std::uint64_t> offsets;
+  stream.reset();
+  TraceRecord rec;
+  std::uint64_t written = 0;
+  while (stream.next(rec)) {
+    const auto [it, inserted] =
+        offsets.try_emplace(rec.oid, offsets.size() * config.object_bytes);
+    const std::uint64_t filetime =
+        kEpochFiletime + static_cast<std::uint64_t>(rec.timestamp) / 100;
+    const std::uint32_t size =
+        rec.size_bytes > config.object_bytes ? config.object_bytes
+                                             : rec.size_bytes;
+    out << filetime << ',' << config.hostname << ',' << config.disk_number
+        << ',' << (rec.is_write ? "Write" : "Read") << ',' << it->second
+        << ',' << size << ",0\n";
+    ++written;
+  }
+  stream.reset();
+  return written;
+}
+
+}  // namespace chameleon::workload

@@ -1,0 +1,27 @@
+// Export any request stream as an MSR-Cambridge-format CSV, the format
+// MsrTraceReader consumes. Lets users materialize the calibrated synthetic
+// presets as shareable trace files (and round-trip them through the reader).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workload/request.hpp"
+
+namespace chameleon::workload {
+
+struct TraceWriterConfig {
+  std::string path;
+  std::string hostname = "chameleon";
+  std::uint32_t disk_number = 0;
+  /// Object ids are mapped to byte offsets spaced this far apart.
+  std::uint32_t object_bytes = 64 * 1024;
+};
+
+/// Drain (and reset) `stream`, writing one CSV line per record. Returns the
+/// number of records written. Timestamps are emitted as Windows FILETIME
+/// ticks relative to an arbitrary epoch, as in the published traces.
+std::uint64_t write_msr_trace(WorkloadStream& stream,
+                              const TraceWriterConfig& config);
+
+}  // namespace chameleon::workload

@@ -1,0 +1,128 @@
+#include "workload/ycsb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::workload {
+
+const char* ycsb_mix_name(YcsbMix mix) {
+  switch (mix) {
+    case YcsbMix::kA: return "ycsb-a";
+    case YcsbMix::kB: return "ycsb-b";
+    case YcsbMix::kC: return "ycsb-c";
+    case YcsbMix::kD: return "ycsb-d";
+    case YcsbMix::kF: return "ycsb-f";
+  }
+  return "ycsb-?";
+}
+
+std::vector<YcsbMix> all_ycsb_mixes() {
+  return {YcsbMix::kA, YcsbMix::kB, YcsbMix::kC, YcsbMix::kD, YcsbMix::kF};
+}
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& config)
+    : config_(config),
+      name_(ycsb_mix_name(config.mix)),
+      zipf_(config.record_count == 0 ? 1 : config.record_count, 0.99),
+      rng_(config.seed),
+      inserted_(config.record_count) {
+  if (config_.record_count == 0 || config_.operation_count == 0) {
+    throw std::invalid_argument("YcsbConfig: zero records or operations");
+  }
+}
+
+double YcsbWorkload::read_fraction() const {
+  switch (config_.mix) {
+    case YcsbMix::kA: return 0.50;
+    case YcsbMix::kB: return 0.95;
+    case YcsbMix::kC: return 1.00;
+    case YcsbMix::kD: return 0.95;
+    case YcsbMix::kF: return 0.50;  // RMW pairs: half the ops are reads
+  }
+  return 0.5;
+}
+
+ObjectId YcsbWorkload::record_id(std::uint64_t index) const {
+  return fnv1a64(index * 0x9E3779B97F4A7C15ULL + config_.seed);
+}
+
+std::uint64_t YcsbWorkload::pick_record() {
+  if (config_.mix == YcsbMix::kD) {
+    // "Read latest": exponential recency bias over inserted records.
+    const double u = std::max(rng_.next_double(), 1e-12);
+    const auto back = static_cast<std::uint64_t>(
+        -std::log(u) * static_cast<double>(inserted_) / 10.0);
+    return back >= inserted_ ? 0 : inserted_ - 1 - back;
+  }
+  return zipf_.next(rng_);
+}
+
+std::uint64_t YcsbWorkload::expected_requests() const {
+  // F issues two records (read + write) per RMW operation.
+  return config_.mix == YcsbMix::kF ? config_.operation_count * 2
+                                    : config_.operation_count;
+}
+
+bool YcsbWorkload::next(TraceRecord& out) {
+  if (rmw_write_pending_) {
+    // Second half of a read-modify-write: update what was just read.
+    rmw_write_pending_ = false;
+    out.timestamp = now_;
+    out.oid = rmw_oid_;
+    out.size_bytes = config_.record_bytes;
+    out.is_write = true;
+    ++emitted_;
+    return true;
+  }
+  if (emitted_ >= expected_requests()) return false;
+
+  const double mean_gap = static_cast<double>(config_.duration) /
+                          static_cast<double>(expected_requests());
+  const double u = std::max(rng_.next_double(), 1e-12);
+  now_ += static_cast<Nanos>(-mean_gap * std::log(u));
+
+  out.timestamp = now_;
+  out.size_bytes = config_.record_bytes;
+
+  switch (config_.mix) {
+    case YcsbMix::kA:
+    case YcsbMix::kB:
+    case YcsbMix::kC: {
+      out.oid = record_id(pick_record());
+      out.is_write = !rng_.next_bool(read_fraction());
+      break;
+    }
+    case YcsbMix::kD: {
+      if (rng_.next_bool(0.05)) {
+        out.oid = record_id(inserted_++);  // insert a new record
+        out.is_write = true;
+      } else {
+        out.oid = record_id(pick_record());
+        out.is_write = false;
+      }
+      break;
+    }
+    case YcsbMix::kF: {
+      out.oid = record_id(pick_record());
+      out.is_write = false;  // the read half; the write half follows
+      rmw_write_pending_ = true;
+      rmw_oid_ = out.oid;
+      break;
+    }
+  }
+  ++emitted_;
+  return true;
+}
+
+void YcsbWorkload::reset() {
+  rng_ = Xoshiro256(config_.seed);
+  emitted_ = 0;
+  now_ = 0;
+  inserted_ = config_.record_count;
+  rmw_write_pending_ = false;
+  rmw_oid_ = 0;
+}
+
+}  // namespace chameleon::workload

@@ -1,0 +1,66 @@
+// The standard YCSB core workload mixes (Cooper et al., SoCC'10), mapped
+// onto the calibrated synthetic trace engine. The paper evaluates with the
+// Zipf-distributed YCSB pattern ("ycsb-zipf", write-heavy); these presets
+// let users study Chameleon under the canonical A-F mixes too.
+//
+//   A: update heavy (50/50 read/update), zipfian
+//   B: read mostly (95/5), zipfian
+//   C: read only (100/0), zipfian
+//   D: read latest (95/5 insert), recency-skewed
+//   F: read-modify-write (50/50), zipfian  (each RMW = one read + one write)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/synthetic_trace.hpp"
+
+namespace chameleon::workload {
+
+enum class YcsbMix : std::uint8_t { kA, kB, kC, kD, kF };
+
+const char* ycsb_mix_name(YcsbMix mix);
+std::vector<YcsbMix> all_ycsb_mixes();
+
+struct YcsbConfig {
+  YcsbMix mix = YcsbMix::kA;
+  std::uint64_t record_count = 100'000;  ///< objects in the store
+  std::uint64_t operation_count = 1'000'000;
+  std::uint32_t record_bytes = 1000;  ///< YCSB default: 10 fields x 100B
+  Nanos duration = 24 * kHour;
+  std::uint64_t seed = 42;
+};
+
+/// YCSB request stream. Mixes A/B/C/F draw records zipfian(0.99); D draws
+/// from a sliding "latest" window. F issues read+write pairs.
+class YcsbWorkload final : public WorkloadStream {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& config);
+
+  bool next(TraceRecord& out) override;
+  void reset() override;
+  std::uint64_t expected_requests() const override;
+  const std::string& name() const override { return name_; }
+
+  const YcsbConfig& config() const { return config_; }
+  double read_fraction() const;
+
+ private:
+  ObjectId record_id(std::uint64_t index) const;
+  std::uint64_t pick_record();
+
+  YcsbConfig config_;
+  std::string name_;
+  ZipfGenerator zipf_;
+  Xoshiro256 rng_;
+  std::uint64_t emitted_ = 0;
+  Nanos now_ = 0;
+  /// D-mix: records inserted so far (the "latest" window grows).
+  std::uint64_t inserted_;
+  /// F-mix: a pending write half of a read-modify-write.
+  bool rmw_write_pending_ = false;
+  ObjectId rmw_oid_ = 0;
+};
+
+}  // namespace chameleon::workload

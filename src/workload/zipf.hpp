@@ -1,0 +1,37 @@
+// Zipfian rank generator following the Gray et al. method used by YCSB's
+// ZipfianGenerator: draws ranks in [0, n) with P(rank = i) proportional to
+// 1/(i+1)^theta, in O(1) per draw after an O(n) zeta precomputation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace chameleon::workload {
+
+class ZipfGenerator {
+ public:
+  /// n items, skew theta in [0, 1). theta ~0.99 matches YCSB's default.
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  /// Draw a rank; rank 0 is the most popular item.
+  std::uint64_t next(Xoshiro256& rng) const;
+
+  std::uint64_t item_count() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of the single hottest rank (for tests).
+  double top_probability() const;
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+}  // namespace chameleon::workload

@@ -1,0 +1,131 @@
+#include "baselines/edm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::baselines {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial = meta::RedState::kRep)
+      : cluster(12, small_ssd()), store(cluster, table, config(initial)) {}
+
+  static kv::KvConfig config(meta::RedState initial) {
+    kv::KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  void wear_out(ServerId id, std::uint32_t rounds = 10) {
+    auto& s = cluster.server(id);
+    const auto logical = s.log().ftl().config().logical_pages();
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      for (std::uint32_t i = 0; i < logical / 2; ++i) {
+        s.write_fragment(cluster::fragment_key(0xF000 + i, 7, 0), 4096);
+      }
+    }
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  EdmOptions opts;
+};
+
+TEST(Edm, IdleWhenBalanced) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 10; ++oid) f.store.put(oid, 8192, 0);
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  ASSERT_EQ(edm.timeline().size(), 1u);
+  EXPECT_FALSE(edm.timeline()[0].triggered);
+  EXPECT_EQ(edm.timeline()[0].migrations, 0u);
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kMigration), 0u);
+}
+
+TEST(Edm, MigratesOffTheMostWornServer) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 60; ++oid) {
+    f.store.put(oid, 16'384, 0);
+    f.store.put(oid, 16'384, 0);  // some heat
+  }
+  f.wear_out(4);
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  const auto& report = edm.timeline()[0];
+  EXPECT_TRUE(report.triggered);
+  EXPECT_GT(report.migrations, 0u);
+  EXPECT_GT(report.bytes_moved, 0u);
+  EXPECT_GT(f.cluster.network().bytes(cluster::Traffic::kMigration), 0u);
+}
+
+TEST(Edm, MigrationCausesDeviceWrites) {
+  // The defining difference vs Chameleon: EDM's balancing itself programs
+  // flash pages at the destinations.
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 60; ++oid) {
+    f.store.put(oid, 16'384, 0);
+    f.store.put(oid, 16'384, 0);
+  }
+  f.wear_out(4);
+  std::uint64_t writes_before = 0;
+  for (ServerId s = 0; s < f.cluster.size(); ++s) {
+    writes_before += f.cluster.server(s).ssd_stats().host_page_writes;
+  }
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  std::uint64_t writes_after = 0;
+  for (ServerId s = 0; s < f.cluster.size(); ++s) {
+    writes_after += f.cluster.server(s).ssd_stats().host_page_writes;
+  }
+  ASSERT_GT(edm.timeline()[0].migrations, 0u);
+  EXPECT_GT(writes_after, writes_before);
+}
+
+TEST(Edm, MigrationCapRespected) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 100; ++oid) {
+    f.store.put(oid, 8192, 0);
+    f.store.put(oid, 8192, 0);
+  }
+  f.wear_out(6);
+  f.opts.max_migrations = 5;
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  EXPECT_LE(edm.timeline()[0].migrations, 5u);
+}
+
+TEST(Edm, MigratedObjectsStayInStableStates) {
+  // EDM is redundancy-oblivious: it never creates intermediate states.
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 60; ++oid) {
+    f.store.put(oid, 16'384, 0);
+    f.store.put(oid, 16'384, 0);
+  }
+  f.wear_out(4);
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  f.table.for_each([](const meta::ObjectMeta& m) {
+    EXPECT_FALSE(meta::is_intermediate(m.state));
+  });
+}
+
+TEST(Edm, AbsoluteThresholdMode) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 20; ++oid) f.store.put(oid, 8192, 0);
+  f.wear_out(2);
+  f.opts.sigma_abs = 1e12;  // impossible threshold: never trigger
+  EdmBalancer edm(f.store, f.opts);
+  edm.on_epoch(1);
+  EXPECT_FALSE(edm.timeline()[0].triggered);
+}
+
+}  // namespace
+}  // namespace chameleon::baselines

@@ -1,0 +1,101 @@
+#include "baselines/swans.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::baselines {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : cluster(12, small_ssd()), store(cluster, table, config()) {}
+
+  static kv::KvConfig config() {
+    kv::KvConfig c;
+    c.initial_scheme = meta::RedState::kRep;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  SwansOptions opts;
+};
+
+TEST(Swans, IdleWithoutWriteIntensitySkew) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 10; ++oid) f.store.put(oid, 8192, 0);
+  SwansBalancer swans(f.store, f.opts);
+  swans.on_epoch(1);  // establish the baseline window
+  swans.on_epoch(2);  // no writes since: zero intensity everywhere
+  EXPECT_FALSE(swans.timeline()[1].triggered);
+  EXPECT_EQ(swans.timeline()[1].migrations, 0u);
+}
+
+TEST(Swans, RedistributesOnWriteIntensitySkew) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 60; ++oid) f.store.put(oid, 16'384, 0);
+  SwansBalancer swans(f.store, f.opts);
+  swans.on_epoch(1);
+
+  // Concentrate epoch-2 writes onto the objects of one server.
+  const ServerId hot_server = 4;
+  std::vector<ObjectId> on_hot;
+  f.table.for_each([&](const meta::ObjectMeta& m) {
+    if (m.src.contains(hot_server)) on_hot.push_back(m.oid);
+  });
+  ASSERT_FALSE(on_hot.empty());
+  for (int round = 0; round < 20; ++round) {
+    for (const ObjectId oid : on_hot) f.store.put(oid, 16'384, 2);
+  }
+
+  swans.on_epoch(2);
+  const auto& report = swans.timeline()[1];
+  EXPECT_TRUE(report.triggered);
+  EXPECT_GT(report.intensity_cv_before, f.opts.intensity_cv);
+  EXPECT_GT(report.migrations, 0u);
+  EXPECT_GT(f.cluster.network().bytes(cluster::Traffic::kMigration), 0u);
+}
+
+TEST(Swans, MigrationCapRespected) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 100; ++oid) f.store.put(oid, 8192, 0);
+  SwansBalancer swans(f.store, f.opts);
+  swans.on_epoch(1);
+  for (int round = 0; round < 10; ++round) {
+    for (ObjectId oid = 1; oid <= 100; ++oid) f.store.put(oid, 8192, 2);
+  }
+  f.opts = SwansOptions{};
+  // Re-run with a tight cap via a fresh balancer sharing the store.
+  SwansOptions tight;
+  tight.max_migrations = 3;
+  SwansBalancer capped(f.store, tight);
+  capped.on_epoch(3);
+  capped.on_epoch(4);
+  for (const auto& r : capped.timeline()) {
+    EXPECT_LE(r.migrations, 3u);
+  }
+}
+
+TEST(Swans, NeverCreatesIntermediateStates) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 60; ++oid) f.store.put(oid, 16'384, 0);
+  SwansBalancer swans(f.store, f.opts);
+  swans.on_epoch(1);
+  for (int round = 0; round < 20; ++round) {
+    for (ObjectId oid = 1; oid <= 10; ++oid) f.store.put(oid, 16'384, 2);
+  }
+  swans.on_epoch(2);
+  f.table.for_each([](const meta::ObjectMeta& m) {
+    EXPECT_FALSE(meta::is_intermediate(m.state));
+  });
+}
+
+}  // namespace
+}  // namespace chameleon::baselines

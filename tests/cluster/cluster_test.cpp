@@ -1,0 +1,77 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::cluster {
+namespace {
+
+flashsim::SsdConfig small_config() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+TEST(Cluster, ConstructsRequestedServers) {
+  Cluster c(10, small_config());
+  EXPECT_EQ(c.size(), 10u);
+  EXPECT_EQ(c.ring().server_count(), 10u);
+  for (ServerId id = 0; id < 10; ++id) {
+    EXPECT_EQ(c.server(id).id(), id);
+  }
+}
+
+TEST(Cluster, EraseCountsStartAtZero) {
+  Cluster c(5, small_config());
+  const auto counts = c.erase_counts();
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto e : counts) EXPECT_EQ(e, 0u);
+  EXPECT_EQ(c.total_erases(), 0u);
+  EXPECT_DOUBLE_EQ(c.erase_stats().stddev(), 0.0);
+}
+
+TEST(Cluster, EraseStatsTrackSkewedLoad) {
+  Cluster c(4, small_config());
+  // Hammer server 0 only: overwrite one fragment far past device capacity.
+  auto& hot = c.server(0);
+  const auto logical = hot.log().ftl().config().logical_pages();
+  for (std::uint32_t round = 0; round < 12; ++round) {
+    for (std::uint32_t i = 0; i < logical; ++i) {
+      hot.write_fragment(fragment_key(i, 0, 0), 4096);
+    }
+  }
+  EXPECT_GT(c.total_erases(), 0u);
+  const auto stats = c.erase_stats();
+  EXPECT_GT(stats.stddev(), 0.0);
+  EXPECT_EQ(stats.max(), static_cast<double>(c.server(0).total_erases()));
+}
+
+TEST(Cluster, WriteAmplificationWeightedAcrossServers) {
+  Cluster c(2, small_config());
+  EXPECT_DOUBLE_EQ(c.write_amplification(), 1.0);  // nothing written yet
+  auto& s = c.server(0);
+  const auto logical = s.log().ftl().config().logical_pages();
+  for (std::uint32_t round = 0; round < 8; ++round) {
+    for (std::uint32_t i = 0; i < logical / 2; ++i) {
+      s.write_fragment(fragment_key(i, 0, 0), 4096);
+    }
+  }
+  EXPECT_GE(c.write_amplification(), 1.0);
+}
+
+TEST(Cluster, AvgWriteLatencyZeroWhenIdle) {
+  Cluster c(2, small_config());
+  EXPECT_EQ(c.avg_write_latency(), 0);
+  c.server(1).write_fragment(fragment_key(1, 0, 0), 4096);
+  EXPECT_GE(c.avg_write_latency(), small_config().write_latency);
+}
+
+TEST(Cluster, RejectsInvalidSsdConfig) {
+  flashsim::SsdConfig bad;
+  bad.block_count = 0;
+  EXPECT_THROW(Cluster(2, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

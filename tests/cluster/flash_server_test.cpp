@@ -1,0 +1,69 @@
+#include "cluster/flash_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace chameleon::cluster {
+namespace {
+
+flashsim::SsdConfig small_config() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+TEST(FragmentKey, DistinctAcrossVersionAndIndex) {
+  std::set<FragmentKey> keys;
+  for (ObjectId oid : {1ULL, 2ULL, 99999ULL}) {
+    for (std::uint32_t ver = 0; ver < 4; ++ver) {
+      for (std::uint32_t idx = 0; idx < 6; ++idx) {
+        keys.insert(fragment_key(oid, ver, idx));
+      }
+    }
+  }
+  EXPECT_EQ(keys.size(), 3u * 4u * 6u);
+}
+
+TEST(FlashServer, WriteReadRemoveFragment) {
+  FlashServer server(3, small_config());
+  EXPECT_EQ(server.id(), 3u);
+  const auto key = fragment_key(42, 0, 1);
+  const Nanos wl = server.write_fragment(key, 10'000);
+  EXPECT_GT(wl, 0);
+  EXPECT_TRUE(server.has_fragment(key));
+  EXPECT_EQ(server.fragment_count(), 1u);
+  EXPECT_GT(server.read_fragment(key), 0);
+  EXPECT_EQ(server.remove_fragment(key), 3u);  // 10KB -> 3 pages
+  EXPECT_FALSE(server.has_fragment(key));
+}
+
+TEST(FlashServer, StatsReflectDeviceActivity) {
+  FlashServer server(0, small_config());
+  for (int i = 0; i < 50; ++i) {
+    server.write_fragment(fragment_key(static_cast<ObjectId>(i), 0, 0), 4096);
+  }
+  EXPECT_EQ(server.ssd_stats().host_page_writes, 50u);
+  EXPECT_GE(server.write_amplification(), 1.0);
+  EXPECT_GT(server.logical_utilization(), 0.0);
+}
+
+TEST(FlashServer, OldAndNewIncarnationsCoexist) {
+  // Mid-transition a server may hold both the EC shard (version v) and the
+  // new replica (version v+1) of the same object.
+  FlashServer server(1, small_config());
+  const auto old_key = fragment_key(7, 0, 2);
+  const auto new_key = fragment_key(7, 1, 2);
+  server.write_fragment(old_key, 4096);
+  server.write_fragment(new_key, 16'384);
+  EXPECT_TRUE(server.has_fragment(old_key));
+  EXPECT_TRUE(server.has_fragment(new_key));
+  server.remove_fragment(old_key);
+  EXPECT_FALSE(server.has_fragment(old_key));
+  EXPECT_TRUE(server.has_fragment(new_key));
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

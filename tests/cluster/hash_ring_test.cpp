@@ -1,0 +1,133 @@
+#include "cluster/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/fnv.hpp"
+#include "common/rng.hpp"
+
+namespace chameleon::cluster {
+namespace {
+
+TEST(HashRing, ConstructsWithAllServers) {
+  const HashRing ring(50, 128);
+  EXPECT_EQ(ring.server_count(), 50u);
+  EXPECT_EQ(ring.point_count(), 50u * 128u);
+}
+
+TEST(HashRing, PrimaryIsDeterministic) {
+  const HashRing ring(10);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(ring.primary(fnv1a64(key)), ring.primary(fnv1a64(key)));
+  }
+}
+
+TEST(HashRing, PrimaryMatchesFirstSuccessor) {
+  const HashRing ring(10);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const auto h = fnv1a64(key);
+    EXPECT_EQ(ring.primary(h), ring.successors(h, 1)[0]);
+  }
+}
+
+TEST(HashRing, SuccessorsAreDistinct) {
+  const HashRing ring(50);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto servers = ring.successors(fnv1a64(key), 6);
+    const std::set<ServerId> unique(servers.begin(), servers.end());
+    ASSERT_EQ(unique.size(), 6u) << "key=" << key;
+  }
+}
+
+TEST(HashRing, SuccessorsPrefixStable) {
+  // The replica set (3) must be a prefix of the stripe set (6) for the same
+  // key: conversions keep the leading servers.
+  const HashRing ring(50);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const auto h = fnv1a64(key);
+    const auto three = ring.successors(h, 3);
+    const auto six = ring.successors(h, 6);
+    for (std::size_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(three[i], six[i]) << "key=" << key;
+    }
+  }
+}
+
+TEST(HashRing, TooManySuccessorsThrows) {
+  const HashRing ring(4);
+  EXPECT_THROW(ring.successors(123, 5), std::invalid_argument);
+  EXPECT_NO_THROW(ring.successors(123, 4));
+}
+
+TEST(HashRing, ZeroSuccessorsEmpty) {
+  const HashRing ring(4);
+  EXPECT_TRUE(ring.successors(99, 0).empty());
+}
+
+TEST(HashRing, LoadSpreadIsReasonable) {
+  // With 128 vnodes the most loaded of 50 servers should hold well under
+  // 3x the average share of keys.
+  const HashRing ring(50, 128);
+  std::map<ServerId, int> counts;
+  const int keys = 100'000;
+  for (int key = 0; key < keys; ++key) {
+    ++counts[ring.primary(fnv1a64(static_cast<std::uint64_t>(key)))];
+  }
+  EXPECT_EQ(counts.size(), 50u);  // every server owns some keys
+  const double avg = static_cast<double>(keys) / 50.0;
+  for (const auto& [server, count] : counts) {
+    EXPECT_GT(count, avg * 0.4) << "server " << server;
+    EXPECT_LT(count, avg * 2.5) << "server " << server;
+  }
+}
+
+TEST(HashRing, RemoveServerOnlyMovesItsKeys) {
+  // Consistent hashing's defining property: removing a server only remaps
+  // keys that it owned.
+  HashRing ring(20, 64);
+  std::map<std::uint64_t, ServerId> before;
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    before[key] = ring.primary(fnv1a64(key));
+  }
+  const ServerId victim = 7;
+  ring.remove_server(victim);
+  for (const auto& [key, owner] : before) {
+    const ServerId now = ring.primary(fnv1a64(key));
+    if (owner != victim) {
+      EXPECT_EQ(now, owner) << "key " << key << " moved needlessly";
+    } else {
+      EXPECT_NE(now, victim);
+    }
+  }
+}
+
+TEST(HashRing, RemoveUnknownServerThrows) {
+  HashRing ring(4);
+  EXPECT_THROW(ring.remove_server(99), std::invalid_argument);
+}
+
+TEST(HashRing, AddServerTakesShare) {
+  HashRing ring(10, 64);
+  ring.add_server(10);
+  EXPECT_EQ(ring.server_count(), 11u);
+  int moved = 0;
+  for (std::uint64_t key = 0; key < 10'000; ++key) {
+    if (ring.primary(fnv1a64(key)) == 10) ++moved;
+  }
+  // The new server should own roughly 1/11 of the space.
+  EXPECT_GT(moved, 300);
+  EXPECT_LT(moved, 2500);
+}
+
+TEST(HashRing, SuccessorsWrapAroundRingEnd) {
+  const HashRing ring(5, 16);
+  // Use the maximum hash: the lookup must wrap to the ring start.
+  const auto servers = ring.successors(~std::uint64_t{0}, 5);
+  const std::set<ServerId> unique(servers.begin(), servers.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

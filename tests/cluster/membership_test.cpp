@@ -1,0 +1,84 @@
+#include "cluster/membership.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::cluster {
+namespace {
+
+TEST(Membership, AllLiveInitially) {
+  MembershipService m(5, kSecond);
+  EXPECT_EQ(m.live_count(), 5u);
+  EXPECT_EQ(m.coordinator(), 0u);
+  EXPECT_TRUE(m.detect_failures(0).empty());
+}
+
+TEST(Membership, RejectsBadParameters) {
+  EXPECT_THROW(MembershipService(0, kSecond), std::invalid_argument);
+  EXPECT_THROW(MembershipService(3, 0), std::invalid_argument);
+}
+
+TEST(Membership, LapsedLeaseDeclaresDeath) {
+  MembershipService m(3, kSecond);
+  m.heartbeat(0, kSecond);
+  m.heartbeat(1, kSecond);
+  // Server 2 never heartbeats after t=0.
+  const auto dead = m.detect_failures(2 * kSecond);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], 2u);
+  EXPECT_FALSE(m.is_live(2));
+  EXPECT_EQ(m.live_count(), 2u);
+}
+
+TEST(Membership, DeathReportedExactlyOnce) {
+  MembershipService m(2, kSecond);
+  m.heartbeat(0, 3 * kSecond);
+  EXPECT_EQ(m.detect_failures(3 * kSecond).size(), 1u);  // server 1 dies
+  m.heartbeat(0, 10 * kSecond);
+  EXPECT_TRUE(m.detect_failures(10 * kSecond).empty());  // 1 already dead
+}
+
+TEST(Membership, HeartbeatWithinLeaseKeepsAlive) {
+  MembershipService m(1, kSecond);
+  for (Nanos t = 0; t <= 10 * kSecond; t += kSecond / 2) {
+    m.heartbeat(0, t);
+    EXPECT_TRUE(m.detect_failures(t).empty());
+  }
+}
+
+TEST(Membership, DeadServerHeartbeatIgnoredUntilRejoin) {
+  MembershipService m(2, kSecond);
+  m.heartbeat(0, 5 * kSecond);
+  m.detect_failures(5 * kSecond);  // server 1 dies
+  m.heartbeat(1, 6 * kSecond);     // zombie heartbeat: ignored
+  EXPECT_FALSE(m.is_live(1));
+  m.rejoin(1, 6 * kSecond);
+  EXPECT_TRUE(m.is_live(1));
+  m.heartbeat(0, 6 * kSecond);  // keep server 0's lease fresh too
+  EXPECT_TRUE(m.detect_failures(6 * kSecond + kSecond / 2).empty());
+}
+
+TEST(Membership, CoordinatorFailsOver) {
+  MembershipService m(3, kSecond);
+  m.heartbeat(1, 5 * kSecond);
+  m.heartbeat(2, 5 * kSecond);
+  m.detect_failures(5 * kSecond);  // server 0 dies
+  EXPECT_EQ(m.coordinator(), 1u);
+  m.rejoin(0, 6 * kSecond);
+  EXPECT_EQ(m.coordinator(), 0u);  // lowest live id reclaims coordination
+}
+
+TEST(Membership, UnknownServerThrows) {
+  MembershipService m(2, kSecond);
+  EXPECT_THROW(m.heartbeat(5, 0), std::out_of_range);
+  EXPECT_THROW(m.rejoin(5, 0), std::out_of_range);
+}
+
+TEST(Membership, AllDeadMeansNoCoordinator) {
+  MembershipService m(2, kSecond);
+  m.detect_failures(10 * kSecond);
+  EXPECT_EQ(m.live_count(), 0u);
+  EXPECT_EQ(m.coordinator(), kInvalidServer);
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

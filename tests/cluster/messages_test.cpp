@@ -1,0 +1,106 @@
+#include "cluster/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chameleon::cluster {
+namespace {
+
+TEST(Wire, VarintRoundTripBoundaries) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16'383ULL, 16'384ULL,
+        0xFFFFFFFFULL, ~0ULL}) {
+    std::string buf;
+    wire::put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(wire::get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Wire, VarintIsCompactForSmallValues) {
+  std::string buf;
+  wire::put_varint(buf, 5);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  wire::put_varint(buf, 300);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Wire, TruncatedVarintThrows) {
+  std::string buf;
+  wire::put_varint(buf, ~0ULL);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(wire::get_varint(buf, pos), std::runtime_error);
+  std::size_t pos2 = 0;
+  EXPECT_THROW(wire::get_varint(std::string{}, pos2), std::runtime_error);
+}
+
+TEST(Heartbeat, RoundTrip) {
+  HeartbeatMessage msg;
+  msg.server = 42;
+  msg.epoch = 17;
+  msg.erase_count = 1'234'567;
+  msg.host_pages_this_epoch = 89'000;
+  msg.logical_utilization_q = 7350;
+  msg.victim_utilization_q = 4200;
+  EXPECT_EQ(HeartbeatMessage::deserialize(msg.serialize()), msg);
+}
+
+TEST(Heartbeat, CompactOnTheWire) {
+  // A fresh server's heartbeat is a handful of bytes, not a fixed struct.
+  HeartbeatMessage msg;
+  msg.server = 3;
+  msg.epoch = 1;
+  EXPECT_LT(msg.serialize().size(), 10u);
+}
+
+TEST(Heartbeat, TrailingBytesRejected) {
+  HeartbeatMessage msg;
+  auto bytes = msg.serialize();
+  bytes.push_back('\x01');
+  EXPECT_THROW(HeartbeatMessage::deserialize(bytes), std::runtime_error);
+}
+
+TEST(RemapCommand, RoundTrip) {
+  RemapCommand cmd;
+  cmd.oid = 0xDEADBEEFCAFEULL;
+  cmd.epoch = 9;
+  cmd.new_state = 3;
+  cmd.destination = {4, 17, 0, 49, 31, 8};
+  EXPECT_EQ(RemapCommand::deserialize(cmd.serialize()), cmd);
+}
+
+TEST(RemapCommand, EmptyDestinationRoundTrip) {
+  RemapCommand cmd;
+  cmd.oid = 1;
+  EXPECT_EQ(RemapCommand::deserialize(cmd.serialize()), cmd);
+}
+
+TEST(RemapCommand, ImplausibleSetSizeRejected) {
+  std::string bytes;
+  wire::put_varint(bytes, 1);    // oid
+  wire::put_varint(bytes, 0);    // epoch
+  wire::put_varint(bytes, 0);    // state
+  wire::put_varint(bytes, 500);  // destination count: absurd
+  EXPECT_THROW(RemapCommand::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Messages, FuzzRoundTripRandomHeartbeats) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    HeartbeatMessage msg;
+    msg.server = static_cast<ServerId>(rng.next_below(1000));
+    msg.epoch = static_cast<Epoch>(rng.next_below(100'000));
+    msg.erase_count = rng.next();
+    msg.host_pages_this_epoch = rng.next_below(1ULL << 40);
+    msg.logical_utilization_q = static_cast<std::uint32_t>(rng.next_below(10'001));
+    msg.victim_utilization_q = static_cast<std::uint32_t>(rng.next_below(10'001));
+    ASSERT_EQ(HeartbeatMessage::deserialize(msg.serialize()), msg);
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

@@ -1,0 +1,70 @@
+#include "cluster/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace chameleon::cluster {
+namespace {
+
+TEST(Network, AccountsBytesPerClass) {
+  Network net;
+  net.transfer(Traffic::kMigration, 1000);
+  net.transfer(Traffic::kMigration, 500);
+  net.transfer(Traffic::kReplication, 200);
+  EXPECT_EQ(net.bytes(Traffic::kMigration), 1500u);
+  EXPECT_EQ(net.messages(Traffic::kMigration), 2u);
+  EXPECT_EQ(net.bytes(Traffic::kReplication), 200u);
+  EXPECT_EQ(net.bytes(Traffic::kSwap), 0u);
+  EXPECT_EQ(net.total_bytes(), 1700u);
+}
+
+TEST(Network, BalancingBytesCoversOnlyBalancerTraffic) {
+  Network net;
+  net.transfer(Traffic::kClientWrite, 100);
+  net.transfer(Traffic::kReplication, 100);
+  net.transfer(Traffic::kConversion, 10);
+  net.transfer(Traffic::kSwap, 20);
+  net.transfer(Traffic::kMigration, 30);
+  net.transfer(Traffic::kHeartbeat, 100);
+  EXPECT_EQ(net.balancing_bytes(), 60u);
+}
+
+TEST(Network, LatencyScalesWithBytes) {
+  NetworkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e9;  // 1 GB/s
+  cfg.per_message_overhead = 0;
+  Network net(cfg);
+  const Nanos one_kb = net.transfer(Traffic::kClientWrite, 1000);
+  const Nanos one_mb = net.transfer(Traffic::kClientWrite, 1'000'000);
+  EXPECT_EQ(one_kb, 1000);       // 1 us
+  EXPECT_EQ(one_mb, 1'000'000);  // 1 ms
+}
+
+TEST(Network, PerMessageOverheadApplied) {
+  NetworkConfig cfg;
+  cfg.per_message_overhead = 42;
+  Network net(cfg);
+  EXPECT_GE(net.transfer(Traffic::kHeartbeat, 0), 42);
+}
+
+TEST(Network, ResetClearsCounters) {
+  Network net;
+  net.transfer(Traffic::kSwap, 999);
+  net.reset();
+  EXPECT_EQ(net.total_bytes(), 0u);
+  EXPECT_EQ(net.messages(Traffic::kSwap), 0u);
+}
+
+TEST(Network, TrafficNamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Traffic::kCount); ++i) {
+    names.insert(traffic_name(static_cast<Traffic>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(Traffic::kCount));
+  EXPECT_STREQ(traffic_name(Traffic::kMigration), "migration");
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

@@ -1,0 +1,65 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.now(), 0);
+}
+
+TEST(VirtualClock, AdvanceToMovesForwardOnly) {
+  VirtualClock c;
+  c.advance_to(100);
+  EXPECT_EQ(c.now(), 100);
+  c.advance_to(50);  // non-monotonic trace timestamps are ignored
+  EXPECT_EQ(c.now(), 100);
+  c.advance_to(200);
+  EXPECT_EQ(c.now(), 200);
+}
+
+TEST(VirtualClock, AdvanceByAccumulates) {
+  VirtualClock c;
+  c.advance_by(10);
+  c.advance_by(15);
+  EXPECT_EQ(c.now(), 25);
+}
+
+TEST(VirtualClock, EpochOfFixedLength) {
+  VirtualClock c;
+  EXPECT_EQ(c.epoch_of(kHour), 0u);
+  c.advance_to(kHour - 1);
+  EXPECT_EQ(c.epoch_of(kHour), 0u);
+  c.advance_to(kHour);
+  EXPECT_EQ(c.epoch_of(kHour), 1u);
+  c.advance_to(10 * kHour + 30 * kMinute);
+  EXPECT_EQ(c.epoch_of(kHour), 10u);
+}
+
+TEST(VirtualClock, EpochOfZeroLengthIsZero) {
+  VirtualClock c;
+  c.advance_to(kHour);
+  EXPECT_EQ(c.epoch_of(0), 0u);
+}
+
+TEST(VirtualClock, Reset) {
+  VirtualClock c;
+  c.advance_to(kSecond);
+  c.reset();
+  EXPECT_EQ(c.now(), 0);
+  c.reset(5);
+  EXPECT_EQ(c.now(), 5);
+}
+
+TEST(TimeConstants, Relationships) {
+  EXPECT_EQ(kMicrosecond * 1000, kMillisecond);
+  EXPECT_EQ(kMillisecond * 1000, kSecond);
+  EXPECT_EQ(kSecond * 3600, kHour);
+  EXPECT_EQ(kKiB * 1024, kMiB);
+  EXPECT_EQ(kMiB * 1024, kGiB);
+}
+
+}  // namespace
+}  // namespace chameleon

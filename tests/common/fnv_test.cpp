@@ -1,0 +1,55 @@
+#include "common/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace chameleon {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(std::string_view("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(std::string_view("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(std::string_view("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, BytesAndStringViewAgree) {
+  const std::string s = "chameleon";
+  EXPECT_EQ(fnv1a64(s.data(), s.size()), fnv1a64(std::string_view(s)));
+}
+
+TEST(Fnv1a64, IntegerOverloadMatchesBytewise) {
+  const std::uint64_t v = 0x0123456789ABCDEFULL;
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((v >> (i * 8)) & 0xFF);
+  }
+  EXPECT_EQ(fnv1a64(v), fnv1a64(bytes, 8));
+}
+
+TEST(Fnv1a64, IsConstexpr) {
+  constexpr auto h = fnv1a64(std::string_view("compile-time"));
+  static_assert(h != 0);
+  EXPECT_NE(h, 0u);
+}
+
+TEST(Fnv1a64, NoCollisionsOnSmallDenseKeys) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    hashes.insert(fnv1a64(i));
+  }
+  EXPECT_EQ(hashes.size(), 100'000u);
+}
+
+TEST(Fnv1a64, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip a substantial number of output bits.
+  const std::uint64_t a = fnv1a64(std::uint64_t{0});
+  const std::uint64_t b = fnv1a64(std::uint64_t{1});
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,87 @@
+#include "common/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon {
+namespace {
+
+TEST(InlineVec, StartsEmpty) {
+  using V6 = InlineVec<int, 6>;
+  V6 v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(V6::capacity(), 6u);
+}
+
+TEST(InlineVec, PushBackAndIndex) {
+  InlineVec<int, 6> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10);
+  EXPECT_EQ(v[1], 20);
+}
+
+TEST(InlineVec, InitializerList) {
+  InlineVec<int, 6> v{1, 2, 3};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(InlineVec, InitializerListTooLongThrows) {
+  using V = InlineVec<int, 2>;
+  EXPECT_THROW(V({1, 2, 3}), std::length_error);
+}
+
+TEST(InlineVec, OverflowThrows) {
+  InlineVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_THROW(v.push_back(3), std::length_error);
+}
+
+TEST(InlineVec, AtBoundsChecked) {
+  InlineVec<int, 4> v{5};
+  EXPECT_EQ(v.at(0), 5);
+  EXPECT_THROW(v.at(1), std::out_of_range);
+}
+
+TEST(InlineVec, RangeForIteration) {
+  InlineVec<int, 6> v{1, 2, 3, 4};
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(InlineVec, Contains) {
+  InlineVec<int, 6> v{7, 8};
+  EXPECT_TRUE(v.contains(7));
+  EXPECT_FALSE(v.contains(9));
+}
+
+TEST(InlineVec, ClearResets) {
+  InlineVec<int, 6> v{1, 2};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(3);
+  EXPECT_EQ(v[0], 3);
+}
+
+TEST(InlineVec, EqualityComparesContents) {
+  InlineVec<int, 6> a{1, 2};
+  InlineVec<int, 6> b{1, 2};
+  InlineVec<int, 6> c{2, 1};
+  InlineVec<int, 6> d{1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(InlineVec, MutationThroughIndex) {
+  InlineVec<int, 3> v{1, 2, 3};
+  v[1] = 99;
+  EXPECT_EQ(v[1], 99);
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+namespace chameleon {
+namespace {
+
+TEST(Splitmix64, AdvancesStateAndMixes) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  const auto a = splitmix64(s1);
+  const auto b = splitmix64(s1);
+  EXPECT_NE(a, b);
+  // Same starting state replays the same sequence.
+  EXPECT_EQ(splitmix64(s2), a);
+  EXPECT_EQ(splitmix64(s2), b);
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, ZeroSeedIsUsable) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.insert(rng.next());
+  EXPECT_EQ(values.size(), 100u);  // splitmix seeding avoids the all-zero trap
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroAndOne) {
+  Xoshiro256 rng(5);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(9);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 7000; ++i) {
+    ++counts[rng.next_below(7)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform: expected 1000 each
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Xoshiro256, NextRangeInclusive) {
+  Xoshiro256 rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BernoulliProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, GaussianMomentsApproximatelyStandard) {
+  Xoshiro256 rng(19);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.next_gaussian();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(21);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace chameleon

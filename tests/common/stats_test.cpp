@@ -1,0 +1,174 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace chameleon {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownPopulation) {
+  // Population {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population stddev 2.
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, CvIsStddevOverMean) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cv(), 2.0 / 5.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(1);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100.0;
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, SummarizeSpan) {
+  const std::vector<std::uint64_t> v{10, 20, 30};
+  const auto s = summarize(std::span<const std::uint64_t>(v));
+  EXPECT_DOUBLE_EQ(s.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 60.0);
+}
+
+TEST(Histogram, RejectsDegenerateLayout) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-1.0);
+  h.add(10.0);  // hi is exclusive
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bin_value(0), 1u);
+  EXPECT_EQ(h.bin_value(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.bin_value(1), 10u);
+}
+
+TEST(Histogram, PercentileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(90), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(100), 100.0, 1.0);
+}
+
+TEST(Histogram, MergeRequiresSameLayout) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  Histogram c(0.0, 10.0, 10);
+  c.add(5.0);
+  a.merge(c);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_EQ(h.bin_value(0), 0u);
+}
+
+TEST(ExactPercentile, SmallSamples) {
+  EXPECT_DOUBLE_EQ(exact_percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(exact_percentile({5.0}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(exact_percentile({5.0}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(exact_percentile({1.0, 2.0, 3.0, 4.0}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(exact_percentile({4.0, 1.0, 3.0, 2.0}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(exact_percentile({4.0, 1.0, 3.0, 2.0}, 100), 4.0);
+}
+
+// Property sweep: histogram percentiles track exact percentiles for random
+// data at several resolutions.
+class HistogramAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistogramAccuracy, TracksExactPercentiles) {
+  const std::size_t bins = GetParam();
+  Xoshiro256 rng(bins);
+  Histogram h(0.0, 1000.0, bins);
+  std::vector<double> values;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.next_double() * 1000.0;
+    values.push_back(v);
+    h.add(v);
+  }
+  for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double exact = exact_percentile(values, p);
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact, 1000.0 / static_cast<double>(bins) + 1.0)
+        << "p=" << p << " bins=" << bins;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, HistogramAccuracy,
+                         ::testing::Values(16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace chameleon

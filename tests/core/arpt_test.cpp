@@ -1,0 +1,264 @@
+// Algorithm 1 unit tests. The wear vector is fabricated so every scenario
+// is deterministic; ARPT only reads erase counts / utilizations from it.
+#include "core/arpt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace chameleon::core {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial = meta::RedState::kEc)
+      : cluster(12, small_ssd()), store(cluster, table, config(initial)) {
+    opts.adaptive_hot_quantile = 0.0;  // fixed l_hot for determinism
+    opts.hot_threshold = 4.0;
+    opts.sigma_arpt_cv = 0.10;
+    estimator = std::make_unique<WearEstimator>(
+        cluster.ssd_config().pages_per_block,
+        cluster.ssd_config().page_size_bytes);
+  }
+
+  static kv::KvConfig config(meta::RedState initial) {
+    kv::KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  /// Fabricate monitor output: erase counts per server, uniform mu/util,
+  /// and a healthy per-epoch write volume (the upgrade budget scales off
+  /// it — zero volume would veto every upgrade).
+  std::vector<ServerWearInfo> wear(std::vector<std::uint64_t> erases,
+                                   double util = 0.3) const {
+    std::vector<ServerWearInfo> out;
+    for (std::size_t id = 0; id < erases.size(); ++id) {
+      ServerWearInfo info;
+      info.server = static_cast<ServerId>(id);
+      info.erase_count = erases[id];
+      info.victim_utilization = 0.5;
+      info.logical_utilization = util;
+      info.host_pages_this_epoch = 50'000;
+      out.push_back(info);
+    }
+    return out;
+  }
+
+  void set_heat(ObjectId oid, double heat, Epoch now) {
+    table.mutate(oid, [&](meta::ObjectMeta& m) {
+      m.popularity = heat;
+      m.writes_in_epoch = 0;
+      m.heat_epoch = now;
+    });
+  }
+
+  ArptReport run(const std::vector<std::uint64_t>& erases, Epoch now = 1) {
+    const auto w = wear(erases);
+    estimator->update(w);
+    Arpt arpt(store, opts);
+    return arpt.run(now, w, *estimator);
+  }
+
+  std::vector<std::uint64_t> skewed_wear() const {
+    // Servers 0-2 barely worn, 6-11 heavily worn.
+    return {10, 10, 10, 500, 500, 500, 1000, 1000, 1000, 1000, 1000, 1000};
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  ChameleonOptions opts;
+  std::unique_ptr<WearEstimator> estimator;
+};
+
+TEST(Arpt, HotEcObjectBecomesLateRep) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'384, 0);
+  f.set_heat(1, 10.0, 1);  // above l_hot = 4
+
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_EQ(report.screened_to_late_rep, 1u);
+  const auto m = *f.table.get(1);
+  EXPECT_EQ(m.state, meta::RedState::kLateRep);
+  EXPECT_EQ(m.dst.size(), 3u);
+}
+
+TEST(Arpt, ColdRepObjectBecomesLateEc) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(2, 16'384, 0);
+  f.set_heat(2, 0.5, 1);  // below l_hot
+
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_EQ(report.screened_to_late_ec, 1u);
+  const auto m = *f.table.get(2);
+  EXPECT_EQ(m.state, meta::RedState::kLateEc);
+  EXPECT_EQ(m.dst.size(), 6u);
+}
+
+TEST(Arpt, ColdEcAndHotRepAreLeftAlone) {
+  Fixture cold(meta::RedState::kEc);
+  cold.store.put(1, 8192, 0);
+  cold.set_heat(1, 0.1, 1);
+  auto report = cold.run(cold.skewed_wear());
+  EXPECT_EQ(report.screened_to_late_rep + report.screened_to_late_ec, 0u);
+  EXPECT_EQ(cold.table.get(1)->state, meta::RedState::kEc);
+
+  Fixture hot(meta::RedState::kRep);
+  hot.store.put(2, 8192, 0);
+  hot.set_heat(2, 50.0, 1);
+  report = hot.run(hot.skewed_wear());
+  EXPECT_EQ(report.screened_to_late_rep + report.screened_to_late_ec, 0u);
+  EXPECT_EQ(hot.table.get(2)->state, meta::RedState::kRep);
+}
+
+TEST(Arpt, CooledLateRepRevertsToEc) {
+  // The Fig 3 compaction case: pending upgrade whose object went cold is
+  // cancelled in place, with zero data movement.
+  Fixture f(meta::RedState::kEc);
+  f.store.put(3, 16'384, 0);
+  f.table.mutate(3, [&](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kLateRep;
+    m.dst = f.store.place(3, meta::RedState::kRep);
+  });
+  f.set_heat(3, 0.1, 1);
+
+  const std::uint64_t writes_before =
+      f.cluster.server(0).ssd_stats().host_page_writes;
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_EQ(report.cancelled, 1u);
+  const auto m = *f.table.get(3);
+  EXPECT_EQ(m.state, meta::RedState::kEc);
+  EXPECT_TRUE(m.dst.empty());
+  EXPECT_EQ(f.cluster.server(0).ssd_stats().host_page_writes, writes_before);
+}
+
+TEST(Arpt, ReheatedLateEcRevertsToRep) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(4, 16'384, 0);
+  f.table.mutate(4, [&](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kLateEc;
+    m.dst = f.store.place(4, meta::RedState::kEc);
+  });
+  f.set_heat(4, 20.0, 1);
+
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_EQ(report.cancelled, 1u);
+  EXPECT_EQ(f.table.get(4)->state, meta::RedState::kRep);
+}
+
+TEST(Arpt, HottestCandidatePlacedOnLeastWornServers) {
+  Fixture f(meta::RedState::kEc);
+  for (ObjectId oid = 1; oid <= 5; ++oid) {
+    f.store.put(oid, 16'384, 0);
+    f.set_heat(oid, 10.0 + static_cast<double>(oid), 1);
+  }
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_GT(report.placed_hot, 0u);
+
+  // The hottest object (oid 5) must target the three least-worn servers.
+  const auto m = *f.table.get(5);
+  ASSERT_EQ(m.state, meta::RedState::kLateRep);
+  const std::set<ServerId> low{0, 1, 2};
+  for (const ServerId s : m.dst) {
+    EXPECT_TRUE(low.contains(s)) << "server " << s;
+  }
+}
+
+TEST(Arpt, ColdestCandidatePlacedOnMostWornServers) {
+  Fixture f(meta::RedState::kRep);
+  for (ObjectId oid = 1; oid <= 5; ++oid) {
+    f.store.put(oid, 16'384, 0);
+    f.set_heat(oid, 0.1 * static_cast<double>(oid), 1);
+  }
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_GT(report.placed_cold, 0u);
+  const auto m = *f.table.get(1);  // coldest
+  ASSERT_EQ(m.state, meta::RedState::kLateEc);
+  const std::set<ServerId> high{6, 7, 8, 9, 10, 11};
+  for (const ServerId s : m.dst) {
+    EXPECT_TRUE(high.contains(s)) << "server " << s;
+  }
+}
+
+TEST(Arpt, UtilizationGuardBlocksUpgrades) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'384, 0);
+  f.set_heat(1, 10.0, 1);
+  f.opts.max_logical_utilization = 0.2;  // already above via util=0.3
+
+  const auto w = f.wear(f.skewed_wear());
+  f.estimator->update(w);
+  Arpt arpt(f.store, f.opts);
+  const auto report = arpt.run(1, w, *f.estimator);
+  EXPECT_EQ(report.screened_to_late_rep, 0u);
+  EXPECT_EQ(f.table.get(1)->state, meta::RedState::kEc);
+}
+
+TEST(Arpt, MoveCapBoundsStep2) {
+  Fixture f(meta::RedState::kEc);
+  for (ObjectId oid = 1; oid <= 20; ++oid) {
+    f.store.put(oid, 8192, 0);
+    f.set_heat(oid, 10.0, 1);
+  }
+  f.opts.max_arpt_moves = 3;
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_LE(report.placed_hot, 3u);
+}
+
+TEST(Arpt, EagerModeConvertsImmediately) {
+  Fixture f(meta::RedState::kEc);
+  f.opts.eager_conversions = true;
+  f.store.put(6, 16'384, 0);
+  f.set_heat(6, 10.0, 1);
+
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_GT(report.eager_conversions, 0u);
+  const auto m = *f.table.get(6);
+  EXPECT_EQ(m.state, meta::RedState::kRep);  // already converted
+  EXPECT_GT(f.cluster.network().bytes(cluster::Traffic::kConversion), 0u);
+}
+
+TEST(Arpt, AdaptiveThresholdTracksQuantile) {
+  Fixture f(meta::RedState::kEc);
+  f.opts.adaptive_hot_quantile = 0.90;
+  f.opts.hot_threshold = 0.01;
+  for (ObjectId oid = 1; oid <= 100; ++oid) {
+    f.store.put(oid, 8192, 0);
+    f.set_heat(oid, static_cast<double>(oid), 1);  // heats 1..100
+  }
+  const auto report = f.run(f.skewed_wear());
+  // Roughly the top decile qualifies as hot.
+  EXPECT_GE(report.hot_threshold_used, 80.0);
+  EXPECT_LE(report.screened_to_late_rep, 15u);
+  EXPECT_GT(report.screened_to_late_rep, 0u);
+}
+
+TEST(Arpt, SigmaEstimateImprovesOnImbalance) {
+  Fixture f(meta::RedState::kEc);
+  for (ObjectId oid = 1; oid <= 50; ++oid) {
+    f.store.put(oid, 32'768, 0);
+    f.set_heat(oid, 20.0, 1);
+  }
+  const auto report = f.run(f.skewed_wear());
+  EXPECT_GT(report.sigma_before, 0.0);
+  EXPECT_LT(report.sigma_after_est, report.sigma_before);
+}
+
+TEST(Arpt, ChangesAreLoggedForRecovery) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'384, 0);
+  f.set_heat(1, 10.0, 1);
+  f.run(f.skewed_wear());
+  EXPECT_GE(f.table.epoch_log_size(1), 1u);
+}
+
+}  // namespace
+}  // namespace chameleon::core

@@ -1,0 +1,122 @@
+#include "core/candidate_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+meta::ObjectMeta make_object(ObjectId oid, meta::RedState state, double heat,
+                             std::initializer_list<ServerId> servers) {
+  meta::ObjectMeta m;
+  m.oid = oid;
+  m.state = state;
+  m.size_bytes = 4096;
+  m.popularity = heat;  // folded heat; heat_epoch stays 0
+  for (const ServerId s : servers) m.src.push_back(s);
+  return m;
+}
+
+TEST(CandidateIndex, IndexesStableObjectsUnderEachHost) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 5.0, {0, 1, 2}));
+  table.create(make_object(2, meta::RedState::kEc, 1.0, {0, 3, 4, 5, 6, 7}));
+  CandidateIndex index(table, 8, 1);
+  EXPECT_EQ(index.total_candidates(), 3u + 6u);
+}
+
+TEST(CandidateIndex, SkipsIntermediateStates) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kLateRep, 9.0, {0, 1, 2}));
+  table.create(make_object(2, meta::RedState::kRepEwo, 9.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+  EXPECT_EQ(index.total_candidates(), 0u);
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table), nullptr);
+}
+
+TEST(CandidateIndex, HottestAndColdestOrder) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 1.0, {0, 1, 2}));
+  table.create(make_object(2, meta::RedState::kRep, 9.0, {0, 1, 2}));
+  table.create(make_object(3, meta::RedState::kRep, 5.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+
+  const auto* hottest = index.take_hottest(0, kInvalidServer, table);
+  ASSERT_NE(hottest, nullptr);
+  EXPECT_EQ(hottest->oid, 2u);
+  const auto* coldest = index.take_coldest(0, kInvalidServer, table);
+  ASSERT_NE(coldest, nullptr);
+  EXPECT_EQ(coldest->oid, 1u);
+}
+
+TEST(CandidateIndex, TakeConsumesCandidates) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 1.0, {0, 1, 2}));
+  table.create(make_object(2, meta::RedState::kRep, 2.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table)->oid, 2u);
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table)->oid, 1u);
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table), nullptr);
+}
+
+TEST(CandidateIndex, HotAndColdCursorsShareThePool) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 1.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+  EXPECT_NE(index.take_coldest(0, kInvalidServer, table), nullptr);
+  // The single candidate is spent; the hot side must not return it again.
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table), nullptr);
+}
+
+TEST(CandidateIndex, ExcludeFiltersObjectsAlreadyOnTarget) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 9.0, {0, 1, 2}));
+  table.create(make_object(2, meta::RedState::kRep, 5.0, {0, 4, 5}));
+  CandidateIndex index(table, 6, 1);
+  // Swapping onto server 1: object 1 already lives there, so object 2 wins.
+  const auto* c = index.take_hottest(0, 1, table);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->oid, 2u);
+}
+
+TEST(CandidateIndex, RevalidatesAgainstLiveTable) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 9.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+  // Another balancing decision moves the object into an intermediate state
+  // after the index was built.
+  table.mutate(1, [](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kRepEwo;
+  });
+  EXPECT_EQ(index.take_hottest(0, kInvalidServer, table), nullptr);
+}
+
+TEST(CandidateIndex, UnknownServerYieldsNothing) {
+  meta::MappingTable table;
+  table.create(make_object(1, meta::RedState::kRep, 1.0, {0, 1, 2}));
+  CandidateIndex index(table, 4, 1);
+  EXPECT_EQ(index.take_hottest(99, kInvalidServer, table), nullptr);
+}
+
+TEST(CandidateIndex, HeatComputedAtGivenEpoch) {
+  meta::MappingTable table;
+  auto hot_now = make_object(1, meta::RedState::kRep, 0.0, {0, 1, 2});
+  hot_now.writes_in_epoch = 10;  // heat 10 at epoch 0, decays later
+  table.create(hot_now);
+  table.create(make_object(2, meta::RedState::kRep, 4.0, {0, 1, 2}));
+
+  CandidateIndex at_zero(table, 4, 0);
+  EXPECT_EQ(at_zero.take_hottest(0, kInvalidServer, table)->oid, 1u);
+
+  CandidateIndex at_five(table, 4, 5);
+  // Object 1's burst decayed (10/16 < 4); object 2's folded heat persists
+  // because popularity represents already-folded history... which also
+  // decays. Compare actual heats to be precise.
+  const double h1 = table.get(1)->heat(5);
+  const double h2 = table.get(2)->heat(5);
+  const auto* hottest = at_five.take_hottest(0, kInvalidServer, table);
+  ASSERT_NE(hottest, nullptr);
+  EXPECT_EQ(hottest->oid, h1 > h2 ? 1u : 2u);
+}
+
+}  // namespace
+}  // namespace chameleon::core

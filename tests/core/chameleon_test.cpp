@@ -1,0 +1,102 @@
+// Facade-level tests: epoch pacing from virtual time plus end-to-end wiring.
+#include "core/chameleon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+ChameleonConfig small_config() {
+  ChameleonConfig cfg;
+  cfg.servers = 12;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 128;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  cfg.epoch_length = 1 * kHour;
+  return cfg;
+}
+
+TEST(Chameleon, StartsAtEpochZero) {
+  Chameleon sys(small_config());
+  EXPECT_EQ(sys.current_epoch(), 0u);
+  EXPECT_EQ(sys.now(), 0);
+  EXPECT_TRUE(sys.balancer().timeline().empty());
+}
+
+TEST(Chameleon, AdvanceTimeFiresEpochBoundaries) {
+  Chameleon sys(small_config());
+  EXPECT_EQ(sys.advance_time(30 * kMinute), 0u);
+  EXPECT_EQ(sys.advance_time(1 * kHour), 1u);
+  EXPECT_EQ(sys.advance_time(1 * kHour + 1), 0u);  // same epoch
+  EXPECT_EQ(sys.advance_time(4 * kHour), 3u);      // catch-up runs each epoch
+  EXPECT_EQ(sys.balancer().timeline().size(), 4u);
+}
+
+TEST(Chameleon, TimeNeverMovesBackwards) {
+  Chameleon sys(small_config());
+  sys.advance_time(2 * kHour);
+  sys.advance_time(1 * kHour);
+  EXPECT_EQ(sys.now(), 2 * kHour);
+}
+
+TEST(Chameleon, PutGetThroughFacade) {
+  Chameleon sys(small_config());
+  sys.put(1, 16'384, 10 * kMinute);
+  const auto r = sys.get(1, 20 * kMinute);
+  EXPECT_GT(r.latency, 0);
+  EXPECT_EQ(r.state, meta::RedState::kEc);
+  EXPECT_TRUE(sys.remove(1));
+}
+
+TEST(Chameleon, PutAdvancesEpochsFirst) {
+  Chameleon sys(small_config());
+  sys.put(1, 8192, 5 * kHour);
+  EXPECT_EQ(sys.current_epoch(), 5u);
+  EXPECT_EQ(sys.balancer().timeline().size(), 5u);
+  // The write's heat was recorded at the new epoch.
+  EXPECT_EQ(sys.table().get(1)->last_write_epoch, 5u);
+}
+
+TEST(Chameleon, ClientSharesTheStore) {
+  Chameleon sys(small_config());
+  sys.client().put("app-key", std::string_view("payload"));
+  EXPECT_TRUE(sys.client().contains("app-key"));
+  EXPECT_EQ(sys.client().get_string("app-key"), "payload");
+  EXPECT_TRUE(sys.table().exists(kv::Client::object_id("app-key")));
+}
+
+TEST(Chameleon, UnsupervisedHasNoSupervisor) {
+  Chameleon sys(small_config());
+  EXPECT_EQ(sys.supervisor(), nullptr);
+}
+
+TEST(Chameleon, SupervisedModeRunsTheControlLoop) {
+  auto cfg = small_config();
+  cfg.supervised = true;
+  Chameleon sys(cfg);
+  ASSERT_NE(sys.supervisor(), nullptr);
+
+  for (ObjectId oid = 1; oid <= 20; ++oid) {
+    sys.put(oid, 16'384, 30 * kMinute);
+  }
+  sys.advance_time(2 * kHour);
+  EXPECT_EQ(sys.balancer().timeline().size(), 2u);
+
+  // Kill a server; supervised puts keep working and the lease lapses.
+  sys.supervisor()->fail_server(3);
+  sys.advance_time(6 * kHour);
+  EXPECT_FALSE(sys.supervisor()->membership().is_live(3));
+  sys.put(999, 8192, 6 * kHour + kMinute);
+  EXPECT_FALSE(sys.table().get(999)->src.contains(3));
+}
+
+TEST(Chameleon, ConfigExposed) {
+  const auto cfg = small_config();
+  Chameleon sys(cfg);
+  EXPECT_EQ(sys.config().servers, cfg.servers);
+  EXPECT_EQ(sys.cluster().size(), cfg.servers);
+}
+
+}  // namespace
+}  // namespace chameleon::core

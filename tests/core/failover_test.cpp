@@ -1,0 +1,95 @@
+// End-of-life failover: a device that wears out mid-write is retired like a
+// failed server (off the ring, data repaired) and the write retried.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/supervisor.hpp"
+
+namespace chameleon::core {
+namespace {
+
+flashsim::SsdConfig mortal_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  cfg.max_pe_cycles = 12;  // dies quickly under churn
+  return cfg;
+}
+
+struct Fixture {
+  Fixture()
+      : cluster(12, mortal_ssd()),
+        store(cluster, table, kv_config()),
+        supervisor(store, ChameleonOptions{}, kHour) {}
+
+  static kv::KvConfig kv_config() {
+    kv::KvConfig c;
+    c.initial_scheme = meta::RedState::kEc;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  Supervisor supervisor;
+};
+
+TEST(Failover, SurvivesFirstDeviceWearOut) {
+  Fixture f;
+  Xoshiro256 rng(1);
+  // Heavily skewed churn eventually wears out the hottest server; the
+  // supervised write path must absorb the death and keep serving.
+  std::size_t before_death_ring = f.cluster.ring().server_count();
+  bool death_handled = false;
+  for (Epoch e = 1; e <= 60 && !death_handled; ++e) {
+    f.supervisor.on_epoch(e, e * kHour);
+    for (int i = 0; i < 500; ++i) {
+      const bool hot = rng.next_bool(0.8);
+      const ObjectId oid = fnv1a64(hot ? rng.next_below(20)
+                                       : 100 + rng.next_below(400));
+      f.supervisor.put_with_failover(oid, 16'384, e);
+    }
+    if (f.cluster.ring().server_count() < before_death_ring) {
+      death_handled = true;
+    }
+  }
+  ASSERT_TRUE(death_handled) << "no device wore out; raise the churn";
+  // Exactly the worn servers left the ring, and everything still reads.
+  EXPECT_LT(f.cluster.ring().server_count(), 12u);
+  std::size_t checked = 0;
+  f.table.for_each([&](const meta::ObjectMeta& m) { checked += m.src.size(); });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Failover, NonWearErrorsStillSurface) {
+  Fixture f;
+  // Unknown-object reads are not wear-outs and must propagate untouched.
+  EXPECT_THROW(f.store.get(424242, 0), std::out_of_range);
+}
+
+TEST(Failover, WornServerNeverHostsNewObjects) {
+  Fixture f;
+  Xoshiro256 rng(2);
+  ServerId dead = kInvalidServer;
+  for (Epoch e = 1; e <= 60 && dead == kInvalidServer; ++e) {
+    f.supervisor.on_epoch(e, e * kHour);
+    for (int i = 0; i < 500; ++i) {
+      const bool hot = rng.next_bool(0.8);
+      const ObjectId oid = fnv1a64(hot ? rng.next_below(20)
+                                       : 100 + rng.next_below(400));
+      f.supervisor.put_with_failover(oid, 16'384, e);
+    }
+    for (const ServerId s : f.supervisor.repair().failed_servers()) {
+      dead = s;
+    }
+  }
+  ASSERT_NE(dead, kInvalidServer);
+  for (ObjectId oid = 5000; oid < 5200; ++oid) {
+    f.supervisor.put_with_failover(fnv1a64(oid), 8192, 61);
+    EXPECT_FALSE(f.table.get(fnv1a64(oid))->src.contains(dead));
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::core

@@ -1,0 +1,189 @@
+// Algorithm 2 unit tests: hot/cold swapping between wear extremes via EWO.
+#include "core/hcds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial = meta::RedState::kRep)
+      : cluster(12, small_ssd()), store(cluster, table, config(initial)) {
+    opts.sigma_hcds_cv = 0.05;
+    estimator = std::make_unique<WearEstimator>(
+        cluster.ssd_config().pages_per_block,
+        cluster.ssd_config().page_size_bytes);
+  }
+
+  static kv::KvConfig config(meta::RedState initial) {
+    kv::KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  std::vector<ServerWearInfo> wear(std::vector<std::uint64_t> erases) const {
+    std::vector<ServerWearInfo> out;
+    for (std::size_t id = 0; id < erases.size(); ++id) {
+      ServerWearInfo info;
+      info.server = static_cast<ServerId>(id);
+      info.erase_count = erases[id];
+      info.victim_utilization = 0.5;
+      out.push_back(info);
+    }
+    return out;
+  }
+
+  /// Create an object pinned to explicit servers with a given heat.
+  void plant(ObjectId oid, meta::RedState scheme, double heat,
+             std::initializer_list<ServerId> servers, Epoch now = 1) {
+    meta::ObjectMeta m;
+    m.oid = oid;
+    m.state = scheme;
+    m.size_bytes = 16'384;
+    m.popularity = heat;
+    m.heat_epoch = now;
+    for (const ServerId s : servers) m.src.push_back(s);
+    ASSERT_TRUE(table.create(m));
+    // Materialize fragments so later lazy writes find something to remove.
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      cluster.server(m.src[i])
+          .write_fragment(cluster::fragment_key(oid, 0, i),
+                          store.fragment_bytes(m.size_bytes, scheme));
+    }
+  }
+
+  HcdsReport run(const std::vector<std::uint64_t>& erases, Epoch now = 1) {
+    const auto w = wear(erases);
+    estimator->update(w);
+    Hcds hcds(store, opts);
+    return hcds.run(now, w, *estimator);
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  ChameleonOptions opts;
+  std::unique_ptr<WearEstimator> estimator;
+};
+
+TEST(Hcds, SwapsHotFromWornWithColdFromFresh) {
+  Fixture f;
+  // Server 11 is the most worn and hosts a hot replica; server 0 is the
+  // least worn and hosts a cold EC stripe (the paper's canonical swap).
+  f.plant(1, meta::RedState::kRep, 50.0, {11, 5, 6});
+  f.plant(2, meta::RedState::kEc, 0.1, {0, 5, 6, 7, 8, 9});
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_TRUE(report.triggered);
+  EXPECT_GE(report.swaps, 1u);
+
+  const auto hot = *f.table.get(1);
+  EXPECT_EQ(hot.state, meta::RedState::kRepEwo);
+  EXPECT_TRUE(hot.dst.contains(0));    // hot object headed to fresh server
+  EXPECT_FALSE(hot.dst.contains(11));  // and off the worn one
+
+  const auto cold = *f.table.get(2);
+  EXPECT_EQ(cold.state, meta::RedState::kEcEwo);
+  EXPECT_TRUE(cold.dst.contains(11));
+  EXPECT_FALSE(cold.dst.contains(0));
+}
+
+TEST(Hcds, EcObjectsEnterEcEwo) {
+  Fixture f(meta::RedState::kEc);
+  f.plant(1, meta::RedState::kEc, 40.0, {11, 1, 2, 3, 4, 5});
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_GE(report.swaps, 1u);
+  EXPECT_EQ(f.table.get(1)->state, meta::RedState::kEcEwo);
+}
+
+TEST(Hcds, NoSwapWhenBalanced) {
+  Fixture f;
+  f.plant(1, meta::RedState::kRep, 50.0, {0, 1, 2});
+  const auto report = f.run(std::vector<std::uint64_t>(12, 100));
+  EXPECT_EQ(report.swaps, 0u);
+}
+
+TEST(Hcds, SkipsObjectAlreadyOnBothExtremes) {
+  Fixture f;
+  // The only candidate on the worn server also lives on the fresh one, so
+  // it cannot be swapped (would duplicate a server in its set).
+  f.plant(1, meta::RedState::kRep, 50.0, {11, 0, 5});
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_EQ(f.table.get(1)->state, meta::RedState::kRep);
+  EXPECT_EQ(report.swaps, 0u);
+}
+
+TEST(Hcds, DoesNotTouchIntermediateObjects) {
+  Fixture f;
+  meta::ObjectMeta m;
+  m.oid = 1;
+  m.state = meta::RedState::kLateRep;
+  m.size_bytes = 8192;
+  m.popularity = 99.0;
+  m.heat_epoch = 1;
+  m.src.push_back(11);
+  m.src.push_back(1);
+  m.src.push_back(2);
+  f.table.create(m);
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_EQ(report.swaps, 0u);
+  EXPECT_EQ(f.table.get(1)->state, meta::RedState::kLateRep);
+}
+
+TEST(Hcds, SwapCapRespected) {
+  Fixture f;
+  for (ObjectId oid = 0; oid < 30; ++oid) {
+    f.plant(100 + oid, meta::RedState::kRep,
+            10.0 + static_cast<double>(oid), {11, 1, 2});
+  }
+  f.opts.max_hcds_swaps = 4;
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100'000});
+  EXPECT_LE(report.swaps, 4u);
+}
+
+TEST(Hcds, EagerModeRelocatesImmediately) {
+  Fixture f;
+  f.opts.eager_conversions = true;
+  f.plant(1, meta::RedState::kRep, 50.0, {11, 5, 6});
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_GT(report.eager_relocations, 0u);
+  const auto m = *f.table.get(1);
+  EXPECT_EQ(m.state, meta::RedState::kRep);  // moved, not pending
+  EXPECT_TRUE(m.src.contains(0));
+  EXPECT_GT(f.cluster.network().bytes(cluster::Traffic::kSwap), 0u);
+}
+
+TEST(Hcds, EstimateImprovesSigma) {
+  Fixture f;
+  for (ObjectId oid = 0; oid < 10; ++oid) {
+    f.plant(50 + oid, meta::RedState::kRep, 30.0, {11, 1, 2});
+    f.plant(80 + oid, meta::RedState::kRep, 0.01, {0, 3, 4});
+  }
+  const auto report =
+      f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 2000});
+  EXPECT_LT(report.sigma_after_est, report.sigma_before);
+}
+
+TEST(Hcds, ChangesLogged) {
+  Fixture f;
+  f.plant(1, meta::RedState::kRep, 50.0, {11, 5, 6});
+  f.plant(2, meta::RedState::kRep, 0.1, {0, 7, 8});
+  f.run({0, 100, 100, 100, 100, 100, 100, 100, 100, 100, 100, 1000});
+  EXPECT_GE(f.table.epoch_log_size(1), 1u);
+}
+
+}  // namespace
+}  // namespace chameleon::core

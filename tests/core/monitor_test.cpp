@@ -1,0 +1,76 @@
+#include "core/flash_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+TEST(FlashMonitor, ReportsOneInfoPerServer) {
+  cluster::Cluster cluster(5, small_ssd());
+  FlashMonitor monitor(cluster);
+  const auto infos = monitor.collect(1);
+  ASSERT_EQ(infos.size(), 5u);
+  for (ServerId id = 0; id < 5; ++id) {
+    EXPECT_EQ(infos[id].server, id);
+    EXPECT_EQ(infos[id].erase_count, 0u);
+  }
+}
+
+TEST(FlashMonitor, DeltasAreRelativeToPreviousCollect) {
+  cluster::Cluster cluster(2, small_ssd());
+  FlashMonitor monitor(cluster);
+  monitor.collect(1);
+
+  cluster.server(0).write_fragment(cluster::fragment_key(1, 0, 0), 8192);
+  auto infos = monitor.collect(2);
+  EXPECT_EQ(infos[0].host_pages_this_epoch, 2u);
+  EXPECT_EQ(infos[1].host_pages_this_epoch, 0u);
+
+  // No further writes: the next delta is zero.
+  infos = monitor.collect(3);
+  EXPECT_EQ(infos[0].host_pages_this_epoch, 0u);
+}
+
+TEST(FlashMonitor, TracksCumulativeErases) {
+  cluster::Cluster cluster(2, small_ssd());
+  FlashMonitor monitor(cluster);
+  auto& s = cluster.server(0);
+  const auto logical = s.log().ftl().config().logical_pages();
+  for (std::uint32_t round = 0; round < 10; ++round) {
+    for (std::uint32_t i = 0; i < logical; ++i) {
+      s.write_fragment(cluster::fragment_key(i, 0, 0), 4096);
+    }
+  }
+  const auto infos = monitor.collect(1);
+  EXPECT_GT(infos[0].erase_count, 0u);
+  EXPECT_EQ(infos[0].erase_count, s.total_erases());
+  EXPECT_GT(infos[0].logical_utilization, 0.5);
+  EXPECT_GE(infos[0].write_amplification, 1.0);
+}
+
+TEST(FlashMonitor, HeartbeatsAccountedToNetwork) {
+  cluster::Cluster cluster(10, small_ssd());
+  FlashMonitor monitor(cluster);
+  monitor.collect(1);
+  // 9 non-coordinator servers send one heartbeat each.
+  EXPECT_EQ(cluster.network().messages(cluster::Traffic::kHeartbeat), 9u);
+  monitor.collect(2);
+  EXPECT_EQ(cluster.network().messages(cluster::Traffic::kHeartbeat), 18u);
+}
+
+TEST(FlashMonitor, CoordinatorIsLowestServer) {
+  cluster::Cluster cluster(3, small_ssd());
+  FlashMonitor monitor(cluster);
+  EXPECT_EQ(monitor.coordinator(), 0u);
+}
+
+}  // namespace
+}  // namespace chameleon::core

@@ -1,0 +1,151 @@
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture()
+      : cluster(12, small_ssd()),
+        store(cluster, table, kv_config()),
+        supervisor(store, ChameleonOptions{}, kHour) {}
+
+  static kv::KvConfig kv_config() {
+    kv::KvConfig c;
+    c.initial_scheme = meta::RedState::kEc;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  Supervisor supervisor;
+};
+
+TEST(Supervisor, QuietEpochsDetectNothing) {
+  Fixture f;
+  for (Epoch e = 1; e <= 5; ++e) {
+    const auto report = f.supervisor.on_epoch(e, e * kHour);
+    EXPECT_TRUE(report.failures_detected.empty());
+    EXPECT_EQ(report.coordinator, 0u);
+  }
+  EXPECT_EQ(f.supervisor.balancer().timeline().size(), 5u);
+}
+
+TEST(Supervisor, FailureDetectedAfterLeaseLapse) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 30; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(4);
+
+  // Lease is 2 epochs: not yet dead at epoch 2...
+  auto report = f.supervisor.on_epoch(2, 2 * kHour);
+  EXPECT_TRUE(report.failures_detected.empty());
+  // ...but caught at epoch 4 (last heartbeat was epoch 1).
+  report = f.supervisor.on_epoch(3, 3 * kHour);
+  auto report4 = f.supervisor.on_epoch(4, 4 * kHour);
+  const bool detected =
+      !report.failures_detected.empty() || !report4.failures_detected.empty();
+  EXPECT_TRUE(detected);
+
+  // The data was automatically rebuilt off the dead server.
+  f.table.for_each([](const meta::ObjectMeta& m) {
+    EXPECT_FALSE(m.src.contains(4));
+  });
+}
+
+TEST(Supervisor, RepairHappensAutomatically) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 30; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(2);
+  std::size_t rebuilt = 0;
+  for (Epoch e = 2; e <= 5; ++e) {
+    rebuilt += f.supervisor.on_epoch(e, e * kHour).fragments_rebuilt;
+  }
+  EXPECT_GT(rebuilt, 0u);
+}
+
+TEST(Supervisor, CoordinatorFailsOverAndBack) {
+  Fixture f;
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(0);
+  SupervisorEpochReport report;
+  for (Epoch e = 2; e <= 5; ++e) {
+    report = f.supervisor.on_epoch(e, e * kHour);
+  }
+  EXPECT_EQ(report.coordinator, 1u);
+
+  f.supervisor.recover_server(0);
+  for (Epoch e = 6; e <= 8; ++e) {
+    report = f.supervisor.on_epoch(e, e * kHour);
+  }
+  EXPECT_EQ(report.coordinator, 0u);
+}
+
+TEST(Supervisor, RecoveredServerBecomesPlacementTargetAgain) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 30; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(7);
+  for (Epoch e = 2; e <= 5; ++e) f.supervisor.on_epoch(e, e * kHour);
+  EXPECT_FALSE(f.supervisor.membership().is_live(7));
+
+  f.supervisor.recover_server(7);
+  for (Epoch e = 6; e <= 8; ++e) f.supervisor.on_epoch(e, e * kHour);
+  EXPECT_TRUE(f.supervisor.membership().is_live(7));
+  EXPECT_FALSE(f.supervisor.repair().failed_servers().contains(7));
+}
+
+TEST(Supervisor, DeadServerLeavesThePlacementRing) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 20; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(5);
+  for (Epoch e = 2; e <= 5; ++e) f.supervisor.on_epoch(e, e * kHour);
+  EXPECT_EQ(f.cluster.ring().server_count(), 11u);
+
+  // New objects must never be placed on the dead server.
+  for (ObjectId oid = 1000; oid < 1200; ++oid) {
+    f.store.put(oid, 8192, 5);
+    const auto m = *f.table.get(oid);
+    ASSERT_FALSE(m.src.contains(5)) << "new object placed on dead server";
+  }
+
+  // After recovery the server serves placements again.
+  f.supervisor.recover_server(5);
+  for (Epoch e = 6; e <= 8; ++e) f.supervisor.on_epoch(e, e * kHour);
+  EXPECT_EQ(f.cluster.ring().server_count(), 12u);
+  bool hosts_something = false;
+  for (ObjectId oid = 2000; oid < 2400; ++oid) {
+    f.store.put(oid, 8192, 8);
+    if (f.table.get(oid)->src.contains(5)) hosts_something = true;
+  }
+  EXPECT_TRUE(hosts_something);
+}
+
+TEST(Supervisor, DoubleFailureHandled) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 40; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(3);
+  f.supervisor.fail_server(9);
+  for (Epoch e = 2; e <= 6; ++e) f.supervisor.on_epoch(e, e * kHour);
+  f.table.for_each([](const meta::ObjectMeta& m) {
+    EXPECT_FALSE(m.src.contains(3));
+    EXPECT_FALSE(m.src.contains(9));
+    EXPECT_EQ(m.src.size(), 6u);
+  });
+}
+
+}  // namespace
+}  // namespace chameleon::core

@@ -1,0 +1,84 @@
+#include "core/wear_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::core {
+namespace {
+
+std::vector<ServerWearInfo> wear_with_mu(std::initializer_list<double> mus) {
+  std::vector<ServerWearInfo> out;
+  ServerId id = 0;
+  for (const double mu : mus) {
+    ServerWearInfo info;
+    info.server = id++;
+    info.victim_utilization = mu;
+    out.push_back(info);
+  }
+  return out;
+}
+
+TEST(WearEstimator, Eq2WithZeroMu) {
+  // E = W / (Bp * (1 - mu)); with mu = 0 and Bp = 64, 64 page writes erase
+  // exactly one block.
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.0}));
+  EXPECT_DOUBLE_EQ(est.erases_for(0, 64.0), 1.0);
+  EXPECT_DOUBLE_EQ(est.erases_for(0, 128.0), 2.0);
+}
+
+TEST(WearEstimator, Eq2HigherMuMeansMoreErases) {
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.0, 0.5, 0.75}));
+  const double base = est.erases_for(0, 64.0);
+  EXPECT_DOUBLE_EQ(est.erases_for(1, 64.0), base * 2.0);
+  EXPECT_DOUBLE_EQ(est.erases_for(2, 64.0), base * 4.0);
+}
+
+TEST(WearEstimator, MuClampedAwayFromOne) {
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.999}));
+  // Clamped at 0.98 -> finite estimate.
+  EXPECT_LT(est.erases_for(0, 64.0), 100.0);
+}
+
+TEST(WearEstimator, UnknownServerUsesZeroMu) {
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.5}));
+  EXPECT_DOUBLE_EQ(est.erases_for(9, 64.0), 1.0);
+}
+
+TEST(WearEstimator, FragmentPagesPerScheme) {
+  WearEstimator est(64, 4096);
+  // 64KB object: 16 pages replicated, 4 pages per RS(6,4) shard.
+  EXPECT_DOUBLE_EQ(est.fragment_pages(65'536, meta::RedState::kRep, 4), 16.0);
+  EXPECT_DOUBLE_EQ(est.fragment_pages(65'536, meta::RedState::kEc, 4), 4.0);
+  // Intermediate states use their current scheme's fragment size.
+  EXPECT_DOUBLE_EQ(est.fragment_pages(65'536, meta::RedState::kLateRep, 4),
+                   4.0);  // currently EC
+  EXPECT_DOUBLE_EQ(est.fragment_pages(65'536, meta::RedState::kLateEc, 4),
+                   16.0);  // currently REP
+}
+
+TEST(WearEstimator, FragmentPagesFloorsAtOne) {
+  WearEstimator est(64, 4096);
+  EXPECT_DOUBLE_EQ(est.fragment_pages(100, meta::RedState::kEc, 4), 1.0);
+}
+
+TEST(WearEstimator, ObjectCostScalesWithHeat) {
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.0}));
+  const double one = est.object_cost(0, 1.0, 65'536, meta::RedState::kRep, 4);
+  const double ten = est.object_cost(0, 10.0, 65'536, meta::RedState::kRep, 4);
+  EXPECT_DOUBLE_EQ(ten, one * 10.0);
+}
+
+TEST(WearEstimator, RepFragmentCostsKTimesEcFragment) {
+  WearEstimator est(64, 4096);
+  est.update(wear_with_mu({0.0}));
+  const double rep = est.object_cost(0, 2.0, 65'536, meta::RedState::kRep, 4);
+  const double ec = est.object_cost(0, 2.0, 65'536, meta::RedState::kEc, 4);
+  EXPECT_DOUBLE_EQ(rep, ec * 4.0);
+}
+
+}  // namespace
+}  // namespace chameleon::core

@@ -1,0 +1,143 @@
+#include "ec/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace chameleon::ec {
+namespace {
+
+const Gf256& gf() { return Gf256::instance(); }
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Gf256::add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Gf256::add(7, 7), 0);
+  EXPECT_EQ(Gf256::add(0, 9), 9);
+}
+
+TEST(Gf256, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().mul(v, 1), v);
+    EXPECT_EQ(gf().mul(1, v), v);
+    EXPECT_EQ(gf().mul(v, 0), 0);
+    EXPECT_EQ(gf().mul(0, v), 0);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(gf().mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)),
+                gf().mul(static_cast<std::uint8_t>(b),
+                         static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationAssociative) {
+  for (int a = 1; a < 256; a += 31) {
+    for (int b = 1; b < 256; b += 37) {
+      for (int c = 1; c < 256; c += 41) {
+        const auto A = static_cast<std::uint8_t>(a);
+        const auto B = static_cast<std::uint8_t>(b);
+        const auto C = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf().mul(gf().mul(A, B), C), gf().mul(A, gf().mul(B, C)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        const auto A = static_cast<std::uint8_t>(a);
+        const auto B = static_cast<std::uint8_t>(b);
+        const auto C = static_cast<std::uint8_t>(c);
+        EXPECT_EQ(gf().mul(A, Gf256::add(B, C)),
+                  Gf256::add(gf().mul(A, B), gf().mul(A, C)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, PrimitivePolynomialReduction) {
+  // x * x^7 = x^8, which reduces to 0x1D under the 0x11D polynomial.
+  EXPECT_EQ(gf().mul(2, 0x80), 0x1D);
+  // x^255 = 1 for the primitive element.
+  EXPECT_EQ(gf().pow(2, 255), 1);
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    const auto inv = gf().inv(v);
+    EXPECT_EQ(gf().mul(v, inv), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, InverseOfZeroThrows) {
+  EXPECT_THROW(gf().inv(0), std::domain_error);
+  EXPECT_THROW(gf().div(1, 0), std::domain_error);
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      const auto A = static_cast<std::uint8_t>(a);
+      const auto B = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf().mul(gf().div(A, B), B), A);
+    }
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (int a = 1; a < 256; a += 23) {
+    const auto A = static_cast<std::uint8_t>(a);
+    std::uint8_t acc = 1;
+    for (unsigned e = 0; e < 10; ++e) {
+      EXPECT_EQ(gf().pow(A, e), acc) << "a=" << a << " e=" << e;
+      acc = gf().mul(acc, A);
+    }
+  }
+  EXPECT_EQ(gf().pow(0, 0), 1);
+  EXPECT_EQ(gf().pow(0, 5), 0);
+}
+
+TEST(Gf256, MulAddAccumulates) {
+  const std::vector<std::uint8_t> src{1, 2, 3, 4};
+  std::vector<std::uint8_t> dst{10, 20, 30, 40};
+  const std::vector<std::uint8_t> before = dst;
+  gf().mul_add(3, src, dst);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], Gf256::add(before[i], gf().mul(3, src[i])));
+  }
+}
+
+TEST(Gf256, MulAddWithZeroCoefficientIsNoop) {
+  const std::vector<std::uint8_t> src{1, 2, 3};
+  std::vector<std::uint8_t> dst{7, 8, 9};
+  gf().mul_add(0, src, dst);
+  EXPECT_EQ(dst, (std::vector<std::uint8_t>{7, 8, 9}));
+}
+
+TEST(Gf256, MulIntoMatchesScalarMul) {
+  const std::vector<std::uint8_t> src{0, 1, 2, 250, 255};
+  std::vector<std::uint8_t> dst(src.size());
+  gf().mul_into(0xAB, src, dst);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], gf().mul(0xAB, src[i]));
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf().exp_table(gf().log_table(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::ec

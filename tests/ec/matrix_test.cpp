@@ -1,0 +1,133 @@
+#include "ec/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ec/gf256.hpp"
+
+namespace chameleon::ec {
+namespace {
+
+TEST(GfMatrix, RejectsZeroDimensions) {
+  EXPECT_THROW(GfMatrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(GfMatrix(3, 0), std::invalid_argument);
+}
+
+TEST(GfMatrix, IdentityProperties) {
+  const auto id = GfMatrix::identity(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(id.at(i, j), i == j ? 1 : 0);
+    }
+  }
+}
+
+TEST(GfMatrix, MultiplyByIdentityIsNoop) {
+  GfMatrix m(3, 3);
+  Xoshiro256 rng(4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      m.at(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+  }
+  const auto id = GfMatrix::identity(3);
+  EXPECT_EQ(m.multiply(id), m);
+  EXPECT_EQ(id.multiply(m), m);
+}
+
+TEST(GfMatrix, MultiplyDimensionMismatchThrows) {
+  GfMatrix a(2, 3);
+  GfMatrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(GfMatrix, CauchyEntriesMatchDefinition) {
+  const auto& gf = Gf256::instance();
+  const auto m = GfMatrix::cauchy(2, 4);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const auto xi = static_cast<std::uint8_t>(i + 4);
+      const auto yj = static_cast<std::uint8_t>(j);
+      EXPECT_EQ(m.at(i, j), gf.inv(static_cast<std::uint8_t>(xi ^ yj)));
+    }
+  }
+}
+
+TEST(GfMatrix, CauchyTooLargeThrows) {
+  EXPECT_THROW(GfMatrix::cauchy(200, 100), std::invalid_argument);
+}
+
+TEST(GfMatrix, InvertIdentity) {
+  const auto id = GfMatrix::identity(5);
+  EXPECT_EQ(id.inverted(), id);
+}
+
+TEST(GfMatrix, InvertNonSquareThrows) {
+  GfMatrix m(2, 3);
+  EXPECT_THROW(m.inverted(), std::invalid_argument);
+}
+
+TEST(GfMatrix, InvertSingularThrows) {
+  GfMatrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;  // duplicate row
+  EXPECT_THROW(m.inverted(), std::domain_error);
+  GfMatrix z(3, 3);  // all zeros
+  EXPECT_THROW(z.inverted(), std::domain_error);
+}
+
+TEST(GfMatrix, SelectRowsPicksSubset) {
+  auto m = GfMatrix::cauchy(4, 3);
+  const auto sel = m.select_rows({2, 0});
+  EXPECT_EQ(sel.rows(), 2u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(sel.at(0, j), m.at(2, j));
+    EXPECT_EQ(sel.at(1, j), m.at(0, j));
+  }
+}
+
+TEST(GfMatrix, SelectRowsOutOfRangeThrows) {
+  auto m = GfMatrix::cauchy(2, 2);
+  EXPECT_THROW(m.select_rows({5}), std::out_of_range);
+}
+
+// Property: every square Cauchy submatrix is invertible, and
+// M * M^-1 == I. This is the MDS property RS decoding relies on.
+class CauchyInvertibility : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CauchyInvertibility, SquareCauchyInverts) {
+  const std::size_t n = GetParam();
+  const auto m = GfMatrix::cauchy(n, n);
+  const auto inv = m.inverted();
+  EXPECT_EQ(m.multiply(inv), GfMatrix::identity(n));
+  EXPECT_EQ(inv.multiply(m), GfMatrix::identity(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CauchyInvertibility,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 16));
+
+TEST(GfMatrix, RandomInvertibleRoundTrip) {
+  Xoshiro256 rng(11);
+  int inverted_count = 0;
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    GfMatrix m(4, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        m.at(i, j) = static_cast<std::uint8_t>(rng.next_below(256));
+      }
+    }
+    try {
+      const auto inv = m.inverted();
+      EXPECT_EQ(m.multiply(inv), GfMatrix::identity(4));
+      ++inverted_count;
+    } catch (const std::domain_error&) {
+      // Singular random matrix: acceptable, rare.
+    }
+  }
+  EXPECT_GT(inverted_count, 15);  // most random GF(256) matrices invert
+}
+
+}  // namespace
+}  // namespace chameleon::ec

@@ -1,0 +1,53 @@
+#include "ec/striper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::ec {
+namespace {
+
+constexpr StripeGeometry kRs64{6, 4, 4096};
+constexpr ReplicaGeometry kRep3{3, 4096};
+
+TEST(StripeGeometry, ShardBytesCeilDivision) {
+  EXPECT_EQ(kRs64.shard_bytes(100), 25u);
+  EXPECT_EQ(kRs64.shard_bytes(101), 26u);
+  EXPECT_EQ(kRs64.shard_bytes(0), 1u);  // floor at one byte
+}
+
+TEST(StripeGeometry, ShardPagesRoundUp) {
+  EXPECT_EQ(kRs64.shard_pages(4096 * 4), 1u);      // 4KB per shard
+  EXPECT_EQ(kRs64.shard_pages(4096 * 4 + 1), 2u);  // spills to 2 pages
+  EXPECT_EQ(kRs64.shard_pages(1), 1u);
+}
+
+TEST(StripeGeometry, TotalPagesAcrossStripeSet) {
+  // 64KB object: 16KB/shard = 4 pages; 6 shards -> 24 pages.
+  EXPECT_EQ(kRs64.total_pages(64 * 1024), 24u);
+}
+
+TEST(StripeGeometry, StorageFactorRs64) {
+  EXPECT_DOUBLE_EQ(kRs64.storage_factor(), 1.5);
+  EXPECT_EQ(kRs64.parity_shards(), 2u);
+}
+
+TEST(ReplicaGeometry, ReplicaPages) {
+  EXPECT_EQ(kRep3.replica_pages(4096), 1u);
+  EXPECT_EQ(kRep3.replica_pages(4097), 2u);
+  EXPECT_EQ(kRep3.replica_pages(0), 1u);
+}
+
+TEST(ReplicaGeometry, TotalPagesTriplesFootprint) {
+  // 64KB object: 16 pages x 3 replicas.
+  EXPECT_EQ(kRep3.total_pages(64 * 1024), 48u);
+  EXPECT_DOUBLE_EQ(kRep3.storage_factor(), 3.0);
+}
+
+TEST(Geometry, RepCostsTwiceEcForSameObject) {
+  // The motivation for ARPT's downgrade path: REP stores 2x the bytes of
+  // RS(6,4) for the same object (3.0 vs 1.5).
+  const std::uint64_t object = 256 * 1024;
+  EXPECT_EQ(kRep3.total_pages(object), 2 * kRs64.total_pages(object));
+}
+
+}  // namespace
+}  // namespace chameleon::ec

@@ -1,0 +1,231 @@
+#include "flashsim/ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chameleon::flashsim {
+namespace {
+
+SsdConfig small_config() {
+  SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.gc_low_watermark = 0.05;
+  cfg.static_wl_delta = 0;  // isolate GC behaviour from static WL
+  return cfg;
+}
+
+TEST(Ftl, FreshDeviceState) {
+  Ftl ftl(small_config());
+  EXPECT_EQ(ftl.total_erases(), 0u);
+  EXPECT_EQ(ftl.free_block_count(), 64u);
+  EXPECT_EQ(ftl.valid_page_count(), 0u);
+  EXPECT_FALSE(ftl.is_mapped(0));
+  ftl.check_invariants();
+}
+
+TEST(Ftl, WriteMapsPage) {
+  Ftl ftl(small_config());
+  const auto r = ftl.write(5);
+  EXPECT_EQ(r.latency, small_config().write_latency);
+  EXPECT_TRUE(ftl.is_mapped(5));
+  EXPECT_EQ(ftl.valid_page_count(), 1u);
+  EXPECT_EQ(ftl.stats().host_page_writes, 1u);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, OverwriteIsOutOfPlace) {
+  Ftl ftl(small_config());
+  ftl.write(5);
+  ftl.write(5);
+  // Still one valid page; the first physical copy was invalidated.
+  EXPECT_EQ(ftl.valid_page_count(), 1u);
+  EXPECT_EQ(ftl.stats().host_page_writes, 2u);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, TrimUnmapsWithoutWriting) {
+  Ftl ftl(small_config());
+  ftl.write(3);
+  const auto writes_before = ftl.stats().host_page_writes;
+  ftl.trim(3);
+  EXPECT_FALSE(ftl.is_mapped(3));
+  EXPECT_EQ(ftl.valid_page_count(), 0u);
+  EXPECT_EQ(ftl.stats().host_page_writes, writes_before);
+  EXPECT_EQ(ftl.stats().page_trims, 1u);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, TrimUnmappedIsNoop) {
+  Ftl ftl(small_config());
+  ftl.trim(7);
+  EXPECT_EQ(ftl.stats().page_trims, 0u);
+}
+
+TEST(Ftl, ReadCostsReadLatency) {
+  Ftl ftl(small_config());
+  ftl.write(1);
+  EXPECT_EQ(ftl.read(1), small_config().read_latency);
+  EXPECT_EQ(ftl.stats().page_reads, 1u);
+}
+
+TEST(Ftl, OutOfRangeOperationsThrow) {
+  Ftl ftl(small_config());
+  const Lpn beyond = ftl.config().logical_pages();
+  EXPECT_THROW(ftl.write(beyond), std::out_of_range);
+  EXPECT_THROW(ftl.read(beyond), std::out_of_range);
+  EXPECT_THROW(ftl.trim(beyond), std::out_of_range);
+}
+
+TEST(Ftl, SequentialFillNoGc) {
+  // Writing each logical page once fills 85% of the device; no GC needed.
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  EXPECT_EQ(ftl.valid_page_count(), logical);
+  EXPECT_EQ(ftl.stats().gc_page_copies, 0u);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, OverwriteChurnTriggersGc) {
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  // Overwrite everything twice: the free pool shrinks, GC must reclaim.
+  for (int round = 0; round < 2; ++round) {
+    for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  }
+  EXPECT_GT(ftl.total_erases(), 0u);
+  EXPECT_EQ(ftl.valid_page_count(), logical);
+  EXPECT_GE(ftl.free_block_count(), 1u);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, GcStallChargedToTriggeringWrite) {
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  bool saw_gc_write = false;
+  for (int round = 0; round < 3 && !saw_gc_write; ++round) {
+    for (Lpn l = 0; l < logical; ++l) {
+      const auto r = ftl.write(l);
+      if (r.gc_erases > 0) {
+        EXPECT_GT(r.latency,
+                  ftl.config().write_latency + ftl.config().erase_latency - 1);
+        saw_gc_write = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_gc_write);
+}
+
+TEST(Ftl, SequentialOverwriteHasLowWriteAmplification) {
+  // Pure sequential overwrite invalidates whole blocks: victims are empty,
+  // so WA should stay very close to 1.
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (int round = 0; round < 6; ++round) {
+    for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  }
+  EXPECT_LT(ftl.stats().write_amplification(), 1.1);
+  ftl.check_invariants();
+}
+
+TEST(Ftl, RandomOverwriteHasHigherWriteAmplification) {
+  SsdConfig cfg = small_config();
+  Ftl seq(cfg);
+  Ftl rnd(cfg);
+  const Lpn logical = seq.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) {
+    seq.write(l);
+    rnd.write(l);
+  }
+  Xoshiro256 rng(5);
+  for (std::uint64_t i = 0; i < logical * 6ULL; ++i) {
+    seq.write(static_cast<Lpn>(i % logical));
+    rnd.write(static_cast<Lpn>(rng.next_below(logical)));
+  }
+  EXPECT_GT(rnd.stats().write_amplification(),
+            seq.stats().write_amplification());
+  rnd.check_invariants();
+}
+
+TEST(Ftl, EraseCountsAccumulateOnBlocks) {
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (int round = 0; round < 8; ++round) {
+    for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  }
+  EXPECT_GT(ftl.max_block_erase(), 0u);
+  std::uint64_t sum = 0;
+  for (BlockId b = 0; b < ftl.config().block_count; ++b) {
+    sum += ftl.block_erase_count(b);
+  }
+  EXPECT_EQ(sum, ftl.total_erases());
+}
+
+TEST(Ftl, VictimUtilizationBounded) {
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  Xoshiro256 rng(9);
+  for (std::uint64_t i = 0; i < logical * 10ULL; ++i) {
+    ftl.write(static_cast<Lpn>(rng.next_below(logical)));
+  }
+  const double mu = ftl.stats().avg_victim_utilization();
+  EXPECT_GE(mu, 0.0);
+  EXPECT_LT(mu, 1.0);
+}
+
+TEST(Ftl, StatsLatencyAveragesArePlausible) {
+  Ftl ftl(small_config());
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  EXPECT_GE(ftl.stats().avg_write_latency(), ftl.config().write_latency);
+  ftl.read(0);
+  EXPECT_EQ(ftl.stats().avg_read_latency(), ftl.config().read_latency);
+}
+
+// Property sweep: under heavy random churn the FTL never corrupts its
+// mapping structures, for several device shapes.
+struct FtlShape {
+  std::uint32_t pages_per_block;
+  std::uint32_t block_count;
+};
+
+class FtlChurn : public ::testing::TestWithParam<FtlShape> {};
+
+TEST_P(FtlChurn, InvariantsSurviveRandomChurn) {
+  SsdConfig cfg = small_config();
+  cfg.pages_per_block = GetParam().pages_per_block;
+  cfg.block_count = GetParam().block_count;
+  Ftl ftl(cfg);
+  const Lpn logical = ftl.config().logical_pages();
+  Xoshiro256 rng(GetParam().block_count);
+  for (std::uint64_t i = 0; i < logical * 8ULL; ++i) {
+    const auto op = rng.next_below(10);
+    const auto lpn = static_cast<Lpn>(rng.next_below(logical));
+    if (op < 8) {
+      ftl.write(lpn);
+    } else if (op == 8) {
+      ftl.trim(lpn);
+    } else {
+      ftl.read(lpn);
+    }
+  }
+  ftl.check_invariants();
+  EXPECT_GE(ftl.free_block_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FtlChurn,
+    ::testing::Values(FtlShape{4, 32}, FtlShape{8, 64}, FtlShape{16, 128},
+                      FtlShape{64, 96}),
+    [](const auto& param_info) {
+      return "ppb" + std::to_string(param_info.param.pages_per_block) + "_blocks" +
+             std::to_string(param_info.param.block_count);
+    });
+
+}  // namespace
+}  // namespace chameleon::flashsim

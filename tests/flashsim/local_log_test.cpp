@@ -1,0 +1,133 @@
+#include "flashsim/local_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::flashsim {
+namespace {
+
+SsdConfig small_config() {
+  SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+TEST(LocalLog, WriteCreatesObject) {
+  LocalLog log(small_config());
+  const auto r = log.write_object(1, 10'000);  // 3 pages at 4KB
+  EXPECT_EQ(r.pages, 3u);
+  EXPECT_TRUE(log.has_object(1));
+  EXPECT_EQ(log.object_pages(1), 3u);
+  EXPECT_EQ(log.stored_pages(), 3u);
+  EXPECT_EQ(log.object_count(), 1u);
+}
+
+TEST(LocalLog, PagesForBytesRoundsUpAndFloorsAtOne) {
+  LocalLog log(small_config());
+  EXPECT_EQ(log.pages_for_bytes(0), 1u);
+  EXPECT_EQ(log.pages_for_bytes(1), 1u);
+  EXPECT_EQ(log.pages_for_bytes(4096), 1u);
+  EXPECT_EQ(log.pages_for_bytes(4097), 2u);
+  EXPECT_EQ(log.pages_for_bytes(40'960), 10u);
+}
+
+TEST(LocalLog, OverwriteSameSizeReusesExtent) {
+  LocalLog log(small_config());
+  log.write_object(1, 8192);
+  const auto stored = log.stored_pages();
+  log.write_object(1, 8192);
+  EXPECT_EQ(log.stored_pages(), stored);
+  EXPECT_EQ(log.ftl().stats().host_page_writes, 4u);  // 2 pages x 2 writes
+}
+
+TEST(LocalLog, OverwriteDifferentSizeReallocates) {
+  LocalLog log(small_config());
+  log.write_object(1, 8192);   // 2 pages
+  log.write_object(1, 20'000); // 5 pages
+  EXPECT_EQ(log.object_pages(1), 5u);
+  EXPECT_EQ(log.stored_pages(), 5u);
+}
+
+TEST(LocalLog, RemoveReleasesPagesWithoutWrites) {
+  LocalLog log(small_config());
+  log.write_object(1, 8192);
+  const auto writes = log.ftl().stats().host_page_writes;
+  EXPECT_EQ(log.remove_object(1), 2u);
+  EXPECT_FALSE(log.has_object(1));
+  EXPECT_EQ(log.stored_pages(), 0u);
+  EXPECT_EQ(log.ftl().stats().host_page_writes, writes);
+  EXPECT_EQ(log.ftl().stats().page_trims, 2u);
+}
+
+TEST(LocalLog, RemoveUnknownReturnsZero) {
+  LocalLog log(small_config());
+  EXPECT_EQ(log.remove_object(99), 0u);
+}
+
+TEST(LocalLog, ReadUnknownThrows) {
+  LocalLog log(small_config());
+  EXPECT_THROW(log.read_object(42), std::out_of_range);
+}
+
+TEST(LocalLog, ReadCostsPerPage) {
+  LocalLog log(small_config());
+  log.write_object(1, 12'288);  // 3 pages
+  const auto r = log.read_object(1);
+  EXPECT_EQ(r.pages, 3u);
+  EXPECT_EQ(r.latency, 3 * small_config().read_latency);
+}
+
+TEST(LocalLog, LpnRecyclingAfterRemove) {
+  LocalLog log(small_config());
+  const Lpn logical = log.ftl().config().logical_pages();
+  // Fill to ~80% of logical, remove everything, fill again: the allocator
+  // must recycle LPNs instead of running out of address space.
+  const std::uint64_t objects = logical * 8 / 10;
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t i = 0; i < objects; ++i) {
+      log.write_object(i, 4096);
+    }
+    for (std::uint64_t i = 0; i < objects; ++i) {
+      log.remove_object(i);
+    }
+  }
+  EXPECT_EQ(log.stored_pages(), 0u);
+}
+
+TEST(LocalLog, ThrowsWhenLogicalCapacityExhausted) {
+  LocalLog log(small_config());
+  const Lpn logical = log.ftl().config().logical_pages();
+  EXPECT_THROW(
+      {
+        for (std::uint64_t i = 0;; ++i) {
+          log.write_object(i, 4096);
+          ASSERT_LE(log.stored_pages(), logical);
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(LocalLog, UtilizationTracksStoredPages) {
+  LocalLog log(small_config());
+  const Lpn logical = log.ftl().config().logical_pages();
+  const std::uint64_t half = logical / 2;
+  for (std::uint64_t i = 0; i < half; ++i) log.write_object(i, 4096);
+  EXPECT_NEAR(log.logical_utilization(), 0.5, 0.01);
+}
+
+TEST(LocalLog, ChurnKeepsFtlConsistent) {
+  LocalLog log(small_config());
+  const Lpn logical = log.ftl().config().logical_pages();
+  const std::uint64_t objects = logical / 4;  // ~2 pages each -> 50% util
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t i = 0; i < objects; ++i) {
+      log.write_object(i, (i % 2 == 0) ? 4096 : 8192);
+    }
+  }
+  log.ftl().check_invariants();
+  EXPECT_EQ(log.object_count(), objects);
+}
+
+}  // namespace
+}  // namespace chameleon::flashsim

@@ -1,0 +1,86 @@
+// Multi-stream writes: hot/cold frontier separation and its WA effect.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flashsim/ftl.hpp"
+
+namespace chameleon::flashsim {
+namespace {
+
+SsdConfig stream_config() {
+  SsdConfig cfg;
+  cfg.pages_per_block = 16;
+  cfg.block_count = 256;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+/// Skewed churn where the caller either tags page temperature or not.
+double churn_wa(bool tagged, std::uint64_t seed) {
+  Ftl ftl(stream_config());
+  const Lpn logical = ftl.config().logical_pages();
+  const Lpn hot_span = logical / 10;
+  Xoshiro256 rng(seed);
+  // Fill with correct tags so hot and cold start separated (or not).
+  for (Lpn l = 0; l < logical; ++l) {
+    const StreamHint hint = !tagged             ? StreamHint::kDefault
+                            : (l < hot_span)    ? StreamHint::kHot
+                                                : StreamHint::kCold;
+    ftl.write(l, hint);
+  }
+  const auto host_before = ftl.stats().host_page_writes;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(logical) * 8; ++i) {
+    const bool hot = rng.next_bool(0.9);
+    const Lpn lpn = hot ? static_cast<Lpn>(rng.next_below(hot_span))
+                        : static_cast<Lpn>(hot_span +
+                                           rng.next_below(logical - hot_span));
+    const StreamHint hint = !tagged ? StreamHint::kDefault
+                            : hot   ? StreamHint::kHot
+                                    : StreamHint::kCold;
+    ftl.write(lpn, hint);
+  }
+  const double host =
+      static_cast<double>(ftl.stats().host_page_writes - host_before);
+  return (host + static_cast<double>(ftl.stats().gc_page_copies)) / host;
+}
+
+TEST(MultiStream, DefaultHintPreservesLegacyBehaviour) {
+  Ftl a(stream_config());
+  Ftl b(stream_config());
+  const Lpn logical = a.config().logical_pages();
+  Xoshiro256 rng(1);
+  for (std::uint64_t i = 0; i < logical * 4ULL; ++i) {
+    const auto lpn = static_cast<Lpn>(rng.next_below(logical));
+    EXPECT_EQ(a.write(lpn).latency, b.write(lpn, StreamHint::kDefault).latency);
+  }
+  EXPECT_EQ(a.total_erases(), b.total_erases());
+}
+
+TEST(MultiStream, SeparationReducesWriteAmplification) {
+  const double wa_untagged = churn_wa(false, 7);
+  const double wa_tagged = churn_wa(true, 7);
+  EXPECT_LT(wa_tagged, wa_untagged);
+}
+
+TEST(MultiStream, AllStreamsShareOneMappingSpace) {
+  Ftl ftl(stream_config());
+  ftl.write(1, StreamHint::kHot);
+  ftl.write(1, StreamHint::kCold);  // overwrite from another stream
+  ftl.write(1, StreamHint::kDefault);
+  EXPECT_EQ(ftl.valid_page_count(), 1u);
+  ftl.check_invariants();
+}
+
+TEST(MultiStream, InvariantsHoldUnderMixedStreams) {
+  Ftl ftl(stream_config());
+  const Lpn logical = ftl.config().logical_pages();
+  Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < logical * 6ULL; ++i) {
+    const auto hint = static_cast<StreamHint>(rng.next_below(3));
+    ftl.write(static_cast<Lpn>(rng.next_below(logical)), hint);
+  }
+  ftl.check_invariants();
+}
+
+}  // namespace
+}  // namespace chameleon::flashsim

@@ -1,0 +1,71 @@
+#include "flashsim/ssd_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::flashsim {
+namespace {
+
+TEST(SsdConfig, DefaultsMatchTableII) {
+  const SsdConfig cfg;
+  EXPECT_EQ(cfg.page_size_bytes, 4096u);
+  EXPECT_EQ(cfg.pages_per_block * cfg.page_size_bytes, 256u * 1024u);  // 256KB
+  EXPECT_EQ(cfg.read_latency, 25 * kMicrosecond);
+  EXPECT_EQ(cfg.write_latency, 200 * kMicrosecond);
+  EXPECT_EQ(cfg.erase_latency, 1500 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(cfg.over_provision, 0.15);
+}
+
+TEST(SsdConfig, LogicalSpaceExcludesOverProvision) {
+  SsdConfig cfg;
+  cfg.block_count = 1000;
+  EXPECT_EQ(cfg.logical_pages(), 850u * cfg.pages_per_block);
+  EXPECT_LT(cfg.logical_pages(), cfg.physical_pages());
+}
+
+TEST(SsdConfig, GcWatermarkFloor) {
+  SsdConfig cfg;
+  cfg.block_count = 64;
+  cfg.gc_low_watermark = 0.0001;
+  EXPECT_GE(cfg.gc_low_blocks(), 2u);
+}
+
+TEST(SsdConfig, ValidateRejectsBadGeometry) {
+  SsdConfig cfg;
+  cfg.block_count = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SsdConfig{};
+  cfg.over_provision = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SsdConfig{};
+  cfg.over_provision = 0.95;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SsdConfig{};
+  cfg.block_count = 4;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(SsdConfig, SizedForHoldsRequestedBytes) {
+  for (const std::uint64_t mib : {16ULL, 64ULL, 256ULL, 1024ULL}) {
+    const auto cfg = SsdConfig::sized_for(mib * kMiB, 0.75);
+    EXPECT_GE(static_cast<double>(cfg.logical_bytes()) * 0.75,
+              static_cast<double>(mib * kMiB) * 0.99)
+        << mib << " MiB";
+    cfg.validate();
+  }
+}
+
+TEST(SsdConfig, SizedForRejectsBadUtilization) {
+  EXPECT_THROW(SsdConfig::sized_for(kGiB, 0.0), std::invalid_argument);
+  EXPECT_THROW(SsdConfig::sized_for(kGiB, 1.2), std::invalid_argument);
+}
+
+TEST(SsdConfig, SizedForHasMinimumBlocks) {
+  const auto cfg = SsdConfig::sized_for(1, 0.5);
+  EXPECT_GE(cfg.block_count, 64u);
+}
+
+}  // namespace
+}  // namespace chameleon::flashsim

@@ -1,0 +1,87 @@
+// Intra-device wear leveling: dynamic (frontier allocation from least-worn
+// free blocks) is always on; static WL relocates cold blocks when the erase
+// spread exceeds static_wl_delta.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flashsim/ftl.hpp"
+
+namespace chameleon::flashsim {
+namespace {
+
+SsdConfig wl_config(std::uint32_t delta) {
+  SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = delta;
+  return cfg;
+}
+
+/// Hot/cold split workload: a small hot region is overwritten constantly
+/// while the cold majority never changes — the classic static-WL stressor.
+void hot_cold_churn(Ftl& ftl, std::uint64_t total_writes) {
+  const Lpn logical = ftl.config().logical_pages();
+  for (Lpn l = 0; l < logical; ++l) ftl.write(l);  // cold fill
+  const Lpn hot_span = logical / 20;
+  Xoshiro256 rng(3);
+  for (std::uint64_t i = 0; i < total_writes; ++i) {
+    ftl.write(static_cast<Lpn>(rng.next_below(hot_span)));
+  }
+}
+
+TEST(StaticWearLeveling, DisabledAllowsWideSpread) {
+  Ftl ftl(wl_config(0));
+  hot_cold_churn(ftl, 40'000);
+  // With cold data pinned on its blocks forever, the erase spread grows
+  // without bound (min stays 0 or 1).
+  EXPECT_GT(ftl.max_block_erase() - ftl.min_block_erase(), 32u);
+  ftl.check_invariants();
+}
+
+TEST(StaticWearLeveling, EnabledBoundsSpread) {
+  const std::uint32_t delta = 16;
+  Ftl ftl(wl_config(delta));
+  hot_cold_churn(ftl, 40'000);
+  // The spread may transiently exceed delta between triggers, but must stay
+  // in its vicinity rather than growing unboundedly.
+  EXPECT_LE(ftl.max_block_erase() - ftl.min_block_erase(), delta * 2);
+  EXPECT_GT(ftl.stats().wl_page_copies, 0u);
+  ftl.check_invariants();
+}
+
+TEST(StaticWearLeveling, TightensWithSmallerDelta) {
+  Ftl loose(wl_config(32));
+  Ftl tight(wl_config(8));
+  hot_cold_churn(loose, 30'000);
+  hot_cold_churn(tight, 30'000);
+  const auto spread_loose = loose.max_block_erase() - loose.min_block_erase();
+  const auto spread_tight = tight.max_block_erase() - tight.min_block_erase();
+  EXPECT_LE(spread_tight, spread_loose);
+}
+
+TEST(StaticWearLeveling, CostsRelocationWrites) {
+  Ftl off(wl_config(0));
+  Ftl on(wl_config(8));
+  hot_cold_churn(off, 30'000);
+  hot_cold_churn(on, 30'000);
+  EXPECT_EQ(off.stats().wl_page_copies, 0u);
+  EXPECT_GT(on.stats().wl_page_copies, 0u);
+  // Leveling trades some extra wear for evenness.
+  EXPECT_GE(on.stats().write_amplification(),
+            off.stats().write_amplification() * 0.99);
+}
+
+TEST(DynamicWearLeveling, FrontierPrefersLeastWornFreeBlocks) {
+  // Under uniform churn with dynamic WL only, erase counts should stay
+  // fairly tight: allocation order recycles all blocks evenly.
+  Ftl ftl(wl_config(0));
+  const Lpn logical = ftl.config().logical_pages();
+  for (int round = 0; round < 30; ++round) {
+    for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  }
+  EXPECT_GT(ftl.min_block_erase(), 0u);
+  EXPECT_LE(ftl.max_block_erase() - ftl.min_block_erase(), 4u);
+}
+
+}  // namespace
+}  // namespace chameleon::flashsim

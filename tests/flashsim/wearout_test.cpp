@@ -1,0 +1,96 @@
+// Endurance limits: blocks retire at max_pe_cycles; the device dies once
+// retirements consume its spare capacity. This underpins the cluster
+// lifetime analysis (bench/lifetime_analysis).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flashsim/ftl.hpp"
+
+namespace chameleon::flashsim {
+namespace {
+
+SsdConfig wearout_config(std::uint32_t pe_cycles) {
+  SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  cfg.static_wl_delta = 0;
+  cfg.max_pe_cycles = pe_cycles;
+  return cfg;
+}
+
+/// Churn until the device dies; returns host pages written before death.
+std::uint64_t write_until_death(Ftl& ftl, std::uint64_t safety_cap) {
+  const Lpn logical = ftl.config().logical_pages();
+  Xoshiro256 rng(1);
+  std::uint64_t written = 0;
+  try {
+    for (; written < safety_cap; ++written) {
+      ftl.write(static_cast<Lpn>(rng.next_below(logical)));
+    }
+  } catch (const DeviceWornOut&) {
+    return written;
+  }
+  return written;
+}
+
+TEST(WearOut, DisabledByDefault) {
+  Ftl ftl(wearout_config(0));
+  const Lpn logical = ftl.config().logical_pages();
+  for (int round = 0; round < 40; ++round) {
+    for (Lpn l = 0; l < logical; ++l) ftl.write(l);
+  }
+  EXPECT_EQ(ftl.retired_blocks(), 0u);
+  EXPECT_FALSE(ftl.is_worn_out());
+}
+
+TEST(WearOut, BlocksRetireAtLimit) {
+  Ftl ftl(wearout_config(4));
+  write_until_death(ftl, 1'000'000);
+  EXPECT_GT(ftl.retired_blocks(), 0u);
+  // No block ever exceeds the endurance limit.
+  for (BlockId b = 0; b < ftl.config().block_count; ++b) {
+    EXPECT_LE(ftl.block_erase_count(b), 4u);
+  }
+  ftl.check_invariants();
+}
+
+TEST(WearOut, DeviceEventuallyDiesAndStaysDead) {
+  Ftl ftl(wearout_config(4));
+  const auto written = write_until_death(ftl, 1'000'000);
+  EXPECT_LT(written, 1'000'000u) << "device should have died";
+  EXPECT_TRUE(ftl.is_worn_out());
+  EXPECT_THROW(ftl.write(0), DeviceWornOut);
+  // Reads still work on a worn-out device.
+  EXPECT_NO_THROW(ftl.read(0));
+}
+
+TEST(WearOut, HigherEnduranceLastsLonger) {
+  Ftl short_lived(wearout_config(3));
+  Ftl long_lived(wearout_config(9));
+  const auto a = write_until_death(short_lived, 2'000'000);
+  const auto b = write_until_death(long_lived, 2'000'000);
+  // Roughly proportional to the P/E budget (death triggers on the first few
+  // retirements, so the ratio undershoots the 3x budget ratio).
+  EXPECT_GT(b, a * 3 / 2);
+}
+
+TEST(WearOut, LowerWriteAmplificationExtendsLife) {
+  // Sequential churn (WA ~1) must outlive random churn (WA > 1) for the
+  // same endurance budget.
+  Ftl seq(wearout_config(4));
+  Ftl rnd(wearout_config(4));
+  const Lpn logical = seq.config().logical_pages();
+
+  std::uint64_t seq_written = 0;
+  try {
+    for (;; ++seq_written) {
+      seq.write(static_cast<Lpn>(seq_written % logical));
+    }
+  } catch (const DeviceWornOut&) {
+  }
+  const auto rnd_written = write_until_death(rnd, 10'000'000);
+  EXPECT_GE(seq_written, rnd_written);
+}
+
+}  // namespace
+}  // namespace chameleon::flashsim

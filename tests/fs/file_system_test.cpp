@@ -1,0 +1,211 @@
+#include "fs/file_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/balancer.hpp"
+#include "kv/repair.hpp"
+
+namespace chameleon::fs {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 256;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(std::uint32_t chunk_bytes = 16 * 1024)
+      : cluster(12, small_ssd()),
+        store(cluster, table, kv_config()),
+        fs(store, chunk_bytes) {}
+
+  static kv::KvConfig kv_config() {
+    kv::KvConfig c;
+    c.initial_scheme = meta::RedState::kEc;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  ChameleonFs fs;
+};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+TEST(ChameleonFs, CreateExistsUnlink) {
+  Fixture f;
+  EXPECT_FALSE(f.fs.exists("/a"));
+  EXPECT_TRUE(f.fs.create("/a"));
+  EXPECT_TRUE(f.fs.exists("/a"));
+  EXPECT_FALSE(f.fs.create("/a"));  // already there
+  EXPECT_TRUE(f.fs.unlink("/a"));
+  EXPECT_FALSE(f.fs.exists("/a"));
+  EXPECT_FALSE(f.fs.unlink("/a"));
+}
+
+TEST(ChameleonFs, EmptyPathRejected) {
+  Fixture f;
+  EXPECT_THROW(f.fs.create(""), std::invalid_argument);
+}
+
+TEST(ChameleonFs, WriteReadRoundTripSingleChunk) {
+  Fixture f;
+  f.fs.write("/hello", 0, std::string_view("hello, flash"));
+  EXPECT_EQ(f.fs.read_string("/hello"), "hello, flash");
+  EXPECT_EQ(f.fs.stat("/hello")->size, 12u);
+}
+
+TEST(ChameleonFs, WriteImplicitlyCreates) {
+  Fixture f;
+  f.fs.write("/implicit", 0, std::string_view("x"));
+  EXPECT_TRUE(f.fs.exists("/implicit"));
+}
+
+TEST(ChameleonFs, MultiChunkRoundTrip) {
+  Fixture f(16 * 1024);
+  const auto payload = random_bytes(100'000, 1);  // ~6.1 chunks
+  f.fs.write("/big", 0, payload);
+  EXPECT_EQ(f.fs.read("/big", 0, payload.size()), payload);
+  EXPECT_EQ(f.fs.stat("/big")->chunk_count(), 7u);
+}
+
+TEST(ChameleonFs, OffsetWriteAcrossChunkBoundary) {
+  Fixture f(16 * 1024);
+  f.fs.write("/f", 0, random_bytes(40'000, 2));
+  const auto patch = random_bytes(10'000, 3);
+  f.fs.write("/f", 12'000, patch);  // spans chunks 0 and 1
+  const auto readback = f.fs.read("/f", 12'000, patch.size());
+  EXPECT_EQ(readback, patch);
+  EXPECT_EQ(f.fs.stat("/f")->size, 40'000u);
+}
+
+TEST(ChameleonFs, AppendExtendsFile) {
+  Fixture f;
+  f.fs.write("/log", 0, std::string_view("line1\n"));
+  f.fs.write("/log", 6, std::string_view("line2\n"));
+  EXPECT_EQ(f.fs.read_string("/log"), "line1\nline2\n");
+}
+
+TEST(ChameleonFs, SparseGapReadsAsZeroes) {
+  Fixture f(16 * 1024);
+  f.fs.write("/sparse", 50'000, std::string_view("tail"));
+  EXPECT_EQ(f.fs.stat("/sparse")->size, 50'004u);
+  const auto gap = f.fs.read("/sparse", 10'000, 16);
+  for (const auto b : gap) EXPECT_EQ(b, 0);
+  const auto tail = f.fs.read("/sparse", 50'000, 4);
+  EXPECT_EQ(std::string(tail.begin(), tail.end()), "tail");
+}
+
+TEST(ChameleonFs, ReadPastEofIsShort) {
+  Fixture f;
+  f.fs.write("/short", 0, std::string_view("abc"));
+  EXPECT_EQ(f.fs.read("/short", 2, 100).size(), 1u);
+  EXPECT_TRUE(f.fs.read("/short", 3, 100).empty());
+  EXPECT_TRUE(f.fs.read("/short", 99, 1).empty());
+}
+
+TEST(ChameleonFs, ReadUnknownThrows) {
+  Fixture f;
+  EXPECT_THROW(f.fs.read("/nope", 0, 1), std::out_of_range);
+  EXPECT_THROW(f.fs.read_string("/nope"), std::out_of_range);
+}
+
+TEST(ChameleonFs, TruncateShrinkDropsChunks) {
+  Fixture f(16 * 1024);
+  f.fs.write("/t", 0, random_bytes(80'000, 4));  // 5 chunks
+  f.fs.truncate("/t", 20'000);                   // keep 2 (one partial)
+  EXPECT_EQ(f.fs.stat("/t")->size, 20'000u);
+  EXPECT_EQ(f.fs.read("/t", 0, 100'000).size(), 20'000u);
+  // The dropped chunk objects are gone from the store.
+  EXPECT_FALSE(f.store.table().exists(
+      kv::Client::object_id("fs:data:/t:4")));
+}
+
+TEST(ChameleonFs, TruncateGrowIsSparse) {
+  Fixture f;
+  f.fs.write("/g", 0, std::string_view("ab"));
+  f.fs.truncate("/g", 10'000);
+  EXPECT_EQ(f.fs.stat("/g")->size, 10'000u);
+  const auto bytes = f.fs.read("/g", 0, 10'000);
+  ASSERT_EQ(bytes.size(), 10'000u);
+  EXPECT_EQ(bytes[0], 'a');
+  EXPECT_EQ(bytes[9999], 0);
+}
+
+TEST(ChameleonFs, ListByPrefix) {
+  Fixture f;
+  f.fs.create("/logs/a");
+  f.fs.create("/logs/b");
+  f.fs.create("/data/c");
+  EXPECT_EQ(f.fs.list("/logs/").size(), 2u);
+  EXPECT_EQ(f.fs.list("/data/").size(), 1u);
+  EXPECT_EQ(f.fs.list().size(), 3u);
+  f.fs.unlink("/logs/a");
+  EXPECT_EQ(f.fs.list("/logs/").size(), 1u);
+}
+
+TEST(ChameleonFs, StatReportsTimestamps) {
+  Fixture f;
+  f.fs.create("/ts", 3);
+  f.fs.write("/ts", 0, std::string_view("x"), 7);
+  const auto st = *f.fs.stat("/ts");
+  EXPECT_EQ(st.created, 3u);
+  EXPECT_EQ(st.modified, 7u);
+}
+
+TEST(ChameleonFs, DataSurvivesWearBalancing) {
+  // Files are ordinary Chameleon objects: run the balancer hard and make
+  // sure content integrity holds.
+  Fixture f(16 * 1024);
+  const auto payload = random_bytes(60'000, 5);
+  f.fs.write("/survivor", 0, payload);
+
+  core::ChameleonOptions opts;
+  core::Balancer balancer(f.store, opts);
+  Xoshiro256 rng(6);
+  for (Epoch e = 1; e <= 12; ++e) {
+    // Background churn so GC and balancing actually happen.
+    for (int i = 0; i < 300; ++i) {
+      f.store.put(fnv1a64(rng.next_below(200)), 8192, e);
+    }
+    balancer.on_epoch(e);
+  }
+  EXPECT_EQ(f.fs.read("/survivor", 0, payload.size()), payload);
+}
+
+TEST(ChameleonFs, DataSurvivesServerFailure) {
+  Fixture f(16 * 1024);
+  const auto payload = random_bytes(60'000, 7);
+  f.fs.write("/critical", 0, payload);
+
+  kv::RepairManager repair(f.store);
+  repair.repair_server(3, 1);
+  repair.repair_server(8, 2);
+  EXPECT_EQ(f.fs.read("/critical", 0, payload.size()), payload);
+}
+
+TEST(ChameleonFs, ManyFilesIndependent) {
+  Fixture f;
+  for (int i = 0; i < 40; ++i) {
+    f.fs.write("/file" + std::to_string(i), 0,
+               std::string_view("content-") );
+    f.fs.write("/file" + std::to_string(i), 8, std::to_string(i));
+  }
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(f.fs.read_string("/file" + std::to_string(i)),
+              "content-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::fs

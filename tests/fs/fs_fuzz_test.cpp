@@ -1,0 +1,110 @@
+// Model-based fuzzing of the file system: apply random writes, reads,
+// truncates, appends and unlinks to ChameleonFs and to a trivial in-memory
+// reference model, and require byte-identical behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fs/file_system.hpp"
+
+namespace chameleon::fs {
+namespace {
+
+flashsim::SsdConfig fuzz_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 512;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+/// The reference: files are plain byte vectors with sparse-zero semantics.
+struct ModelFs {
+  std::map<std::string, std::vector<std::uint8_t>> files;
+
+  void write(const std::string& path, std::uint64_t offset,
+             const std::vector<std::uint8_t>& data) {
+    auto& f = files[path];
+    if (f.size() < offset + data.size()) f.resize(offset + data.size(), 0);
+    std::copy(data.begin(), data.end(),
+              f.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+  std::vector<std::uint8_t> read(const std::string& path,
+                                 std::uint64_t offset,
+                                 std::uint64_t length) const {
+    const auto it = files.find(path);
+    if (it == files.end() || offset >= it->second.size()) return {};
+    const auto end =
+        std::min<std::uint64_t>(it->second.size(), offset + length);
+    return {it->second.begin() + static_cast<std::ptrdiff_t>(offset),
+            it->second.begin() + static_cast<std::ptrdiff_t>(end)};
+  }
+  void truncate(const std::string& path, std::uint64_t size) {
+    files[path].resize(size, 0);
+  }
+  void unlink(const std::string& path) { files.erase(path); }
+};
+
+class FsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FsFuzz, MatchesReferenceModel) {
+  cluster::Cluster cluster(12, fuzz_ssd());
+  meta::MappingTable table;
+  kv::KvConfig kv_config;
+  kv_config.initial_scheme = meta::RedState::kEc;
+  kv::KvStore store(cluster, table, kv_config);
+  ChameleonFs fs(store, /*chunk_bytes=*/8 * 1024);
+  ModelFs model;
+
+  Xoshiro256 rng(GetParam());
+  const std::vector<std::string> paths{"/a", "/b", "/dir/c", "/dir/d"};
+  const std::uint64_t max_size = 60'000;
+
+  for (int op = 0; op < 400; ++op) {
+    const auto& path = paths[rng.next_below(paths.size())];
+    const auto roll = rng.next_below(100);
+    if (roll < 45) {
+      // Random write at a random offset.
+      const std::uint64_t offset = rng.next_below(max_size);
+      std::vector<std::uint8_t> data(1 + rng.next_below(20'000));
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+      fs.write(path, offset, data);
+      model.write(path, offset, data);
+    } else if (roll < 75) {
+      const std::uint64_t offset = rng.next_below(max_size + 30'000);
+      const std::uint64_t length = 1 + rng.next_below(30'000);
+      if (!model.files.contains(path)) continue;
+      EXPECT_EQ(fs.read(path, offset, length),
+                model.read(path, offset, length))
+          << path << " @" << offset << "+" << length;
+    } else if (roll < 88) {
+      if (!model.files.contains(path)) continue;
+      const std::uint64_t size = rng.next_below(max_size);
+      fs.truncate(path, size);
+      model.truncate(path, size);
+    } else {
+      if (!model.files.contains(path)) continue;
+      fs.unlink(path);
+      model.unlink(path);
+    }
+  }
+
+  // Final sweep: full contents of every live file agree; namespaces agree.
+  EXPECT_EQ(fs.list().size(), model.files.size());
+  for (const auto& [path, bytes] : model.files) {
+    ASSERT_TRUE(fs.exists(path)) << path;
+    EXPECT_EQ(fs.stat(path)->size, bytes.size()) << path;
+    EXPECT_EQ(fs.read(path, 0, bytes.size() + 1), bytes) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsFuzz, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace chameleon::fs

@@ -1,0 +1,184 @@
+#include "kv/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial = meta::RedState::kEc)
+      : cluster(12, small_ssd()),
+        store(cluster, table, config(initial)),
+        client(store) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+  Client client;
+};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+TEST(Client, StringRoundTrip) {
+  Fixture f;
+  f.client.put("greeting", std::string_view("hello, flash cluster"));
+  EXPECT_EQ(f.client.get_string("greeting"), "hello, flash cluster");
+}
+
+TEST(Client, BinaryRoundTripUnderEc) {
+  Fixture f(meta::RedState::kEc);
+  const auto payload = random_bytes(100'000, 1);
+  f.client.put("blob", payload);
+  EXPECT_EQ(f.client.get("blob"), payload);
+}
+
+TEST(Client, BinaryRoundTripUnderRep) {
+  Fixture f(meta::RedState::kRep);
+  const auto payload = random_bytes(50'000, 2);
+  f.client.put("blob", payload);
+  EXPECT_EQ(f.client.get("blob"), payload);
+}
+
+TEST(Client, OverwriteReturnsLatestValue) {
+  Fixture f;
+  f.client.put("k", std::string_view("v1"));
+  f.client.put("k", std::string_view("version-two"));
+  EXPECT_EQ(f.client.get_string("k"), "version-two");
+}
+
+TEST(Client, GetUnknownKeyThrows) {
+  Fixture f;
+  EXPECT_THROW(f.client.get("missing"), std::out_of_range);
+}
+
+TEST(Client, ContainsAndRemove) {
+  Fixture f;
+  EXPECT_FALSE(f.client.contains("k"));
+  f.client.put("k", std::string_view("v"));
+  EXPECT_TRUE(f.client.contains("k"));
+  EXPECT_TRUE(f.client.remove("k"));
+  EXPECT_FALSE(f.client.contains("k"));
+  EXPECT_FALSE(f.client.remove("k"));
+}
+
+TEST(Client, StateOfReportsRedundancy) {
+  Fixture f(meta::RedState::kEc);
+  EXPECT_FALSE(f.client.state_of("k").has_value());
+  f.client.put("k", std::string_view("v"));
+  EXPECT_EQ(f.client.state_of("k"), meta::RedState::kEc);
+}
+
+TEST(Client, DegradedReadUnderEcSurvivesTwoServerLoss) {
+  Fixture f(meta::RedState::kEc);
+  const auto payload = random_bytes(64'000, 3);
+  f.client.put("critical", payload);
+  const auto m = *f.table.get(Client::object_id("critical"));
+  // Take down the servers holding data shards 0 and 1.
+  const std::set<ServerId> down{m.src[0], m.src[1]};
+  EXPECT_EQ(f.client.get("critical", 0, down), payload);
+}
+
+TEST(Client, DegradedReadUnderEcFailsBeyondParity) {
+  Fixture f(meta::RedState::kEc);
+  f.client.put("k", random_bytes(10'000, 4));
+  const auto m = *f.table.get(Client::object_id("k"));
+  const std::set<ServerId> down{m.src[0], m.src[1], m.src[2]};
+  EXPECT_THROW(f.client.get("k", 0, down), std::runtime_error);
+}
+
+TEST(Client, DegradedReadUnderRepUsesAnotherReplica) {
+  Fixture f(meta::RedState::kRep);
+  const auto payload = random_bytes(20'000, 5);
+  f.client.put("k", payload);
+  const auto m = *f.table.get(Client::object_id("k"));
+  const std::set<ServerId> down{m.src[0], m.src[1]};
+  EXPECT_EQ(f.client.get("k", 0, down), payload);
+  const std::set<ServerId> all_down{m.src[0], m.src[1], m.src[2]};
+  EXPECT_THROW(f.client.get("k", 0, all_down), std::runtime_error);
+}
+
+TEST(Client, PayloadSurvivesLazyConversion) {
+  Fixture f(meta::RedState::kRep);
+  const auto v1 = random_bytes(30'000, 6);
+  const auto v2 = random_bytes(30'000, 7);
+  f.client.put("k", v1);
+  const ObjectId oid = Client::object_id("k");
+  // Balancer arms a late-EC transition; the next put converts.
+  f.table.mutate(oid, [&](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kLateEc;
+    m.dst = f.store.place(oid, meta::RedState::kEc);
+  });
+  f.client.put("k", v2);
+  EXPECT_EQ(f.client.state_of("k"), meta::RedState::kEc);
+  EXPECT_EQ(f.client.get("k"), v2);
+}
+
+TEST(Client, PayloadSurvivesEagerConversionAndRelocation) {
+  Fixture f(meta::RedState::kRep);
+  const auto payload = random_bytes(40'000, 8);
+  f.client.put("k", payload);
+  const ObjectId oid = Client::object_id("k");
+
+  f.store.convert(oid, meta::RedState::kEc,
+                  f.store.place(oid, meta::RedState::kEc),
+                  cluster::Traffic::kConversion);
+  EXPECT_EQ(f.client.get("k"), payload);
+
+  // Relocate one shard and read again.
+  const auto m = *f.table.get(oid);
+  ServerId replacement = 0;
+  while (m.src.contains(replacement)) ++replacement;
+  meta::ServerSet dst;
+  dst.push_back(replacement);
+  for (std::uint32_t i = 1; i < m.src.size(); ++i) dst.push_back(m.src[i]);
+  f.store.relocate(oid, dst, cluster::Traffic::kSwap);
+  EXPECT_EQ(f.client.get("k"), payload);
+}
+
+TEST(Client, EmptyValueRoundTrips) {
+  Fixture f;
+  f.client.put("empty", std::string_view(""));
+  EXPECT_EQ(f.client.get_string("empty"), "");
+}
+
+TEST(Client, ManyKeysIndependent) {
+  Fixture f;
+  for (int i = 0; i < 100; ++i) {
+    f.client.put("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(f.client.get_string("key-" + std::to_string(i)),
+              "value-" + std::to_string(i));
+  }
+}
+
+TEST(KvStore, PutValueWithoutEnablingThrows) {
+  Fixture f;
+  const std::vector<std::uint8_t> v{1, 2, 3};
+  // The fixture's client has not been used yet, so payloads are off.
+  EXPECT_THROW(f.store.put_value(1, v, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace chameleon::kv

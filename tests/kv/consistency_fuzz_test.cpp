@@ -1,0 +1,142 @@
+// Model-based consistency fuzzing: drive random client operations,
+// balancing epochs and server repairs against the full stack, and after
+// every phase check the global invariant that the mapping table and the
+// physical fragment stores agree exactly:
+//   * every object's fragments exist on its src servers at its current
+//     placement version, with the right per-fragment page footprint;
+//   * no server holds orphan fragments (counts match exactly);
+//   * intermediate states always carry a destination set of the right size.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "core/balancer.hpp"
+#include "kv/repair.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig fuzz_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 256;
+  cfg.static_wl_delta = 32;
+  return cfg;
+}
+
+struct Fuzzer {
+  explicit Fuzzer(std::uint64_t seed, meta::RedState initial)
+      : cluster(12, fuzz_ssd()),
+        store(cluster, table, config(initial)),
+        balancer(store, core::ChameleonOptions{}),
+        repair(store),
+        rng(seed) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  void check_invariants() {
+    // Expected fragment population per server.
+    std::unordered_map<ServerId, std::size_t> expected;
+    table.for_each([&](const meta::ObjectMeta& m) {
+      const auto scheme = meta::current_scheme(m.state);
+      const std::size_t n = store.fragments_of(scheme);
+      ASSERT_EQ(m.src.size(), n) << "object " << m.oid << " wrong set size";
+      if (meta::is_intermediate(m.state)) {
+        ASSERT_EQ(m.dst.size(),
+                  store.fragments_of(meta::target_scheme(m.state)));
+      } else {
+        ASSERT_TRUE(m.dst.empty());
+      }
+      const std::uint64_t frag_bytes =
+          store.fragment_bytes(m.size_bytes, scheme);
+      for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+        const auto key =
+            cluster::fragment_key(m.oid, m.placement_version, i);
+        auto& server = cluster.server(m.src[i]);
+        ASSERT_TRUE(server.has_fragment(key))
+            << "object " << m.oid << " missing fragment " << i << " on "
+            << m.src[i];
+        ASSERT_EQ(server.log().object_pages(key),
+                  server.log().pages_for_bytes(frag_bytes));
+        ++expected[m.src[i]];
+      }
+    });
+    // No orphans: physical fragment counts match the model exactly.
+    for (ServerId s = 0; s < cluster.size(); ++s) {
+      ASSERT_EQ(cluster.server(s).fragment_count(), expected[s])
+          << "orphan fragments on server " << s;
+    }
+  }
+
+  void run(int epochs, int ops_per_epoch, bool with_repair) {
+    std::vector<ObjectId> oids;
+    for (Epoch e = 1; e <= static_cast<Epoch>(epochs); ++e) {
+      for (int i = 0; i < ops_per_epoch; ++i) {
+        const auto roll = rng.next_below(100);
+        if (roll < 60 || oids.empty()) {
+          // Skewed puts over a bounded id space, variable sizes.
+          const ObjectId oid = fnv1a64(rng.next_below(300));
+          const std::uint64_t bytes = 1 + rng.next_below(48 * 1024);
+          store.put(oid, bytes, e);
+          oids.push_back(oid);
+        } else if (roll < 85) {
+          const ObjectId oid = oids[rng.next_below(oids.size())];
+          if (table.exists(oid)) store.get(oid, e);
+        } else {
+          const ObjectId oid = oids[rng.next_below(oids.size())];
+          store.remove(oid);
+        }
+      }
+      balancer.on_epoch(e);
+      if (with_repair && e % 7 == 0) {
+        // Fail-and-repair a rotating server, then bring it back.
+        const auto victim = static_cast<ServerId>(rng.next_below(12));
+        repair.repair_server(victim, e);
+        repair.mark_recovered(victim);
+      }
+      check_invariants();
+    }
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+  core::Balancer balancer;
+  RepairManager repair;
+  Xoshiro256 rng;
+};
+
+struct FuzzCase {
+  std::uint64_t seed;
+  meta::RedState initial;
+  bool with_repair;
+};
+
+class ConsistencyFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ConsistencyFuzz, InvariantsHoldUnderRandomOperations) {
+  const auto& c = GetParam();
+  Fuzzer fuzzer(c.seed, c.initial);
+  fuzzer.run(/*epochs=*/14, /*ops_per_epoch=*/250, c.with_repair);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConsistencyFuzz,
+    ::testing::Values(FuzzCase{1, meta::RedState::kEc, false},
+                      FuzzCase{2, meta::RedState::kRep, false},
+                      FuzzCase{3, meta::RedState::kEc, true},
+                      FuzzCase{4, meta::RedState::kRep, true},
+                      FuzzCase{5, meta::RedState::kEc, true}),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.initial == meta::RedState::kEc ? "_ec" : "_rep") +
+             (param_info.param.with_repair ? "_repair" : "");
+    });
+
+}  // namespace
+}  // namespace chameleon::kv

@@ -1,0 +1,111 @@
+// Degraded reads on the metadata-sized path: survivor selection, parity
+// reconstruction cost, and unavailability errors.
+#include <gtest/gtest.h>
+
+#include "kv/kv_store.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial)
+      : cluster(12, small_ssd()), store(cluster, table, config(initial)) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+};
+
+TEST(DegradedRead, NoDownServersBehavesLikeGet) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'384, 0);
+  const auto r = f.store.get_degraded(1, 0, {});
+  EXPECT_GT(r.latency, 0);
+  EXPECT_EQ(r.state, meta::RedState::kEc);
+}
+
+TEST(DegradedRead, UnknownObjectThrows) {
+  Fixture f(meta::RedState::kEc);
+  EXPECT_THROW(f.store.get_degraded(404, 0, {}), std::out_of_range);
+}
+
+TEST(DegradedRead, RepFallsBackToSurvivingReplica) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(2, 16'384, 0);
+  const auto m = *f.table.get(2);
+  const std::set<ServerId> down{m.src[0], m.src[1]};
+  EXPECT_NO_THROW(f.store.get_degraded(2, 0, down));
+  const std::set<ServerId> all{m.src[0], m.src[1], m.src[2]};
+  EXPECT_THROW(f.store.get_degraded(2, 0, all), std::runtime_error);
+}
+
+TEST(DegradedRead, EcToleratesParityManyLosses) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(3, 24'576, 0);
+  const auto m = *f.table.get(3);
+  // Lose 2 (= parity count) servers: still readable.
+  EXPECT_NO_THROW(f.store.get_degraded(3, 0, {m.src[0], m.src[4]}));
+  // Lose 3: unreadable.
+  const std::set<ServerId> three{m.src[0], m.src[1], m.src[5]};
+  EXPECT_THROW(f.store.get_degraded(3, 0, three), std::runtime_error);
+}
+
+TEST(DegradedRead, ParityReadPaysDecodeCost) {
+  Fixture f(meta::RedState::kEc);
+  const std::uint64_t bytes = 1 * kMiB;
+  f.store.put(4, bytes, 0);
+  const auto m = *f.table.get(4);
+
+  const auto healthy = f.store.get_degraded(4, 0, {});
+  // Losing a data shard forces a parity read + reconstruction.
+  const auto degraded = f.store.get_degraded(4, 0, {m.src[0]});
+  const auto expected_decode = static_cast<Nanos>(
+      f.store.config().decode_ns_per_byte * static_cast<double>(bytes));
+  EXPECT_GE(degraded.latency, healthy.latency + expected_decode / 2);
+}
+
+TEST(DegradedRead, LosingOnlyParityCostsNoDecode) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(5, 64'000, 0);
+  const auto m = *f.table.get(5);
+  // Parity shards are indices k..n-1; losing them leaves a systematic read.
+  const auto healthy = f.store.get_degraded(5, 0, {});
+  const auto no_parity =
+      f.store.get_degraded(5, 0, {m.src[4], m.src[5]});
+  EXPECT_EQ(no_parity.latency, healthy.latency);
+}
+
+TEST(DegradedRead, IntermediateStateReadsFromSource) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(6, 16'384, 0);
+  f.table.mutate(6, [&](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kLateRep;
+    m.dst = f.store.place(6, meta::RedState::kRep);
+  });
+  const auto m = *f.table.get(6);
+  // Down a destination server: irrelevant, the source serves the read.
+  ServerId dst_only = kInvalidServer;
+  for (const ServerId s : m.dst) {
+    if (!m.src.contains(s)) dst_only = s;
+  }
+  if (dst_only != kInvalidServer) {
+    EXPECT_NO_THROW(f.store.get_degraded(6, 0, {dst_only}));
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::kv

@@ -1,0 +1,105 @@
+// Redundancy-geometry sweep: the store must work for replication factors
+// and RS codes beyond the paper's (3, RS(6,4)) defaults — placement sizes,
+// footprints, lazy transitions and payload round-trips all follow the
+// configured geometry.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Geometry {
+  std::size_t replicas;
+  std::size_t ec_total;
+  std::size_t ec_data;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {
+ protected:
+  KvConfig make_config(meta::RedState initial) const {
+    KvConfig c;
+    c.replicas = GetParam().replicas;
+    c.ec_total = GetParam().ec_total;
+    c.ec_data = GetParam().ec_data;
+    c.initial_scheme = initial;
+    return c;
+  }
+};
+
+TEST_P(GeometrySweep, PlacementSizesFollowGeometry) {
+  cluster::Cluster cluster(16, small_ssd());
+  meta::MappingTable table;
+  KvStore store(cluster, table, make_config(meta::RedState::kEc));
+  store.put(1, 32'768, 0);
+  const auto m = *table.get(1);
+  EXPECT_EQ(m.src.size(), GetParam().ec_total);
+  EXPECT_EQ(store.fragments_of(meta::RedState::kRep), GetParam().replicas);
+}
+
+TEST_P(GeometrySweep, FragmentBytesFollowGeometry) {
+  cluster::Cluster cluster(16, small_ssd());
+  meta::MappingTable table;
+  KvStore store(cluster, table, make_config(meta::RedState::kEc));
+  const std::uint64_t object = 120'000;
+  EXPECT_EQ(store.fragment_bytes(object, meta::RedState::kRep), object);
+  EXPECT_EQ(store.fragment_bytes(object, meta::RedState::kEc),
+            (object + GetParam().ec_data - 1) / GetParam().ec_data);
+}
+
+TEST_P(GeometrySweep, LazyTransitionRoundTrip) {
+  cluster::Cluster cluster(16, small_ssd());
+  meta::MappingTable table;
+  KvStore store(cluster, table, make_config(meta::RedState::kRep));
+  store.put(7, 48'000, 0);
+  table.mutate(7, [&](meta::ObjectMeta& m) {
+    m.state = meta::RedState::kLateEc;
+    m.dst = store.place(7, meta::RedState::kEc);
+  });
+  const auto r = store.put(7, 48'000, 1);
+  EXPECT_TRUE(r.converted);
+  const auto m = *table.get(7);
+  EXPECT_EQ(m.state, meta::RedState::kEc);
+  EXPECT_EQ(m.src.size(), GetParam().ec_total);
+}
+
+TEST_P(GeometrySweep, PayloadSurvivesMaxShardLoss) {
+  cluster::Cluster cluster(16, small_ssd());
+  meta::MappingTable table;
+  KvStore store(cluster, table, make_config(meta::RedState::kEc));
+  store.enable_payloads();
+
+  Xoshiro256 rng(GetParam().ec_total);
+  std::vector<std::uint8_t> payload(30'000);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_below(256));
+  store.put_value(9, payload, 0);
+
+  const auto m = *table.get(9);
+  std::set<ServerId> down;
+  const std::size_t parity = GetParam().ec_total - GetParam().ec_data;
+  for (std::size_t i = 0; i < parity; ++i) down.insert(m.src[i]);
+  EXPECT_EQ(store.get_value(9, 0, down), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(Geometry{2, 4, 2}, Geometry{3, 6, 4},
+                      Geometry{3, 9, 6}, Geometry{4, 12, 8},
+                      Geometry{5, 14, 10}),
+    [](const auto& param_info) {
+      return "r" + std::to_string(param_info.param.replicas) + "_rs" +
+             std::to_string(param_info.param.ec_total) + "_" +
+             std::to_string(param_info.param.ec_data);
+    });
+
+}  // namespace
+}  // namespace chameleon::kv

@@ -1,0 +1,234 @@
+#include "kv/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture(meta::RedState initial = meta::RedState::kRep,
+          std::uint32_t servers = 10)
+      : cluster(servers, small_ssd()), store(cluster, table, config(initial)) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+};
+
+TEST(KvStore, RejectsClusterSmallerThanStripeSet) {
+  cluster::Cluster tiny(4, small_ssd());
+  meta::MappingTable table;
+  KvConfig cfg;
+  EXPECT_THROW(KvStore(tiny, table, cfg), std::invalid_argument);
+}
+
+TEST(KvStore, PutCreatesReplicatedObject) {
+  Fixture f(meta::RedState::kRep);
+  const auto r = f.store.put(42, 20'000, 0);
+  EXPECT_GT(r.latency, 0);
+  EXPECT_EQ(r.state, meta::RedState::kRep);
+  EXPECT_FALSE(r.converted);
+
+  const auto m = f.table.get(42);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->src.size(), 3u);
+  // Every replica server holds a full-size fragment (5 pages of 4KB).
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const auto key = cluster::fragment_key(42, 0, i);
+    EXPECT_TRUE(f.cluster.server(m->src[i]).has_fragment(key));
+    EXPECT_EQ(f.cluster.server(m->src[i]).log().object_pages(key), 5u);
+  }
+}
+
+TEST(KvStore, PutCreatesEncodedObject) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(42, 16'384, 0);  // 16KB -> 4KB shards
+  const auto m = f.table.get(42);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->state, meta::RedState::kEc);
+  EXPECT_EQ(m->src.size(), 6u);
+  const std::set<ServerId> unique(m->src.begin(), m->src.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto key = cluster::fragment_key(42, 0, i);
+    EXPECT_EQ(f.cluster.server(m->src[i]).log().object_pages(key), 1u);
+  }
+}
+
+TEST(KvStore, EcStoresHalfTheBytesOfRep) {
+  Fixture rep(meta::RedState::kRep);
+  Fixture ec(meta::RedState::kEc);
+  for (ObjectId oid = 0; oid < 120; ++oid) {
+    rep.store.put(oid, 32'768, 0);
+    ec.store.put(oid, 32'768, 0);
+  }
+  std::uint64_t rep_pages = 0;
+  std::uint64_t ec_pages = 0;
+  for (ServerId s = 0; s < 10; ++s) {
+    rep_pages += rep.cluster.server(s).log().stored_pages();
+    ec_pages += ec.cluster.server(s).log().stored_pages();
+  }
+  EXPECT_EQ(rep_pages, 120u * 3 * 8);  // 32KB = 8 pages x 3 replicas
+  EXPECT_EQ(ec_pages, 120u * 6 * 2);   // 8KB shards = 2 pages x 6 shards
+  EXPECT_EQ(rep_pages, 2 * ec_pages);
+}
+
+TEST(KvStore, PlacementFollowsRing) {
+  Fixture f;
+  const auto placed = f.store.place(7, meta::RedState::kEc);
+  const auto ring =
+      f.cluster.ring().successors(KvStore::placement_hash(7), 6);
+  ASSERT_EQ(placed.size(), ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(placed[i], ring[i]);
+  }
+}
+
+TEST(KvStore, OverwriteKeepsPlacementAndVersion) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(1, 8192, 0);
+  const auto before = *f.table.get(1);
+  f.store.put(1, 8192, 0);
+  const auto after = *f.table.get(1);
+  EXPECT_EQ(after.placement_version, before.placement_version);
+  EXPECT_EQ(after.src, before.src);
+  EXPECT_EQ(after.writes_in_epoch, 2u);
+}
+
+TEST(KvStore, GetReadsFromReplicas) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(5, 12'288, 0);
+  const auto r = f.store.get(5, 0);
+  EXPECT_GT(r.latency, 0);
+  EXPECT_EQ(r.state, meta::RedState::kRep);
+}
+
+TEST(KvStore, GetUnknownThrows) {
+  Fixture f;
+  EXPECT_THROW(f.store.get(404, 0), std::out_of_range);
+}
+
+TEST(KvStore, RemoveDeletesAllFragments) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(9, 30'000, 0);
+  const auto m = *f.table.get(9);
+  EXPECT_TRUE(f.store.remove(9));
+  EXPECT_FALSE(f.table.exists(9));
+  for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+    EXPECT_FALSE(f.cluster.server(m.src[i])
+                     .has_fragment(cluster::fragment_key(9, 0, i)));
+  }
+  EXPECT_FALSE(f.store.remove(9));
+}
+
+TEST(KvStore, WritesRecordHeat) {
+  Fixture f;
+  f.store.put(3, 4096, 0);
+  f.store.put(3, 4096, 0);
+  f.store.put(3, 4096, 0);
+  EXPECT_DOUBLE_EQ(f.table.get(3)->heat(0), 3.0);
+  f.store.put(3, 4096, 2);
+  EXPECT_EQ(f.table.get(3)->last_write_epoch, 2u);
+}
+
+TEST(KvStore, NetworkAccountsReplicationFanout) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(1, 10'000, 0);
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kClientWrite), 10'000u);
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kReplication),
+            20'000u);  // r-1 extra copies
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kEcDistribution), 0u);
+}
+
+TEST(KvStore, NetworkAccountsEcFanout) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'000, 0);
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kClientWrite), 16'000u);
+  EXPECT_EQ(f.cluster.network().bytes(cluster::Traffic::kEcDistribution),
+            4000u * 5);  // (n-1) shards of 4KB
+}
+
+TEST(KvStore, FragmentBytesPerScheme) {
+  Fixture f;
+  EXPECT_EQ(f.store.fragment_bytes(100'000, meta::RedState::kRep), 100'000u);
+  EXPECT_EQ(f.store.fragment_bytes(100'000, meta::RedState::kEc), 25'000u);
+  EXPECT_EQ(f.store.fragments_of(meta::RedState::kRep), 3u);
+  EXPECT_EQ(f.store.fragments_of(meta::RedState::kEc), 6u);
+}
+
+TEST(KvStore, RelocateMovesFragmentsAndBumpsVersion) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(11, 8192, 0);
+  const auto before = *f.table.get(11);
+  // Move the fragment on src[0] to a server outside the set.
+  ServerId replacement = 0;
+  while (before.src.contains(replacement)) ++replacement;
+  meta::ServerSet dst;
+  dst.push_back(replacement);
+  dst.push_back(before.src[1]);
+  dst.push_back(before.src[2]);
+
+  const Nanos latency = f.store.relocate(11, dst, cluster::Traffic::kMigration);
+  EXPECT_GT(latency, 0);
+  const auto after = *f.table.get(11);
+  EXPECT_EQ(after.placement_version, before.placement_version + 1);
+  EXPECT_EQ(after.src, dst);
+  EXPECT_TRUE(f.cluster.server(replacement)
+                  .has_fragment(cluster::fragment_key(11, 1, 0)));
+  EXPECT_FALSE(f.cluster.server(before.src[0])
+                   .has_fragment(cluster::fragment_key(11, 0, 0)));
+  EXPECT_GT(f.cluster.network().bytes(cluster::Traffic::kMigration), 0u);
+}
+
+TEST(KvStore, ConvertRepToEcReducesFootprint) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(12, 32'768, 0);
+  std::uint64_t pages_before = 0;
+  for (ServerId s = 0; s < 10; ++s) {
+    pages_before += f.cluster.server(s).log().stored_pages();
+  }
+  const auto dst = f.store.place(12, meta::RedState::kEc);
+  f.store.convert(12, meta::RedState::kEc, dst, cluster::Traffic::kConversion);
+  std::uint64_t pages_after = 0;
+  for (ServerId s = 0; s < 10; ++s) {
+    pages_after += f.cluster.server(s).log().stored_pages();
+  }
+  EXPECT_EQ(pages_before, 24u);  // 8 pages x 3
+  EXPECT_EQ(pages_after, 12u);   // 2 pages x 6
+  const auto m = *f.table.get(12);
+  EXPECT_EQ(m.state, meta::RedState::kEc);
+  EXPECT_EQ(m.src.size(), 6u);
+}
+
+TEST(KvStore, ConvertRejectsIntermediateTarget) {
+  Fixture f;
+  f.store.put(1, 4096, 0);
+  EXPECT_THROW(f.store.convert(1, meta::RedState::kLateEc, {},
+                               cluster::Traffic::kConversion),
+               std::invalid_argument);
+}
+
+TEST(KvStore, RelocateUnknownThrows) {
+  Fixture f;
+  EXPECT_THROW(f.store.relocate(404, {}, cluster::Traffic::kSwap),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace chameleon::kv

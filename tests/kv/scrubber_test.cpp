@@ -1,0 +1,153 @@
+#include "kv/scrubber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "kv/client.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial = meta::RedState::kEc)
+      : cluster(12, small_ssd()),
+        store(cluster, table, config(initial)),
+        scrubber(store) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+  Scrubber scrubber;
+};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+TEST(Scrubber, CleanClusterIsClean) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 40; ++oid) f.store.put(oid, 16'384, 0);
+  const auto report = f.scrubber.scrub(1);
+  EXPECT_EQ(report.objects_checked, 40u);
+  EXPECT_EQ(report.missing_fragments, 0u);
+  EXPECT_EQ(report.parity_mismatches, 0u);
+  EXPECT_EQ(report.unrecoverable, 0u);
+}
+
+TEST(Scrubber, DetectsMissingFragment) {
+  Fixture f;
+  f.store.put(1, 16'384, 0);
+  const auto m = *f.table.get(1);
+  f.cluster.server(m.src[3]).remove_fragment(
+      cluster::fragment_key(1, 0, 3));
+  const auto report = f.scrubber.scrub(1, /*repair=*/false);
+  EXPECT_EQ(report.missing_fragments, 1u);
+  EXPECT_EQ(report.repaired, 0u);  // detect-only mode
+}
+
+TEST(Scrubber, RepairsMissingFragmentInPlace) {
+  Fixture f;
+  f.store.put(1, 16'384, 0);
+  const auto m = *f.table.get(1);
+  const auto key = cluster::fragment_key(1, 0, 2);
+  f.cluster.server(m.src[2]).remove_fragment(key);
+
+  const auto report = f.scrubber.scrub(1, /*repair=*/true);
+  EXPECT_EQ(report.repaired, 1u);
+  EXPECT_TRUE(f.cluster.server(m.src[2]).has_fragment(key));
+  // A second scrub finds nothing.
+  const auto again = f.scrubber.scrub(2);
+  EXPECT_EQ(again.missing_fragments, 0u);
+}
+
+TEST(Scrubber, ReportsUnrecoverableLoss) {
+  Fixture f;
+  f.store.put(1, 16'384, 0);
+  const auto m = *f.table.get(1);
+  for (std::uint32_t i = 0; i < 3; ++i) {  // 3 of 6 shards: beyond parity
+    f.cluster.server(m.src[i]).remove_fragment(
+        cluster::fragment_key(1, 0, i));
+  }
+  const auto report = f.scrubber.scrub(1, /*repair=*/true);
+  EXPECT_EQ(report.unrecoverable, 1u);
+  EXPECT_EQ(report.repaired, 0u);
+}
+
+TEST(Scrubber, DetectsAndRepairsCorruptReplica) {
+  Fixture f(meta::RedState::kRep);
+  Client client(f.store);
+  const auto payload = random_bytes(20'000, 1);
+  client.put("k", payload);
+  const ObjectId oid = Client::object_id("k");
+  const auto m = *f.table.get(oid);
+
+  // Flip bytes in replica 1's payload.
+  auto corrupted = payload;
+  corrupted[5] ^= 0xFF;
+  f.store.payload_store_mutable()->store(
+      m.src[1], cluster::fragment_key(oid, m.placement_version, 1),
+      corrupted);
+
+  auto report = f.scrubber.scrub(1, /*repair=*/false);
+  EXPECT_EQ(report.corrupt_replicas, 1u);
+
+  report = f.scrubber.scrub(2, /*repair=*/true);
+  EXPECT_EQ(report.repaired, 1u);
+  EXPECT_EQ(f.scrubber.scrub(3).corrupt_replicas, 0u);
+  EXPECT_EQ(client.get("k"), payload);
+}
+
+TEST(Scrubber, DetectsAndRepairsParityCorruption) {
+  Fixture f(meta::RedState::kEc);
+  Client client(f.store);
+  const auto payload = random_bytes(30'000, 2);
+  client.put("k", payload);
+  const ObjectId oid = Client::object_id("k");
+  const auto m = *f.table.get(oid);
+
+  // Corrupt a parity shard (index 5 in RS(6,4)).
+  const auto key = cluster::fragment_key(oid, m.placement_version, 5);
+  auto bad = *f.store.payload_store()->load(m.src[5], key);
+  bad[0] ^= 0x01;
+  f.store.payload_store_mutable()->store(m.src[5], key, bad);
+
+  auto report = f.scrubber.scrub(1, /*repair=*/false);
+  EXPECT_EQ(report.parity_mismatches, 1u);
+
+  report = f.scrubber.scrub(2, /*repair=*/true);
+  EXPECT_GE(report.repaired, 1u);
+  EXPECT_EQ(f.scrubber.scrub(3).parity_mismatches, 0u);
+
+  // The object still reconstructs correctly from any 4 shards.
+  const std::set<ServerId> down{m.src[0], m.src[1]};
+  EXPECT_EQ(client.get("k", 0, down), payload);
+}
+
+TEST(Scrubber, MetadataOnlyObjectsSkipContentChecks) {
+  Fixture f;
+  f.store.enable_payloads();
+  f.store.put(1, 16'384, 0);  // sized put: no payload bytes
+  const auto report = f.scrubber.scrub(1);
+  EXPECT_EQ(report.parity_mismatches, 0u);
+  EXPECT_EQ(report.corrupt_replicas, 0u);
+}
+
+}  // namespace
+}  // namespace chameleon::kv

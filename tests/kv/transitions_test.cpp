@@ -1,0 +1,231 @@
+// Lazy-transition semantics (paper §III-B): late-REP / late-EC / REP-EWO /
+// EC-EWO objects are converted or re-placed by their next write, old
+// fragments are invalidated by trim (no flash writes), and reads in an
+// intermediate state are served from the *source* servers, which hold the
+// latest bytes.
+#include <gtest/gtest.h>
+
+#include "kv/kv_store.hpp"
+
+namespace chameleon::kv {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(meta::RedState initial)
+      : cluster(12, small_ssd()), store(cluster, table, config(initial)) {}
+
+  static KvConfig config(meta::RedState initial) {
+    KvConfig c;
+    c.initial_scheme = initial;
+    return c;
+  }
+
+  /// Put an object into `state` with destination `dst`, as the balancer
+  /// would (metadata-only change).
+  void arm(ObjectId oid, meta::RedState state, const meta::ServerSet& dst) {
+    ASSERT_TRUE(table.mutate(oid, [&](meta::ObjectMeta& m) {
+      m.state = state;
+      m.dst = dst;
+    }));
+  }
+
+  std::uint64_t total_host_writes() const {
+    std::uint64_t sum = 0;
+    for (ServerId s = 0; s < cluster.size(); ++s) {
+      sum += cluster.server(s).ssd_stats().host_page_writes;
+    }
+    return sum;
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  KvStore store;
+};
+
+TEST(Transitions, LateRepConvertsOnNextWrite) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(1, 16'384, 0);  // EC: 6 shards of 1 page
+  const auto before = *f.table.get(1);
+
+  const auto dst = f.store.place(1, meta::RedState::kRep);
+  f.arm(1, meta::RedState::kLateRep, dst);
+
+  const auto r = f.store.put(1, 16'384, 1);
+  EXPECT_TRUE(r.converted);
+  EXPECT_EQ(r.state, meta::RedState::kRep);
+
+  const auto after = *f.table.get(1);
+  EXPECT_EQ(after.state, meta::RedState::kRep);
+  EXPECT_EQ(after.placement_version, before.placement_version + 1);
+  EXPECT_EQ(after.src, dst);
+  EXPECT_TRUE(after.dst.empty());
+  // Old shards are gone from the old servers.
+  for (std::uint32_t i = 0; i < before.src.size(); ++i) {
+    EXPECT_FALSE(
+        f.cluster.server(before.src[i])
+            .has_fragment(cluster::fragment_key(1, before.placement_version, i)));
+  }
+  // New replicas exist at the destinations.
+  for (std::uint32_t i = 0; i < dst.size(); ++i) {
+    EXPECT_TRUE(f.cluster.server(dst[i])
+                    .has_fragment(cluster::fragment_key(1, after.placement_version, i)));
+  }
+}
+
+TEST(Transitions, LateEcConvertsOnNextWrite) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(2, 32'768, 0);
+  const auto dst = f.store.place(2, meta::RedState::kEc);
+  f.arm(2, meta::RedState::kLateEc, dst);
+
+  const auto r = f.store.put(2, 32'768, 1);
+  EXPECT_TRUE(r.converted);
+  EXPECT_EQ(r.state, meta::RedState::kEc);
+  const auto after = *f.table.get(2);
+  EXPECT_EQ(after.src.size(), 6u);
+}
+
+TEST(Transitions, ConversionCostsNoExtraFlashWrites) {
+  // The EWO payoff: converting REP->EC via a write costs exactly the EC
+  // write of the new data; the old replicas are trimmed, not rewritten.
+  Fixture f(meta::RedState::kRep);
+  f.store.put(3, 32'768, 0);  // 8 pages x 3 = 24 host page writes
+  const auto base = f.total_host_writes();
+
+  const auto dst = f.store.place(3, meta::RedState::kEc);
+  f.arm(3, meta::RedState::kLateEc, dst);
+  f.store.put(3, 32'768, 1);  // 6 shards x 2 pages = 12 host page writes
+
+  EXPECT_EQ(f.total_host_writes() - base, 12u);
+}
+
+TEST(Transitions, EagerConversionCostsMoreThanLazy) {
+  Fixture lazy(meta::RedState::kRep);
+  Fixture eager(meta::RedState::kRep);
+  lazy.store.put(4, 32'768, 0);
+  eager.store.put(4, 32'768, 0);
+
+  // Lazy: arm late-EC, then the workload writes the object once.
+  const auto dst_l = lazy.store.place(4, meta::RedState::kEc);
+  lazy.arm(4, meta::RedState::kLateEc, dst_l);
+  const auto lazy_base = lazy.total_host_writes();
+  lazy.store.put(4, 32'768, 1);
+  const auto lazy_cost = lazy.total_host_writes() - lazy_base;
+
+  // Eager: convert immediately AND the workload write still happens.
+  const auto dst_e = eager.store.place(4, meta::RedState::kEc);
+  const auto eager_base = eager.total_host_writes();
+  eager.store.convert(4, meta::RedState::kEc, dst_e,
+                      cluster::Traffic::kConversion);
+  eager.store.put(4, 32'768, 1);
+  const auto eager_cost = eager.total_host_writes() - eager_base;
+
+  EXPECT_EQ(lazy_cost, 12u);
+  EXPECT_EQ(eager_cost, 24u);  // conversion write + update write
+}
+
+TEST(Transitions, RepEwoMovesOnNextWrite) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(5, 8192, 0);
+  const auto before = *f.table.get(5);
+  // Swap src[0] for an outside server (what HCDS schedules).
+  ServerId replacement = 0;
+  while (before.src.contains(replacement)) ++replacement;
+  meta::ServerSet dst;
+  dst.push_back(replacement);
+  dst.push_back(before.src[1]);
+  dst.push_back(before.src[2]);
+  f.arm(5, meta::RedState::kRepEwo, dst);
+
+  const auto r = f.store.put(5, 8192, 1);
+  EXPECT_TRUE(r.converted);
+  EXPECT_EQ(r.state, meta::RedState::kRep);  // scheme unchanged
+  const auto after = *f.table.get(5);
+  EXPECT_EQ(after.src, dst);
+  EXPECT_TRUE(f.cluster.server(replacement)
+                  .has_fragment(cluster::fragment_key(5, 1, 0)));
+}
+
+TEST(Transitions, EcEwoMovesOnNextWrite) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(6, 24'576, 0);
+  const auto before = *f.table.get(6);
+  ServerId replacement = 0;
+  while (before.src.contains(replacement)) ++replacement;
+  meta::ServerSet dst;
+  dst.push_back(replacement);
+  for (std::uint32_t i = 1; i < 6; ++i) dst.push_back(before.src[i]);
+  f.arm(6, meta::RedState::kEcEwo, dst);
+
+  const auto r = f.store.put(6, 24'576, 1);
+  EXPECT_TRUE(r.converted);
+  EXPECT_EQ(r.state, meta::RedState::kEc);
+  EXPECT_EQ(f.table.get(6)->src, dst);
+}
+
+TEST(Transitions, ReadsInIntermediateStateGoToSource) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(7, 16'384, 0);
+  const auto before = *f.table.get(7);
+  const auto dst = f.store.place(7, meta::RedState::kRep);
+  f.arm(7, meta::RedState::kLateRep, dst);
+
+  // Snapshot read counters on the source's servers.
+  std::uint64_t src_reads_before = 0;
+  for (const ServerId s : before.src) {
+    src_reads_before += f.cluster.server(s).ssd_stats().page_reads;
+  }
+  f.store.get(7, 1);
+  std::uint64_t src_reads_after = 0;
+  for (const ServerId s : before.src) {
+    src_reads_after += f.cluster.server(s).ssd_stats().page_reads;
+  }
+  // The EC read touches k=4 data shards on the source servers.
+  EXPECT_EQ(src_reads_after - src_reads_before, 4u);
+  // And the state is unchanged by reads.
+  EXPECT_EQ(f.table.get(7)->state, meta::RedState::kLateRep);
+}
+
+TEST(Transitions, SizeChangeDuringConversionHonored) {
+  Fixture f(meta::RedState::kRep);
+  f.store.put(8, 8192, 0);
+  const auto dst = f.store.place(8, meta::RedState::kEc);
+  f.arm(8, meta::RedState::kLateEc, dst);
+  f.store.put(8, 65'536, 1);  // conversion write carries the new size
+  const auto m = *f.table.get(8);
+  EXPECT_EQ(m.size_bytes, 65'536u);
+  // 64KB / 4 data shards = 16KB = 4 pages per shard.
+  EXPECT_EQ(f.cluster.server(m.src[0])
+                .log()
+                .object_pages(cluster::fragment_key(8, 1, 0)),
+            4u);
+}
+
+TEST(Transitions, BackToBackConversionsChainVersions) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(9, 16'384, 0);
+  f.arm(9, meta::RedState::kLateRep, f.store.place(9, meta::RedState::kRep));
+  f.store.put(9, 16'384, 1);  // EC -> REP, version 1
+  f.arm(9, meta::RedState::kLateEc, f.store.place(9, meta::RedState::kEc));
+  f.store.put(9, 16'384, 2);  // REP -> EC, version 2
+  const auto m = *f.table.get(9);
+  EXPECT_EQ(m.state, meta::RedState::kEc);
+  EXPECT_EQ(m.placement_version, 2u);
+  // Exactly 6 live fragments remain in the whole cluster.
+  std::size_t fragments = 0;
+  for (ServerId s = 0; s < f.cluster.size(); ++s) {
+    fragments += f.cluster.server(s).fragment_count();
+  }
+  EXPECT_EQ(fragments, 6u);
+}
+
+}  // namespace
+}  // namespace chameleon::kv

@@ -1,0 +1,133 @@
+#include "meta/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace chameleon::meta {
+namespace {
+
+struct TempPath {
+  TempPath() : path(::testing::TempDir() + "mapping_checkpoint_test.dat") {}
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+ObjectMeta sample_meta(ObjectId oid) {
+  ObjectMeta m;
+  m.oid = oid;
+  m.size_bytes = 12'345 + oid;
+  m.state = RedState::kLateRep;
+  m.placement_version = 3;
+  m.state_since = 7;
+  m.popularity = 2.625;
+  m.writes_in_epoch = 4;
+  m.total_writes = 99;
+  m.heat_epoch = 8;
+  m.last_write_epoch = 8;
+  m.src = ServerSet{1, 2, 3, 4, 5, 6};
+  m.dst = ServerSet{7, 8, 9};
+  return m;
+}
+
+void expect_equal(const ObjectMeta& a, const ObjectMeta& b) {
+  EXPECT_EQ(a.oid, b.oid);
+  EXPECT_EQ(a.size_bytes, b.size_bytes);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.placement_version, b.placement_version);
+  EXPECT_EQ(a.state_since, b.state_since);
+  EXPECT_DOUBLE_EQ(a.popularity, b.popularity);
+  EXPECT_EQ(a.writes_in_epoch, b.writes_in_epoch);
+  EXPECT_EQ(a.total_writes, b.total_writes);
+  EXPECT_EQ(a.heat_epoch, b.heat_epoch);
+  EXPECT_EQ(a.last_write_epoch, b.last_write_epoch);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+}
+
+TEST(Checkpoint, ObjectRoundTrip) {
+  const auto m = sample_meta(42);
+  const auto restored = deserialize_object_meta(serialize_object_meta(m));
+  expect_equal(m, restored);
+}
+
+TEST(Checkpoint, EmptyLocationSetsRoundTrip) {
+  ObjectMeta m;
+  m.oid = 7;
+  m.state = RedState::kEc;
+  const auto restored = deserialize_object_meta(serialize_object_meta(m));
+  EXPECT_TRUE(restored.src.empty());
+  EXPECT_TRUE(restored.dst.empty());
+}
+
+TEST(Checkpoint, MalformedLinesThrow) {
+  EXPECT_THROW(deserialize_object_meta(""), std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta("1 2 3"), std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta("1 2 99 0 0 0 0 0 0 0 src dst"),
+               std::runtime_error);  // bad state
+  EXPECT_THROW(deserialize_object_meta("1 2 0 0 0 0 0 0 0 0 nosrc dst"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, TableRoundTrip) {
+  MappingTable original;
+  Xoshiro256 rng(1);
+  for (ObjectId oid = 1; oid <= 500; ++oid) {
+    auto m = sample_meta(oid);
+    m.state = static_cast<RedState>(rng.next_below(6));
+    if (!is_intermediate(m.state)) m.dst.clear();
+    original.create(m);
+  }
+  TempPath tmp;
+  EXPECT_EQ(save_mapping_table(original, tmp.path), 500u);
+
+  MappingTable restored;
+  EXPECT_EQ(load_mapping_table(restored, tmp.path), 500u);
+  EXPECT_EQ(restored.object_count(), 500u);
+  original.for_each([&](const ObjectMeta& m) {
+    const auto r = restored.get(m.oid);
+    ASSERT_TRUE(r.has_value()) << m.oid;
+    expect_equal(m, *r);
+  });
+}
+
+TEST(Checkpoint, LoadSkipsDuplicates) {
+  MappingTable table;
+  table.create(sample_meta(1));
+  TempPath tmp;
+  save_mapping_table(table, tmp.path);
+  // Loading into the same table: oid 1 already present.
+  EXPECT_EQ(load_mapping_table(table, tmp.path), 0u);
+  EXPECT_EQ(table.object_count(), 1u);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  MappingTable table;
+  EXPECT_THROW(load_mapping_table(table, "/nonexistent/ckpt.dat"),
+               std::runtime_error);
+  EXPECT_THROW(save_mapping_table(table, "/nonexistent-dir/ckpt.dat"),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, CensusSurvivesRoundTrip) {
+  MappingTable original;
+  for (ObjectId oid = 1; oid <= 60; ++oid) {
+    auto m = sample_meta(oid);
+    m.state = oid % 2 == 0 ? RedState::kRep : RedState::kEcEwo;
+    original.create(m);
+  }
+  TempPath tmp;
+  save_mapping_table(original, tmp.path);
+  MappingTable restored;
+  load_mapping_table(restored, tmp.path);
+  const auto a = original.census();
+  const auto b = restored.census();
+  EXPECT_EQ(a.objects_in(RedState::kRep), b.objects_in(RedState::kRep));
+  EXPECT_EQ(a.objects_in(RedState::kEcEwo), b.objects_in(RedState::kEcEwo));
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+}
+
+}  // namespace
+}  // namespace chameleon::meta

@@ -1,0 +1,73 @@
+#include "meta/epoch_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::meta {
+namespace {
+
+EpochLogEntry entry(Epoch e, RedState s) {
+  EpochLogEntry out;
+  out.epoch = e;
+  out.state = s;
+  return out;
+}
+
+TEST(EpochLog, StartsEmpty) {
+  EpochLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EpochLog, AppendsInOrder) {
+  EpochLog log;
+  log.append(entry(0, RedState::kLateRep));
+  log.append(entry(4, RedState::kEc));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].epoch, 0u);
+  EXPECT_EQ(log.latest().epoch, 4u);
+  EXPECT_EQ(log.latest().state, RedState::kEc);
+}
+
+TEST(EpochLog, CompactKeepsOnlyLatest) {
+  // The Fig 3 scenario: late-REP scheduled at epoch 0, never written,
+  // reverted to EC at epoch 4; compaction folds both entries into one.
+  EpochLog log;
+  log.append(entry(0, RedState::kLateRep));
+  log.append(entry(4, RedState::kEc));
+  EXPECT_EQ(log.compact(), 1u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.latest().epoch, 4u);
+  EXPECT_EQ(log.latest().state, RedState::kEc);
+}
+
+TEST(EpochLog, CompactOnEmptyOrSingleIsNoop) {
+  EpochLog log;
+  EXPECT_EQ(log.compact(), 0u);
+  log.append(entry(1, RedState::kRep));
+  EXPECT_EQ(log.compact(), 0u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EpochLog, CompactReducesMemory) {
+  EpochLog log;
+  for (Epoch e = 0; e < 100; ++e) log.append(entry(e, RedState::kRepEwo));
+  const auto before = log.memory_bytes();
+  log.compact();
+  EXPECT_LT(log.memory_bytes(), before);
+}
+
+TEST(EpochLog, EntriesCarryLocations) {
+  EpochLogEntry e;
+  e.epoch = 2;
+  e.state = RedState::kEcEwo;
+  e.src.push_back(1);
+  e.src.push_back(2);
+  e.dst.push_back(3);
+  EpochLog log;
+  log.append(e);
+  EXPECT_EQ(log.latest().src.size(), 2u);
+  EXPECT_EQ(log.latest().dst[0], 3u);
+}
+
+}  // namespace
+}  // namespace chameleon::meta

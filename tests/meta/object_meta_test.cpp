@@ -1,0 +1,137 @@
+#include "meta/object_meta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::meta {
+namespace {
+
+TEST(RedState, IntermediateClassification) {
+  EXPECT_FALSE(is_intermediate(RedState::kRep));
+  EXPECT_FALSE(is_intermediate(RedState::kEc));
+  EXPECT_TRUE(is_intermediate(RedState::kLateRep));
+  EXPECT_TRUE(is_intermediate(RedState::kLateEc));
+  EXPECT_TRUE(is_intermediate(RedState::kRepEwo));
+  EXPECT_TRUE(is_intermediate(RedState::kEcEwo));
+}
+
+TEST(RedState, CurrentSchemeIsWhereTheBytesAre) {
+  // late-REP means "currently EC, will become REP"; EWO keeps the scheme.
+  EXPECT_EQ(current_scheme(RedState::kRep), RedState::kRep);
+  EXPECT_EQ(current_scheme(RedState::kEc), RedState::kEc);
+  EXPECT_EQ(current_scheme(RedState::kLateRep), RedState::kEc);
+  EXPECT_EQ(current_scheme(RedState::kLateEc), RedState::kRep);
+  EXPECT_EQ(current_scheme(RedState::kRepEwo), RedState::kRep);
+  EXPECT_EQ(current_scheme(RedState::kEcEwo), RedState::kEc);
+}
+
+TEST(RedState, TargetSchemeIsPostTransition) {
+  EXPECT_EQ(target_scheme(RedState::kRep), RedState::kRep);
+  EXPECT_EQ(target_scheme(RedState::kEc), RedState::kEc);
+  EXPECT_EQ(target_scheme(RedState::kLateRep), RedState::kRep);
+  EXPECT_EQ(target_scheme(RedState::kLateEc), RedState::kEc);
+  EXPECT_EQ(target_scheme(RedState::kRepEwo), RedState::kRep);
+  EXPECT_EQ(target_scheme(RedState::kEcEwo), RedState::kEc);
+}
+
+TEST(RedState, NamesAreDistinct) {
+  EXPECT_EQ(red_state_name(RedState::kRep), "REP");
+  EXPECT_EQ(red_state_name(RedState::kEc), "EC");
+  EXPECT_EQ(red_state_name(RedState::kLateRep), "late-REP");
+  EXPECT_EQ(red_state_name(RedState::kEcEwo), "EC-EWO");
+}
+
+// --- Eq 1: p_k = p_{k-1}/2 + w_k ------------------------------------------
+
+TEST(Popularity, SingleEpochWrites) {
+  ObjectMeta m;
+  m.note_write(0);
+  m.note_write(0);
+  m.note_write(0);
+  // Heat during epoch 0 counts the in-flight writes at weight 1.
+  EXPECT_DOUBLE_EQ(m.heat(0), 3.0);
+}
+
+TEST(Popularity, DecaysByHalfPerEpoch) {
+  // heat(now) = p_{now-1} + (writes so far in epoch now); after epoch 0 the
+  // folded heat halves each empty epoch.
+  ObjectMeta m;
+  for (int i = 0; i < 4; ++i) m.note_write(0);
+  EXPECT_DOUBLE_EQ(m.heat(1), 4.0);  // p_0
+  EXPECT_DOUBLE_EQ(m.heat(2), 2.0);  // p_1 = p_0/2
+  EXPECT_DOUBLE_EQ(m.heat(3), 1.0);  // p_2
+}
+
+TEST(Popularity, RecurrenceMatchesClosedForm) {
+  // w = {3, 5, 0, 2} over epochs 0..3; p_3 = 3/8 + 5/4 + 0/2 + 2 (Eq 1).
+  ObjectMeta m;
+  for (int i = 0; i < 3; ++i) m.note_write(0);
+  for (int i = 0; i < 5; ++i) m.note_write(1);
+  for (int i = 0; i < 2; ++i) m.note_write(3);
+  EXPECT_DOUBLE_EQ(m.heat(4), 3.0 / 8 + 5.0 / 4 + 0.0 / 2 + 2.0);
+  // Mid-epoch-3 view: p_2 plus the in-flight writes at weight 1.
+  EXPECT_DOUBLE_EQ(m.heat(3), (3.0 / 2 + 5.0) / 2 + 2.0);
+}
+
+TEST(Popularity, FoldHeatIsIdempotent) {
+  ObjectMeta m;
+  for (int i = 0; i < 8; ++i) m.note_write(0);
+  m.fold_heat(2);
+  const double after_first = m.popularity;
+  m.fold_heat(2);
+  EXPECT_DOUBLE_EQ(m.popularity, after_first);
+  EXPECT_DOUBLE_EQ(m.heat(2), after_first);
+}
+
+TEST(Popularity, HeatConstOnConstObject) {
+  ObjectMeta m;
+  m.note_write(0);
+  const ObjectMeta& cref = m;
+  // heat() must not mutate: query twice across a gap.
+  EXPECT_DOUBLE_EQ(cref.heat(5), cref.heat(5));
+  EXPECT_EQ(m.heat_epoch, 0u);  // unchanged by const queries
+}
+
+TEST(Popularity, LongGapDecaysToNothing) {
+  ObjectMeta m;
+  m.note_write(0);
+  m.fold_heat(200);
+  EXPECT_LT(m.heat(200), 1e-30);
+  EXPECT_EQ(m.heat_epoch, 200u);
+}
+
+TEST(Popularity, NoteWriteTracksLastEpoch) {
+  ObjectMeta m;
+  m.note_write(3);
+  EXPECT_EQ(m.last_write_epoch, 3u);
+  m.note_write(7);
+  EXPECT_EQ(m.last_write_epoch, 7u);
+  EXPECT_EQ(m.heat_epoch, 7u);
+}
+
+TEST(Popularity, InterleavedFoldAndWrite) {
+  ObjectMeta m;
+  m.note_write(0);   // w0 = 1
+  m.fold_heat(1);    // p = 1
+  m.note_write(1);   // w1 = 1
+  m.note_write(1);   // w1 = 2
+  EXPECT_DOUBLE_EQ(m.heat(1), 1.0 + 2.0);       // p_0 + in-flight w_1
+  EXPECT_DOUBLE_EQ(m.heat(2), 1.0 / 2 + 2.0);   // p_1
+}
+
+TEST(ObjectMeta, DefaultsAreSane) {
+  const ObjectMeta m;
+  EXPECT_EQ(m.state, RedState::kEc);
+  EXPECT_TRUE(m.src.empty());
+  EXPECT_TRUE(m.dst.empty());
+  EXPECT_DOUBLE_EQ(m.popularity, 0.0);
+}
+
+TEST(ServerSet, HoldsEverySupportedGeometry) {
+  ServerSet s;
+  for (ServerId i = 0; i < ServerSet::capacity(); ++i) s.push_back(i);
+  EXPECT_GE(s.size(), 6u);  // at least the paper's RS(6,4) stripe set
+  EXPECT_THROW(s.push_back(99), std::length_error);
+}
+
+}  // namespace
+}  // namespace chameleon::meta

@@ -1,0 +1,136 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/synthetic_trace.hpp"
+
+namespace chameleon::sim {
+namespace {
+
+ExperimentConfig tiny_config(Scheme scheme) {
+  ExperimentConfig cfg;
+  cfg.workload = "ycsb-zipf";
+  cfg.scheme = scheme;
+  cfg.servers = 12;
+  cfg.scale = 0.002;  // ~2.4k requests: fast unit-test scale
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(SchemeMeta, NamesAreUniqueAndInitialSchemesCorrect) {
+  EXPECT_STREQ(scheme_name(Scheme::kRepBaseline), "REP-baseline");
+  EXPECT_STREQ(scheme_name(Scheme::kChameleonEc), "Chameleon(EC)");
+  EXPECT_EQ(initial_scheme_of(Scheme::kRepBaseline), meta::RedState::kRep);
+  EXPECT_EQ(initial_scheme_of(Scheme::kRepEcBaseline), meta::RedState::kRep);
+  EXPECT_EQ(initial_scheme_of(Scheme::kEdmEc), meta::RedState::kEc);
+  EXPECT_EQ(initial_scheme_of(Scheme::kSwansEc), meta::RedState::kEc);
+  EXPECT_EQ(initial_scheme_of(Scheme::kChameleonRep), meta::RedState::kRep);
+  EXPECT_STREQ(scheme_name(Scheme::kSwansEc), "SWANS(EC)");
+  EXPECT_TRUE(scheme_balances(Scheme::kSwansEc));
+  EXPECT_FALSE(scheme_balances(Scheme::kRepBaseline));
+  EXPECT_FALSE(scheme_balances(Scheme::kEcBaseline));
+  EXPECT_TRUE(scheme_balances(Scheme::kChameleonEc));
+  EXPECT_TRUE(scheme_balances(Scheme::kEdmRep));
+}
+
+TEST(Experiment, ReplaysAllRequests) {
+  const auto result = run_experiment(tiny_config(Scheme::kEcBaseline));
+  EXPECT_EQ(result.workload, "ycsb-zipf");
+  EXPECT_GE(result.requests, 1000u);
+  EXPECT_EQ(result.requests, result.write_ops + result.read_ops);
+  EXPECT_EQ(result.servers, 12u);
+  EXPECT_EQ(result.erase_counts.size(), 12u);
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  const auto a = run_experiment(tiny_config(Scheme::kEcBaseline));
+  const auto b = run_experiment(tiny_config(Scheme::kEcBaseline));
+  EXPECT_EQ(a.erase_counts, b.erase_counts);
+  EXPECT_EQ(a.total_erases, b.total_erases);
+  EXPECT_DOUBLE_EQ(a.write_amplification, b.write_amplification);
+}
+
+TEST(Experiment, SchemesProduceDifferentWear) {
+  const auto rep = run_experiment(tiny_config(Scheme::kRepBaseline));
+  const auto ec = run_experiment(tiny_config(Scheme::kEcBaseline));
+  // REP writes 2x the bytes of RS(6,4): total wear must be clearly higher.
+  EXPECT_GT(rep.total_erases, ec.total_erases);
+}
+
+TEST(Experiment, ChameleonTimelineCollected) {
+  auto cfg = tiny_config(Scheme::kChameleonEc);
+  const auto result = run_experiment(cfg);
+  EXPECT_FALSE(result.chameleon_timeline.empty());
+  cfg.collect_timeline = false;
+  const auto without = run_experiment(cfg);
+  EXPECT_TRUE(without.chameleon_timeline.empty());
+}
+
+TEST(Experiment, BaselineHasNoBalancingTraffic) {
+  const auto result = run_experiment(tiny_config(Scheme::kEcBaseline));
+  EXPECT_EQ(result.migration_bytes, 0u);
+  EXPECT_EQ(result.conversion_bytes, 0u);
+  EXPECT_EQ(result.swap_bytes, 0u);
+}
+
+TEST(Experiment, FinalCensusAccountsEveryObject) {
+  const auto result = run_experiment(tiny_config(Scheme::kChameleonEc));
+  EXPECT_GT(result.final_census.total_objects(), 0u);
+}
+
+TEST(Experiment, MetricsArePhysical) {
+  const auto result = run_experiment(tiny_config(Scheme::kRepBaseline));
+  EXPECT_GE(result.write_amplification, 1.0);
+  EXPECT_LT(result.write_amplification, 10.0);
+  EXPECT_GE(result.avg_device_write_latency, 200 * kMicrosecond);
+  EXPECT_GT(result.network_bytes_total, 0u);
+}
+
+TEST(Experiment, CustomStreamSupported) {
+  workload::SyntheticTraceConfig wcfg;
+  wcfg.name = "custom";
+  wcfg.total_requests = 2000;
+  wcfg.dataset_bytes = 64 * kMiB;
+  wcfg.mean_object_bytes = 32 * 1024;
+  wcfg.duration = 4 * kHour;
+  workload::SyntheticTrace stream(wcfg);
+  ExperimentConfig cfg = tiny_config(Scheme::kEcBaseline);
+  const auto result = run_experiment_on(cfg, stream, wcfg.dataset_bytes);
+  EXPECT_EQ(result.workload, "custom");
+  EXPECT_EQ(result.requests, 2000u);
+}
+
+TEST(Experiment, SwansSchemeRuns) {
+  const auto result = run_experiment(tiny_config(Scheme::kSwansEc));
+  EXPECT_EQ(result.scheme, Scheme::kSwansEc);
+  EXPECT_GT(result.requests, 0u);
+  EXPECT_EQ(result.conversion_bytes, 0u);  // SWANS never converts schemes
+}
+
+TEST(Experiment, MultiStreamVariantRunsAndHelpsOrMatchesWa) {
+  auto cfg = tiny_config(Scheme::kChameleonEc);
+  cfg.scale = 0.005;
+  const auto single = run_experiment(cfg);
+  cfg.multi_stream = true;
+  const auto multi = run_experiment(cfg);
+  EXPECT_EQ(multi.requests, single.requests);
+  // Stream separation must never make WA meaningfully worse.
+  EXPECT_LE(multi.write_amplification, single.write_amplification * 1.05);
+}
+
+TEST(Experiment, PutLatencyPercentilesPopulated) {
+  const auto result = run_experiment(tiny_config(Scheme::kRepBaseline));
+  EXPECT_GT(result.put_latency_p50, 0);
+  EXPECT_GE(result.put_latency_p99, result.put_latency_p50);
+}
+
+TEST(Experiment, UnknownWorkloadThrows) {
+  auto cfg = tiny_config(Scheme::kEcBaseline);
+  cfg.workload = "no-such-trace";
+  EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chameleon::sim

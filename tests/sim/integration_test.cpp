@@ -1,0 +1,149 @@
+// End-to-end shape tests: miniature versions of the paper's headline
+// comparisons. Run at a small scale so the whole suite stays fast; the
+// bench/ harnesses reproduce the full figures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/experiment.hpp"
+
+namespace chameleon::sim {
+namespace {
+
+ExperimentConfig base_config(Scheme scheme, const std::string& workload) {
+  ExperimentConfig cfg;
+  cfg.workload = workload;
+  cfg.scheme = scheme;
+  cfg.servers = 12;
+  cfg.scale = 0.01;
+  cfg.seed = 11;
+  return cfg;
+}
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static const ExperimentResult& rep() {
+    static const ExperimentResult r =
+        run_experiment(base_config(Scheme::kRepBaseline, "ycsb-zipf"));
+    return r;
+  }
+  static const ExperimentResult& ec() {
+    static const ExperimentResult r =
+        run_experiment(base_config(Scheme::kEcBaseline, "ycsb-zipf"));
+    return r;
+  }
+  static const ExperimentResult& chameleon_ec() {
+    static const ExperimentResult r =
+        run_experiment(base_config(Scheme::kChameleonEc, "ycsb-zipf"));
+    return r;
+  }
+  static const ExperimentResult& edm_ec() {
+    static const ExperimentResult r =
+        run_experiment(base_config(Scheme::kEdmEc, "ycsb-zipf"));
+    return r;
+  }
+};
+
+TEST_F(ShapeTest, GcActuallyRuns) {
+  // The wear experiments are meaningless unless devices are under GC
+  // pressure; make sure the miniature scale still exercises it.
+  EXPECT_GT(rep().total_erases, 100u);
+  EXPECT_GT(ec().total_erases, 100u);
+}
+
+TEST_F(ShapeTest, Fig5a_RepWearsRoughlyTwiceEc) {
+  const double ratio = static_cast<double>(rep().total_erases) /
+                       static_cast<double>(ec().total_erases);
+  EXPECT_GT(ratio, 1.3);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST_F(ShapeTest, Fig1_WearIsSkewedWithoutBalancing) {
+  auto sorted = ec().erase_counts;
+  std::sort(sorted.begin(), sorted.end());
+  const double max = static_cast<double>(sorted.back());
+  const double min = static_cast<double>(sorted.front() + 1);
+  EXPECT_GT(max / min, 1.5);  // clear skew even at miniature scale
+}
+
+TEST_F(ShapeTest, Fig4b_ChameleonReducesWearVarianceVsEcBaseline) {
+  EXPECT_LT(chameleon_ec().erase_cv(), ec().erase_cv());
+}
+
+TEST_F(ShapeTest, Fig5b_ChameleonKeepsTotalErasesNearEcBaseline) {
+  const double ratio = static_cast<double>(chameleon_ec().total_erases) /
+                       static_cast<double>(ec().total_erases);
+  EXPECT_LT(ratio, 1.35);
+}
+
+TEST_F(ShapeTest, Fig5b_EdmPaysExtraErasesForMigration) {
+  EXPECT_GT(edm_ec().migration_bytes, 0u);
+  EXPECT_GE(static_cast<double>(edm_ec().total_erases),
+            static_cast<double>(ec().total_erases) * 0.95);
+}
+
+TEST_F(ShapeTest, ChameleonBalancesWithoutBulkMigrationTraffic) {
+  // Chameleon never issues bulk migrations (its balancing rides on writes,
+  // plus a rate-limited eager fallback), and its erase overhead over the
+  // EC-baseline must not exceed EDM's (the Fig 5b claim).
+  EXPECT_EQ(chameleon_ec().migration_bytes, 0u);
+  EXPECT_GT(edm_ec().migration_bytes, 0u);
+  const double cham_overhead =
+      static_cast<double>(chameleon_ec().total_erases) /
+      static_cast<double>(ec().total_erases);
+  const double edm_overhead = static_cast<double>(edm_ec().total_erases) /
+                              static_cast<double>(ec().total_erases);
+  EXPECT_LT(cham_overhead, edm_overhead + 0.05);
+}
+
+TEST_F(ShapeTest, Fig8_StatesEvolveUnderChameleon) {
+  const auto& timeline = chameleon_ec().chameleon_timeline;
+  ASSERT_FALSE(timeline.empty());
+  // Everything starts EC...
+  const auto& first = timeline.front().census;
+  EXPECT_EQ(first.objects_in(meta::RedState::kRep), 0u);
+  // ...and some objects eventually leave plain EC (upgraded or scheduled).
+  bool any_non_ec = false;
+  for (const auto& snap : timeline) {
+    if (snap.census.total_objects() !=
+        snap.census.objects_in(meta::RedState::kEc)) {
+      any_non_ec = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_non_ec);
+}
+
+TEST_F(ShapeTest, Fig6a_EcWriteLatencyAtLeastRep) {
+  // Under EC the same logical update scatters into smaller fragments across
+  // more servers; the paper reports 1.12-1.35x REP's device write latency.
+  const double ratio = static_cast<double>(ec().avg_device_write_latency) /
+                       static_cast<double>(rep().avg_device_write_latency);
+  EXPECT_GT(ratio, 0.95);
+}
+
+TEST_F(ShapeTest, Fig7a_EcWriteAmplificationAtLeastRep) {
+  EXPECT_GE(ec().write_amplification, rep().write_amplification * 0.95);
+}
+
+TEST(Integration, RepEcBaselineConvertsColdData) {
+  auto cfg = base_config(Scheme::kRepEcBaseline, "ycsb-zipf");
+  const auto result = run_experiment(cfg);
+  // Cold data was encoded: some objects must be EC by the end.
+  EXPECT_GT(result.final_census.objects_in(meta::RedState::kEc), 0u);
+  EXPECT_GT(result.conversion_bytes, 0u);
+}
+
+TEST(Integration, ChameleonRepImprovesWritePathVsRepBaseline) {
+  const auto rep = run_experiment(base_config(Scheme::kRepBaseline, "hm_0"));
+  const auto cham =
+      run_experiment(base_config(Scheme::kChameleonRep, "hm_0"));
+  // Downgrading cold data to EC relieves utilization, so WA and latency
+  // should not regress (paper: -12% WA, -25% latency).
+  EXPECT_LE(cham.write_amplification, rep.write_amplification * 1.05);
+  EXPECT_LE(static_cast<double>(cham.avg_device_write_latency),
+            static_cast<double>(rep.avg_device_write_latency) * 1.05);
+}
+
+}  // namespace
+}  // namespace chameleon::sim

@@ -1,0 +1,52 @@
+#include "sim/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::sim {
+namespace {
+
+ExperimentConfig tiny(Scheme scheme, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.workload = "ycsb-zipf";
+  cfg.scheme = scheme;
+  cfg.servers = 12;
+  cfg.scale = 0.002;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ParallelRunner, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(run_experiments_parallel({}).empty());
+}
+
+TEST(ParallelRunner, PreservesInputOrder) {
+  const std::vector<ExperimentConfig> configs{
+      tiny(Scheme::kRepBaseline, 1), tiny(Scheme::kEcBaseline, 1),
+      tiny(Scheme::kChameleonEc, 1)};
+  const auto results = run_experiments_parallel(configs, 2);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].scheme, Scheme::kRepBaseline);
+  EXPECT_EQ(results[1].scheme, Scheme::kEcBaseline);
+  EXPECT_EQ(results[2].scheme, Scheme::kChameleonEc);
+}
+
+TEST(ParallelRunner, MatchesSequentialExecution) {
+  const auto cfg = tiny(Scheme::kEcBaseline, 7);
+  const auto sequential = run_experiment(cfg);
+  const auto parallel = run_experiments_parallel({cfg, cfg}, 2);
+  for (const auto& r : parallel) {
+    EXPECT_EQ(r.erase_counts, sequential.erase_counts);
+    EXPECT_EQ(r.total_erases, sequential.total_erases);
+    EXPECT_DOUBLE_EQ(r.write_amplification, sequential.write_amplification);
+  }
+}
+
+TEST(ParallelRunner, MoreWorkersThanJobs) {
+  const auto results =
+      run_experiments_parallel({tiny(Scheme::kEcBaseline, 3)}, 16);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].requests, 0u);
+}
+
+}  // namespace
+}  // namespace chameleon::sim

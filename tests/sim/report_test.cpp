@@ -1,0 +1,100 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace chameleon::sim {
+namespace {
+
+ExperimentResult sample_result() {
+  ExperimentResult r;
+  r.workload = "unit";
+  r.scheme = Scheme::kChameleonEc;
+  r.servers = 3;
+  r.erase_counts = {30, 10, 20};
+  r.erase_mean = 20.0;
+  r.erase_stddev = 8.16;
+  r.total_erases = 60;
+  r.write_amplification = 1.25;
+  r.avg_device_write_latency = 250 * kMicrosecond;
+  r.requests = 100;
+  return r;
+}
+
+TEST(TextTable, AlignsColumnsAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(std::uint64_t{12345}), "12345");
+}
+
+TEST(Report, SummaryLineContainsKeyMetrics) {
+  const auto line = summary_line(sample_result());
+  EXPECT_NE(line.find("unit"), std::string::npos);
+  EXPECT_NE(line.find("Chameleon(EC)"), std::string::npos);
+  EXPECT_NE(line.find("WA=1.250"), std::string::npos);
+}
+
+TEST(Report, EraseDistributionCsvSorted) {
+  const std::string path = ::testing::TempDir() + "erase_dist.csv";
+  write_erase_distribution_csv(sample_result(), path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "rank,erases");
+  std::string l0;
+  std::string l1;
+  std::string l2;
+  std::getline(in, l0);
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l0, "0,10");
+  EXPECT_EQ(l1, "1,20");
+  EXPECT_EQ(l2, "2,30");
+  std::remove(path.c_str());
+}
+
+TEST(Report, AppendResultCsvCreatesHeaderOnce) {
+  const std::string path = ::testing::TempDir() + "results.csv";
+  std::remove(path.c_str());
+  append_result_csv(sample_result(), path);
+  append_result_csv(sample_result(), path);
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  int headers = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    if (line.rfind("workload,", 0) == 0) ++headers;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(headers, 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace chameleon::sim

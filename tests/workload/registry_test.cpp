@@ -1,0 +1,93 @@
+#include "workload/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/trace_stats.hpp"
+
+namespace chameleon::workload {
+namespace {
+
+TEST(Registry, ListsAllSevenPresets) {
+  const auto names = preset_names();
+  EXPECT_EQ(names.size(), 7u);
+  for (const char* expected :
+       {"ycsb-zipf", "mds_0", "web_1", "usr_0", "hm_0", "prn_0", "proj_0"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(Registry, EvaluationPresetsAreTheFigureFive) {
+  const auto names = evaluation_preset_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.front(), "hm_0");
+  EXPECT_EQ(names.back(), "ycsb-zipf");
+}
+
+TEST(Registry, UnknownPresetThrows) {
+  EXPECT_THROW(preset_config("nope"), std::invalid_argument);
+  EXPECT_THROW(make_preset("nope", 1.0), std::invalid_argument);
+}
+
+TEST(Registry, TableIIIParametersExact) {
+  // Spot-check rows against Table III of the paper.
+  const auto ycsb = preset_config("ycsb-zipf");
+  EXPECT_EQ(ycsb.total_requests, 1'200'000u);
+  EXPECT_NEAR(static_cast<double>(ycsb.dataset_bytes) / static_cast<double>(kGiB),
+              10.4, 0.01);
+  EXPECT_DOUBLE_EQ(ycsb.write_ratio, 0.811);
+  EXPECT_EQ(ycsb.duration, 85 * kHour);  // Fig 8 runs 85 hours
+
+  const auto hm = preset_config("hm_0");
+  EXPECT_EQ(hm.total_requests, 4'000'000u);
+  EXPECT_DOUBLE_EQ(hm.write_ratio, 0.866);
+
+  const auto usr = preset_config("usr_0");
+  // usr_0 moves 194GB in 2.2M requests -> ~92KB mean request.
+  EXPECT_NEAR(usr.mean_object_bytes / 1024.0, 92.5, 3.0);
+}
+
+TEST(Registry, DistinctSeedsPerPreset) {
+  EXPECT_NE(preset_config("hm_0").seed, preset_config("mds_0").seed);
+}
+
+TEST(Registry, MakePresetAppliesScale) {
+  const auto full = make_preset("web_1", 1.0);
+  const auto tenth = make_preset("web_1", 0.1);
+  EXPECT_EQ(tenth->expected_requests(), full->expected_requests() / 10);
+}
+
+class PresetCharacteristics : public ::testing::TestWithParam<std::string> {};
+
+// Property: at small scale each preset's empirical write ratio and request
+// volume track its Table III row.
+TEST_P(PresetCharacteristics, EmpiricalStatsTrackTableIII) {
+  const auto name = GetParam();
+  const auto cfg = preset_config(name);
+  auto stream = make_preset(name, 0.02);
+  const auto stats = characterize(*stream);
+  EXPECT_EQ(stats.request_count, stream->expected_requests());
+  EXPECT_NEAR(stats.write_ratio(), cfg.write_ratio, 0.03) << name;
+  // Mean request size tracks the Table III ratio.
+  const double mean_req = static_cast<double>(stats.request_bytes) /
+                          static_cast<double>(stats.request_count);
+  EXPECT_NEAR(mean_req, static_cast<double>(cfg.mean_object_bytes),
+              static_cast<double>(cfg.mean_object_bytes) * 0.25)
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetCharacteristics,
+                         ::testing::Values("ycsb-zipf", "mds_0", "web_1",
+                                           "usr_0", "hm_0", "prn_0", "proj_0"),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace chameleon::workload

@@ -1,0 +1,213 @@
+#include "workload/synthetic_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/trace_stats.hpp"
+
+namespace chameleon::workload {
+namespace {
+
+SyntheticTraceConfig small_config() {
+  SyntheticTraceConfig cfg;
+  cfg.name = "unit";
+  cfg.total_requests = 20'000;
+  cfg.dataset_bytes = 256 * kMiB;
+  cfg.write_ratio = 0.8;
+  cfg.zipf_theta = 0.9;
+  cfg.duration = 10 * kHour;
+  cfg.hotspot_shift = 5 * kHour;
+  cfg.mean_object_bytes = 32 * 1024;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(SyntheticTrace, EmitsExactlyTotalRequests) {
+  SyntheticTrace trace(small_config());
+  TraceRecord rec;
+  std::uint64_t count = 0;
+  while (trace.next(rec)) ++count;
+  EXPECT_EQ(count, small_config().total_requests);
+  EXPECT_FALSE(trace.next(rec));  // stays exhausted
+}
+
+TEST(SyntheticTrace, ResetReplaysIdentically) {
+  SyntheticTrace trace(small_config());
+  std::vector<TraceRecord> first;
+  TraceRecord rec;
+  for (int i = 0; i < 500 && trace.next(rec); ++i) first.push_back(rec);
+  trace.reset();
+  for (const auto& expected : first) {
+    ASSERT_TRUE(trace.next(rec));
+    EXPECT_EQ(rec.oid, expected.oid);
+    EXPECT_EQ(rec.timestamp, expected.timestamp);
+    EXPECT_EQ(rec.size_bytes, expected.size_bytes);
+    EXPECT_EQ(rec.is_write, expected.is_write);
+  }
+}
+
+TEST(SyntheticTrace, TimestampsMonotoneAndWithinDuration) {
+  SyntheticTrace trace(small_config());
+  TraceRecord rec;
+  Nanos prev = -1;
+  while (trace.next(rec)) {
+    ASSERT_GE(rec.timestamp, prev);
+    prev = rec.timestamp;
+  }
+  // Exponential arrivals: the final timestamp lands near the configured
+  // duration (law of large numbers).
+  EXPECT_GT(prev, small_config().duration / 2);
+  EXPECT_LT(prev, small_config().duration * 2);
+}
+
+TEST(SyntheticTrace, WriteRatioMatchesConfig) {
+  SyntheticTrace trace(small_config());
+  TraceRecord rec;
+  std::uint64_t writes = 0;
+  std::uint64_t total = 0;
+  while (trace.next(rec)) {
+    ++total;
+    if (rec.is_write) ++writes;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(total),
+              small_config().write_ratio, 0.02);
+}
+
+TEST(SyntheticTrace, ObjectSizesStableAndBounded) {
+  SyntheticTrace trace(small_config());
+  for (std::uint64_t u = 0; u < 1000; ++u) {
+    const auto s = trace.object_size(u);
+    EXPECT_EQ(s, trace.object_size(u));  // deterministic per index
+    EXPECT_GE(s, small_config().min_object_bytes);
+    EXPECT_LE(s, small_config().max_object_bytes);
+  }
+}
+
+TEST(SyntheticTrace, MeanObjectSizeCalibrated) {
+  SyntheticTrace trace(small_config());
+  double sum = 0.0;
+  const std::uint64_t n = std::min<std::uint64_t>(trace.object_count(), 20'000);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    sum += static_cast<double>(trace.object_size(u));
+  }
+  const double mean = sum / static_cast<double>(n);
+  EXPECT_NEAR(mean, small_config().mean_object_bytes,
+              small_config().mean_object_bytes * 0.15);
+}
+
+TEST(SyntheticTrace, RequestSizeEqualsObjectSize) {
+  // Requests address whole objects, so every record for the same oid must
+  // carry the same size.
+  SyntheticTrace trace(small_config());
+  std::unordered_map<ObjectId, std::uint32_t> sizes;
+  TraceRecord rec;
+  for (int i = 0; i < 10'000 && trace.next(rec); ++i) {
+    const auto [it, inserted] = sizes.try_emplace(rec.oid, rec.size_bytes);
+    if (!inserted) {
+      ASSERT_EQ(it->second, rec.size_bytes);
+    }
+  }
+}
+
+TEST(SyntheticTrace, AccessesAreSkewed) {
+  SyntheticTrace trace(small_config());
+  std::unordered_map<ObjectId, std::uint64_t> counts;
+  TraceRecord rec;
+  while (trace.next(rec)) ++counts[rec.oid];
+  // With theta=0.9 the most-touched object must see far more than the mean.
+  std::uint64_t max_count = 0;
+  for (const auto& [oid, c] : counts) max_count = std::max(max_count, c);
+  const double mean = static_cast<double>(small_config().total_requests) /
+                      static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(max_count), mean * 10);
+}
+
+TEST(SyntheticTrace, HotspotDriftChangesHotSet) {
+  // The most popular objects of the first drift phase should differ from
+  // those of the last phase.
+  auto cfg = small_config();
+  cfg.hotspot_shift = 2 * kHour;  // several phases over the 10h duration
+  SyntheticTrace trace(cfg);
+  std::unordered_map<ObjectId, std::uint64_t> early;
+  std::unordered_map<ObjectId, std::uint64_t> late;
+  TraceRecord rec;
+  while (trace.next(rec)) {
+    if (rec.timestamp < 2 * kHour) {
+      ++early[rec.oid];
+    } else if (rec.timestamp > 8 * kHour) {
+      ++late[rec.oid];
+    }
+  }
+  const auto top_of = [](const std::unordered_map<ObjectId, std::uint64_t>& m) {
+    ObjectId best = 0;
+    std::uint64_t best_count = 0;
+    for (const auto& [oid, c] : m) {
+      if (c > best_count) {
+        best = oid;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(top_of(early), top_of(late));
+}
+
+TEST(SyntheticTrace, NoDriftKeepsHotSet) {
+  auto cfg = small_config();
+  cfg.hotspot_shift = 0;
+  SyntheticTrace trace(cfg);
+  std::unordered_map<ObjectId, std::uint64_t> early;
+  std::unordered_map<ObjectId, std::uint64_t> late;
+  TraceRecord rec;
+  while (trace.next(rec)) {
+    (rec.timestamp < 5 * kHour ? early : late)[rec.oid]++;
+  }
+  const auto top_of = [](const std::unordered_map<ObjectId, std::uint64_t>& m) {
+    ObjectId best = 0;
+    std::uint64_t best_count = 0;
+    for (const auto& [oid, c] : m) {
+      if (c > best_count) {
+        best = oid;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(top_of(early), top_of(late));
+}
+
+TEST(SyntheticTraceConfig, ScaledShrinksVolumes) {
+  const auto cfg = small_config();
+  const auto half = cfg.scaled(0.5);
+  EXPECT_EQ(half.total_requests, cfg.total_requests / 2);
+  EXPECT_EQ(half.dataset_bytes, cfg.dataset_bytes / 2);
+  EXPECT_EQ(half.mean_object_bytes, cfg.mean_object_bytes);
+  EXPECT_THROW(cfg.scaled(0.0), std::invalid_argument);
+  EXPECT_THROW(cfg.scaled(-1.0), std::invalid_argument);
+}
+
+TEST(SyntheticTraceConfig, ScaledHasFloors) {
+  auto cfg = small_config();
+  cfg.total_requests = 2000;
+  cfg.dataset_bytes = 128 * kMiB;
+  const auto tiny = cfg.scaled(1e-6);
+  EXPECT_GE(tiny.total_requests, 1000u);
+  EXPECT_GE(tiny.dataset_bytes, 64 * kMiB);
+}
+
+TEST(Characterize, MatchesConfiguredAggregates) {
+  SyntheticTrace trace(small_config());
+  const auto c = characterize(trace);
+  EXPECT_EQ(c.request_count, small_config().total_requests);
+  EXPECT_NEAR(c.write_ratio(), small_config().write_ratio, 0.02);
+  EXPECT_GT(c.unique_objects, 0u);
+  EXPECT_GT(c.request_bytes, c.dataset_bytes);  // many overwrites
+  // Stream is reset afterwards and replayable.
+  TraceRecord rec;
+  EXPECT_TRUE(trace.next(rec));
+}
+
+}  // namespace
+}  // namespace chameleon::workload

@@ -1,0 +1,144 @@
+#include "workload/trace_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace chameleon::workload {
+namespace {
+
+/// Writes a temp MSR-format CSV and removes it on destruction.
+class TempTrace {
+ public:
+  explicit TempTrace(const std::string& contents) {
+    path_ = ::testing::TempDir() + "msr_trace_test.csv";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempTrace() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(MsrTraceReaderParse, ValidLine) {
+  TraceRecord rec;
+  ASSERT_TRUE(MsrTraceReader::parse_line(
+      "128166372003061629,hm,0,Write,328048640,8192,1331", 65536, rec));
+  EXPECT_TRUE(rec.is_write);
+  EXPECT_EQ(rec.size_bytes, 8192u);
+  EXPECT_EQ(rec.timestamp, static_cast<Nanos>(128166372003061629ULL * 100));
+}
+
+TEST(MsrTraceReaderParse, ReadType) {
+  TraceRecord rec;
+  ASSERT_TRUE(MsrTraceReader::parse_line(
+      "128166372003061629,hm,0,Read,0,4096,100", 65536, rec));
+  EXPECT_FALSE(rec.is_write);
+}
+
+TEST(MsrTraceReaderParse, RejectsMalformed) {
+  TraceRecord rec;
+  EXPECT_FALSE(MsrTraceReader::parse_line("not,a,trace", 65536, rec));
+  EXPECT_FALSE(MsrTraceReader::parse_line("", 65536, rec));
+  EXPECT_FALSE(MsrTraceReader::parse_line(
+      "xyz,hm,0,Write,100,200,300", 65536, rec));  // bad timestamp
+  EXPECT_FALSE(MsrTraceReader::parse_line(
+      "128,hm,0,Sync,100,200,300", 65536, rec));  // unknown op type
+}
+
+TEST(MsrTraceReaderParse, QuantizesOffsetsIntoObjects) {
+  TraceRecord a;
+  TraceRecord b;
+  TraceRecord c;
+  // Offsets 0 and 1000 share an object at 64KB granularity; 70000 does not.
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,0,4096,1", 65536, a));
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,1000,4096,1", 65536, b));
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,70000,4096,1", 65536, c));
+  EXPECT_EQ(a.oid, b.oid);
+  EXPECT_NE(a.oid, c.oid);
+}
+
+TEST(MsrTraceReaderParse, DiskNumberSeparatesObjects) {
+  TraceRecord a;
+  TraceRecord b;
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,0,4096,1", 65536, a));
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,1,Write,0,4096,1", 65536, b));
+  EXPECT_NE(a.oid, b.oid);
+}
+
+TEST(MsrTraceReaderParse, SizeClampedToObjectExtent) {
+  TraceRecord rec;
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,0,1048576,1", 65536, rec));
+  EXPECT_EQ(rec.size_bytes, 65536u);
+  ASSERT_TRUE(MsrTraceReader::parse_line("1,hm,0,Write,0,0,1", 65536, rec));
+  EXPECT_EQ(rec.size_bytes, 65536u);  // zero-size records become full extents
+}
+
+TEST(MsrTraceReader, ReadsFileAndNormalizesTime) {
+  TempTrace file(
+      "128166372003061629,hm,0,Write,0,4096,100\n"
+      "128166372013061629,hm,0,Read,65536,4096,100\n"
+      "garbage line\n"
+      "128166372023061629,hm,0,Write,131072,8192,100\n");
+  TraceReaderConfig cfg;
+  cfg.path = file.path();
+  MsrTraceReader reader(cfg);
+  TraceRecord rec;
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.timestamp, 0);  // normalized to trace start
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.timestamp, 1 * kSecond);
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_EQ(rec.timestamp, 2 * kSecond);
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_EQ(reader.parse_errors(), 1u);
+}
+
+TEST(MsrTraceReader, LimitStopsEarly) {
+  TempTrace file(
+      "1,hm,0,Write,0,4096,1\n"
+      "2,hm,0,Write,0,4096,1\n"
+      "3,hm,0,Write,0,4096,1\n");
+  TraceReaderConfig cfg;
+  cfg.path = file.path();
+  cfg.limit = 2;
+  MsrTraceReader reader(cfg);
+  TraceRecord rec;
+  EXPECT_TRUE(reader.next(rec));
+  EXPECT_TRUE(reader.next(rec));
+  EXPECT_FALSE(reader.next(rec));
+}
+
+TEST(MsrTraceReader, ResetReplays) {
+  TempTrace file("1,hm,0,Write,0,4096,1\n2,hm,0,Read,0,4096,1\n");
+  TraceReaderConfig cfg;
+  cfg.path = file.path();
+  MsrTraceReader reader(cfg);
+  TraceRecord rec;
+  while (reader.next(rec)) {
+  }
+  reader.reset();
+  ASSERT_TRUE(reader.next(rec));
+  EXPECT_TRUE(rec.is_write);
+}
+
+TEST(MsrTraceReader, MissingFileThrows) {
+  TraceReaderConfig cfg;
+  cfg.path = "/nonexistent/trace.csv";
+  EXPECT_THROW(MsrTraceReader reader(cfg), std::runtime_error);
+}
+
+TEST(MsrTraceReader, NameDerivedFromPath) {
+  TempTrace file("1,hm,0,Write,0,4096,1\n");
+  TraceReaderConfig cfg;
+  cfg.path = file.path();
+  MsrTraceReader reader(cfg);
+  EXPECT_EQ(reader.name(), "msr_trace_test.csv");
+}
+
+}  // namespace
+}  // namespace chameleon::workload

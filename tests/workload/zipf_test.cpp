@@ -1,0 +1,122 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace chameleon::workload {
+namespace {
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 0.9), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.1), std::invalid_argument);
+}
+
+TEST(Zipf, RanksWithinRange) {
+  const ZipfGenerator z(1000, 0.99);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_LT(z.next(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  const ZipfGenerator z(1, 0.5);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+TEST(Zipf, RankZeroFrequencyMatchesTheory) {
+  const ZipfGenerator z(10'000, 0.99);
+  Xoshiro256 rng(3);
+  const int n = 200'000;
+  int rank0 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z.next(rng) == 0) ++rank0;
+  }
+  const double expected = z.top_probability();
+  EXPECT_NEAR(static_cast<double>(rank0) / n, expected, expected * 0.1);
+}
+
+TEST(Zipf, LowerRanksMoreFrequent) {
+  const ZipfGenerator z(1000, 0.9);
+  Xoshiro256 rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 500'000; ++i) ++counts[z.next(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  EXPECT_GT(counts[100], counts[900]);
+}
+
+TEST(Zipf, ThetaZeroIsNearlyUniform) {
+  const ZipfGenerator z(100, 0.0);
+  Xoshiro256 rng(5);
+  std::vector<int> counts(100, 0);
+  const int n = 500'000;
+  for (int i = 0; i < n; ++i) ++counts[z.next(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 100.0, n / 100.0 * 0.25);
+  }
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  Xoshiro256 rng_a(6);
+  Xoshiro256 rng_b(6);
+  const ZipfGenerator mild(10'000, 0.5);
+  const ZipfGenerator steep(10'000, 0.99);
+  const int n = 300'000;
+  int mild_top = 0;
+  int steep_top = 0;
+  for (int i = 0; i < n; ++i) {
+    if (mild.next(rng_a) < 100) ++mild_top;
+    if (steep.next(rng_b) < 100) ++steep_top;
+  }
+  EXPECT_GT(steep_top, mild_top);
+}
+
+TEST(Zipf, DeterministicGivenRngState) {
+  const ZipfGenerator z(500, 0.8);
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(z.next(a), z.next(b));
+  }
+}
+
+// Property: the empirical CDF of the generated ranks follows the zipf mass
+// function within tolerance, across item counts.
+class ZipfFidelity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ZipfFidelity, HeadMassMatchesTheory) {
+  const std::uint64_t items = GetParam();
+  const double theta = 0.9;
+  const ZipfGenerator z(items, theta);
+  Xoshiro256 rng(items);
+  const int n = 200'000;
+  const std::uint64_t head = items / 10;
+  int in_head = 0;
+  for (int i = 0; i < n; ++i) {
+    if (z.next(rng) < head) ++in_head;
+  }
+  // Theoretical mass of the top decile.
+  double head_mass = 0.0;
+  double total_mass = 0.0;
+  for (std::uint64_t r = 0; r < items; ++r) {
+    const double m = 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    total_mass += m;
+    if (r < head) head_mass += m;
+  }
+  const double expected = head_mass / total_mass;
+  EXPECT_NEAR(static_cast<double>(in_head) / n, expected, 0.05)
+      << "items=" << items;
+}
+
+INSTANTIATE_TEST_SUITE_P(ItemCounts, ZipfFidelity,
+                         ::testing::Values(100, 1000, 10'000, 100'000));
+
+}  // namespace
+}  // namespace chameleon::workload

@@ -1,0 +1,188 @@
+// chameleon — command-line front end to the library.
+//
+//   chameleon workloads [scale=0.1]
+//       list the built-in workload presets with measured characteristics
+//   chameleon simulate workload=<name> scheme=<name> [servers=50] [scale=0.1]
+//       replay one (workload, scheme) pair and print the full report
+//   chameleon compare workload=<name> [servers=50] [scale=0.1]
+//       replay every Table IV scheme on one workload, side by side
+//   chameleon export-trace workload=<name> out=<file> [scale=0.1]
+//       materialize a preset as an MSR-format CSV trace
+//   chameleon schemes
+//       list the Table IV schemes
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/registry.hpp"
+#include "workload/trace_stats.hpp"
+#include "workload/trace_writer.hpp"
+
+using namespace chameleon;
+using sim::Scheme;
+
+namespace {
+
+const std::vector<std::pair<std::string, Scheme>>& scheme_registry() {
+  static const std::vector<std::pair<std::string, Scheme>> registry{
+      {"rep", Scheme::kRepBaseline},       {"ec", Scheme::kEcBaseline},
+      {"rep+ec", Scheme::kRepEcBaseline},  {"edm-rep", Scheme::kEdmRep},
+      {"edm-ec", Scheme::kEdmEc},          {"swans-ec", Scheme::kSwansEc},
+      {"chameleon-rep", Scheme::kChameleonRep},
+      {"chameleon-ec", Scheme::kChameleonEc},
+  };
+  return registry;
+}
+
+Scheme parse_scheme(const std::string& name) {
+  for (const auto& [key, scheme] : scheme_registry()) {
+    if (key == name) return scheme;
+  }
+  throw std::invalid_argument("unknown scheme '" + name +
+                              "' (try: chameleon schemes)");
+}
+
+sim::ExperimentConfig config_from(const Config& config) {
+  sim::ExperimentConfig cfg;
+  cfg.workload = config.get_string("workload", "ycsb-zipf");
+  cfg.servers = static_cast<std::uint32_t>(config.get_int("servers", 50));
+  cfg.scale = config.get_double("scale", scale_from_env(0.1));
+  cfg.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  return cfg;
+}
+
+void print_result(const sim::ExperimentResult& r) {
+  std::printf("%s\n", sim::summary_line(r).c_str());
+  std::printf("  requests: %llu (%llu writes, %llu reads)\n",
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.write_ops),
+              static_cast<unsigned long long>(r.read_ops));
+  std::printf("  put latency: p50 %.1fus, p99 %.1fus\n",
+              static_cast<double>(r.put_latency_p50) / 1000.0,
+              static_cast<double>(r.put_latency_p99) / 1000.0);
+  std::printf("  network: %.1f MB total (migration %.1f, conversion %.1f, "
+              "swap %.1f)\n",
+              static_cast<double>(r.network_bytes_total) / 1048576.0,
+              static_cast<double>(r.migration_bytes) / 1048576.0,
+              static_cast<double>(r.conversion_bytes) / 1048576.0,
+              static_cast<double>(r.swap_bytes) / 1048576.0);
+  std::printf("  wall time: %.1fs\n", r.wall_seconds);
+}
+
+int cmd_workloads(const Config& config) {
+  const double scale = config.get_double("scale", scale_from_env(0.1));
+  sim::TextTable table({"preset", "requests", "dataset (GB)", "req data (GB)",
+                        "write ratio", "objects"});
+  for (const auto& name : workload::preset_names()) {
+    auto stream = workload::make_preset(name, scale);
+    const auto stats = workload::characterize(*stream);
+    table.add_row({name, sim::TextTable::num(stats.request_count),
+                   sim::TextTable::num(stats.dataset_gb(), 2),
+                   sim::TextTable::num(stats.request_gb(), 2),
+                   sim::TextTable::num(stats.write_ratio(), 3),
+                   sim::TextTable::num(stats.unique_objects)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_schemes() {
+  sim::TextTable table({"name", "scheme", "balanced"});
+  for (const auto& [key, scheme] : scheme_registry()) {
+    table.add_row({key, sim::scheme_name(scheme),
+                   sim::scheme_balances(scheme) ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const Config& config) {
+  auto cfg = config_from(config);
+  cfg.scheme = parse_scheme(config.get_string("scheme", "chameleon-ec"));
+  std::fprintf(stderr, "simulating %s / %s at scale %.3g...\n",
+               cfg.workload.c_str(), sim::scheme_name(cfg.scheme), cfg.scale);
+  print_result(sim::run_experiment(cfg));
+  return 0;
+}
+
+int cmd_compare(const Config& config) {
+  auto cfg = config_from(config);
+  sim::TextTable table({"scheme", "erase mean", "stddev", "total", "WA",
+                        "wlat (us)", "p99 put (us)", "balancer MB"});
+  for (const auto& [key, scheme] : scheme_registry()) {
+    cfg.scheme = scheme;
+    std::fprintf(stderr, "running %s...\n", sim::scheme_name(scheme));
+    const auto r = sim::run_experiment(cfg);
+    table.add_row(
+        {sim::scheme_name(scheme), sim::TextTable::num(r.erase_mean, 1),
+         sim::TextTable::num(r.erase_stddev, 1),
+         sim::TextTable::num(r.total_erases),
+         sim::TextTable::num(r.write_amplification, 2),
+         sim::TextTable::num(
+             static_cast<double>(r.avg_device_write_latency) / 1000.0, 1),
+         sim::TextTable::num(static_cast<double>(r.put_latency_p99) / 1000.0,
+                             1),
+         sim::TextTable::num(
+             static_cast<double>(r.migration_bytes + r.conversion_bytes +
+                                 r.swap_bytes) /
+                 1048576.0,
+             1)});
+  }
+  std::printf("workload %s, %u servers, scale %.3g\n", cfg.workload.c_str(),
+              cfg.servers, cfg.scale);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_export_trace(const Config& config) {
+  const std::string workload = config.get_string("workload", "ycsb-zipf");
+  const std::string out = config.get_string("out", workload + ".csv");
+  const double scale = config.get_double("scale", scale_from_env(0.1));
+  auto stream = workload::make_preset(workload, scale);
+  workload::TraceWriterConfig wcfg;
+  wcfg.path = out;
+  const auto written = workload::write_msr_trace(*stream, wcfg);
+  std::printf("%llu records -> %s\n",
+              static_cast<unsigned long long>(written), out.c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: chameleon <command> [key=value ...]\n"
+               "commands:\n"
+               "  workloads                      list workload presets\n"
+               "  schemes                        list Table IV schemes\n"
+               "  simulate workload= scheme=     run one experiment\n"
+               "  compare workload=              run every scheme\n"
+               "  export-trace workload= out=    write an MSR-format CSV\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Config config;
+  try {
+    config.parse_args(argc - 1, argv + 1);
+    if (command == "workloads") return cmd_workloads(config);
+    if (command == "schemes") return cmd_schemes();
+    if (command == "simulate") return cmd_simulate(config);
+    if (command == "compare") return cmd_compare(config);
+    if (command == "export-trace") return cmd_export_trace(config);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
