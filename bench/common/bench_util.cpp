@@ -1,10 +1,18 @@
 #include "common/bench_util.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
 #include <sstream>
+#include <string_view>
 
 #include "common/config.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/registry.hpp"
 
 namespace chameleon::bench {
@@ -71,7 +79,81 @@ BenchEnv BenchEnv::from_env() {
   if (auto v = Config::from_env("cache")) {
     env.use_cache = !(*v == "0" || *v == "false" || *v == "off");
   }
+  if (auto v = Config::from_env("metrics_out")) env.metrics_out = *v;
+  if (auto v = Config::from_env("trace_out")) env.trace_out = *v;
   return env;
+}
+
+BenchEnv BenchEnv::from_args(int argc, char** argv) {
+  BenchEnv env = from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value_of = [&arg](std::string_view prefix)
+        -> std::optional<std::string> {
+      if (arg.size() <= prefix.size() || !arg.starts_with(prefix)) {
+        return std::nullopt;
+      }
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (auto metrics = value_of("--metrics-out=")) {
+      env.metrics_out = *metrics;
+    } else if (auto trace = value_of("--trace-out=")) {
+      env.trace_out = *trace;
+    } else if (arg == "--no-cache") {
+      env.use_cache = false;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: %s [--metrics-out=PATH] [--trace-out=PATH] "
+                   "[--no-cache]\n"
+                   "  (PATH may be '-' for stdout; env knobs: CHAMELEON_SCALE,"
+                   " CHAMELEON_SERVERS, CHAMELEON_SEED, CHAMELEON_CACHE)\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  return env;
+}
+
+void init_observability(BenchEnv& env) {
+  if (!env.observability_requested()) return;
+  obs::set_enabled(true);
+  if (!env.trace_out.empty()) obs::trace().set_enabled(true);
+  // A cache hit would skip the simulation and export an empty registry.
+  env.use_cache = false;
+}
+
+namespace {
+
+void write_to(const std::string& dest, const std::string& what,
+              const std::function<void(std::ostream&)>& emit) {
+  if (dest == "-") {
+    emit(std::cout);
+    return;
+  }
+  std::ofstream out(dest);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot open %s for %s output\n",
+                 dest.c_str(), what.c_str());
+    return;
+  }
+  emit(out);
+  std::fprintf(stderr, "[bench] wrote %s to %s\n", what.c_str(), dest.c_str());
+}
+
+}  // namespace
+
+void write_observability(const BenchEnv& env) {
+  if (!env.metrics_out.empty()) {
+    write_to(env.metrics_out, "metrics", [](std::ostream& out) {
+      out << obs::render_prometheus(obs::metrics());
+    });
+  }
+  if (!env.trace_out.empty()) {
+    write_to(env.trace_out, "trace", [](std::ostream& out) {
+      obs::trace().write_jsonl(out);
+    });
+  }
 }
 
 sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,

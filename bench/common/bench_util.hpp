@@ -17,9 +17,27 @@ struct BenchEnv {
   std::uint32_t servers = 50;
   std::uint64_t seed = 42;
   bool use_cache = true;
+  std::string metrics_out;  ///< Prometheus text destination ("-" = stdout)
+  std::string trace_out;    ///< JSONL trace destination ("-" = stdout)
 
   static BenchEnv from_env();
+  /// from_env() plus command-line flags: --metrics-out=PATH,
+  /// --trace-out=PATH, --no-cache. Unknown flags abort with a usage message.
+  static BenchEnv from_args(int argc, char** argv);
+
+  bool observability_requested() const {
+    return !metrics_out.empty() || !trace_out.empty();
+  }
 };
+
+/// Enable the global metrics registry (and the trace sink when --trace-out
+/// was given) and force uncached runs: a cache hit skips the simulation, so
+/// it would export an empty registry.
+void init_observability(BenchEnv& env);
+
+/// Write the Prometheus exposition and/or JSONL trace to the destinations
+/// recorded in `env`. No-op when neither flag was given.
+void write_observability(const BenchEnv& env);
 
 sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,
                                   const std::string& workload);

@@ -41,8 +41,9 @@ void part(const bench::BenchEnv& env, const char* title,
 
 }  // namespace
 
-int main() {
-  const auto env = bench::BenchEnv::from_env();
+int main(int argc, char** argv) {
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  bench::init_observability(env);
   bench::print_header(
       "Figure 4", "Wear variance: per-server erase-count mean and standard "
                   "deviation (the error bars of the paper's Fig 4).",
@@ -89,5 +90,6 @@ int main() {
               "best %.0f%%  (paper: 43%% / 70%%)\n",
               vs_edm_sum / static_cast<double>(n) * 100.0,
               vs_edm_best * 100.0);
+  bench::write_observability(env);
   return 0;
 }

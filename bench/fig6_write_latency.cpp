@@ -23,8 +23,9 @@ double latency_of(const bench::BenchEnv& env, sim::Scheme scheme,
 
 }  // namespace
 
-int main() {
-  const auto env = bench::BenchEnv::from_env();
+int main(int argc, char** argv) {
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  bench::init_observability(env);
   bench::print_header("Figure 6",
                       "SSD write latency (mean device service time per page "
                       "write, GC stalls included).",
@@ -73,5 +74,6 @@ int main() {
   std::printf("EDM write-latency reduction vs REP-baseline:       avg %.0f%% "
               "(paper: ~7%%)\n",
               edm_red_sum / static_cast<double>(n) * 100.0);
+  bench::write_observability(env);
   return 0;
 }

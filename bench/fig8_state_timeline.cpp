@@ -3,29 +3,74 @@
 // (bytes) in REP, EC, late-REP, late-EC, and the combined EWO states.
 // Paper shape: all data starts EC; ARPT keeps <5% in late states per hour;
 // EWO rises to <=20% mid-run and decays as wear evens out.
+//
+// The per-epoch state census is consumed from the obs::TraceSink event
+// stream (kStateCensus events, emitted by the balancer once per epoch per
+// state) rather than a bespoke in-simulator timeline.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 
 #include "common/bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/report.hpp"
 
 using namespace chameleon;
 
-int main() {
-  auto env = bench::BenchEnv::from_env();
+namespace {
+
+/// Map a kStateCensus event's state-name string back to the RedState index.
+int state_index(const std::string& name) {
+  for (int i = 0; i < 6; ++i) {
+    if (meta::red_state_name(static_cast<meta::RedState>(i)) == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::BenchEnv::from_args(argc, argv);
+  bench::init_observability(env);
   bench::print_header("Figure 8",
                       "Data state fractions per epoch (1 virtual hour) under "
                       "Chameleon, ycsb-zipf, initial policy EC.",
                       env);
 
+  // This harness is itself a trace consumer: record only the low-rate
+  // per-epoch census + wear events so the ring never evicts the timeline.
+  // (--trace-out exports the same filtered stream.)
+  obs::set_enabled(true);
+  auto& sink = obs::trace();
+  sink.set_enabled(true);
+  sink.set_type_filter(
+      {obs::TraceType::kStateCensus, obs::TraceType::kWearSnapshot});
+
   auto cfg = bench::make_config(env, sim::Scheme::kChameleonEc, "ycsb-zipf");
-  cfg.collect_timeline = true;  // timelines are not cached
+  cfg.collect_timeline = false;  // the trace stream replaces the timeline
   std::fprintf(stderr, "[bench] running ycsb-zipf / Chameleon(EC) with "
-                       "timeline (scale %.3g)...\n",
+                       "state tracing (scale %.3g)...\n",
                cfg.scale);
   const auto result = sim::run_experiment(cfg);
+
+  // Re-assemble the per-epoch census from the recorded events.
+  std::map<Epoch, std::array<std::uint64_t, 6>> bytes_by_epoch;
+  for (const auto& e : sink.snapshot()) {
+    if (e.type != obs::TraceType::kStateCensus) continue;
+    const int idx = state_index(e.from);
+    if (idx < 0) continue;
+    bytes_by_epoch[e.epoch][static_cast<std::size_t>(idx)] = e.b;
+  }
+  if (sink.dropped() > 0) {
+    std::fprintf(stderr,
+                 "[bench] warning: trace ring dropped %llu events; early "
+                 "epochs are missing from the timeline\n",
+                 static_cast<unsigned long long>(sink.dropped()));
+  }
 
   sim::TextTable table(
       {"hour", "%REP", "%EC", "%late-REP", "%late-EC", "%EWO"});
@@ -34,31 +79,36 @@ int main() {
 
   double max_ewo = 0.0;
   double max_late = 0.0;
-  const auto& timeline = result.chameleon_timeline;
   // Print at most ~24 rows; export every epoch to CSV.
-  const std::size_t stride = std::max<std::size_t>(1, timeline.size() / 24);
-  for (std::size_t i = 0; i < timeline.size(); ++i) {
-    const auto& census = timeline[i].census;
-    const auto total = static_cast<double>(census.total_bytes());
+  const std::size_t stride =
+      std::max<std::size_t>(1, bytes_by_epoch.size() / 24);
+  std::size_t i = 0;
+  const auto idx_of = [](meta::RedState s) {
+    return static_cast<std::size_t>(s);
+  };
+  for (const auto& [epoch, bytes] : bytes_by_epoch) {
+    double total = 0.0;
+    for (const auto b : bytes) total += static_cast<double>(b);
+    ++i;
     if (total == 0) continue;
     const double rep =
-        static_cast<double>(census.bytes_in(meta::RedState::kRep)) / total;
+        static_cast<double>(bytes[idx_of(meta::RedState::kRep)]) / total;
     const double ec =
-        static_cast<double>(census.bytes_in(meta::RedState::kEc)) / total;
+        static_cast<double>(bytes[idx_of(meta::RedState::kEc)]) / total;
     const double late_rep =
-        static_cast<double>(census.bytes_in(meta::RedState::kLateRep)) / total;
+        static_cast<double>(bytes[idx_of(meta::RedState::kLateRep)]) / total;
     const double late_ec =
-        static_cast<double>(census.bytes_in(meta::RedState::kLateEc)) / total;
+        static_cast<double>(bytes[idx_of(meta::RedState::kLateEc)]) / total;
     const double ewo =
-        (static_cast<double>(census.bytes_in(meta::RedState::kRepEwo)) +
-         static_cast<double>(census.bytes_in(meta::RedState::kEcEwo))) /
+        (static_cast<double>(bytes[idx_of(meta::RedState::kRepEwo)]) +
+         static_cast<double>(bytes[idx_of(meta::RedState::kEcEwo)])) /
         total;
     max_ewo = std::max(max_ewo, ewo);
     max_late = std::max(max_late, late_rep + late_ec);
-    csv << timeline[i].epoch << ',' << rep << ',' << ec << ',' << late_rep
-        << ',' << late_ec << ',' << ewo << '\n';
-    if (i % stride == 0 || i + 1 == timeline.size()) {
-      table.add_row({std::to_string(timeline[i].epoch),
+    csv << epoch << ',' << rep << ',' << ec << ',' << late_rep << ','
+        << late_ec << ',' << ewo << '\n';
+    if ((i - 1) % stride == 0 || i == bytes_by_epoch.size()) {
+      table.add_row({std::to_string(epoch),
                      sim::TextTable::num(rep * 100, 1),
                      sim::TextTable::num(ec * 100, 1),
                      sim::TextTable::num(late_rep * 100, 1),
@@ -75,5 +125,6 @@ int main() {
   std::printf("final wear stddev: %.1f (mean %.1f)\n", result.erase_stddev,
               result.erase_mean);
   std::printf("(full per-epoch series exported to fig8_state_timeline.csv)\n");
+  bench::write_observability(env);
   return 0;
 }

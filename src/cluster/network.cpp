@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chameleon::cluster {
 
 const char* traffic_name(Traffic t) {
@@ -20,9 +23,52 @@ const char* traffic_name(Traffic t) {
   return "unknown";
 }
 
+namespace {
+
+constexpr std::size_t kTrafficKinds = static_cast<std::size_t>(Traffic::kCount);
+
+struct TrafficCounters {
+  std::array<obs::Counter*, kTrafficKinds> bytes{};
+  std::array<obs::Counter*, kTrafficKinds> messages{};
+};
+
+/// Registry handles stay valid for the process lifetime, so resolve the
+/// per-kind series once instead of paying a map lookup per transfer.
+const TrafficCounters& traffic_counters() {
+  static const TrafficCounters counters = [] {
+    TrafficCounters c;
+    for (std::size_t i = 0; i < kTrafficKinds; ++i) {
+      const char* kind = traffic_name(static_cast<Traffic>(i));
+      c.bytes[i] = &obs::metrics().counter(
+          "chameleon_network_bytes_total", {{"kind", kind}},
+          "Bytes transferred on the modeled interconnect by traffic class");
+      c.messages[i] = &obs::metrics().counter(
+          "chameleon_network_messages_total", {{"kind", kind}},
+          "Messages sent on the modeled interconnect by traffic class");
+    }
+    return c;
+  }();
+  return counters;
+}
+
+}  // namespace
+
 Nanos Network::transfer(Traffic kind, std::uint64_t bytes) {
   bytes_[static_cast<std::size_t>(kind)] += bytes;
   ++messages_[static_cast<std::size_t>(kind)];
+  if (obs::enabled()) {
+    const auto& counters = traffic_counters();
+    counters.bytes[static_cast<std::size_t>(kind)]->inc(bytes);
+    counters.messages[static_cast<std::size_t>(kind)]->inc();
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kMessageSend)) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kMessageSend;
+      e.from = traffic_name(kind);
+      e.a = bytes;
+      sink.record(std::move(e));
+    }
+  }
   const double seconds =
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
   return config_.per_message_overhead +

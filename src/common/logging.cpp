@@ -1,14 +1,20 @@
 #include "common/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+
+#include "common/json.hpp"
 
 namespace chameleon {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 std::mutex g_log_mutex;
+LogSink g_sink;  // guarded by g_log_mutex; empty -> stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,6 +26,16 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+const char* level_name_json(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "unknown";
+}
+
 const char* basename_of(const char* path) {
   const char* base = path;
   for (const char* p = path; *p != '\0'; ++p) {
@@ -28,25 +44,94 @@ const char* basename_of(const char* path) {
   return base;
 }
 
+/// ISO-8601 UTC with millisecond resolution, e.g. 2026-08-05T12:34:56.789Z.
+std::string iso_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const auto secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+std::string format_record(LogLevel level, const char* file, int line,
+                          const std::string& msg) {
+  if (static_cast<LogFormat>(g_format.load()) == LogFormat::kText) {
+    std::string out = "[";
+    out += level_name(level);
+    out += "] ";
+    if (file != nullptr) {
+      out += basename_of(file);
+      out.push_back(':');
+      out += std::to_string(line);
+      out.push_back(' ');
+    }
+    out += msg;
+    return out;
+  }
+  std::string out = "{\"ts\":";
+  json_append_escaped(out, iso_timestamp());
+  out += ",\"level\":";
+  json_append_escaped(out, level_name_json(level));
+  if (file != nullptr) {
+    out += ",\"file\":";
+    json_append_escaped(out, basename_of(file));
+    out += ",\"line\":";
+    out += std::to_string(line);
+  }
+  out += ",\"msg\":";
+  json_append_escaped(out, msg);
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
-void log_line(LogLevel level, const std::string& msg) {
+void set_log_format(LogFormat format) {
+  g_format.store(static_cast<int>(format));
+}
+
+LogFormat log_format() { return static_cast<LogFormat>(g_format.load()); }
+
+void set_log_sink(LogSink sink) {
   std::lock_guard lock(g_log_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  g_sink = std::move(sink);
+}
+
+void log_record(LogLevel level, const char* file, int line,
+                const std::string& msg) {
+  const std::string formatted = format_record(level, file, line, msg);
+  std::lock_guard lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, formatted);
+  } else {
+    std::fprintf(stderr, "%s\n", formatted.c_str());
+  }
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  log_record(level, nullptr, 0, msg);
 }
 
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << basename_of(file) << ':' << line << ' ';
-}
+    : level_(level), file_(file), line_(line) {}
 
-LogMessage::~LogMessage() { log_line(level_, stream_.str()); }
+LogMessage::~LogMessage() {
+  log_record(level_, file_, line_, stream_.str());
+}
 
 }  // namespace detail
 }  // namespace chameleon

@@ -1,19 +1,43 @@
 // Tiny leveled logger. Experiments are chatty only at kInfo and above;
 // kDebug is compiled in but filtered at runtime.
+//
+// Output is pluggable two ways:
+//   - set_log_format(LogFormat::kJson) switches every line to a JSON object
+//     with timestamp/level/file/line/msg fields (one object per line), the
+//     shape log shippers ingest directly.
+//   - set_log_sink(fn) reroutes formatted lines away from stderr (tests use
+//     this to capture logger output; pass nullptr to restore stderr).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace chameleon {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+enum class LogFormat : int { kText = 0, kJson = 1 };
 
 /// Global minimum level; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Thread-safe write of one formatted log line to stderr.
+/// Global output format (default kText).
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Where formatted lines go. The sink receives one complete line (no
+/// trailing newline) and may be called from any thread, serialized by the
+/// logger's lock. nullptr restores the stderr default.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Thread-safe write of one log record. `file` may be nullptr when there is
+/// no source location (the line is then formatted without one).
+void log_record(LogLevel level, const char* file, int line,
+                const std::string& msg);
+
+/// Back-compat shorthand: a record without a source location.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {
@@ -25,6 +49,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 }  // namespace detail

@@ -88,7 +88,11 @@ void Histogram::add(double x, std::uint64_t weight) {
 void Histogram::merge(const Histogram& other) {
   if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
       other.hi_ != hi_) {
-    throw std::invalid_argument("Histogram::merge: incompatible layout");
+    throw std::invalid_argument(
+        "Histogram::merge: incompatible layout ([" + std::to_string(lo_) +
+        ", " + std::to_string(hi_) + ") x" + std::to_string(counts_.size()) +
+        " vs [" + std::to_string(other.lo_) + ", " + std::to_string(other.hi_) +
+        ") x" + std::to_string(other.counts_.size()) + ")");
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   underflow_ += other.underflow_;
@@ -106,8 +110,24 @@ double Histogram::bin_low(std::size_t i) const {
 }
 
 double Histogram::percentile(double p) const {
-  if (total_ == 0) return 0.0;
+  if (total_ == 0) return lo_;  // defined: empty histogram -> lower bound
   p = std::clamp(p, 0.0, 100.0);
+  if (p == 0.0) {
+    // The smallest observed value's bin edge: underflow pins it to lo.
+    if (underflow_ > 0) return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) return bin_low(i);
+    }
+    return hi_;  // all mass in overflow
+  }
+  if (p == 100.0) {
+    // The largest observed value's bin edge: overflow pins it to hi.
+    if (overflow_ > 0) return hi_;
+    for (std::size_t i = counts_.size(); i-- > 0;) {
+      if (counts_[i] > 0) return bin_low(i) + width_;
+    }
+    return lo_;  // all mass in underflow
+  }
   const double target = p / 100.0 * static_cast<double>(total_);
   double cum = static_cast<double>(underflow_);
   if (cum >= target) return lo_;

@@ -49,11 +49,21 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x, std::uint64_t weight = 1);
+  /// Fold `other` into this histogram. Throws std::invalid_argument unless
+  /// both share the exact same layout (lo, hi, bin count) — merging
+  /// mismatched bounds would silently misattribute counts.
   void merge(const Histogram& other);
   void reset();
 
   std::uint64_t count() const { return total_; }
-  double percentile(double p) const;  ///< p in [0, 100]
+  /// Percentile by linear interpolation inside a bin; p is clamped to
+  /// [0, 100]. Edge cases are defined as:
+  ///   - empty histogram        -> lo (the lower bound)
+  ///   - p == 0                 -> low edge of the first bin holding mass
+  ///                               (lo if any underflow, hi if only overflow)
+  ///   - p == 100               -> high edge of the last bin holding mass
+  ///                               (hi if any overflow, lo if only underflow)
+  double percentile(double p) const;
   double bin_low(std::size_t i) const;
   double bin_width() const { return width_; }
   std::size_t bin_count() const { return counts_.size(); }

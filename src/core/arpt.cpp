@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chameleon::core {
 
@@ -12,6 +14,54 @@ using meta::RedState;
 using meta::ServerSet;
 
 namespace {
+
+/// Transition counter + trace event for one ARPT state change. `from`/`to`
+/// are endpoint schemes for the counter; the trace records the exact armed
+/// state (e.g. EC -> late-REP) so Fig 8 can replay the intermediate phases.
+void record_transition(Epoch now, ObjectId oid, double heat,
+                       RedState counted_from, RedState counted_to,
+                       RedState traced_to) {
+  obs::metrics()
+      .counter("chameleon_arpt_transitions_total",
+               {{"from", std::string(meta::red_state_name(counted_from))},
+                {"to", std::string(meta::red_state_name(counted_to))}},
+               "ARPT redundancy transitions armed or restored, by endpoint "
+               "scheme")
+      .inc();
+  auto& sink = obs::trace();
+  if (sink.accepts(obs::TraceType::kArptTransition)) {
+    obs::TraceEvent e;
+    e.type = obs::TraceType::kArptTransition;
+    e.epoch = now;
+    e.oid = oid;
+    e.from = std::string(meta::red_state_name(counted_from));
+    e.to = std::string(meta::red_state_name(traced_to));
+    e.value = heat;
+    e.has_value = true;
+    sink.record(std::move(e));
+  }
+}
+
+/// A pending lazy transition was cancelled because the object's heat crossed
+/// back over the threshold before any write materialized the move.
+void record_cancellation(Epoch now, ObjectId oid, RedState cancelled_state,
+                         RedState restored) {
+  obs::metrics()
+      .counter("chameleon_arpt_cancellations_total",
+               {{"to", std::string(meta::red_state_name(restored))}},
+               "Pending lazy transitions cancelled before materializing")
+      .inc();
+  auto& sink = obs::trace();
+  if (sink.accepts(obs::TraceType::kArptTransition)) {
+    obs::TraceEvent e;
+    e.type = obs::TraceType::kArptTransition;
+    e.epoch = now;
+    e.oid = oid;
+    e.from = std::string(meta::red_state_name(cancelled_state));
+    e.to = std::string(meta::red_state_name(restored));
+    sink.record(std::move(e));
+  }
+}
 
 double stddev_of(const std::vector<double>& v) {
   RunningStats s;
@@ -126,6 +176,9 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     store_.table().log_change(
         oid, meta::EpochLogEntry{now, RedState::kRep, {}, {}});
     ++report.cancelled;
+    if (obs::enabled()) {
+      record_cancellation(now, oid, RedState::kLateEc, RedState::kRep);
+    }
   }
   for (const ObjectId oid : cancel_to_ec) {
     store_.table().mutate(oid, [&](ObjectMeta& m) {
@@ -137,6 +190,9 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     store_.table().log_change(oid,
                               meta::EpochLogEntry{now, RedState::kEc, {}, {}});
     ++report.cancelled;
+    if (obs::enabled()) {
+      record_cancellation(now, oid, RedState::kLateRep, RedState::kEc);
+    }
   }
 
   // Hottest first for upgrades, coldest first for downgrades.
@@ -202,6 +258,10 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     store_.table().log_change(
         c.oid, meta::EpochLogEntry{now, RedState::kLateRep, {}, dst});
     ++report.screened_to_late_rep;
+    if (obs::enabled()) {
+      record_transition(now, c.oid, c.heat, RedState::kEc, RedState::kRep,
+                        RedState::kLateRep);
+    }
     armed_rep.push_back(c);
   }
   to_late_rep = std::move(armed_rep);
@@ -217,6 +277,10 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     store_.table().log_change(
         c.oid, meta::EpochLogEntry{now, RedState::kLateEc, {}, dst});
     ++report.screened_to_late_ec;
+    if (obs::enabled()) {
+      record_transition(now, c.oid, c.heat, RedState::kRep, RedState::kEc,
+                        RedState::kLateEc);
+    }
   }
 
   // ---- Step 2: endurance-aware rearrangement (lines 12-21) --------------

@@ -3,11 +3,98 @@
 #include <limits>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chameleon::core {
 
 using meta::ObjectMeta;
 using meta::RedState;
+
+namespace {
+
+/// Periodic snapshot: per-server erase counters, wear dispersion gauges and
+/// the Fig 8 state-census/wear trace events, emitted once per epoch.
+void emit_epoch_observability(Epoch now,
+                              const std::vector<ServerWearInfo>& wear,
+                              const EpochSnapshot& snap,
+                              std::size_t log_entries) {
+  auto& reg = obs::metrics();
+  for (const auto& info : wear) {
+    const std::string server = std::to_string(info.server);
+    reg.counter("chameleon_server_erases_total", {{"server", server}},
+                "Block erases per server (cumulative)")
+        .inc(info.erases_this_epoch);
+    reg.gauge("chameleon_server_logical_utilization", {{"server", server}},
+              "Stored logical pages / logical capacity per server")
+        .set(info.logical_utilization);
+  }
+  reg.gauge("chameleon_wear_erase_mean", {},
+            "Mean per-server cumulative erase count")
+      .set(snap.erase_mean);
+  reg.gauge("chameleon_wear_erase_stddev", {},
+            "Population stddev of per-server erase counts (paper sigma)")
+      .set(snap.erase_stddev);
+  reg.gauge("chameleon_wear_cv", {},
+            "Coefficient of variation of per-server erase counts")
+      .set(snap.erase_mean > 0.0 ? snap.erase_stddev / snap.erase_mean : 0.0);
+  const std::uint64_t pending =
+      snap.census.objects_in(RedState::kLateRep) +
+      snap.census.objects_in(RedState::kLateEc) +
+      snap.census.objects_in(RedState::kRepEwo) +
+      snap.census.objects_in(RedState::kEcEwo);
+  reg.gauge("chameleon_pending_lazy_objects", {},
+            "Objects in an intermediate state awaiting a materializing write")
+      .set(static_cast<double>(pending));
+  reg.gauge("chameleon_epoch_log_entries", {},
+            "Live epoch-log entries across all mapping-table shards")
+      .set(static_cast<double>(log_entries));
+
+  auto& sink = obs::trace();
+  if (sink.accepts(obs::TraceType::kStateCensus)) {
+    for (std::size_t i = 0; i < snap.census.objects.size(); ++i) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kStateCensus;
+      e.epoch = now;
+      e.from = std::string(meta::red_state_name(static_cast<RedState>(i)));
+      e.a = snap.census.objects[i];
+      e.b = snap.census.bytes[i];
+      sink.record(std::move(e));
+    }
+  }
+  if (sink.accepts(obs::TraceType::kWearSnapshot)) {
+    obs::TraceEvent e;
+    e.type = obs::TraceType::kWearSnapshot;
+    e.epoch = now;
+    e.a = snap.total_erases;
+    e.value = snap.erase_mean;
+    e.has_value = true;
+    e.value2 = snap.erase_stddev;
+    e.has_value2 = true;
+    sink.record(std::move(e));
+  }
+  if (sink.accepts(obs::TraceType::kServerWear)) {
+    for (const auto& info : wear) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kServerWear;
+      e.epoch = now;
+      e.server = info.server;
+      e.a = info.erase_count;
+      e.b = info.erases_this_epoch;
+      sink.record(std::move(e));
+    }
+  }
+  if (snap.log_entries_compacted > 0 &&
+      sink.accepts(obs::TraceType::kLogCompaction)) {
+    obs::TraceEvent e;
+    e.type = obs::TraceType::kLogCompaction;
+    e.epoch = now;
+    e.a = snap.log_entries_compacted;
+    sink.record(std::move(e));
+  }
+}
+
+}  // namespace
 
 Balancer::Balancer(kv::KvStore& store, const ChameleonOptions& opts)
     : store_(store),
@@ -207,6 +294,10 @@ void Balancer::on_epoch(Epoch now) {
   snap.erase_stddev = sigma;
   snap.total_erases = store_.cluster().total_erases();
   snap.balancing_network_bytes = store_.cluster().network().balancing_bytes();
+  if (obs::enabled()) {
+    emit_epoch_observability(now, wear, snap,
+                             store_.table().log_entry_count());
+  }
   timeline_.push_back(snap);
 }
 

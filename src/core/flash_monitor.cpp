@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "cluster/messages.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chameleon::core {
 
@@ -42,8 +44,24 @@ std::vector<ServerWearInfo> FlashMonitor::collect(Epoch now) {
           std::lround(info.logical_utilization * 1e4));
       msg.victim_utilization_q = static_cast<std::uint32_t>(
           std::lround(info.victim_utilization * 1e4));
-      cluster_.network().transfer(cluster::Traffic::kHeartbeat,
-                                  msg.serialize().size());
+      const std::size_t wire_bytes = msg.serialize().size();
+      cluster_.network().transfer(cluster::Traffic::kHeartbeat, wire_bytes);
+      if (obs::enabled()) {
+        static auto& heartbeats = obs::metrics().counter(
+            "chameleon_heartbeats_total", {},
+            "Wear heartbeats received by the coordinator");
+        heartbeats.inc();
+        auto& sink = obs::trace();
+        if (sink.accepts(obs::TraceType::kMessageRecv)) {
+          obs::TraceEvent e;
+          e.type = obs::TraceType::kMessageRecv;
+          e.epoch = now;
+          e.server = id;
+          e.from = "heartbeat";
+          e.a = wire_bytes;
+          sink.record(std::move(e));
+        }
+      }
     }
   }
   return out;

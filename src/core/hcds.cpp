@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chameleon::core {
 
@@ -57,9 +59,30 @@ bool Hcds::schedule_move(const Candidate& c, ServerId from, ServerId to,
   ServerSet dst;
   for (const ServerId s : live->src) dst.push_back(s == from ? to : s);
 
+  const auto record_swap = [&](const RedState armed_state) {
+    static auto& swaps = obs::metrics().counter(
+        "chameleon_hcds_swaps_total", {},
+        "HCDS hot/cold data swaps scheduled (lazy EWO or eager relocation)");
+    swaps.inc();
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kHcdsSwap)) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kHcdsSwap;
+      e.epoch = now;
+      e.oid = c.oid;
+      e.server = from;
+      e.peer = to;
+      e.from = std::string(meta::red_state_name(armed_state));
+      e.value = c.heat;
+      e.has_value = true;
+      sink.record(std::move(e));
+    }
+  };
+
   if (opts_.eager_conversions) {
     store_.relocate(c.oid, dst, cluster::Traffic::kSwap);
     ++report.eager_relocations;
+    if (obs::enabled()) record_swap(live->state);
     return true;
   }
 
@@ -73,6 +96,7 @@ bool Hcds::schedule_move(const Candidate& c, ServerId from, ServerId to,
   });
   store_.table().log_change(
       c.oid, meta::EpochLogEntry{now, ewo, live->src, dst});
+  if (obs::enabled()) record_swap(ewo);
   return true;
 }
 

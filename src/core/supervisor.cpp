@@ -1,5 +1,8 @@
 #include "core/supervisor.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chameleon::core {
 
 Supervisor::Supervisor(kv::KvStore& store, const ChameleonOptions& options,
@@ -44,6 +47,16 @@ SupervisorEpochReport Supervisor::on_epoch(Epoch epoch, Nanos now) {
   // 4. Wear balancing on whoever coordinates now.
   report.coordinator = membership_.coordinator();
   balancer_.on_epoch(epoch);
+  if (obs::enabled()) {
+    obs::metrics()
+        .gauge("chameleon_coordinator", {},
+               "Server id currently acting as balancing coordinator")
+        .set(static_cast<double>(report.coordinator));
+    obs::metrics()
+        .gauge("chameleon_live_servers", {},
+               "Servers with an unexpired membership lease")
+        .set(static_cast<double>(store_.cluster().size() - failed_.size()));
+  }
   return report;
 }
 
@@ -52,6 +65,30 @@ void Supervisor::handle_failure(ServerId server, Epoch epoch,
   store_.cluster().ring().remove_server(server);
   const auto r = repair_.repair_server(server, epoch);
   if (report != nullptr) report->fragments_rebuilt += r.fragments_rebuilt;
+  if (obs::enabled()) {
+    static auto& failures = obs::metrics().counter(
+        "chameleon_failures_detected_total", {},
+        "Servers declared dead (lease lapse or device wear-out)");
+    static auto& rebuilt = obs::metrics().counter(
+        "chameleon_fragments_rebuilt_total", {},
+        "Fragments reconstructed by failure repair");
+    static auto& unrecoverable = obs::metrics().counter(
+        "chameleon_repair_unrecoverable_total", {},
+        "Objects with too few surviving fragments to rebuild");
+    failures.inc();
+    rebuilt.inc(r.fragments_rebuilt);
+    unrecoverable.inc(r.unrecoverable);
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kRepair)) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kRepair;
+      e.epoch = epoch;
+      e.server = server;
+      e.a = r.objects_scanned;
+      e.b = r.fragments_rebuilt;
+      sink.record(std::move(e));
+    }
+  }
 }
 
 kv::OpResult Supervisor::put_with_failover(ObjectId oid, std::uint64_t bytes,

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace chameleon::flashsim {
 
 Ftl::Ftl(const SsdConfig& config) : config_(config) {
@@ -193,8 +196,11 @@ Nanos Ftl::relocate_and_erase(BlockId victim, Frontier dest) {
   Nanos latency = 0;
   const Ppn first = block_first_ppn(victim);
   const double ppb = static_cast<double>(config_.pages_per_block);
-  stats_.victim_utilization_sum +=
+  const double victim_utilization =
       static_cast<double>(blk.valid_count) / ppb;
+  const std::uint64_t copies_before =
+      stats_.gc_page_copies + stats_.wl_page_copies;
+  stats_.victim_utilization_sum += victim_utilization;
   ++stats_.gc_invocations;
 
   for (std::uint32_t i = 0; i < config_.pages_per_block; ++i) {
@@ -228,6 +234,31 @@ Nanos Ftl::relocate_and_erase(BlockId victim, Frontier dest) {
   } else {
     blk.state = BlockState::kFree;
     free_blocks_.emplace(blk.erase_count, victim);
+  }
+  if (obs::enabled()) {
+    const std::uint64_t copied =
+        stats_.gc_page_copies + stats_.wl_page_copies - copies_before;
+    static auto& gc_cycles = obs::metrics().counter(
+        "chameleon_gc_cycles_total", {},
+        "FTL garbage-collection cycles (one victim block relocated + erased)");
+    static auto& erases = obs::metrics().counter(
+        "chameleon_block_erases_total", {}, "Flash block erases across all devices");
+    static auto& copies = obs::metrics().counter(
+        "chameleon_gc_page_copies_total", {},
+        "Valid pages copied by GC and static wear leveling");
+    gc_cycles.inc();
+    erases.inc();
+    copies.inc(copied);
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kGcCycle)) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kGcCycle;
+      e.a = copied;
+      e.b = 1;  // blocks erased this cycle
+      e.value = victim_utilization;
+      e.has_value = true;
+      sink.record(std::move(e));
+    }
   }
   return latency;
 }
@@ -325,6 +356,12 @@ WriteResult Ftl::write(Lpn lpn, StreamHint hint) {
       stats_.gc_page_copies + stats_.wl_page_copies - copies_before);
   stats_.total_write_latency += result.latency;
   ++stats_.write_ops;
+  if (obs::enabled()) {
+    static auto& latency_hist = obs::metrics().histogram(
+        "chameleon_device_write_latency_ns", 0.0, 1e8, 1000, {},
+        "Per-page device write latency including GC stalls, in nanoseconds");
+    latency_hist.observe(static_cast<double>(result.latency));
+  }
   return result;
 }
 

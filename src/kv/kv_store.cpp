@@ -4,12 +4,29 @@
 #include <stdexcept>
 
 #include "common/fnv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace chameleon::kv {
 
 using meta::ObjectMeta;
 using meta::RedState;
 using meta::ServerSet;
+
+namespace {
+
+/// Record put-side metrics; shared by the three put_impl exit paths.
+void record_put(const OpResult& result) {
+  static auto& puts = obs::metrics().counter(
+      "chameleon_kv_puts_total", {}, "Object put operations");
+  static auto& latency_hist = obs::metrics().histogram(
+      "chameleon_put_latency_ns", 0.0, 1e8, 1000, {},
+      "End-to-end put latency (device + network), in nanoseconds");
+  puts.inc();
+  latency_hist.observe(static_cast<double>(result.latency));
+}
+
+}  // namespace
 
 KvStore::KvStore(cluster::Cluster& cluster, meta::MappingTable& table,
                  const KvConfig& config)
@@ -155,6 +172,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     result.latency +=
         network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
     result.state = m.state;
+    if (obs::enabled()) record_put(result);
     return result;
   }
 
@@ -180,6 +198,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     // Lazy transition: this very update materializes the pending scheme on
     // the destination servers; the old fragments are merely invalidated
     // (trim — no flash writes), which is the EWO/late-REP/late-EC payoff.
+    const RedState intermediate = m.state;
     const RedState old_scheme = meta::current_scheme(m.state);
     const RedState new_scheme = meta::target_scheme(m.state);
     const std::uint32_t new_version = m.placement_version + 1;
@@ -195,6 +214,22 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     m.placement_version = new_version;
     m.state_since = now;
     result.converted = true;
+    if (obs::enabled()) {
+      static auto& offloads = obs::metrics().counter(
+          "chameleon_ewo_offloads_total", {},
+          "Lazy transitions materialized by an incoming write (EWO payoff)");
+      offloads.inc();
+      auto& sink = obs::trace();
+      if (sink.accepts(obs::TraceType::kEwoOffload)) {
+        obs::TraceEvent e;
+        e.type = obs::TraceType::kEwoOffload;
+        e.epoch = now;
+        e.oid = oid;
+        e.from = std::string(meta::red_state_name(intermediate));
+        e.to = std::string(meta::red_state_name(new_scheme));
+        sink.record(std::move(e));
+      }
+    }
   } else {
     FragmentPayloads frags;
     if (value != nullptr) frags = shard_payload(*value, m.state);
@@ -208,6 +243,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
   result.state = m.state;
 
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  if (obs::enabled()) record_put(result);
   return result;
 }
 
@@ -245,6 +281,11 @@ OpResult KvStore::get(ObjectId oid, Epoch now) {
   result.latency = read_fragments_for_object(*existing);
   result.latency += cluster_.network().transfer(cluster::Traffic::kClientRead,
                                                 existing->size_bytes);
+  if (obs::enabled()) {
+    static auto& gets = obs::metrics().counter(
+        "chameleon_kv_gets_total", {}, "Object get operations");
+    gets.inc();
+  }
   return result;
 }
 
@@ -392,6 +433,13 @@ Nanos KvStore::relocate(ObjectId oid, const ServerSet& dst,
   m.state = scheme;  // any pending lazy transition is superseded
   m.placement_version = new_version;
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  if (obs::enabled()) {
+    obs::metrics()
+        .counter("chameleon_relocations_total",
+                 {{"kind", cluster::traffic_name(traffic)}},
+                 "Eager bulk object relocations by traffic class")
+        .inc();
+  }
   return latency;
 }
 
@@ -436,6 +484,22 @@ Nanos KvStore::convert(ObjectId oid, RedState target, const ServerSet& dst,
   m.state = target;
   m.placement_version = new_version;
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  if (obs::enabled()) {
+    static auto& conversions = obs::metrics().counter(
+        "chameleon_eager_conversions_total", {},
+        "Eager REP<->EC conversions (read + re-encode + redistribute)");
+    conversions.inc();
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kConversion)) {
+      obs::TraceEvent e;
+      e.type = obs::TraceType::kConversion;
+      e.oid = oid;
+      e.from = std::string(meta::red_state_name(old_scheme));
+      e.to = std::string(meta::red_state_name(target));
+      e.a = written_bytes;
+      sink.record(std::move(e));
+    }
+  }
   return latency;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace chameleon::meta {
 
 std::string_view red_state_name(RedState s) {
@@ -91,6 +93,12 @@ void MappingTable::log_change(ObjectId oid, const EpochLogEntry& entry) {
     throw std::invalid_argument("MappingTable::log_change: unknown object");
   }
   shard.logs[oid].append(entry);
+  if (obs::enabled()) {
+    static auto& appends = obs::metrics().counter(
+        "chameleon_epoch_log_appends_total", {},
+        "Entries appended to per-object epoch logs");
+    appends.inc();
+  }
 }
 
 std::size_t MappingTable::compact_logs() {
@@ -98,6 +106,12 @@ std::size_t MappingTable::compact_logs() {
   for (Shard& shard : shards_) {
     std::lock_guard lock(shard.mutex);
     for (auto& [oid, log] : shard.logs) removed += log.compact();
+  }
+  if (obs::enabled() && removed > 0) {
+    static auto& compacted = obs::metrics().counter(
+        "chameleon_epoch_log_compacted_total", {},
+        "Epoch-log entries removed by compaction");
+    compacted.inc(removed);
   }
   return removed;
 }

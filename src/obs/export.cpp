@@ -1,0 +1,146 @@
+#include "obs/export.hpp"
+
+#include "common/json.hpp"
+
+namespace chameleon::obs {
+namespace {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+void prom_append_label_value(std::string& out, const std::string& v) {
+  out.push_back('"');
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+/// {k="v",...} including braces; empty string when there are no labels.
+std::string prom_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out.push_back('=');
+    prom_append_label_value(out, v);
+  }
+  out.push_back('}');
+  return out;
+}
+
+/// Labels with an extra le="..." appended (for histogram buckets).
+std::string prom_labels_le(const Labels& labels, const std::string& le) {
+  std::string out = "{";
+  for (const auto& [k, v] : labels) {
+    out += k;
+    out.push_back('=');
+    prom_append_label_value(out, v);
+    out.push_back(',');
+  }
+  out += "le=";
+  prom_append_label_value(out, le);
+  out.push_back('}');
+  return out;
+}
+
+std::string prom_number(double v) {
+  // Counters are stored as uint64; render integral values without exponent.
+  if (v == static_cast<double>(static_cast<std::uint64_t>(v)) && v >= 0 &&
+      v < 1e18) {
+    return std::to_string(static_cast<std::uint64_t>(v));
+  }
+  return json_number(v);
+}
+
+}  // namespace
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  const auto samples = registry.snapshot();
+  std::string out;
+  out.reserve(4096);
+  std::string last_family;
+  for (const auto& s : samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + " " + s.help + "\n";
+      }
+      out += "# TYPE " + s.name + " ";
+      out += metric_type_name(s.type);
+      out.push_back('\n');
+    }
+    if (!s.histogram) {
+      out += s.name + prom_labels(s.labels) + " " + prom_number(s.value) + "\n";
+      continue;
+    }
+    const auto& h = *s.histogram;
+    for (const auto& [upper, cum] : h.cumulative) {
+      out += s.name + "_bucket" + prom_labels_le(s.labels, json_number(upper)) +
+             " " + std::to_string(cum) + "\n";
+    }
+    out += s.name + "_bucket" + prom_labels_le(s.labels, "+Inf") + " " +
+           std::to_string(h.count) + "\n";
+    out += s.name + "_sum" + prom_labels(s.labels) + " " + json_number(h.sum) +
+           "\n";
+    out += s.name + "_count" + prom_labels(s.labels) + " " +
+           std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string render_json(const MetricsRegistry& registry) {
+  const auto samples = registry.snapshot();
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    json_append_escaped(out, s.name);
+    out += ",\"type\":";
+    json_append_escaped(out, metric_type_name(s.type));
+    if (!s.help.empty()) {
+      out += ",\"help\":";
+      json_append_escaped(out, s.help);
+    }
+    out += ",\"labels\":{";
+    bool lfirst = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!lfirst) out.push_back(',');
+      lfirst = false;
+      json_append_escaped(out, k);
+      out.push_back(':');
+      json_append_escaped(out, v);
+    }
+    out.push_back('}');
+    if (!s.histogram) {
+      out += ",\"value\":" + json_number(s.value);
+    } else {
+      const auto& h = *s.histogram;
+      out += ",\"count\":" + std::to_string(h.count);
+      out += ",\"sum\":" + json_number(h.sum);
+      out += ",\"underflow\":" + std::to_string(h.underflow);
+      out += ",\"overflow\":" + std::to_string(h.overflow);
+      out += ",\"buckets\":[";
+      bool bfirst = true;
+      for (const auto& [upper, cum] : h.cumulative) {
+        if (!bfirst) out.push_back(',');
+        bfirst = false;
+        out += "[" + json_number(upper) + "," + std::to_string(cum) + "]";
+      }
+      out += "]";
+    }
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace chameleon::obs

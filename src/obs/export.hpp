@@ -1,0 +1,21 @@
+// Exposition formats for the metrics registry: Prometheus text format 0.0.4
+// (what a /metrics endpoint would serve) and a JSON document for tooling.
+// Both render deterministically (families sorted by name, series by label
+// set) so golden-file tests stay stable.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace chameleon::obs {
+
+/// Prometheus text format: # HELP / # TYPE headers per family, one sample
+/// line per series; histograms expand to _bucket{le=...}/_sum/_count.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// JSON: {"metrics":[{"name":...,"type":...,"labels":{...},"value":...}]}.
+/// Histograms carry buckets as [[upper_bound, cumulative_count], ...].
+std::string render_json(const MetricsRegistry& registry);
+
+}  // namespace chameleon::obs

@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chameleon::obs {
+
+const char* metric_type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+HistogramSnapshot HistogramMetric::snapshot() const {
+  std::lock_guard lock(mutex_);
+  HistogramSnapshot snap;
+  snap.lo = hist_.bin_low(0);
+  snap.hi = hist_.bin_low(hist_.bin_count() - 1) + hist_.bin_width();
+  snap.count = hist_.count();
+  snap.underflow = hist_.underflow();
+  snap.overflow = hist_.overflow();
+  snap.sum = sum_;
+  snap.cumulative.reserve(hist_.bin_count());
+  // Prometheus buckets are cumulative from -Inf; fold the underflow into the
+  // first bucket so sum(le buckets) + overflow == count.
+  std::uint64_t cum = hist_.underflow();
+  for (std::size_t i = 0; i < hist_.bin_count(); ++i) {
+    cum += hist_.bin_value(i);
+    snap.cumulative.emplace_back(hist_.bin_low(i) + hist_.bin_width(), cum);
+  }
+  return snap;
+}
+
+Labels canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    if (labels[i - 1].first == labels[i].first) {
+      throw std::invalid_argument("duplicate metric label key: " +
+                                  labels[i].first);
+    }
+  }
+  return labels;
+}
+
+std::string MetricsRegistry::label_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key.push_back('\x1f');  // unit separator: cannot appear in sane labels
+    key += v;
+    key.push_back('\x1e');
+  }
+  return key;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name,
+                                                     MetricType type,
+                                                     const std::string& help) {
+  // Caller holds mutex_.
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.type = type;
+    fam.help = help;
+  } else if (fam.type != type) {
+    throw std::logic_error("metric '" + name + "' registered as " +
+                           metric_type_name(fam.type) + ", requested as " +
+                           metric_type_name(type));
+  } else if (fam.help.empty() && !help.empty()) {
+    fam.help = help;
+  }
+  return fam;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  labels = canonical_labels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  Family& fam = family_for(name, MetricType::kCounter, help);
+  Series& s = fam.series[label_key(labels)];
+  if (!s.counter) {
+    s.labels = std::move(labels);
+    s.counter = std::make_unique<Counter>();
+  }
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels,
+                              const std::string& help) {
+  labels = canonical_labels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  Family& fam = family_for(name, MetricType::kGauge, help);
+  Series& s = fam.series[label_key(labels)];
+  if (!s.gauge) {
+    s.labels = std::move(labels);
+    s.gauge = std::make_unique<Gauge>();
+  }
+  return *s.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins,
+                                            Labels labels,
+                                            const std::string& help) {
+  labels = canonical_labels(std::move(labels));
+  std::lock_guard lock(mutex_);
+  Family& fam = family_for(name, MetricType::kHistogram, help);
+  if (fam.series.empty()) {
+    fam.lo = lo;
+    fam.hi = hi;
+    fam.bins = bins;
+  } else if (fam.lo != lo || fam.hi != hi || fam.bins != bins) {
+    throw std::logic_error("histogram '" + name +
+                           "' re-registered with different bounds");
+  }
+  Series& s = fam.series[label_key(labels)];
+  if (!s.histogram) {
+    s.labels = std::move(labels);
+    s.histogram = std::make_unique<HistogramMetric>(lo, hi, bins);
+  }
+  return *s.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSample> out;
+  for (const auto& [name, fam] : families_) {
+    for (const auto& [key, series] : fam.series) {
+      MetricSample sample;
+      sample.name = name;
+      sample.type = fam.type;
+      sample.help = fam.help;
+      sample.labels = series.labels;
+      switch (fam.type) {
+        case MetricType::kCounter:
+          sample.value = static_cast<double>(series.counter->value());
+          break;
+        case MetricType::kGauge:
+          sample.value = series.gauge->value();
+          break;
+        case MetricType::kHistogram:
+          sample.histogram = series.histogram->snapshot();
+          break;
+      }
+      out.push_back(std::move(sample));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, fam] : families_) {
+    for (auto& [key, series] : fam.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, fam] : families_) n += fam.series.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace chameleon::obs

@@ -1,0 +1,195 @@
+// Cluster-wide metrics registry (observability layer, PACEMAKER-style
+// always-on telemetry). Three metric kinds with Prometheus semantics:
+//
+//   Counter    — monotone uint64, lock-free atomic increments
+//   Gauge      — double that can move both ways
+//   HistogramMetric — fixed-bin chameleon::Histogram + exact sum/count,
+//                     guarded by a mutex (observation rate is bounded)
+//
+// Metrics are identified by (name, sorted label set). Handles returned by
+// the registry are stable for the registry's lifetime, so hot paths resolve
+// a metric once and then touch only the atomic. All instrumentation across
+// the codebase is gated on the process-wide obs::enabled() flag (one relaxed
+// atomic load), which keeps the disabled overhead unmeasurable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace chameleon::obs {
+
+/// Label set: key/value pairs. The registry canonicalizes by sorting on key,
+/// so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* metric_type_name(MetricType t);
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // fetch_add on atomic<double> requires C++20 atomic-ref semantics that
+    // libstdc++ lowers to a CAS loop; do it explicitly for clarity.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram for rendering.
+struct HistogramSnapshot {
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Cumulative counts at each bin's upper bound (Prometheus `le` buckets),
+  /// excluding the +Inf bucket (which equals `count`).
+  std::vector<std::pair<double, std::uint64_t>> cumulative;
+  std::uint64_t count = 0;
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  double sum = 0.0;
+};
+
+class HistogramMetric {
+ public:
+  HistogramMetric(double lo, double hi, std::size_t bins)
+      : hist_(lo, hi, bins) {}
+
+  void observe(double x) {
+    std::lock_guard lock(mutex_);
+    hist_.add(x);
+    sum_ += x;
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  std::uint64_t count() const {
+    std::lock_guard lock(mutex_);
+    return hist_.count();
+  }
+  double sum() const {
+    std::lock_guard lock(mutex_);
+    return sum_;
+  }
+  double percentile(double p) const {
+    std::lock_guard lock(mutex_);
+    return hist_.percentile(p);
+  }
+  void reset() {
+    std::lock_guard lock(mutex_);
+    hist_.reset();
+    sum_ = 0.0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Histogram hist_;
+  double sum_ = 0.0;
+};
+
+/// One rendered sample (counter/gauge value or histogram snapshot) as
+/// returned by MetricsRegistry::snapshot(). Deterministically ordered by
+/// (name, label string) so renderer output is stable for golden tests.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::string help;
+  Labels labels;
+  double value = 0.0;  ///< counter (as double) or gauge
+  std::optional<HistogramSnapshot> histogram;
+};
+
+/// Thread-safe registry. Lookup takes a mutex; returned references stay
+/// valid until the registry is destroyed (values are heap-allocated and
+/// never erased — reset_values() zeroes them in place).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t bins, Labels labels = {},
+                             const std::string& help = "");
+
+  /// All current samples, sorted by (name, labels). Safe to call while other
+  /// threads keep updating values.
+  std::vector<MetricSample> snapshot() const;
+
+  /// Zero every value but keep the registered series (and any outstanding
+  /// handles) alive. Used between experiments and by tests.
+  void reset_values();
+
+  std::size_t series_count() const;
+
+ private:
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    double lo = 0.0;  ///< histogram bounds (fixed per family)
+    double hi = 0.0;
+    std::size_t bins = 0;
+    /// Keyed by the canonical label string for deterministic iteration.
+    std::map<std::string, Series> series;
+  };
+
+  Family& family_for(const std::string& name, MetricType type,
+                     const std::string& help);
+  static std::string label_key(const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Canonicalize a label set: sorted by key. Throws on duplicate keys.
+Labels canonical_labels(Labels labels);
+
+// ---------------------------------------------------------------------------
+// Process-wide instances. Instrumented subsystems report here; benches, the
+// CLI and tests read/reset them. Everything is gated on enabled(), default
+// off, so an un-instrumented run pays one relaxed atomic load per site.
+
+MetricsRegistry& metrics();
+
+bool enabled();
+void set_enabled(bool on);
+
+}  // namespace chameleon::obs

@@ -1,0 +1,90 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chameleon {
+namespace {
+
+/// Captures log lines into a vector and restores the global logger state
+/// (level, format, sink) when the test ends.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel level, const std::string& line) {
+      captured_.emplace_back(level, line);
+    });
+  }
+
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_format(LogFormat::kText);
+    set_log_level(LogLevel::kInfo);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, TextFormatIncludesLevelFileAndLine) {
+  log_record(LogLevel::kInfo, "src/common/some_file.cpp", 42, "hello");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "[INFO ] some_file.cpp:42 hello");
+}
+
+TEST_F(LoggingTest, TextFormatWithoutFileOmitsLocation) {
+  log_line(LogLevel::kError, "boom");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "[ERROR] boom");
+}
+
+TEST_F(LoggingTest, JsonFormatEmitsStructuredFields) {
+  set_log_format(LogFormat::kJson);
+  log_record(LogLevel::kWarn, "x.cpp", 7, "say \"hi\"\n");
+  ASSERT_EQ(captured_.size(), 1u);
+  const std::string& line = captured_[0].second;
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  // The timestamp varies; assert the stable fields and the escaping.
+  EXPECT_NE(line.find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"file\":\"x.cpp\""), std::string::npos);
+  EXPECT_NE(line.find("\"line\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"say \\\"hi\\\"\\n\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, JsonFormatWithoutFileOmitsLocation) {
+  set_log_format(LogFormat::kJson);
+  log_line(LogLevel::kInfo, "no location");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second.find("\"file\""), std::string::npos);
+  EXPECT_EQ(captured_[0].second.find("\"line\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, MacroFiltersBelowConfiguredLevel) {
+  set_log_level(LogLevel::kWarn);
+  LOG_INFO << "filtered out";
+  LOG_WARN << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_NE(captured_[0].second.find("kept"), std::string::npos);
+}
+
+TEST_F(LoggingTest, MacroStreamsMixedTypes) {
+  LOG_INFO << "count=" << 3 << " ratio=" << 0.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("count=3 ratio=0.5"), std::string::npos);
+}
+
+TEST_F(LoggingTest, NullSinkRestoresDefaultWithoutCrashing) {
+  set_log_sink(nullptr);
+  // Falls back to stderr; verify nothing reaches the removed sink.
+  log_line(LogLevel::kInfo, "to stderr");
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace chameleon

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -116,14 +117,97 @@ TEST(Histogram, PercentileOfUniformFill) {
   EXPECT_NEAR(h.percentile(100), 100.0, 1.0);
 }
 
+TEST(Histogram, EmptyPercentileIsLowerBound) {
+  Histogram h(5.0, 15.0, 10);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+}
+
+TEST(Histogram, ExtremePercentilesTrackOccupiedBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.5);  // bin 2: [2, 3)
+  h.add(7.5);  // bin 7: [7, 8)
+  EXPECT_DOUBLE_EQ(h.percentile(0), 2.0);    // low edge of first occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(100), 8.0);  // high edge of last occupied bin
+}
+
+TEST(Histogram, UnderflowPinsP0ToLo) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 8.0);
+}
+
+TEST(Histogram, OverflowPinsP100ToHi) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.5);
+  h.add(50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, OnlyOverflowPinsBothEndsToHi) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, OnlyUnderflowPinsBothEndsToLo) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+}
+
+TEST(Histogram, PercentileIsClampedOutsideRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.5);
+  EXPECT_DOUBLE_EQ(h.percentile(-10), h.percentile(0));
+  EXPECT_DOUBLE_EQ(h.percentile(200), h.percentile(100));
+}
+
 TEST(Histogram, MergeRequiresSameLayout) {
   Histogram a(0.0, 10.0, 10);
   Histogram b(0.0, 10.0, 5);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+  Histogram wider(0.0, 20.0, 10);
+  EXPECT_THROW(a.merge(wider), std::invalid_argument);
+  Histogram shifted(1.0, 10.0, 10);
+  EXPECT_THROW(a.merge(shifted), std::invalid_argument);
   Histogram c(0.0, 10.0, 10);
   c.add(5.0);
   a.merge(c);
   EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, MergeErrorNamesBothLayouts) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  try {
+    a.merge(b);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x10"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("x5"), std::string::npos) << msg;
+  }
+}
+
+TEST(Histogram, MergeAccumulatesOverflowAndUnderflow) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(-1.0);
+  a.add(5.0);
+  Histogram b(0.0, 10.0, 10);
+  b.add(11.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.bin_value(5), 2u);
 }
 
 TEST(Histogram, ResetClearsEverything) {

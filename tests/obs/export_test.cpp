@@ -1,0 +1,99 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace chameleon::obs {
+namespace {
+
+/// Counter + gauge + histogram with exactly-representable values so the
+/// rendered numbers are stable goldens.
+void populate(MetricsRegistry& reg) {
+  reg.counter("test_requests_total", {{"method", "get"}}, "Total requests.")
+      .inc(3);
+  reg.counter("test_requests_total", {{"method", "put"}}, "Total requests.")
+      .inc(5);
+  reg.gauge("test_temperature").set(21.5);
+  auto& h = reg.histogram("test_latency", 0.0, 4.0, 4);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.5);
+  h.observe(9.0);  // overflow
+}
+
+TEST(RenderPrometheusTest, GoldenOutput) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string expected =
+      "# TYPE test_latency histogram\n"
+      "test_latency_bucket{le=\"1\"} 1\n"
+      "test_latency_bucket{le=\"2\"} 2\n"
+      "test_latency_bucket{le=\"3\"} 2\n"
+      "test_latency_bucket{le=\"4\"} 3\n"
+      "test_latency_bucket{le=\"+Inf\"} 4\n"
+      "test_latency_sum 14.5\n"
+      "test_latency_count 4\n"
+      "# HELP test_requests_total Total requests.\n"
+      "# TYPE test_requests_total counter\n"
+      "test_requests_total{method=\"get\"} 3\n"
+      "test_requests_total{method=\"put\"} 5\n"
+      "# TYPE test_temperature gauge\n"
+      "test_temperature 21.5\n";
+  EXPECT_EQ(render_prometheus(reg), expected);
+}
+
+TEST(RenderPrometheusTest, LabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.counter("esc_total", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string expected =
+      "# TYPE esc_total counter\n"
+      "esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n";
+  EXPECT_EQ(render_prometheus(reg), expected);
+}
+
+TEST(RenderPrometheusTest, EmptyRegistryRendersNothing) {
+  MetricsRegistry reg;
+  EXPECT_EQ(render_prometheus(reg), "");
+}
+
+TEST(RenderJsonTest, GoldenOutput) {
+  MetricsRegistry reg;
+  populate(reg);
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"test_latency\",\"type\":\"histogram\",\"labels\":{},"
+      "\"count\":4,\"sum\":14.5,\"underflow\":0,\"overflow\":1,"
+      "\"buckets\":[[1,1],[2,2],[3,2],[4,3]]},"
+      "{\"name\":\"test_requests_total\",\"type\":\"counter\","
+      "\"help\":\"Total requests.\",\"labels\":{\"method\":\"get\"},"
+      "\"value\":3},"
+      "{\"name\":\"test_requests_total\",\"type\":\"counter\","
+      "\"help\":\"Total requests.\",\"labels\":{\"method\":\"put\"},"
+      "\"value\":5},"
+      "{\"name\":\"test_temperature\",\"type\":\"gauge\",\"labels\":{},"
+      "\"value\":21.5}"
+      "]}";
+  EXPECT_EQ(render_json(reg), expected);
+}
+
+TEST(RenderJsonTest, EmptyRegistryRendersEmptyList) {
+  MetricsRegistry reg;
+  EXPECT_EQ(render_json(reg), "{\"metrics\":[]}");
+}
+
+TEST(RenderPrometheusTest, HistogramWithLabelsAppendsLe) {
+  MetricsRegistry reg;
+  reg.histogram("lbl_latency", 0.0, 2.0, 2, {{"op", "put"}}).observe(0.5);
+  const std::string expected =
+      "# TYPE lbl_latency histogram\n"
+      "lbl_latency_bucket{op=\"put\",le=\"1\"} 1\n"
+      "lbl_latency_bucket{op=\"put\",le=\"2\"} 1\n"
+      "lbl_latency_bucket{op=\"put\",le=\"+Inf\"} 1\n"
+      "lbl_latency_sum{op=\"put\"} 0.5\n"
+      "lbl_latency_count{op=\"put\"} 1\n";
+  EXPECT_EQ(render_prometheus(reg), expected);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace chameleon::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterStartsAtZeroAndIncrements) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("requests_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("hits_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncsPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncsPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGaugeAddsAreExactForSmallIntegers) {
+  MetricsRegistry reg;
+  auto& g = reg.gauge("pool_size");
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kAddsPerThread; ++i) g.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Integer-valued doubles below 2^53 add without rounding, so the CAS loop
+  // must account every increment.
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsRegistryTest, LabelOrderDoesNotCreateNewSeries) {
+  MetricsRegistry reg;
+  reg.counter("ops_total", {{"a", "1"}, {"b", "2"}}).inc();
+  reg.counter("ops_total", {{"b", "2"}, {"a", "1"}}).inc();
+  EXPECT_EQ(reg.series_count(), 1u);
+  EXPECT_EQ(reg.counter("ops_total", {{"a", "1"}, {"b", "2"}}).value(), 2u);
+}
+
+TEST(MetricsRegistryTest, DistinctLabelValuesAreDistinctSeries) {
+  MetricsRegistry reg;
+  reg.counter("ops_total", {{"kind", "read"}}).inc(1);
+  reg.counter("ops_total", {{"kind", "write"}}).inc(2);
+  EXPECT_EQ(reg.series_count(), 2u);
+  EXPECT_EQ(reg.counter("ops_total", {{"kind", "read"}}).value(), 1u);
+  EXPECT_EQ(reg.counter("ops_total", {{"kind", "write"}}).value(), 2u);
+}
+
+TEST(MetricsRegistryTest, DuplicateLabelKeyThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("x_total", {{"k", "1"}, {"k", "2"}}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("mixed");
+  EXPECT_THROW(reg.gauge("mixed"), std::logic_error);
+  EXPECT_THROW(reg.histogram("mixed", 0.0, 1.0, 10), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, HistogramReboundThrows) {
+  MetricsRegistry reg;
+  reg.histogram("lat", 0.0, 100.0, 10);
+  EXPECT_THROW(reg.histogram("lat", 0.0, 200.0, 10), std::logic_error);
+  EXPECT_THROW(reg.histogram("lat", 0.0, 100.0, 20), std::logic_error);
+  // Identical bounds are fine and return the same series.
+  EXPECT_NO_THROW(reg.histogram("lat", 0.0, 100.0, 10));
+}
+
+TEST(MetricsRegistryTest, ResetValuesKeepsHandlesValid) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("c_total");
+  auto& g = reg.gauge("g");
+  auto& h = reg.histogram("h", 0.0, 10.0, 10);
+  c.inc(5);
+  g.set(3.0);
+  h.observe(1.0);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(reg.series_count(), 3u);
+  // The original handles keep working after the reset.
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(reg.counter("c_total").value(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotIsCumulativeWithUnderflowFolded) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", 0.0, 4.0, 4);
+  h.observe(-1.0);  // underflow
+  h.observe(0.5);
+  h.observe(2.5);
+  h.observe(9.0);  // overflow
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.underflow, 1u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 11.0);
+  // Underflow counts toward the first le bucket so buckets + overflow = count.
+  EXPECT_DOUBLE_EQ(snap.cumulative[0].first, 1.0);
+  EXPECT_EQ(snap.cumulative[0].second, 2u);  // underflow + 0.5
+  EXPECT_EQ(snap.cumulative[1].second, 2u);
+  EXPECT_EQ(snap.cumulative[2].second, 3u);  // + 2.5
+  EXPECT_EQ(snap.cumulative[3].second, 3u);  // overflow excluded
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByNameThenLabels) {
+  MetricsRegistry reg;
+  reg.counter("b_total", {{"x", "2"}}).inc();
+  reg.counter("b_total", {{"x", "1"}}).inc();
+  reg.counter("a_total").inc();
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_total");
+  EXPECT_EQ(samples[1].name, "b_total");
+  EXPECT_EQ(samples[1].labels, (Labels{{"x", "1"}}));
+  EXPECT_EQ(samples[2].labels, (Labels{{"x", "2"}}));
+}
+
+TEST(MetricsRegistryTest, HelpIsKeptFromFirstNonEmptyRegistration) {
+  MetricsRegistry reg;
+  reg.counter("documented_total");
+  reg.counter("documented_total", {}, "What it counts");
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].help, "What it counts");
+}
+
+TEST(ObsGlobalsTest, EnabledFlagToggles) {
+  const bool before = enabled();
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(before);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

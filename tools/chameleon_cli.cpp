@@ -8,14 +8,23 @@
 //       replay every Table IV scheme on one workload, side by side
 //   chameleon export-trace workload=<name> out=<file> [scale=0.1]
 //       materialize a preset as an MSR-format CSV trace
+//   chameleon metrics workload=<name> scheme=<name> [out=-] [format=prometheus]
+//       run one experiment with the metrics registry on and export it
+//   chameleon trace workload=<name> scheme=<name> [out=-] [capacity=65536]
+//       run one experiment with event tracing on and export the JSONL stream
 //   chameleon schemes
 //       list the Table IV schemes
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 #include "workload/registry.hpp"
@@ -138,6 +147,65 @@ int cmd_compare(const Config& config) {
   return 0;
 }
 
+/// Stream `body` to the `out=` destination ('-' or absent means stdout).
+int write_output(const Config& config, const std::function<void(std::ostream&)>& body) {
+  const std::string out = config.get_string("out", "-");
+  if (out == "-") {
+    body(std::cout);
+    return 0;
+  }
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", out.c_str());
+    return 1;
+  }
+  body(file);
+  std::fprintf(stderr, "wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_metrics(const Config& config) {
+  auto cfg = config_from(config);
+  cfg.scheme = parse_scheme(config.get_string("scheme", "chameleon-ec"));
+  const std::string format = config.get_string("format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    throw std::invalid_argument("format must be 'prometheus' or 'json'");
+  }
+  obs::set_enabled(true);
+  std::fprintf(stderr, "simulating %s / %s at scale %.3g (metrics on)...\n",
+               cfg.workload.c_str(), sim::scheme_name(cfg.scheme), cfg.scale);
+  const auto r = sim::run_experiment(cfg);
+  std::fprintf(stderr, "%s\n", sim::summary_line(r).c_str());
+  return write_output(config, [&format](std::ostream& out) {
+    out << (format == "json" ? obs::render_json(obs::metrics())
+                             : obs::render_prometheus(obs::metrics()));
+  });
+}
+
+int cmd_trace(const Config& config) {
+  auto cfg = config_from(config);
+  cfg.scheme = parse_scheme(config.get_string("scheme", "chameleon-ec"));
+  obs::set_enabled(true);
+  auto& sink = obs::trace();
+  sink.set_enabled(true);
+  if (const auto cap = config.get_int("capacity", 0); cap > 0) {
+    sink.set_capacity(static_cast<std::size_t>(cap));
+  }
+  std::fprintf(stderr, "simulating %s / %s at scale %.3g (tracing on)...\n",
+               cfg.workload.c_str(), sim::scheme_name(cfg.scheme), cfg.scale);
+  const auto r = sim::run_experiment(cfg);
+  std::fprintf(stderr, "%s\n", sim::summary_line(r).c_str());
+  if (sink.dropped() > 0) {
+    std::fprintf(stderr,
+                 "note: ring kept the newest %llu of %llu events (raise "
+                 "capacity= to keep more)\n",
+                 static_cast<unsigned long long>(sink.size()),
+                 static_cast<unsigned long long>(sink.recorded()));
+  }
+  return write_output(
+      config, [&sink](std::ostream& out) { sink.write_jsonl(out); });
+}
+
 int cmd_export_trace(const Config& config) {
   const std::string workload = config.get_string("workload", "ycsb-zipf");
   const std::string out = config.get_string("out", workload + ".csv");
@@ -159,7 +227,12 @@ void usage() {
                "  schemes                        list Table IV schemes\n"
                "  simulate workload= scheme=     run one experiment\n"
                "  compare workload=              run every scheme\n"
-               "  export-trace workload= out=    write an MSR-format CSV\n");
+               "  export-trace workload= out=    write an MSR-format CSV\n"
+               "  metrics workload= scheme= [out=-] [format=prometheus|json]\n"
+               "                                 run with metrics, export them\n"
+               "  trace workload= scheme= [out=-] [capacity=65536]\n"
+               "                                 run with tracing, export "
+               "JSONL events\n");
 }
 
 }  // namespace
@@ -178,6 +251,8 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(config);
     if (command == "compare") return cmd_compare(config);
     if (command == "export-trace") return cmd_export_trace(config);
+    if (command == "metrics") return cmd_metrics(config);
+    if (command == "trace") return cmd_trace(config);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     usage();
     return 2;
