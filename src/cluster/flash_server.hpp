@@ -42,10 +42,12 @@ class FlashServer {
   Nanos write_fragment(
       FragmentKey key, std::uint64_t bytes,
       flashsim::StreamHint hint = flashsim::StreamHint::kDefault) {
-    return log_.write_object(key, bytes, hint).latency;
+    return log_.write_object(key, bytes, hint).latency + stall_penalty_;
   }
 
-  Nanos read_fragment(FragmentKey key) { return log_.read_object(key).latency; }
+  Nanos read_fragment(FragmentKey key) {
+    return log_.read_object(key).latency + stall_penalty_;
+  }
 
   /// Invalidate a fragment (trim; no flash writes). Returns pages released.
   std::uint32_t remove_fragment(FragmentKey key) {
@@ -72,9 +74,15 @@ class FlashServer {
   const flashsim::LocalLog& log() const { return log_; }
   flashsim::LocalLog& log() { return log_; }
 
+  /// Fault injection: model a transiently slow node (degraded NIC, firmware
+  /// hiccup) by inflating every fragment read/write by `penalty`. 0 clears.
+  void set_stall_penalty(Nanos penalty) { stall_penalty_ = penalty; }
+  Nanos stall_penalty() const { return stall_penalty_; }
+
  private:
   ServerId id_;
   flashsim::LocalLog log_;
+  Nanos stall_penalty_ = 0;
 };
 
 }  // namespace chameleon::cluster

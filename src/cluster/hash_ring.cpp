@@ -34,6 +34,11 @@ void HashRing::add_server(ServerId id) {
   ++server_count_;
 }
 
+bool HashRing::contains(ServerId id) const {
+  return std::any_of(points_.begin(), points_.end(),
+                     [id](const Point& p) { return p.server == id; });
+}
+
 void HashRing::remove_server(ServerId id) {
   const auto new_end = std::remove_if(
       points_.begin(), points_.end(),

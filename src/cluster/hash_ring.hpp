@@ -17,6 +17,8 @@ class HashRing {
 
   void add_server(ServerId id);
   void remove_server(ServerId id);
+  /// True when `id` currently owns points on the ring.
+  bool contains(ServerId id) const;
 
   /// Owner of a key: first ring point clockwise from the key's hash.
   ServerId primary(std::uint64_t key_hash) const;

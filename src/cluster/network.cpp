@@ -53,13 +53,53 @@ const TrafficCounters& traffic_counters() {
 
 }  // namespace
 
+namespace {
+
+void count_net_fault(const char* kind) {
+  if (!obs::enabled()) return;
+  // One cached handle per fault kind; these are the only three call sites.
+  auto& counter = obs::metrics().counter("chameleon_fault_injected_total",
+                                         {{"kind", kind}},
+                                         "Injected faults fired, by kind");
+  counter.inc();
+}
+
+}  // namespace
+
 Nanos Network::transfer(Traffic kind, std::uint64_t bytes) {
-  bytes_[static_cast<std::size_t>(kind)] += bytes;
-  ++messages_[static_cast<std::size_t>(kind)];
+  Nanos fault_delay = 0;
+  bool duplicated = false;
+  if (faults_armed_ && faults_.affects(kind)) {
+    // Fixed roll order (drop, delay, duplicate) keeps the RNG stream — and
+    // therefore the whole fault sequence — reproducible for a given seed.
+    const bool drop = fault_rng_.next_bool(faults_.drop_prob);
+    const bool delay = fault_rng_.next_bool(faults_.delay_prob);
+    duplicated = fault_rng_.next_bool(faults_.duplicate_prob);
+    if (drop) {
+      ++dropped_messages_;
+      count_net_fault("net_drop");
+      throw NetworkDropped(kind);
+    }
+    if (delay) {
+      ++delayed_messages_;
+      fault_delay = faults_.extra_delay;
+      count_net_fault("net_delay");
+    }
+    if (duplicated) {
+      ++duplicated_messages_;
+      count_net_fault("net_duplicate");
+    }
+  }
+  // A duplicated message consumes the wire twice (bytes and message count)
+  // but completes when the first copy lands, so latency is unaffected.
+  const std::uint64_t wire_bytes = duplicated ? 2 * bytes : bytes;
+  const std::uint64_t wire_messages = duplicated ? 2 : 1;
+  bytes_[static_cast<std::size_t>(kind)] += wire_bytes;
+  messages_[static_cast<std::size_t>(kind)] += wire_messages;
   if (obs::enabled()) {
     const auto& counters = traffic_counters();
-    counters.bytes[static_cast<std::size_t>(kind)]->inc(bytes);
-    counters.messages[static_cast<std::size_t>(kind)]->inc();
+    counters.bytes[static_cast<std::size_t>(kind)]->inc(wire_bytes);
+    counters.messages[static_cast<std::size_t>(kind)]->inc(wire_messages);
     auto& sink = obs::trace();
     if (sink.accepts(obs::TraceType::kMessageSend)) {
       obs::TraceEvent e;
@@ -71,7 +111,7 @@ Nanos Network::transfer(Traffic kind, std::uint64_t bytes) {
   }
   const double seconds =
       static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
-  return config_.per_message_overhead +
+  return config_.per_message_overhead + fault_delay +
          static_cast<Nanos>(std::llround(seconds * 1e9));
 }
 

@@ -7,6 +7,8 @@
 #include <array>
 #include <cstdint>
 
+#include "common/faults.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 
 namespace chameleon::cluster {
@@ -32,12 +34,55 @@ struct NetworkConfig {
   Nanos per_message_overhead = 10 * kMicrosecond;
 };
 
+/// Thrown by transfer() when an armed fault plan drops the message. Callers
+/// treat it like a lost datagram: the bytes never arrived, retry or degrade.
+struct NetworkDropped : TransientFault {
+  explicit NetworkDropped(Traffic dropped)
+      : TransientFault(std::string("network message dropped: ") +
+                       traffic_name(dropped)),
+        kind(dropped) {}
+  Traffic kind;
+};
+
+/// Deterministic message-level fault plan. Each transfer of a masked traffic
+/// class independently rolls drop, then delay, then duplication against a
+/// seeded RNG; a fixed transfer sequence yields an identical fault sequence.
+struct NetworkFaultPlan {
+  double drop_prob = 0.0;       ///< message lost; transfer() throws
+  double delay_prob = 0.0;      ///< message stalled by extra_delay
+  Nanos extra_delay = 0;
+  double duplicate_prob = 0.0;  ///< message retransmitted (bytes counted 2x)
+  /// Bitmask of affected Traffic classes (bit i = class i). Default: all.
+  std::uint64_t traffic_mask = ~std::uint64_t{0};
+
+  bool affects(Traffic kind) const {
+    return (traffic_mask & (std::uint64_t{1} << static_cast<std::size_t>(
+                                kind))) != 0;
+  }
+};
+
 class Network {
  public:
   explicit Network(const NetworkConfig& config = {}) : config_(config) {}
 
-  /// Account one transfer and return its modeled latency.
+  /// Account one transfer and return its modeled latency. With an armed
+  /// fault plan this may throw NetworkDropped (drop), inflate the returned
+  /// latency (delay), or account an extra message (duplication).
   Nanos transfer(Traffic kind, std::uint64_t bytes);
+
+  /// Arm deterministic message faults; replaces any previous plan.
+  void arm_faults(const NetworkFaultPlan& plan, std::uint64_t seed) {
+    faults_ = plan;
+    fault_rng_ = Xoshiro256(seed);
+    faults_armed_ = plan.drop_prob > 0.0 || plan.delay_prob > 0.0 ||
+                    plan.duplicate_prob > 0.0;
+  }
+  void disarm_faults() { faults_armed_ = false; }
+  bool faults_armed() const { return faults_armed_; }
+
+  std::uint64_t dropped_messages() const { return dropped_messages_; }
+  std::uint64_t delayed_messages() const { return delayed_messages_; }
+  std::uint64_t duplicated_messages() const { return duplicated_messages_; }
 
   std::uint64_t bytes(Traffic kind) const {
     return bytes_[static_cast<std::size_t>(kind)];
@@ -57,6 +102,13 @@ class Network {
   std::array<std::uint64_t, static_cast<std::size_t>(Traffic::kCount)> bytes_{};
   std::array<std::uint64_t, static_cast<std::size_t>(Traffic::kCount)>
       messages_{};
+
+  NetworkFaultPlan faults_;
+  Xoshiro256 fault_rng_{0};
+  bool faults_armed_ = false;
+  std::uint64_t dropped_messages_ = 0;
+  std::uint64_t delayed_messages_ = 0;
+  std::uint64_t duplicated_messages_ = 0;
 };
 
 }  // namespace chameleon::cluster

@@ -1,0 +1,17 @@
+// Transient-fault taxonomy root. Every injectable, retryable failure in the
+// stack (network drop, uncorrectable device read, transient program failure,
+// unreachable fragment) derives from TransientFault, so the client retry
+// policy can distinguish "retry this" from genuine programming errors
+// (std::logic_error / std::out_of_range), which it must never swallow.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace chameleon {
+
+struct TransientFault : std::runtime_error {
+  explicit TransientFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace chameleon

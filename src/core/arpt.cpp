@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/faults.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -75,22 +76,41 @@ double mean_of(const std::vector<double>& v) {
   return s.mean();
 }
 
-/// Servers with the n smallest (or largest) projected erase counts.
+/// Eligible servers with the n smallest (or largest) projected erase counts.
+/// Returns fewer than n when the excluded set leaves too few candidates —
+/// callers must check the size before using the result as a placement set.
 std::vector<ServerId> extreme_servers(const std::vector<double>& est,
-                                      std::size_t n, bool smallest) {
-  std::vector<ServerId> ids(est.size());
+                                      std::size_t n, bool smallest,
+                                      const std::set<ServerId>& excluded) {
+  std::vector<ServerId> ids;
+  ids.reserve(est.size());
   for (std::size_t i = 0; i < est.size(); ++i) {
-    ids[i] = static_cast<ServerId>(i);
+    const auto id = static_cast<ServerId>(i);
+    if (!excluded.contains(id)) ids.push_back(id);
+  }
+  const auto cmp = [&](ServerId a, ServerId b) {
+    if (est[a] != est[b]) {
+      return smallest ? est[a] < est[b] : est[a] > est[b];
+    }
+    return a < b;
+  };
+  if (ids.size() <= n) {
+    std::sort(ids.begin(), ids.end(), cmp);
+    return ids;
   }
   std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(n),
-                    ids.end(), [&](ServerId a, ServerId b) {
-                      if (est[a] != est[b]) {
-                        return smallest ? est[a] < est[b] : est[a] > est[b];
-                      }
-                      return a < b;
-                    });
+                    ids.end(), cmp);
   ids.resize(n);
   return ids;
+}
+
+/// Does the proposed destination set touch an excluded (unhealthy) server?
+bool touches_excluded(const ServerSet& dst,
+                      const std::set<ServerId>& excluded) {
+  for (const ServerId s : dst) {
+    if (excluded.contains(s)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -109,7 +129,8 @@ double Arpt::effective_hot_threshold(Epoch now) const {
 }
 
 ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
-                     const WearEstimator& estimator) {
+                     const WearEstimator& estimator,
+                     const std::set<ServerId>& excluded) {
   ArptReport report;
   report.triggered = true;
 
@@ -246,9 +267,12 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
         static_cast<double>(store_.config().ec_total);
     const double extra_volume = c.heat * std::max(0.0, rep_pages - ec_pages);
     if (volume_spent + extra_volume > volume_budget) continue;
+    const ServerSet dst = store_.place(c.oid, RedState::kRep);
+    // Unhealthy default destination: defer the upgrade to a later round
+    // rather than arm a transition that would write to a dead/suspect host.
+    if (touches_excluded(dst, excluded)) continue;
     volume_spent += extra_volume;
     projected_util += extra / cluster_logical_bytes;
-    const ServerSet dst = store_.place(c.oid, RedState::kRep);
     store_.table().mutate(c.oid, [&](ObjectMeta& m) {
       if (m.state != RedState::kEc) return;
       m.state = RedState::kLateRep;
@@ -268,6 +292,7 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
 
   for (const auto& c : to_late_ec) {
     const ServerSet dst = store_.place(c.oid, RedState::kEc);
+    if (touches_excluded(dst, excluded)) continue;
     store_.table().mutate(c.oid, [&](ObjectMeta& m) {
       if (m.state != RedState::kRep) return;
       m.state = RedState::kLateEc;
@@ -311,15 +336,20 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     if (hot_i < to_late_rep.size()) {
       const auto& c = to_late_rep[hot_i++];
       // X: the replica-set-many servers with the fewest projected erases.
-      const auto x_servers =
-          extreme_servers(est, store_.config().replicas, /*smallest=*/true);
+      const auto x_servers = extreme_servers(est, store_.config().replicas,
+                                             /*smallest=*/true, excluded);
       ServerSet dst;
       for (const ServerId s : x_servers) dst.push_back(s);
       const auto live = store_.table().get(c.oid);
-      if (live && live->state == RedState::kLateRep && has_space(dst)) {
+      if (dst.size() == store_.config().replicas && live &&
+          live->state == RedState::kLateRep && has_space(dst)) {
         if (opts_.eager_conversions) {
-          store_.convert(c.oid, RedState::kRep, dst,
-                         cluster::Traffic::kConversion);
+          try {
+            store_.convert(c.oid, RedState::kRep, dst,
+                           cluster::Traffic::kConversion, now);
+          } catch (const TransientFault&) {
+            continue;  // injected fault: the object stays late-REP, retried
+          }
           ++report.eager_conversions;
         } else {
           store_.table().mutate(c.oid,
@@ -342,15 +372,20 @@ ArptReport Arpt::run(Epoch now, const std::vector<ServerWearInfo>& wear,
     if (cold_i < to_late_ec.size()) {
       const auto& c = to_late_ec[cold_i++];
       // Y: the stripe-set-many servers with the most projected erases.
-      const auto y_servers =
-          extreme_servers(est, store_.config().ec_total, /*smallest=*/false);
+      const auto y_servers = extreme_servers(est, store_.config().ec_total,
+                                             /*smallest=*/false, excluded);
       ServerSet dst;
       for (const ServerId s : y_servers) dst.push_back(s);
       const auto live = store_.table().get(c.oid);
-      if (live && live->state == RedState::kLateEc && has_space(dst)) {
+      if (dst.size() == store_.config().ec_total && live &&
+          live->state == RedState::kLateEc && has_space(dst)) {
         if (opts_.eager_conversions) {
-          store_.convert(c.oid, RedState::kEc, dst,
-                         cluster::Traffic::kConversion);
+          try {
+            store_.convert(c.oid, RedState::kEc, dst,
+                           cluster::Traffic::kConversion, now);
+          } catch (const TransientFault&) {
+            continue;
+          }
           ++report.eager_conversions;
         } else {
           store_.table().mutate(c.oid,

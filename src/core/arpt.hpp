@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "core/flash_monitor.hpp"
@@ -42,9 +43,13 @@ class Arpt {
       : store_(store), opts_(opts) {}
 
   /// Run one ARPT round. `wear` comes from the flash monitor; `estimator`
-  /// must already be update()d with it.
+  /// must already be update()d with it. Servers in `excluded` (dead,
+  /// suspect, or repair-pending) are never chosen as transition
+  /// destinations; candidates whose destination would touch one are
+  /// deferred to a later round.
   ArptReport run(Epoch now, const std::vector<ServerWearInfo>& wear,
-                 const WearEstimator& estimator);
+                 const WearEstimator& estimator,
+                 const std::set<ServerId>& excluded = {});
 
  private:
   struct ScreenedCandidate {

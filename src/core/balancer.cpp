@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/faults.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -105,7 +106,8 @@ Balancer::Balancer(kv::KvStore& store, const ChameleonOptions& opts)
       arpt_(store, opts_),
       hcds_(store, opts_) {}
 
-void Balancer::resolve_stale(Epoch now, EpochSnapshot& snap) {
+void Balancer::resolve_stale(Epoch now, EpochSnapshot& snap,
+                             const std::set<ServerId>& excluded) {
   if (now < opts_.cold_resolve_epochs) return;
   const Epoch cutoff = now - opts_.cold_resolve_epochs;
 
@@ -144,6 +146,12 @@ void Balancer::resolve_stale(Epoch now, EpochSnapshot& snap) {
     }
     return false;
   };
+  const auto dst_unhealthy = [&excluded](const meta::ServerSet& dst) {
+    for (const ServerId sid : dst) {
+      if (excluded.contains(sid)) return true;
+    }
+    return false;
+  };
 
   for (const Stale& s : stale) {
     const auto live = store_.table().get(s.oid);
@@ -167,19 +175,28 @@ void Balancer::resolve_stale(Epoch now, EpochSnapshot& snap) {
       case RedState::kLateEc:
         // Cold data headed for EC: encode it eagerly — waiting longer only
         // prolongs the wear imbalance (paper §III-B2, cold-stripe migration).
-        if (eager_done < eager_cap) {
-          store_.convert(s.oid, RedState::kEc, s.dst,
-                         cluster::Traffic::kConversion);
+        if (eager_done < eager_cap && !dst_unhealthy(s.dst)) {
+          try {
+            store_.convert(s.oid, RedState::kEc, s.dst,
+                           cluster::Traffic::kConversion, now);
+          } catch (const TransientFault&) {
+            break;  // injected fault mid-move: still pending, retry next epoch
+          }
           ++snap.cold_materialized;
           ++eager_done;
         }
         break;
       case RedState::kEcEwo:
-        if (eager_done < eager_cap) {
-          store_.relocate(s.oid, s.dst, cluster::Traffic::kSwap);
+        if (eager_done < eager_cap && !dst_unhealthy(s.dst)) {
+          try {
+            store_.relocate(s.oid, s.dst, cluster::Traffic::kSwap, now);
+          } catch (const TransientFault&) {
+            break;
+          }
           ++snap.cold_materialized;
           ++eager_done;
-        } else if (now >= s.since + 2 * opts_.cold_resolve_epochs) {
+        } else if (eager_done >= eager_cap &&
+                   now >= s.since + 2 * opts_.cold_resolve_epochs) {
           // The eager budget cannot keep up and the swap decision has gone
           // stale (wear has evolved since); cancel in place so the pending
           // pool does not block fresh HCDS decisions.
@@ -226,7 +243,7 @@ void Balancer::resolve_stale(Epoch now, EpochSnapshot& snap) {
   }
 }
 
-void Balancer::on_epoch(Epoch now) {
+void Balancer::on_epoch(Epoch now, const std::set<ServerId>& excluded) {
   EpochSnapshot snap;
   snap.epoch = now;
 
@@ -260,7 +277,7 @@ void Balancer::on_epoch(Epoch now) {
   }
 
   // 3. Resolve transitions that have waited too long for a write.
-  resolve_stale(now, snap);
+  resolve_stale(now, snap, excluded);
 
   // 4. Trigger the balancing algorithms on the wear-variance thresholds.
   RunningStats erase_stats;
@@ -277,10 +294,10 @@ void Balancer::on_epoch(Epoch now) {
                                     : opts_.sigma_hcds_cv * mean;
 
   if (opts_.enable_arpt && mean > 0.0 && sigma > arpt_threshold) {
-    snap.arpt = arpt_.run(now, wear, estimator_);
+    snap.arpt = arpt_.run(now, wear, estimator_, excluded);
   }
   if (opts_.enable_hcds && mean > 0.0 && sigma > hcds_threshold) {
-    snap.hcds = hcds_.run(now, wear, estimator_);
+    snap.hcds = hcds_.run(now, wear, estimator_, excluded);
   }
 
   // 5. Periodic epoch-log compaction (Fig 3).

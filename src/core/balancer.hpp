@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "core/arpt.hpp"
@@ -38,7 +39,13 @@ class Balancer {
   Balancer(kv::KvStore& store, const ChameleonOptions& opts);
 
   /// Epoch-boundary hook; call once per epoch with the new epoch index.
-  void on_epoch(Epoch now);
+  void on_epoch(Epoch now) { on_epoch(now, {}); }
+
+  /// Same, but with a set of servers that must not be picked as placement
+  /// destinations this epoch (dead, suspect, or repair-pending — supplied by
+  /// the supervisor). Moves whose destination intersects the set are simply
+  /// deferred; they retry on a later epoch once the server is healthy.
+  void on_epoch(Epoch now, const std::set<ServerId>& excluded);
 
   const std::vector<EpochSnapshot>& timeline() const { return timeline_; }
   const ChameleonOptions& options() const { return opts_; }
@@ -48,8 +55,11 @@ class Balancer {
   /// Resolve intermediate-state objects that have not been written since
   /// they were scheduled (opts_.cold_resolve_epochs ago): pending-EC data is
   /// materialized eagerly (the paper's cold-stripe migration), pending-REP
-  /// data is cancelled back to its current scheme (Fig 3).
-  void resolve_stale(Epoch now, EpochSnapshot& snap);
+  /// data is cancelled back to its current scheme (Fig 3). Materializations
+  /// whose destination intersects `excluded` (or that hit an injected
+  /// transient fault) stay pending and retry next epoch.
+  void resolve_stale(Epoch now, EpochSnapshot& snap,
+                     const std::set<ServerId>& excluded);
 
   kv::KvStore& store_;
   ChameleonOptions opts_;

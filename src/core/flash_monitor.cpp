@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cluster/messages.hpp"
+#include "common/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -45,7 +46,14 @@ std::vector<ServerWearInfo> FlashMonitor::collect(Epoch now) {
       msg.victim_utilization_q = static_cast<std::uint32_t>(
           std::lround(info.victim_utilization * 1e4));
       const std::size_t wire_bytes = msg.serialize().size();
-      cluster_.network().transfer(cluster::Traffic::kHeartbeat, wire_bytes);
+      try {
+        cluster_.network().transfer(cluster::Traffic::kHeartbeat, wire_bytes);
+      } catch (const TransientFault&) {
+        // Heartbeat dropped on the wire. The wear numbers come straight from
+        // the device counters, so the control loop keeps running on slightly
+        // stale remote state rather than aborting the whole epoch.
+        continue;
+      }
       if (obs::enabled()) {
         static auto& heartbeats = obs::metrics().counter(
             "chameleon_heartbeats_total", {},

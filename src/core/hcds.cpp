@@ -1,7 +1,9 @@
 #include "core/hcds.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/faults.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -26,18 +28,26 @@ double mean_of(const std::vector<double>& v) {
   return s.mean();
 }
 
-ServerId argmax(const std::vector<double>& v) {
-  ServerId best = 0;
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    if (v[i] > v[best]) best = static_cast<ServerId>(i);
+/// Most/least-worn server among those not excluded; nullopt when the
+/// excluded set covers every server.
+std::optional<ServerId> argmax(const std::vector<double>& v,
+                               const std::set<ServerId>& excluded) {
+  std::optional<ServerId> best;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const auto id = static_cast<ServerId>(i);
+    if (excluded.contains(id)) continue;
+    if (!best || v[i] > v[*best]) best = id;
   }
   return best;
 }
 
-ServerId argmin(const std::vector<double>& v) {
-  ServerId best = 0;
-  for (std::size_t i = 1; i < v.size(); ++i) {
-    if (v[i] < v[best]) best = static_cast<ServerId>(i);
+std::optional<ServerId> argmin(const std::vector<double>& v,
+                               const std::set<ServerId>& excluded) {
+  std::optional<ServerId> best;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const auto id = static_cast<ServerId>(i);
+    if (excluded.contains(id)) continue;
+    if (!best || v[i] < v[*best]) best = id;
   }
   return best;
 }
@@ -80,7 +90,11 @@ bool Hcds::schedule_move(const Candidate& c, ServerId from, ServerId to,
   };
 
   if (opts_.eager_conversions) {
-    store_.relocate(c.oid, dst, cluster::Traffic::kSwap);
+    try {
+      store_.relocate(c.oid, dst, cluster::Traffic::kSwap, now);
+    } catch (const TransientFault&) {
+      return false;  // injected fault mid-move: leave the object in place
+    }
     ++report.eager_relocations;
     if (obs::enabled()) record_swap(live->state);
     return true;
@@ -101,7 +115,8 @@ bool Hcds::schedule_move(const Candidate& c, ServerId from, ServerId to,
 }
 
 HcdsReport Hcds::run(Epoch now, const std::vector<ServerWearInfo>& wear,
-                     const WearEstimator& estimator) {
+                     const WearEstimator& estimator,
+                     const std::set<ServerId>& excluded) {
   HcdsReport report;
   report.triggered = true;
 
@@ -135,9 +150,11 @@ HcdsReport Hcds::run(Epoch now, const std::vector<ServerWearInfo>& wear,
   swap_cap = std::min(swap_cap, headroom);
 
   while (sigma > target && report.swaps < swap_cap) {
-    const ServerId x = argmax(est);  // most worn
-    const ServerId y = argmin(est);  // least worn
-    if (x == y) break;
+    const auto x_pick = argmax(est, excluded);  // most worn
+    const auto y_pick = argmin(est, excluded);  // least worn
+    if (!x_pick || !y_pick || *x_pick == *y_pick) break;
+    const ServerId x = *x_pick;
+    const ServerId y = *y_pick;
 
     const Candidate* hot = index.take_hottest(x, y, store_.table());
     bool progressed = false;

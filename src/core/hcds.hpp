@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "core/candidate_index.hpp"
@@ -32,8 +33,12 @@ class Hcds {
   Hcds(kv::KvStore& store, const ChameleonOptions& opts)
       : store_(store), opts_(opts) {}
 
+  /// Run one HCDS round. Servers in `excluded` (dead, suspect, or
+  /// repair-pending) take no part in the swap: they are neither picked as
+  /// the worn/fresh extreme nor used as a swap destination.
   HcdsReport run(Epoch now, const std::vector<ServerWearInfo>& wear,
-                 const WearEstimator& estimator);
+                 const WearEstimator& estimator,
+                 const std::set<ServerId>& excluded = {});
 
  private:
   /// Schedule one object's fragment on `from` to move to `to`. Returns true

@@ -14,9 +14,35 @@ Supervisor::Supervisor(kv::KvStore& store, const ChameleonOptions& options,
       balancer_(store, options),
       repair_(store) {}
 
-void Supervisor::recover_server(ServerId server) {
+void Supervisor::rejoin_server(ServerId server, Nanos now) {
+  // One atomic transition across all three liveness views: the local
+  // heartbeat mark, the repair manager's dead set, and the membership
+  // lease + placement ring. (An interrupted repair of this server stays
+  // pending — fragments its wipe took still need rebuilding.)
   failed_.erase(server);
   repair_.mark_recovered(server);
+  membership_.rejoin(server, now);
+  auto& ring = store_.cluster().ring();
+  if (!ring.contains(server)) ring.add_server(server);
+}
+
+std::set<ServerId> Supervisor::suspect_servers() const {
+  std::set<ServerId> suspects;
+  for (const ServerId s : failed_) {
+    if (membership_.is_live(s)) suspects.insert(s);
+  }
+  return suspects;
+}
+
+std::set<ServerId> Supervisor::excluded_servers() const {
+  std::set<ServerId> excluded = failed_;
+  const auto& dead = membership_.dead_servers();
+  excluded.insert(dead.begin(), dead.end());
+  const auto& repairing = repair_.failed_servers();
+  excluded.insert(repairing.begin(), repairing.end());
+  const auto& pending = repair_.pending_repairs();
+  excluded.insert(pending.begin(), pending.end());
+  return excluded;
 }
 
 SupervisorEpochReport Supervisor::on_epoch(Epoch epoch, Nanos now) {
@@ -35,18 +61,21 @@ SupervisorEpochReport Supervisor::on_epoch(Epoch epoch, Nanos now) {
     handle_failure(dead, epoch, &report);
   }
 
-  // 3. Recovered servers rejoin membership and the placement ring.
+  // 2b. Re-run repairs a coordinator crash or transient fault interrupted.
+  report.repairs_resumed = repair_.resume_pending(epoch);
+
+  // 3. Recovered servers rejoin membership and the placement ring through
+  // the one atomic rejoin path.
   for (ServerId s = 0; s < store_.cluster().size(); ++s) {
-    if (!failed_.contains(s) && !membership_.is_live(s) &&
-        !repair_.failed_servers().contains(s)) {
-      membership_.rejoin(s, now);
-      store_.cluster().ring().add_server(s);
+    if (!failed_.contains(s) && !membership_.is_live(s)) {
+      rejoin_server(s, now);
     }
   }
 
-  // 4. Wear balancing on whoever coordinates now.
+  // 4. Wear balancing on whoever coordinates now; dead and suspect servers
+  // are not eligible placement destinations this epoch.
   report.coordinator = membership_.coordinator();
-  balancer_.on_epoch(epoch);
+  balancer_.on_epoch(epoch, excluded_servers());
   if (obs::enabled()) {
     obs::metrics()
         .gauge("chameleon_coordinator", {},

@@ -18,6 +18,7 @@ struct SupervisorEpochReport {
   Epoch epoch = 0;
   std::vector<ServerId> failures_detected;
   std::size_t fragments_rebuilt = 0;
+  std::size_t repairs_resumed = 0;  ///< interrupted repair passes re-run
   ServerId coordinator = 0;
 };
 
@@ -30,9 +31,26 @@ class Supervisor {
   /// (detection happens once its lease lapses on a later epoch).
   void fail_server(ServerId server) { failed_.insert(server); }
 
-  /// A replaced server comes back (empty); it resumes heartbeating and is
-  /// eligible as a repair target again.
-  void recover_server(ServerId server);
+  /// A replaced server comes back (empty); it resumes heartbeating, and —
+  /// once it was declared dead — is re-admitted by rejoin_server() on the
+  /// next epoch.
+  void recover_server(ServerId server) { failed_.erase(server); }
+
+  /// THE rejoin path: atomically clears the local failed_ mark, tells the
+  /// repair manager the server is a valid replacement target again,
+  /// re-admits the membership lease, and restores the placement-ring entry.
+  /// Every rejoin (operator recovery, epoch-loop re-admission) goes through
+  /// here so the three liveness views can never disagree.
+  void rejoin_server(ServerId server, Nanos now);
+
+  /// Servers that stopped heartbeating but whose lease has not lapsed yet
+  /// (e.g. a transiently stalled node). They are avoided as placement
+  /// destinations and excluded by hedged reads, but hold their data.
+  std::set<ServerId> suspect_servers() const;
+
+  /// Everything the balancer must not pick as a placement destination:
+  /// suspects, declared-dead servers, and servers whose repair is pending.
+  std::set<ServerId> excluded_servers() const;
 
   /// One epoch: heartbeats from live servers, failure detection + repair,
   /// then wear balancing. `now` is the virtual time of the epoch boundary.

@@ -1,0 +1,46 @@
+#include "fault/digest.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::fault {
+
+std::uint64_t cluster_digest(kv::KvStore& store) {
+  std::vector<meta::ObjectMeta> metas;
+  store.table().for_each(
+      [&](const meta::ObjectMeta& m) { metas.push_back(m); });
+  std::sort(metas.begin(), metas.end(),
+            [](const meta::ObjectMeta& a, const meta::ObjectMeta& b) {
+              return a.oid < b.oid;
+            });
+
+  auto& cluster = store.cluster();
+  std::uint64_t h = fnv1a64(static_cast<std::uint64_t>(metas.size()));
+  for (const meta::ObjectMeta& m : metas) {
+    h = fnv1a64_continue(h, m.oid);
+    h = fnv1a64_continue(h, m.size_bytes);
+    h = fnv1a64_continue(h, static_cast<std::uint64_t>(m.state));
+    h = fnv1a64_continue(h, m.placement_version);
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      const ServerId s = m.src[i];
+      h = fnv1a64_continue(h, s);
+      // Fragment presence distinguishes a fully-materialized object from a
+      // torn one whose placement merely points at the server.
+      const bool present = cluster.server(s).has_fragment(
+          cluster::fragment_key(m.oid, m.placement_version, i));
+      h = fnv1a64_continue(h, present ? 1 : 0);
+    }
+    for (const ServerId s : m.dst) h = fnv1a64_continue(h, s);
+  }
+  for (ServerId s = 0; s < cluster.size(); ++s) {
+    const auto& server = cluster.server(s);
+    h = fnv1a64_continue(h, server.fragment_count());
+    h = fnv1a64_continue(h, server.log().stored_pages());
+    h = fnv1a64_continue(h, server.total_erases());
+  }
+  return mix64(h);
+}
+
+}  // namespace chameleon::fault

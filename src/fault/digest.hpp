@@ -1,0 +1,16 @@
+// State digest for determinism checks: one 64-bit FNV-1a fingerprint over
+// the whole cluster-visible state — every object's metadata (sorted by id)
+// plus each server's fragment presence, stored pages and erase history.
+// Two runs of the same (workload seed, fault schedule) must produce equal
+// digests; a mismatch means nondeterminism leaked into the simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "kv/kv_store.hpp"
+
+namespace chameleon::fault {
+
+std::uint64_t cluster_digest(kv::KvStore& store);
+
+}  // namespace chameleon::fault

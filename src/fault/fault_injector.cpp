@@ -1,0 +1,289 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/fnv.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace chameleon::fault {
+
+namespace {
+
+/// Default stall penalty when the schedule does not specify one: enough to
+/// blow any sane per-op timeout without freezing the simulated run.
+constexpr Nanos kDefaultStallPenalty = 2 * kMillisecond;
+
+/// Crash-family kinds ARE the fault firing (there is no per-message or
+/// per-I/O roll behind them), so the injector counts them into
+/// chameleon_fault_injected_total directly. Probabilistic kinds only *arm*
+/// here; the network / FTL hooks count each actual fire.
+bool counts_as_fire(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRejoin:
+    case FaultKind::kStall:
+    case FaultKind::kCrashDuringRepair:
+    case FaultKind::kCrashDuringTransition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(core::Supervisor& supervisor, kv::KvStore& store,
+                             FaultSchedule schedule)
+    : supervisor_(supervisor), store_(store), schedule_(std::move(schedule)) {
+  std::stable_sort(schedule_.events.begin(), schedule_.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::uint64_t FaultInjector::next_arm_seed() {
+  // Each (re)arming gets a fresh, schedule-derived stream: identical
+  // schedules arm identical RNG states in the same order.
+  ++arm_counter_;
+  return mix64(fnv1a64_continue(fnv1a64(schedule_.seed), arm_counter_));
+}
+
+void FaultInjector::record(Epoch now, FaultKind kind, ServerId server,
+                           double rate, Epoch until, Epoch duration) {
+  ++counts_[static_cast<std::size_t>(kind)];
+  applied_.push_back({now, kind, server, rate, until});
+  if (!obs::enabled()) return;
+  if (counts_as_fire(kind)) {
+    obs::metrics()
+        .counter("chameleon_fault_injected_total",
+                 {{"kind", std::string(fault_kind_name(kind))}},
+                 "Injected faults fired, by kind")
+        .inc();
+  }
+  auto& sink = obs::trace();
+  if (sink.accepts(obs::TraceType::kFaultInjected)) {
+    obs::TraceEvent e;
+    e.type = obs::TraceType::kFaultInjected;
+    e.epoch = now;
+    e.server = server;
+    e.from = std::string(fault_kind_name(kind));
+    e.a = duration;
+    e.value = rate;
+    e.has_value = rate != 0.0;
+    sink.record(std::move(e));
+  }
+}
+
+void FaultInjector::on_epoch(Epoch now) {
+  // Close windows first: a window scheduled for epochs [t, t+d) must be
+  // gone before epoch t+d's events fire, or a crash re-scheduled exactly at
+  // the boundary would be immediately undone by its predecessor's expiry.
+  expire(now);
+  while (next_event_ < schedule_.events.size() &&
+         schedule_.events[next_event_].at <= now) {
+    apply(schedule_.events[next_event_], now);
+    ++next_event_;
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& event, Epoch now) {
+  const Epoch window = event.duration;
+  const Epoch until = window == 0 ? 0 : now + window;
+  switch (event.kind) {
+    case FaultKind::kCrash: {
+      supervisor_.fail_server(event.server);
+      crashed_until_[event.server] = until;
+      record(now, event.kind, event.server, 0.0, until, window);
+      break;
+    }
+    case FaultKind::kRejoin: {
+      supervisor_.recover_server(event.server);
+      crashed_until_.erase(event.server);
+      record(now, event.kind, event.server, 0.0, 0, 0);
+      break;
+    }
+    case FaultKind::kStall: {
+      const Nanos penalty =
+          event.delay > 0 ? event.delay : kDefaultStallPenalty;
+      store_.cluster().server(event.server).set_stall_penalty(penalty);
+      // A stalled node also misses heartbeats; within the lease it is only
+      // a suspect, past the lease it gets declared dead like a crash.
+      supervisor_.fail_server(event.server);
+      stalled_until_[event.server] = until == 0 ? now + 1 : until;
+      record(now, event.kind, event.server, 0.0, stalled_until_[event.server],
+             window == 0 ? 1 : window);
+      break;
+    }
+    case FaultKind::kNetDrop:
+    case FaultKind::kNetDelay:
+    case FaultKind::kNetDuplicate: {
+      net_windows_.push_back({event.kind, event.rate, event.delay,
+                              until == 0 ? now + 1 : until});
+      rearm_network();
+      record(now, event.kind, event.server, event.rate,
+             net_windows_.back().until, window == 0 ? 1 : window);
+      break;
+    }
+    case FaultKind::kReadError:
+    case FaultKind::kWriteError: {
+      dev_windows_[event.server].push_back(
+          {event.kind, event.rate, until == 0 ? now + 1 : until});
+      rearm_device(event.server);
+      record(now, event.kind, event.server, event.rate,
+             dev_windows_[event.server].back().until,
+             window == 0 ? 1 : window);
+      break;
+    }
+    case FaultKind::kCrashDuringRepair: {
+      // Crash the server AND interrupt the repair pass its failure triggers
+      // partway through the scan — the "coordinator died mid-repair" case.
+      // The hook keeps interrupting for the rest of the epoch it fires in
+      // (so a same-epoch resume is cut short too, like a still-dead
+      // coordinator) and is uninstalled at the next epoch boundary, when
+      // the supervisor's resume_pending() pass completes the repair.
+      supervisor_.fail_server(event.server);
+      crashed_until_[event.server] = until;
+      auto fired = std::make_shared<bool>(false);
+      const std::size_t threshold = event.after;
+      supervisor_.repair().set_interrupt_check(
+          [fired, threshold](std::size_t scanned) {
+            if (scanned < threshold) return false;
+            *fired = true;
+            return true;
+          });
+      interrupt_fired_ = fired;
+      interrupt_server_ = event.server;
+      record(now, event.kind, event.server, 0.0, until, window);
+      break;
+    }
+    case FaultKind::kCrashDuringTransition: {
+      // Aim the crash at a server that is the pending destination of a lazy
+      // transition, so the transition's materialization races the failure.
+      ServerId victim = event.server;
+      bool found = false;
+      store_.table().for_each([&](const meta::ObjectMeta& m) {
+        if (found || !meta::is_intermediate(m.state) || m.dst.empty()) return;
+        victim = m.dst[0];
+        found = true;
+      });
+      supervisor_.fail_server(victim);
+      crashed_until_[victim] = until;
+      record(now, event.kind, victim, 0.0, until, window);
+      break;
+    }
+    case FaultKind::kCount:
+      break;
+  }
+}
+
+void FaultInjector::expire(Epoch now) {
+  for (auto it = crashed_until_.begin(); it != crashed_until_.end();) {
+    if (it->second != 0 && it->second <= now) {
+      // The replacement hardware arrives: the server resumes heartbeating
+      // and the supervisor's epoch loop re-admits it atomically.
+      supervisor_.recover_server(it->first);
+      it = crashed_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = stalled_until_.begin(); it != stalled_until_.end();) {
+    if (it->second <= now) {
+      store_.cluster().server(it->first).set_stall_penalty(0);
+      supervisor_.recover_server(it->first);
+      it = stalled_until_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const auto net_end = std::remove_if(
+      net_windows_.begin(), net_windows_.end(),
+      [now](const NetWindow& w) { return w.until <= now; });
+  if (net_end != net_windows_.end()) {
+    net_windows_.erase(net_end, net_windows_.end());
+    rearm_network();
+  }
+  for (auto it = dev_windows_.begin(); it != dev_windows_.end();) {
+    auto& windows = it->second;
+    const auto dev_end =
+        std::remove_if(windows.begin(), windows.end(),
+                       [now](const DevWindow& w) { return w.until <= now; });
+    if (dev_end != windows.end()) {
+      windows.erase(dev_end, windows.end());
+      rearm_device(it->first);
+    }
+    it = windows.empty() ? dev_windows_.erase(it) : std::next(it);
+  }
+  // Uninstall the repair-interrupt hook once it has done its job — or once
+  // its crash window closed without a repair ever running (the crash was
+  // shorter than the membership lease, so nothing was detected).
+  if (interrupt_fired_ &&
+      (*interrupt_fired_ || !crashed_until_.contains(interrupt_server_))) {
+    supervisor_.repair().clear_interrupt_check();
+    interrupt_fired_.reset();
+  }
+}
+
+void FaultInjector::rearm_network() {
+  cluster::NetworkFaultPlan plan;
+  Nanos max_delay = 0;
+  for (const NetWindow& w : net_windows_) {
+    switch (w.kind) {
+      case FaultKind::kNetDrop:
+        plan.drop_prob += w.rate;
+        break;
+      case FaultKind::kNetDelay:
+        plan.delay_prob += w.rate;
+        max_delay = std::max(max_delay, w.delay);
+        break;
+      default:
+        plan.duplicate_prob += w.rate;
+        break;
+    }
+  }
+  plan.drop_prob = std::min(plan.drop_prob, 0.95);
+  plan.delay_prob = std::min(plan.delay_prob, 0.95);
+  plan.duplicate_prob = std::min(plan.duplicate_prob, 0.95);
+  plan.extra_delay = max_delay;
+  auto& network = store_.cluster().network();
+  if (net_windows_.empty()) {
+    network.disarm_faults();
+  } else {
+    network.arm_faults(plan, next_arm_seed());
+  }
+}
+
+void FaultInjector::rearm_device(ServerId server) {
+  auto& ftl = store_.cluster().server(server).log().ftl();
+  const auto it = dev_windows_.find(server);
+  if (it == dev_windows_.end() || it->second.empty()) {
+    ftl.disarm_faults();
+    return;
+  }
+  flashsim::DeviceFaultPlan plan;
+  for (const DevWindow& w : it->second) {
+    if (w.kind == FaultKind::kReadError) {
+      plan.read_error_prob += w.rate;
+    } else {
+      plan.write_error_prob += w.rate;
+    }
+  }
+  plan.read_error_prob = std::min(plan.read_error_prob, 0.9);
+  plan.write_error_prob = std::min(plan.write_error_prob, 0.9);
+  ftl.arm_faults(plan, next_arm_seed());
+}
+
+bool FaultInjector::idle() const {
+  return next_event_ >= schedule_.events.size() && crashed_until_.empty() &&
+         stalled_until_.empty() && net_windows_.empty() &&
+         dev_windows_.empty();
+}
+
+std::set<ServerId> FaultInjector::stalled_servers() const {
+  std::set<ServerId> out;
+  for (const auto& [server, until] : stalled_until_) out.insert(server);
+  return out;
+}
+
+}  // namespace chameleon::fault

@@ -1,0 +1,104 @@
+// Deterministic fault injector: executes a FaultSchedule against the
+// simulated cluster, epoch by epoch. Call on_epoch(now) at each epoch
+// boundary BEFORE Supervisor::on_epoch so that detection, repair and
+// rebalancing run against the freshly-broken world.
+//
+// The injector owns the fault *windows*: a crash or stall scheduled with a
+// finite duration recovers by itself when the window closes; network and
+// device fault windows are armed/disarmed on the underlying components with
+// seeds derived from the schedule seed, so per-message and per-I/O fault
+// rolls replay identically for the same schedule.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/supervisor.hpp"
+#include "fault/fault_schedule.hpp"
+#include "kv/kv_store.hpp"
+
+namespace chameleon::fault {
+
+/// Journal entry: one schedule event as it actually fired. For the targeted
+/// kinds (crash_during_transition) `server` records the resolved victim,
+/// which can differ from the scheduled one.
+struct AppliedFault {
+  Epoch epoch = 0;
+  FaultKind kind = FaultKind::kCrash;
+  ServerId server = 0;
+  double rate = 0.0;
+  Epoch until = 0;  ///< epoch the window closes; 0 = no auto-recovery
+
+  bool operator==(const AppliedFault&) const = default;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(core::Supervisor& supervisor, kv::KvStore& store,
+                FaultSchedule schedule);
+
+  /// Fire every event scheduled at or before `now` and close expired
+  /// windows. Idempotent per epoch; events fire exactly once.
+  void on_epoch(Epoch now);
+
+  /// True once every event has fired and every window has closed (the
+  /// cluster is back to a fault-free configuration).
+  bool idle() const;
+
+  /// Servers currently inside a stall window (suspects for hedged reads).
+  std::set<ServerId> stalled_servers() const;
+
+  const std::vector<AppliedFault>& applied_log() const { return applied_; }
+  std::size_t injected(FaultKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  struct NetWindow {
+    FaultKind kind;
+    double rate;
+    Nanos delay;
+    Epoch until;
+  };
+  struct DevWindow {
+    FaultKind kind;
+    double rate;
+    Epoch until;
+  };
+
+  void apply(const FaultEvent& event, Epoch now);
+  void expire(Epoch now);
+  /// Re-derive the aggregate network fault plan from the active windows and
+  /// (re)arm it; disarms when no window is active.
+  void rearm_network();
+  void rearm_device(ServerId server);
+  std::uint64_t next_arm_seed();
+  void record(Epoch now, FaultKind kind, ServerId server, double rate,
+              Epoch until, Epoch duration);
+
+  core::Supervisor& supervisor_;
+  kv::KvStore& store_;
+  FaultSchedule schedule_;
+  std::size_t next_event_ = 0;
+
+  std::map<ServerId, Epoch> crashed_until_;  ///< value 0 = until rejoin event
+  std::map<ServerId, Epoch> stalled_until_;
+  std::vector<NetWindow> net_windows_;
+  std::map<ServerId, std::vector<DevWindow>> dev_windows_;
+  /// Set by the repair-interrupt hook when it fires; lets on_epoch clear
+  /// the hook at the next epoch boundary instead of leaving it installed.
+  std::shared_ptr<bool> interrupt_fired_;
+  ServerId interrupt_server_ = 0;
+
+  std::vector<AppliedFault> applied_;
+  std::array<std::size_t, static_cast<std::size_t>(FaultKind::kCount)>
+      counts_{};
+  std::uint64_t arm_counter_ = 0;
+};
+
+}  // namespace chameleon::fault

@@ -1,0 +1,84 @@
+// Declarative fault schedules: what breaks, when, for how long. A schedule
+// is an ordered list of events pinned to balancing epochs; replaying the
+// same schedule (and workload seed) against a fresh cluster reproduces the
+// exact same fault sequence and final state — faults here are test inputs,
+// not random noise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace chameleon::fault {
+
+/// Everything the injector knows how to break (docs/FAULT_MODEL.md).
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,        ///< server stops heartbeating; wiped + repaired on lapse
+  kRejoin,           ///< explicit operator recovery of a crashed server
+  kStall,            ///< transient slow node: inflated I/O, missed heartbeats
+  kNetDrop,          ///< messages dropped with probability `rate`
+  kNetDelay,         ///< messages delayed by `delay` ns with probability `rate`
+  kNetDuplicate,     ///< messages duplicated with probability `rate`
+  kReadError,        ///< device UBER: reads fail with probability `rate`
+  kWriteError,       ///< device program failures with probability `rate`
+  kCrashDuringRepair,      ///< crash + interrupt the repair pass mid-scan
+  kCrashDuringTransition,  ///< crash the dst of a pending lazy transition
+  kCount,
+};
+
+std::string_view fault_kind_name(FaultKind kind);
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+/// One scheduled fault. Fields beyond `at`/`kind` are per-kind knobs;
+/// unused ones stay at their defaults.
+struct FaultEvent {
+  Epoch at = 0;                       ///< epoch the fault fires
+  FaultKind kind = FaultKind::kCrash;
+  ServerId server = 0;                ///< target (ignored by network kinds)
+  Epoch duration = 0;   ///< window length; 0 = until rejoin (crash kinds)
+                        ///< or one epoch (window kinds)
+  double rate = 0.0;    ///< probability knob (drop/duplicate/UBER/...)
+  Nanos delay = 0;      ///< extra latency: net delay or stall penalty
+  std::size_t after = 0;  ///< crash_during_repair: objects scanned before
+                          ///< the interrupt fires (0 = first object)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// A seeded, ordered fault plan. The seed drives every probabilistic
+/// decision made while executing the schedule (message drops, device
+/// errors), so (schedule, workload) fully determines the run.
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  /// Parse the textual format (one directive per line, `#` comments):
+  ///
+  ///   seed 42
+  ///   at 3 crash server=2 dur=4
+  ///   at 5 net_drop rate=0.05 dur=3
+  ///   at 6 read_error server=1 rate=0.01 dur=2
+  ///   at 8 stall server=4 dur=2 delay=2000000
+  ///   at 9 crash_during_repair server=3 after=5 dur=3
+  ///
+  /// Throws std::invalid_argument on malformed input.
+  static FaultSchedule parse(const std::string& text);
+
+  /// Canonical textual form; parse(serialize()) round-trips exactly.
+  std::string serialize() const;
+
+  /// A randomized-but-seeded schedule of `count` events over epochs
+  /// [1, horizon) against `server_count` servers: the chaos harness's
+  /// input generator. Rates are kept small enough that injected faults are
+  /// recoverable (drops <= 5%, device errors <= 2%).
+  static FaultSchedule random(std::uint64_t seed, std::uint32_t server_count,
+                              Epoch horizon, std::size_t count);
+
+  bool operator==(const FaultSchedule&) const = default;
+};
+
+}  // namespace chameleon::fault

@@ -320,6 +320,15 @@ WriteResult Ftl::write(Lpn lpn, StreamHint hint) {
   if (lpn >= l2p_.size()) {
     throw std::out_of_range("Ftl::write: lpn beyond logical capacity");
   }
+  if (faults_armed_ && fault_rng_.next_bool(faults_.write_error_prob)) {
+    if (obs::enabled()) {
+      static auto& write_faults = obs::metrics().counter(
+          "chameleon_fault_injected_total", {{"kind", "write_error"}},
+          "Injected faults fired, by kind");
+      write_faults.inc();
+    }
+    throw TransientWriteError();
+  }
   if (is_worn_out()) throw DeviceWornOut();
   WriteResult result;
   const std::uint64_t erases_before = stats_.block_erases;
@@ -368,6 +377,15 @@ WriteResult Ftl::write(Lpn lpn, StreamHint hint) {
 Nanos Ftl::read(Lpn lpn) {
   if (lpn >= l2p_.size()) {
     throw std::out_of_range("Ftl::read: lpn beyond logical capacity");
+  }
+  if (faults_armed_ && fault_rng_.next_bool(faults_.read_error_prob)) {
+    if (obs::enabled()) {
+      static auto& read_faults = obs::metrics().counter(
+          "chameleon_fault_injected_total", {{"kind", "read_error"}},
+          "Injected faults fired, by kind");
+      read_faults.inc();
+    }
+    throw UncorrectableReadError();
   }
   ++stats_.page_reads;
   ++stats_.read_ops;

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "common/faults.hpp"
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "flashsim/ssd_config.hpp"
 #include "flashsim/ssd_stats.hpp"
@@ -30,6 +32,27 @@ struct WriteResult {
 /// needed to keep the logical space writable (device end-of-life).
 struct DeviceWornOut : std::runtime_error {
   DeviceWornOut() : std::runtime_error("flash device worn out") {}
+};
+
+/// Injected uncorrectable bit error surfacing from a page read (the device's
+/// UBER). Retryable: the caller should fall back to another replica or an
+/// EC reconstruction.
+struct UncorrectableReadError : TransientFault {
+  UncorrectableReadError() : TransientFault("uncorrectable flash read error") {}
+};
+
+/// Injected transient program failure. Thrown before any FTL state changes,
+/// so a retried write sees the device exactly as it was.
+struct TransientWriteError : TransientFault {
+  TransientWriteError() : TransientFault("transient flash program failure") {}
+};
+
+/// Deterministic fault-injection knobs (armed by the fault subsystem).
+/// Probabilities are evaluated per page operation against a seeded RNG, so
+/// a fixed op sequence yields a byte-identical fault sequence.
+struct DeviceFaultPlan {
+  double read_error_prob = 0.0;   ///< per page-read (derive from UBER x bits)
+  double write_error_prob = 0.0;  ///< per page-program
 };
 
 /// Multi-stream hint: callers that know a page's update temperature can
@@ -65,6 +88,17 @@ class Ftl {
   Nanos background_gc(std::uint32_t max_victims, double free_target_fraction);
 
   bool is_mapped(Lpn lpn) const;
+
+  /// Arm deterministic read/write error injection. Faults fire at the very
+  /// top of read()/write(), before any FTL state mutation, so a failed op
+  /// leaves the device byte-identical to its pre-op state.
+  void arm_faults(const DeviceFaultPlan& plan, std::uint64_t seed) {
+    faults_ = plan;
+    fault_rng_ = Xoshiro256(seed);
+    faults_armed_ = plan.read_error_prob > 0.0 || plan.write_error_prob > 0.0;
+  }
+  void disarm_faults() { faults_armed_ = false; }
+  bool faults_armed() const { return faults_armed_; }
 
   const SsdConfig& config() const { return config_; }
   const SsdStats& stats() const { return stats_; }
@@ -171,6 +205,10 @@ class Ftl {
   std::uint64_t valid_pages_ = 0;
   std::uint32_t retired_blocks_ = 0;
   bool in_gc_ = false;  ///< guards against recursive GC from relocation
+
+  DeviceFaultPlan faults_;
+  Xoshiro256 fault_rng_{0};
+  bool faults_armed_ = false;
 };
 
 }  // namespace chameleon::flashsim

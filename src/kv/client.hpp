@@ -13,9 +13,44 @@
 #include <vector>
 
 #include "common/fnv.hpp"
+#include "common/rng.hpp"
 #include "kv/kv_store.hpp"
 
 namespace chameleon::kv {
+
+/// Client-side degradation knobs: bounded exponential backoff with
+/// deterministic jitter, a per-attempt latency budget, and hedged degraded
+/// reads (a read that overruns the budget is re-issued with the caller's
+/// suspect servers excluded, falling back to EC reconstruction).
+struct RetryPolicy {
+  std::size_t max_attempts = 4;      ///< total tries per op (>= 1)
+  Nanos base_backoff = kMillisecond; ///< wait before the 2nd attempt
+  double backoff_multiplier = 2.0;   ///< growth per subsequent attempt
+  double jitter = 0.2;               ///< +/- fraction applied to each wait
+  Nanos op_timeout = 0;              ///< per-attempt budget; 0 = unlimited
+  bool hedge_degraded_reads = true;  ///< allow the timeout-hedge fallback
+  std::uint64_t seed = 0x5eed;       ///< jitter RNG seed (determinism)
+};
+
+/// Outcome of a retried operation, including how hard the client worked.
+struct RetryResult {
+  OpResult op;
+  std::vector<std::uint8_t> value;  ///< gets only
+  std::size_t attempts = 1;
+  Nanos backoff_latency = 0;  ///< total time spent waiting between attempts
+  bool degraded = false;      ///< served by a degraded read
+  bool hedged = false;        ///< the timeout-hedge path fired
+};
+
+/// The retry budget ran out: every attempt failed transiently. Deliberately
+/// NOT a TransientFault — from the caller's view the operation is dead.
+struct RetriesExhausted : std::runtime_error {
+  RetriesExhausted(const char* op, std::size_t attempts,
+                   const std::string& last_error)
+      : std::runtime_error(std::string(op) + " failed after " +
+                           std::to_string(attempts) +
+                           " attempts; last error: " + last_error) {}
+};
 
 class Client {
  public:
@@ -43,10 +78,41 @@ class Client {
   /// Current redundancy state of a key (for observability/examples).
   std::optional<meta::RedState> state_of(std::string_view key) const;
 
+  /// Install the degradation policy used by the *_with_retry calls.
+  /// Resets the jitter RNG, so a fixed policy + op sequence is reproducible.
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    retry_rng_ = Xoshiro256(policy.seed);
+  }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Put with bounded retries. Transient faults (network drop, device write
+  /// failure) back off exponentially and retry; a put is idempotent here
+  /// (fragments overwrite under the same keys), so retrying a partially
+  /// applied attempt converges. Throws RetriesExhausted past the budget.
+  RetryResult put_with_retry(std::string_view key,
+                             std::span<const std::uint8_t> value,
+                             Epoch now = 0);
+  RetryResult put_with_retry(std::string_view key, std::string_view value,
+                             Epoch now = 0);
+
+  /// Get with bounded retries and graceful degradation. A ReadFault marks
+  /// the failing server down and immediately re-reads degraded (replica
+  /// fallback / k-of-n reconstruction); other transient faults back off and
+  /// retry; an attempt that overruns op_timeout is hedged with a degraded
+  /// read that skips `suspects`. Throws RetriesExhausted past the budget.
+  RetryResult get_with_retry(std::string_view key, Epoch now = 0,
+                             const std::set<ServerId>& suspects = {});
+
   KvStore& store() { return store_; }
 
  private:
   KvStore& store_;
+  RetryPolicy retry_policy_;
+  Xoshiro256 retry_rng_{retry_policy_.seed};
+
+  /// Jittered exponential backoff before attempt `attempt` (2-based).
+  Nanos backoff_for(std::size_t attempt);
 };
 
 }  // namespace chameleon::kv

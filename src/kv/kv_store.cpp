@@ -94,8 +94,15 @@ Nanos KvStore::write_fragments(ObjectId oid, std::uint64_t bytes,
   Nanos latency = 0;  // fragments are written in parallel -> take the max
   for (std::uint32_t i = 0; i < servers.size(); ++i) {
     const auto key = cluster::fragment_key(oid, version, i);
-    const Nanos l =
-        cluster_.server(servers[i]).write_fragment(key, frag_bytes, hint);
+    Nanos l = 0;
+    try {
+      l = cluster_.server(servers[i]).write_fragment(key, frag_bytes, hint);
+    } catch (const TransientFault&) {
+      // Annotate with the failing server so the retry layer can mark it
+      // suspect. Fragments written so far stay in place: a retried put
+      // overwrites them under the same keys, so no cleanup is needed.
+      throw WriteFault(servers[i]);
+    }
     latency = std::max(latency, l);
     if (payloads_ && payloads != nullptr) {
       payloads_->store(servers[i], key, (*payloads)[i]);
@@ -161,16 +168,19 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     m.state_since = now;
     m.heat_epoch = now;
     m.note_write(now);
+    // Fault-ordering: ship the bytes over the network first, then program
+    // the devices, and only then insert the mapping entry. A fault anywhere
+    // in between leaves no table entry, so a retried create starts clean.
+    result.latency =
+        network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
+    FragmentPayloads frags;
+    if (value != nullptr) frags = shard_payload(*value, m.state);
+    result.latency += write_fragments(oid, bytes, m.state, m.src, 0,
+                                      value ? &frags : nullptr,
+                                      stream_hint(m.heat(now)));
     if (!table_.create(m)) {
       throw std::logic_error("KvStore::put: concurrent create");
     }
-    FragmentPayloads frags;
-    if (value != nullptr) frags = shard_payload(*value, m.state);
-    result.latency = write_fragments(oid, bytes, m.state, m.src, 0,
-                                     value ? &frags : nullptr,
-                                     stream_hint(m.heat(now)));
-    result.latency +=
-        network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
     result.state = m.state;
     if (obs::enabled()) record_put(result);
     return result;
@@ -182,6 +192,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
 
   // A destination that has filled up since the transition was scheduled
   // cancels the move: the update is applied in place instead.
+  bool cancelled_in_place = false;
   if (meta::is_intermediate(m.state)) {
     for (const ServerId s : m.dst) {
       if (!m.src.contains(s) &&
@@ -189,10 +200,22 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
         m.state = meta::current_scheme(m.state);
         m.dst.clear();
         m.state_since = now;
+        cancelled_in_place = true;
         break;
       }
     }
   }
+
+  // Fault-ordering: network fan-out precedes every device write (the client
+  // must ship the bytes before servers can program them), and the old
+  // fragments of a lazy transition are invalidated only after every new
+  // fragment landed — a fault mid-materialization leaves the source array
+  // intact and readable, and the retried put redoes the whole transition.
+  const RedState fanout_scheme = meta::is_intermediate(m.state)
+                                     ? meta::target_scheme(m.state)
+                                     : m.state;
+  result.latency =
+      network_fanout(bytes, fanout_scheme, cluster::Traffic::kClientWrite);
 
   if (meta::is_intermediate(m.state)) {
     // Lazy transition: this very update materializes the pending scheme on
@@ -204,9 +227,9 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     const std::uint32_t new_version = m.placement_version + 1;
     FragmentPayloads frags;
     if (value != nullptr) frags = shard_payload(*value, new_scheme);
-    result.latency = write_fragments(oid, bytes, new_scheme, m.dst,
-                                     new_version, value ? &frags : nullptr,
-                                     stream_hint(m.heat(now)));
+    result.latency += write_fragments(oid, bytes, new_scheme, m.dst,
+                                      new_version, value ? &frags : nullptr,
+                                      stream_hint(m.heat(now)));
     remove_fragments(oid, old_scheme, m.src, m.placement_version);
     m.src = m.dst;
     m.dst.clear();
@@ -214,6 +237,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     m.placement_version = new_version;
     m.state_since = now;
     result.converted = true;
+    table_.log_change(oid, meta::EpochLogEntry{now, new_scheme, m.src, {}});
     if (obs::enabled()) {
       static auto& offloads = obs::metrics().counter(
           "chameleon_ewo_offloads_total", {},
@@ -233,18 +257,35 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
   } else {
     FragmentPayloads frags;
     if (value != nullptr) frags = shard_payload(*value, m.state);
-    result.latency = write_fragments(oid, bytes, m.state, m.src,
-                                     m.placement_version,
-                                     value ? &frags : nullptr,
-                                     stream_hint(m.heat(now)));
+    result.latency += write_fragments(oid, bytes, m.state, m.src,
+                                      m.placement_version,
+                                      value ? &frags : nullptr,
+                                      stream_hint(m.heat(now)));
   }
-  result.latency +=
-      network_fanout(bytes, m.state, cluster::Traffic::kClientWrite);
   result.state = m.state;
 
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  if (cancelled_in_place) {
+    // Logged only after the state change is durable in the table: a fault
+    // during the write above must not leave the log ahead of the metadata.
+    table_.log_change(oid, meta::EpochLogEntry{now, m.state, m.src, {}});
+  }
   if (obs::enabled()) record_put(result);
   return result;
+}
+
+Nanos KvStore::read_one_fragment(ServerId server, std::uint64_t key) {
+  auto& node = cluster_.server(server);
+  if (!node.has_fragment(key)) {
+    // E.g. the server was wiped by a repair that has not finished rebuilding
+    // yet; callers fall back to the surviving redundancy.
+    throw ReadFault(server, "fragment missing");
+  }
+  try {
+    return node.read_fragment(key);
+  } catch (const TransientFault&) {
+    throw ReadFault(server, "uncorrectable device read");
+  }
 }
 
 Nanos KvStore::read_fragments_for_object(const ObjectMeta& m) {
@@ -253,16 +294,15 @@ Nanos KvStore::read_fragments_for_object(const ObjectMeta& m) {
   if (scheme == RedState::kRep) {
     // Any replica holds the whole object; rotate deterministically.
     const std::uint32_t i = static_cast<std::uint32_t>(m.oid % m.src.size());
-    latency = cluster_.server(m.src[i])
-                  .read_fragment(
-                      cluster::fragment_key(m.oid, m.placement_version, i));
+    latency = read_one_fragment(
+        m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
   } else {
     // Read the k data shards in parallel; parity only on degraded reads.
     for (std::uint32_t i = 0; i < config_.ec_data; ++i) {
       latency = std::max(
-          latency, cluster_.server(m.src[i])
-                       .read_fragment(cluster::fragment_key(
-                           m.oid, m.placement_version, i)));
+          latency,
+          read_one_fragment(
+              m.src[i], cluster::fragment_key(m.oid, m.placement_version, i)));
     }
   }
   return latency;
@@ -307,9 +347,12 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
       const std::uint32_t idx =
           static_cast<std::uint32_t>((m.oid + i) % m.src.size());
       if (down.contains(m.src[idx])) continue;
-      result.latency = cluster_.server(m.src[idx])
-                           .read_fragment(cluster::fragment_key(
-                               m.oid, m.placement_version, idx));
+      try {
+        result.latency = read_one_fragment(
+            m.src[idx], cluster::fragment_key(m.oid, m.placement_version, idx));
+      } catch (const TransientFault&) {
+        continue;  // replica unreadable right now -> try the next one
+      }
       served = true;
       break;
     }
@@ -323,11 +366,14 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
     for (std::uint32_t i = 0; i < m.src.size() && gathered < config_.ec_data;
          ++i) {
       if (down.contains(m.src[i])) continue;
-      result.latency = std::max(
-          result.latency,
-          cluster_.server(m.src[i])
-              .read_fragment(
-                  cluster::fragment_key(m.oid, m.placement_version, i)));
+      Nanos l = 0;
+      try {
+        l = read_one_fragment(
+            m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
+      } catch (const TransientFault&) {
+        continue;  // shard unreadable -> gather a parity shard instead
+      }
+      result.latency = std::max(result.latency, l);
       if (i >= config_.ec_data) used_parity = true;
       ++gathered;
     }
@@ -342,6 +388,13 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
   }
   result.latency += cluster_.network().transfer(cluster::Traffic::kClientRead,
                                                 m.size_bytes);
+  if (obs::enabled()) {
+    static auto& degraded = obs::metrics().counter(
+        "chameleon_degraded_reads_total", {},
+        "Reads served from surviving redundancy (replica fallback or "
+        "k-of-n shard reconstruction)");
+    degraded.inc();
+  }
   return result;
 }
 
@@ -373,12 +426,17 @@ std::vector<std::uint8_t> KvStore::gather_value(
 }
 
 std::vector<std::uint8_t> KvStore::get_value(ObjectId oid, Epoch now,
-                                             const std::set<ServerId>& down) {
+                                             const std::set<ServerId>& down,
+                                             OpResult* op_out) {
   const auto existing = table_.get(oid);
   if (!existing) {
     throw std::out_of_range("KvStore::get_value: unknown object");
   }
-  (void)get(oid, now);  // account device reads + network as a normal get
+  // Account device reads + network; with suspects the degraded path skips
+  // them (and any fragment that turns out to be missing or unreadable).
+  const OpResult op =
+      down.empty() ? get(oid, now) : get_degraded(oid, now, down);
+  if (op_out != nullptr) *op_out = op;
   return gather_value(*existing, down);
 }
 
@@ -391,7 +449,7 @@ bool KvStore::remove(ObjectId oid) {
 }
 
 Nanos KvStore::relocate(ObjectId oid, const ServerSet& dst,
-                        cluster::Traffic traffic) {
+                        cluster::Traffic traffic, Epoch now) {
   auto existing = table_.get(oid);
   if (!existing) {
     throw std::out_of_range("KvStore::relocate: unknown object");
@@ -433,6 +491,7 @@ Nanos KvStore::relocate(ObjectId oid, const ServerSet& dst,
   m.state = scheme;  // any pending lazy transition is superseded
   m.placement_version = new_version;
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  table_.log_change(oid, meta::EpochLogEntry{now, m.state, m.src, {}});
   if (obs::enabled()) {
     obs::metrics()
         .counter("chameleon_relocations_total",
@@ -444,7 +503,7 @@ Nanos KvStore::relocate(ObjectId oid, const ServerSet& dst,
 }
 
 Nanos KvStore::convert(ObjectId oid, RedState target, const ServerSet& dst,
-                       cluster::Traffic traffic) {
+                       cluster::Traffic traffic, Epoch now) {
   if (target != RedState::kRep && target != RedState::kEc) {
     throw std::invalid_argument("KvStore::convert: target must be REP or EC");
   }
@@ -484,6 +543,7 @@ Nanos KvStore::convert(ObjectId oid, RedState target, const ServerSet& dst,
   m.state = target;
   m.placement_version = new_version;
   table_.mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+  table_.log_change(oid, meta::EpochLogEntry{now, m.state, m.src, {}});
   if (obs::enabled()) {
     static auto& conversions = obs::metrics().counter(
         "chameleon_eager_conversions_total", {},

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/faults.hpp"
 #include "common/fnv.hpp"
 #include "common/types.hpp"
 #include "ec/reed_solomon.hpp"
@@ -65,6 +66,26 @@ struct OpResult {
   meta::RedState state = meta::RedState::kRep;  ///< state after the op
 };
 
+/// A fragment read failed on `server` — the fragment is missing (wiped by an
+/// interrupted repair) or the device returned an uncorrectable error. The
+/// client should add the server to its `down` set and read degraded.
+struct ReadFault : TransientFault {
+  ReadFault(ServerId at, const std::string& why)
+      : TransientFault("kv read fault on server " + std::to_string(at) + ": " +
+                       why),
+        server(at) {}
+  ServerId server;
+};
+
+/// A fragment write failed transiently on `server`. No KV metadata was
+/// changed; retrying the put rewrites every fragment under the same keys.
+struct WriteFault : TransientFault {
+  explicit WriteFault(ServerId at)
+      : TransientFault("kv write fault on server " + std::to_string(at)),
+        server(at) {}
+  ServerId server;
+};
+
 class KvStore {
  public:
   KvStore(cluster::Cluster& cluster, meta::MappingTable& table,
@@ -93,8 +114,11 @@ class KvStore {
   /// Payload-carrying get. `down` lists unavailable servers: replicated
   /// objects fall back to another replica, encoded objects reconstruct from
   /// any k surviving shards (degraded read). Throws if unrecoverable.
+  /// A non-empty `down` routes device accounting through get_degraded; the
+  /// accounted OpResult is copied to `op_out` when non-null.
   std::vector<std::uint8_t> get_value(
-      ObjectId oid, Epoch now, const std::set<ServerId>& down = {});
+      ObjectId oid, Epoch now, const std::set<ServerId>& down = {},
+      OpResult* op_out = nullptr);
 
   /// Delete an object everywhere.
   bool remove(ObjectId oid);
@@ -103,13 +127,14 @@ class KvStore {
   /// copy through the network (this is what EDM does, and what Chameleon
   /// falls back to for long-cold data). `traffic` attributes the bytes.
   Nanos relocate(ObjectId oid, const meta::ServerSet& dst,
-                 cluster::Traffic traffic);
+                 cluster::Traffic traffic, Epoch now = 0);
 
   /// Eagerly convert an object to `target` scheme on `dst` (HDFS-RAID-style
   /// re-encode; used by the REP+EC baseline and the eager-conversion
   /// ablation). Reads current fragments, rewrites under the new scheme.
   Nanos convert(ObjectId oid, meta::RedState target,
-                const meta::ServerSet& dst, cluster::Traffic traffic);
+                const meta::ServerSet& dst, cluster::Traffic traffic,
+                Epoch now = 0);
 
   /// Default placement for a fresh object under `scheme`.
   meta::ServerSet place(ObjectId oid, meta::RedState scheme) const;
@@ -161,6 +186,9 @@ class KvStore {
   void remove_fragments(ObjectId oid, meta::RedState scheme,
                         const meta::ServerSet& servers, std::uint32_t version);
   Nanos read_fragments_for_object(const meta::ObjectMeta& m);
+  /// Read one fragment; throws ReadFault(server) when the fragment is
+  /// missing or the device read fails transiently.
+  Nanos read_one_fragment(ServerId server, std::uint64_t key);
   Nanos network_fanout(std::uint64_t bytes, meta::RedState scheme,
                        cluster::Traffic traffic);
 

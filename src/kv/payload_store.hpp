@@ -19,28 +19,46 @@ class PayloadStore {
  public:
   void store(ServerId server, cluster::FragmentKey key,
              std::vector<std::uint8_t> bytes) {
-    data_[slot(server, key)] = std::move(bytes);
+    data_[server][key] = std::move(bytes);
   }
 
   std::optional<std::vector<std::uint8_t>> load(
       ServerId server, cluster::FragmentKey key) const {
-    const auto it = data_.find(slot(server, key));
-    if (it == data_.end()) return std::nullopt;
+    const auto server_it = data_.find(server);
+    if (server_it == data_.end()) return std::nullopt;
+    const auto it = server_it->second.find(key);
+    if (it == server_it->second.end()) return std::nullopt;
     return it->second;
   }
 
   void erase(ServerId server, cluster::FragmentKey key) {
-    data_.erase(slot(server, key));
+    const auto server_it = data_.find(server);
+    if (server_it == data_.end()) return;
+    server_it->second.erase(key);
+    if (server_it->second.empty()) data_.erase(server_it);
   }
 
-  std::size_t fragment_count() const { return data_.size(); }
+  /// Drop every payload held by one server. Mirrors FlashServer::wipe_data:
+  /// repair must call both, or stale bytes would mask real data loss.
+  std::size_t erase_server(ServerId server) {
+    const auto server_it = data_.find(server);
+    if (server_it == data_.end()) return 0;
+    const std::size_t n = server_it->second.size();
+    data_.erase(server_it);
+    return n;
+  }
+
+  std::size_t fragment_count() const {
+    std::size_t n = 0;
+    for (const auto& [server, fragments] : data_) n += fragments.size();
+    return n;
+  }
 
  private:
-  static std::uint64_t slot(ServerId server, cluster::FragmentKey key) {
-    return key ^ (static_cast<std::uint64_t>(server) * 0x9E3779B97F4A7C15ULL);
-  }
-
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> data_;
+  std::unordered_map<ServerId,
+                     std::unordered_map<cluster::FragmentKey,
+                                        std::vector<std::uint8_t>>>
+      data_;
 };
 
 }  // namespace chameleon::kv

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/fnv.hpp"
+#include "obs/metrics.hpp"
 
 namespace chameleon::kv {
 
@@ -28,12 +29,42 @@ ServerId RepairManager::pick_replacement(const ObjectMeta& m,
 }
 
 RepairReport RepairManager::repair_server(ServerId failed, Epoch now) {
+  return run_repair(failed, now, /*wipe=*/true);
+}
+
+std::size_t RepairManager::resume_pending(Epoch now) {
+  // Copy: run_repair mutates pending_ (erase on completion, keep on another
+  // interruption).
+  const std::vector<ServerId> pending(pending_.begin(), pending_.end());
+  for (const ServerId s : pending) {
+    // No wipe: the server was wiped when its failure was first repaired, and
+    // it may have rejoined (and taken fresh writes) since then.
+    (void)run_repair(s, now, /*wipe=*/false);
+    if (obs::enabled()) {
+      static auto& resumed = obs::metrics().counter(
+          "chameleon_repair_resumed_total", {},
+          "Interrupted repair passes re-run to completion");
+      resumed.inc();
+    }
+  }
+  return pending.size();
+}
+
+RepairReport RepairManager::run_repair(ServerId failed, Epoch now, bool wipe) {
   RepairReport report;
-  failed_.insert(failed);
-  // The failed device's contents are gone; model the replacement drive as
-  // empty. (Payload entries keyed to it become unreachable and are dropped
-  // with the fragments.)
-  store_.cluster().server(failed).wipe_data();
+  if (wipe) {
+    failed_.insert(failed);
+    // The failed device's contents are gone; model the replacement drive as
+    // empty, on both the metadata and the payload plane (stale payload bytes
+    // would mask real data loss).
+    store_.cluster().server(failed).wipe_data();
+    if (store_.payloads_enabled()) {
+      store_.payload_store_mutable()->erase_server(failed);
+    }
+  }
+  // Until the pass finishes, the server counts as pending: an interruption
+  // below leaves it there for resume_pending().
+  pending_.insert(failed);
 
   // Collect affected objects first (acting inside for_each would re-enter
   // the mapping table's shard locks).
@@ -46,100 +77,124 @@ RepairReport RepairManager::repair_server(ServerId failed, Epoch now) {
 
   auto& cluster = store_.cluster();
   for (const ObjectId oid : affected) {
+    if (interrupt_check_ && interrupt_check_(report.objects_scanned)) {
+      // Coordinator crash mid-pass: abandon the scan. Everything repaired so
+      // far is durable (meta mutations are per-object); the rest waits for
+      // resume_pending().
+      report.completed = false;
+      return report;
+    }
     const auto live = store_.table().get(oid);
     if (!live) continue;
     ++report.objects_scanned;
     ObjectMeta m = *live;
     const RedState scheme = meta::current_scheme(m.state);
     bool meta_changed = false;
+    try {
+      // 1. Rebuild lost data fragments (entries of src on the failed
+      // server).
+      for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+        if (m.src[i] != failed) continue;
+        const ServerId replacement = pick_replacement(m, failed);
+        const auto key = cluster::fragment_key(oid, m.placement_version, i);
+        const std::uint64_t frag_bytes =
+            store_.fragment_bytes(m.size_bytes, scheme);
 
-    // 1. Rebuild lost data fragments (entries of src on the failed server).
-    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
-      if (m.src[i] != failed) continue;
-      const ServerId replacement = pick_replacement(m, failed);
-      const auto key = cluster::fragment_key(oid, m.placement_version, i);
-      const std::uint64_t frag_bytes =
-          store_.fragment_bytes(m.size_bytes, scheme);
+        // Survivors must actually hold their fragments: a write that died
+        // mid-fan-out can leave an object partially materialized.
+        Nanos latency = 0;
+        bool recoverable = true;
+        if (scheme == RedState::kRep) {
+          // Copy from any surviving replica.
+          bool found = false;
+          for (std::uint32_t j = 0; j < m.src.size(); ++j) {
+            if (j == i || m.src[j] == failed) continue;
+            const auto jkey =
+                cluster::fragment_key(oid, m.placement_version, j);
+            if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
+            latency += cluster.server(m.src[j]).read_fragment(jkey);
+            found = true;
+            break;
+          }
+          recoverable = found;
+        } else {
+          // Reconstruct from k surviving shards.
+          std::size_t read = 0;
+          for (std::uint32_t j = 0;
+               j < m.src.size() && read < store_.config().ec_data; ++j) {
+            if (j == i || m.src[j] == failed) continue;
+            const auto jkey =
+                cluster::fragment_key(oid, m.placement_version, j);
+            if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
+            latency += cluster.server(m.src[j]).read_fragment(jkey);
+            ++read;
+          }
+          recoverable = read >= store_.config().ec_data;
+        }
+        if (!recoverable) {
+          // Torn object (e.g. a create that died mid-fan-out): the bytes are
+          // gone, but still redirect the placement off the dead server so
+          // the next write rematerializes it somewhere alive. Counted, not
+          // thrown — one torn object must not abort the whole repair.
+          m.src[i] = replacement;
+          meta_changed = true;
+          ++report.unrecoverable;
+          continue;
+        }
+        latency += cluster.network().transfer(cluster::Traffic::kConversion,
+                                              frag_bytes);
+        latency += cluster.server(replacement).write_fragment(key, frag_bytes);
 
-      // Survivors must actually hold their fragments: a write that died
-      // mid-fan-out can leave an object partially materialized.
-      Nanos latency = 0;
-      bool recoverable = true;
-      if (scheme == RedState::kRep) {
-        // Copy from any surviving replica.
-        bool found = false;
-        for (std::uint32_t j = 0; j < m.src.size(); ++j) {
-          if (j == i || m.src[j] == failed) continue;
-          const auto jkey = cluster::fragment_key(oid, m.placement_version, j);
-          if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
-          latency += cluster.server(m.src[j]).read_fragment(jkey);
-          found = true;
-          break;
+        // Payload plane: reconstruct the real bytes when they exist.
+        if (store_.payloads_enabled()) {
+          try {
+            const auto value = store_.get_value(oid, now, {failed});
+            const auto frags =
+                scheme == RedState::kRep
+                    ? std::vector<std::vector<std::uint8_t>>(
+                          store_.config().replicas, value)
+                    : store_.codec().encode_object(value);
+            store_.payload_store_mutable()->store(replacement, key, frags[i]);
+          } catch (const TransientFault&) {
+            throw;  // defer the whole object; retried by resume_pending()
+          } catch (const std::exception&) {
+            // Metadata-only object; nothing to rebuild on the payload plane.
+          }
         }
-        recoverable = found;
-      } else {
-        // Reconstruct from k surviving shards.
-        std::size_t read = 0;
-        for (std::uint32_t j = 0;
-             j < m.src.size() && read < store_.config().ec_data; ++j) {
-          if (j == i || m.src[j] == failed) continue;
-          const auto jkey = cluster::fragment_key(oid, m.placement_version, j);
-          if (!cluster.server(m.src[j]).has_fragment(jkey)) continue;
-          latency += cluster.server(m.src[j]).read_fragment(jkey);
-          ++read;
-        }
-        recoverable = read >= store_.config().ec_data;
-      }
-      if (!recoverable) {
-        // Torn object (e.g. a create that died mid-fan-out): the bytes are
-        // gone, but still redirect the placement off the dead server so the
-        // next write rematerializes it somewhere alive. Counted, not
-        // thrown — one torn object must not abort the whole repair.
+
         m.src[i] = replacement;
+        report.device_time += latency;
+        ++report.fragments_rebuilt;
+        report.bytes_rebuilt += frag_bytes;
         meta_changed = true;
-        ++report.unrecoverable;
-        continue;
-      }
-      latency += cluster.network().transfer(cluster::Traffic::kConversion,
-                                            frag_bytes);
-      latency += cluster.server(replacement).write_fragment(key, frag_bytes);
-
-      // Payload plane: reconstruct the real bytes when they exist.
-      if (store_.payloads_enabled()) {
-        try {
-          const auto value = store_.get_value(oid, now, {failed});
-          const auto frags =
-              scheme == RedState::kRep
-                  ? std::vector<std::vector<std::uint8_t>>(
-                        store_.config().replicas, value)
-                  : store_.codec().encode_object(value);
-          store_.payload_store_mutable()->store(replacement, key, frags[i]);
-        } catch (const std::exception&) {
-          // Metadata-only object; nothing to rebuild on the payload plane.
-        }
       }
 
-      m.src[i] = replacement;
-      report.device_time += latency;
-      ++report.fragments_rebuilt;
-      report.bytes_rebuilt += frag_bytes;
-      meta_changed = true;
-    }
+      // 2. Redirect pending destinations (no data lives there yet).
+      for (std::uint32_t i = 0; i < m.dst.size(); ++i) {
+        if (m.dst[i] != failed) continue;
+        m.dst[i] = pick_replacement(m, failed);
+        ++report.placements_updated;
+        meta_changed = true;
+      }
 
-    // 2. Redirect pending destinations (no data lives there yet).
-    for (std::uint32_t i = 0; i < m.dst.size(); ++i) {
-      if (m.dst[i] != failed) continue;
-      m.dst[i] = pick_replacement(m, failed);
-      ++report.placements_updated;
-      meta_changed = true;
+      if (meta_changed) {
+        store_.table().mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
+        store_.table().log_change(
+            oid, meta::EpochLogEntry{now, m.state, m.src, m.dst});
+        ++report.placements_updated;
+      }
+    } catch (const TransientFault&) {
+      // A survivor read or replacement write failed transiently (injected
+      // device/network fault). The object still references the dead server;
+      // defer it to a resume_pending() pass instead of aborting the repair.
+      ++report.deferred;
     }
+  }
 
-    if (meta_changed) {
-      store_.table().mutate(oid, [&m](ObjectMeta& stored) { stored = m; });
-      store_.table().log_change(
-          oid, meta::EpochLogEntry{now, m.state, m.src, m.dst});
-      ++report.placements_updated;
-    }
+  if (report.deferred == 0) {
+    pending_.erase(failed);
+  } else {
+    report.completed = false;
   }
   return report;
 }
@@ -147,11 +202,24 @@ RepairReport RepairManager::repair_server(ServerId failed, Epoch now) {
 std::size_t RepairManager::objects_at_risk(ServerId candidate) {
   std::size_t at_risk = 0;
   const auto& config = store_.config();
+  auto& cluster = store_.cluster();
   store_.table().for_each([&](const ObjectMeta& m) {
     if (!m.src.contains(candidate)) return;
     const RedState scheme = meta::current_scheme(m.state);
     // Survivable if at least one replica, or at least k shards, remain.
-    const std::size_t survivors = m.src.size() - 1;
+    // Count fragments that would actually survive: a slot doesn't count if
+    // it sits on the candidate, on an already-failed server (cascading
+    // failure), or was never materialized / already wiped.
+    std::size_t survivors = 0;
+    for (std::uint32_t i = 0; i < m.src.size(); ++i) {
+      const ServerId s = m.src[i];
+      if (s == candidate || failed_.contains(s)) continue;
+      if (!cluster.server(s).has_fragment(
+              cluster::fragment_key(m.oid, m.placement_version, i))) {
+        continue;
+      }
+      ++survivors;
+    }
     const std::size_t needed =
         scheme == RedState::kRep ? 1 : config.ec_data;
     if (survivors < needed) ++at_risk;

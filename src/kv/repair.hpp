@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <set>
 
 #include "kv/kv_store.hpp"
@@ -19,8 +20,13 @@ struct RepairReport {
   std::size_t fragments_rebuilt = 0;   ///< data actually reconstructed
   std::size_t placements_updated = 0;  ///< src/dst entries redirected
   std::size_t unrecoverable = 0;  ///< too few surviving fragments to rebuild
+  std::size_t deferred = 0;  ///< objects postponed by transient faults
   std::uint64_t bytes_rebuilt = 0;
   Nanos device_time = 0;  ///< read + reconstruct-write service time
+  /// False when the pass was interrupted (coordinator crash) or deferred
+  /// objects remain; the server stays in pending_repairs() until a
+  /// resume_pending() pass completes it.
+  bool completed = true;
 };
 
 class RepairManager {
@@ -35,7 +41,25 @@ class RepairManager {
   /// never pick it as a replacement — until mark_recovered() is called.
   RepairReport repair_server(ServerId failed, Epoch now);
 
+  /// Re-run the repair of every server whose pass was interrupted or left
+  /// deferred objects. Idempotent: a resumed pass rescans the table, and
+  /// objects already redirected off the dead server are not affected again.
+  /// Returns the number of repairs that ran (whether or not they completed).
+  std::size_t resume_pending(Epoch now);
+  const std::set<ServerId>& pending_repairs() const { return pending_; }
+
+  /// Install a crash hook for fault injection: called before each object
+  /// with the number of objects processed so far in this pass; returning
+  /// true aborts the pass (as a coordinator crash would), leaving the server
+  /// pending. The check survives until clear_interrupt_check().
+  void set_interrupt_check(std::function<bool(std::size_t)> check) {
+    interrupt_check_ = std::move(check);
+  }
+  void clear_interrupt_check() { interrupt_check_ = nullptr; }
+
   /// Declare a previously failed server healthy again (re-provisioned).
+  /// A pending (interrupted) repair stays pending: fragments the wipe took
+  /// are still missing and must be rebuilt by resume_pending().
   void mark_recovered(ServerId server) { failed_.erase(server); }
   const std::set<ServerId>& failed_servers() const { return failed_; }
 
@@ -50,8 +74,15 @@ class RepairManager {
   /// past servers already in the set and `failed`.
   ServerId pick_replacement(const meta::ObjectMeta& m, ServerId failed);
 
+  /// The repair pass body. `wipe` is true only for a fresh failure: a
+  /// resumed pass must not wipe again, because the server may have rejoined
+  /// (and taken new writes) while its repair was pending.
+  RepairReport run_repair(ServerId failed, Epoch now, bool wipe);
+
   KvStore& store_;
   std::set<ServerId> failed_;
+  std::set<ServerId> pending_;  ///< interrupted/deferred repairs to resume
+  std::function<bool(std::size_t)> interrupt_check_;
 };
 
 }  // namespace chameleon::kv

@@ -141,6 +141,15 @@ std::size_t MappingTable::epoch_log_size(ObjectId oid) const {
   return it == shard.logs.end() ? 0 : it->second.size();
 }
 
+std::optional<EpochLogEntry> MappingTable::latest_log_entry(
+    ObjectId oid) const {
+  const Shard& shard = shard_for(oid);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.logs.find(oid);
+  if (it == shard.logs.end() || it->second.empty()) return std::nullopt;
+  return it->second.latest();
+}
+
 std::size_t MappingTable::object_count() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {

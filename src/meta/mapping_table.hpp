@@ -65,6 +65,10 @@ class MappingTable {
   std::size_t log_memory_bytes() const;
   std::size_t epoch_log_size(ObjectId oid) const;
 
+  /// Newest epoch-log entry of an object; nullopt when the object has never
+  /// been remapped. Lets recovery checks replay a log against live metadata.
+  std::optional<EpochLogEntry> latest_log_entry(ObjectId oid) const;
+
   std::size_t object_count() const;
   StateCensus census() const;
 

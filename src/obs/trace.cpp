@@ -20,6 +20,7 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kStateCensus: return "state_census";
     case TraceType::kWearSnapshot: return "wear_snapshot";
     case TraceType::kServerWear: return "server_wear";
+    case TraceType::kFaultInjected: return "fault_injected";
     case TraceType::kCount: break;
   }
   return "unknown";

@@ -34,6 +34,7 @@ enum class TraceType : std::uint32_t {
   kStateCensus,         ///< per-epoch object/byte count for one RedState
   kWearSnapshot,        ///< per-epoch cluster wear summary (mean/stddev/CV)
   kServerWear,          ///< per-epoch per-server erase telemetry
+  kFaultInjected,       ///< the fault injector applied one schedule event
   kCount
 };
 
@@ -55,6 +56,8 @@ inline constexpr std::uint64_t kNoField =
 ///   kStateCensus     from=state name, a=objects, b=bytes
 ///   kWearSnapshot    a=total erases, value=erase mean, value2=erase stddev
 ///   kServerWear      server, a=cumulative erases, b=erases this epoch
+///   kFaultInjected   server=target, from=fault kind, a=window epochs,
+///                    value=rate (drop probability / UBER)
 struct TraceEvent {
   std::uint64_t seq = 0;  ///< assigned by the sink, monotone
   std::uint64_t epoch = 0;

@@ -133,6 +133,41 @@ TEST(Supervisor, DeadServerLeavesThePlacementRing) {
   EXPECT_TRUE(hosts_something);
 }
 
+TEST(Supervisor, RejoinThenImmediateRefailIsAFreshFailure) {
+  Fixture f;
+  for (ObjectId oid = 1; oid <= 30; ++oid) f.store.put(oid, 16'384, 0);
+  f.supervisor.on_epoch(1, 1 * kHour);
+  f.supervisor.fail_server(4);
+  for (Epoch e = 2; e <= 4; ++e) f.supervisor.on_epoch(e, e * kHour);
+  EXPECT_FALSE(f.supervisor.membership().is_live(4));
+  EXPECT_FALSE(f.cluster.ring().contains(4));
+
+  // Recovery: the epoch loop re-admits the server through rejoin_server(),
+  // which must restore all three liveness views atomically.
+  f.supervisor.recover_server(4);
+  f.supervisor.on_epoch(5, 5 * kHour);
+  EXPECT_TRUE(f.supervisor.membership().is_live(4));
+  EXPECT_TRUE(f.cluster.ring().contains(4));
+  EXPECT_FALSE(f.supervisor.repair().failed_servers().contains(4));
+  EXPECT_TRUE(f.supervisor.suspect_servers().empty());
+
+  // Refail immediately. The rejoin restarted the lease, so detection takes
+  // a full lease again — no instant re-declaration off stale state...
+  f.supervisor.fail_server(4);
+  const auto r6 = f.supervisor.on_epoch(6, 6 * kHour);
+  EXPECT_TRUE(r6.failures_detected.empty());
+
+  // ...and when the lease does lapse, it is handled as a fresh failure:
+  // off the ring, data repaired off the server again.
+  const auto r7 = f.supervisor.on_epoch(7, 7 * kHour);
+  const auto r8 = f.supervisor.on_epoch(8, 8 * kHour);
+  EXPECT_TRUE(!r7.failures_detected.empty() || !r8.failures_detected.empty());
+  EXPECT_FALSE(f.supervisor.membership().is_live(4));
+  EXPECT_FALSE(f.cluster.ring().contains(4));
+  f.table.for_each(
+      [](const meta::ObjectMeta& m) { EXPECT_FALSE(m.src.contains(4)); });
+}
+
 TEST(Supervisor, DoubleFailureHandled) {
   Fixture f;
   for (ObjectId oid = 1; oid <= 40; ++oid) f.store.put(oid, 16'384, 0);

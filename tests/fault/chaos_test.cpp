@@ -1,0 +1,317 @@
+// Chaos harness: replays seeded fault schedules under a Zipf-skewed
+// read/write workload and asserts the cluster's end-to-end invariants:
+//
+//   1. No acknowledged object is lost while concurrent failures stay within
+//      the redundancy tolerance (values read back byte-identical).
+//   2. Every injected fault is eventually repaired: no pending repairs, no
+//      dead members, every server back on the placement ring.
+//   3. The mapping table and its epoch logs agree on the final state.
+//   4. Wear balancing is not destroyed: erase counts stay within a loose
+//      dispersion bound across servers.
+//   5. The same schedule + workload seed reproduces the identical fault
+//      sequence and final cluster state, byte for byte.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/digest.hpp"
+#include "fault/fault_injector.hpp"
+#include "kv/client.hpp"
+#include "workload/zipf.hpp"
+
+namespace chameleon::fault {
+namespace {
+
+constexpr std::uint32_t kServers = 12;
+constexpr Epoch kWorkloadEpochs = 40;
+constexpr std::size_t kOpsPerEpoch = 100;
+constexpr std::uint64_t kKeySpace = 64;
+
+flashsim::SsdConfig chaos_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 256;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+kv::KvConfig chaos_kv() {
+  kv::KvConfig c;
+  c.initial_scheme = meta::RedState::kEc;
+  return c;
+}
+
+kv::RetryPolicy chaos_policy() {
+  kv::RetryPolicy p;
+  p.max_attempts = 6;
+  p.op_timeout = kMillisecond;  // below the 2ms default stall penalty
+  return p;
+}
+
+std::vector<std::uint8_t> make_value(Xoshiro256& rng, std::uint64_t tag) {
+  const std::size_t size =
+      2048 + static_cast<std::size_t>(rng.next_below(6)) * 1024;
+  std::vector<std::uint8_t> v(size);
+  std::uint64_t x = mix64(tag ^ size);
+  for (auto& b : v) {
+    x = mix64(x);
+    b = static_cast<std::uint8_t>(x);
+  }
+  return v;
+}
+
+/// Peak number of simultaneously-open crash/stall windows in a schedule —
+/// the "concurrent failures" the redundancy must ride out.
+std::size_t max_concurrent_failures(const FaultSchedule& schedule) {
+  std::vector<std::pair<Epoch, int>> deltas;
+  for (const FaultEvent& e : schedule.events) {
+    if (e.kind != FaultKind::kCrash && e.kind != FaultKind::kStall &&
+        e.kind != FaultKind::kCrashDuringRepair &&
+        e.kind != FaultKind::kCrashDuringTransition) {
+      continue;
+    }
+    const Epoch dur = e.duration == 0 ? 1 : e.duration;
+    deltas.emplace_back(e.at, +1);
+    deltas.emplace_back(e.at + dur, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::size_t open = 0, peak = 0;
+  for (const auto& [epoch, delta] : deltas) {
+    open = static_cast<std::size_t>(static_cast<int>(open) + delta);
+    peak = std::max(peak, open);
+  }
+  return peak;
+}
+
+/// First seed >= `from` whose random schedule keeps concurrent failures
+/// within the EC tolerance — deterministic, so every run picks the same one.
+FaultSchedule pick_random_schedule(std::uint64_t from) {
+  for (std::uint64_t seed = from;; ++seed) {
+    auto s = FaultSchedule::random(seed, kServers, 35, 10);
+    if (max_concurrent_failures(s) <= 2) return s;
+  }
+}
+
+struct ChaosOutcome {
+  std::vector<AppliedFault> applied;
+  std::uint64_t digest = 0;
+  std::size_t torn = 0;
+  std::size_t unavailable_reads = 0;
+  std::size_t checked_values = 0;
+};
+
+/// Drive the full chaos scenario: schedule + workload, drain, invariants.
+ChaosOutcome run_chaos(const FaultSchedule& schedule,
+                       std::uint64_t workload_seed) {
+  cluster::Cluster cluster(kServers, chaos_ssd());
+  meta::MappingTable table;
+  kv::KvStore store(cluster, table, chaos_kv());
+  core::Supervisor supervisor(store, core::ChameleonOptions{}, kHour);
+  FaultInjector injector(supervisor, store, schedule);
+  kv::Client client(store);
+  client.set_retry_policy(chaos_policy());
+
+  Xoshiro256 wrng(workload_seed);
+  workload::ZipfGenerator zipf(kKeySpace, 0.9);
+  std::map<std::string, std::vector<std::uint8_t>> expected;
+  std::set<std::string> torn;  // puts whose retry budget ran out
+  ChaosOutcome outcome;
+
+  auto run_epoch = [&](Epoch e, bool with_ops) {
+    injector.on_epoch(e);
+    if (with_ops) {
+      for (std::size_t op = 0; op < kOpsPerEpoch; ++op) {
+        const std::string key = "key-" + std::to_string(zipf.next(wrng));
+        const bool do_put = !expected.contains(key) || wrng.next_bool(0.5);
+        if (do_put) {
+          auto value = make_value(wrng, fnv1a64(key) + e);
+          try {
+            client.put_with_retry(key, std::span<const std::uint8_t>(value),
+                                  e);
+            expected[key] = std::move(value);
+            torn.erase(key);
+          } catch (const kv::RetriesExhausted&) {
+            // The object's fragments are in an unknown mixed state; its
+            // value is no longer asserted, but the object must still obey
+            // every structural invariant.
+            torn.insert(key);
+          }
+        } else {
+          try {
+            const auto r =
+                client.get_with_retry(key, e, injector.stalled_servers());
+            if (!torn.contains(key)) {
+              EXPECT_EQ(r.value, expected[key]) << "mid-run read of " << key;
+            }
+          } catch (const kv::RetriesExhausted&) {
+            ++outcome.unavailable_reads;  // allowed only inside fault windows
+          }
+        }
+      }
+    }
+    supervisor.on_epoch(e, static_cast<Nanos>(e) * kHour);
+  };
+
+  Epoch e = 1;
+  for (; e <= kWorkloadEpochs; ++e) run_epoch(e, true);
+
+  // Drain: let every window close, every crashed server rejoin, and every
+  // interrupted repair resume. Bounded so a livelock fails loudly.
+  const Epoch drain_limit = e + 160;
+  while (e < drain_limit && !(injector.idle() &&
+                              supervisor.repair().pending_repairs().empty())) {
+    run_epoch(e++, false);
+  }
+  for (Epoch i = 0; i < 3; ++i) run_epoch(e++, false);
+
+  // -- Invariant 2: every fault repaired, membership whole. --
+  EXPECT_TRUE(injector.idle());
+  EXPECT_TRUE(supervisor.repair().pending_repairs().empty());
+  EXPECT_TRUE(supervisor.repair().failed_servers().empty());
+  EXPECT_TRUE(supervisor.membership().dead_servers().empty());
+  EXPECT_TRUE(supervisor.suspect_servers().empty());
+  for (ServerId s = 0; s < kServers; ++s) {
+    EXPECT_TRUE(cluster.ring().contains(s)) << "server " << s;
+  }
+
+  // Snapshot the state BEFORE the read-back checks so the digest covers the
+  // post-drain cluster, not whatever the verification reads touch.
+  outcome.applied = injector.applied_log();
+  outcome.digest = cluster_digest(store);
+
+  // -- Invariant 3: mapping table, fragments and epoch logs agree. --
+  std::set<ObjectId> torn_oids;
+  for (const auto& key : torn) torn_oids.insert(kv::Client::object_id(key));
+  std::vector<meta::ObjectMeta> metas;
+  table.for_each([&](const meta::ObjectMeta& m) { metas.push_back(m); });
+  for (const meta::ObjectMeta& m : metas) {
+    // (outside for_each: latest_log_entry takes the same shard lock)
+    const auto latest = table.latest_log_entry(m.oid);
+    if (latest) {
+      EXPECT_EQ(latest->state, m.state) << "oid " << m.oid;
+      EXPECT_TRUE(latest->src.empty() || latest->src == m.src)
+          << "oid " << m.oid;
+    }
+    if (torn_oids.contains(m.oid)) continue;
+    for (std::size_t i = 0; i < m.src.size(); ++i) {
+      const auto key = cluster::fragment_key(
+          m.oid, m.placement_version, static_cast<std::uint32_t>(i));
+      EXPECT_TRUE(cluster.server(m.src[i]).has_fragment(key))
+          << "oid " << m.oid << " slot " << i << " on server " << m.src[i];
+    }
+  }
+
+  // -- Invariant 1: no acknowledged write lost. --
+  for (const auto& [key, value] : expected) {
+    if (torn.contains(key)) continue;
+    try {
+      const auto r = client.get_with_retry(key, e);
+      EXPECT_EQ(r.value, value) << "final read of " << key;
+      ++outcome.checked_values;
+    } catch (const std::exception& ex) {
+      ADD_FAILURE() << "final read of " << key
+                    << " failed on a healthy cluster: " << ex.what();
+    }
+  }
+  EXPECT_GT(outcome.checked_values, 0u);
+
+  // -- Invariant 4: wear balancing survived the faults. --
+  double mean = 0.0;
+  for (ServerId s = 0; s < kServers; ++s) {
+    mean += static_cast<double>(cluster.server(s).total_erases());
+  }
+  mean /= kServers;
+  if (mean > 0.0) {
+    double var = 0.0;
+    for (ServerId s = 0; s < kServers; ++s) {
+      const double d =
+          static_cast<double>(cluster.server(s).total_erases()) - mean;
+      var += d * d;
+    }
+    const double cv = std::sqrt(var / kServers) / mean;
+    EXPECT_LT(cv, 1.0) << "erase dispersion after chaos";
+  }
+
+  outcome.torn = torn.size();
+  return outcome;
+}
+
+ChaosOutcome run_chaos(const std::string& schedule_text,
+                       std::uint64_t workload_seed) {
+  return run_chaos(FaultSchedule::parse(schedule_text), workload_seed);
+}
+
+TEST(Chaos, CrashSchedule) {
+  const auto outcome = run_chaos(
+      "seed 101\n"
+      "at 3 crash server=2 dur=6\n"
+      "at 12 crash server=7 dur=5\n",
+      9101);
+  EXPECT_EQ(outcome.applied.size(), 2u);
+}
+
+TEST(Chaos, StallSchedule) {
+  const auto outcome = run_chaos(
+      "seed 202\n"
+      "at 5 stall server=3 dur=4\n"
+      "at 14 stall server=9 dur=3 delay=3000000\n",
+      9202);
+  EXPECT_EQ(outcome.applied.size(), 2u);
+}
+
+TEST(Chaos, NetworkDropDelayDuplicateSchedule) {
+  const auto outcome = run_chaos(
+      "seed 303\n"
+      "at 4 net_drop rate=0.15 dur=6\n"
+      "at 8 net_delay rate=0.3 delay=2000000 dur=6\n"
+      "at 10 net_duplicate rate=0.2 dur=4\n",
+      9303);
+  EXPECT_EQ(outcome.applied.size(), 3u);
+}
+
+TEST(Chaos, DeviceErrorSchedule) {
+  const auto outcome = run_chaos(
+      "seed 404\n"
+      "at 3 read_error server=1 rate=0.2 dur=5\n"
+      "at 6 write_error server=8 rate=0.1 dur=5\n"
+      "at 15 read_error server=5 rate=0.4 dur=3\n",
+      9404);
+  EXPECT_EQ(outcome.applied.size(), 3u);
+}
+
+TEST(Chaos, CrashDuringRepairSchedule) {
+  const auto outcome = run_chaos(
+      "seed 505\n"
+      "at 4 crash_during_repair server=6 dur=5 after=3\n"
+      "at 15 crash server=0 dur=4\n",
+      9505);
+  EXPECT_EQ(outcome.applied.size(), 2u);
+}
+
+TEST(Chaos, RandomScheduleWithinTolerance) {
+  const auto schedule = pick_random_schedule(777);
+  ASSERT_LE(max_concurrent_failures(schedule), 2u);
+  const auto outcome = run_chaos(schedule, 9777);
+  EXPECT_EQ(outcome.applied.size(), schedule.events.size());
+}
+
+TEST(Chaos, SameSeedReproducesIdenticalRuns) {
+  const std::string text =
+      "seed 101\n"
+      "at 3 crash server=2 dur=6\n"
+      "at 12 crash server=7 dur=5\n";
+  const auto a = run_chaos(text, 9101);
+  const auto b = run_chaos(text, 9101);
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.torn, b.torn);
+  EXPECT_EQ(a.unavailable_reads, b.unavailable_reads);
+}
+
+}  // namespace
+}  // namespace chameleon::fault

@@ -1,0 +1,165 @@
+#include "fault/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/digest.hpp"
+
+namespace chameleon::fault {
+namespace {
+
+flashsim::SsdConfig small_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 128;
+  cfg.static_wl_delta = 0;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(const std::string& schedule_text)
+      : cluster(12, small_ssd()),
+        store(cluster, table, kv_config()),
+        supervisor(store, core::ChameleonOptions{}, kHour),
+        injector(supervisor, store, FaultSchedule::parse(schedule_text)) {}
+
+  static kv::KvConfig kv_config() {
+    kv::KvConfig c;
+    c.initial_scheme = meta::RedState::kEc;
+    return c;
+  }
+
+  /// One simulated epoch: faults first, then the control loop.
+  core::SupervisorEpochReport step(Epoch e) {
+    injector.on_epoch(e);
+    return supervisor.on_epoch(e, static_cast<Nanos>(e) * kHour);
+  }
+
+  cluster::Cluster cluster;
+  meta::MappingTable table;
+  kv::KvStore store;
+  core::Supervisor supervisor;
+  FaultInjector injector;
+};
+
+TEST(FaultInjector, CrashIsDetectedRepairedAndAutoRejoins) {
+  Fixture f("at 2 crash server=5 dur=6\n");
+  for (ObjectId oid = 1; oid <= 40; ++oid) f.store.put(oid, 16'384, 0);
+  f.step(1);
+
+  bool detected = false;
+  for (Epoch e = 2; e <= 6; ++e) {
+    const auto report = f.step(e);
+    for (const ServerId s : report.failures_detected) detected |= (s == 5);
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_EQ(f.injector.injected(FaultKind::kCrash), 1u);
+  // Mid-window: off the placement ring, data rebuilt elsewhere.
+  f.table.for_each(
+      [](const meta::ObjectMeta& m) { EXPECT_FALSE(m.src.contains(5)); });
+
+  // Window closes at epoch 8; the epoch loop re-admits the server.
+  f.step(7);
+  f.step(8);
+  f.step(9);
+  EXPECT_TRUE(f.injector.idle());
+  EXPECT_TRUE(f.cluster.ring().contains(5));
+  EXPECT_TRUE(f.supervisor.membership().is_live(5));
+}
+
+TEST(FaultInjector, StallSetsPenaltyMarksSuspectAndClears) {
+  Fixture f("at 3 stall server=2 dur=2 delay=4000000\n");
+  f.step(1);
+  f.step(2);
+  EXPECT_EQ(f.cluster.server(2).stall_penalty(), 0);
+
+  f.step(3);
+  EXPECT_EQ(f.cluster.server(2).stall_penalty(), 4'000'000);
+  EXPECT_TRUE(f.injector.stalled_servers().contains(2));
+  // Within the lease the node is a suspect, not dead.
+  EXPECT_TRUE(f.supervisor.suspect_servers().contains(2));
+  EXPECT_TRUE(f.supervisor.membership().is_live(2));
+
+  f.step(4);
+  f.step(5);  // window [3, 5) closed
+  EXPECT_EQ(f.cluster.server(2).stall_penalty(), 0);
+  EXPECT_TRUE(f.injector.stalled_servers().empty());
+  EXPECT_TRUE(f.injector.idle());
+  EXPECT_TRUE(f.supervisor.suspect_servers().empty());
+}
+
+TEST(FaultInjector, NetworkWindowArmsThenDisarms) {
+  Fixture f(
+      "at 2 net_drop rate=1.0 dur=2\n"
+      "at 2 net_delay rate=1.0 delay=7000000 dur=2\n");
+  f.step(1);
+  EXPECT_FALSE(f.cluster.network().faults_armed());
+
+  f.injector.on_epoch(2);
+  EXPECT_TRUE(f.cluster.network().faults_armed());
+  EXPECT_THROW(
+      f.cluster.network().transfer(cluster::Traffic::kClientWrite, 4096),
+      cluster::NetworkDropped);
+  EXPECT_GT(f.cluster.network().dropped_messages(), 0u);
+
+  f.injector.on_epoch(3);
+  EXPECT_TRUE(f.cluster.network().faults_armed());
+  f.injector.on_epoch(4);
+  EXPECT_FALSE(f.cluster.network().faults_armed());
+  EXPECT_TRUE(f.injector.idle());
+}
+
+TEST(FaultInjector, DeviceErrorWindowArmsTheTargetFtlOnly) {
+  Fixture f("at 2 read_error server=4 rate=0.5 dur=1\n");
+  f.step(1);
+  f.injector.on_epoch(2);
+  EXPECT_TRUE(f.cluster.server(4).log().ftl().faults_armed());
+  EXPECT_FALSE(f.cluster.server(3).log().ftl().faults_armed());
+  f.injector.on_epoch(3);
+  EXPECT_FALSE(f.cluster.server(4).log().ftl().faults_armed());
+  EXPECT_TRUE(f.injector.idle());
+}
+
+TEST(FaultInjector, CrashDuringRepairLeavesPendingThenResumes) {
+  Fixture f("at 2 crash_during_repair server=6 dur=4 after=2\n");
+  for (ObjectId oid = 1; oid <= 60; ++oid) f.store.put(oid, 16'384, 0);
+  f.step(1);
+  f.step(2);  // crash fires; hook armed
+  f.step(3);
+
+  // Detection epoch: the repair pass (and its same-epoch resume) is cut
+  // short after 2 objects, so the server stays in the pending set.
+  const auto report4 = f.step(4);
+  EXPECT_FALSE(report4.failures_detected.empty());
+  EXPECT_TRUE(f.supervisor.repair().pending_repairs().contains(6));
+
+  // Next epoch the hook is gone and resume_pending completes the job.
+  const auto report5 = f.step(5);
+  EXPECT_GT(report5.repairs_resumed, 0u);
+  EXPECT_FALSE(f.supervisor.repair().pending_repairs().contains(6));
+  f.table.for_each(
+      [](const meta::ObjectMeta& m) { EXPECT_FALSE(m.src.contains(6)); });
+}
+
+TEST(FaultInjector, AppliedLogIsDeterministic) {
+  const std::string text =
+      "seed 13\n"
+      "at 2 crash server=1 dur=3\n"
+      "at 3 net_drop rate=0.2 dur=2\n"
+      "at 5 read_error server=7 rate=0.1 dur=2\n"
+      "at 6 stall server=4 dur=1\n";
+  auto run = [&text]() {
+    Fixture f(text);
+    for (ObjectId oid = 1; oid <= 20; ++oid) f.store.put(oid, 16'384, 0);
+    for (Epoch e = 1; e <= 12; ++e) f.step(e);
+    return std::make_pair(f.injector.applied_log(),
+                          cluster_digest(f.store));
+  };
+  const auto [log_a, digest_a] = run();
+  const auto [log_b, digest_b] = run();
+  EXPECT_EQ(log_a, log_b);
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_EQ(log_a.size(), 4u);
+}
+
+}  // namespace
+}  // namespace chameleon::fault

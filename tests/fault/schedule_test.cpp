@@ -1,0 +1,93 @@
+#include "fault/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace chameleon::fault {
+namespace {
+
+TEST(FaultSchedule, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultKind::kCount);
+       ++i) {
+    const auto kind = static_cast<FaultKind>(i);
+    const auto name = fault_kind_name(kind);
+    const auto back = fault_kind_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(fault_kind_from_name("power_surge").has_value());
+}
+
+TEST(FaultSchedule, ParsesTheDocumentedFormat) {
+  const auto s = FaultSchedule::parse(
+      "# a comment\n"
+      "seed 42\n"
+      "\n"
+      "at 3 crash server=2 dur=4\n"
+      "at 5 net_drop rate=0.05 dur=3\n"
+      "at 8 stall server=4 dur=2 delay=2000000\n"
+      "at 9 crash_during_repair server=3 after=5 dur=3\n");
+  EXPECT_EQ(s.seed, 42u);
+  ASSERT_EQ(s.events.size(), 4u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(s.events[0].at, 3u);
+  EXPECT_EQ(s.events[0].server, 2u);
+  EXPECT_EQ(s.events[0].duration, 4u);
+  EXPECT_EQ(s.events[1].kind, FaultKind::kNetDrop);
+  EXPECT_DOUBLE_EQ(s.events[1].rate, 0.05);
+  EXPECT_EQ(s.events[2].kind, FaultKind::kStall);
+  EXPECT_EQ(s.events[2].delay, 2'000'000);
+  EXPECT_EQ(s.events[3].kind, FaultKind::kCrashDuringRepair);
+  EXPECT_EQ(s.events[3].after, 5u);
+}
+
+TEST(FaultSchedule, ParseSortsEventsByEpoch) {
+  const auto s = FaultSchedule::parse(
+      "at 9 crash server=1\n"
+      "at 2 stall server=0 dur=1\n"
+      "at 5 net_drop rate=0.1 dur=1\n");
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].at, 2u);
+  EXPECT_EQ(s.events[1].at, 5u);
+  EXPECT_EQ(s.events[2].at, 9u);
+}
+
+TEST(FaultSchedule, SerializeParseRoundTrips) {
+  const auto original = FaultSchedule::parse(
+      "seed 7\n"
+      "at 1 crash server=3 dur=2\n"
+      "at 4 net_delay rate=0.25 delay=1000000 dur=3\n"
+      "at 6 write_error server=9 rate=0.01 dur=1\n");
+  const auto reparsed = FaultSchedule::parse(original.serialize());
+  EXPECT_EQ(reparsed, original);
+}
+
+TEST(FaultSchedule, RejectsMalformedInput) {
+  EXPECT_THROW(FaultSchedule::parse("at nonsense crash"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("at 3 explode server=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("at 3 crash bogus"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("at 3 crash frobnicate=1"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSchedule::parse("launch 3 crash server=1"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, RandomIsSeededAndDeterministic) {
+  const auto a = FaultSchedule::random(99, 12, 30, 8);
+  const auto b = FaultSchedule::random(99, 12, 30, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.events.size(), 8u);
+  for (const auto& e : a.events) {
+    EXPECT_GE(e.at, 1u);
+    EXPECT_LT(e.at, 30u);
+    EXPECT_LT(e.server, 12u);
+    EXPECT_GE(e.duration, 1u);
+  }
+  const auto c = FaultSchedule::random(100, 12, 30, 8);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace chameleon::fault

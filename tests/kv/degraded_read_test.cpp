@@ -89,6 +89,30 @@ TEST(DegradedRead, LosingOnlyParityCostsNoDecode) {
   EXPECT_EQ(no_parity.latency, healthy.latency);
 }
 
+TEST(DegradedRead, ExactlyKSurvivingShardsReconstructTheValue) {
+  Fixture f(meta::RedState::kEc);
+  f.store.enable_payloads();
+  std::vector<std::uint8_t> value(20'000);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  f.store.put_value(5, value, 0);
+  const auto m = *f.table.get(5);
+
+  // Physically destroy parity-many shards (wipe, not just "marked down"):
+  // exactly k = ec_data shards survive.
+  for (const ServerId s : {m.src[1], m.src[4]}) {
+    f.cluster.server(s).wipe_data();
+    f.store.payload_store_mutable()->erase_server(s);
+  }
+  const std::set<ServerId> down{m.src[1], m.src[4]};
+  EXPECT_EQ(f.store.get_value(5, 0, down), value);
+
+  // One more loss drops below k: the read must fail, never fabricate data.
+  const std::set<ServerId> three{m.src[1], m.src[4], m.src[0]};
+  EXPECT_THROW(f.store.get_value(5, 0, three), std::runtime_error);
+}
+
 TEST(DegradedRead, IntermediateStateReadsFromSource) {
   Fixture f(meta::RedState::kEc);
   f.store.put(6, 16'384, 0);

@@ -158,6 +158,40 @@ TEST(Repair, AtRiskAuditCountsDegradedObjects) {
   EXPECT_EQ(f.repair.objects_at_risk(f.table.get(1)->src[0]), 1u);
 }
 
+TEST(Repair, ObjectsAtRiskUnderCascadingTwoServerFailures) {
+  Fixture f(meta::RedState::kEc);
+  f.store.put(7, 24'576, 0);
+  const auto m = *f.table.get(7);
+  // Healthy cluster: EC(6,4) survives any single extra failure.
+  EXPECT_EQ(f.repair.objects_at_risk(m.src[0]), 0u);
+
+  // Two cascading failures whose repairs are both cut short before any
+  // object is rebuilt: the wipes land, the reconstructions do not.
+  f.repair.set_interrupt_check([](std::size_t) { return true; });
+  f.repair.repair_server(m.src[0], 1);
+  EXPECT_TRUE(f.repair.pending_repairs().contains(m.src[0]));
+  // 5 intact shards left: one more loss is still survivable...
+  EXPECT_EQ(f.repair.objects_at_risk(m.src[1]), 0u);
+
+  f.repair.repair_server(m.src[1], 1);
+  // ...but with exactly k shards left, the audit must count actual
+  // surviving fragments (not placement entries) and flag a third loss.
+  EXPECT_EQ(f.repair.objects_at_risk(m.src[2]), 1u);
+  // A server outside the object's placement is harmless.
+  ServerId outside = 0;
+  while (m.src.contains(outside)) ++outside;
+  EXPECT_EQ(f.repair.objects_at_risk(outside), 0u);
+
+  // Both interrupted repairs resume and rebuild the wiped shards; nothing
+  // is at risk anymore.
+  f.repair.clear_interrupt_check();
+  EXPECT_EQ(f.repair.resume_pending(2), 2u);
+  EXPECT_TRUE(f.repair.pending_repairs().empty());
+  for (ServerId s = 0; s < f.cluster.size(); ++s) {
+    EXPECT_EQ(f.repair.objects_at_risk(s), 0u) << "server " << s;
+  }
+}
+
 TEST(Repair, DoubleFailureSequenceRecovers) {
   Fixture f(meta::RedState::kEc);
   for (ObjectId oid = 1; oid <= 25; ++oid) f.store.put(oid, 16'384, 0);
