@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -20,8 +21,11 @@ namespace {
 
 constexpr const char* kCachePath = "chameleon_bench_cache.csv";
 // Bump when the simulator changes in ways that invalidate cached results.
-constexpr int kCacheVersion = 13;
+constexpr int kCacheVersion = 14;
 
+// Deliberately excludes `workers`: parallel runs are bit-identical to
+// sequential ones (the cached state_digest double-checks this on read-back),
+// so a row computed at any worker count serves all of them.
 std::string cache_key(const sim::ExperimentConfig& c) {
   std::ostringstream os;
   os << kCacheVersion << '|' << c.workload << '|'
@@ -32,12 +36,15 @@ std::string cache_key(const sim::ExperimentConfig& c) {
 
 std::string serialize(const sim::ExperimentResult& r) {
   std::ostringstream os;
+  // Round-trip-exact doubles: a cache hit must reproduce the computed row
+  // bit-for-bit or the golden CSVs would depend on cache state.
+  os << std::setprecision(17);
   os << r.erase_mean << ',' << r.erase_stddev << ',' << r.total_erases << ','
      << r.write_amplification << ',' << r.avg_device_write_latency << ','
      << r.put_latency_p50 << ',' << r.put_latency_p99 << ','
      << r.requests << ',' << r.write_ops << ',' << r.read_ops << ','
      << r.network_bytes_total << ',' << r.migration_bytes << ','
-     << r.conversion_bytes << ',' << r.swap_bytes;
+     << r.conversion_bytes << ',' << r.swap_bytes << ',' << r.state_digest;
   os << ',';
   for (std::size_t i = 0; i < r.erase_counts.size(); ++i) {
     if (i > 0) os << ';';
@@ -54,7 +61,8 @@ bool deserialize(const std::string& payload, sim::ExperimentResult& r) {
       comma >> r.put_latency_p50 >> comma >> r.put_latency_p99 >>
       comma >> r.requests >> comma >> r.write_ops >> comma >> r.read_ops >>
       comma >> r.network_bytes_total >> comma >> r.migration_bytes >> comma >>
-      r.conversion_bytes >> comma >> r.swap_bytes >> comma;
+      r.conversion_bytes >> comma >> r.swap_bytes >> comma >>
+      r.state_digest >> comma;
   if (!is) return false;
   std::string counts;
   std::getline(is, counts);
@@ -81,6 +89,9 @@ BenchEnv BenchEnv::from_env() {
   }
   if (auto v = Config::from_env("metrics_out")) env.metrics_out = *v;
   if (auto v = Config::from_env("trace_out")) env.trace_out = *v;
+  if (auto v = Config::from_env("workers")) {
+    env.workers = static_cast<std::uint32_t>(std::stoul(*v));
+  }
   return env;
 }
 
@@ -99,15 +110,20 @@ BenchEnv BenchEnv::from_args(int argc, char** argv) {
       env.metrics_out = *metrics;
     } else if (auto trace = value_of("--trace-out=")) {
       env.trace_out = *trace;
+    } else if (auto csv = value_of("--csv-out=")) {
+      env.csv_out = *csv;
+    } else if (auto workers = value_of("--workers=")) {
+      env.workers = static_cast<std::uint32_t>(std::stoul(*workers));
     } else if (arg == "--no-cache") {
       env.use_cache = false;
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\n"
                    "usage: %s [--metrics-out=PATH] [--trace-out=PATH] "
-                   "[--no-cache]\n"
+                   "[--csv-out=PATH] [--workers=N] [--no-cache]\n"
                    "  (PATH may be '-' for stdout; env knobs: CHAMELEON_SCALE,"
-                   " CHAMELEON_SERVERS, CHAMELEON_SEED, CHAMELEON_CACHE)\n",
+                   " CHAMELEON_SERVERS, CHAMELEON_SEED, CHAMELEON_CACHE,"
+                   " CHAMELEON_WORKERS)\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -143,6 +159,11 @@ void write_to(const std::string& dest, const std::string& what,
 
 }  // namespace
 
+void write_csv(const BenchEnv& env, const std::string& content) {
+  if (env.csv_out.empty()) return;
+  write_to(env.csv_out, "csv", [&](std::ostream& out) { out << content; });
+}
+
 void write_observability(const BenchEnv& env) {
   if (!env.metrics_out.empty()) {
     write_to(env.metrics_out, "metrics", [](std::ostream& out) {
@@ -164,6 +185,7 @@ sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,
   cfg.servers = env.servers;
   cfg.scale = env.scale;
   cfg.seed = env.seed;
+  cfg.workers = env.workers;
   cfg.collect_timeline = false;
   return cfg;
 }

@@ -16,13 +16,19 @@ struct BenchEnv {
   double scale = 0.1;
   std::uint32_t servers = 50;
   std::uint64_t seed = 42;
+  /// Worker threads per experiment (sim/shard_executor). Results are
+  /// bit-identical at any value, so cached rows are shared across worker
+  /// counts; 1 = sequential stepping.
+  std::uint32_t workers = 1;
   bool use_cache = true;
   std::string metrics_out;  ///< Prometheus text destination ("-" = stdout)
   std::string trace_out;    ///< JSONL trace destination ("-" = stdout)
+  std::string csv_out;      ///< machine-readable results ("-" = stdout)
 
   static BenchEnv from_env();
   /// from_env() plus command-line flags: --metrics-out=PATH,
-  /// --trace-out=PATH, --no-cache. Unknown flags abort with a usage message.
+  /// --trace-out=PATH, --csv-out=PATH, --workers=N, --no-cache. Unknown
+  /// flags abort with a usage message.
   static BenchEnv from_args(int argc, char** argv);
 
   bool observability_requested() const {
@@ -38,6 +44,12 @@ void init_observability(BenchEnv& env);
 /// Write the Prometheus exposition and/or JSONL trace to the destinations
 /// recorded in `env`. No-op when neither flag was given.
 void write_observability(const BenchEnv& env);
+
+/// Write machine-readable results to env.csv_out ("-" = stdout). No-op when
+/// --csv-out was not given. The golden-figure regression tests diff this
+/// output byte-for-byte, so harnesses must emit deterministic text here
+/// (fixed column order, exact float formatting).
+void write_csv(const BenchEnv& env, const std::string& content);
 
 sim::ExperimentConfig make_config(const BenchEnv& env, sim::Scheme scheme,
                                   const std::string& workload);

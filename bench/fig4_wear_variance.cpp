@@ -4,7 +4,9 @@
 // Paper shape: EC's stddev << REP's; Chameleon cuts EC-baseline's stddev by
 // ~52% on average (up to 81%) and beats EDM by ~43%.
 #include <cstdio>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 
 #include "common/bench_util.hpp"
 #include "sim/report.hpp"
@@ -14,7 +16,7 @@ using namespace chameleon;
 namespace {
 
 void part(const bench::BenchEnv& env, const char* title,
-          const std::vector<sim::Scheme>& schemes) {
+          const std::vector<sim::Scheme>& schemes, std::ostringstream& csv) {
   std::printf("%s\n", title);
   std::vector<std::string> headers{"workload"};
   for (const auto s : schemes) {
@@ -32,6 +34,11 @@ void part(const bench::BenchEnv& env, const char* title,
       row.push_back(sim::TextTable::num(r.erase_mean, 0));
       row.push_back(sim::TextTable::num(r.erase_stddev, 0));
       stddev_sum[i] += r.erase_stddev;
+      // round-trip-exact floats: the golden test diffs this byte-for-byte,
+      // and the digest column is the cross-worker-count determinism oracle.
+      csv << w << ',' << sim::scheme_name(schemes[i]) << ','
+          << std::setprecision(17) << r.erase_mean << ',' << r.erase_stddev
+          << ',' << r.total_erases << ',' << r.state_digest << '\n';
     }
     table.add_row(row);
   }
@@ -49,12 +56,18 @@ int main(int argc, char** argv) {
                   "deviation (the error bars of the paper's Fig 4).",
       env);
 
+  std::ostringstream csv;
+  csv << "workload,scheme,erase_mean,erase_stddev,total_erases,"
+         "state_digest\n";
   part(env, "--- Fig 4a: redundancy schemes, no wear balancing ---",
        {sim::Scheme::kRepBaseline, sim::Scheme::kRepEcBaseline,
-        sim::Scheme::kEcBaseline});
+        sim::Scheme::kEcBaseline},
+       csv);
   part(env, "--- Fig 4b: balancers over EC ---",
        {sim::Scheme::kEdmEc, sim::Scheme::kEcBaseline,
-        sim::Scheme::kChameleonEc});
+        sim::Scheme::kChameleonEc},
+       csv);
+  bench::write_csv(env, csv.str());
 
   // Headline reductions (paper: Chameleon -52% avg / -81% max vs
   // EC-baseline; -43% avg / -70% max vs EDM).

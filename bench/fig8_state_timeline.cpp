@@ -10,9 +10,10 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
-#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 
 #include "common/bench_util.hpp"
 #include "obs/metrics.hpp"
@@ -74,7 +75,10 @@ int main(int argc, char** argv) {
 
   sim::TextTable table(
       {"hour", "%REP", "%EC", "%late-REP", "%late-EC", "%EWO"});
-  std::ofstream csv("fig8_state_timeline.csv");
+  // Round-trip-exact floats so the golden regression test can diff the CSV
+  // byte-for-byte across worker counts.
+  std::ostringstream csv;
+  csv << std::setprecision(17);
   csv << "hour,rep,ec,late_rep,late_ec,ewo\n";
 
   double max_ewo = 0.0;
@@ -124,7 +128,12 @@ int main(int argc, char** argv) {
               max_late * 100);
   std::printf("final wear stddev: %.1f (mean %.1f)\n", result.erase_stddev,
               result.erase_mean);
-  std::printf("(full per-epoch series exported to fig8_state_timeline.csv)\n");
+
+  // Default destination keeps the historical filename; --csv-out overrides.
+  if (env.csv_out.empty()) env.csv_out = "fig8_state_timeline.csv";
+  bench::write_csv(env, csv.str());
+  std::printf("(full per-epoch series exported to %s)\n",
+              env.csv_out.c_str());
   bench::write_observability(env);
   return 0;
 }

@@ -28,6 +28,14 @@ class Cluster {
   FlashServer& server(ServerId id) { return *servers_[id]; }
   const FlashServer& server(ServerId id) const { return *servers_[id]; }
 
+  /// Attach (or detach with nullptr) a device executor on every server, so
+  /// per-device flash work can run on shard threads (see device_exec.hpp).
+  void attach_executor(DeviceExecutor* exec) {
+    exec_ = exec;
+    for (auto& s : servers_) s->attach_executor(exec);
+  }
+  DeviceExecutor* executor() const { return exec_; }
+
   HashRing& ring() { return ring_; }
   const HashRing& ring() const { return ring_; }
   Network& network() { return network_; }
@@ -53,6 +61,7 @@ class Cluster {
   std::vector<std::unique_ptr<FlashServer>> servers_;
   HashRing ring_;
   Network network_;
+  DeviceExecutor* exec_ = nullptr;  ///< not owned
 };
 
 }  // namespace chameleon::cluster

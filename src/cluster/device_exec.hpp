@@ -1,0 +1,75 @@
+// Device-operation executor interface: the seam that lets one experiment run
+// its per-device flash work (page programs, reads, trims) on shard worker
+// threads while every *logical* decision stays on the coordinator thread.
+//
+// Contract (see docs/PARALLELISM.md for the full determinism argument):
+//
+//  - The coordinator splits each storage operation into a logical plan
+//    (metadata, extent allocation — executed inline, in program order) and a
+//    physical closure handed to defer(). The executor must run closures of
+//    one server in submission order; closures of different servers touch
+//    disjoint state and may run concurrently.
+//  - deferrable(server) says whether that server's physical work may be
+//    executed asynchronously. Implementations return false for servers whose
+//    device ops can throw (armed fault injection, wear-out) so exceptions
+//    surface at the same point they would sequentially, and false while the
+//    executor is bypassed (control-plane sections run fully inline).
+//  - Latency bookkeeping mirrors the sequential arithmetic: an *op* is one
+//    client-visible operation whose latency is an inline coordinator part
+//    (network, decode) plus the sum over fan-out *groups* of the max of the
+//    group's device latencies. group_end() folds the max of any inline
+//    (non-deferred) members; op_end() returns a token whose resolved value
+//    becomes available after the next drain.
+//
+// All methods are coordinator-thread-only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace chameleon::cluster {
+
+class FlashServer;
+
+class DeviceExecutor {
+ public:
+  virtual ~DeviceExecutor() = default;
+
+  /// May `server`'s physical device work run asynchronously right now?
+  virtual bool deferrable(const FlashServer& server) const = 0;
+
+  /// Schedule `fn` (pure physical work against `server`'s device) on the
+  /// server's shard. When `latency_counts` is true the returned Nanos joins
+  /// the currently open fan-out group's max; trims and other fire-and-forget
+  /// work pass false.
+  virtual void defer(FlashServer& server, std::function<Nanos()> fn,
+                     bool latency_counts) = 0;
+
+  /// True when ops/groups should be scoped (an executor is attached and not
+  /// bypassed). When false every defer() candidate must also be
+  /// non-deferrable, so callers fall back to the sequential path.
+  virtual bool engaged() const = 0;
+
+  // --- fan-out group scoping (coordinator only) ---
+  virtual void group_begin() = 0;
+  /// Close the current group; `inline_max` is the max latency of members
+  /// that executed inline (non-deferrable servers in a mixed fan-out).
+  virtual void group_end(Nanos inline_max) = 0;
+
+  // --- client-visible op scoping (coordinator only) ---
+  virtual void op_begin() = 0;
+  /// Close the op. Resolved latency = `inline_latency` + sum of group maxes;
+  /// `on_resolved` (may be empty) runs on the coordinator during the next
+  /// drain. Returns a token usable to query the resolved latency post-drain,
+  /// or -1 when no op was open.
+  virtual std::int64_t op_end(Nanos inline_latency,
+                              std::function<void(Nanos)> on_resolved) = 0;
+  /// Discard the current op's latency bookkeeping (exception unwind). Device
+  /// closures already deferred stay queued — they mirror device work the
+  /// sequential mode performed before the fault fired.
+  virtual void op_abort() = 0;
+};
+
+}  // namespace chameleon::cluster

@@ -8,6 +8,9 @@
 #include <cstdint>
 #include <memory>
 
+#include <utility>
+
+#include "cluster/device_exec.hpp"
 #include "common/fnv.hpp"
 #include "common/types.hpp"
 #include "flashsim/local_log.hpp"
@@ -39,18 +42,54 @@ class FlashServer {
 
   /// Store (or overwrite) a fragment of `bytes`; returns device latency.
   /// `hint` routes the pages to the device's hot/cold write stream.
+  /// With a deferrable executor attached the physical work is scheduled on
+  /// the server's shard (latency joins the open fan-out group) and 0 is
+  /// returned; logical state is up to date either way.
   Nanos write_fragment(
       FragmentKey key, std::uint64_t bytes,
       flashsim::StreamHint hint = flashsim::StreamHint::kDefault) {
+    if (exec_ != nullptr && exec_->deferrable(*this)) {
+      const Nanos stall = stall_penalty_;  // by value: penalties only change
+                                           // at drain fences
+      exec_->defer(
+          *this,
+          [this, plan = log_.plan_write(key, bytes), hint, stall] {
+            return log_.execute_write(plan, hint) + stall;
+          },
+          /*latency_counts=*/true);
+      return 0;
+    }
     return log_.write_object(key, bytes, hint).latency + stall_penalty_;
   }
 
   Nanos read_fragment(FragmentKey key) {
+    if (exec_ != nullptr && exec_->deferrable(*this)) {
+      const Nanos stall = stall_penalty_;
+      exec_->defer(
+          *this,
+          [this, plan = log_.plan_read(key), stall] {
+            return log_.execute_read(plan) + stall;
+          },
+          /*latency_counts=*/true);
+      return 0;
+    }
     return log_.read_object(key).latency + stall_penalty_;
   }
 
   /// Invalidate a fragment (trim; no flash writes). Returns pages released.
   std::uint32_t remove_fragment(FragmentKey key) {
+    if (exec_ != nullptr && exec_->deferrable(*this)) {
+      auto plan = log_.plan_remove(key);
+      const std::uint32_t pages = plan.pages;
+      exec_->defer(
+          *this,
+          [this, plan = std::move(plan)] {
+            log_.execute_trims(plan);
+            return Nanos{0};
+          },
+          /*latency_counts=*/false);
+      return pages;
+    }
     return log_.remove_object(key);
   }
 
@@ -58,7 +97,26 @@ class FlashServer {
 
   /// Drop every fragment (device replacement after a failure). Wear history
   /// stays with the physical blocks.
-  std::size_t wipe_data() { return log_.remove_all_objects(); }
+  std::size_t wipe_data() {
+    if (exec_ != nullptr && exec_->deferrable(*this)) {
+      auto plan = log_.plan_remove_all();
+      const std::size_t objects = plan.objects;
+      exec_->defer(
+          *this,
+          [this, plan = std::move(plan)] {
+            log_.execute_trims(plan);
+            return Nanos{0};
+          },
+          /*latency_counts=*/false);
+      return objects;
+    }
+    return log_.remove_all_objects();
+  }
+
+  /// Attach (or detach with nullptr) the device executor; normally done for
+  /// the whole cluster via Cluster::attach_executor.
+  void attach_executor(DeviceExecutor* exec) { exec_ = exec; }
+  DeviceExecutor* executor() const { return exec_; }
 
   const flashsim::SsdStats& ssd_stats() const { return log_.stats(); }
   std::uint64_t total_erases() const { return log_.ftl().total_erases(); }
@@ -83,6 +141,7 @@ class FlashServer {
   ServerId id_;
   flashsim::LocalLog log_;
   Nanos stall_penalty_ = 0;
+  DeviceExecutor* exec_ = nullptr;  ///< not owned; nullptr = sequential
 };
 
 }  // namespace chameleon::cluster

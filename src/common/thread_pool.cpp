@@ -38,8 +38,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
+  if (begin >= end) return;  // empty or inverted range: nothing to do
   const std::size_t n = end - begin;
+  if (n == 1) {
+    // A single element gains nothing from the queue round-trip.
+    fn(begin);
+    return;
+  }
   const std::size_t chunks = std::min(n, worker_count() * 4);
   const std::size_t chunk = (n + chunks - 1) / chunks;
   std::vector<std::future<void>> futures;
@@ -50,7 +55,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for EVERY chunk before rethrowing: the task closures reference the
+  // caller's stack (`fn` and the loop bounds), so rethrowing from the first
+  // failed get() while later chunks are still queued would let them run
+  // against a dead frame.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace chameleon

@@ -1,7 +1,8 @@
 // Minimal work-stealing-free thread pool with futures and a blocked-range
 // parallel_for. Used by the experiment driver to run independent experiment
-// configurations concurrently; the simulation of a single experiment stays
-// deterministic and single-threaded.
+// configurations concurrently, and by the EC codec to parallelize shard
+// arithmetic; a single experiment's intra-run parallelism lives in
+// sim/shard_executor instead (see docs/PARALLELISM.md).
 #pragma once
 
 #include <condition_variable>
@@ -43,6 +44,11 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [begin, end) across the pool; blocks until done.
+  /// Degenerate ranges are handled inline: an empty (or inverted) range is a
+  /// no-op and a single-element range never touches the queue. If any chunk
+  /// throws, every remaining chunk still runs to completion before the first
+  /// exception is rethrown (the closures borrow stack-resident state, so an
+  /// early rethrow would unwind it under running tasks).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

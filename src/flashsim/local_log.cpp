@@ -29,11 +29,6 @@ Lpn LocalLog::allocate_lpn() {
   return next_fresh_lpn_++;
 }
 
-void LocalLog::release_lpn(Lpn lpn) {
-  ftl_.trim(lpn);
-  free_lpns_.push_back(lpn);
-}
-
 Nanos LocalLog::lane_parallel(const std::vector<Nanos>& page_latencies) const {
   // Pages stripe round-robin across channels; each channel's lane runs
   // serially, lanes run in parallel -> the operation completes when the
@@ -53,18 +48,22 @@ Nanos LocalLog::lane_parallel(const std::vector<Nanos>& page_latencies) const {
   return max_lane;
 }
 
-ObjectOpResult LocalLog::write_object(ObjectId oid, std::uint64_t bytes,
-                                      StreamHint hint) {
+WritePlan LocalLog::plan_write(ObjectId oid, std::uint64_t bytes) {
   const std::uint32_t pages = pages_for_bytes(bytes);
-  ObjectOpResult result;
-  result.pages = pages;
+  WritePlan plan;
+  plan.pages = pages;
 
   auto [it, inserted] = extents_.try_emplace(oid);
   std::vector<Lpn>& extent = it->second;
 
   if (!inserted && extent.size() != pages) {
-    // Size change: out-of-place at the object layer too.
-    for (const Lpn lpn : extent) release_lpn(lpn);
+    // Size change: out-of-place at the object layer too. Trims execute in
+    // release order, before the programs, exactly as the sequential path
+    // interleaved them.
+    for (const Lpn lpn : extent) {
+      plan.trims.push_back(lpn);
+      recycle_lpn(lpn);
+    }
     stored_pages_ -= extent.size();
     extent.clear();
   }
@@ -73,49 +72,100 @@ ObjectOpResult LocalLog::write_object(ObjectId oid, std::uint64_t bytes,
     for (std::uint32_t i = 0; i < pages; ++i) extent.push_back(allocate_lpn());
     stored_pages_ += pages;
   }
-  std::vector<Nanos> page_latencies;
-  page_latencies.reserve(extent.size());
-  for (const Lpn lpn : extent) {
-    page_latencies.push_back(ftl_.write(lpn, hint).latency);
-  }
-  result.latency = lane_parallel(page_latencies);
-  return result;
+  plan.lpns = extent;  // copy: the extent may be reallocated or freed by a
+                       // later logical op before this plan executes
+  return plan;
 }
 
-ObjectOpResult LocalLog::read_object(ObjectId oid) {
+Nanos LocalLog::execute_write(const WritePlan& plan, StreamHint hint) {
+  for (const Lpn lpn : plan.trims) ftl_.trim(lpn);
+  std::vector<Nanos> page_latencies;
+  page_latencies.reserve(plan.lpns.size());
+  for (const Lpn lpn : plan.lpns) {
+    page_latencies.push_back(ftl_.write(lpn, hint).latency);
+  }
+  return lane_parallel(page_latencies);
+}
+
+ReadPlan LocalLog::plan_read(ObjectId oid) const {
   const auto it = extents_.find(oid);
   if (it == extents_.end()) {
     throw std::out_of_range("LocalLog::read_object: unknown object");
   }
-  ObjectOpResult result;
-  result.pages = static_cast<std::uint32_t>(it->second.size());
+  ReadPlan plan;
+  plan.pages = static_cast<std::uint32_t>(it->second.size());
+  plan.lpns = it->second;
+  return plan;
+}
+
+Nanos LocalLog::execute_read(const ReadPlan& plan) {
   std::vector<Nanos> page_latencies;
-  page_latencies.reserve(it->second.size());
-  for (const Lpn lpn : it->second) {
+  page_latencies.reserve(plan.lpns.size());
+  for (const Lpn lpn : plan.lpns) {
     page_latencies.push_back(ftl_.read(lpn));
   }
-  result.latency = lane_parallel(page_latencies);
+  return lane_parallel(page_latencies);
+}
+
+TrimPlan LocalLog::plan_remove(ObjectId oid) {
+  TrimPlan plan;
+  const auto it = extents_.find(oid);
+  if (it == extents_.end()) return plan;
+  plan.pages = static_cast<std::uint32_t>(it->second.size());
+  plan.objects = 1;
+  plan.trims = std::move(it->second);
+  for (const Lpn lpn : plan.trims) recycle_lpn(lpn);
+  stored_pages_ -= plan.pages;
+  extents_.erase(it);
+  return plan;
+}
+
+TrimPlan LocalLog::plan_remove_all() {
+  TrimPlan plan;
+  plan.objects = extents_.size();
+  for (auto& [oid, extent] : extents_) {
+    for (const Lpn lpn : extent) {
+      plan.trims.push_back(lpn);
+      recycle_lpn(lpn);
+    }
+  }
+  plan.pages = static_cast<std::uint32_t>(plan.trims.size());
+  stored_pages_ = 0;
+  extents_.clear();
+  return plan;
+}
+
+void LocalLog::execute_trims(const TrimPlan& plan) {
+  for (const Lpn lpn : plan.trims) ftl_.trim(lpn);
+}
+
+ObjectOpResult LocalLog::write_object(ObjectId oid, std::uint64_t bytes,
+                                      StreamHint hint) {
+  const WritePlan plan = plan_write(oid, bytes);
+  ObjectOpResult result;
+  result.pages = plan.pages;
+  result.latency = execute_write(plan, hint);
+  return result;
+}
+
+ObjectOpResult LocalLog::read_object(ObjectId oid) {
+  const ReadPlan plan = plan_read(oid);
+  ObjectOpResult result;
+  result.pages = plan.pages;
+  result.latency = execute_read(plan);
   return result;
 }
 
 std::uint32_t LocalLog::remove_object(ObjectId oid) {
-  const auto it = extents_.find(oid);
-  if (it == extents_.end()) return 0;
-  const auto pages = static_cast<std::uint32_t>(it->second.size());
-  for (const Lpn lpn : it->second) release_lpn(lpn);
-  stored_pages_ -= pages;
-  extents_.erase(it);
-  return pages;
+  const TrimPlan plan = plan_remove(oid);
+  execute_trims(plan);
+  return plan.pages;
 }
 
 std::size_t LocalLog::remove_all_objects() {
-  const std::size_t count = extents_.size();
-  for (auto& [oid, extent] : extents_) {
-    for (const Lpn lpn : extent) release_lpn(lpn);
-  }
-  stored_pages_ = 0;
-  extents_.clear();
-  return count;
+  const TrimPlan plan = plan_remove_all();
+  execute_trims(plan);
+  return plan.objects;
 }
 
 std::uint32_t LocalLog::object_pages(ObjectId oid) const {

@@ -19,6 +19,30 @@ struct ObjectOpResult {
   std::uint32_t pages = 0;
 };
 
+/// Physical half of a write: the logical bookkeeping (extent allocation,
+/// free-list recycling, stored-page accounting) already happened when the
+/// plan was made; executing it performs only FTL work. Lpns are copied into
+/// the plan because the extent buffer may be freed by a later logical op
+/// before a shard thread executes the plan.
+struct WritePlan {
+  std::vector<Lpn> trims;  ///< pages released by a resize, trimmed first
+  std::vector<Lpn> lpns;   ///< pages to program, in extent order
+  std::uint32_t pages = 0;
+};
+
+/// Physical half of a read: the lpns to touch.
+struct ReadPlan {
+  std::vector<Lpn> lpns;
+  std::uint32_t pages = 0;
+};
+
+/// Physical half of a removal: pages to trim (no latency accounting).
+struct TrimPlan {
+  std::vector<Lpn> trims;
+  std::uint32_t pages = 0;    ///< pages released
+  std::size_t objects = 0;    ///< objects dropped
+};
+
 class LocalLog {
  public:
   explicit LocalLog(const SsdConfig& config);
@@ -45,6 +69,27 @@ class LocalLog {
   /// are preserved — wear history belongs to the physical flash.
   std::size_t remove_all_objects();
 
+  // --- logical-plan / physical-execute split -------------------------------
+  // The paired plan_*/execute_* methods are the exact decomposition of the
+  // three operations above: plan_X applies every logical effect immediately
+  // (so coordinator-visible state such as stored_pages()/has_object() is
+  // up to date the moment the plan exists) and execute_X performs only FTL
+  // work. write_object(o) == execute_write(plan_write(o)) etc.; the classic
+  // entry points are implemented as exactly that composition, so sequential
+  // and deferred modes share one logic path. Plans against one device must
+  // be executed in the order they were made.
+
+  WritePlan plan_write(ObjectId oid, std::uint64_t bytes);
+  Nanos execute_write(const WritePlan& plan,
+                      StreamHint hint = StreamHint::kDefault);
+
+  ReadPlan plan_read(ObjectId oid) const;  ///< throws like read_object
+  Nanos execute_read(const ReadPlan& plan);
+
+  TrimPlan plan_remove(ObjectId oid);
+  TrimPlan plan_remove_all();
+  void execute_trims(const TrimPlan& plan);
+
   bool has_object(ObjectId oid) const { return extents_.contains(oid); }
   std::uint32_t object_pages(ObjectId oid) const;
   std::uint64_t stored_pages() const { return stored_pages_; }
@@ -64,7 +109,9 @@ class LocalLog {
 
  private:
   Lpn allocate_lpn();
-  void release_lpn(Lpn lpn);
+  /// Logical half of releasing a page: back onto the free list. The physical
+  /// trim happens when the owning plan executes.
+  void recycle_lpn(Lpn lpn) { free_lpns_.push_back(lpn); }
   /// Aggregate per-page latencies across the device's channels.
   Nanos lane_parallel(const std::vector<Nanos>& page_latencies) const;
 

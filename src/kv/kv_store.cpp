@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cluster/device_exec.hpp"
 #include "common/fnv.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -15,15 +17,92 @@ using meta::ServerSet;
 
 namespace {
 
-/// Record put-side metrics; shared by the three put_impl exit paths.
-void record_put(const OpResult& result) {
+/// Record put-side metrics; shared by the three put_impl exit paths. In
+/// deferred mode the latency observation runs at drain time with the
+/// resolved value (see OpScope::finish), so both modes feed the histogram
+/// the same numbers.
+void record_put_latency(Nanos latency) {
   static auto& puts = obs::metrics().counter(
       "chameleon_kv_puts_total", {}, "Object put operations");
   static auto& latency_hist = obs::metrics().histogram(
       "chameleon_put_latency_ns", 0.0, 1e8, 1000, {},
       "End-to-end put latency (device + network), in nanoseconds");
   puts.inc();
-  latency_hist.observe(static_cast<double>(result.latency));
+  latency_hist.observe(static_cast<double>(latency));
+}
+
+/// Scopes one client-visible operation on the device executor (when one is
+/// engaged): fan-out groups opened inside resolve into the op's latency at
+/// the next drain. Inert in sequential mode. Unwinding without finish()
+/// aborts the op, discarding its latency bookkeeping — the device closures
+/// already deferred mirror work sequential mode performed before the fault.
+class OpScope {
+ public:
+  explicit OpScope(cluster::DeviceExecutor* exec)
+      : exec_(exec != nullptr && exec->engaged() ? exec : nullptr) {
+    if (exec_ != nullptr) exec_->op_begin();
+  }
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+  ~OpScope() {
+    if (exec_ != nullptr && !finished_) exec_->op_abort();
+  }
+
+  bool deferred() const { return exec_ != nullptr; }
+
+  /// Close the op: `result.latency` currently holds the inline part. Sets
+  /// result.pending to the executor token; `on_resolved` (optional) runs at
+  /// drain with the full latency.
+  void finish(OpResult& result, std::function<void(Nanos)> on_resolved = {}) {
+    if (exec_ == nullptr) return;
+    result.pending = exec_->op_end(result.latency, std::move(on_resolved));
+    finished_ = true;
+  }
+
+ private:
+  cluster::DeviceExecutor* exec_;
+  bool finished_ = false;
+};
+
+/// Scopes one parallel fan-out (the "max over servers" loops). close(max)
+/// takes the running max of the *inline* members and returns what the
+/// caller should add to its latency: the max itself in sequential mode, 0 in
+/// deferred mode (the group then contributes max(inline, deferred slots) to
+/// the enclosing op at drain).
+class GroupScope {
+ public:
+  explicit GroupScope(cluster::DeviceExecutor* exec)
+      : exec_(exec != nullptr && exec->engaged() ? exec : nullptr) {
+    if (exec_ != nullptr) exec_->group_begin();
+  }
+  GroupScope(const GroupScope&) = delete;
+  GroupScope& operator=(const GroupScope&) = delete;
+  ~GroupScope() {
+    if (exec_ != nullptr && !closed_) exec_->group_end(0);
+  }
+
+  Nanos close(Nanos inline_max) {
+    if (exec_ == nullptr) return inline_max;
+    closed_ = true;
+    exec_->group_end(inline_max);
+    return 0;
+  }
+
+ private:
+  cluster::DeviceExecutor* exec_;
+  bool closed_ = false;
+};
+
+/// Close a put's op scope (deferred mode) or record its metrics inline
+/// (sequential mode); shared by the three put_impl exit paths.
+void finish_put(OpScope& scope, OpResult& result) {
+  if (scope.deferred()) {
+    std::function<void(Nanos)> on_resolved;
+    if (obs::enabled()) on_resolved = &record_put_latency;
+    scope.finish(result, std::move(on_resolved));
+  } else if (obs::enabled()) {
+    record_put_latency(result.latency);
+  }
 }
 
 }  // namespace
@@ -72,7 +151,7 @@ KvStore::FragmentPayloads KvStore::shard_payload(
   if (scheme == RedState::kRep) {
     return FragmentPayloads(config_.replicas, value);
   }
-  return codec_.encode_object(value);
+  return codec_.encode_object(value, codec_pool_);
 }
 
 flashsim::StreamHint KvStore::stream_hint(double heat) const {
@@ -91,6 +170,7 @@ Nanos KvStore::write_fragments(ObjectId oid, std::uint64_t bytes,
         "KvStore::write_fragments: wrong fragment-set size for scheme");
   }
   const std::uint64_t frag_bytes = fragment_bytes(bytes, scheme);
+  GroupScope group(cluster_.executor());
   Nanos latency = 0;  // fragments are written in parallel -> take the max
   for (std::uint32_t i = 0; i < servers.size(); ++i) {
     const auto key = cluster::fragment_key(oid, version, i);
@@ -108,7 +188,7 @@ Nanos KvStore::write_fragments(ObjectId oid, std::uint64_t bytes,
       payloads_->store(servers[i], key, (*payloads)[i]);
     }
   }
-  return latency;
+  return group.close(latency);
 }
 
 void KvStore::remove_fragments(ObjectId oid, RedState scheme,
@@ -156,6 +236,7 @@ OpResult KvStore::put_value(ObjectId oid, std::span<const std::uint8_t> value,
 OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
                            const std::vector<std::uint8_t>* value) {
   OpResult result;
+  OpScope scope(cluster_.executor());
 
   auto existing = table_.get(oid);
   if (!existing) {
@@ -182,7 +263,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
       throw std::logic_error("KvStore::put: concurrent create");
     }
     result.state = m.state;
-    if (obs::enabled()) record_put(result);
+    finish_put(scope, result);
     return result;
   }
 
@@ -270,7 +351,7 @@ OpResult KvStore::put_impl(ObjectId oid, std::uint64_t bytes, Epoch now,
     // during the write above must not leave the log ahead of the metadata.
     table_.log_change(oid, meta::EpochLogEntry{now, m.state, m.src, {}});
   }
-  if (obs::enabled()) record_put(result);
+  finish_put(scope, result);
   return result;
 }
 
@@ -290,6 +371,7 @@ Nanos KvStore::read_one_fragment(ServerId server, std::uint64_t key) {
 
 Nanos KvStore::read_fragments_for_object(const ObjectMeta& m) {
   const RedState scheme = meta::current_scheme(m.state);
+  GroupScope group(cluster_.executor());
   Nanos latency = 0;
   if (scheme == RedState::kRep) {
     // Any replica holds the whole object; rotate deterministically.
@@ -305,7 +387,7 @@ Nanos KvStore::read_fragments_for_object(const ObjectMeta& m) {
               m.src[i], cluster::fragment_key(m.oid, m.placement_version, i)));
     }
   }
-  return latency;
+  return group.close(latency);
 }
 
 OpResult KvStore::get(ObjectId oid, Epoch now) {
@@ -316,6 +398,7 @@ OpResult KvStore::get(ObjectId oid, Epoch now) {
   }
   OpResult result;
   result.state = existing->state;
+  OpScope scope(cluster_.executor());
   // Intermediate states: the source array still holds the latest bytes
   // (paper Fig 3 / §III-C); read_fragments_for_object reads from src.
   result.latency = read_fragments_for_object(*existing);
@@ -326,6 +409,7 @@ OpResult KvStore::get(ObjectId oid, Epoch now) {
         "chameleon_kv_gets_total", {}, "Object get operations");
     gets.inc();
   }
+  scope.finish(result);
   return result;
 }
 
@@ -340,8 +424,10 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
   const RedState scheme = meta::current_scheme(m.state);
   OpResult result;
   result.state = m.state;
+  OpScope scope(cluster_.executor());
 
   if (scheme == RedState::kRep) {
+    GroupScope group(cluster_.executor());
     bool served = false;
     for (std::uint32_t i = 0; i < m.src.size(); ++i) {
       const std::uint32_t idx =
@@ -359,8 +445,10 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
     if (!served) {
       throw std::runtime_error("KvStore::get_degraded: all replicas down");
     }
+    result.latency = group.close(result.latency);
   } else {
     // Gather any k live shards; using a parity shard costs a decode pass.
+    GroupScope group(cluster_.executor());
     std::size_t gathered = 0;
     bool used_parity = false;
     for (std::uint32_t i = 0; i < m.src.size() && gathered < config_.ec_data;
@@ -381,6 +469,7 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
       throw std::runtime_error(
           "KvStore::get_degraded: fewer than k shards survive");
     }
+    result.latency = group.close(result.latency);
     if (used_parity) {
       result.latency += static_cast<Nanos>(
           config_.decode_ns_per_byte * static_cast<double>(m.size_bytes));
@@ -395,6 +484,7 @@ OpResult KvStore::get_degraded(ObjectId oid, Epoch now,
         "k-of-n shard reconstruction)");
     degraded.inc();
   }
+  scope.finish(result);
   return result;
 }
 
@@ -421,7 +511,7 @@ std::vector<std::uint8_t> KvStore::gather_value(
     shards[i] = payloads_->load(
         m.src[i], cluster::fragment_key(m.oid, m.placement_version, i));
   }
-  const auto data = codec_.reconstruct_data(shards);
+  const auto data = codec_.reconstruct_data(shards, codec_pool_);
   return ec::ReedSolomon::join(data, m.size_bytes);
 }
 

@@ -28,6 +28,10 @@
 #include "kv/payload_store.hpp"
 #include "meta/mapping_table.hpp"
 
+namespace chameleon {
+class ThreadPool;
+}
+
 namespace chameleon::kv {
 
 struct KvConfig {
@@ -64,6 +68,11 @@ struct OpResult {
   Nanos latency = 0;        ///< max over parallel fan-out + network
   bool converted = false;   ///< a lazy transition completed with this op
   meta::RedState state = meta::RedState::kRep;  ///< state after the op
+  /// Deferred-execution token: -1 when `latency` is final (sequential mode).
+  /// >= 0 when a device executor is engaged — `latency` then holds only the
+  /// inline (network/decode) part; the full value is available from
+  /// ShardExecutor::resolved_latency(pending) after the next drain.
+  std::int64_t pending = -1;
 };
 
 /// A fragment read failed on `server` — the fragment is missing (wiped by an
@@ -146,6 +155,12 @@ class KvStore {
 
   void enable_payloads();
   bool payloads_enabled() const { return payloads_ != nullptr; }
+
+  /// Optional thread pool for Reed-Solomon shard arithmetic on the payload
+  /// path: encode/reconstruct chunk their byte ranges with parallel_for.
+  /// Purely a throughput knob — the output bytes are identical either way.
+  void set_codec_pool(ThreadPool* pool) { codec_pool_ = pool; }
+  ThreadPool* codec_pool() const { return codec_pool_; }
   const PayloadStore* payload_store() const { return payloads_.get(); }
   PayloadStore* payload_store_mutable() { return payloads_.get(); }
 
@@ -201,6 +216,7 @@ class KvStore {
   KvConfig config_;
   ec::ReedSolomon codec_;
   std::unique_ptr<PayloadStore> payloads_;
+  ThreadPool* codec_pool_ = nullptr;  ///< not owned; nullptr = serial codec
 };
 
 }  // namespace chameleon::kv

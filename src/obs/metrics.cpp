@@ -14,22 +14,34 @@ const char* metric_type_name(MetricType t) {
   return "?";
 }
 
+Histogram HistogramMetric::merged() const {
+  Histogram out = [this] {
+    std::lock_guard lock(stripes_.front().mutex);
+    return stripes_.front().hist;
+  }();
+  for (std::size_t i = 1; i < stripes_.size(); ++i) {
+    std::lock_guard lock(stripes_[i].mutex);
+    out.merge(stripes_[i].hist);
+  }
+  return out;
+}
+
 HistogramSnapshot HistogramMetric::snapshot() const {
-  std::lock_guard lock(mutex_);
+  const Histogram hist = merged();
   HistogramSnapshot snap;
-  snap.lo = hist_.bin_low(0);
-  snap.hi = hist_.bin_low(hist_.bin_count() - 1) + hist_.bin_width();
-  snap.count = hist_.count();
-  snap.underflow = hist_.underflow();
-  snap.overflow = hist_.overflow();
-  snap.sum = sum_;
-  snap.cumulative.reserve(hist_.bin_count());
+  snap.lo = hist.bin_low(0);
+  snap.hi = hist.bin_low(hist.bin_count() - 1) + hist.bin_width();
+  snap.count = hist.count();
+  snap.underflow = hist.underflow();
+  snap.overflow = hist.overflow();
+  snap.sum = sum();
+  snap.cumulative.reserve(hist.bin_count());
   // Prometheus buckets are cumulative from -Inf; fold the underflow into the
   // first bucket so sum(le buckets) + overflow == count.
-  std::uint64_t cum = hist_.underflow();
-  for (std::size_t i = 0; i < hist_.bin_count(); ++i) {
-    cum += hist_.bin_value(i);
-    snap.cumulative.emplace_back(hist_.bin_low(i) + hist_.bin_width(), cum);
+  std::uint64_t cum = hist.underflow();
+  for (std::size_t i = 0; i < hist.bin_count(); ++i) {
+    cum += hist.bin_value(i);
+    snap.cumulative.emplace_back(hist.bin_low(i) + hist.bin_width(), cum);
   }
   return snap;
 }

@@ -15,11 +15,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -78,41 +80,73 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// Striped to keep concurrent shard threads (sim/shard_executor) off a
+/// single mutex: observe() touches only the stripe hashed from the calling
+/// thread's id; readers lock the stripes in index order and merge. Binning
+/// and the exact sum are order-independent (latencies are integer
+/// nanoseconds, exact in doubles), so snapshots are bit-identical no matter
+/// which thread observed which value.
 class HistogramMetric {
  public:
-  HistogramMetric(double lo, double hi, std::size_t bins)
-      : hist_(lo, hi, bins) {}
+  HistogramMetric(double lo, double hi, std::size_t bins) {
+    for (std::size_t i = 0; i < kStripes; ++i) {
+      stripes_.emplace_back(lo, hi, bins);
+    }
+  }
 
   void observe(double x) {
-    std::lock_guard lock(mutex_);
-    hist_.add(x);
-    sum_ += x;
+    Stripe& s = stripe();
+    std::lock_guard lock(s.mutex);
+    s.hist.add(x);
+    s.sum += x;
   }
 
   HistogramSnapshot snapshot() const;
 
   std::uint64_t count() const {
-    std::lock_guard lock(mutex_);
-    return hist_.count();
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard lock(s.mutex);
+      total += s.hist.count();
+    }
+    return total;
   }
   double sum() const {
-    std::lock_guard lock(mutex_);
-    return sum_;
+    double total = 0.0;
+    for (const Stripe& s : stripes_) {
+      std::lock_guard lock(s.mutex);
+      total += s.sum;
+    }
+    return total;
   }
-  double percentile(double p) const {
-    std::lock_guard lock(mutex_);
-    return hist_.percentile(p);
-  }
+  double percentile(double p) const { return merged().percentile(p); }
   void reset() {
-    std::lock_guard lock(mutex_);
-    hist_.reset();
-    sum_ = 0.0;
+    for (Stripe& s : stripes_) {
+      std::lock_guard lock(s.mutex);
+      s.hist.reset();
+      s.sum = 0.0;
+    }
   }
 
  private:
-  mutable std::mutex mutex_;
-  Histogram hist_;
-  double sum_ = 0.0;
+  static constexpr std::size_t kStripes = 8;
+
+  struct Stripe {
+    Stripe(double lo, double hi, std::size_t bins) : hist(lo, hi, bins) {}
+    mutable std::mutex mutex;
+    Histogram hist;
+    double sum = 0.0;
+  };
+
+  Stripe& stripe() {
+    return stripes_[std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                    kStripes];
+  }
+  /// All stripes folded into one histogram (locks each stripe in turn).
+  Histogram merged() const;
+
+  /// deque: Stripe holds a mutex (immovable) and needs emplace-in-place.
+  std::deque<Stripe> stripes_;
 };
 
 /// One rendered sample (counter/gauge value or histogram snapshot) as

@@ -10,7 +10,9 @@
 #include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "common/logging.hpp"
+#include "fault/digest.hpp"
 #include "kv/kv_store.hpp"
+#include "sim/shard_executor.hpp"
 #include "workload/registry.hpp"
 
 namespace chameleon::sim {
@@ -135,6 +137,17 @@ ExperimentResult run_experiment_on(const ExperimentConfig& config,
   meta::MappingTable table;
   kv::KvStore store(cluster, table, kv_config);
 
+  // Sharded parallel stepping (bit-identical to sequential; see
+  // docs/PARALLELISM.md). The executor defers per-device flash work to
+  // worker threads; all logical decisions stay on this thread.
+  std::unique_ptr<ShardExecutor> exec;
+  if (config.workers > 1) {
+    ShardExecutor::Options opts;
+    opts.workers = config.workers;
+    exec = std::make_unique<ShardExecutor>(cluster, opts);
+    cluster.attach_executor(exec.get());
+  }
+
   // Balancing policy per Table IV.
   std::unique_ptr<core::Balancer> chameleon;
   std::unique_ptr<baselines::EdmBalancer> edm;
@@ -169,6 +182,22 @@ ExperimentResult run_experiment_on(const ExperimentConfig& config,
   Epoch last_epoch = 0;
   // Client-visible put latency distribution (0 - 100ms, 20us bins).
   Histogram put_latency(0.0, 1e8, 5000);
+
+  // Deferred put tokens, in submission order. Flushed at every drain fence:
+  // tokens must be consumed before the next op begins after a drain (the
+  // executor recycles resolved ops there), and feeding the histogram in
+  // submission order keeps it byte-identical to sequential mode.
+  std::vector<std::int64_t> pending_puts;
+  const auto flush = [&] {
+    if (!exec) return;
+    exec->drain();
+    for (const std::int64_t token : pending_puts) {
+      put_latency.add(static_cast<double>(exec->resolved_latency(token)));
+    }
+    pending_puts.clear();
+  };
+
+  const std::uint32_t drain_batch = std::max<std::uint32_t>(1, config.drain_batch);
   stream.reset();
   workload::TraceRecord rec;
   while (stream.next(rec)) {
@@ -176,16 +205,27 @@ ExperimentResult run_experiment_on(const ExperimentConfig& config,
     const Epoch epoch = clock.epoch_of(config.epoch_length);
     while (last_epoch < epoch) {
       ++last_epoch;
+      if (exec) {
+        // Control-plane sections run inline between a drain fence and
+        // resume — exactly the sequential interleaving.
+        flush();
+        exec->set_bypassed(true);
+      }
       if (chameleon) chameleon->on_epoch(last_epoch);
       if (edm) edm->on_epoch(last_epoch);
       if (hybrid) hybrid->on_epoch(last_epoch);
       if (swans) swans->on_epoch(last_epoch);
+      if (exec) exec->set_bypassed(false);
     }
 
     ++result.requests;
     if (rec.is_write) {
       const auto op = store.put(rec.oid, rec.size_bytes, epoch);
-      put_latency.add(static_cast<double>(op.latency));
+      if (op.pending >= 0) {
+        pending_puts.push_back(op.pending);
+      } else {
+        put_latency.add(static_cast<double>(op.latency));
+      }
       ++result.write_ops;
     } else {
       // Block traces read extents they never wrote in the captured window;
@@ -197,7 +237,10 @@ ExperimentResult run_experiment_on(const ExperimentConfig& config,
       store.get(rec.oid, epoch);
       ++result.read_ops;
     }
+    if (exec && result.requests % drain_batch == 0) flush();
   }
+  flush();
+  if (exec) cluster.attach_executor(nullptr);
 
   // Collect the figure metrics.
   result.erase_counts = cluster.erase_counts();
@@ -219,6 +262,9 @@ ExperimentResult run_experiment_on(const ExperimentConfig& config,
   if (chameleon && config.collect_timeline) {
     result.chameleon_timeline = chameleon->timeline();
   }
+  // Equivalence oracle: computed in both modes so any run pair can be
+  // cross-checked (tests, the workers=1-vs-N CI smoke, cached bench rows).
+  result.state_digest = fault::cluster_digest(store);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

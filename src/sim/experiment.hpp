@@ -53,6 +53,14 @@ struct ExperimentConfig {
   bool collect_timeline = true;  ///< keep Chameleon per-epoch snapshots
   /// Heat-tagged hot/cold SSD write streams (see KvConfig::multi_stream).
   bool multi_stream = false;
+  /// Worker threads for per-device flash work within this experiment
+  /// (sim/shard_executor). 1 = classic sequential stepping; any value
+  /// produces bit-identical results (state_digest, metrics, percentiles) —
+  /// see docs/PARALLELISM.md for the determinism argument.
+  std::uint32_t workers = 1;
+  /// Requests between drain fences when workers > 1 (latency resolution
+  /// batching; no effect on results, only on parallelism granularity).
+  std::uint32_t drain_batch = 1024;
 };
 
 struct ExperimentResult {
@@ -85,6 +93,11 @@ struct ExperimentResult {
 
   meta::StateCensus final_census;
   std::vector<core::EpochSnapshot> chameleon_timeline;  ///< Fig 8
+
+  /// fault::cluster_digest over the final cluster state — the cross-mode
+  /// equivalence oracle: equal configs must yield equal digests at any
+  /// worker count.
+  std::uint64_t state_digest = 0;
 
   double wall_seconds = 0.0;
 

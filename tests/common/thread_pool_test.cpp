@@ -51,6 +51,60 @@ TEST(ThreadPool, ParallelForEmptyRange) {
   EXPECT_FALSE(ran);
 }
 
+TEST(ThreadPool, ParallelForInvertedRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleElementRunsInline) {
+  ThreadPool pool(2);
+  std::vector<std::size_t> hits;
+  pool.parallel_for(41, 42, [&](std::size_t i) { hits.push_back(i); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 41u);
+}
+
+TEST(ThreadPool, ParallelForRangeSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForNonZeroBeginCoversExactRange) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> sum{0};
+  std::atomic<int> calls{0};
+  pool.parallel_for(100, 200, [&](std::size_t i) {
+    sum += i;
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAfterAllChunksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::atomic<bool> last_ran{false};
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t i) {
+                          ++calls;
+                          if (i == 999) last_ran = true;
+                          if (i == 3) throw std::runtime_error("chunk boom");
+                        }),
+      std::runtime_error);
+  // The throwing chunk aborts at the bad element, but every OTHER chunk —
+  // including ones still queued behind it — runs to completion before the
+  // rethrow (the closures borrow the caller's stack frame, so abandoning
+  // queued chunks would be a use-after-free).
+  EXPECT_TRUE(last_ran.load());
+  EXPECT_GT(calls.load(), 900);
+}
+
 TEST(ThreadPool, ParallelForComputesSum) {
   ThreadPool pool(3);
   std::vector<long> values(10'000);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace chameleon::ec {
 namespace {
@@ -172,6 +173,34 @@ INSTANTIATE_TEST_SUITE_P(
       return "n" + std::to_string(param_info.param.n) + "_k" +
              std::to_string(param_info.param.k);
     });
+
+TEST(ReedSolomonParallel, PooledEncodeMatchesSerialBytes) {
+  const ReedSolomon rs(6, 4);
+  ThreadPool pool(4);
+  // Spans both sides of the 64 KiB/shard parallel threshold.
+  for (const std::size_t payload_bytes :
+       {std::size_t{1}, std::size_t{4096}, std::size_t{255 * 1024},
+        std::size_t{1024 * 1024 + 13}}) {
+    const auto payload = random_payload(payload_bytes, payload_bytes);
+    const auto serial = rs.encode_object(payload);
+    const auto pooled = rs.encode_object(payload, &pool);
+    EXPECT_EQ(serial, pooled) << payload_bytes << " bytes";
+  }
+}
+
+TEST(ReedSolomonParallel, PooledReconstructMatchesSerialBytes) {
+  const ReedSolomon rs(6, 4);
+  ThreadPool pool(4);
+  const auto payload = random_payload(800 * 1024, 99);
+  const auto shards = rs.encode_object(payload);
+  // Lose two data shards so the decode matrix actually engages.
+  std::vector<std::optional<std::vector<std::uint8_t>>> slots(6);
+  for (std::size_t i = 2; i < 6; ++i) slots[i] = shards[i];
+  const auto serial = rs.reconstruct_data(slots);
+  const auto pooled = rs.reconstruct_data(slots, &pool);
+  EXPECT_EQ(serial, pooled);
+  EXPECT_EQ(ReedSolomon::join(pooled, payload.size()), payload);
+}
 
 }  // namespace
 }  // namespace chameleon::ec

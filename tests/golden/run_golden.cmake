@@ -1,0 +1,46 @@
+# Golden-figure regression runner. Invoked by ctest (label `golden`) as
+#
+#   cmake -DBENCH=<harness> -DGOLDEN=<checked-in csv> -DOUT=<scratch csv>
+#         -DWORKERS=<n> -P run_golden.cmake
+#
+# Runs one figure harness at the small pinned configuration (scale 0.002,
+# 12 servers, seed 42, cache off) and byte-compares its --csv-out against
+# the golden. The harnesses emit round-trip-exact doubles (setprecision(17),
+# "C" locale), so the text is a function of the double bits alone; the
+# goldens therefore pin the simulator's numeric output exactly, at any
+# --workers value. They were generated with GCC on x86-64 Linux — a
+# toolchain that contracts FP differently (e.g. FMA) would need regenerated
+# goldens:
+#
+#   CHAMELEON_SCALE=0.002 CHAMELEON_SERVERS=12 CHAMELEON_CACHE=0 \
+#     build/bench/fig4_wear_variance --csv-out=tests/golden/fig4_small.csv
+#   CHAMELEON_SCALE=0.002 CHAMELEON_SERVERS=12 CHAMELEON_CACHE=0 \
+#     build/bench/fig8_state_timeline --csv-out=tests/golden/fig8_small.csv
+
+foreach(var BENCH GOLDEN OUT WORKERS)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_golden.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+    CHAMELEON_SCALE=0.002 CHAMELEON_SERVERS=12 CHAMELEON_SEED=42
+    CHAMELEON_CACHE=0
+    ${BENCH} --csv-out=${OUT} --workers=${WORKERS}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} failed (exit ${run_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN} ${OUT})
+  message(FATAL_ERROR
+    "golden mismatch at --workers=${WORKERS}: ${OUT} differs from ${GOLDEN}. "
+    "If the simulator change is intentional, regenerate the goldens (see the "
+    "header of this script).")
+endif()

@@ -1,0 +1,302 @@
+// ShardExecutor phase-ordering properties and thread-safety stress.
+//
+// The property tests randomize worker counts, server counts and op shapes,
+// then audit the executor's observable contract: outboxes drain in
+// (server-id, seq) order, every submitted closure executes exactly once,
+// and resolved op latencies equal inline + sum over groups of
+// max(inline_max, member slots). The stress tests hammer the striped
+// structures (obs histograms/counters, the sharded mapping table) from many
+// threads — they are the TSan targets for the `parallel` CI job.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "meta/mapping_table.hpp"
+#include "obs/metrics.hpp"
+#include "sim/shard_executor.hpp"
+
+namespace chameleon::sim {
+namespace {
+
+flashsim::SsdConfig tiny_ssd() {
+  flashsim::SsdConfig cfg;
+  cfg.pages_per_block = 8;
+  cfg.block_count = 64;
+  return cfg;
+}
+
+TEST(ShardExecutor, DrainLogOrderedAndCompleteUnderRandomShapes) {
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::uint32_t servers =
+        2 + static_cast<std::uint32_t>(rng.next_below(19));
+    const std::size_t workers = 1 + rng.next_below(8);
+    cluster::Cluster cluster(servers, tiny_ssd());
+    ShardExecutor::Options opts;
+    opts.workers = workers;
+    opts.publish_chunk = 1 + rng.next_below(8);
+    opts.keep_drain_log = true;
+    ShardExecutor exec(cluster, opts);
+
+    std::uint64_t submitted_total = 0;
+    std::vector<std::uint64_t> submitted_per_server(servers, 0);
+    std::size_t audited = 0;  // drain-log prefix already checked
+
+    const int rounds = 3 + static_cast<int>(rng.next_below(4));
+    for (int round = 0; round < rounds; ++round) {
+      const std::size_t ops = rng.next_below(200);
+      for (std::size_t i = 0; i < ops; ++i) {
+        const ServerId target =
+            static_cast<ServerId>(rng.next_below(servers));
+        exec.defer(cluster.server(target), [] { return Nanos{1}; },
+                   /*latency_counts=*/false);
+        ++submitted_per_server[target];
+        ++submitted_total;
+      }
+      exec.drain();
+
+      // The new drain segment must cover exactly this round's closures and
+      // be sorted by (server, seq) with per-server seqs contiguous.
+      const auto& log = exec.drain_log();
+      ASSERT_EQ(log.size(), submitted_total);
+      std::vector<std::uint64_t> seen(servers, 0);
+      for (std::size_t i = 0; i < audited; ++i) ++seen[log[i].server];
+      for (std::size_t i = audited; i < log.size(); ++i) {
+        if (i > audited) {
+          const auto& prev = log[i - 1];
+          const auto& cur = log[i];
+          EXPECT_TRUE(prev.server < cur.server ||
+                      (prev.server == cur.server && prev.seq < cur.seq))
+              << "trial " << trial << " round " << round << " index " << i;
+        }
+        EXPECT_EQ(log[i].seq, seen[log[i].server]) << "per-server seq gap";
+        ++seen[log[i].server];
+      }
+      for (ServerId s = 0; s < servers; ++s) {
+        EXPECT_EQ(seen[s], submitted_per_server[s]);
+      }
+      audited = log.size();
+    }
+    EXPECT_EQ(exec.executed_count(), submitted_total);
+  }
+}
+
+TEST(ShardExecutor, ResolvedLatencyIsInlinePlusGroupMaxes) {
+  Xoshiro256 rng(99);
+  cluster::Cluster cluster(8, tiny_ssd());
+  ShardExecutor::Options opts;
+  opts.workers = 4;
+  ShardExecutor exec(cluster, opts);
+
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::int64_t> tokens;
+    std::vector<Nanos> expected;
+    const std::size_t op_count = 1 + rng.next_below(16);
+    for (std::size_t o = 0; o < op_count; ++o) {
+      exec.op_begin();
+      const Nanos inline_part = static_cast<Nanos>(rng.next_below(100));
+      Nanos total = inline_part;
+      const std::size_t groups = rng.next_below(4);
+      for (std::size_t g = 0; g < groups; ++g) {
+        exec.group_begin();
+        Nanos group_max = 0;
+        const std::size_t members = rng.next_below(5);
+        for (std::size_t m = 0; m < members; ++m) {
+          const Nanos lat = static_cast<Nanos>(rng.next_below(1000));
+          group_max = std::max(group_max, lat);
+          exec.defer(cluster.server(static_cast<ServerId>(rng.next_below(8))),
+                     [lat] { return lat; }, /*latency_counts=*/true);
+        }
+        const Nanos inline_max = static_cast<Nanos>(rng.next_below(50));
+        exec.group_end(inline_max);
+        total += std::max(group_max, inline_max);
+      }
+      tokens.push_back(exec.op_end(inline_part, {}));
+      expected.push_back(total);
+    }
+    exec.drain();
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      EXPECT_EQ(exec.resolved_latency(tokens[i]), expected[i])
+          << "round " << round << " op " << i;
+    }
+  }
+}
+
+/// Deterministic oracle variant: drive ops with fully known shapes and
+/// check the resolved arithmetic exactly.
+TEST(ShardExecutor, ResolvedLatencyExactArithmetic) {
+  cluster::Cluster cluster(6, tiny_ssd());
+  ShardExecutor::Options opts;
+  opts.workers = 3;
+  ShardExecutor exec(cluster, opts);
+
+  // op A: inline 10 + group{inline_max 5, slots 7, 3} -> 10 + max(5,7,3)=17
+  exec.op_begin();
+  exec.group_begin();
+  exec.defer(cluster.server(0), [] { return Nanos{7}; }, true);
+  exec.defer(cluster.server(1), [] { return Nanos{3}; }, true);
+  exec.group_end(5);
+  const auto tok_a = exec.op_end(10, {});
+
+  // op B: inline 2 + group{max 20} + group{slots 4} -> 2 + 20 + 4 = 26
+  exec.op_begin();
+  exec.group_begin();
+  exec.group_end(20);
+  exec.group_begin();
+  exec.defer(cluster.server(5), [] { return Nanos{4}; }, true);
+  exec.group_end(0);
+  const auto tok_b = exec.op_end(2, {});
+
+  // op C: latency_counts=false closures never contribute -> inline only.
+  exec.op_begin();
+  exec.group_begin();
+  exec.defer(cluster.server(2), [] { return Nanos{9999}; }, false);
+  exec.group_end(1);
+  const auto tok_c = exec.op_end(100, {});
+
+  Nanos callback_value = -1;
+  exec.op_begin();
+  exec.group_begin();
+  exec.defer(cluster.server(3), [] { return Nanos{8}; }, true);
+  exec.group_end(0);
+  const auto tok_d =
+      exec.op_end(1, [&callback_value](Nanos v) { callback_value = v; });
+
+  exec.drain();
+  EXPECT_EQ(exec.resolved_latency(tok_a), 17);
+  EXPECT_EQ(exec.resolved_latency(tok_b), 26);
+  EXPECT_EQ(exec.resolved_latency(tok_c), 101);
+  EXPECT_EQ(exec.resolved_latency(tok_d), 9);
+  EXPECT_EQ(callback_value, 9);
+
+  // Tokens stay valid until the next op begins, then recycle.
+  exec.op_begin();
+  exec.op_end(0, {});
+  EXPECT_THROW((void)exec.resolved_latency(tok_a), std::out_of_range);
+}
+
+TEST(ShardExecutor, BypassMakesNothingDeferrable) {
+  cluster::Cluster cluster(4, tiny_ssd());
+  ShardExecutor::Options opts;
+  opts.workers = 2;
+  ShardExecutor exec(cluster, opts);
+  EXPECT_TRUE(exec.deferrable(cluster.server(0)));
+  EXPECT_TRUE(exec.engaged());
+  exec.set_bypassed(true);
+  EXPECT_FALSE(exec.deferrable(cluster.server(0)));
+  EXPECT_FALSE(exec.engaged());
+  exec.set_bypassed(false);
+  EXPECT_TRUE(exec.deferrable(cluster.server(0)));
+}
+
+TEST(ShardExecutor, ShardErrorRethrownAtDrain) {
+  cluster::Cluster cluster(4, tiny_ssd());
+  ShardExecutor::Options opts;
+  opts.workers = 2;
+  ShardExecutor exec(cluster, opts);
+  exec.defer(cluster.server(0), [] { return Nanos{1}; }, false);
+  exec.defer(cluster.server(1),
+             []() -> Nanos { throw std::runtime_error("boom"); }, false);
+  exec.defer(cluster.server(2), [] { return Nanos{1}; }, false);
+  EXPECT_THROW(exec.drain(), std::runtime_error);
+  // The executor stays usable: later work drains cleanly.
+  exec.defer(cluster.server(3), [] { return Nanos{1}; }, false);
+  EXPECT_NO_THROW(exec.drain());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress — the TSan targets. Sized to finish fast in a normal
+// run while giving the race detector real interleavings to chew on.
+
+TEST(ParallelStress, StripedHistogramAndCountersUnderConcurrency) {
+  obs::set_enabled(true);
+  auto& hist = obs::metrics().histogram("stress_hist_ns", 0.0, 1e6, 100);
+  auto& counter = obs::metrics().counter("stress_ops_total");
+  hist.reset();
+  counter.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        hist.observe(static_cast<double>((t * kOpsPerThread + i) % 1000000));
+        counter.inc();
+        if (i % 4096 == 0) {
+          (void)hist.count();  // concurrent reader
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(hist.count(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, hist.count());
+  obs::set_enabled(false);
+}
+
+TEST(ParallelStress, MappingTableConcurrentMutation) {
+  meta::MappingTable table;
+  constexpr int kThreads = 8;
+  constexpr ObjectId kObjectsPerThread = 2000;
+  std::atomic<std::uint64_t> created{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (ObjectId i = 0; i < kObjectsPerThread; ++i) {
+        const ObjectId oid =
+            static_cast<ObjectId>(t) * kObjectsPerThread + i;
+        meta::ObjectMeta m;
+        m.oid = oid;
+        m.size_bytes = 4096;
+        m.state = meta::RedState::kEc;
+        if (table.create(m)) created.fetch_add(1);
+        table.mutate(oid, [](meta::ObjectMeta& stored) {
+          stored.size_bytes += 1;
+        });
+        (void)table.get(oid);
+        if (i % 64 == 0) (void)table.census();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(created.load(),
+            static_cast<std::uint64_t>(kThreads) * kObjectsPerThread);
+  EXPECT_EQ(table.census().total_objects(),
+            static_cast<std::uint64_t>(kThreads) * kObjectsPerThread);
+}
+
+TEST(ParallelStress, ExecutorManySmallDrains) {
+  cluster::Cluster cluster(16, tiny_ssd());
+  ShardExecutor::Options opts;
+  opts.workers = 4;
+  opts.publish_chunk = 4;
+  ShardExecutor exec(cluster, opts);
+  Xoshiro256 rng(5);
+  std::uint64_t submitted = 0;
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t ops = rng.next_below(32);
+    for (std::size_t i = 0; i < ops; ++i) {
+      exec.defer(cluster.server(static_cast<ServerId>(rng.next_below(16))),
+                 [] { return Nanos{1}; }, false);
+      ++submitted;
+    }
+    exec.drain();
+  }
+  EXPECT_EQ(exec.executed_count(), submitted);
+}
+
+}  // namespace
+}  // namespace chameleon::sim

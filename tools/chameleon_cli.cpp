@@ -3,7 +3,9 @@
 //   chameleon workloads [scale=0.1]
 //       list the built-in workload presets with measured characteristics
 //   chameleon simulate workload=<name> scheme=<name> [servers=50] [scale=0.1]
+//                      [workers=1]
 //       replay one (workload, scheme) pair and print the full report
+//       (workers>1 shards the cluster across threads, bit-identical results)
 //   chameleon compare workload=<name> [servers=50] [scale=0.1]
 //       replay every Table IV scheme on one workload, side by side
 //   chameleon export-trace workload=<name> out=<file> [scale=0.1]
@@ -61,6 +63,9 @@ sim::ExperimentConfig config_from(const Config& config) {
   cfg.servers = static_cast<std::uint32_t>(config.get_int("servers", 50));
   cfg.scale = config.get_double("scale", scale_from_env(0.1));
   cfg.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+  // workers=N shards the cluster across N threads; results are bit-identical
+  // to workers=1 (see docs/PARALLELISM.md).
+  cfg.workers = static_cast<std::uint32_t>(config.get_int("workers", 1));
   return cfg;
 }
 
@@ -225,7 +230,8 @@ void usage() {
                "commands:\n"
                "  workloads                      list workload presets\n"
                "  schemes                        list Table IV schemes\n"
-               "  simulate workload= scheme=     run one experiment\n"
+               "  simulate workload= scheme= [workers=1]\n"
+               "                                 run one experiment\n"
                "  compare workload=              run every scheme\n"
                "  export-trace workload= out=    write an MSR-format CSV\n"
                "  metrics workload= scheme= [out=-] [format=prometheus|json]\n"
