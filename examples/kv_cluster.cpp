@@ -1,17 +1,22 @@
 // Distributed KV-store scenario: a Facebook-style skewed key-value workload
 // (the paper's motivating use case) served by a 50-node flash cluster, with
 // and without Chameleon's wear balancing — printing the wear spread, write
-// amplification and latency side by side.
+// amplification and latency side by side. Ends with the same store served
+// over a real TCP socket through the svc layer (docs/SERVICE.md).
 //
 //   ./build/examples/kv_cluster [servers=50] [requests=120000]
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "core/balancer.hpp"
+#include "core/chameleon.hpp"
 #include "kv/kv_store.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
 #include "workload/registry.hpp"
 
 using namespace chameleon;
@@ -69,6 +74,41 @@ RunOutcome run(bool balanced, std::uint32_t servers, std::uint64_t requests) {
   return out;
 }
 
+// The same cluster behind a real socket: an in-process svc::Server on an
+// ephemeral port, driven through the pooled network client with retries.
+void serve_over_tcp() {
+  core::ChameleonConfig config;
+  config.servers = 8;
+  config.kv.initial_scheme = meta::RedState::kEc;
+  core::Chameleon system(config);
+
+  svc::ServerConfig server_config;
+  server_config.port = 0;  // ephemeral; read back via server.port()
+  svc::Server server(system, server_config);
+  server.start();
+
+  svc::ClientConfig client_config;
+  client_config.host = server.host();
+  client_config.port = server.port();
+  svc::ClientPool pool(client_config, /*size=*/2);
+
+  pool.put("user:alice", std::string_view("{\"city\":\"knoxville\"}"));
+  std::vector<std::uint8_t> value;
+  const auto status = pool.get("user:alice", value);
+  std::printf("\n== Same store over TCP (port %u) ==\n", server.port());
+  std::printf("GET user:alice -> %s \"%.*s\"\n", svc::status_name(status),
+              static_cast<int>(value.size()),
+              reinterpret_cast<const char*>(value.data()));
+  const auto missing = pool.get("user:nobody", value);
+  std::printf("GET user:nobody -> %s\n", svc::status_name(missing));
+
+  server.stop();  // graceful drain
+  const auto stats = server.stats();
+  std::printf("server served %llu requests, drained %s\n",
+              static_cast<unsigned long long>(stats.requests_total),
+              stats.drained_clean ? "clean" : "at deadline");
+}
+
 void report(const char* label, const RunOutcome& o) {
   auto sorted = o.erases;
   std::sort(sorted.begin(), sorted.end());
@@ -120,5 +160,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(chameleon.census.total_objects() -
                                       chameleon.census.objects_in(meta::RedState::kRep) -
                                       chameleon.census.objects_in(meta::RedState::kEc)));
+
+  serve_over_tcp();
   return 0;
 }

@@ -6,6 +6,33 @@
 
 namespace chameleon::meta {
 
+namespace {
+
+/// Strict server-id token parser: every character must be a digit and the
+/// value must fit ServerId. std::stoul would silently truncate trailing
+/// garbage ("4x" -> 4) and throw the wrong exception type on junk.
+ServerId parse_server_id(const std::string& token) {
+  if (token.empty() || token.size() > 10) {
+    throw std::runtime_error("checkpoint: malformed server id '" + token +
+                             "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      throw std::runtime_error("checkpoint: malformed server id '" + token +
+                               "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > 0xFFFFFFFFULL) {
+    throw std::runtime_error("checkpoint: server id out of range '" + token +
+                             "'");
+  }
+  return static_cast<ServerId>(value);
+}
+
+}  // namespace
+
 std::string serialize_object_meta(const ObjectMeta& m) {
   std::ostringstream os;
   os << m.oid << ' ' << m.size_bytes << ' '
@@ -21,6 +48,9 @@ std::string serialize_object_meta(const ObjectMeta& m) {
 }
 
 ObjectMeta deserialize_object_meta(const std::string& line) {
+  if (line.find('\0') != std::string::npos) {
+    throw std::runtime_error("checkpoint: embedded NUL in object line");
+  }
   std::istringstream is(line);
   ObjectMeta m;
   int state = 0;
@@ -37,14 +67,22 @@ ObjectMeta deserialize_object_meta(const std::string& line) {
   if (token != "src") {
     throw std::runtime_error("checkpoint: expected src marker");
   }
+  const auto push_bounded = [](ServerSet& set, ServerId id) {
+    // A corrupt line must surface as runtime_error, not InlineVec's
+    // length_error (a logic_error the callers rightly never catch).
+    if (set.size() == set.capacity()) {
+      throw std::runtime_error("checkpoint: too many server ids");
+    }
+    set.push_back(id);
+  };
   while (is >> token && token != "dst") {
-    m.src.push_back(static_cast<ServerId>(std::stoul(token)));
+    push_bounded(m.src, parse_server_id(token));
   }
   if (token != "dst") {
     throw std::runtime_error("checkpoint: expected dst marker");
   }
   while (is >> token) {
-    m.dst.push_back(static_cast<ServerId>(std::stoul(token)));
+    push_bounded(m.dst, parse_server_id(token));
   }
   return m;
 }

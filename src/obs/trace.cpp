@@ -21,6 +21,10 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kWearSnapshot: return "wear_snapshot";
     case TraceType::kServerWear: return "server_wear";
     case TraceType::kFaultInjected: return "fault_injected";
+    case TraceType::kSvcSessionOpen: return "svc_session_open";
+    case TraceType::kSvcSessionClose: return "svc_session_close";
+    case TraceType::kSvcRequest: return "svc_request";
+    case TraceType::kSvcShed: return "svc_shed";
     case TraceType::kCount: break;
   }
   return "unknown";

@@ -35,6 +35,10 @@ enum class TraceType : std::uint32_t {
   kWearSnapshot,        ///< per-epoch cluster wear summary (mean/stddev/CV)
   kServerWear,          ///< per-epoch per-server erase telemetry
   kFaultInjected,       ///< the fault injector applied one schedule event
+  kSvcSessionOpen,      ///< service layer accepted a connection
+  kSvcSessionClose,     ///< service layer closed a connection
+  kSvcRequest,          ///< one served (admitted + executed) service request
+  kSvcShed,             ///< admission control shed a request
   kCount
 };
 
@@ -58,6 +62,11 @@ inline constexpr std::uint64_t kNoField =
 ///   kServerWear      server, a=cumulative erases, b=erases this epoch
 ///   kFaultInjected   server=target, from=fault kind, a=window epochs,
 ///                    value=rate (drop probability / UBER)
+///   kSvcSessionOpen  server=session id
+///   kSvcSessionClose server=session id
+///   kSvcRequest      server=session id, from=op name, to=status name,
+///                    a=request payload bytes, value=latency ns
+///   kSvcShed         server=session id, from=op name
 struct TraceEvent {
   std::uint64_t seq = 0;  ///< assigned by the sink, monotone
   std::uint64_t epoch = 0;

@@ -1,0 +1,82 @@
+// Admission control / backpressure for the service layer: a bounded global
+// in-flight window plus a per-session credit window. A request that finds no
+// room is *shed* — answered immediately with Status::kRetryLater instead of
+// queueing unboundedly — so overload degrades into client-visible 429s with
+// bounded server memory, never into an ever-growing queue (docs/SERVICE.md).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace chameleon::svc {
+
+struct AdmissionConfig {
+  /// Requests executing or queued on workers, across all sessions.
+  std::size_t max_inflight = 256;
+  /// Outstanding (admitted, unanswered) requests one session may pipeline.
+  std::size_t session_credits = 64;
+};
+
+class AdmissionController {
+ public:
+  enum class Decision {
+    kAdmit,        ///< run it; caller must release() when the response is out
+    kShedSession,  ///< session exhausted its credit window
+    kShedGlobal,   ///< cluster-wide in-flight window is full
+  };
+
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Try to admit one request from a session with `session_inflight`
+  /// requests already outstanding. The session check runs first and consumes
+  /// no global slot when it sheds.
+  Decision admit(std::size_t session_inflight) {
+    if (session_inflight >= config_.session_credits) {
+      shed_session_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kShedSession;
+    }
+    std::size_t cur = inflight_.load(std::memory_order_relaxed);
+    do {
+      if (cur >= config_.max_inflight) {
+        shed_global_.fetch_add(1, std::memory_order_relaxed);
+        return Decision::kShedGlobal;
+      }
+    } while (!inflight_.compare_exchange_weak(cur, cur + 1,
+                                              std::memory_order_relaxed));
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return Decision::kAdmit;
+  }
+
+  /// One admitted request finished (its response was produced).
+  void release() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted_total() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_total() const {
+    return shed_session_.load(std::memory_order_relaxed) +
+           shed_global_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_session_total() const {
+    return shed_session_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_global_total() const {
+    return shed_global_.load(std::memory_order_relaxed);
+  }
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_session_{0};
+  std::atomic<std::uint64_t> shed_global_{0};
+};
+
+}  // namespace chameleon::svc

@@ -1,0 +1,706 @@
+#include "svc/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/faults.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace chameleon::svc {
+
+namespace {
+
+/// Output buffered per session is capped: a peer that floods pipelined
+/// control requests (each response can be far larger than the request, e.g.
+/// METRICS) is disconnected instead of ballooning server memory.
+constexpr std::size_t kMaxSessionOutBytes = 32u << 20;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string("svc: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+Nanos elapsed_ns(std::chrono::steady_clock::time_point from,
+                 std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(core::Chameleon& system, const ServerConfig& config)
+    : system_(system),
+      config_(config),
+      admission_(config.admission),
+      fault_rng_(config.faults.seed) {
+  if (obs::enabled()) {
+    auto& reg = obs::metrics();
+    for (std::size_t i = 0; i < static_cast<std::size_t>(Op::kCount); ++i) {
+      const char* op = op_name(static_cast<Op>(i));
+      metric_.requests[i] =
+          &reg.counter("chameleon_svc_requests_total", {{"op", op}},
+                       "Service requests received, by op");
+      metric_.latency[i] = &reg.histogram(
+          "chameleon_svc_request_latency_ns", 0.0, 1e8, 1000, {{"op", op}},
+          "Admission-to-response latency of served requests");
+    }
+    metric_.shed_session =
+        &reg.counter("chameleon_svc_shed_total", {{"scope", "session"}},
+                     "Requests shed by admission control, by scope");
+    metric_.shed_global =
+        &reg.counter("chameleon_svc_shed_total", {{"scope", "global"}},
+                     "Requests shed by admission control, by scope");
+    metric_.bytes_read = &reg.counter("chameleon_svc_bytes_read_total", {},
+                                      "Bytes read from service sockets");
+    metric_.bytes_written =
+        &reg.counter("chameleon_svc_bytes_written_total", {},
+                     "Bytes written to service sockets");
+    metric_.sessions_opened =
+        &reg.counter("chameleon_svc_sessions_opened_total", {},
+                     "Connections accepted by the service");
+    metric_.sessions_closed =
+        &reg.counter("chameleon_svc_sessions_closed_total", {},
+                     "Connections closed by the service");
+    metric_.protocol_errors =
+        &reg.counter("chameleon_svc_protocol_errors_total", {},
+                     "Connections torn down on malformed frames");
+    metric_.inflight = &reg.gauge("chameleon_svc_inflight", {},
+                                  "Admitted requests currently in flight");
+    metric_.resolved = true;
+  }
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+void Server::start() {
+  if (running()) throw std::runtime_error("svc: server already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  const std::string host =
+      config_.host == "localhost" ? "127.0.0.1" : config_.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("svc: cannot parse listen host '" + config_.host +
+                             "' (numeric IPv4 expected)");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind");
+  }
+  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+
+  pool_ = std::make_unique<ThreadPool>(std::max(1u, config_.workers));
+  stop_requested_.store(false, std::memory_order_release);
+  io_done_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void Server::request_stop() noexcept {
+  // Async-signal-safe: one atomic store plus one write(2).
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n =
+        ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void Server::wait() {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (io_thread_.joinable()) io_thread_.join();
+  // The pool destructor drains queued jobs; their completions are dropped
+  // below. Destroy it before closing the wake fd the jobs may still poke.
+  pool_.reset();
+  {
+    std::lock_guard clock(completion_mutex_);
+    completions_.clear();
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.accepted_total = accepted_total_.load(std::memory_order_relaxed);
+  s.sessions_open = sessions_open_.load(std::memory_order_relaxed);
+  s.sessions_closed_total =
+      sessions_closed_total_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.responses_total = responses_total_.load(std::memory_order_relaxed);
+  s.shed_total = admission_.shed_total();
+  s.protocol_errors_total =
+      protocol_errors_total_.load(std::memory_order_relaxed);
+  s.faults_injected_total =
+      faults_injected_total_.load(std::memory_order_relaxed);
+  s.bytes_read_total = bytes_read_total_.load(std::memory_order_relaxed);
+  s.bytes_written_total = bytes_written_total_.load(std::memory_order_relaxed);
+  s.inflight = admission_.inflight();
+  s.drained_clean = drained_clean_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::io_loop() {
+  std::array<epoll_event, 64> events;
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 50);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;
+      const std::shared_ptr<Session> session = it->second;  // keep alive
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) session->peer_gone = true;
+      if ((mask & EPOLLIN) != 0) on_readable(session);
+      if (!session->closed() && (mask & EPOLLOUT) != 0) pump_out(session);
+      if (!session->closed() && session->peer_gone &&
+          session->inflight == 0 && !session->pending()) {
+        close_session(session);
+      }
+    }
+    drain_completions();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      draining_ = true;
+      drain_deadline_ = now + std::chrono::nanoseconds(config_.drain_timeout);
+      if (listen_fd_ >= 0) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+    }
+    if (draining_) {
+      bool busy = admission_.inflight() > 0;
+      if (!busy) {
+        for (const auto& [sfd, session] : sessions_) {
+          if (session->inflight > 0 || session->pending()) {
+            busy = true;
+            break;
+          }
+        }
+      }
+      if (!busy || now >= drain_deadline_) {
+        drained_clean_.store(!busy, std::memory_order_relaxed);
+        break;
+      }
+    } else if (config_.idle_timeout > 0) {
+      reap_idle(now);
+    }
+  }
+  while (!sessions_.empty()) close_session(sessions_.begin()->second);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+  io_done_.store(true, std::memory_order_release);
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; stay alive
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto session =
+        std::make_shared<Session>(fd, next_session_id_++, config_.max_payload);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // session destructor closes the fd
+    }
+    sessions_.emplace(fd, session);
+    accepted_total_.fetch_add(1, std::memory_order_relaxed);
+    sessions_open_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) metric_.sessions_opened->inc();
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kSvcSessionOpen)) {
+      obs::TraceEvent e;
+      e.epoch = epoch_cache_.load(std::memory_order_relaxed);
+      e.type = obs::TraceType::kSvcSessionOpen;
+      e.server = session->id();
+      sink.record(std::move(e));
+    }
+  }
+}
+
+void Server::on_readable(const std::shared_ptr<Session>& session) {
+  std::uint64_t nread = 0;
+  const Session::IoResult r = session->read_some(&nread);
+  if (nread > 0) {
+    bytes_read_total_.fetch_add(nread, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) metric_.bytes_read->inc(nread);
+  }
+  Frame frame;
+  for (;;) {
+    const DecodeResult d = session->decoder().next(frame);
+    if (d == DecodeResult::kFrame) {
+      if (!handle_frame(session, std::move(frame))) return;
+      continue;
+    }
+    if (d == DecodeResult::kNeedMore) break;
+    // Malformed frame: framing is lost, tear the connection down.
+    protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) metric_.protocol_errors->inc();
+    close_session(session);
+    return;
+  }
+  if (r == Session::IoResult::kEof || r == Session::IoResult::kError) {
+    session->peer_gone = true;
+  }
+  pump_out(session);
+  if (!session->closed() && session->peer_gone && session->inflight == 0 &&
+      !session->pending()) {
+    close_session(session);
+  }
+}
+
+bool Server::handle_frame(const std::shared_ptr<Session>& session,
+                          Frame frame) {
+  note_request(frame.op);
+  if (frame.status != Status::kOk) {
+    // Requests must carry kOk; anything else is a confused peer.
+    protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) metric_.protocol_errors->inc();
+    close_session(session);
+    return false;
+  }
+
+  // Serving-path fault hooks: fixed roll order (drop, then stall) keeps the
+  // stream reproducible for a given seed, like the network fault plan.
+  Nanos stall = 0;
+  if (config_.faults.conn_drop_rate > 0.0 || config_.faults.stall_rate > 0.0) {
+    const bool drop = fault_rng_.next_bool(config_.faults.conn_drop_rate);
+    const bool do_stall = fault_rng_.next_bool(config_.faults.stall_rate);
+    if (drop) {
+      faults_injected_total_.fetch_add(1, std::memory_order_relaxed);
+      note_fault("svc_conn_drop");
+      close_session(session);
+      return false;
+    }
+    if (do_stall) {
+      faults_injected_total_.fetch_add(1, std::memory_order_relaxed);
+      note_fault("svc_stall");
+      stall = config_.faults.stall;
+    }
+  }
+
+  const bool data_op = frame.op == Op::kGet || frame.op == Op::kPut ||
+                       frame.op == Op::kDelete;
+  if (!data_op) {
+    session->enqueue(control_response(frame));
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    if (session->pending_bytes() > kMaxSessionOutBytes) {
+      close_session(session);
+      return false;
+    }
+    return true;
+  }
+
+  if (draining_) {
+    session->enqueue(Frame{frame.op, Status::kShuttingDown, frame.request_id,
+                           {}});
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  const auto decision = admission_.admit(session->inflight);
+  if (decision != AdmissionController::Decision::kAdmit) {
+    if (metric_.resolved && obs::enabled()) {
+      (decision == AdmissionController::Decision::kShedSession
+           ? metric_.shed_session
+           : metric_.shed_global)
+          ->inc();
+    }
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kSvcShed)) {
+      obs::TraceEvent e;
+      e.epoch = epoch_cache_.load(std::memory_order_relaxed);
+      e.type = obs::TraceType::kSvcShed;
+      e.server = session->id();
+      e.from = op_name(frame.op);
+      sink.record(std::move(e));
+    }
+    session->enqueue(Frame{frame.op, Status::kRetryLater, frame.request_id,
+                           {}});
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  session->inflight += 1;
+  if (metric_.resolved && obs::enabled()) {
+    metric_.inflight->set(static_cast<double>(admission_.inflight()));
+  }
+  Completion seed;
+  seed.session = session;
+  seed.op = frame.op;
+  seed.admitted_at = std::chrono::steady_clock::now();
+  seed.request_bytes = frame.payload.size();
+  pool_->submit([this, request = std::move(frame), stall,
+                 seed = std::move(seed)]() mutable {
+    if (stall > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+    }
+    seed.response = execute(request);
+    {
+      std::lock_guard lock(completion_mutex_);
+      completions_.push_back(std::move(seed));
+    }
+    if (wake_fd_ >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
+    }
+  });
+  return true;
+}
+
+Frame Server::control_response(const Frame& request) {
+  Frame resp{request.op, Status::kOk, request.request_id, {}};
+  switch (request.op) {
+    case Op::kPing:
+      break;
+    case Op::kStats: {
+      const std::string body = stats_json();
+      resp.payload.assign(body.begin(), body.end());
+      break;
+    }
+    case Op::kMetrics: {
+      const std::string body = obs::render_prometheus(obs::metrics());
+      resp.payload.assign(body.begin(), body.end());
+      break;
+    }
+    default:
+      resp.status = Status::kBadRequest;
+      break;
+  }
+  return resp;
+}
+
+Frame Server::execute(const Frame& request) {
+  Frame resp{request.op, Status::kOk, request.request_id, {}};
+  try {
+    switch (request.op) {
+      case Op::kGet: {
+        std::string key;
+        if (!decode_key_body(request.payload, key)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        std::lock_guard lock(store_mutex_);
+        if (!system_.client().contains(key)) {
+          resp.status = Status::kNotFound;
+          break;
+        }
+        resp.payload = system_.client().get(key, system_.current_epoch());
+        break;
+      }
+      case Op::kPut: {
+        PutBody body;
+        if (!decode_put_body(request.payload, body)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        std::lock_guard lock(store_mutex_);
+        system_.client().put(
+            body.key,
+            std::span<const std::uint8_t>(body.value.data(),
+                                          body.value.size()),
+            system_.current_epoch());
+        maybe_tick_epoch_locked();
+        break;
+      }
+      case Op::kDelete: {
+        std::string key;
+        if (!decode_key_body(request.payload, key)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        std::lock_guard lock(store_mutex_);
+        resp.status = system_.client().remove(key) ? Status::kOk
+                                                   : Status::kNotFound;
+        break;
+      }
+      default:
+        resp.status = Status::kBadRequest;
+        break;
+    }
+  } catch (const TransientFault& fault) {
+    resp.status = Status::kRetryLater;
+    const std::string what = fault.what();
+    resp.payload.assign(what.begin(), what.end());
+  } catch (const std::out_of_range&) {
+    resp.status = Status::kNotFound;
+    resp.payload.clear();
+  } catch (const std::exception& error) {
+    resp.status = Status::kError;
+    const std::string what = error.what();
+    resp.payload.assign(what.begin(), what.end());
+  }
+  return resp;
+}
+
+void Server::maybe_tick_epoch_locked() {
+  if (config_.epoch_every_ops == 0) return;
+  if (++ops_since_epoch_ < config_.epoch_every_ops) return;
+  ops_since_epoch_ = 0;
+  system_.advance_time(system_.now() + system_.config().epoch_length);
+  epoch_cache_.store(system_.current_epoch(), std::memory_order_relaxed);
+}
+
+void Server::drain_completions() {
+  std::deque<Completion> batch;
+  {
+    std::lock_guard lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (Completion& c : batch) {
+    admission_.release();
+    if (c.session->inflight > 0) c.session->inflight -= 1;
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    note_response(c.op, elapsed_ns(c.admitted_at, now));
+    auto& sink = obs::trace();
+    if (sink.accepts(obs::TraceType::kSvcRequest)) {
+      obs::TraceEvent e;
+      e.epoch = epoch_cache_.load(std::memory_order_relaxed);
+      e.type = obs::TraceType::kSvcRequest;
+      e.server = c.session->id();
+      e.from = op_name(c.op);
+      e.to = status_name(c.response.status);
+      e.a = c.request_bytes;
+      e.value = static_cast<double>(elapsed_ns(c.admitted_at, now));
+      e.has_value = true;
+      sink.record(std::move(e));
+    }
+    if (!c.session->closed()) {
+      c.session->enqueue(c.response);
+      pump_out(c.session);
+    }
+    if (!c.session->closed() && c.session->peer_gone &&
+        c.session->inflight == 0 && !c.session->pending()) {
+      close_session(c.session);
+    }
+  }
+  if (!batch.empty() && metric_.resolved && obs::enabled()) {
+    metric_.inflight->set(static_cast<double>(admission_.inflight()));
+  }
+}
+
+void Server::pump_out(const std::shared_ptr<Session>& session) {
+  if (session->closed()) return;
+  std::uint64_t written = 0;
+  const Session::IoResult r = session->flush(&written);
+  if (written > 0) {
+    bytes_written_total_.fetch_add(written, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) {
+      metric_.bytes_written->inc(written);
+    }
+  }
+  if (r == Session::IoResult::kError) {
+    close_session(session);
+    return;
+  }
+  update_epoll(*session);
+}
+
+void Server::update_epoll(Session& session) {
+  const bool want = session.pending();
+  if (want == session.want_write || session.closed()) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.fd = session.fd();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session.fd(), &ev) == 0) {
+    session.want_write = want;
+  }
+}
+
+void Server::close_session(std::shared_ptr<Session> session) {
+  const int fd = session->fd();
+  if (fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  sessions_.erase(fd);
+  session->close();
+  sessions_open_.fetch_sub(1, std::memory_order_relaxed);
+  sessions_closed_total_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_.resolved && obs::enabled()) metric_.sessions_closed->inc();
+  auto& sink = obs::trace();
+  if (sink.accepts(obs::TraceType::kSvcSessionClose)) {
+    obs::TraceEvent e;
+    e.epoch = epoch_cache_.load(std::memory_order_relaxed);
+    e.type = obs::TraceType::kSvcSessionClose;
+    e.server = session->id();
+    sink.record(std::move(e));
+  }
+}
+
+void Server::reap_idle(std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<Session>> victims;
+  for (const auto& [fd, session] : sessions_) {
+    if (session->inflight > 0 || session->pending()) continue;
+    if (elapsed_ns(session->last_activity, now) > config_.idle_timeout) {
+      victims.push_back(session);
+    }
+  }
+  for (const auto& session : victims) close_session(session);
+}
+
+std::string Server::stats_json() const {
+  const ServerStats s = stats();
+  std::string out;
+  out.reserve(256);
+  const auto field = [&out](const char* key, std::uint64_t v, bool first =
+                                                                  false) {
+    if (!first) out += ',';
+    out += '"';
+    out += key;
+    out += "\":";
+    out += std::to_string(v);
+  };
+  out += '{';
+  field("accepted_total", s.accepted_total, true);
+  field("sessions_open", s.sessions_open);
+  field("sessions_closed_total", s.sessions_closed_total);
+  field("requests_total", s.requests_total);
+  field("responses_total", s.responses_total);
+  field("shed_total", s.shed_total);
+  field("protocol_errors_total", s.protocol_errors_total);
+  field("faults_injected_total", s.faults_injected_total);
+  field("bytes_read_total", s.bytes_read_total);
+  field("bytes_written_total", s.bytes_written_total);
+  field("inflight", s.inflight);
+  out += ",\"draining\":";
+  out += draining_ ? "true" : "false";
+  out += '}';
+  return out;
+}
+
+void Server::note_request(Op op) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (metric_.resolved && obs::enabled()) {
+    metric_.requests[static_cast<std::size_t>(op)]->inc();
+  }
+}
+
+void Server::note_response(Op op, Nanos latency) {
+  if (metric_.resolved && obs::enabled()) {
+    metric_.latency[static_cast<std::size_t>(op)]->observe(
+        static_cast<double>(latency));
+  }
+}
+
+void Server::note_fault(const char* kind) {
+  if (!obs::enabled()) return;
+  auto& counter = obs::metrics().counter("chameleon_fault_injected_total",
+                                         {{"kind", kind}},
+                                         "Injected faults fired, by kind");
+  counter.inc();
+}
+
+// --- signal-triggered drain --------------------------------------------------
+
+namespace {
+std::atomic<Server*> g_drain_server{nullptr};
+
+extern "C" void drain_signal_handler(int) {
+  Server* server = g_drain_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_stop();
+}
+}  // namespace
+
+void drain_on_signals(Server* server, std::initializer_list<int> signals) {
+  g_drain_server.store(server, std::memory_order_release);
+  struct sigaction action{};
+  if (server != nullptr) {
+    action.sa_handler = drain_signal_handler;
+    action.sa_flags = SA_RESTART;
+  } else {
+    action.sa_handler = SIG_DFL;
+  }
+  sigemptyset(&action.sa_mask);
+  for (const int sig : signals) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+}  // namespace chameleon::svc

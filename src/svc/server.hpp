@@ -1,0 +1,214 @@
+// Epoll-based reactor serving the Chameleon KV cluster over the svc wire
+// protocol (docs/SERVICE.md). One IO thread owns every socket and all session
+// state; a worker pool executes admitted requests against the KvStore behind
+// the coordinator mutex (logical decisions stay serialized — the same
+// discipline DeviceExecutor imposes inside the simulation — while the store's
+// codec pool may still fan shard arithmetic out underneath).
+//
+// Lifecycle: start() binds/listens and spawns the threads; request_stop() is
+// async-signal-safe (an eventfd write), so a SIGTERM handler can trigger the
+// graceful drain: stop accepting, answer new requests with kShuttingDown,
+// finish every admitted request, flush every response, then close. stop() is
+// request_stop() + wait().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "core/chameleon.hpp"
+#include "svc/admission.hpp"
+#include "svc/session.hpp"
+#include "svc/wire.hpp"
+
+namespace chameleon::obs {
+class Counter;
+class Gauge;
+class HistogramMetric;
+}  // namespace chameleon::obs
+
+namespace chameleon::svc {
+
+/// Seeded serving-path fault hooks (the chaos harness drives these): each
+/// received frame rolls connection-drop first, then response-stall, on one
+/// deterministic RNG stream, mirroring the FaultInjector's arming discipline.
+struct ServiceFaultPlan {
+  double conn_drop_rate = 0.0;  ///< P(kill the connection on a frame)
+  double stall_rate = 0.0;      ///< P(delay the response by `stall`)
+  Nanos stall = 20 * kMillisecond;  ///< real-time response delay
+  std::uint64_t seed = 0x5eed;
+};
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;     ///< 0 = ephemeral (read back via port())
+  std::uint32_t workers = 2;  ///< request-execution threads
+  AdmissionConfig admission;
+  std::uint32_t max_payload = kDefaultMaxPayload;
+  /// Sessions idle longer than this (no traffic, nothing in flight) are
+  /// reaped. 0 disables reaping.
+  Nanos idle_timeout = 60 * kSecond;
+  /// stop(): maximum real time to wait for in-flight requests and pending
+  /// responses before closing sessions anyway.
+  Nanos drain_timeout = 5 * kSecond;
+  /// Advance the balancer's virtual clock by one epoch every N executed data
+  /// ops (0 = never), so wear balancing runs under served traffic.
+  std::uint64_t epoch_every_ops = 10'000;
+  ServiceFaultPlan faults;
+};
+
+/// Point-in-time counters (all monotone except sessions_open/inflight).
+struct ServerStats {
+  std::uint64_t accepted_total = 0;
+  std::uint64_t sessions_open = 0;
+  std::uint64_t sessions_closed_total = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t responses_total = 0;
+  std::uint64_t shed_total = 0;
+  std::uint64_t protocol_errors_total = 0;
+  std::uint64_t faults_injected_total = 0;
+  std::uint64_t bytes_read_total = 0;
+  std::uint64_t bytes_written_total = 0;
+  std::uint64_t inflight = 0;
+  bool drained_clean = false;  ///< last drain finished inside drain_timeout
+};
+
+class Server {
+ public:
+  /// `system` must outlive the server. Serving enables the payload plane on
+  /// the first PUT (via kv::Client).
+  Server(core::Chameleon& system, const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, spawn the IO thread and worker pool. Throws
+  /// std::runtime_error on socket errors.
+  void start();
+
+  /// Actual bound port (differs from config when config.port == 0).
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return config_.host; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Async-signal-safe drain trigger (eventfd write; callable from a signal
+  /// handler). The IO thread notices and starts the graceful drain.
+  void request_stop() noexcept;
+
+  /// Block until the IO thread finishes the drain, then join the workers and
+  /// release every socket. Idempotent; safe to call concurrently.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Completion {
+    std::shared_ptr<Session> session;
+    Frame response;
+    Op op = Op::kPing;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::uint64_t request_bytes = 0;
+  };
+  struct MetricHandles {
+    obs::Counter* requests[static_cast<std::size_t>(Op::kCount)] = {};
+    obs::HistogramMetric* latency[static_cast<std::size_t>(Op::kCount)] = {};
+    obs::Counter* shed_session = nullptr;
+    obs::Counter* shed_global = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+    obs::Counter* sessions_opened = nullptr;
+    obs::Counter* sessions_closed = nullptr;
+    obs::Counter* protocol_errors = nullptr;
+    obs::Gauge* inflight = nullptr;
+    bool resolved = false;
+  };
+
+  void io_loop();
+  void accept_ready();
+  void on_readable(const std::shared_ptr<Session>& session);
+  /// Returns false when the frame tore the session down.
+  bool handle_frame(const std::shared_ptr<Session>& session, Frame frame);
+  Frame control_response(const Frame& request);
+  Frame execute(const Frame& request);
+  void maybe_tick_epoch_locked();
+  void drain_completions();
+  void pump_out(const std::shared_ptr<Session>& session);
+  /// Takes its argument by value: callers often pass the shared_ptr stored
+  /// in sessions_ itself, which the erase below would otherwise destroy
+  /// while we still hold a reference to it.
+  void close_session(std::shared_ptr<Session> session);
+  void reap_idle(std::chrono::steady_clock::time_point now);
+  void update_epoll(Session& session);
+  std::string stats_json() const;
+  void note_request(Op op);
+  void note_response(Op op, Nanos latency);
+  void note_fault(const char* kind);
+
+  core::Chameleon& system_;
+  ServerConfig config_;
+  MetricHandles metric_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex lifecycle_mutex_;  ///< serializes wait()/cleanup
+
+  AdmissionController admission_;
+  Xoshiro256 fault_rng_;  ///< IO-thread only
+
+  /// Serializes every KvStore/Chameleon call (the coordinator discipline).
+  std::mutex store_mutex_;
+  std::uint64_t ops_since_epoch_ = 0;
+  /// Last epoch observed under store_mutex_, republished for trace events
+  /// recorded on the IO thread without taking the store lock.
+  std::atomic<std::uint64_t> epoch_cache_{0};
+
+  std::mutex completion_mutex_;
+  std::deque<Completion> completions_;
+
+  std::map<int, std::shared_ptr<Session>> sessions_;  ///< IO-thread only
+  std::uint64_t next_session_id_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> io_done_{false};
+  bool draining_ = false;  ///< IO-thread only
+  std::chrono::steady_clock::time_point drain_deadline_;
+
+  // stats (atomics: read from any thread via stats())
+  std::atomic<std::uint64_t> accepted_total_{0};
+  std::atomic<std::uint64_t> sessions_closed_total_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> responses_total_{0};
+  std::atomic<std::uint64_t> protocol_errors_total_{0};
+  std::atomic<std::uint64_t> faults_injected_total_{0};
+  std::atomic<std::uint64_t> bytes_read_total_{0};
+  std::atomic<std::uint64_t> bytes_written_total_{0};
+  std::atomic<std::uint64_t> sessions_open_{0};
+  std::atomic<bool> drained_clean_{false};
+};
+
+/// Register a signal handler on each of `signals` that triggers `server`'s
+/// graceful drain via request_stop() (async-signal-safe). One server at a
+/// time; passing nullptr unregisters.
+void drain_on_signals(Server* server, std::initializer_list<int> signals);
+
+}  // namespace chameleon::svc

@@ -1,0 +1,78 @@
+#include "svc/session.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace chameleon::svc {
+
+Session::Session(int fd, std::uint64_t id, std::uint32_t max_payload)
+    : last_activity(std::chrono::steady_clock::now()),
+      fd_(fd),
+      id_(id),
+      decoder_(max_payload) {}
+
+Session::~Session() { close(); }
+
+void Session::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Session::IoResult Session::read_some(std::uint64_t* bytes_read) {
+  if (fd_ < 0) return IoResult::kError;
+  std::uint8_t chunk[16 * 1024];
+  bool progressed = false;
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      decoder_.feed({chunk, static_cast<std::size_t>(n)});
+      if (bytes_read != nullptr) {
+        *bytes_read += static_cast<std::uint64_t>(n);
+      }
+      last_activity = std::chrono::steady_clock::now();
+      progressed = true;
+      continue;
+    }
+    if (n == 0) return IoResult::kEof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return progressed ? IoResult::kOk : IoResult::kWouldBlock;
+    }
+    if (errno == EINTR) continue;
+    return IoResult::kError;
+  }
+}
+
+void Session::enqueue(const std::vector<std::uint8_t>& bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+Session::IoResult Session::flush(std::uint64_t* bytes_written) {
+  if (fd_ < 0) return IoResult::kError;
+  while (out_off_ < out_.size()) {
+    const ssize_t n =
+        ::write(fd_, out_.data() + out_off_, out_.size() - out_off_);
+    if (n > 0) {
+      out_off_ += static_cast<std::size_t>(n);
+      if (bytes_written != nullptr) {
+        *bytes_written += static_cast<std::uint64_t>(n);
+      }
+      last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoResult::kWouldBlock;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return IoResult::kError;
+  }
+  if (out_off_ == out_.size()) {
+    out_.clear();
+    out_off_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace chameleon::svc

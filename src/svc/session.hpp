@@ -1,0 +1,70 @@
+// One accepted connection's state machine: a nonblocking fd, the incremental
+// frame decoder for inbound bytes, a pending-output buffer with partial-write
+// handling, and the per-session admission/idle bookkeeping the reactor needs.
+// All mutation happens on the server's IO thread; worker threads only hold a
+// shared_ptr so a session outlives any request still executing against it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "svc/wire.hpp"
+
+namespace chameleon::svc {
+
+class Session {
+ public:
+  enum class IoResult {
+    kOk,         ///< made progress; more may be pending
+    kWouldBlock, ///< EAGAIN — wait for the next epoll event
+    kEof,        ///< peer closed its write side
+    kError,      ///< socket error; tear the session down
+  };
+
+  Session(int fd, std::uint64_t id, std::uint32_t max_payload);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Read whatever the socket holds into the decoder (loops until EAGAIN).
+  /// Returns kEof/kError when the connection is done; updates last_activity
+  /// and adds the bytes read to *bytes_read.
+  IoResult read_some(std::uint64_t* bytes_read);
+
+  /// Queue `bytes` for transmission (appends to the output buffer).
+  void enqueue(const std::vector<std::uint8_t>& bytes);
+  void enqueue(const Frame& frame) { encode_frame(frame, out_); }
+
+  /// Push pending output to the socket. Returns kOk with pending() == 0 when
+  /// fully flushed, kWouldBlock when the kernel buffer filled (arm EPOLLOUT),
+  /// kError on a broken pipe. Adds bytes written to *bytes_written.
+  IoResult flush(std::uint64_t* bytes_written);
+
+  bool pending() const { return out_off_ < out_.size(); }
+  std::size_t pending_bytes() const { return out_.size() - out_off_; }
+
+  /// Close the fd now (idempotent). Outstanding worker jobs see closed() and
+  /// drop their completions.
+  void close();
+  bool closed() const { return fd_ < 0; }
+
+  int fd() const { return fd_; }
+  std::uint64_t id() const { return id_; }
+  FrameDecoder& decoder() { return decoder_; }
+
+  // --- reactor bookkeeping (IO thread only) --------------------------------
+  std::size_t inflight = 0;   ///< admitted requests awaiting a response
+  bool want_write = false;    ///< EPOLLOUT currently armed
+  bool peer_gone = false;     ///< read side saw EOF/error; close when drained
+  std::chrono::steady_clock::time_point last_activity;
+
+ private:
+  int fd_;
+  std::uint64_t id_;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> out_;
+  std::size_t out_off_ = 0;
+};
+
+}  // namespace chameleon::svc

@@ -1,0 +1,216 @@
+#include "svc/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace chameleon::svc {
+
+namespace {
+
+/// CRC32C lookup table (reflected polynomial 0x82F63B78), built once.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& table = crc_table();
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kGet: return "get";
+    case Op::kPut: return "put";
+    case Op::kDelete: return "delete";
+    case Op::kStats: return "stats";
+    case Op::kMetrics: return "metrics";
+    case Op::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kRetryLater: return "retry_later";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kShuttingDown: return "shutting_down";
+    case Status::kError: return "error";
+    case Status::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* decode_result_name(DecodeResult r) {
+  switch (r) {
+    case DecodeResult::kNeedMore: return "need_more";
+    case DecodeResult::kFrame: return "frame";
+    case DecodeResult::kBadMagic: return "bad_magic";
+    case DecodeResult::kBadVersion: return "bad_version";
+    case DecodeResult::kBadOp: return "bad_op";
+    case DecodeResult::kBadStatus: return "bad_status";
+    case DecodeResult::kBadReserved: return "bad_reserved";
+    case DecodeResult::kOversized: return "oversized";
+    case DecodeResult::kBadCrc: return "bad_crc";
+  }
+  return "unknown";
+}
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kHeaderBytes + frame.payload.size());
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(frame.op));
+  out.push_back(static_cast<std::uint8_t>(frame.status));
+  out.push_back(0);  // reserved
+  put_u64(out, frame.request_id);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out, crc32c(frame.payload));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  encode_frame(frame, out);
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  if (error_.has_value()) return;  // poisoned: drop input
+  // Compact once the consumed prefix dominates, so the buffer stays bounded
+  // by one frame plus one read's worth of bytes.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+DecodeResult FrameDecoder::next(Frame& out) {
+  if (error_.has_value()) return *error_;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderBytes) return DecodeResult::kNeedMore;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+
+  // Header validation runs on the first 24 bytes alone, so a hostile length
+  // field is rejected before any payload is awaited or buffered.
+  if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
+    return poison(DecodeResult::kBadMagic);
+  }
+  if (h[4] != kWireVersion) return poison(DecodeResult::kBadVersion);
+  if (h[5] >= static_cast<std::uint8_t>(Op::kCount)) {
+    return poison(DecodeResult::kBadOp);
+  }
+  if (h[6] >= static_cast<std::uint8_t>(Status::kCount)) {
+    return poison(DecodeResult::kBadStatus);
+  }
+  if (h[7] != 0) return poison(DecodeResult::kBadReserved);
+  const std::uint32_t len = get_u32(h + 16);
+  if (len > max_payload_) return poison(DecodeResult::kOversized);
+
+  if (avail < kHeaderBytes + len) return DecodeResult::kNeedMore;
+  const std::uint8_t* body = h + kHeaderBytes;
+  if (crc32c({body, len}) != get_u32(h + 20)) {
+    return poison(DecodeResult::kBadCrc);
+  }
+
+  out.op = static_cast<Op>(h[5]);
+  out.status = static_cast<Status>(h[6]);
+  out.request_id = get_u64(h + 8);
+  out.payload.assign(body, body + len);
+  consumed_ += kHeaderBytes + len;
+  ++frames_decoded_;
+  return DecodeResult::kFrame;
+}
+
+void encode_put_body(std::string_view key, std::span<const std::uint8_t> value,
+                     std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 8 + key.size() + value.size());
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+bool decode_put_body(std::span<const std::uint8_t> payload, PutBody& out) {
+  const std::uint8_t* p = payload.data();
+  std::size_t remaining = payload.size();
+  if (remaining < 4) return false;
+  const std::uint32_t key_len = get_u32(p);
+  p += 4;
+  remaining -= 4;
+  if (key_len == 0 || key_len > kMaxKeyBytes || key_len > remaining) {
+    return false;
+  }
+  out.key.assign(reinterpret_cast<const char*>(p), key_len);
+  p += key_len;
+  remaining -= key_len;
+  if (remaining < 4) return false;
+  const std::uint32_t value_len = get_u32(p);
+  p += 4;
+  remaining -= 4;
+  if (value_len != remaining) return false;  // trailing bytes are an error
+  out.value.assign(p, p + value_len);
+  return true;
+}
+
+void encode_key_body(std::string_view key, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 4 + key.size());
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+}
+
+bool decode_key_body(std::span<const std::uint8_t> payload, std::string& out) {
+  if (payload.size() < 4) return false;
+  const std::uint32_t key_len = get_u32(payload.data());
+  if (key_len == 0 || key_len > kMaxKeyBytes) return false;
+  if (payload.size() != 4 + static_cast<std::size_t>(key_len)) return false;
+  out.assign(reinterpret_cast<const char*>(payload.data() + 4), key_len);
+  return true;
+}
+
+}  // namespace chameleon::svc

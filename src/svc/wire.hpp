@@ -1,0 +1,147 @@
+// Versioned length-prefixed binary wire protocol for the network service
+// layer (docs/SERVICE.md). Every message is one frame:
+//
+//   offset size field
+//   0      4    magic "CHML"
+//   4      1    protocol version (= kWireVersion)
+//   5      1    opcode (Op)
+//   6      1    status (Status; kOk on requests)
+//   7      1    reserved, must be 0
+//   8      8    request id (echoed verbatim in the response)
+//   16     4    payload length (little-endian; bounded by max_payload)
+//   20     4    CRC32C of the payload bytes
+//   24     ...  payload
+//
+// Decoding is strict and bounded: FrameDecoder validates the header fields
+// *before* waiting for the payload (an oversized length is rejected from the
+// first 24 bytes, so a hostile peer cannot make the server buffer unbounded
+// data), checks the payload checksum, and never throws — every malformed
+// input maps to a DecodeResult error that poisons the decoder, after which
+// the connection must be torn down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chameleon::svc {
+
+/// CRC32C (Castagnoli, the iSCSI/ext4 polynomial) over `data`. `seed` chains
+/// incremental computations: crc32c(ab) == crc32c(b, crc32c(a)).
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
+
+enum class Op : std::uint8_t {
+  kPing = 0,  ///< liveness probe; empty payload both ways
+  kGet,       ///< request: key; response: value bytes
+  kPut,       ///< request: key + value; response: empty
+  kDelete,    ///< request: key; response: empty
+  kStats,     ///< request: empty; response: JSON service counters
+  kMetrics,   ///< request: empty; response: Prometheus text exposition
+  kCount
+};
+const char* op_name(Op op);
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound,      ///< GET/DELETE of an absent key
+  kRetryLater,    ///< shed by admission control (HTTP-429 analogue)
+  kBadRequest,    ///< malformed body; do not retry
+  kShuttingDown,  ///< server is draining; reconnect elsewhere/later
+  kError,         ///< internal failure; payload carries a message
+  kCount
+};
+const char* status_name(Status s);
+
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::uint32_t kDefaultMaxPayload = 4u << 20;  ///< 4 MiB
+inline constexpr std::uint32_t kMaxKeyBytes = 4096;
+/// The literal magic bytes, in wire order.
+inline constexpr std::uint8_t kMagic[4] = {'C', 'H', 'M', 'L'};
+
+struct Frame {
+  Op op = Op::kPing;
+  Status status = Status::kOk;  ///< kOk on requests
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append the encoded frame to `out`.
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+enum class DecodeResult {
+  kNeedMore,  ///< buffer holds only a partial frame; feed more bytes
+  kFrame,     ///< one complete, validated frame extracted
+  kBadMagic,
+  kBadVersion,
+  kBadOp,
+  kBadStatus,
+  kBadReserved,
+  kOversized,  ///< payload length exceeds the decoder's max_payload
+  kBadCrc,
+};
+const char* decode_result_name(DecodeResult r);
+
+/// Incremental frame extractor for one connection. feed() appends raw bytes;
+/// next() pops complete frames. The first malformed header or checksum
+/// poisons the decoder permanently (framing is lost, so resynchronization is
+/// impossible); callers must close the connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Extract the next frame into `out`. Returns kFrame on success, kNeedMore
+  /// when the buffer ends mid-frame, or the sticky error.
+  DecodeResult next(Frame& out);
+
+  bool poisoned() const { return error_.has_value(); }
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+  std::uint32_t max_payload() const { return max_payload_; }
+  std::uint64_t frames_decoded() const { return frames_decoded_; }
+
+ private:
+  DecodeResult poison(DecodeResult r) {
+    error_ = r;
+    // Framing is lost; buffered bytes can never parse again. Drop them so a
+    // poisoned session holds no dead memory while it awaits teardown.
+    buffer_.clear();
+    consumed_ = 0;
+    return r;
+  }
+
+  std::uint32_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already handed out
+  std::optional<DecodeResult> error_;
+  std::uint64_t frames_decoded_ = 0;
+};
+
+// --- request body codecs ---------------------------------------------------
+// Bodies are length-prefixed with little-endian u32 fields. Decoders are
+// exact: trailing bytes after the declared fields make the body malformed
+// (kBadRequest at the service layer), and every length is validated against
+// the remaining payload before any read.
+
+/// PUT body: u32 key_len | key | u32 value_len | value.
+struct PutBody {
+  std::string key;
+  std::vector<std::uint8_t> value;
+};
+void encode_put_body(std::string_view key, std::span<const std::uint8_t> value,
+                     std::vector<std::uint8_t>& out);
+bool decode_put_body(std::span<const std::uint8_t> payload, PutBody& out);
+
+/// GET/DELETE body: u32 key_len | key.
+void encode_key_body(std::string_view key, std::vector<std::uint8_t>& out);
+bool decode_key_body(std::span<const std::uint8_t> payload, std::string& out);
+
+}  // namespace chameleon::svc

@@ -1,0 +1,156 @@
+// Fuzz-style seeded tests for the checkpoint line codec: random metadata
+// must round-trip exactly, and random corruptions of a valid line must be
+// rejected with std::runtime_error (never silently truncated — the stoul
+// parser used to accept "4trailing" as server 4 — and never a crash or a
+// foreign exception type).
+#include "meta/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace chameleon::meta {
+namespace {
+
+ObjectMeta random_meta(Xoshiro256& rng) {
+  ObjectMeta m;
+  m.oid = rng.next();
+  m.size_bytes = rng.next_below(1ULL << 40);
+  m.state = static_cast<RedState>(rng.next_below(6));
+  m.placement_version = static_cast<std::uint32_t>(rng.next_below(1 << 20));
+  m.state_since = static_cast<Epoch>(rng.next_below(1 << 16));
+  // Small dyadic rationals (k/8 < 32) print exactly within the stream's
+  // default 6 significant digits, so the text round-trip is lossless.
+  m.popularity = static_cast<double>(rng.next_below(256)) / 8.0;
+  m.writes_in_epoch = static_cast<std::uint32_t>(rng.next_below(1 << 16));
+  m.total_writes = rng.next_below(1ULL << 32);
+  m.heat_epoch = static_cast<Epoch>(rng.next_below(1 << 16));
+  m.last_write_epoch = static_cast<Epoch>(rng.next_below(1 << 16));
+  const auto n_src = rng.next_below(8);
+  for (std::uint64_t i = 0; i < n_src; ++i) {
+    m.src.push_back(static_cast<ServerId>(rng.next_below(1ULL << 32)));
+  }
+  const auto n_dst = rng.next_below(8);
+  for (std::uint64_t i = 0; i < n_dst; ++i) {
+    m.dst.push_back(static_cast<ServerId>(rng.next_below(1ULL << 32)));
+  }
+  return m;
+}
+
+void expect_equal(const ObjectMeta& a, const ObjectMeta& b) {
+  EXPECT_EQ(a.oid, b.oid);
+  EXPECT_EQ(a.size_bytes, b.size_bytes);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.placement_version, b.placement_version);
+  EXPECT_EQ(a.state_since, b.state_since);
+  EXPECT_DOUBLE_EQ(a.popularity, b.popularity);
+  EXPECT_EQ(a.writes_in_epoch, b.writes_in_epoch);
+  EXPECT_EQ(a.total_writes, b.total_writes);
+  EXPECT_EQ(a.heat_epoch, b.heat_epoch);
+  EXPECT_EQ(a.last_write_epoch, b.last_write_epoch);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+}
+
+TEST(CheckpointFuzz, SeededRoundTrip) {
+  Xoshiro256 rng(0xC0FFEE);
+  for (int i = 0; i < 500; ++i) {
+    const ObjectMeta m = random_meta(rng);
+    const ObjectMeta restored =
+        deserialize_object_meta(serialize_object_meta(m));
+    expect_equal(m, restored);
+  }
+}
+
+TEST(CheckpointFuzz, TrailingGarbageOnServerIdsThrows) {
+  Xoshiro256 rng(7);
+  ObjectMeta m = random_meta(rng);
+  m.dst.push_back(4);
+  const std::string line = serialize_object_meta(m);
+  // Glued to the last dst id ("...4trailing"): stoul used to return 4.
+  EXPECT_THROW(deserialize_object_meta(line + "trailing"),
+               std::runtime_error);
+  // As a separate token.
+  EXPECT_THROW(deserialize_object_meta(line + " 12x"), std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta(line + " x12"), std::runtime_error);
+  // Out of ServerId (u32) range.
+  EXPECT_THROW(deserialize_object_meta(line + " 4294967296"),
+               std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta(line + " 99999999999999999999"),
+               std::runtime_error);
+  // Negative ids must not wrap through unsigned conversion.
+  EXPECT_THROW(deserialize_object_meta(line + " -1"), std::runtime_error);
+  // Boundary value still accepted.
+  const ObjectMeta max_ok =
+      deserialize_object_meta(line + " 4294967295");
+  ASSERT_GT(max_ok.dst.size(), 0u);
+  EXPECT_EQ(max_ok.dst[max_ok.dst.size() - 1], 4294967295u);
+}
+
+TEST(CheckpointFuzz, OverlongServerListsThrowRuntimeError) {
+  // More ids than ServerSet's inline capacity must be a runtime_error, not
+  // InlineVec's length_error escaping through the parser.
+  std::string line = "1 2 0 0 0 0 0 0 0 0 src";
+  for (int i = 0; i < 20; ++i) line += " " + std::to_string(i);
+  line += " dst";
+  EXPECT_THROW(deserialize_object_meta(line), std::runtime_error);
+}
+
+TEST(CheckpointFuzz, EmbeddedNulThrows) {
+  Xoshiro256 rng(11);
+  std::string line = serialize_object_meta(random_meta(rng));
+  std::string with_nul = line;
+  with_nul[line.size() / 2] = '\0';
+  EXPECT_THROW(deserialize_object_meta(with_nul), std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta(line + std::string(1, '\0')),
+               std::runtime_error);
+  EXPECT_THROW(deserialize_object_meta(std::string(1, '\0') + line),
+               std::runtime_error);
+}
+
+// Random corruptions: any mutation either throws std::runtime_error or
+// yields metadata that re-serializes to a stable fixpoint. Nothing may
+// crash, over-read, or escape a different exception type.
+TEST(CheckpointFuzz, RandomMutationsAreRejectedCleanly) {
+  Xoshiro256 rng(0x5eed);
+  static const char kNoise[] = "0123456789 .-xdstsrc\t\0!";
+  std::uint64_t rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string line = serialize_object_meta(random_meta(rng));
+    const auto mutations = 1 + rng.next_below(4);
+    for (std::uint64_t k = 0; k < mutations && !line.empty(); ++k) {
+      const auto pos = rng.next_below(line.size());
+      switch (rng.next_below(4)) {
+        case 0:  // truncate
+          line.resize(pos);
+          break;
+        case 1:  // overwrite
+          line[pos] = kNoise[rng.next_below(sizeof(kNoise) - 1)];
+          break;
+        case 2:  // insert
+          line.insert(line.begin() + static_cast<std::ptrdiff_t>(pos),
+                      kNoise[rng.next_below(sizeof(kNoise) - 1)]);
+          break;
+        default:  // delete
+          line.erase(line.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+      }
+    }
+    try {
+      const ObjectMeta parsed = deserialize_object_meta(line);
+      // Accepted: must be self-consistent under re-serialization.
+      const std::string canon = serialize_object_meta(parsed);
+      const ObjectMeta again = deserialize_object_meta(canon);
+      EXPECT_EQ(canon, serialize_object_meta(again));
+    } catch (const std::runtime_error&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_GT(rejected, 500u);  // corruption is usually detected
+}
+
+}  // namespace
+}  // namespace chameleon::meta

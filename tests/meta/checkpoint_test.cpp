@@ -10,7 +10,12 @@ namespace chameleon::meta {
 namespace {
 
 struct TempPath {
-  TempPath() : path(::testing::TempDir() + "mapping_checkpoint_test.dat") {}
+  // Unique per test: ctest runs the discovered tests in parallel, so a
+  // shared fixed filename would let two tests clobber each other's file.
+  TempPath()
+      : path(::testing::TempDir() + "mapping_checkpoint_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".dat") {}
   ~TempPath() { std::remove(path.c_str()); }
   std::string path;
 };

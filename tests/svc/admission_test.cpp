@@ -1,0 +1,65 @@
+// Admission-control unit tests: global window, per-session credits, shed
+// accounting, and release semantics.
+#include "svc/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace chameleon::svc {
+namespace {
+
+TEST(Admission, GlobalWindowShedsWhenFull) {
+  AdmissionController ctrl({/*max_inflight=*/3, /*session_credits=*/64});
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kShedGlobal);
+  EXPECT_EQ(ctrl.inflight(), 3u);
+  ctrl.release();
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.inflight(), 3u);
+  EXPECT_EQ(ctrl.admitted_total(), 4u);
+  EXPECT_EQ(ctrl.shed_global_total(), 1u);
+  EXPECT_EQ(ctrl.shed_session_total(), 0u);
+  EXPECT_EQ(ctrl.shed_total(), 1u);
+}
+
+TEST(Admission, SessionCreditsShedWithoutConsumingGlobalSlot) {
+  AdmissionController ctrl({/*max_inflight=*/8, /*session_credits=*/2});
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admit(1), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admit(2), AdmissionController::Decision::kShedSession);
+  // The session shed did not consume a global slot.
+  EXPECT_EQ(ctrl.inflight(), 2u);
+  EXPECT_EQ(ctrl.shed_session_total(), 1u);
+  EXPECT_EQ(ctrl.shed_global_total(), 0u);
+  // Another session with spare credits is still admitted.
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+}
+
+TEST(Admission, ConcurrentAdmitNeverExceedsWindow) {
+  constexpr std::size_t kWindow = 16;
+  AdmissionController ctrl({kWindow, /*session_credits=*/1 << 20});
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> admitted{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        if (ctrl.admit(0) == AdmissionController::Decision::kAdmit) {
+          admitted.fetch_add(1);
+          EXPECT_LE(ctrl.inflight(), kWindow);
+          ctrl.release();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ctrl.inflight(), 0u);
+  EXPECT_EQ(ctrl.admitted_total(), admitted.load());
+  EXPECT_EQ(ctrl.admitted_total() + ctrl.shed_total(), 80'000u);
+}
+
+}  // namespace
+}  // namespace chameleon::svc

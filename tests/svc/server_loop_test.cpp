@@ -1,0 +1,467 @@
+// Loopback integration tests for the svc layer (ctest label `svc`): an
+// epoll server on an ephemeral port serving a small simulated cluster, with
+// pooled clients doing concurrent traffic, deterministic admission sheds via
+// pipelined raw frames, protocol-error teardown, fault hooks, idle reaping,
+// and the graceful drain (both programmatic and via a real signal).
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "svc/client_conn.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+core::ChameleonConfig small_system() {
+  core::ChameleonConfig cfg;
+  cfg.servers = 12;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 256;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  return cfg;
+}
+
+ClientConfig client_for(const Server& server) {
+  ClientConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = server.port();
+  cfg.retry.base_backoff = 2 * kMillisecond;
+  return cfg;
+}
+
+/// Block until the server reports at least `n` admitted requests in flight.
+/// The drain tests race request_stop() against admission; on a loaded CI
+/// machine a fixed sleep is not enough.
+void wait_for_inflight(const Server& server, std::uint64_t n) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().inflight < n &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(server.stats().inflight, n);
+}
+
+/// Block until the server's listener stops accepting — the first step of the
+/// graceful drain — so a frame sent afterwards provably lands mid-drain.
+void wait_for_listener_closed(std::uint16_t port) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    const int rc =
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+    if (rc != 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "listener still accepting after 5s";
+}
+
+/// Raw blocking loopback socket, for driving hand-crafted byte streams.
+struct RawConn {
+  int fd = -1;
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  /// Read until `count` frames decoded or EOF; returns the frames.
+  std::vector<Frame> read_frames(std::size_t count) {
+    std::vector<Frame> frames;
+    FrameDecoder decoder;
+    std::uint8_t chunk[4096];
+    while (frames.size() < count) {
+      Frame f;
+      while (frames.size() < count &&
+             decoder.next(f) == DecodeResult::kFrame) {
+        frames.push_back(std::move(f));
+      }
+      if (frames.size() >= count) break;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;  // EOF / error
+      decoder.feed({chunk, static_cast<std::size_t>(n)});
+    }
+    return frames;
+  }
+  /// True when the peer closed (a zero-byte read).
+  bool read_eof() {
+    std::uint8_t b;
+    return ::recv(fd, &b, 1, 0) == 0;
+  }
+};
+
+std::vector<std::uint8_t> get_frame_bytes(std::uint64_t id,
+                                          const std::string& key) {
+  std::vector<std::uint8_t> body;
+  encode_key_body(key, body);
+  return encode_frame(Frame{Op::kGet, Status::kOk, id, std::move(body)});
+}
+
+TEST(ServerLoop, RoundTripPutGetDelete) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  ClientPool pool(client_for(server), 2);
+  pool.ping();
+  EXPECT_EQ(pool.put("alpha", std::string_view("hello service")), Status::kOk);
+  std::vector<std::uint8_t> value;
+  EXPECT_EQ(pool.get("alpha", value), Status::kOk);
+  EXPECT_EQ(std::string(value.begin(), value.end()), "hello service");
+  EXPECT_EQ(pool.get("missing", value), Status::kNotFound);
+  EXPECT_EQ(pool.remove("alpha"), Status::kOk);
+  EXPECT_EQ(pool.remove("alpha"), Status::kNotFound);
+  EXPECT_EQ(pool.get("alpha", value), Status::kNotFound);
+
+  const std::string stats = pool.stats_json();
+  EXPECT_NE(stats.find("\"requests_total\""), std::string::npos);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.sessions_open, 0u);  // zero leaked sessions
+  EXPECT_EQ(s.protocol_errors_total, 0u);
+  EXPECT_TRUE(s.drained_clean);
+}
+
+TEST(ServerLoop, ServesMetricsAndTracesRequests) {
+  obs::set_enabled(true);
+  obs::trace().set_enabled(true);
+  obs::trace().clear();
+  {
+    core::Chameleon system(small_system());
+    Server server(system, {});
+    server.start();
+    ClientPool pool(client_for(server), 2);
+    EXPECT_EQ(pool.put("k", std::string_view("v")), Status::kOk);
+    std::vector<std::uint8_t> value;
+    EXPECT_EQ(pool.get("k", value), Status::kOk);
+    const std::string metrics = pool.metrics_text();
+    EXPECT_NE(metrics.find("chameleon_svc_requests_total{op=\"put\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("chameleon_svc_request_latency_ns"),
+              std::string::npos);
+    server.stop();
+  }
+  bool saw_open = false, saw_request = false, saw_close = false;
+  for (const auto& e : obs::trace().snapshot()) {
+    saw_open |= e.type == obs::TraceType::kSvcSessionOpen;
+    saw_request |= e.type == obs::TraceType::kSvcRequest;
+    saw_close |= e.type == obs::TraceType::kSvcSessionClose;
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_close);
+  obs::trace().set_enabled(false);
+  obs::set_enabled(false);
+}
+
+TEST(ServerLoop, ConcurrentClientsAllSucceed) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 2;
+  Server server(system, cfg);
+  server.start();
+
+  ClientPool pool(client_for(server), 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 250;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint8_t> value;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "key-" + std::to_string(t) + "-" + std::to_string(i % 20);
+        const std::string payload = "value-" + std::to_string(i);
+        if (pool.put(key, payload) != Status::kOk) failures.fetch_add(1);
+        if (pool.get(key, value) != Status::kOk) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.requests_total,
+            static_cast<std::uint64_t>(2 * kThreads * kOpsPerThread));
+  EXPECT_EQ(s.requests_total, s.responses_total);
+  EXPECT_EQ(s.protocol_errors_total, 0u);
+  EXPECT_EQ(s.sessions_open, 0u);
+  EXPECT_TRUE(s.drained_clean);
+}
+
+// Pipelining more requests than the session's credit window while every
+// response is stalled makes the shed deterministic: the stall holds the
+// admitted requests in flight while the reactor decodes the whole batch.
+TEST(ServerLoop, SessionCreditExhaustionSheds) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.admission.session_credits = 2;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 50 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  RawConn conn(server.port());
+  std::vector<std::uint8_t> batch;
+  constexpr std::size_t kBatch = 10;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto frame = get_frame_bytes(i + 1, "nope");
+    batch.insert(batch.end(), frame.begin(), frame.end());
+  }
+  conn.send_bytes(batch);
+  const std::vector<Frame> responses = conn.read_frames(kBatch);
+  ASSERT_EQ(responses.size(), kBatch);
+  std::size_t shed = 0, served = 0;
+  for (const Frame& f : responses) {
+    if (f.status == Status::kRetryLater) ++shed;
+    if (f.status == Status::kNotFound) ++served;
+  }
+  EXPECT_EQ(shed, kBatch - 2);  // credits=2 admitted, the rest shed
+  EXPECT_EQ(served, 2u);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.shed_total, kBatch - 2);
+  EXPECT_EQ(s.sessions_open, 0u);
+}
+
+TEST(ServerLoop, GlobalWindowExhaustionSheds) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.admission.max_inflight = 1;
+  cfg.admission.session_credits = 64;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 50 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  RawConn conn(server.port());
+  std::vector<std::uint8_t> batch;
+  constexpr std::size_t kBatch = 5;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto frame = get_frame_bytes(i + 1, "nope");
+    batch.insert(batch.end(), frame.begin(), frame.end());
+  }
+  conn.send_bytes(batch);
+  const std::vector<Frame> responses = conn.read_frames(kBatch);
+  ASSERT_EQ(responses.size(), kBatch);
+  std::size_t shed = 0;
+  for (const Frame& f : responses) {
+    if (f.status == Status::kRetryLater) ++shed;
+  }
+  EXPECT_EQ(shed, kBatch - 1);
+  server.stop();
+  EXPECT_EQ(server.stats().sessions_open, 0u);
+}
+
+TEST(ServerLoop, MalformedFrameTearsDownConnectionOnly) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+
+  RawConn bad(server.port());
+  bad.send_bytes({'G', 'A', 'R', 'B', 'A', 'G', 'E', '!', 0, 1, 2, 3,
+                  4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  EXPECT_TRUE(bad.read_eof());  // server closed us
+
+  // The server survives and serves new connections.
+  ClientPool pool(client_for(server), 1);
+  EXPECT_EQ(pool.put("still-alive", std::string_view("yes")), Status::kOk);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.protocol_errors_total, 1u);
+  EXPECT_EQ(s.sessions_open, 0u);
+}
+
+TEST(ServerLoop, ResponsesWithNonOkStatusAreRejected) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes(
+      encode_frame(Frame{Op::kPing, Status::kRetryLater, 1, {}}));
+  EXPECT_TRUE(conn.read_eof());
+  server.stop();
+  EXPECT_GE(server.stats().protocol_errors_total, 1u);
+}
+
+TEST(ServerLoop, ConnectionDropFaultsExhaustRetries) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.faults.conn_drop_rate = 1.0;  // every frame kills its connection
+  Server server(system, cfg);
+  server.start();
+
+  ClientConfig ccfg = client_for(server);
+  ccfg.retry.max_attempts = 3;
+  ClientPool pool(ccfg, 1);
+  EXPECT_THROW(pool.ping(), kv::RetriesExhausted);
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.faults_injected_total, 3u);
+  EXPECT_EQ(s.sessions_open, 0u);
+}
+
+TEST(ServerLoop, IdleSessionsAreReaped) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.idle_timeout = 50 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  RawConn conn(server.port());
+  EXPECT_TRUE(conn.read_eof());  // blocks until the reaper closes us
+
+  server.stop();
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.sessions_closed_total, 1u);
+  EXPECT_EQ(s.sessions_open, 0u);
+}
+
+TEST(ServerLoop, GracefulDrainFinishesInflightWork) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 100 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  // One stalled request provably in flight when the drain starts (stopping
+  // before admission would answer kShuttingDown instead of serving it).
+  RawConn conn(server.port());
+  conn.send_bytes(get_frame_bytes(99, "draining"));
+  wait_for_inflight(server, 1);
+  server.request_stop();
+  const std::vector<Frame> responses = conn.read_frames(1);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].request_id, 99u);
+  EXPECT_EQ(responses[0].status, Status::kNotFound);  // served, not dropped
+
+  server.wait();
+  const ServerStats s = server.stats();
+  EXPECT_TRUE(s.drained_clean);
+  EXPECT_EQ(s.sessions_open, 0u);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServerLoop, DrainRespondsShuttingDownToNewRequests) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.drain_timeout = 2 * kSecond;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 500 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  RawConn conn(server.port());
+  // First frame stalls in a worker; request_stop lands; the second frame
+  // (sent while draining — the closed listener proves the drain started,
+  // and the long stall keeps the drain open) must be answered
+  // kShuttingDown, not executed.
+  conn.send_bytes(get_frame_bytes(1, "a"));
+  wait_for_inflight(server, 1);
+  server.request_stop();
+  wait_for_listener_closed(server.port());
+  conn.send_bytes(get_frame_bytes(2, "b"));
+  const std::vector<Frame> responses = conn.read_frames(2);
+  ASSERT_EQ(responses.size(), 2u);
+  bool saw_shutting_down = false;
+  for (const Frame& f : responses) {
+    if (f.request_id == 2) {
+      EXPECT_EQ(f.status, Status::kShuttingDown);
+      saw_shutting_down = true;
+    }
+  }
+  EXPECT_TRUE(saw_shutting_down);
+  server.wait();
+  EXPECT_TRUE(server.stats().drained_clean);
+}
+
+TEST(ServerLoop, SignalTriggersGracefulDrain) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+
+  ClientPool pool(client_for(server), 1);
+  EXPECT_EQ(pool.put("sig", std::string_view("term")), Status::kOk);
+
+  drain_on_signals(&server, {SIGTERM});
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  server.wait();
+  drain_on_signals(nullptr, {SIGTERM});
+
+  const ServerStats s = server.stats();
+  EXPECT_FALSE(server.running());
+  EXPECT_TRUE(s.drained_clean);
+  EXPECT_EQ(s.sessions_open, 0u);
+}
+
+TEST(ServerLoop, EpochAdvancesUnderServedWrites) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.epoch_every_ops = 50;
+  Server server(system, cfg);
+  server.start();
+
+  ClientPool pool(client_for(server), 2);
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_EQ(pool.put("epoch-key-" + std::to_string(i % 10),
+                       std::string_view("x")),
+              Status::kOk);
+  }
+  server.stop();
+  EXPECT_GE(system.current_epoch(), 2u);  // 120 puts / 50 per epoch
+}
+
+}  // namespace
+}  // namespace chameleon::svc

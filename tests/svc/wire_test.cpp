@@ -1,0 +1,247 @@
+// Wire-protocol corruption suite: seeded round-trips through chunked
+// feeding, truncation at every split point, bit flips across the frame,
+// oversized declared lengths, and strict body codecs. Every malformed input
+// must surface as a clean DecodeResult error (no throw, no over-read) that
+// permanently poisons the decoder.
+#include "svc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+Frame random_frame(Xoshiro256& rng, std::size_t max_payload = 512) {
+  Frame f;
+  f.op = static_cast<Op>(rng.next_below(static_cast<std::uint64_t>(Op::kCount)));
+  f.status = static_cast<Status>(
+      rng.next_below(static_cast<std::uint64_t>(Status::kCount)));
+  f.request_id = rng.next();
+  const auto len = rng.next_below(max_payload + 1);
+  f.payload.resize(len);
+  for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next());
+  return f;
+}
+
+void expect_frames_equal(const Frame& a, const Frame& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.payload, b.payload);
+}
+
+TEST(Crc32c, KnownVectors) {
+  // The standard CRC-32C check value over "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(crc32c({reinterpret_cast<const std::uint8_t*>(check.data()),
+                    check.size()}),
+            0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32c, SeedChainsIncrementally) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  const std::uint32_t whole = crc32c(data);
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{500}, std::size_t{999},
+                                  std::size_t{1000}}) {
+    const std::uint32_t part =
+        crc32c({data.data() + split, data.size() - split},
+               crc32c({data.data(), split}));
+    EXPECT_EQ(part, whole);
+  }
+}
+
+TEST(WireCodec, SeededRoundTripWithRandomChunking) {
+  Xoshiro256 rng(0xABCDEF);
+  for (int iter = 0; iter < 200; ++iter) {
+    // A burst of frames, encoded back to back, fed in random-size chunks.
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> bytes;
+    const auto burst = 1 + rng.next_below(5);
+    for (std::uint64_t i = 0; i < burst; ++i) {
+      sent.push_back(random_frame(rng));
+      encode_frame(sent.back(), bytes);
+    }
+    FrameDecoder decoder;
+    std::vector<Frame> received;
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const auto chunk = 1 + rng.next_below(97);
+      const auto n = std::min<std::size_t>(chunk, bytes.size() - off);
+      decoder.feed({bytes.data() + off, n});
+      off += n;
+      Frame f;
+      while (decoder.next(f) == DecodeResult::kFrame) {
+        received.push_back(std::move(f));
+      }
+      ASSERT_FALSE(decoder.poisoned());
+    }
+    ASSERT_EQ(received.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      expect_frames_equal(sent[i], received[i]);
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(WireCodec, TruncationAtEveryOffsetNeedsMore) {
+  Xoshiro256 rng(2);
+  const Frame frame = random_frame(rng, 64);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed({bytes.data(), cut});
+    Frame out;
+    EXPECT_EQ(decoder.next(out), DecodeResult::kNeedMore) << "cut=" << cut;
+    EXPECT_FALSE(decoder.poisoned());
+    // The rest arrives: exactly one frame, nothing left over.
+    decoder.feed({bytes.data() + cut, bytes.size() - cut});
+    ASSERT_EQ(decoder.next(out), DecodeResult::kFrame) << "cut=" << cut;
+    expect_frames_equal(frame, out);
+    EXPECT_EQ(decoder.next(out), DecodeResult::kNeedMore);
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(WireCodec, SeededBitFlipsNeverCrashAndErrorsStick) {
+  Xoshiro256 rng(0x5eed);
+  std::uint64_t detected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Frame frame = random_frame(rng, 128);
+    std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const auto bit = rng.next_below(bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Frame out;
+    const DecodeResult r = decoder.next(out);
+    if (r == DecodeResult::kFrame) {
+      // Undetectable flips can only live in the unchecksummed header fields
+      // (header integrity is TCP's job): the request id, or an op/status
+      // byte flipped onto another in-range value. The payload is CRC-covered.
+      const std::size_t byte = bit / 8;
+      EXPECT_TRUE(byte == 5 || byte == 6 || (byte >= 8 && byte < 16))
+          << "flip at byte " << byte << " decoded as a valid frame";
+      EXPECT_EQ(out.payload, frame.payload);
+      if (byte == 5) {
+        EXPECT_NE(out.op, frame.op);
+      } else if (byte == 6) {
+        EXPECT_NE(out.status, frame.status);
+      } else {
+        EXPECT_NE(out.request_id, frame.request_id);
+      }
+    } else if (r != DecodeResult::kNeedMore) {
+      ++detected;
+      EXPECT_TRUE(decoder.poisoned());
+      // Sticky: the same error repeats, later feeds are discarded.
+      EXPECT_EQ(decoder.next(out), r);
+      const std::uint8_t more[4] = {1, 2, 3, 4};
+      decoder.feed(more);
+      EXPECT_EQ(decoder.next(out), r);
+      EXPECT_EQ(decoder.buffered(), 0u);
+    }
+  }
+  EXPECT_GT(detected, 1000u);
+}
+
+TEST(WireCodec, HeaderFieldCorruptionMapsToSpecificErrors) {
+  const Frame frame{Op::kGet, Status::kOk, 42, {1, 2, 3}};
+  const std::vector<std::uint8_t> good = encode_frame(frame);
+  const auto decode_corrupt = [&](std::size_t offset, std::uint8_t value) {
+    std::vector<std::uint8_t> bytes = good;
+    bytes[offset] = value;
+    FrameDecoder decoder;
+    decoder.feed(bytes);
+    Frame out;
+    return decoder.next(out);
+  };
+  EXPECT_EQ(decode_corrupt(0, 'X'), DecodeResult::kBadMagic);
+  EXPECT_EQ(decode_corrupt(3, 'X'), DecodeResult::kBadMagic);
+  EXPECT_EQ(decode_corrupt(4, 99), DecodeResult::kBadVersion);
+  EXPECT_EQ(decode_corrupt(5, static_cast<std::uint8_t>(Op::kCount)),
+            DecodeResult::kBadOp);
+  EXPECT_EQ(decode_corrupt(6, static_cast<std::uint8_t>(Status::kCount)),
+            DecodeResult::kBadStatus);
+  EXPECT_EQ(decode_corrupt(7, 1), DecodeResult::kBadReserved);
+  EXPECT_EQ(decode_corrupt(20, 0xFF), DecodeResult::kBadCrc);
+  EXPECT_EQ(decode_corrupt(24, 0xFF), DecodeResult::kBadCrc);  // payload
+}
+
+TEST(WireCodec, OversizedLengthRejectedFromHeaderAlone) {
+  FrameDecoder decoder(/*max_payload=*/1024);
+  Frame frame{Op::kPut, Status::kOk, 7, {}};
+  frame.payload.resize(2048, 0xAA);
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  // Feed only the header: the decoder must reject without awaiting payload.
+  decoder.feed({bytes.data(), kHeaderBytes});
+  Frame out;
+  EXPECT_EQ(decoder.next(out), DecodeResult::kOversized);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(WireCodec, PoisonedDecoderDropsSubsequentInput) {
+  FrameDecoder decoder;
+  const std::uint8_t junk[kHeaderBytes] = {'J', 'U', 'N', 'K'};
+  decoder.feed(junk);
+  Frame out;
+  EXPECT_EQ(decoder.next(out), DecodeResult::kBadMagic);
+  // A perfectly valid frame after the junk is still refused.
+  const std::vector<std::uint8_t> good =
+      encode_frame(Frame{Op::kPing, Status::kOk, 1, {}});
+  decoder.feed(good);
+  EXPECT_EQ(decoder.next(out), DecodeResult::kBadMagic);
+  EXPECT_EQ(decoder.frames_decoded(), 0u);
+}
+
+TEST(BodyCodec, PutRoundTripAndStrictness) {
+  std::vector<std::uint8_t> body;
+  const std::vector<std::uint8_t> value{9, 8, 7, 6};
+  encode_put_body("alpha", {value.data(), value.size()}, body);
+  PutBody out;
+  ASSERT_TRUE(decode_put_body(body, out));
+  EXPECT_EQ(out.key, "alpha");
+  EXPECT_EQ(out.value, value);
+
+  // Truncations at every length fail cleanly.
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    PutBody t;
+    EXPECT_FALSE(decode_put_body({body.data(), cut}, t)) << "cut=" << cut;
+  }
+  // Trailing garbage is malformed.
+  std::vector<std::uint8_t> extra = body;
+  extra.push_back(0);
+  EXPECT_FALSE(decode_put_body(extra, out));
+  // Empty and oversized keys are malformed.
+  std::vector<std::uint8_t> empty_key;
+  encode_put_body("", {}, empty_key);
+  EXPECT_FALSE(decode_put_body(empty_key, out));
+  std::vector<std::uint8_t> big_key;
+  encode_put_body(std::string(kMaxKeyBytes + 1, 'k'), {}, big_key);
+  EXPECT_FALSE(decode_put_body(big_key, out));
+}
+
+TEST(BodyCodec, KeyRoundTripAndStrictness) {
+  std::vector<std::uint8_t> body;
+  encode_key_body("the-key", body);
+  std::string out;
+  ASSERT_TRUE(decode_key_body(body, out));
+  EXPECT_EQ(out, "the-key");
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    std::string t;
+    EXPECT_FALSE(decode_key_body({body.data(), cut}, t)) << "cut=" << cut;
+  }
+  std::vector<std::uint8_t> extra = body;
+  extra.push_back(0);
+  EXPECT_FALSE(decode_key_body(extra, out));
+}
+
+}  // namespace
+}  // namespace chameleon::svc

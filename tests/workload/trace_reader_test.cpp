@@ -13,7 +13,12 @@ namespace {
 class TempTrace {
  public:
   explicit TempTrace(const std::string& contents) {
-    path_ = ::testing::TempDir() + "msr_trace_test.csv";
+    // Unique per test: ctest runs the discovered tests in parallel, so a
+    // shared fixed filename would let two tests clobber each other's file.
+    path_ =
+        ::testing::TempDir() + "msr_trace_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".csv";
     std::ofstream out(path_);
     out << contents;
   }
@@ -137,7 +142,10 @@ TEST(MsrTraceReader, NameDerivedFromPath) {
   TraceReaderConfig cfg;
   cfg.path = file.path();
   MsrTraceReader reader(cfg);
-  EXPECT_EQ(reader.name(), "msr_trace_test.csv");
+  // The name is the path's final component.
+  EXPECT_EQ(reader.name(),
+            file.path().substr(file.path().find_last_of('/') + 1));
+  EXPECT_EQ(reader.name().rfind("msr_trace_", 0), 0u);
 }
 
 }  // namespace

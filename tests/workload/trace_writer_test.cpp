@@ -24,7 +24,12 @@ SyntheticTraceConfig small_config() {
 }
 
 struct TempPath {
-  TempPath() : path(::testing::TempDir() + "trace_writer_test.csv") {}
+  // Unique per test: ctest runs the discovered tests in parallel, so a
+  // shared fixed filename would let two tests clobber each other's file.
+  TempPath()
+      : path(::testing::TempDir() + "trace_writer_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".csv") {}
   ~TempPath() { std::remove(path.c_str()); }
   std::string path;
 };

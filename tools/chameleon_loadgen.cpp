@@ -1,0 +1,233 @@
+// chameleon_loadgen — load generator / latency prober for chameleon_server.
+//
+//   chameleon_loadgen --target=HOST:PORT [key=value...]
+//
+// Flags (leading "--" optional):
+//   target=127.0.0.1:7421  server address
+//   ops=100000             total operations to issue
+//   concurrency=4          closed-loop worker threads
+//   connections=4          pooled connections shared by the workers
+//   read_ratio=0.5         fraction of GETs (rest are PUTs)
+//   keys=10000             distinct keys, drawn Zipf(theta) by popularity
+//   zipf_theta=0.99        key-popularity skew (0 = uniform-ish)
+//   value_bytes=256        PUT payload size
+//   open_rate=0            target ops/sec; 0 = closed loop (max throughput)
+//   preload=1              PUT every key once before the timed run
+//   seed=42                workload RNG seed (deterministic key/op stream)
+//   metrics_out=PATH       scrape the server's METRICS op at the end
+//                          ("-" = stdout)
+//
+// Prints achieved throughput and per-op latency percentiles. Exits 0 on a
+// clean run, 1 when any protocol error or exhausted retry budget occurred.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "kv/client.hpp"
+#include "svc/client_conn.hpp"
+#include "workload/zipf.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+struct WorkerResult {
+  Histogram get_latency{0.0, 1e8, 2000};
+  Histogram put_latency{0.0, 1e8, 2000};
+  std::uint64_t ops = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t exhausted = 0;       ///< kv::RetriesExhausted
+  std::uint64_t protocol_errors = 0; ///< malformed frames / id mismatches
+};
+
+Config parse_flags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    while (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("expected key=value, got: " + arg);
+    }
+    config.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return config;
+}
+
+Nanos now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string key_for(std::uint64_t rank) {
+  return "key-" + std::to_string(rank);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config config = parse_flags(argc, argv);
+
+    const std::string target = config.get_string("target", "127.0.0.1:7421");
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("target must be HOST:PORT, got: " + target);
+    }
+    const auto ops = static_cast<std::uint64_t>(
+        config.get_int("ops", 100'000));
+    const auto concurrency = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("concurrency", 4)));
+    const auto connections = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("connections", 4)));
+    const double read_ratio = config.get_double("read_ratio", 0.5);
+    const auto keys = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, config.get_int("keys", 10'000)));
+    const double theta = config.get_double("zipf_theta", 0.99);
+    const auto value_bytes = static_cast<std::size_t>(
+        config.get_int("value_bytes", 256));
+    const double open_rate = config.get_double("open_rate", 0.0);
+    const bool preload = config.get_bool("preload", true);
+    const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+
+    svc::ClientConfig client_config;
+    client_config.host = target.substr(0, colon);
+    client_config.port =
+        static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+    svc::ClientPool pool(client_config, connections);
+
+    pool.ping();  // fail fast when the server is unreachable
+
+    const std::vector<std::uint8_t> value(value_bytes, 0xAB);
+    const workload::ZipfGenerator zipf(keys, theta);
+
+    if (preload) {
+      for (std::uint64_t rank = 0; rank < keys; ++rank) {
+        const svc::Status s = pool.put(key_for(rank), value);
+        if (s != svc::Status::kOk) {
+          throw std::runtime_error(std::string("preload PUT failed: ") +
+                                   svc::status_name(s));
+        }
+      }
+    }
+
+    std::vector<WorkerResult> results(concurrency);
+    std::vector<std::thread> workers;
+    const Nanos start = now_ns();
+    for (std::size_t w = 0; w < concurrency; ++w) {
+      workers.emplace_back([&, w] {
+        WorkerResult& r = results[w];
+        Xoshiro256 rng(seed + w * 0x9E3779B97F4A7C15ULL);
+        const std::uint64_t quota =
+            ops / concurrency + (w < ops % concurrency ? 1 : 0);
+        // Open loop: each worker owns every concurrency-th tick of the
+        // aggregate schedule.
+        const double per_worker_rate =
+            open_rate > 0.0 ? open_rate / static_cast<double>(concurrency)
+                            : 0.0;
+        const Nanos interval =
+            per_worker_rate > 0.0
+                ? static_cast<Nanos>(1e9 / per_worker_rate)
+                : 0;
+        Nanos next_fire = now_ns();
+        std::vector<std::uint8_t> got;
+        for (std::uint64_t i = 0; i < quota; ++i) {
+          if (interval > 0) {
+            next_fire += interval;
+            const Nanos wait = next_fire - now_ns();
+            if (wait > 0) {
+              std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+            }
+          }
+          const std::string key = key_for(zipf.next(rng));
+          const bool is_get = rng.next_bool(read_ratio);
+          const Nanos t0 = now_ns();
+          try {
+            if (is_get) {
+              const svc::Status s = pool.get(key, got);
+              ++r.gets;
+              if (s == svc::Status::kNotFound) ++r.not_found;
+            } else {
+              pool.put(key, value);
+              ++r.puts;
+            }
+            const auto latency = static_cast<double>(now_ns() - t0);
+            (is_get ? r.get_latency : r.put_latency).add(latency);
+            ++r.ops;
+          } catch (const kv::RetriesExhausted&) {
+            ++r.exhausted;
+          } catch (const std::exception&) {
+            ++r.protocol_errors;
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    const Nanos elapsed = now_ns() - start;
+
+    WorkerResult total;
+    for (const WorkerResult& r : results) {
+      total.get_latency.merge(r.get_latency);
+      total.put_latency.merge(r.put_latency);
+      total.ops += r.ops;
+      total.gets += r.gets;
+      total.puts += r.puts;
+      total.not_found += r.not_found;
+      total.exhausted += r.exhausted;
+      total.protocol_errors += r.protocol_errors;
+    }
+
+    const double secs = static_cast<double>(elapsed) / 1e9;
+    std::printf("loadgen: %llu ops in %.2fs (%.0f ops/s), %llu gets "
+                "(%llu not-found), %llu puts\n",
+                static_cast<unsigned long long>(total.ops), secs,
+                secs > 0 ? static_cast<double>(total.ops) / secs : 0.0,
+                static_cast<unsigned long long>(total.gets),
+                static_cast<unsigned long long>(total.not_found),
+                static_cast<unsigned long long>(total.puts));
+    const auto report = [](const char* label, const Histogram& h) {
+      if (h.count() == 0) return;
+      std::printf("  %s latency: p50 %.1fus  p90 %.1fus  p99 %.1fus\n", label,
+                  h.percentile(50) / 1000.0, h.percentile(90) / 1000.0,
+                  h.percentile(99) / 1000.0);
+    };
+    report("get", total.get_latency);
+    report("put", total.put_latency);
+    std::printf("  retries: %llu, reconnects: %llu, exhausted: %llu, "
+                "protocol errors: %llu\n",
+                static_cast<unsigned long long>(pool.retries_total()),
+                static_cast<unsigned long long>(pool.reconnects_total()),
+                static_cast<unsigned long long>(total.exhausted),
+                static_cast<unsigned long long>(total.protocol_errors));
+
+    const std::string metrics_out = config.get_string("metrics_out", "");
+    if (!metrics_out.empty()) {
+      const std::string text = pool.metrics_text();
+      if (metrics_out == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+      } else {
+        std::ofstream out(metrics_out);
+        out << text;
+      }
+    }
+
+    return (total.protocol_errors > 0 || total.exhausted > 0) ? 1 : 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chameleon_loadgen: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,172 @@
+// chameleon_server — serve a simulated Chameleon flash cluster over TCP
+// using the svc wire protocol (docs/SERVICE.md).
+//
+//   chameleon_server --listen=HOST:PORT --workers=N [--config=FILE] [key=val]
+//
+// Flags are key=value pairs; a leading "--" is accepted and stripped, so both
+// `--workers=4` and `workers=4` work. `--config=FILE` loads key=value lines
+// (# comments allowed) first; command-line flags override the file.
+//
+//   listen=127.0.0.1:7421   host:port to bind (port 0 = ephemeral)
+//   workers=2               request-execution threads
+//   servers=8               simulated flash servers behind the store
+//   capacity_mb=256         target dataset capacity across the cluster
+//   max_inflight=256        global admission window
+//   session_credits=64      per-connection pipeline credits
+//   max_payload=4194304     largest accepted frame payload (bytes)
+//   idle_timeout_ms=60000   reap sessions idle this long (0 = never)
+//   drain_timeout_ms=5000   graceful-drain budget on SIGINT/SIGTERM
+//   epoch_every_ops=10000   advance one balancing epoch every N data ops
+//   metrics=1               enable the metrics registry (METRICS op)
+//   port_file=PATH          write the bound port (for ephemeral-port CI)
+//   fault_drop_rate=0       P(drop a connection per frame)  [chaos hooks]
+//   fault_stall_rate=0      P(stall a response per frame)
+//   fault_stall_ms=20       stall duration
+//   seed=0x5eed             fault RNG seed
+//
+// SIGINT/SIGTERM trigger the graceful drain: stop accepting, finish
+// in-flight requests, flush responses, then exit 0.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <csignal>
+
+#include "common/config.hpp"
+#include "core/chameleon.hpp"
+#include "obs/metrics.hpp"
+#include "svc/server.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+void load_config_file(Config& config, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open config file: " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto eq = line.find('=', start);
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config line is not key=value: " + line);
+    }
+    auto end = line.find_last_not_of(" \t\r");
+    config.set(line.substr(start, eq - start),
+               line.substr(eq + 1, end - eq));
+  }
+}
+
+/// Strip leading dashes so --key=value and key=value both parse; pull
+/// config=FILE out first so command-line flags override the file.
+Config parse_flags(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    while (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+    args.push_back(std::move(arg));
+  }
+  Config file_config;
+  for (const auto& arg : args) {
+    if (arg.rfind("config=", 0) == 0) {
+      load_config_file(file_config, arg.substr(7));
+    }
+  }
+  for (const auto& arg : args) {
+    if (arg.rfind("config=", 0) == 0) continue;
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("expected key=value, got: " + arg);
+    }
+    file_config.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return file_config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config config = parse_flags(argc, argv);
+
+    const std::string listen = config.get_string("listen", "127.0.0.1:7421");
+    const auto colon = listen.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("listen must be HOST:PORT, got: " + listen);
+    }
+
+    if (config.get_bool("metrics", true)) obs::set_enabled(true);
+
+    // The simulated cluster behind the service.
+    const auto servers =
+        static_cast<std::uint32_t>(config.get_int("servers", 8));
+    const auto capacity_mb = config.get_int("capacity_mb", 256);
+    const auto per_server = static_cast<std::uint64_t>(capacity_mb) * 1024 *
+                            1024 * 3 / 2 / servers;
+    core::ChameleonConfig sys_config;
+    sys_config.servers = servers;
+    sys_config.ssd = flashsim::SsdConfig::sized_for(per_server, 0.7);
+    core::Chameleon system(sys_config);
+
+    svc::ServerConfig server_config;
+    server_config.host = listen.substr(0, colon);
+    server_config.port = static_cast<std::uint16_t>(
+        std::stoul(listen.substr(colon + 1)));
+    server_config.workers =
+        static_cast<std::uint32_t>(config.get_int("workers", 2));
+    server_config.admission.max_inflight =
+        static_cast<std::size_t>(config.get_int("max_inflight", 256));
+    server_config.admission.session_credits =
+        static_cast<std::size_t>(config.get_int("session_credits", 64));
+    server_config.max_payload = static_cast<std::uint32_t>(
+        config.get_int("max_payload", svc::kDefaultMaxPayload));
+    server_config.idle_timeout =
+        config.get_int("idle_timeout_ms", 60'000) * kMillisecond;
+    server_config.drain_timeout =
+        config.get_int("drain_timeout_ms", 5'000) * kMillisecond;
+    server_config.epoch_every_ops =
+        static_cast<std::uint64_t>(config.get_int("epoch_every_ops", 10'000));
+    server_config.faults.conn_drop_rate =
+        config.get_double("fault_drop_rate", 0.0);
+    server_config.faults.stall_rate =
+        config.get_double("fault_stall_rate", 0.0);
+    server_config.faults.stall =
+        config.get_int("fault_stall_ms", 20) * kMillisecond;
+    server_config.faults.seed =
+        static_cast<std::uint64_t>(config.get_int("seed", 0x5eed));
+
+    svc::Server server(system, server_config);
+    server.start();
+    std::printf("chameleon_server listening on %s:%u (%u workers, %u flash "
+                "servers)\n",
+                server.host().c_str(), server.port(), server_config.workers,
+                servers);
+    std::fflush(stdout);
+
+    const std::string port_file = config.get_string("port_file", "");
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << server.port() << "\n";
+    }
+
+    svc::drain_on_signals(&server, {SIGINT, SIGTERM});
+    server.wait();
+    svc::drain_on_signals(nullptr, {SIGINT, SIGTERM});
+
+    const svc::ServerStats stats = server.stats();
+    std::printf("drained %s: %llu requests, %llu responses, %llu shed, "
+                "%llu protocol errors\n",
+                stats.drained_clean ? "clean" : "with deadline",
+                static_cast<unsigned long long>(stats.requests_total),
+                static_cast<unsigned long long>(stats.responses_total),
+                static_cast<unsigned long long>(stats.shed_total),
+                static_cast<unsigned long long>(stats.protocol_errors_total));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chameleon_server: %s\n", error.what());
+    return 1;
+  }
+}
