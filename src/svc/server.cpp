@@ -25,8 +25,10 @@ namespace chameleon::svc {
 namespace {
 
 /// Output buffered per session is capped: a peer that floods pipelined
-/// control requests (each response can be far larger than the request, e.g.
-/// METRICS) is disconnected instead of ballooning server memory.
+/// requests without reading responses (each response can be far larger than
+/// the request, e.g. METRICS or GET of a large value) is disconnected
+/// instead of ballooning server memory. Enforced both on the inline
+/// control-response path and on the worker-completion path.
 constexpr std::size_t kMaxSessionOutBytes = 32u << 20;
 
 [[noreturn]] void throw_errno(const char* what) {
@@ -140,6 +142,10 @@ void Server::start() {
   pool_ = std::make_unique<ThreadPool>(std::max(1u, config_.workers));
   stop_requested_.store(false, std::memory_order_release);
   io_done_.store(false, std::memory_order_release);
+  // A prior stop() leaves the drain flags set; a restarted IO loop must not
+  // begin life already draining (it would exit immediately, serving nothing).
+  draining_ = false;
+  drained_clean_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
 }
@@ -261,8 +267,10 @@ void Server::io_loop() {
     } else if (config_.idle_timeout > 0) {
       reap_idle(now);
     }
+    flush_deferred_closes();
   }
   while (!sessions_.empty()) close_session(sessions_.begin()->second);
+  flush_deferred_closes();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -556,6 +564,13 @@ void Server::drain_completions() {
     if (!c.session->closed()) {
       c.session->enqueue(c.response);
       pump_out(c.session);
+      // Same cap handle_frame enforces on control responses: a client
+      // pipelining data ops without reading its socket must not buffer
+      // unbounded output (credits x max_payload can far exceed the cap).
+      if (!c.session->closed() &&
+          c.session->pending_bytes() > kMaxSessionOutBytes) {
+        close_session(c.session);
+      }
     }
     if (!c.session->closed() && c.session->peer_gone &&
         c.session->inflight == 0 && !c.session->pending()) {
@@ -600,7 +615,12 @@ void Server::close_session(std::shared_ptr<Session> session) {
   if (fd < 0) return;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   sessions_.erase(fd);
-  session->close();
+  // Park the fd instead of closing it: the current epoll batch may still
+  // hold queued events for this fd number, and closing now would let a
+  // same-batch accept4 reuse the number, misrouting those stale events
+  // (e.g. EPOLLHUP) to the fresh session. flush_deferred_closes() runs once
+  // the batch is fully dispatched.
+  deferred_close_fds_.push_back(session->release_fd());
   sessions_open_.fetch_sub(1, std::memory_order_relaxed);
   sessions_closed_total_.fetch_add(1, std::memory_order_relaxed);
   if (metric_.resolved && obs::enabled()) metric_.sessions_closed->inc();
@@ -612,6 +632,13 @@ void Server::close_session(std::shared_ptr<Session> session) {
     e.server = session->id();
     sink.record(std::move(e));
   }
+}
+
+void Server::flush_deferred_closes() {
+  for (const int fd : deferred_close_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+  deferred_close_fds_.clear();
 }
 
 void Server::reap_idle(std::chrono::steady_clock::time_point now) {

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -151,6 +152,10 @@ class Server {
   /// in sessions_ itself, which the erase below would otherwise destroy
   /// while we still hold a reference to it.
   void close_session(std::shared_ptr<Session> session);
+  /// ::close the fds parked by close_session. Must run between epoll batches
+  /// (and after the loop exits), never while a batch's events are still being
+  /// dispatched — see close_session.
+  void flush_deferred_closes();
   void reap_idle(std::chrono::steady_clock::time_point now);
   void update_epoll(Session& session);
   std::string stats_json() const;
@@ -185,6 +190,10 @@ class Server {
   std::deque<Completion> completions_;
 
   std::map<int, std::shared_ptr<Session>> sessions_;  ///< IO-thread only
+  /// Fds removed from sessions_ this epoll batch, held open until the batch
+  /// finishes so accept4 cannot recycle a number that stale queued events
+  /// still reference. IO-thread only.
+  std::vector<int> deferred_close_fds_;
   std::uint64_t next_session_id_ = 1;
 
   std::atomic<bool> running_{false};

@@ -1,5 +1,6 @@
 #include "svc/session.hpp"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -19,6 +20,12 @@ void Session::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+int Session::release_fd() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
 }
 
 Session::IoResult Session::read_some(std::uint64_t* bytes_read) {
@@ -52,8 +59,10 @@ void Session::enqueue(const std::vector<std::uint8_t>& bytes) {
 Session::IoResult Session::flush(std::uint64_t* bytes_written) {
   if (fd_ < 0) return IoResult::kError;
   while (out_off_ < out_.size()) {
-    const ssize_t n =
-        ::write(fd_, out_.data() + out_off_, out_.size() - out_off_);
+    // MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE, not
+    // deliver SIGPIPE and kill the whole server process.
+    const ssize_t n = ::send(fd_, out_.data() + out_off_,
+                             out_.size() - out_off_, MSG_NOSIGNAL);
     if (n > 0) {
       out_off_ += static_cast<std::size_t>(n);
       if (bytes_written != nullptr) {

@@ -47,6 +47,11 @@ class Session {
   /// Close the fd now (idempotent). Outstanding worker jobs see closed() and
   /// drop their completions.
   void close();
+  /// Detach the fd without closing it and mark the session closed(). The
+  /// caller owns the returned fd (-1 if already closed). The reactor uses
+  /// this to defer the ::close past the current epoll batch so the kernel
+  /// cannot recycle the fd number while stale events for it are still queued.
+  int release_fd();
   bool closed() const { return fd_ < 0; }
 
   int fd() const { return fd_; }

@@ -164,6 +164,31 @@ TEST(ServerLoop, RoundTripPutGetDelete) {
   EXPECT_TRUE(s.drained_clean);
 }
 
+TEST(ServerLoop, RestartAfterStopServesAgain) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+  {
+    ClientPool pool(client_for(server), 1);
+    EXPECT_EQ(pool.put("persist", std::string_view("v1")), Status::kOk);
+  }
+  server.stop();
+  EXPECT_FALSE(server.running());
+
+  // A second start() must not inherit the previous drain state: the
+  // restarted IO loop would otherwise see draining_ still set and exit
+  // immediately, serving nothing.
+  server.start();
+  EXPECT_TRUE(server.running());
+  ClientPool pool(client_for(server), 1);
+  pool.ping();
+  std::vector<std::uint8_t> value;
+  EXPECT_EQ(pool.get("persist", value), Status::kOk);
+  EXPECT_EQ(std::string(value.begin(), value.end()), "v1");
+  server.stop();
+  EXPECT_TRUE(server.stats().drained_clean);
+}
+
 TEST(ServerLoop, ServesMetricsAndTracesRequests) {
   obs::set_enabled(true);
   obs::trace().set_enabled(true);
