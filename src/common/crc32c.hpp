@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli, the iSCSI/ext4 polynomial). Lives in common so both
+// the svc wire protocol and the durability layer (WAL / checkpoint framing)
+// share one implementation without svc <-> durability link cycles.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace chameleon {
+
+/// CRC32C over `data`. `seed` chains incremental computations:
+/// crc32c(ab) == crc32c(b, crc32c(a)).
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0);
+
+}  // namespace chameleon

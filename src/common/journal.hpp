@@ -1,0 +1,41 @@
+// Mutation journal interface: the durability layer's write-ahead log hooks,
+// defined low in the stack so kv::Client, core::Chameleon and the supervisor
+// can notify a journal without linking against durability. All hooks are
+// redo-log semantics: they fire AFTER the mutation applied successfully, and
+// the implementation must make the record durable (per its fsync policy)
+// before the caller acknowledges the operation to anyone.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace chameleon {
+
+class MutationJournal {
+ public:
+  virtual ~MutationJournal() = default;
+
+  /// A simulation-path (size-only) put of `bytes` applied at `epoch`.
+  virtual void on_put_sim(ObjectId oid, std::uint64_t bytes, Epoch epoch) = 0;
+
+  /// A payload-carrying put applied at `epoch`. `value` is the full object
+  /// payload (pre-sharding); replay re-shards deterministically.
+  virtual void on_put_value(ObjectId oid, std::span<const std::uint8_t> value,
+                            Epoch epoch) = 0;
+
+  /// An object deletion that removed existing state.
+  virtual void on_remove(ObjectId oid) = 0;
+
+  /// A balancing epoch just ran to completion. This is the durability
+  /// barrier: implementations checkpoint here so the WAL between
+  /// checkpoints carries only deterministic data-path records.
+  virtual void on_epoch(Epoch epoch) = 0;
+
+  /// A membership change: `up == false` when `server` was declared dead
+  /// (ring removal), `up == true` when it rejoined.
+  virtual void on_membership(ServerId server, bool up) = 0;
+};
+
+}  // namespace chameleon

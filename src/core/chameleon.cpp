@@ -29,6 +29,10 @@ std::uint32_t Chameleon::advance_time(Nanos now) {
     } else {
       balancer_->on_epoch(last_epoch_ran_);
     }
+    // Epoch boundaries are durability barriers: the journal hears about the
+    // transition after the balancer ran, so a checkpoint taken here captures
+    // the post-balancing state and the WAL restarts clean.
+    if (journal_ != nullptr) journal_->on_epoch(last_epoch_ran_);
     ++ran;
   }
   return ran;
@@ -36,10 +40,15 @@ std::uint32_t Chameleon::advance_time(Nanos now) {
 
 kv::OpResult Chameleon::put(ObjectId oid, std::uint64_t bytes, Nanos now) {
   advance_time(now);
+  kv::OpResult result;
   if (supervisor_) {
-    return supervisor_->put_with_failover(oid, bytes, current_epoch());
+    result = supervisor_->put_with_failover(oid, bytes, current_epoch());
+  } else {
+    result = store_.put(oid, bytes, current_epoch());
   }
-  return store_.put(oid, bytes, current_epoch());
+  // Redo-log: the mutation applied; make it durable before acknowledging.
+  if (journal_ != nullptr) journal_->on_put_sim(oid, bytes, current_epoch());
+  return result;
 }
 
 kv::OpResult Chameleon::get(ObjectId oid, Nanos now) {
@@ -47,6 +56,16 @@ kv::OpResult Chameleon::get(ObjectId oid, Nanos now) {
   return store_.get(oid, current_epoch());
 }
 
-bool Chameleon::remove(ObjectId oid) { return store_.remove(oid); }
+bool Chameleon::remove(ObjectId oid) {
+  const bool removed = store_.remove(oid);
+  if (removed && journal_ != nullptr) journal_->on_remove(oid);
+  return removed;
+}
+
+void Chameleon::attach_journal(MutationJournal* journal) {
+  journal_ = journal;
+  client_.set_journal(journal);
+  if (supervisor_) supervisor_->set_journal(journal);
+}
 
 }  // namespace chameleon::core

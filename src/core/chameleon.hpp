@@ -9,6 +9,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/clock.hpp"
+#include "common/journal.hpp"
 #include "core/balancer.hpp"
 #include "core/options.hpp"
 #include "core/supervisor.hpp"
@@ -67,6 +68,23 @@ class Chameleon {
   Supervisor* supervisor() { return supervisor_.get(); }
   const ChameleonConfig& config() const { return config_; }
 
+  // --- durability -----------------------------------------------------------
+  /// Attach (or detach with nullptr) the durability journal. Propagated to
+  /// the payload client and the supervisor so every mutation path reports:
+  /// sim puts/removes and epoch barriers from here, payload puts/removes
+  /// from kv::Client, membership changes from the supervisor.
+  void attach_journal(MutationJournal* journal);
+  MutationJournal* journal() const { return journal_; }
+
+  /// Recovery: pin the virtual clock and the epoch cursor to a checkpoint's
+  /// values, so balancing resumes exactly where the crashed process stopped
+  /// (no epoch replays, no epoch skips).
+  void restore_clock(Nanos now, Epoch last_epoch_ran) {
+    clock_.reset(now);
+    last_epoch_ran_ = last_epoch_ran;
+  }
+  Epoch last_epoch_ran() const { return last_epoch_ran_; }
+
  private:
   ChameleonConfig config_;
   cluster::Cluster cluster_;
@@ -77,6 +95,7 @@ class Chameleon {
   kv::Client client_;
   VirtualClock clock_;
   Epoch last_epoch_ran_ = 0;
+  MutationJournal* journal_ = nullptr;  ///< not owned
 };
 
 }  // namespace chameleon::core

@@ -24,6 +24,13 @@ void Supervisor::rejoin_server(ServerId server, Nanos now) {
   membership_.rejoin(server, now);
   auto& ring = store_.cluster().ring();
   if (!ring.contains(server)) ring.add_server(server);
+  if (journal_ != nullptr) journal_->on_membership(server, /*up=*/true);
+}
+
+void Supervisor::restore_failed(ServerId server) {
+  failed_.insert(server);
+  membership_.declare_dead(server);
+  store_.cluster().ring().remove_server(server);
 }
 
 std::set<ServerId> Supervisor::suspect_servers() const {
@@ -94,6 +101,7 @@ void Supervisor::handle_failure(ServerId server, Epoch epoch,
   store_.cluster().ring().remove_server(server);
   const auto r = repair_.repair_server(server, epoch);
   if (report != nullptr) report->fragments_rebuilt += r.fragments_rebuilt;
+  if (journal_ != nullptr) journal_->on_membership(server, /*up=*/false);
   if (obs::enabled()) {
     static auto& failures = obs::metrics().counter(
         "chameleon_failures_detected_total", {},

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/membership.hpp"
+#include "common/journal.hpp"
 #include "core/balancer.hpp"
 #include "kv/repair.hpp"
 
@@ -67,6 +68,16 @@ class Supervisor {
   Balancer& balancer() { return balancer_; }
   kv::RepairManager& repair() { return repair_; }
 
+  /// Durability: membership transitions (declared dead / rejoined) are
+  /// journaled so recovery restores the same liveness view.
+  void set_journal(MutationJournal* journal) { journal_ = journal; }
+
+  /// Recovery: re-mark a server as failed + dead + off the ring WITHOUT
+  /// triggering repair — the checkpoint already holds the post-repair data.
+  void restore_failed(ServerId server);
+
+  const std::set<ServerId>& failed_servers() const { return failed_; }
+
  private:
   /// Declare a server dead right now: ring removal + lease teardown + data
   /// repair. Used by lease-lapse detection and by write-path failover.
@@ -78,6 +89,7 @@ class Supervisor {
   Balancer balancer_;
   kv::RepairManager repair_;
   std::set<ServerId> failed_;  ///< servers currently not heartbeating
+  MutationJournal* journal_ = nullptr;  ///< not owned
 };
 
 }  // namespace chameleon::core

@@ -25,6 +25,7 @@ bool counts_as_fire(FaultKind kind) {
     case FaultKind::kStall:
     case FaultKind::kCrashDuringRepair:
     case FaultKind::kCrashDuringTransition:
+    case FaultKind::kKill9:
       return true;
     default:
       return false;
@@ -170,6 +171,14 @@ void FaultInjector::apply(const FaultEvent& event, Epoch now) {
       supervisor_.fail_server(victim);
       crashed_until_[victim] = until;
       record(now, event.kind, victim, 0.0, until, window);
+      break;
+    }
+    case FaultKind::kKill9: {
+      // Whole-process death. In-process chaos tests install a hook that
+      // models it (abandon all volatile state, recover from disk); without
+      // a hook the event is journaled but otherwise inert.
+      if (kill9_hook_) kill9_hook_();
+      record(now, event.kind, event.server, 0.0, 0, 0);
       break;
     }
     case FaultKind::kCount:

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -58,6 +59,13 @@ class FaultInjector {
 
   const FaultSchedule& schedule() const { return schedule_; }
 
+  /// Handler for kKill9 events: called when the schedule says the whole
+  /// process dies. Durability tests install "drop volatile state and
+  /// recover from disk" here; unset, kill9 events only journal.
+  void set_kill9_hook(std::function<void()> hook) {
+    kill9_hook_ = std::move(hook);
+  }
+
  private:
   struct NetWindow {
     FaultKind kind;
@@ -95,6 +103,7 @@ class FaultInjector {
   std::shared_ptr<bool> interrupt_fired_;
   ServerId interrupt_server_ = 0;
 
+  std::function<void()> kill9_hook_;
   std::vector<AppliedFault> applied_;
   std::array<std::size_t, static_cast<std::size_t>(FaultKind::kCount)>
       counts_{};

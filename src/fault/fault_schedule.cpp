@@ -18,7 +18,7 @@ constexpr std::array<std::string_view,
         "crash",       "rejoin",      "stall",
         "net_drop",    "net_delay",   "net_duplicate",
         "read_error",  "write_error", "crash_during_repair",
-        "crash_during_transition",
+        "crash_during_transition",    "kill9",
 };
 
 [[noreturn]] void bad_line(std::size_t line_no, const std::string& why) {

@@ -27,6 +27,8 @@ enum class FaultKind : std::uint8_t {
   kWriteError,       ///< device program failures with probability `rate`
   kCrashDuringRepair,      ///< crash + interrupt the repair pass mid-scan
   kCrashDuringTransition,  ///< crash the dst of a pending lazy transition
+  kKill9,  ///< kill -9 the whole process: fires the injector's kill9 hook
+           ///< (durability tests swap in "drop state, recover from disk")
   kCount,
 };
 

@@ -436,6 +436,124 @@ std::uint32_t Ftl::max_block_erase() const {
   return hi;
 }
 
+// ---------------------------------------------------------------------------
+// Durability: bit-level device state (de)serialization.
+
+void Ftl::save(BinaryWriter& out) const {
+  out.u32(config_.block_count);
+  out.u32(config_.pages_per_block);
+  out.u32(config_.page_size_bytes);
+
+  out.u64(stats_.host_page_writes);
+  out.u64(stats_.gc_page_copies);
+  out.u64(stats_.wl_page_copies);
+  out.u64(stats_.page_reads);
+  out.u64(stats_.page_trims);
+  out.u64(stats_.block_erases);
+  out.u64(stats_.gc_invocations);
+  out.f64(stats_.victim_utilization_sum);
+  out.i64(stats_.total_write_latency);
+  out.i64(stats_.total_read_latency);
+  out.u64(stats_.write_ops);
+  out.u64(stats_.read_ops);
+
+  out.u64(l2p_.size());
+  for (const Ppn p : l2p_) out.u32(p);
+  out.u64(p2l_.size());
+  for (const Lpn l : p2l_) out.u32(l);
+  for (const Block& b : blocks_) {
+    out.u32(b.erase_count);
+    out.u64(b.alloc_seq);
+    out.u16(b.write_ptr);
+    out.u16(b.valid_count);
+    out.u8(static_cast<std::uint8_t>(b.state));
+    out.i32(b.bucket_prev);
+    out.i32(b.bucket_next);
+  }
+  // std::set iterates in key order, so the free pool serializes
+  // deterministically.
+  out.u64(free_blocks_.size());
+  for (const auto& [erases, block] : free_blocks_) {
+    out.u32(erases);
+    out.u32(block);
+  }
+  out.u64(bucket_heads_.size());
+  for (const std::int32_t head : bucket_heads_) out.i32(head);
+  out.u32(min_valid_hint_);
+  for (const BlockId f : frontier_) out.u32(f);
+  out.u64(alloc_seq_);
+  out.u64(valid_pages_);
+  out.u32(retired_blocks_);
+}
+
+void Ftl::restore(BinaryReader& in) {
+  if (in.u32() != config_.block_count ||
+      in.u32() != config_.pages_per_block ||
+      in.u32() != config_.page_size_bytes) {
+    throw std::runtime_error(
+        "Ftl::restore: device geometry does not match the checkpoint");
+  }
+
+  stats_.host_page_writes = in.u64();
+  stats_.gc_page_copies = in.u64();
+  stats_.wl_page_copies = in.u64();
+  stats_.page_reads = in.u64();
+  stats_.page_trims = in.u64();
+  stats_.block_erases = in.u64();
+  stats_.gc_invocations = in.u64();
+  stats_.victim_utilization_sum = in.f64();
+  stats_.total_write_latency = in.i64();
+  stats_.total_read_latency = in.i64();
+  stats_.write_ops = in.u64();
+  stats_.read_ops = in.u64();
+
+  if (in.u64() != l2p_.size()) {
+    throw std::runtime_error("Ftl::restore: l2p size mismatch");
+  }
+  for (Ppn& p : l2p_) p = in.u32();
+  if (in.u64() != p2l_.size()) {
+    throw std::runtime_error("Ftl::restore: p2l size mismatch");
+  }
+  for (Lpn& l : p2l_) l = in.u32();
+  for (Block& b : blocks_) {
+    b.erase_count = in.u32();
+    b.alloc_seq = in.u64();
+    b.write_ptr = in.u16();
+    b.valid_count = in.u16();
+    const std::uint8_t state = in.u8();
+    if (state > static_cast<std::uint8_t>(BlockState::kRetired)) {
+      throw std::runtime_error("Ftl::restore: invalid block state");
+    }
+    b.state = static_cast<BlockState>(state);
+    b.bucket_prev = in.i32();
+    b.bucket_next = in.i32();
+  }
+  const std::uint64_t free_count = in.u64();
+  if (free_count > config_.block_count) {
+    throw std::runtime_error("Ftl::restore: free pool larger than device");
+  }
+  free_blocks_.clear();
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    const std::uint32_t erases = in.u32();
+    const BlockId block = in.u32();
+    if (block >= config_.block_count) {
+      throw std::runtime_error("Ftl::restore: free block id out of range");
+    }
+    free_blocks_.emplace(erases, block);
+  }
+  if (in.u64() != bucket_heads_.size()) {
+    throw std::runtime_error("Ftl::restore: bucket head count mismatch");
+  }
+  for (std::int32_t& head : bucket_heads_) head = in.i32();
+  min_valid_hint_ = in.u32();
+  for (BlockId& f : frontier_) f = in.u32();
+  alloc_seq_ = in.u64();
+  valid_pages_ = in.u64();
+  retired_blocks_ = in.u32();
+  in_gc_ = false;
+  faults_armed_ = false;
+}
+
 void Ftl::check_invariants() const {
   std::uint64_t valid_total = 0;
   for (BlockId b = 0; b < config_.block_count; ++b) {

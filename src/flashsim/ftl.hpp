@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "common/faults.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -129,6 +130,18 @@ class Ftl {
 
   /// Exhaustive structural invariant check; test-only (O(pages)).
   void check_invariants() const;
+
+  /// Bit-level serialization of the whole device: mapping tables, per-block
+  /// metadata, free pool, GC buckets, frontiers, and cumulative stats.
+  /// Flash is non-volatile — a host crash loses none of this — so recovery
+  /// restores it exactly instead of re-deriving it by replay (replay-time GC
+  /// would diverge from the original erase history). The transient in_gc_
+  /// flag and fault-injection arming are deliberately not persisted.
+  void save(BinaryWriter& out) const;
+
+  /// Inverse of save(), into an Ftl constructed with the SAME SsdConfig.
+  /// Throws std::runtime_error on geometry mismatch or truncated input.
+  void restore(BinaryReader& in);
 
  private:
   enum class BlockState : std::uint8_t { kFree, kOpen, kFull, kRetired };

@@ -168,6 +168,62 @@ std::size_t LocalLog::remove_all_objects() {
   return plan.objects;
 }
 
+void LocalLog::save(BinaryWriter& out) const {
+  ftl_.save(out);
+  std::vector<ObjectId> oids;
+  oids.reserve(extents_.size());
+  for (const auto& [oid, extent] : extents_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  out.u64(oids.size());
+  for (const ObjectId oid : oids) {
+    const auto& extent = extents_.at(oid);
+    out.u64(oid);
+    out.u32(static_cast<std::uint32_t>(extent.size()));
+    for (const Lpn lpn : extent) out.u32(lpn);
+  }
+  // The free list is LIFO: order is behavior (which lpn the next write
+  // gets), so it round-trips verbatim.
+  out.u64(free_lpns_.size());
+  for (const Lpn lpn : free_lpns_) out.u32(lpn);
+  out.u32(next_fresh_lpn_);
+  out.u64(stored_pages_);
+}
+
+void LocalLog::restore(BinaryReader& in) {
+  ftl_.restore(in);
+  const std::uint64_t logical_pages = ftl_.config().logical_pages();
+  extents_.clear();
+  const std::uint64_t objects = in.u64();
+  if (objects > logical_pages) {
+    throw std::runtime_error("LocalLog::restore: object count out of range");
+  }
+  extents_.reserve(objects);
+  for (std::uint64_t i = 0; i < objects; ++i) {
+    const ObjectId oid = in.u64();
+    const std::uint32_t pages = in.u32();
+    if (pages > logical_pages) {
+      throw std::runtime_error("LocalLog::restore: extent larger than device");
+    }
+    std::vector<Lpn> extent;
+    extent.reserve(pages);
+    for (std::uint32_t p = 0; p < pages; ++p) extent.push_back(in.u32());
+    if (!extents_.emplace(oid, std::move(extent)).second) {
+      throw std::runtime_error("LocalLog::restore: duplicate object id");
+    }
+  }
+  const std::uint64_t free_count = in.u64();
+  if (free_count > logical_pages) {
+    throw std::runtime_error("LocalLog::restore: free list out of range");
+  }
+  free_lpns_.clear();
+  free_lpns_.reserve(free_count);
+  for (std::uint64_t i = 0; i < free_count; ++i) {
+    free_lpns_.push_back(in.u32());
+  }
+  next_fresh_lpn_ = in.u32();
+  stored_pages_ = in.u64();
+}
+
 std::uint32_t LocalLog::object_pages(ObjectId oid) const {
   const auto it = extents_.find(oid);
   return it == extents_.end() ? 0

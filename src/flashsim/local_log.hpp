@@ -107,6 +107,15 @@ class LocalLog {
   Ftl& ftl() { return ftl_; }
   const SsdStats& stats() const { return ftl_.stats(); }
 
+  /// Serialize device + object-log state (includes Ftl::save). Extents are
+  /// written sorted by object id so the byte stream is deterministic
+  /// regardless of hash-map iteration order.
+  void save(BinaryWriter& out) const;
+
+  /// Inverse of save(), into a LocalLog constructed with the SAME SsdConfig.
+  /// Replaces all object state; throws std::runtime_error on bad input.
+  void restore(BinaryReader& in);
+
  private:
   Lpn allocate_lpn();
   /// Logical half of releasing a page: back onto the free list. The physical

@@ -21,7 +21,11 @@ void count_retry(const char* op) {
 OpResult Client::put(std::string_view key, std::span<const std::uint8_t> value,
                      Epoch now) {
   store_.enable_payloads();
-  return store_.put_value(object_id(key), value, now);
+  const ObjectId oid = object_id(key);
+  const OpResult result = store_.put_value(oid, value, now);
+  // Redo-log: the mutation applied; make it durable before acknowledging.
+  if (journal_ != nullptr) journal_->on_put_value(oid, value, now);
+  return result;
 }
 
 OpResult Client::put(std::string_view key, std::string_view value, Epoch now) {
@@ -41,7 +45,10 @@ std::string Client::get_string(std::string_view key, Epoch now,
 }
 
 bool Client::remove(std::string_view key) {
-  return store_.remove(object_id(key));
+  const ObjectId oid = object_id(key);
+  const bool removed = store_.remove(oid);
+  if (removed && journal_ != nullptr) journal_->on_remove(oid);
+  return removed;
 }
 
 bool Client::contains(std::string_view key) const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/fnv.hpp"
+#include "common/journal.hpp"
 #include "common/rng.hpp"
 #include "kv/kv_store.hpp"
 
@@ -106,10 +107,17 @@ class Client {
 
   KvStore& store() { return store_; }
 
+  /// Attach (or detach with nullptr) a durability journal. Successful puts
+  /// and removes through this client are reported after they apply, before
+  /// the call returns (write-ahead-of-acknowledgement).
+  void set_journal(MutationJournal* journal) { journal_ = journal; }
+  MutationJournal* journal() const { return journal_; }
+
  private:
   KvStore& store_;
   RetryPolicy retry_policy_;
   Xoshiro256 retry_rng_{retry_policy_.seed};
+  MutationJournal* journal_ = nullptr;  ///< not owned
 
   /// Jittered exponential backoff before attempt `attempt` (2-based).
   Nanos backoff_for(std::size_t attempt);

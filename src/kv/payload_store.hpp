@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,15 @@ class PayloadStore {
     std::size_t n = 0;
     for (const auto& [server, fragments] : data_) n += fragments.size();
     return n;
+  }
+
+  /// Visit every stored fragment (hash-map order; checkpointing sorts).
+  void for_each(const std::function<void(ServerId, cluster::FragmentKey,
+                                         const std::vector<std::uint8_t>&)>&
+                    fn) const {
+    for (const auto& [server, fragments] : data_) {
+      for (const auto& [key, bytes] : fragments) fn(server, key, bytes);
+    }
   }
 
  private:

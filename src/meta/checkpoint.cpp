@@ -1,5 +1,12 @@
 #include "meta/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -89,17 +96,48 @@ ObjectMeta deserialize_object_meta(const std::string& line) {
 
 std::size_t save_mapping_table(const MappingTable& table,
                                const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("checkpoint: cannot open " + path);
-  }
+  // Crash-safe save: write a sibling temp file, fsync it, then rename over
+  // the destination. A crash at ANY point leaves either the previous
+  // complete file or the new one — never a torn mix.
+  const std::string tmp = path + ".tmp";
   std::size_t written = 0;
-  table.for_each([&](const ObjectMeta& m) {
-    out << serialize_object_meta(m) << '\n';
-    ++written;
-  });
-  if (!out) {
-    throw std::runtime_error("checkpoint: write failed for " + path);
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp);
+    }
+    table.for_each([&](const ObjectMeta& m) {
+      out << serialize_object_meta(m) << '\n';
+      ++written;
+    });
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  const int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: fsync failed for " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed: " +
+                             std::strerror(err));
+  }
+  // Persist the directory entry too, so the rename survives power loss.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dir_fd = ::open(dir.empty() ? "." : dir.c_str(),
+                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
   }
   return written;
 }

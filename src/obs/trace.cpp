@@ -25,6 +25,10 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kSvcSessionClose: return "svc_session_close";
     case TraceType::kSvcRequest: return "svc_request";
     case TraceType::kSvcShed: return "svc_shed";
+    case TraceType::kCheckpoint: return "checkpoint";
+    case TraceType::kRecoveryStart: return "recovery_start";
+    case TraceType::kRecoveryReplay: return "recovery_replay";
+    case TraceType::kRecoveryDone: return "recovery_done";
     case TraceType::kCount: break;
   }
   return "unknown";

@@ -39,6 +39,10 @@ enum class TraceType : std::uint32_t {
   kSvcSessionClose,     ///< service layer closed a connection
   kSvcRequest,          ///< one served (admitted + executed) service request
   kSvcShed,             ///< admission control shed a request
+  kCheckpoint,          ///< durability layer wrote a full-cluster snapshot
+  kRecoveryStart,       ///< crash recovery began (checkpoint search)
+  kRecoveryReplay,      ///< crash recovery finished replaying the WAL tail
+  kRecoveryDone,        ///< crash recovery completed (system serving again)
   kCount
 };
 
@@ -67,6 +71,10 @@ inline constexpr std::uint64_t kNoField =
 ///   kSvcRequest      server=session id, from=op name, to=status name,
 ///                    a=request payload bytes, value=latency ns
 ///   kSvcShed         server=session id, from=op name
+///   kCheckpoint      a=checkpoint seq, b=WAL records since the last one
+///   kRecoveryStart   (no fields)
+///   kRecoveryReplay  a=records replayed, b=truncated tail bytes
+///   kRecoveryDone    epoch=restored epoch, a=checkpoint seq, value=seconds
 struct TraceEvent {
   std::uint64_t seq = 0;  ///< assigned by the sink, monotone
   std::uint64_t epoch = 0;

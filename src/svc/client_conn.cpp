@@ -282,6 +282,11 @@ std::string ClientPool::metrics_text() {
   return std::string(response.payload.begin(), response.payload.end());
 }
 
+std::string ClientPool::digest() {
+  const Frame response = call(Op::kDigest, {});
+  return std::string(response.payload.begin(), response.payload.end());
+}
+
 std::uint64_t ClientPool::retries_total() const {
   std::lock_guard lock(mutex_);
   return retries_;

@@ -91,6 +91,8 @@ class ClientPool {
   void ping();
   std::string stats_json();
   std::string metrics_text();
+  /// Cluster state fingerprint as 16 lowercase hex chars (Op::kDigest).
+  std::string digest();
 
   /// Raw retried call: returns the first non-retryable response.
   Frame call(Op op, std::vector<std::uint8_t> payload);

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "common/faults.hpp"
+#include "fault/digest.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -375,7 +376,7 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   }
 
   const bool data_op = frame.op == Op::kGet || frame.op == Op::kPut ||
-                       frame.op == Op::kDelete;
+                       frame.op == Op::kDelete || frame.op == Op::kDigest;
   if (!data_op) {
     session->enqueue(control_response(frame));
     responses_total_.fetch_add(1, std::memory_order_relaxed);
@@ -507,6 +508,18 @@ Frame Server::execute(const Frame& request) {
         std::lock_guard lock(store_mutex_);
         resp.status = system_.client().remove(key) ? Status::kOk
                                                    : Status::kNotFound;
+        break;
+      }
+      case Op::kDigest: {
+        // Whole-cluster state fingerprint, taken under the store lock so it
+        // is a consistent point-in-time value. Crash-recovery CI compares
+        // this across a kill -9 restart.
+        std::lock_guard lock(store_mutex_);
+        const std::uint64_t digest = fault::cluster_digest(system_.store());
+        char hex[17];
+        std::snprintf(hex, sizeof(hex), "%016llx",
+                      static_cast<unsigned long long>(digest));
+        resp.payload.assign(hex, hex + 16);
         break;
       }
       default:

@@ -1,27 +1,10 @@
 #include "svc/wire.hpp"
 
-#include <array>
 #include <cstring>
 
 namespace chameleon::svc {
 
 namespace {
-
-/// CRC32C lookup table (reflected polynomial 0x82F63B78), built once.
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t crc = i;
-      for (int bit = 0; bit < 8; ++bit) {
-        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
@@ -49,15 +32,6 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 }  // namespace
 
-std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
-  const auto& table = crc_table();
-  std::uint32_t crc = ~seed;
-  for (const std::uint8_t byte : data) {
-    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
-}
-
 const char* op_name(Op op) {
   switch (op) {
     case Op::kPing: return "ping";
@@ -66,6 +40,7 @@ const char* op_name(Op op) {
     case Op::kDelete: return "delete";
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
+    case Op::kDigest: return "digest";
     case Op::kCount: break;
   }
   return "unknown";

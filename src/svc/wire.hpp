@@ -28,12 +28,16 @@
 #include <string_view>
 #include <vector>
 
+#include "common/crc32c.hpp"
+
 namespace chameleon::svc {
 
-/// CRC32C (Castagnoli, the iSCSI/ext4 polynomial) over `data`. `seed` chains
-/// incremental computations: crc32c(ab) == crc32c(b, crc32c(a)).
-std::uint32_t crc32c(std::span<const std::uint8_t> data,
-                     std::uint32_t seed = 0);
+/// CRC32C (Castagnoli) over `data`; the shared implementation lives in
+/// common/crc32c.hpp so the durability layer frames with the same checksum.
+inline std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                            std::uint32_t seed = 0) {
+  return chameleon::crc32c(data, seed);
+}
 
 enum class Op : std::uint8_t {
   kPing = 0,  ///< liveness probe; empty payload both ways
@@ -42,6 +46,7 @@ enum class Op : std::uint8_t {
   kDelete,    ///< request: key; response: empty
   kStats,     ///< request: empty; response: JSON service counters
   kMetrics,   ///< request: empty; response: Prometheus text exposition
+  kDigest,    ///< request: empty; response: 16-hex-char cluster digest
   kCount
 };
 const char* op_name(Op op);

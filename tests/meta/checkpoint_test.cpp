@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "common/rng.hpp"
 
@@ -114,6 +116,50 @@ TEST(Checkpoint, MissingFileThrows) {
                std::runtime_error);
   EXPECT_THROW(save_mapping_table(table, "/nonexistent-dir/ckpt.dat"),
                std::runtime_error);
+}
+
+TEST(Checkpoint, InterruptedSaveLeavesOriginalIntact) {
+  MappingTable table;
+  for (ObjectId oid = 1; oid <= 10; ++oid) table.create(sample_meta(oid));
+  TempPath tmp;
+  save_mapping_table(table, tmp.path);
+
+  // Simulate a crash mid-write: a torn temp file next to the destination,
+  // exactly what a kill -9 between open and rename leaves behind. The
+  // destination must still load the previous complete state.
+  {
+    std::ofstream torn(tmp.path + ".tmp");
+    torn << "1 2 0 0 0 0 0 0";  // half an object line
+  }
+  MappingTable restored;
+  EXPECT_EQ(load_mapping_table(restored, tmp.path), 10u);
+  EXPECT_EQ(restored.object_count(), 10u);
+
+  // A later save must shrug off the stale temp file and commit atomically.
+  table.create(sample_meta(11));
+  EXPECT_EQ(save_mapping_table(table, tmp.path), 11u);
+  MappingTable after;
+  EXPECT_EQ(load_mapping_table(after, tmp.path), 11u);
+  EXPECT_FALSE(std::filesystem::exists(tmp.path + ".tmp"));
+}
+
+TEST(Checkpoint, FailedSavePreservesOriginalFile) {
+  MappingTable table;
+  for (ObjectId oid = 1; oid <= 5; ++oid) table.create(sample_meta(oid));
+  TempPath tmp;
+  save_mapping_table(table, tmp.path);
+
+  // Force the save to fail partway: a DIRECTORY squatting on the temp path
+  // makes the temp-file open (and any later rename) impossible.
+  std::filesystem::create_directory(tmp.path + ".tmp");
+  table.create(sample_meta(6));
+  EXPECT_THROW(save_mapping_table(table, tmp.path), std::runtime_error);
+  std::filesystem::remove_all(tmp.path + ".tmp");
+
+  // The destination still holds the last COMPLETE save, not a torn mix.
+  MappingTable restored;
+  EXPECT_EQ(load_mapping_table(restored, tmp.path), 5u);
+  EXPECT_EQ(restored.object_count(), 5u);
 }
 
 TEST(Checkpoint, CensusSurvivesRoundTrip) {

@@ -16,6 +16,11 @@
 //   seed=42                workload RNG seed (deterministic key/op stream)
 //   metrics_out=PATH       scrape the server's METRICS op at the end
 //                          ("-" = stdout)
+//   digest=0               fetch the cluster state digest (DIGEST op) at the
+//                          end and print "digest: <16 hex>"; with ops=0 and
+//                          preload=0 this is a pure state probe, which is
+//                          how crash-recovery CI compares state across a
+//                          kill -9 restart
 //
 // Prints achieved throughput and per-op latency percentiles. Exits 0 on a
 // clean run, 1 when any protocol error or exhausted retry budget occurred.
@@ -213,6 +218,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(pool.reconnects_total()),
                 static_cast<unsigned long long>(total.exhausted),
                 static_cast<unsigned long long>(total.protocol_errors));
+
+    if (config.get_bool("digest", false)) {
+      std::printf("digest: %s\n", pool.digest().c_str());
+    }
 
     const std::string metrics_out = config.get_string("metrics_out", "");
     if (!metrics_out.empty()) {

@@ -19,6 +19,11 @@
 //   epoch_every_ops=10000   advance one balancing epoch every N data ops
 //   metrics=1               enable the metrics registry (METRICS op)
 //   port_file=PATH          write the bound port (for ephemeral-port CI)
+//   data_dir=PATH           durability: WAL + checkpoints live here; on boot
+//                           the newest checkpoint is restored and the WAL
+//                           tail replayed (docs/DURABILITY.md)
+//   fsync=always            WAL fsync policy: always | interval | none
+//   checkpoint_every_epochs=1  snapshot cadence (1 = every epoch barrier)
 //   fault_drop_rate=0       P(drop a connection per frame)  [chaos hooks]
 //   fault_stall_rate=0      P(stall a response per frame)
 //   fault_stall_ms=20       stall duration
@@ -34,8 +39,11 @@
 
 #include <csignal>
 
+#include <memory>
+
 #include "common/config.hpp"
 #include "core/chameleon.hpp"
+#include "durability/manager.hpp"
 #include "obs/metrics.hpp"
 #include "svc/server.hpp"
 
@@ -110,6 +118,33 @@ int main(int argc, char** argv) {
     sys_config.servers = servers;
     sys_config.ssd = flashsim::SsdConfig::sized_for(per_server, 0.7);
     core::Chameleon system(sys_config);
+
+    // Durability: recover from data_dir (if given) before serving, then
+    // journal every mutation from here on.
+    std::unique_ptr<durability::Manager> durable;
+    const std::string data_dir = config.get_string("data_dir", "");
+    if (!data_dir.empty()) {
+      durability::DurabilityConfig dur_config;
+      dur_config.dir = data_dir;
+      dur_config.fsync = durability::fsync_policy_from_name(
+          config.get_string("fsync", "always"));
+      dur_config.checkpoint_every_epochs = static_cast<std::uint32_t>(
+          config.get_int("checkpoint_every_epochs", 1));
+      durable = std::make_unique<durability::Manager>(system, dur_config);
+      const durability::RecoveryReport report = durable->open();
+      std::printf(
+          "recovery: %s checkpoint seq=%llu epoch=%u, replayed %llu wal "
+          "records (%llu segments)%s, digest=%016llx, %.3fs\n",
+          report.checkpoint_loaded ? "loaded" : "no",
+          static_cast<unsigned long long>(report.checkpoint_seq),
+          report.checkpoint_epoch,
+          static_cast<unsigned long long>(report.replayed_records),
+          static_cast<unsigned long long>(report.segments_scanned),
+          report.torn_tail ? ", torn tail truncated" : "",
+          static_cast<unsigned long long>(report.digest),
+          report.duration_seconds);
+      std::fflush(stdout);
+    }
 
     svc::ServerConfig server_config;
     server_config.host = listen.substr(0, colon);
