@@ -167,6 +167,7 @@ void write_csv(const BenchEnv& env, const std::string& content) {
 void write_observability(const BenchEnv& env) {
   if (!env.metrics_out.empty()) {
     write_to(env.metrics_out, "metrics", [](std::ostream& out) {
+      obs::sync_trace_metrics();
       out << obs::render_prometheus(obs::metrics());
     });
   }

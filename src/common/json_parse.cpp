@@ -1,0 +1,339 @@
+#include "common/json_parse.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace chameleon {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonParseError("json parse error at byte " + std::to_string(pos_) +
+                         ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("invalid literal (expected " + std::string(word) + ")");
+    }
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue::make_bool(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    for (;;) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+          // the documents we parse are ASCII).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number");
+    }
+    // JSON forbids leading zeros: "0" is fine, "01" is not.
+    const bool leading_zero = text_[pos_] == '0';
+    ++pos_;
+    if (leading_zero && pos_ < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("leading zero in number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("digit expected in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    return JsonValue::make_number(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_fail(const char* wanted) {
+  throw JsonParseError(std::string("json type error: expected ") + wanted);
+}
+
+}  // namespace
+
+JsonValue& JsonValue::operator=(const JsonValue& other) {
+  if (this == &other) return *this;
+  kind_ = other.kind_;
+  bool_ = other.bool_;
+  number_ = other.number_;
+  string_ = other.string_;
+  array_ = other.array_ ? std::make_unique<Array>(*other.array_) : nullptr;
+  object_ = other.object_ ? std::make_unique<Object>(*other.object_) : nullptr;
+  return *this;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_fail("bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) kind_fail("number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double v = as_number();
+  if (!std::isfinite(v) ||
+      v < static_cast<double>(std::numeric_limits<std::int64_t>::min()) ||
+      v > static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+    kind_fail("integer in int64 range");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_fail("string");
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray || !array_) kind_fail("array");
+  return *array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject || !object_) kind_fail("object");
+  return *object_;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  const Object& members = as_object();
+  const auto it = members.find(key);
+  if (it == members.end()) {
+    throw JsonParseError("json schema error: missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  return is_object() && object_ && object_->count(key) > 0;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  return has(key) ? get(key).as_number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  return has(key) ? get(key).as_string() : fallback;
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(Array a) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::make_unique<Array>(std::move(a));
+  return v;
+}
+
+JsonValue JsonValue::make_object(Object o) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::make_unique<Object>(std::move(o));
+  return v;
+}
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace chameleon

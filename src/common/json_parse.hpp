@@ -1,0 +1,91 @@
+// Minimal recursive-descent JSON parser for the machine-readable artifacts
+// the repo itself emits (BENCH_*.json, loadgen --latency-out dumps). The
+// emission side lives in common/json.hpp; this is the read side: strict
+// (rejects trailing garbage, unterminated strings, bad escapes), bounded
+// recursion depth, no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chameleon {
+
+/// Thrown on malformed input, with a byte offset in the message.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One parsed JSON value. Objects preserve no duplicate keys (last wins)
+/// and iterate in sorted-key order (std::map), which is fine for the
+/// deterministic documents this repo produces.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Typed accessors: throw JsonParseError on a kind mismatch so schema
+  /// violations surface as loud parse failures, not garbage values.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number() truncated, range-checked
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member access. get() throws when the key is missing; the
+  /// *_or() forms return the fallback on a missing key but still throw on a
+  /// kind mismatch (a present-but-wrong-type field is a schema error).
+  const JsonValue& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(Array a);
+  static JsonValue make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  /// unique_ptr keeps the recursive type sized; null unless array/object.
+  std::unique_ptr<Array> array_;
+  std::unique_ptr<Object> object_;
+
+ public:
+  // Deep-copyable despite the unique_ptr members.
+  JsonValue(const JsonValue& other) { *this = other; }
+  JsonValue& operator=(const JsonValue& other);
+  JsonValue(JsonValue&&) = default;
+  JsonValue& operator=(JsonValue&&) = default;
+  ~JsonValue() = default;
+};
+
+/// Parse one complete JSON document. Throws JsonParseError on malformed
+/// input, trailing non-whitespace, or nesting deeper than 64 levels.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace chameleon

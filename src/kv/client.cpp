@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace chameleon::kv {
 
@@ -24,7 +25,13 @@ OpResult Client::put(std::string_view key, std::span<const std::uint8_t> value,
   const ObjectId oid = object_id(key);
   const OpResult result = store_.put_value(oid, value, now);
   // Redo-log: the mutation applied; make it durable before acknowledging.
-  if (journal_ != nullptr) journal_->on_put_value(oid, value, now);
+  // The WAL append+fsync reports into the serving span's wal_fsync stage
+  // via the thread-local bucket (the svc worker carves it out of store
+  // exec); a no-op when observability is off or no journal is attached.
+  if (journal_ != nullptr) {
+    obs::SpanStageScope wal_scope(obs::SvcStage::kWalFsync);
+    journal_->on_put_value(oid, value, now);
+  }
   return result;
 }
 
@@ -47,7 +54,10 @@ std::string Client::get_string(std::string_view key, Epoch now,
 bool Client::remove(std::string_view key) {
   const ObjectId oid = object_id(key);
   const bool removed = store_.remove(oid);
-  if (removed && journal_ != nullptr) journal_->on_remove(oid);
+  if (removed && journal_ != nullptr) {
+    obs::SpanStageScope wal_scope(obs::SvcStage::kWalFsync);
+    journal_->on_remove(oid);
+  }
   return removed;
 }
 

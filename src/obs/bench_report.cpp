@@ -1,0 +1,276 @@
+#include "obs/bench_report.hpp"
+
+#include <cmath>
+
+#include "common/json.hpp"
+#include "common/json_parse.hpp"
+
+namespace chameleon::obs {
+
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value,
+               bool quote) {
+  out += '"';
+  out += key;
+  out += "\":";
+  if (quote) {
+    json_append_escaped(out, value);
+  } else {
+    out += value;
+  }
+}
+
+std::string num(double v) { return json_number(v); }
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+std::uint64_t require_u64(const JsonValue& obj, const std::string& key) {
+  const std::int64_t v = obj.get(key).as_int();
+  if (v < 0) {
+    throw JsonParseError("json schema error: negative count in '" + key +
+                         "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+BenchStageStat parse_stage(const JsonValue& v) {
+  BenchStageStat s;
+  s.stage = v.get("stage").as_string();
+  s.count = require_u64(v, "count");
+  s.mean_ns = v.get("mean_ns").as_number();
+  return s;
+}
+
+BenchOpStat parse_op(const JsonValue& v) {
+  BenchOpStat o;
+  o.op = v.get("op").as_string();
+  o.count = require_u64(v, "count");
+  o.mean_ns = v.get("mean_ns").as_number();
+  o.p50_ns = v.get("p50_ns").as_number();
+  o.p90_ns = v.get("p90_ns").as_number();
+  o.p99_ns = v.get("p99_ns").as_number();
+  if (v.has("stages")) {
+    for (const JsonValue& stage : v.get("stages").as_array()) {
+      o.stages.push_back(parse_stage(stage));
+    }
+  }
+  return o;
+}
+
+BenchScenario parse_scenario(const JsonValue& v) {
+  BenchScenario s;
+  s.name = v.get("name").as_string();
+  s.kind = v.get("kind").as_string();
+  s.config = v.string_or("config", "");
+  s.ops = require_u64(v, "ops");
+  s.elapsed_seconds = v.get("elapsed_seconds").as_number();
+  s.ops_per_sec = v.get("ops_per_sec").as_number();
+  s.bytes_per_op = v.number_or("bytes_per_op", 0.0);
+  s.shed_total = v.has("shed_total") ? require_u64(v, "shed_total") : 0;
+  s.errors = v.has("errors") ? require_u64(v, "errors") : 0;
+  if (v.has("op_stats")) {
+    for (const JsonValue& op : v.get("op_stats").as_array()) {
+      s.op_stats.push_back(parse_op(op));
+    }
+  }
+  if (v.has("extra")) {
+    for (const auto& [key, value] : v.get("extra").as_object()) {
+      s.extra[key] = value.as_number();
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+const BenchOpStat* BenchScenario::find_op(const std::string& op) const {
+  for (const BenchOpStat& o : op_stats) {
+    if (o.op == op) return &o;
+  }
+  return nullptr;
+}
+
+const BenchScenario* BenchReport::find(const std::string& name) const {
+  for (const BenchScenario& s : scenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  ";
+  append_kv(out, "schema_version", std::to_string(schema_version), false);
+  out += ",\n  ";
+  append_kv(out, "tool", tool, true);
+  out += ",\n  ";
+  append_kv(out, "label", label, true);
+  out += ",\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const BenchScenario& s = scenarios[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n      ";
+    append_kv(out, "name", s.name, true);
+    out += ",\n      ";
+    append_kv(out, "kind", s.kind, true);
+    out += ",\n      ";
+    append_kv(out, "config", s.config, true);
+    out += ",\n      ";
+    append_kv(out, "ops", num(s.ops), false);
+    out += ",\n      ";
+    append_kv(out, "elapsed_seconds", num(s.elapsed_seconds), false);
+    out += ",\n      ";
+    append_kv(out, "ops_per_sec", num(s.ops_per_sec), false);
+    out += ",\n      ";
+    append_kv(out, "bytes_per_op", num(s.bytes_per_op), false);
+    out += ",\n      ";
+    append_kv(out, "shed_total", num(s.shed_total), false);
+    out += ",\n      ";
+    append_kv(out, "errors", num(s.errors), false);
+    out += ",\n      \"op_stats\": [";
+    for (std::size_t j = 0; j < s.op_stats.size(); ++j) {
+      const BenchOpStat& o = s.op_stats[j];
+      out += j == 0 ? "\n" : ",\n";
+      out += "        { ";
+      append_kv(out, "op", o.op, true);
+      out += ", ";
+      append_kv(out, "count", num(o.count), false);
+      out += ", ";
+      append_kv(out, "mean_ns", num(o.mean_ns), false);
+      out += ", ";
+      append_kv(out, "p50_ns", num(o.p50_ns), false);
+      out += ", ";
+      append_kv(out, "p90_ns", num(o.p90_ns), false);
+      out += ", ";
+      append_kv(out, "p99_ns", num(o.p99_ns), false);
+      out += ",\n          \"stages\": [";
+      for (std::size_t k = 0; k < o.stages.size(); ++k) {
+        const BenchStageStat& st = o.stages[k];
+        out += k == 0 ? "\n" : ",\n";
+        out += "            { ";
+        append_kv(out, "stage", st.stage, true);
+        out += ", ";
+        append_kv(out, "count", num(st.count), false);
+        out += ", ";
+        append_kv(out, "mean_ns", num(st.mean_ns), false);
+        out += " }";
+      }
+      out += o.stages.empty() ? "]" : "\n          ]";
+      out += " }";
+    }
+    out += s.op_stats.empty() ? "]" : "\n      ]";
+    out += ",\n      \"extra\": {";
+    std::size_t n = 0;
+    for (const auto& [key, value] : s.extra) {
+      out += n++ == 0 ? " " : ", ";
+      append_kv(out, key.c_str(), num(value), false);
+    }
+    out += s.extra.empty() ? "}" : " }";
+    out += "\n    }";
+  }
+  out += scenarios.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+BenchReport BenchReport::from_json(const std::string& text) {
+  const JsonValue doc = json_parse(text);
+  BenchReport report;
+  report.schema_version = static_cast<int>(doc.get("schema_version").as_int());
+  if (report.schema_version != kSchemaVersion) {
+    throw JsonParseError(
+        "bench report schema_version " +
+        std::to_string(report.schema_version) + " != supported " +
+        std::to_string(kSchemaVersion));
+  }
+  report.tool = doc.string_or("tool", "");
+  report.label = doc.string_or("label", "");
+  for (const JsonValue& s : doc.get("scenarios").as_array()) {
+    report.scenarios.push_back(parse_scenario(s));
+  }
+  return report;
+}
+
+BenchDiffResult bench_diff(const BenchReport& baseline,
+                           const BenchReport& current,
+                           const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  if (baseline.schema_version != current.schema_version) {
+    result.shape_errors.push_back(
+        "schema_version mismatch: baseline " +
+        std::to_string(baseline.schema_version) + " vs current " +
+        std::to_string(current.schema_version));
+    return result;
+  }
+
+  const auto note = [&result, &options](const std::string& scenario,
+                                        const std::string& metric,
+                                        double base, double cur,
+                                        bool worse) {
+    BenchDiffFinding f;
+    f.scenario = scenario;
+    f.metric = metric;
+    f.baseline = base;
+    f.current = cur;
+    f.ratio = base != 0.0 ? cur / base : 0.0;
+    f.regression = worse;
+    if (worse && !options.advisory) result.regressed = true;
+    result.findings.push_back(std::move(f));
+  };
+
+  for (const BenchScenario& base : baseline.scenarios) {
+    const BenchScenario* cur = current.find(base.name);
+    if (cur == nullptr) {
+      result.shape_errors.push_back("scenario '" + base.name +
+                                    "' missing from current report");
+      continue;
+    }
+    if (base.ops_per_sec > 0.0) {
+      const bool worse =
+          cur->ops_per_sec < base.ops_per_sec * options.min_ops_ratio;
+      note(base.name, "ops_per_sec", base.ops_per_sec, cur->ops_per_sec,
+           worse);
+    }
+    for (const BenchOpStat& base_op : base.op_stats) {
+      const BenchOpStat* cur_op = cur->find_op(base_op.op);
+      if (cur_op == nullptr || base_op.p99_ns <= 0.0) continue;
+      const bool worse =
+          cur_op->p99_ns > base_op.p99_ns * options.max_p99_ratio;
+      note(base.name, "p99_ns(" + base_op.op + ")", base_op.p99_ns,
+           cur_op->p99_ns, worse);
+    }
+    if (cur->errors > base.errors) {
+      note(base.name, "errors", static_cast<double>(base.errors),
+           static_cast<double>(cur->errors), true);
+    }
+  }
+  return result;
+}
+
+std::string BenchDiffResult::render() const {
+  std::string out;
+  for (const std::string& err : shape_errors) {
+    out += "SHAPE  ";
+    out += err;
+    out += '\n';
+  }
+  for (const BenchDiffFinding& f : findings) {
+    out += f.regression ? "REGRESS " : "ok      ";
+    out += f.scenario;
+    out += ' ';
+    out += f.metric;
+    out += ": ";
+    out += json_number(f.baseline);
+    out += " -> ";
+    out += json_number(f.current);
+    out += " (x";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", f.ratio);
+    out += buf;
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace chameleon::obs

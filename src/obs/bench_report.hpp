@@ -1,0 +1,131 @@
+// Machine-readable benchmark trajectory (ROADMAP item 5): the schema behind
+// the BENCH_<n>.json snapshots that tools/chameleon_bench emits and
+// tools/bench_diff compares. Every PR that claims a speedup points at a diff
+// of two of these files instead of a prose number.
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "tool": "chameleon_bench",
+//     "label": "BENCH_7",
+//     "scenarios": [
+//       {
+//         "name": "serve_closed", "kind": "serve", "config": "...",
+//         "ops": 30000, "elapsed_seconds": 0.9, "ops_per_sec": 33000.0,
+//         "bytes_per_op": 580.0, "shed_total": 0, "errors": 0,
+//         "op_stats": [
+//           { "op": "get", "count": 14980, "mean_ns": ...,
+//             "p50_ns": ..., "p90_ns": ..., "p99_ns": ...,
+//             "stages": [ {"stage": "decode", "count": ...,
+//                          "mean_ns": ...}, ... ] }, ... ],
+//         "extra": { "erase_stddev": ... }   // scenario-specific scalars
+//       }, ... ]
+//   }
+//
+// Parsing is strict: a wrong schema_version, a missing required key, or a
+// mistyped field throws (bench_diff maps that to its hard-fail exit code);
+// unknown extra keys are ignored so the schema can grow compatibly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chameleon::obs {
+
+struct BenchStageStat {
+  std::string stage;  ///< obs::svc_stage_name value
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+};
+
+struct BenchOpStat {
+  std::string op;  ///< svc op name ("get", "put", ...)
+  std::uint64_t count = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
+  /// Per-pipeline-stage attribution (chameleon_svc_stage_seconds), present
+  /// for served scenarios.
+  std::vector<BenchStageStat> stages;
+};
+
+struct BenchScenario {
+  std::string name;
+  std::string kind;    ///< "serve" (TCP server + load) or "sim" (fig harness)
+  std::string config;  ///< human-readable knob summary, not diffed
+  std::uint64_t ops = 0;
+  double elapsed_seconds = 0.0;
+  double ops_per_sec = 0.0;
+  double bytes_per_op = 0.0;  ///< wire bytes (read+written) per data op
+  std::uint64_t shed_total = 0;
+  std::uint64_t errors = 0;  ///< protocol errors + exhausted retries
+  std::vector<BenchOpStat> op_stats;
+  /// Scenario-specific scalars (sim: erase_stddev, state_digest, ...).
+  std::map<std::string, double> extra;
+
+  const BenchOpStat* find_op(const std::string& op) const;
+};
+
+struct BenchReport {
+  static constexpr int kSchemaVersion = 1;
+
+  int schema_version = kSchemaVersion;
+  std::string tool = "chameleon_bench";
+  std::string label;  ///< e.g. "BENCH_7"
+  std::vector<BenchScenario> scenarios;
+
+  const BenchScenario* find(const std::string& name) const;
+
+  /// Deterministic pretty-printed JSON (stable key order, round-trippable
+  /// numbers) — two runs with identical stats serialize byte-identically.
+  std::string to_json() const;
+
+  /// Strict parse; throws chameleon::JsonParseError on malformed JSON, a
+  /// schema_version mismatch, or missing/mistyped required fields.
+  static BenchReport from_json(const std::string& text);
+};
+
+// --- snapshot comparison ----------------------------------------------------
+
+struct BenchDiffOptions {
+  /// Throughput regression: current ops_per_sec below base * min_ops_ratio.
+  double min_ops_ratio = 0.70;
+  /// Latency regression: current p99 above base * max_p99_ratio. Wide by
+  /// default — shared CI runners are noisy; tighten locally.
+  double max_p99_ratio = 2.0;
+  /// Advisory findings never flip `regressed` (CI shared-runner mode).
+  bool advisory = false;
+};
+
+struct BenchDiffFinding {
+  std::string scenario;
+  std::string metric;  ///< "ops_per_sec", "p99_ns(get)", ...
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline
+  bool regression = false;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffFinding> findings;
+  /// Structural problems: schema mismatch, scenario present in the baseline
+  /// but missing from the current run. Always hard failures.
+  std::vector<std::string> shape_errors;
+  bool regressed = false;
+
+  bool shape_ok() const { return shape_errors.empty(); }
+  /// Human-readable summary table (one line per finding/shape error).
+  std::string render() const;
+};
+
+/// Compare `current` against `baseline`. Every baseline scenario must exist
+/// in the current report (a removed scenario is a shape error, so a bench
+/// can't "pass" by silently dropping its slowest case).
+BenchDiffResult bench_diff(const BenchReport& baseline,
+                           const BenchReport& current,
+                           const BenchDiffOptions& options = {});
+
+}  // namespace chameleon::obs

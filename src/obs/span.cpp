@@ -1,0 +1,104 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace chameleon::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<SpanClock> g_span_clock{nullptr};
+
+thread_local std::array<std::uint64_t,
+                        static_cast<std::size_t>(SvcStage::kCount)>
+    g_tls_stage_ns{};
+
+/// splitmix64 finalizer: full-avalanche mix for the sampling predicate.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* svc_stage_name(SvcStage s) {
+  switch (s) {
+    case SvcStage::kDecode: return "decode";
+    case SvcStage::kAdmission: return "admission";
+    case SvcStage::kQueue: return "queue";
+    case SvcStage::kStoreExec: return "store_exec";
+    case SvcStage::kWalFsync: return "wal_fsync";
+    case SvcStage::kCompletion: return "completion";
+    case SvcStage::kFlush: return "flush";
+    case SvcStage::kCount: break;
+  }
+  return "unknown";
+}
+
+std::uint64_t span_now() {
+  const SpanClock clock = g_span_clock.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock() : steady_now_ns();
+}
+
+void set_span_clock_for_test(SpanClock clock) {
+  g_span_clock.store(clock, std::memory_order_relaxed);
+}
+
+bool Span::enabled_probe() { return enabled(); }
+
+std::string Span::stages_json() const {
+  std::string out;
+  out.reserve(96);
+  out += '{';
+  for (std::size_t i = 0; i < static_cast<std::size_t>(SvcStage::kCount);
+       ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += svc_stage_name(static_cast<SvcStage>(i));
+    out += "\":";
+    out += std::to_string(ns_[i]);
+  }
+  out += '}';
+  return out;
+}
+
+std::uint64_t span_tls_take(SvcStage stage) {
+  std::uint64_t& bucket = g_tls_stage_ns[static_cast<std::size_t>(stage)];
+  const std::uint64_t v = bucket;
+  bucket = 0;
+  return v;
+}
+
+SpanStageScope::SpanStageScope(SvcStage stage) {
+  if (enabled()) {
+    stage_ = stage;
+    active_ = true;
+    start_ns_ = span_now();
+  }
+}
+
+SpanStageScope::~SpanStageScope() {
+  if (active_) {
+    g_tls_stage_ns[static_cast<std::size_t>(stage_)] +=
+        span_now() - start_ns_;
+  }
+}
+
+bool span_sampled(std::uint64_t seed, std::uint64_t every,
+                  std::uint64_t request_id) {
+  if (every == 0) return false;
+  return mix64(seed ^ mix64(request_id)) % every == 0;
+}
+
+}  // namespace chameleon::obs

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace chameleon::obs {
 
@@ -25,6 +26,7 @@ const char* trace_type_name(TraceType t) {
     case TraceType::kSvcSessionClose: return "svc_session_close";
     case TraceType::kSvcRequest: return "svc_request";
     case TraceType::kSvcShed: return "svc_shed";
+    case TraceType::kSvcSlowRequest: return "svc_slow_request";
     case TraceType::kCheckpoint: return "checkpoint";
     case TraceType::kRecoveryStart: return "recovery_start";
     case TraceType::kRecoveryReplay: return "recovery_replay";
@@ -70,6 +72,10 @@ std::string TraceEvent::to_json() const {
   if (has_value2) {
     out += ",\"value2\":";
     out += json_number(value2);
+  }
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    out += detail;  // pre-rendered JSON, emitted verbatim
   }
   out += "}";
   return out;
@@ -156,6 +162,25 @@ void TraceSink::write_jsonl(std::ostream& out) const {
 TraceSink& trace() {
   static TraceSink sink;
   return sink;
+}
+
+void sync_trace_metrics() {
+  if (!enabled()) return;
+  auto& reg = metrics();
+  TraceSink& sink = trace();
+  // Counters expose inc/reset only; re-seed them to the sink's current
+  // monotone values at exposition time.
+  auto& recorded =
+      reg.counter("chameleon_trace_recorded_total", {},
+                  "Trace events accepted by the process-wide sink");
+  recorded.reset();
+  recorded.inc(sink.recorded());
+  auto& dropped =
+      reg.counter("chameleon_trace_dropped_total", {},
+                  "Trace events overwritten by ring wraparound (raise the "
+                  "sink capacity or tighten the type filter if nonzero)");
+  dropped.reset();
+  dropped.inc(sink.dropped());
 }
 
 }  // namespace chameleon::obs

@@ -39,6 +39,7 @@ enum class TraceType : std::uint32_t {
   kSvcSessionClose,     ///< service layer closed a connection
   kSvcRequest,          ///< one served (admitted + executed) service request
   kSvcShed,             ///< admission control shed a request
+  kSvcSlowRequest,      ///< slow/sampled request with full stage breakdown
   kCheckpoint,          ///< durability layer wrote a full-cluster snapshot
   kRecoveryStart,       ///< crash recovery began (checkpoint search)
   kRecoveryReplay,      ///< crash recovery finished replaying the WAL tail
@@ -71,6 +72,10 @@ inline constexpr std::uint64_t kNoField =
 ///   kSvcRequest      server=session id, from=op name, to=status name,
 ///                    a=request payload bytes, value=latency ns
 ///   kSvcShed         server=session id, from=op name
+///   kSvcSlowRequest  server=session id, from=op name, to=capture reason
+///                    ("threshold" | "sample"), a=request id, b=request
+///                    payload bytes, value=end-to-end ns, detail=per-stage
+///                    nanoseconds object (obs::Span::stages_json)
 ///   kCheckpoint      a=checkpoint seq, b=WAL records since the last one
 ///   kRecoveryStart   (no fields)
 ///   kRecoveryReplay  a=records replayed, b=truncated tail bytes
@@ -90,6 +95,10 @@ struct TraceEvent {
   bool has_value = false;
   double value2 = 0.0;
   bool has_value2 = false;
+  /// Optional pre-rendered JSON value (object/array/number) emitted verbatim
+  /// under the "detail" key — for structured payloads (e.g. the per-stage
+  /// breakdown of kSvcSlowRequest) that don't fit the scalar fields.
+  std::string detail;
 
   std::string to_json() const;
 };
@@ -146,5 +155,12 @@ class TraceSink {
 
 /// Process-wide sink used by all instrumentation sites.
 TraceSink& trace();
+
+/// Publish the process-wide sink's counters into the metrics registry
+/// (chameleon_trace_recorded_total / chameleon_trace_dropped_total), so a
+/// silently wrapping trace ring is visible in any metrics scrape. Call at
+/// exposition time (the svc METRICS op and the bench --metrics-out path do);
+/// no-op when obs is disabled.
+void sync_trace_metrics();
 
 }  // namespace chameleon::obs

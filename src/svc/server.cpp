@@ -16,9 +16,11 @@
 #include <utility>
 
 #include "common/faults.hpp"
+#include "common/json.hpp"
 #include "fault/digest.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace chameleon::svc {
@@ -43,6 +45,11 @@ Nanos elapsed_ns(std::chrono::steady_clock::time_point from,
       .count();
 }
 
+bool is_data_op(Op op) {
+  return op == Op::kGet || op == Op::kPut || op == Op::kDelete ||
+         op == Op::kDigest;
+}
+
 }  // namespace
 
 Server::Server(core::Chameleon& system, const ServerConfig& config)
@@ -60,6 +67,17 @@ Server::Server(core::Chameleon& system, const ServerConfig& config)
       metric_.latency[i] = &reg.histogram(
           "chameleon_svc_request_latency_ns", 0.0, 1e8, 1000, {{"op", op}},
           "Admission-to-response latency of served requests");
+      if (!is_data_op(static_cast<Op>(i))) continue;
+      for (std::size_t s = 0;
+           s < static_cast<std::size_t>(obs::SvcStage::kCount); ++s) {
+        metric_.stage[i][s] = &reg.histogram(
+            "chameleon_svc_stage_seconds", 0.0, 0.1, 1000,
+            {{"op", op},
+             {"stage", obs::svc_stage_name(static_cast<obs::SvcStage>(s))}},
+            "Per-pipeline-stage time of served data requests "
+            "(decode/admission/queue/store_exec/wal_fsync/completion/flush; "
+            "the stages partition the request's server-side wall time)");
+      }
     }
     metric_.shed_session =
         &reg.counter("chameleon_svc_shed_total", {{"scope", "session"}},
@@ -147,6 +165,7 @@ void Server::start() {
   // begin life already draining (it would exit immediately, serving nothing).
   draining_ = false;
   drained_clean_.store(false, std::memory_order_relaxed);
+  start_time_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
 }
@@ -202,6 +221,14 @@ ServerStats Server::stats() const {
   s.bytes_read_total = bytes_read_total_.load(std::memory_order_relaxed);
   s.bytes_written_total = bytes_written_total_.load(std::memory_order_relaxed);
   s.inflight = admission_.inflight();
+  s.slow_requests_total = slow_requests_total_.load(std::memory_order_relaxed);
+  s.trace_dropped = obs::trace().dropped();
+  s.uptime_seconds =
+      start_time_.time_since_epoch().count() == 0
+          ? 0.0
+          : static_cast<double>(
+                elapsed_ns(start_time_, std::chrono::steady_clock::now())) /
+                1e9;
   s.drained_clean = drained_clean_.load(std::memory_order_relaxed);
   return s;
 }
@@ -323,9 +350,14 @@ void Server::on_readable(const std::shared_ptr<Session>& session) {
   }
   Frame frame;
   for (;;) {
+    // The span opens before frame extraction, so the decode stage covers
+    // parsing/validating this frame out of the buffered socket bytes. One
+    // relaxed load + no clock reads when observability is off.
+    obs::Span span = obs::Span::begin();
     const DecodeResult d = session->decoder().next(frame);
+    span.stamp(obs::SvcStage::kDecode);
     if (d == DecodeResult::kFrame) {
-      if (!handle_frame(session, std::move(frame))) return;
+      if (!handle_frame(session, std::move(frame), std::move(span))) return;
       continue;
     }
     if (d == DecodeResult::kNeedMore) break;
@@ -346,7 +378,7 @@ void Server::on_readable(const std::shared_ptr<Session>& session) {
 }
 
 bool Server::handle_frame(const std::shared_ptr<Session>& session,
-                          Frame frame) {
+                          Frame frame, obs::Span span) {
   note_request(frame.op);
   if (frame.status != Status::kOk) {
     // Requests must carry kOk; anything else is a confused peer.
@@ -426,12 +458,29 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   seed.op = frame.op;
   seed.admitted_at = std::chrono::steady_clock::now();
   seed.request_bytes = frame.payload.size();
+  seed.request_id = frame.request_id;
+  // Fault rolls + the admission decision happened since the decode stamp.
+  span.stamp(obs::SvcStage::kAdmission);
+  seed.span = span;
   pool_->submit([this, request = std::move(frame), stall,
                  seed = std::move(seed)]() mutable {
     if (stall > 0) {
       std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
     }
+    // Everything since the admission stamp was time on the worker queue.
+    // An injected stall is deliberately left in the queue stage: it is
+    // scheduling delay, not store work.
+    seed.span.stamp(obs::SvcStage::kQueue);
+    // Drop any WAL time a previous request on this worker thread left
+    // behind (e.g. its span was inactive), then carve this request's WAL
+    // append+fsync out of the store-exec stage.
+    obs::span_tls_take(obs::SvcStage::kWalFsync);
     seed.response = execute(request);
+    const std::uint64_t wal_ns =
+        obs::span_tls_take(obs::SvcStage::kWalFsync);
+    seed.span.stamp(obs::SvcStage::kStoreExec);
+    seed.span.carve(obs::SvcStage::kStoreExec, obs::SvcStage::kWalFsync,
+                    wal_ns);
     {
       std::lock_guard lock(completion_mutex_);
       completions_.push_back(std::move(seed));
@@ -455,6 +504,7 @@ Frame Server::control_response(const Frame& request) {
       break;
     }
     case Op::kMetrics: {
+      obs::sync_trace_metrics();
       const std::string body = obs::render_prometheus(obs::metrics());
       resp.payload.assign(body.begin(), body.end());
       break;
@@ -561,6 +611,9 @@ void Server::drain_completions() {
     if (c.session->inflight > 0) c.session->inflight -= 1;
     responses_total_.fetch_add(1, std::memory_order_relaxed);
     note_response(c.op, elapsed_ns(c.admitted_at, now));
+    // Time from the worker's last stamp to here sat in the completion
+    // queue waiting for the IO thread.
+    c.span.stamp(obs::SvcStage::kCompletion);
     auto& sink = obs::trace();
     if (sink.accepts(obs::TraceType::kSvcRequest)) {
       obs::TraceEvent e;
@@ -585,6 +638,8 @@ void Server::drain_completions() {
         close_session(c.session);
       }
     }
+    c.span.stamp(obs::SvcStage::kFlush);
+    finalize_span(c);
     if (!c.session->closed() && c.session->peer_gone &&
         c.session->inflight == 0 && !c.session->pending()) {
       close_session(c.session);
@@ -689,6 +744,10 @@ std::string Server::stats_json() const {
   field("bytes_read_total", s.bytes_read_total);
   field("bytes_written_total", s.bytes_written_total);
   field("inflight", s.inflight);
+  field("slow_requests_total", s.slow_requests_total);
+  field("trace_dropped", s.trace_dropped);
+  out += ",\"uptime_seconds\":";
+  out += json_number(s.uptime_seconds);
   out += ",\"draining\":";
   out += draining_ ? "true" : "false";
   out += '}';
@@ -707,6 +766,39 @@ void Server::note_response(Op op, Nanos latency) {
     metric_.latency[static_cast<std::size_t>(op)]->observe(
         static_cast<double>(latency));
   }
+}
+
+void Server::finalize_span(const Completion& c) {
+  if (!c.span.active()) return;
+  const std::size_t op = static_cast<std::size_t>(c.op);
+  if (metric_.resolved && obs::enabled() && metric_.stage[op][0] != nullptr) {
+    for (std::size_t s = 0;
+         s < static_cast<std::size_t>(obs::SvcStage::kCount); ++s) {
+      metric_.stage[op][s]->observe(
+          static_cast<double>(c.span.ns(static_cast<obs::SvcStage>(s))) / 1e9);
+    }
+  }
+  const std::uint64_t total = c.span.total_ns();
+  const bool slow = config_.slow.threshold > 0 &&
+                    total >= static_cast<std::uint64_t>(config_.slow.threshold);
+  const bool sampled = obs::span_sampled(
+      config_.slow.seed, config_.slow.sample_every, c.request_id);
+  if (!slow && !sampled) return;
+  slow_requests_total_.fetch_add(1, std::memory_order_relaxed);
+  auto& sink = obs::trace();
+  if (!sink.accepts(obs::TraceType::kSvcSlowRequest)) return;
+  obs::TraceEvent e;
+  e.epoch = epoch_cache_.load(std::memory_order_relaxed);
+  e.type = obs::TraceType::kSvcSlowRequest;
+  e.server = c.session->id();
+  e.from = op_name(c.op);
+  e.to = slow ? "threshold" : "sample";
+  e.a = c.request_id;
+  e.b = c.request_bytes;
+  e.value = static_cast<double>(total);
+  e.has_value = true;
+  e.detail = c.span.stages_json();
+  sink.record(std::move(e));
 }
 
 void Server::note_fault(const char* kind) {

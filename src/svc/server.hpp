@@ -27,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "core/chameleon.hpp"
+#include "obs/span.hpp"
 #include "svc/admission.hpp"
 #include "svc/session.hpp"
 #include "svc/wire.hpp"
@@ -49,11 +50,24 @@ struct ServiceFaultPlan {
   std::uint64_t seed = 0x5eed;
 };
 
+/// Slow-request capture (docs/OBSERVABILITY.md): a data op whose span total
+/// exceeds `threshold` (0 = off), or that the deterministic 1-in-N sampler
+/// picks, records a kSvcSlowRequest trace event carrying the full per-stage
+/// breakdown. The sampler is a pure function of (seed, request_id) —
+/// obs::span_sampled — so replay/chaos runs capture byte-identical sets no
+/// matter how threads interleave.
+struct SlowRequestConfig {
+  Nanos threshold = 0;             ///< capture when span total >= this; 0=off
+  std::uint64_t sample_every = 0;  ///< deterministic 1-in-N sample; 0=off
+  std::uint64_t seed = 0x5eed;
+};
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;     ///< 0 = ephemeral (read back via port())
   std::uint32_t workers = 2;  ///< request-execution threads
   AdmissionConfig admission;
+  SlowRequestConfig slow;
   std::uint32_t max_payload = kDefaultMaxPayload;
   /// Sessions idle longer than this (no traffic, nothing in flight) are
   /// reaped. 0 disables reaping.
@@ -80,6 +94,9 @@ struct ServerStats {
   std::uint64_t bytes_read_total = 0;
   std::uint64_t bytes_written_total = 0;
   std::uint64_t inflight = 0;
+  std::uint64_t slow_requests_total = 0;  ///< kSvcSlowRequest events recorded
+  std::uint64_t trace_dropped = 0;  ///< trace-ring events lost to wraparound
+  double uptime_seconds = 0.0;      ///< since the last successful start()
   bool drained_clean = false;  ///< last drain finished inside drain_timeout
 };
 
@@ -123,10 +140,20 @@ class Server {
     Op op = Op::kPing;
     std::chrono::steady_clock::time_point admitted_at;
     std::uint64_t request_bytes = 0;
+    std::uint64_t request_id = 0;
+    /// Stage attribution, stamped along the way: decode/admission on the IO
+    /// thread, queue/store-exec (with the WAL carve-out) on the worker,
+    /// completion/flush back on the IO thread. Never touched concurrently —
+    /// ownership moves with the completion through the queue.
+    obs::Span span;
   };
   struct MetricHandles {
     obs::Counter* requests[static_cast<std::size_t>(Op::kCount)] = {};
     obs::HistogramMetric* latency[static_cast<std::size_t>(Op::kCount)] = {};
+    /// chameleon_svc_stage_seconds{op,stage}: resolved for data ops only.
+    obs::HistogramMetric* stage[static_cast<std::size_t>(Op::kCount)]
+                               [static_cast<std::size_t>(
+                                   obs::SvcStage::kCount)] = {};
     obs::Counter* shed_session = nullptr;
     obs::Counter* shed_global = nullptr;
     obs::Counter* bytes_read = nullptr;
@@ -141,8 +168,10 @@ class Server {
   void io_loop();
   void accept_ready();
   void on_readable(const std::shared_ptr<Session>& session);
-  /// Returns false when the frame tore the session down.
-  bool handle_frame(const std::shared_ptr<Session>& session, Frame frame);
+  /// Returns false when the frame tore the session down. `span` carries the
+  /// decode stamp taken by on_readable.
+  bool handle_frame(const std::shared_ptr<Session>& session, Frame frame,
+                    obs::Span span);
   Frame control_response(const Frame& request);
   Frame execute(const Frame& request);
   void maybe_tick_epoch_locked();
@@ -162,6 +191,10 @@ class Server {
   void note_request(Op op);
   void note_response(Op op, Nanos latency);
   void note_fault(const char* kind);
+  /// Feed the finished span into the per-stage histograms and, when the
+  /// request was slow or deterministically sampled, record the
+  /// kSvcSlowRequest trace event with the full breakdown. IO thread only.
+  void finalize_span(const Completion& c);
 
   core::Chameleon& system_;
   ServerConfig config_;
@@ -196,6 +229,8 @@ class Server {
   std::vector<int> deferred_close_fds_;
   std::uint64_t next_session_id_ = 1;
 
+  std::chrono::steady_clock::time_point start_time_{};
+
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<bool> io_done_{false};
@@ -212,6 +247,7 @@ class Server {
   std::atomic<std::uint64_t> bytes_read_total_{0};
   std::atomic<std::uint64_t> bytes_written_total_{0};
   std::atomic<std::uint64_t> sessions_open_{0};
+  std::atomic<std::uint64_t> slow_requests_total_{0};
   std::atomic<bool> drained_clean_{false};
 };
 

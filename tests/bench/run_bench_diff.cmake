@@ -1,0 +1,30 @@
+# Run bench_diff and assert its exact exit code. Driven by add_test in
+# tests/CMakeLists.txt:
+#   cmake -DBENCH_DIFF=<exe> -DBASE=<json> -DCUR=<json> -DEXPECT=<code>
+#         [-DEXTRA=<flag>] -P run_bench_diff.cmake
+# WILL_FAIL can't distinguish exit 1 (regression) from exit 2 (shape error),
+# and that distinction is the tool's contract — so compare exactly.
+if(NOT DEFINED BENCH_DIFF OR NOT DEFINED BASE OR NOT DEFINED CUR
+   OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "need -DBENCH_DIFF -DBASE -DCUR -DEXPECT")
+endif()
+
+set(cmd "${BENCH_DIFF}" "${BASE}" "${CUR}")
+if(DEFINED EXTRA)
+  list(APPEND cmd "${EXTRA}")
+endif()
+
+execute_process(COMMAND ${cmd}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+message(STATUS "bench_diff stdout:\n${out}")
+if(NOT err STREQUAL "")
+  message(STATUS "bench_diff stderr:\n${err}")
+endif()
+
+if(NOT exit_code EQUAL ${EXPECT})
+  message(FATAL_ERROR
+    "bench_diff exited ${exit_code}, expected ${EXPECT}")
+endif()

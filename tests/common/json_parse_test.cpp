@@ -1,0 +1,76 @@
+// Strict-parser tests for common/json_parse: accepted grammar, typed
+// accessor errors, escape handling, depth bounding, trailing-garbage
+// rejection. The parser only needs to read JSON this repo emits (bench
+// reports, span breakdowns), so strictness beats leniency.
+#include "common/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace chameleon {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_FALSE(json_parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json_parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(json_parse("-0.25e2").as_number(), -25.0);
+  EXPECT_EQ(json_parse("42").as_int(), 42);
+  EXPECT_EQ(json_parse("-7").as_int(), -7);
+  EXPECT_EQ(json_parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  const JsonValue doc = json_parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+  EXPECT_EQ(doc.get("a").as_array().size(), 3u);
+  EXPECT_EQ(doc.get("a").as_array()[2].get("b").as_string(), "c");
+  EXPECT_TRUE(doc.get("d").get("e").is_null());
+  EXPECT_TRUE(doc.get("f").as_bool());
+  EXPECT_TRUE(doc.has("a"));
+  EXPECT_FALSE(doc.has("zzz"));
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(json_parse(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, TypedAccessorsThrowOnMismatch) {
+  const JsonValue doc = json_parse(R"({"n": 1, "s": "x"})");
+  EXPECT_THROW(doc.get("n").as_string(), JsonParseError);
+  EXPECT_THROW(doc.get("s").as_number(), JsonParseError);
+  EXPECT_THROW(doc.get("missing"), JsonParseError);
+  EXPECT_THROW(doc.as_array(), JsonParseError);
+  EXPECT_DOUBLE_EQ(doc.number_or("absent", 9.0), 9.0);
+  EXPECT_EQ(doc.string_or("absent", "d"), "d");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonParseError);
+  EXPECT_THROW(json_parse("{"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"a\":}"), JsonParseError);
+  EXPECT_THROW(json_parse("[1,]"), JsonParseError);
+  EXPECT_THROW(json_parse("{'a':1}"), JsonParseError);
+  EXPECT_THROW(json_parse("nul"), JsonParseError);
+  EXPECT_THROW(json_parse("1 2"), JsonParseError);  // trailing garbage
+  EXPECT_THROW(json_parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(json_parse("01"), JsonParseError);
+}
+
+TEST(JsonParseTest, BoundsNestingDepth) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(json_parse(deep), JsonParseError);
+
+  std::string ok;
+  for (int i = 0; i < 30; ++i) ok += '[';
+  for (int i = 0; i < 30; ++i) ok += ']';
+  EXPECT_NO_THROW(json_parse(ok));
+}
+
+}  // namespace
+}  // namespace chameleon

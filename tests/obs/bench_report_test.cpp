@@ -1,0 +1,190 @@
+// BenchReport schema round-trip and bench_diff tolerance-band tests: the
+// unit-level contract behind tools/chameleon_bench + tools/bench_diff.
+#include "obs/bench_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/json_parse.hpp"
+
+namespace chameleon::obs {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport r;
+  r.label = "BENCH_TEST";
+  BenchScenario s;
+  s.name = "serve_closed";
+  s.kind = "serve";
+  s.config = "ops=1000";
+  s.ops = 1000;
+  s.elapsed_seconds = 0.5;
+  s.ops_per_sec = 2000.0;
+  s.bytes_per_op = 580.25;
+  s.shed_total = 3;
+  s.errors = 0;
+  BenchOpStat get;
+  get.op = "get";
+  get.count = 480;
+  get.mean_ns = 52'000.5;
+  get.p50_ns = 41'000.0;
+  get.p90_ns = 90'000.0;
+  get.p99_ns = 130'000.0;
+  get.stages.push_back({"decode", 480, 900.0});
+  get.stages.push_back({"queue", 480, 14'000.0});
+  s.op_stats.push_back(get);
+  s.extra["erase_stddev"] = 8.25;
+  r.scenarios.push_back(std::move(s));
+
+  BenchScenario sim;
+  sim.name = "fig4_wear";
+  sim.kind = "sim";
+  sim.ops = 24'000;
+  sim.elapsed_seconds = 1.25;
+  sim.ops_per_sec = 19'200.0;
+  r.scenarios.push_back(std::move(sim));
+  return r;
+}
+
+TEST(BenchReportTest, RoundTripsThroughJson) {
+  const BenchReport original = sample_report();
+  const std::string text = original.to_json();
+  const BenchReport parsed = BenchReport::from_json(text);
+
+  ASSERT_EQ(parsed.scenarios.size(), 2u);
+  EXPECT_EQ(parsed.label, "BENCH_TEST");
+  EXPECT_EQ(parsed.tool, "chameleon_bench");
+  const BenchScenario* s = parsed.find("serve_closed");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->ops, 1000u);
+  EXPECT_DOUBLE_EQ(s->ops_per_sec, 2000.0);
+  EXPECT_DOUBLE_EQ(s->bytes_per_op, 580.25);
+  EXPECT_EQ(s->shed_total, 3u);
+  const BenchOpStat* get = s->find_op("get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_DOUBLE_EQ(get->mean_ns, 52'000.5);
+  ASSERT_EQ(get->stages.size(), 2u);
+  EXPECT_EQ(get->stages[1].stage, "queue");
+  EXPECT_DOUBLE_EQ(get->stages[1].mean_ns, 14'000.0);
+  EXPECT_DOUBLE_EQ(s->extra.at("erase_stddev"), 8.25);
+
+  // Deterministic serialization: a round-trip re-serializes byte-identically.
+  EXPECT_EQ(parsed.to_json(), text);
+}
+
+TEST(BenchReportTest, RejectsWrongSchemaVersion) {
+  BenchReport r = sample_report();
+  std::string text = r.to_json();
+  const auto pos = text.find("\"schema_version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 18, "\"schema_version\":9");
+  EXPECT_THROW(BenchReport::from_json(text), JsonParseError);
+}
+
+TEST(BenchReportTest, RejectsMissingRequiredField) {
+  EXPECT_THROW(BenchReport::from_json("{}"), JsonParseError);
+  EXPECT_THROW(
+      BenchReport::from_json(
+          R"({"schema_version":1,"scenarios":[{"name":"x"}]})"),
+      JsonParseError);
+  EXPECT_THROW(BenchReport::from_json("not json"), JsonParseError);
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass) {
+  const BenchReport r = sample_report();
+  const BenchDiffResult d = bench_diff(r, r);
+  EXPECT_TRUE(d.shape_ok());
+  EXPECT_FALSE(d.regressed);
+  EXPECT_FALSE(d.findings.empty());
+  for (const BenchDiffFinding& f : d.findings) {
+    EXPECT_FALSE(f.regression) << f.scenario << " " << f.metric;
+  }
+}
+
+TEST(BenchDiffTest, FlagsThroughputCollapse) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].ops_per_sec = base.scenarios[0].ops_per_sec * 0.5;
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_TRUE(d.shape_ok());
+  EXPECT_TRUE(d.regressed);
+  bool found = false;
+  for (const BenchDiffFinding& f : d.findings) {
+    if (f.metric == "ops_per_sec" && f.regression) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiffTest, ToleratesNoiseInsideTheBands) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].ops_per_sec *= 0.85;              // above 0.70 floor
+  cur.scenarios[0].op_stats[0].p99_ns *= 1.5;        // below 2.0 ceiling
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_FALSE(d.regressed) << d.render();
+}
+
+TEST(BenchDiffTest, FlagsP99Blowup) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].op_stats[0].p99_ns =
+      base.scenarios[0].op_stats[0].p99_ns * 3.0;
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_TRUE(d.regressed);
+}
+
+TEST(BenchDiffTest, FlagsNewErrors) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].errors = 7;
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_TRUE(d.regressed);
+}
+
+TEST(BenchDiffTest, MissingScenarioIsAShapeError) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios.pop_back();  // drop fig4_wear
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_FALSE(d.shape_ok());
+  ASSERT_EQ(d.shape_errors.size(), 1u);
+  EXPECT_NE(d.shape_errors[0].find("fig4_wear"), std::string::npos);
+}
+
+TEST(BenchDiffTest, SchemaMismatchIsAShapeError) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.schema_version = 2;
+  const BenchDiffResult d = bench_diff(base, cur);
+  EXPECT_FALSE(d.shape_ok());
+}
+
+TEST(BenchDiffTest, AdvisoryModeNeverFlipsRegressed) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].ops_per_sec = 1.0;
+  BenchDiffOptions options;
+  options.advisory = true;
+  const BenchDiffResult d = bench_diff(base, cur, options);
+  EXPECT_FALSE(d.regressed);
+  // ...but the findings still name the regression for the log.
+  bool flagged = false;
+  for (const BenchDiffFinding& f : d.findings) {
+    if (f.regression) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+  // Shape errors stay hard even in advisory mode.
+  cur.scenarios.clear();
+  EXPECT_FALSE(bench_diff(base, cur, options).shape_ok());
+}
+
+TEST(BenchDiffTest, RenderNamesEveryFinding) {
+  const BenchReport base = sample_report();
+  BenchReport cur = sample_report();
+  cur.scenarios[0].ops_per_sec = 1.0;
+  const std::string rendered = bench_diff(base, cur).render();
+  EXPECT_NE(rendered.find("REGRESS"), std::string::npos);
+  EXPECT_NE(rendered.find("ops_per_sec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

@@ -1,0 +1,224 @@
+// Span unit tests: the partition invariant (stage sums == wall total),
+// carve() clamping, the thread-local sub-stage accumulator, deterministic
+// sampling, and — the overhead contract — zero clock reads on the disabled
+// path, pinned down by swapping the span clock for a counting stub.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "obs/metrics.hpp"
+
+namespace chameleon::obs {
+namespace {
+
+// Counting fake clock for deterministic stamping and read-count assertions.
+std::atomic<std::uint64_t> g_fake_now{0};
+std::atomic<std::uint64_t> g_clock_reads{0};
+
+std::uint64_t fake_clock() {
+  g_clock_reads.fetch_add(1, std::memory_order_relaxed);
+  return g_fake_now.load(std::memory_order_relaxed);
+}
+
+class SpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+    g_fake_now.store(0);
+    g_clock_reads.store(0);
+    set_span_clock_for_test(&fake_clock);
+    span_tls_take(SvcStage::kWalFsync);  // drop any stale TLS state
+  }
+  void TearDown() override {
+    set_span_clock_for_test(nullptr);
+    set_enabled(was_enabled_);
+  }
+  static void advance(std::uint64_t ns) {
+    g_fake_now.fetch_add(ns, std::memory_order_relaxed);
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(SpanTest, StampsPartitionTheWallInterval) {
+  Span span = Span::begin();
+  ASSERT_TRUE(span.active());
+  advance(100);
+  EXPECT_EQ(span.stamp(SvcStage::kDecode), 100u);
+  advance(40);
+  span.stamp(SvcStage::kAdmission);
+  advance(250);
+  span.stamp(SvcStage::kQueue);
+  advance(1000);
+  span.stamp(SvcStage::kStoreExec);
+  advance(75);
+  span.stamp(SvcStage::kCompletion);
+  advance(25);
+  span.stamp(SvcStage::kFlush);
+
+  EXPECT_EQ(span.total_ns(), 1490u);
+  EXPECT_EQ(span.attributed_ns(), span.total_ns());
+  EXPECT_EQ(span.ns(SvcStage::kQueue), 250u);
+  EXPECT_EQ(span.ns(SvcStage::kWalFsync), 0u);
+}
+
+TEST_F(SpanTest, CarvePreservesTheSumAndClamps) {
+  Span span = Span::begin();
+  advance(1000);
+  span.stamp(SvcStage::kStoreExec);
+
+  span.carve(SvcStage::kStoreExec, SvcStage::kWalFsync, 300);
+  EXPECT_EQ(span.ns(SvcStage::kStoreExec), 700u);
+  EXPECT_EQ(span.ns(SvcStage::kWalFsync), 300u);
+  EXPECT_EQ(span.attributed_ns(), span.total_ns());
+
+  // Asking for more than the source stage holds moves only what is there.
+  span.carve(SvcStage::kStoreExec, SvcStage::kWalFsync, 5000);
+  EXPECT_EQ(span.ns(SvcStage::kStoreExec), 0u);
+  EXPECT_EQ(span.ns(SvcStage::kWalFsync), 1000u);
+  EXPECT_EQ(span.attributed_ns(), span.total_ns());
+}
+
+TEST_F(SpanTest, StagesJsonListsEveryStageInPipelineOrder) {
+  Span span = Span::begin();
+  advance(7);
+  span.stamp(SvcStage::kDecode);
+  advance(11);
+  span.stamp(SvcStage::kStoreExec);
+
+  const JsonValue doc = json_parse(span.stages_json());
+  const auto& obj = doc.as_object();
+  ASSERT_EQ(obj.size(), static_cast<std::size_t>(SvcStage::kCount));
+  EXPECT_EQ(doc.get("decode").as_int(), 7);
+  EXPECT_EQ(doc.get("store_exec").as_int(), 11);
+  EXPECT_EQ(doc.get("wal_fsync").as_int(), 0);  // zeros are present
+  // Key order is the pipeline order (deterministic output).
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : obj) {
+    sum += static_cast<std::uint64_t>(value.as_int());
+  }
+  EXPECT_EQ(sum, span.total_ns());
+}
+
+TEST_F(SpanTest, TlsScopeAccumulatesAndTakeZeroes) {
+  {
+    SpanStageScope scope(SvcStage::kWalFsync);
+    advance(120);
+  }
+  {
+    SpanStageScope scope(SvcStage::kWalFsync);
+    advance(80);
+  }
+  EXPECT_EQ(span_tls_take(SvcStage::kWalFsync), 200u);
+  EXPECT_EQ(span_tls_take(SvcStage::kWalFsync), 0u);  // read-and-zero
+}
+
+TEST_F(SpanTest, TlsBucketsAreThreadLocal) {
+  {
+    SpanStageScope scope(SvcStage::kWalFsync);
+    advance(50);
+  }
+  std::uint64_t other_thread = 1;  // nonzero sentinel
+  std::thread t([&] { other_thread = span_tls_take(SvcStage::kWalFsync); });
+  t.join();
+  EXPECT_EQ(other_thread, 0u);  // the other thread saw nothing
+  EXPECT_EQ(span_tls_take(SvcStage::kWalFsync), 50u);
+}
+
+// The overhead contract: with observability disabled, Span::begin() + any
+// number of stamps perform ZERO clock reads (one relaxed enabled() load is
+// all the hot path pays).
+TEST_F(SpanTest, DisabledPathReadsTheClockZeroTimes) {
+  set_enabled(false);
+  g_clock_reads.store(0);
+
+  Span span = Span::begin();
+  span.stamp(SvcStage::kDecode);
+  span.stamp(SvcStage::kQueue);
+  span.add(SvcStage::kStoreExec, 123);
+  span.carve(SvcStage::kStoreExec, SvcStage::kWalFsync, 10);
+  { SpanStageScope scope(SvcStage::kWalFsync); }
+
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.total_ns(), 0u);
+  EXPECT_EQ(span.attributed_ns(), 0u);
+  EXPECT_EQ(g_clock_reads.load(), 0u)
+      << "disabled spans must not touch the clock";
+}
+
+TEST_F(SpanTest, EnabledPathReadsTheClockOncePerStamp) {
+  g_clock_reads.store(0);
+  Span span = Span::begin();          // 1 read
+  span.stamp(SvcStage::kDecode);      // 1 read
+  span.stamp(SvcStage::kQueue);       // 1 read
+  span.add(SvcStage::kStoreExec, 5);  // 0 reads
+  EXPECT_EQ(g_clock_reads.load(), 3u);
+}
+
+TEST(SpanSampledTest, DeterministicAndSeedKeyed) {
+  // Pure function: same (seed, every, id) always agrees.
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    EXPECT_EQ(span_sampled(7, 8, id), span_sampled(7, 8, id));
+  }
+  // 0 disables sampling entirely.
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_FALSE(span_sampled(7, 0, id));
+  }
+  // every=1 samples everything.
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    EXPECT_TRUE(span_sampled(7, 1, id));
+  }
+  // Roughly 1-in-N over a large id range (mixing, not modular striping).
+  std::uint64_t hits = 0;
+  for (std::uint64_t id = 0; id < 64'000; ++id) {
+    if (span_sampled(42, 16, id)) ++hits;
+  }
+  EXPECT_GT(hits, 3'000u);
+  EXPECT_LT(hits, 5'000u);
+  // Different seeds pick different sets.
+  std::set<std::uint64_t> a, b;
+  for (std::uint64_t id = 0; id < 4'000; ++id) {
+    if (span_sampled(1, 16, id)) a.insert(id);
+    if (span_sampled(2, 16, id)) b.insert(id);
+  }
+  EXPECT_NE(a, b);
+}
+
+// Concurrency shape for TSan: many threads stamping their own spans and
+// using the TLS scopes simultaneously (spans are never shared; the only
+// shared state is the clock hook and the enabled flag).
+TEST_F(SpanTest, ConcurrentStampingIsRaceFree) {
+  set_span_clock_for_test(nullptr);  // real clock: actual concurrent reads
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span = Span::begin();
+        {
+          SpanStageScope scope(SvcStage::kWalFsync);
+        }
+        span.stamp(SvcStage::kStoreExec);
+        span.carve(SvcStage::kStoreExec, SvcStage::kWalFsync,
+                   span_tls_take(SvcStage::kWalFsync));
+        span.stamp(SvcStage::kFlush);
+        if (span.attributed_ns() != span.total_ns()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace chameleon::obs

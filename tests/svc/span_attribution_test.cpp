@@ -1,0 +1,278 @@
+// Loopback integration tests for request-level latency attribution (ctest
+// label `svc`): served requests carry a Span through the pipeline, the
+// per-stage breakdown partitions the end-to-end time exactly, slow-request
+// capture picks a deterministic seeded sample, the WAL fsync sub-stage is
+// carved out of store exec when durability is on, and the STATS/METRICS ops
+// surface the new observability counters.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json_parse.hpp"
+#include "core/chameleon.hpp"
+#include "durability/manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+core::ChameleonConfig small_system() {
+  core::ChameleonConfig cfg;
+  cfg.servers = 12;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 256;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  return cfg;
+}
+
+ClientConfig client_for(const Server& server) {
+  ClientConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = server.port();
+  cfg.retry.base_backoff = 2 * kMillisecond;
+  return cfg;
+}
+
+class SpanAttributionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::metrics().reset_values();
+    obs::trace().set_enabled(true);
+    obs::trace().clear();
+    obs::trace().clear_type_filter();
+  }
+  void TearDown() override {
+    obs::trace().set_enabled(false);
+    obs::trace().clear();
+    obs::set_enabled(false);
+  }
+};
+
+/// Sum a slow-request event's per-stage breakdown (the `detail` JSON).
+std::uint64_t stage_sum(const obs::TraceEvent& e) {
+  const JsonValue doc = json_parse(e.detail);
+  std::uint64_t sum = 0;
+  for (const auto& [stage, ns] : doc.as_object()) {
+    sum += static_cast<std::uint64_t>(ns.as_int());
+  }
+  return sum;
+}
+
+// sample_every=1 captures every data op; each captured event's stage sums
+// must equal its end-to-end total EXACTLY — the stamps partition the wall
+// interval and carve() preserves sums, so this is an identity, not a bound.
+TEST_F(SpanAttributionTest, StageBreakdownPartitionsEndToEndExactly) {
+  core::Chameleon system(small_system());
+  ServerConfig config;
+  config.slow.sample_every = 1;
+  Server server(system, config);
+  server.start();
+
+  ClientPool pool(client_for(server), 2);
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "span-key-" + std::to_string(i % 8);
+    ASSERT_EQ(pool.put(key, "value-" + std::to_string(i)), Status::kOk);
+    pool.get(key, got);
+  }
+  server.stop();
+
+  std::size_t captured = 0;
+  for (const obs::TraceEvent& e : obs::trace().snapshot()) {
+    if (e.type != obs::TraceType::kSvcSlowRequest) continue;
+    ++captured;
+    ASSERT_FALSE(e.detail.empty());
+    EXPECT_EQ(e.to, "sample");
+    EXPECT_TRUE(e.has_value);
+    EXPECT_EQ(stage_sum(e), static_cast<std::uint64_t>(e.value))
+        << "stage sums must partition the span total: " << e.detail;
+    // All seven stages are present in the breakdown, zeros included.
+    const JsonValue doc = json_parse(e.detail);
+    EXPECT_EQ(doc.as_object().size(),
+              static_cast<std::size_t>(obs::SvcStage::kCount));
+  }
+  EXPECT_EQ(captured, 80u);  // every data op was sampled
+  EXPECT_EQ(server.stats().slow_requests_total, 80u);
+}
+
+// The per-stage histograms carry one observation per stage per data op, and
+// their means reconstruct a plausible share of the client-visible latency.
+TEST_F(SpanAttributionTest, StageHistogramsMatchServedOps) {
+  core::Chameleon system(small_system());
+  Server server(system, ServerConfig{});
+  server.start();
+
+  ClientPool pool(client_for(server), 2);
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_EQ(pool.put("hk-" + std::to_string(i), "v"), Status::kOk);
+  }
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_EQ(pool.get("hk-" + std::to_string(i), got), Status::kOk);
+  }
+  server.stop();
+
+  std::uint64_t put_stage_counts = 0;
+  std::uint64_t get_stage_counts = 0;
+  double put_stage_sum_seconds = 0.0;
+  for (const obs::MetricSample& s : obs::metrics().snapshot()) {
+    if (s.name != "chameleon_svc_stage_seconds") continue;
+    ASSERT_TRUE(s.histogram.has_value());
+    std::string op;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "op") op = v;
+    }
+    if (op == "put") {
+      put_stage_counts += s.histogram->count;
+      put_stage_sum_seconds += s.histogram->sum;
+    } else if (op == "get") {
+      get_stage_counts += s.histogram->count;
+    }
+  }
+  const auto stages = static_cast<std::uint64_t>(obs::SvcStage::kCount);
+  EXPECT_EQ(put_stage_counts, 25u * stages);
+  EXPECT_EQ(get_stage_counts, 25u * stages);
+  EXPECT_GT(put_stage_sum_seconds, 0.0);
+}
+
+// The capture set is a pure function of (seed, request_id): run the same
+// workload and check the captured ids are exactly the predicate's picks.
+TEST_F(SpanAttributionTest, SamplingIsDeterministicUnderAFixedSeed) {
+  constexpr std::uint64_t kSeed = 0xfeedULL;
+  constexpr std::uint64_t kEvery = 4;
+
+  core::Chameleon system(small_system());
+  ServerConfig config;
+  config.slow.sample_every = kEvery;
+  config.slow.seed = kSeed;
+  Server server(system, config);
+  server.start();
+
+  // One pooled connection => request ids are sequential from 1, so the
+  // exact capture set is computable up front from the pure predicate.
+  ClientPool pool(client_for(server), 1);
+  constexpr std::uint64_t kOps = 60;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ASSERT_EQ(pool.put("det-" + std::to_string(i), "v"), Status::kOk);
+  }
+  server.stop();
+
+  std::set<std::uint64_t> predicted_ids;
+  for (std::uint64_t id = 1; id <= kOps; ++id) {
+    if (obs::span_sampled(kSeed, kEvery, id)) predicted_ids.insert(id);
+  }
+  std::set<std::uint64_t> captured_ids;
+  for (const obs::TraceEvent& e : obs::trace().snapshot()) {
+    if (e.type == obs::TraceType::kSvcSlowRequest) captured_ids.insert(e.a);
+  }
+  EXPECT_FALSE(predicted_ids.empty());
+  EXPECT_EQ(captured_ids, predicted_ids)
+      << "the capture set must be a pure function of (seed, request_id)";
+}
+
+// With a journal attached, PUTs report WAL fsync time that is carved OUT of
+// store exec (GETs never do), and the partition stays exact.
+TEST_F(SpanAttributionTest, WalFsyncIsCarvedOutOfStoreExec) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("span_wal_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  core::Chameleon system(small_system());
+  durability::DurabilityConfig dur_config;
+  dur_config.dir = dir;
+  dur_config.fsync = durability::FsyncPolicy::kAlways;
+  durability::Manager durable(system, dur_config);
+  durable.open();
+
+  ServerConfig config;
+  config.slow.sample_every = 1;
+  Server server(system, config);
+  server.start();
+
+  ClientPool pool(client_for(server), 2);
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(pool.put("wal-" + std::to_string(i), "v"), Status::kOk);
+    pool.get("wal-" + std::to_string(i), got);
+  }
+  server.stop();
+
+  std::uint64_t put_wal_ns = 0;
+  std::uint64_t get_wal_ns = 0;
+  for (const obs::TraceEvent& e : obs::trace().snapshot()) {
+    if (e.type != obs::TraceType::kSvcSlowRequest) continue;
+    const JsonValue doc = json_parse(e.detail);
+    const auto wal = static_cast<std::uint64_t>(doc.get("wal_fsync").as_int());
+    if (e.from == std::string("put")) {
+      put_wal_ns += wal;
+    } else {
+      get_wal_ns += wal;
+    }
+    EXPECT_EQ(stage_sum(e), static_cast<std::uint64_t>(e.value));
+  }
+  EXPECT_GT(put_wal_ns, 0u) << "journaled PUTs must report fsync time";
+  EXPECT_EQ(get_wal_ns, 0u) << "GETs never touch the WAL";
+  fs::remove_all(dir);
+}
+
+// Nothing is captured when both knobs are off, and the span machinery adds
+// no events even with tracing enabled.
+TEST_F(SpanAttributionTest, CaptureOffByDefault) {
+  core::Chameleon system(small_system());
+  Server server(system, ServerConfig{});
+  server.start();
+  ClientPool pool(client_for(server), 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(pool.put("off-" + std::to_string(i), "v"), Status::kOk);
+  }
+  server.stop();
+  for (const obs::TraceEvent& e : obs::trace().snapshot()) {
+    EXPECT_NE(e.type, obs::TraceType::kSvcSlowRequest);
+  }
+  EXPECT_EQ(server.stats().slow_requests_total, 0u);
+}
+
+// STATS exposes the new fields; METRICS exposes the stage histograms and the
+// synced trace counters.
+TEST_F(SpanAttributionTest, StatsAndMetricsSurfaceObservabilityCounters) {
+  core::Chameleon system(small_system());
+  ServerConfig config;
+  config.slow.sample_every = 2;
+  Server server(system, config);
+  server.start();
+
+  ClientPool pool(client_for(server), 1);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_EQ(pool.put("sm-" + std::to_string(i), "v"), Status::kOk);
+  }
+
+  const std::string stats = pool.stats_json();
+  const JsonValue doc = json_parse(stats);
+  EXPECT_TRUE(doc.has("slow_requests_total"));
+  EXPECT_TRUE(doc.has("trace_dropped"));
+  EXPECT_GT(doc.get("uptime_seconds").as_number(), 0.0);
+  EXPECT_EQ(doc.get("trace_dropped").as_int(), 0);
+
+  const std::string metrics = pool.metrics_text();
+  EXPECT_NE(metrics.find("chameleon_svc_stage_seconds"), std::string::npos);
+  EXPECT_NE(metrics.find("chameleon_trace_dropped_total"), std::string::npos);
+  EXPECT_NE(metrics.find("chameleon_trace_recorded_total"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace chameleon::svc

@@ -1,0 +1,100 @@
+// bench_diff — compare two chameleon_bench snapshots (BENCH_<n>.json).
+//
+//   bench_diff BASELINE.json CURRENT.json [key=value...]
+//
+// Flags (leading "--" optional):
+//   min_ops_ratio=0.70   regression when current ops/s < base * ratio
+//   max_p99_ratio=2.0    regression when current p99 > base * ratio
+//   advisory=0           1: print findings but never fail on regressions
+//                        (shape/schema errors still hard-fail)
+//
+// Exit codes:
+//   0  shapes match, no regression (or advisory mode)
+//   1  at least one regression past the tolerance bands
+//   2  unreadable file, malformed JSON, schema mismatch, or a scenario
+//      present in the baseline but missing from the current report
+//
+// The asymmetry is deliberate: tolerance bands absorb shared-runner noise,
+// but a snapshot that fails to parse or silently dropped a scenario is
+// never "noise" — that is the schema contract breaking.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/json_parse.hpp"
+#include "obs/bench_report.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  Config config;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      while (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        positional.push_back(std::move(arg));
+      } else {
+        config.set(arg.substr(0, eq), arg.substr(eq + 1));
+      }
+    }
+    if (positional.size() != 2) {
+      std::fprintf(stderr,
+                   "usage: bench_diff BASELINE.json CURRENT.json "
+                   "[min_ops_ratio=0.70] [max_p99_ratio=2.0] [advisory=0]\n");
+      return 2;
+    }
+
+    obs::BenchDiffOptions options;
+    options.min_ops_ratio = config.get_double("min_ops_ratio", 0.70);
+    options.max_p99_ratio = config.get_double("max_p99_ratio", 2.0);
+    options.advisory = config.get_bool("advisory", false);
+
+    const obs::BenchReport baseline =
+        obs::BenchReport::from_json(read_file(positional[0]));
+    const obs::BenchReport current =
+        obs::BenchReport::from_json(read_file(positional[1]));
+
+    const obs::BenchDiffResult result =
+        obs::bench_diff(baseline, current, options);
+    const std::string rendered = result.render();
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+
+    if (!result.shape_ok()) {
+      std::fprintf(stderr, "bench_diff: shape/schema errors (hard fail)\n");
+      return 2;
+    }
+    if (result.regressed) {
+      std::fprintf(stderr, "bench_diff: regression past tolerance bands\n");
+      return 1;
+    }
+    std::printf("bench_diff: ok (%zu comparisons%s)\n",
+                result.findings.size(),
+                options.advisory ? ", advisory" : "");
+    return 0;
+  } catch (const JsonParseError& error) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "bench_diff: %s\n", error.what());
+    return 2;
+  }
+}

@@ -1,0 +1,427 @@
+// chameleon_bench — the repo's benchmark trajectory driver (ROADMAP item 5).
+//
+//   chameleon_bench [key=value...]
+//
+// Runs a fixed set of scenarios and emits one schema-versioned JSON report
+// (obs::BenchReport, schema v1) that tools/bench_diff can compare against a
+// previous snapshot. The checked-in BENCH_<n>.json files are produced by
+// exactly this tool, so every performance claim in a PR is reproducible as
+// `chameleon_bench out=/tmp/now.json && bench_diff BENCH_n.json /tmp/now.json`.
+//
+// Scenarios:
+//   serve_closed    TCP server + closed-loop load (max throughput)
+//   serve_open      open loop at a target rate (queue-wait visible)
+//   serve_durable   closed loop with the WAL journal attached
+//                   (wal_fsync stage populated)
+//   fig4_wear       sim harness: Chameleon-EC wear balance at reduced scale
+//   fig8_timeline   sim harness: Chameleon-Rep epoch timeline
+//
+// Serve scenarios report client-side per-op percentiles plus the server's
+// per-stage attribution read back from chameleon_svc_stage_seconds, so the
+// trajectory captures *where* a regression landed, not just that one did.
+//
+// Flags (leading "--" optional):
+//   out=PATH          report destination ("-" = stdout; default -)
+//   label=BENCH       report label (e.g. BENCH_7)
+//   ops=20000         timed ops per serve scenario
+//   keys=2000         distinct keys (Zipf 0.99)
+//   value_bytes=256   PUT payload size
+//   concurrency=4     closed-loop worker threads
+//   connections=4     pooled connections
+//   open_rate=5000    serve_open target ops/sec
+//   read_ratio=0.5    fraction of GETs
+//   workers=2         server execution threads
+//   servers=8         simulated flash servers behind the store
+//   durable=1         include serve_durable (tempdir WAL)
+//   sim=1             include the fig4/fig8 sim scenarios
+//   scale=0.02        sim scale factor (1.0 = paper volumes)
+//   sim_servers=20    sim cluster size
+//   seed=42           workload seed
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/chameleon.hpp"
+#include "durability/manager.hpp"
+#include "kv/client.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/experiment.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
+#include "workload/zipf.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+Config parse_flags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    while (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("expected key=value, got: " + arg);
+    }
+    config.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return config;
+}
+
+Nanos now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string key_for(std::uint64_t rank) {
+  return "key-" + std::to_string(rank);
+}
+
+/// Knobs shared by the serve scenarios (parsed once from the flag set).
+struct ServeKnobs {
+  std::uint64_t ops = 20'000;
+  std::uint64_t keys = 2'000;
+  std::size_t value_bytes = 256;
+  std::size_t concurrency = 4;
+  std::size_t connections = 4;
+  double open_rate = 5'000.0;
+  double read_ratio = 0.5;
+  std::uint32_t workers = 2;
+  std::uint32_t servers = 8;
+  std::uint64_t seed = 42;
+};
+
+/// Client-side measurements of one load run.
+struct LoadResult {
+  Histogram get_hist{0.0, 1e8, 2000};
+  Histogram put_hist{0.0, 1e8, 2000};
+  RunningStats get_stats;
+  RunningStats put_stats;
+  std::uint64_t ops = 0;
+  std::uint64_t errors = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Closed (rate == 0) or open (rate > 0) loop against `pool`. Same shape as
+/// chameleon_loadgen's driver, kept in-process so the bench controls the
+/// server lifecycle and can read its metrics registry directly.
+LoadResult drive(svc::ClientPool& pool, const ServeKnobs& k, double rate) {
+  const std::vector<std::uint8_t> value(k.value_bytes, 0xAB);
+  const workload::ZipfGenerator zipf(k.keys, 0.99);
+  for (std::uint64_t rank = 0; rank < k.keys; ++rank) {
+    pool.put(key_for(rank), value);  // preload so GETs hit
+  }
+
+  std::vector<LoadResult> partial(k.concurrency);
+  std::vector<std::thread> threads;
+  const Nanos start = now_ns();
+  for (std::size_t w = 0; w < k.concurrency; ++w) {
+    threads.emplace_back([&, w] {
+      LoadResult& r = partial[w];
+      Xoshiro256 rng(k.seed + w * 0x9E3779B97F4A7C15ULL);
+      const std::uint64_t quota =
+          k.ops / k.concurrency + (w < k.ops % k.concurrency ? 1 : 0);
+      const double per_worker =
+          rate > 0.0 ? rate / static_cast<double>(k.concurrency) : 0.0;
+      const Nanos interval =
+          per_worker > 0.0 ? static_cast<Nanos>(1e9 / per_worker) : 0;
+      Nanos next_fire = now_ns();
+      std::vector<std::uint8_t> got;
+      for (std::uint64_t i = 0; i < quota; ++i) {
+        if (interval > 0) {
+          next_fire += interval;
+          const Nanos wait = next_fire - now_ns();
+          if (wait > 0) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+          }
+        }
+        const std::string key = key_for(zipf.next(rng));
+        const bool is_get = rng.next_bool(k.read_ratio);
+        const Nanos t0 = now_ns();
+        try {
+          if (is_get) {
+            pool.get(key, got);
+          } else {
+            pool.put(key, value);
+          }
+          const auto latency = static_cast<double>(now_ns() - t0);
+          (is_get ? r.get_hist : r.put_hist).add(latency);
+          (is_get ? r.get_stats : r.put_stats).add(latency);
+          ++r.ops;
+        } catch (const std::exception&) {
+          ++r.errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  LoadResult total;
+  total.elapsed_seconds = static_cast<double>(now_ns() - start) / 1e9;
+  for (const LoadResult& r : partial) {
+    total.get_hist.merge(r.get_hist);
+    total.put_hist.merge(r.put_hist);
+    total.get_stats.merge(r.get_stats);
+    total.put_stats.merge(r.put_stats);
+    total.ops += r.ops;
+    total.errors += r.errors;
+  }
+  return total;
+}
+
+/// Read the server's per-stage attribution back out of the metrics registry
+/// (chameleon_svc_stage_seconds{op,stage}), in pipeline order.
+std::vector<obs::BenchStageStat> stage_stats_for(const std::string& op) {
+  std::vector<obs::BenchStageStat> out;
+  const auto samples = obs::metrics().snapshot();
+  for (std::size_t s = 0;
+       s < static_cast<std::size_t>(obs::SvcStage::kCount); ++s) {
+    const char* stage = obs::svc_stage_name(static_cast<obs::SvcStage>(s));
+    for (const obs::MetricSample& sample : samples) {
+      if (sample.name != "chameleon_svc_stage_seconds" ||
+          !sample.histogram.has_value()) {
+        continue;
+      }
+      bool op_match = false;
+      bool stage_match = false;
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "op" && value == op) op_match = true;
+        if (key == "stage" && value == stage) stage_match = true;
+      }
+      if (!op_match || !stage_match) continue;
+      obs::BenchStageStat st;
+      st.stage = stage;
+      st.count = sample.histogram->count;
+      st.mean_ns = st.count > 0
+                       ? sample.histogram->sum /
+                             static_cast<double>(st.count) * 1e9
+                       : 0.0;
+      out.push_back(std::move(st));
+    }
+  }
+  return out;
+}
+
+obs::BenchOpStat op_stat(const char* op, const Histogram& h,
+                         const RunningStats& s) {
+  obs::BenchOpStat o;
+  o.op = op;
+  o.count = s.count();
+  o.mean_ns = s.mean();
+  o.p50_ns = h.percentile(50);
+  o.p90_ns = h.percentile(90);
+  o.p99_ns = h.percentile(99);
+  o.stages = stage_stats_for(op);
+  return o;
+}
+
+/// One serve scenario: fresh cluster + server (+ optional WAL journal in
+/// `data_dir`), load it, then collect client percentiles, server stage
+/// attribution, shed counts and wire bytes per op.
+obs::BenchScenario serve_scenario(const std::string& name,
+                                  const ServeKnobs& k, double rate,
+                                  const std::filesystem::path& data_dir) {
+  obs::metrics().reset_values();
+
+  const auto per_server =
+      static_cast<std::uint64_t>(64) * 1024 * 1024 * 3 / 2 / k.servers;
+  core::ChameleonConfig sys_config;
+  sys_config.servers = k.servers;
+  sys_config.ssd = flashsim::SsdConfig::sized_for(per_server, 0.7);
+  core::Chameleon system(sys_config);
+
+  std::unique_ptr<durability::Manager> durable;
+  if (!data_dir.empty()) {
+    durability::DurabilityConfig dur_config;
+    dur_config.dir = data_dir;
+    dur_config.fsync = durability::FsyncPolicy::kAlways;
+    durable = std::make_unique<durability::Manager>(system, dur_config);
+    durable->open();
+  }
+
+  svc::ServerConfig server_config;
+  server_config.port = 0;
+  server_config.workers = k.workers;
+  svc::Server server(system, server_config);
+  server.start();
+
+  svc::ClientConfig client_config;
+  client_config.host = server.host();
+  client_config.port = server.port();
+  svc::ClientPool pool(client_config, k.connections);
+
+  const LoadResult load = drive(pool, k, rate);
+  const svc::ServerStats stats = server.stats();
+
+  obs::BenchScenario s;
+  s.name = name;
+  s.kind = "serve";
+  s.config = "ops=" + std::to_string(k.ops) +
+             " keys=" + std::to_string(k.keys) +
+             " value_bytes=" + std::to_string(k.value_bytes) +
+             " concurrency=" + std::to_string(k.concurrency) +
+             " rate=" + std::to_string(static_cast<std::uint64_t>(rate)) +
+             (data_dir.empty() ? "" : " durable=1");
+  s.ops = load.ops;
+  s.elapsed_seconds = load.elapsed_seconds;
+  s.ops_per_sec = load.elapsed_seconds > 0.0
+                      ? static_cast<double>(load.ops) / load.elapsed_seconds
+                      : 0.0;
+  const std::uint64_t wire_bytes =
+      stats.bytes_read_total + stats.bytes_written_total;
+  s.bytes_per_op =
+      load.ops > 0
+          ? static_cast<double>(wire_bytes) / static_cast<double>(load.ops)
+          : 0.0;
+  s.shed_total = stats.shed_total;
+  s.errors = load.errors + stats.protocol_errors_total;
+  s.op_stats.push_back(op_stat("get", load.get_hist, load.get_stats));
+  s.op_stats.push_back(op_stat("put", load.put_hist, load.put_stats));
+  server.stop();
+  return s;
+}
+
+obs::BenchScenario sim_scenario(const std::string& name, sim::Scheme scheme,
+                                double scale, std::uint32_t servers,
+                                std::uint64_t seed) {
+  obs::metrics().reset_values();
+  sim::ExperimentConfig config;
+  config.scheme = scheme;
+  config.scale = scale;
+  config.servers = servers;
+  config.seed = seed;
+  const sim::ExperimentResult r = sim::run_experiment(config);
+
+  obs::BenchScenario s;
+  s.name = name;
+  s.kind = "sim";
+  s.config = std::string("workload=") + r.workload +
+             " scheme=" + sim::scheme_name(scheme) +
+             " scale=" + std::to_string(scale) +
+             " servers=" + std::to_string(servers);
+  s.ops = r.requests;
+  s.elapsed_seconds = r.wall_seconds;
+  s.ops_per_sec = r.wall_seconds > 0.0
+                      ? static_cast<double>(r.requests) / r.wall_seconds
+                      : 0.0;
+  s.extra["erase_mean"] = r.erase_mean;
+  s.extra["erase_stddev"] = r.erase_stddev;
+  s.extra["erase_cv"] = r.erase_cv();
+  s.extra["write_amplification"] = r.write_amplification;
+  s.extra["put_latency_p99_ns"] = static_cast<double>(r.put_latency_p99);
+  s.extra["migration_bytes"] = static_cast<double>(r.migration_bytes);
+  s.extra["timeline_epochs"] =
+      static_cast<double>(r.chameleon_timeline.size());
+  // uint64 digest split into exactly-representable halves (a double cannot
+  // hold all 64 bits); diffed via `extra` only by tooling that wants it.
+  s.extra["state_digest_hi"] = static_cast<double>(r.state_digest >> 32);
+  s.extra["state_digest_lo"] =
+      static_cast<double>(r.state_digest & 0xFFFFFFFFULL);
+  return s;
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("chameleon_bench." + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config config = parse_flags(argc, argv);
+
+    obs::set_enabled(true);
+
+    ServeKnobs k;
+    k.ops = static_cast<std::uint64_t>(config.get_int("ops", 20'000));
+    k.keys = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, config.get_int("keys", 2'000)));
+    k.value_bytes =
+        static_cast<std::size_t>(config.get_int("value_bytes", 256));
+    k.concurrency = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("concurrency", 4)));
+    k.connections = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("connections", 4)));
+    k.open_rate = config.get_double("open_rate", 5'000.0);
+    k.read_ratio = config.get_double("read_ratio", 0.5);
+    k.workers = static_cast<std::uint32_t>(config.get_int("workers", 2));
+    k.servers = static_cast<std::uint32_t>(config.get_int("servers", 8));
+    k.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+
+    const bool durable = config.get_bool("durable", true);
+    const bool sim = config.get_bool("sim", true);
+    const double scale = config.get_double("scale", 0.02);
+    const auto sim_servers =
+        static_cast<std::uint32_t>(config.get_int("sim_servers", 20));
+
+    obs::BenchReport report;
+    report.label = config.get_string("label", "BENCH");
+
+    std::fprintf(stderr, "bench: serve_closed...\n");
+    report.scenarios.push_back(serve_scenario("serve_closed", k, 0.0, {}));
+    std::fprintf(stderr, "bench: serve_open...\n");
+    report.scenarios.push_back(
+        serve_scenario("serve_open", k, k.open_rate, {}));
+    if (durable) {
+      std::fprintf(stderr, "bench: serve_durable...\n");
+      TempDir dir;
+      report.scenarios.push_back(
+          serve_scenario("serve_durable", k, 0.0, dir.path));
+    }
+    if (sim) {
+      std::fprintf(stderr, "bench: fig4_wear...\n");
+      report.scenarios.push_back(sim_scenario(
+          "fig4_wear", sim::Scheme::kChameleonEc, scale, sim_servers,
+          k.seed));
+      std::fprintf(stderr, "bench: fig8_timeline...\n");
+      report.scenarios.push_back(sim_scenario(
+          "fig8_timeline", sim::Scheme::kChameleonRep, scale, sim_servers,
+          k.seed));
+    }
+
+    const std::string text = report.to_json();
+    const std::string out = config.get_string("out", "-");
+    if (out == "-") {
+      std::fwrite(text.data(), 1, text.size(), stdout);
+    } else {
+      std::ofstream file(out);
+      if (!file) throw std::runtime_error("cannot write: " + out);
+      file << text;
+    }
+    for (const obs::BenchScenario& s : report.scenarios) {
+      std::fprintf(stderr, "bench: %-14s %8llu ops  %10.0f ops/s\n",
+                   s.name.c_str(),
+                   static_cast<unsigned long long>(s.ops), s.ops_per_sec);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chameleon_bench: %s\n", error.what());
+    return 1;
+  }
+}

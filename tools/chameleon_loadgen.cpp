@@ -16,6 +16,12 @@
 //   seed=42                workload RNG seed (deterministic key/op stream)
 //   metrics_out=PATH       scrape the server's METRICS op at the end
 //                          ("-" = stdout)
+//   latency_out=PATH       dump the full latency histograms as JSON
+//                          ("-" = stdout): every bucket count plus the
+//                          exact per-op sum/count/min/max (from a parallel
+//                          RunningStats, not re-derived from the binned
+//                          histogram), so downstream tooling can recompute
+//                          any percentile or mean without precision loss
 //   digest=0               fetch the cluster state digest (DIGEST op) at the
 //                          end and print "digest: <16 hex>"; with ops=0 and
 //                          preload=0 this is a pure state probe, which is
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -50,6 +57,8 @@ namespace {
 struct WorkerResult {
   Histogram get_latency{0.0, 1e8, 2000};
   Histogram put_latency{0.0, 1e8, 2000};
+  RunningStats get_stats;  ///< exact sum/count/min/max next to the binned view
+  RunningStats put_stats;
   std::uint64_t ops = 0;
   std::uint64_t gets = 0;
   std::uint64_t puts = 0;
@@ -80,6 +89,45 @@ Nanos now_ns() {
 
 std::string key_for(std::uint64_t rank) {
   return "key-" + std::to_string(rank);
+}
+
+/// Full-fidelity histogram dump: every bucket (zeros included, so offsets
+/// are positional) plus the exact moments from the RunningStats twin.
+void append_latency_json(std::string& out, const char* op,
+                         const Histogram& h, const RunningStats& s) {
+  out += "    { \"op\": ";
+  json_append_escaped(out, op);
+  out += ", \"count\": " + std::to_string(s.count());
+  out += ", \"sum_ns\": " + json_number(s.sum());
+  out += ", \"min_ns\": " + json_number(s.min());
+  out += ", \"max_ns\": " + json_number(s.max());
+  out += ", \"mean_ns\": " + json_number(s.mean());
+  out += ",\n      \"lo\": " + json_number(h.bin_low(0));
+  out += ", \"bin_width\": " + json_number(h.bin_width());
+  out += ", \"underflow\": " + std::to_string(h.underflow());
+  out += ", \"overflow\": " + std::to_string(h.overflow());
+  out += ",\n      \"bins\": [";
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(h.bin_value(i));
+  }
+  out += "] }";
+}
+
+std::string latency_json(const Histogram& get_h, const RunningStats& get_s,
+                         const Histogram& put_h, const RunningStats& put_s,
+                         std::uint64_t ops, double elapsed_seconds) {
+  std::string out;
+  out.reserve(16384);
+  out += "{\n  \"schema_version\": 1,\n  \"tool\": \"chameleon_loadgen\",\n";
+  out += "  \"ops\": " + std::to_string(ops);
+  out += ",\n  \"elapsed_seconds\": " + json_number(elapsed_seconds);
+  out += ",\n  \"histograms\": [\n";
+  append_latency_json(out, "get", get_h, get_s);
+  out += ",\n";
+  append_latency_json(out, "put", put_h, put_s);
+  out += "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace
@@ -172,6 +220,7 @@ int main(int argc, char** argv) {
             }
             const auto latency = static_cast<double>(now_ns() - t0);
             (is_get ? r.get_latency : r.put_latency).add(latency);
+            (is_get ? r.get_stats : r.put_stats).add(latency);
             ++r.ops;
           } catch (const kv::RetriesExhausted&) {
             ++r.exhausted;
@@ -188,6 +237,8 @@ int main(int argc, char** argv) {
     for (const WorkerResult& r : results) {
       total.get_latency.merge(r.get_latency);
       total.put_latency.merge(r.put_latency);
+      total.get_stats.merge(r.get_stats);
+      total.put_stats.merge(r.put_stats);
       total.ops += r.ops;
       total.gets += r.gets;
       total.puts += r.puts;
@@ -221,6 +272,19 @@ int main(int argc, char** argv) {
 
     if (config.get_bool("digest", false)) {
       std::printf("digest: %s\n", pool.digest().c_str());
+    }
+
+    const std::string latency_out = config.get_string("latency_out", "");
+    if (!latency_out.empty()) {
+      const std::string text =
+          latency_json(total.get_latency, total.get_stats, total.put_latency,
+                       total.put_stats, total.ops, secs);
+      if (latency_out == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+      } else {
+        std::ofstream out(latency_out);
+        out << text;
+      }
     }
 
     const std::string metrics_out = config.get_string("metrics_out", "");

@@ -24,6 +24,15 @@
 //                           tail replayed (docs/DURABILITY.md)
 //   fsync=always            WAL fsync policy: always | interval | none
 //   checkpoint_every_epochs=1  snapshot cadence (1 = every epoch barrier)
+//   slow_request_ms=0       record a kSvcSlowRequest trace event (full
+//                           per-stage breakdown) for data ops slower than
+//                           this end-to-end (0 = off)
+//   slow_sample_every=0     also capture a deterministic 1-in-N sample of
+//                           all data ops, keyed on (seed, request_id)
+//   trace_out=PATH          dump the trace ring as JSONL after the drain
+//                           ("-" = stdout); enables the trace sink. Either
+//                           slow knob also enables it, so captures count
+//                           even without a dump path.
 //   fault_drop_rate=0       P(drop a connection per frame)  [chaos hooks]
 //   fault_stall_rate=0      P(stall a response per frame)
 //   fault_stall_ms=20       stall duration
@@ -33,6 +42,7 @@
 // in-flight requests, flush responses, then exit 0.
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -45,6 +55,7 @@
 #include "core/chameleon.hpp"
 #include "durability/manager.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/server.hpp"
 
 using namespace chameleon;
@@ -108,6 +119,15 @@ int main(int argc, char** argv) {
 
     if (config.get_bool("metrics", true)) obs::set_enabled(true);
 
+    // Slow-request capture lands in the trace ring; turn the sink on when
+    // either capture knob (or an explicit dump path) asks for it, else the
+    // events would be silently discarded.
+    const std::string trace_out = config.get_string("trace_out", "");
+    if (!trace_out.empty() || config.get_int("slow_request_ms", 0) > 0 ||
+        config.get_int("slow_sample_every", 0) > 0) {
+      obs::trace().set_enabled(true);
+    }
+
     // The simulated cluster behind the service.
     const auto servers =
         static_cast<std::uint32_t>(config.get_int("servers", 8));
@@ -164,6 +184,12 @@ int main(int argc, char** argv) {
         config.get_int("drain_timeout_ms", 5'000) * kMillisecond;
     server_config.epoch_every_ops =
         static_cast<std::uint64_t>(config.get_int("epoch_every_ops", 10'000));
+    server_config.slow.threshold =
+        config.get_int("slow_request_ms", 0) * kMillisecond;
+    server_config.slow.sample_every =
+        static_cast<std::uint64_t>(config.get_int("slow_sample_every", 0));
+    server_config.slow.seed =
+        static_cast<std::uint64_t>(config.get_int("seed", 0x5eed));
     server_config.faults.conn_drop_rate =
         config.get_double("fault_drop_rate", 0.0);
     server_config.faults.stall_rate =
@@ -193,12 +219,26 @@ int main(int argc, char** argv) {
 
     const svc::ServerStats stats = server.stats();
     std::printf("drained %s: %llu requests, %llu responses, %llu shed, "
-                "%llu protocol errors\n",
+                "%llu protocol errors, %llu slow-request captures\n",
                 stats.drained_clean ? "clean" : "with deadline",
                 static_cast<unsigned long long>(stats.requests_total),
                 static_cast<unsigned long long>(stats.responses_total),
                 static_cast<unsigned long long>(stats.shed_total),
-                static_cast<unsigned long long>(stats.protocol_errors_total));
+                static_cast<unsigned long long>(stats.protocol_errors_total),
+                static_cast<unsigned long long>(stats.slow_requests_total));
+    if (!trace_out.empty()) {
+      if (trace_out == "-") {
+        obs::trace().write_jsonl(std::cout);
+      } else {
+        std::ofstream out(trace_out);
+        if (!out) {
+          std::fprintf(stderr, "chameleon_server: cannot open %s\n",
+                       trace_out.c_str());
+          return 1;
+        }
+        obs::trace().write_jsonl(out);
+      }
+    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "chameleon_server: %s\n", error.what());
