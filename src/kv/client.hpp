@@ -29,6 +29,11 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;   ///< growth per subsequent attempt
   double jitter = 0.2;               ///< +/- fraction applied to each wait
   Nanos op_timeout = 0;              ///< per-attempt budget; 0 = unlimited
+  /// Whole-operation budget across every attempt and backoff wait; once it
+  /// lapses no further attempt starts (the in-flight attempt still finishes).
+  /// 0 = unlimited. Enforced by retry loops that serve live traffic (the
+  /// svc ClientPool); it bounds how long failover/replay may stall a caller.
+  Nanos total_deadline = 0;
   bool hedge_degraded_reads = true;  ///< allow the timeout-hedge fallback
   std::uint64_t seed = 0x5eed;       ///< jitter RNG seed (determinism)
 };

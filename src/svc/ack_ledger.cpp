@@ -1,0 +1,164 @@
+#include "svc/ack_ledger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chameleon::svc {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t AckLedger::issued(std::string_view key,
+                                std::uint32_t value_crc) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  keys_[std::string(key)].in_doubt.emplace_back(seq, value_crc);
+  ++issued_total_;
+  return seq;
+}
+
+void AckLedger::acked(std::string_view key, std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  const auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return;
+  KeyRecord& rec = it->second;
+  const auto entry = std::find_if(
+      rec.in_doubt.begin(), rec.in_doubt.end(),
+      [seq](const auto& e) { return e.first == seq; });
+  if (entry == rec.in_doubt.end()) return;  // already resolved
+  // Monotonic: a stale ack (older seq than the current acked write) must not
+  // roll the ledger backwards.
+  if (!rec.acked_crc.has_value() || seq > rec.acked_seq) {
+    rec.acked_crc = entry->second;
+    rec.acked_seq = seq;
+  }
+  ++acked_total_;
+  // Everything issued at or before the acked write is superseded: with
+  // per-key sequential issue order, those writes happened-before this one.
+  rec.in_doubt.erase(
+      std::remove_if(rec.in_doubt.begin(), rec.in_doubt.end(),
+                     [seq](const auto& e) { return e.first <= seq; }),
+      rec.in_doubt.end());
+}
+
+void AckLedger::not_applied(std::string_view key, std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  const auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return;
+  auto& dub = it->second.in_doubt;
+  dub.erase(std::remove_if(dub.begin(), dub.end(),
+                           [seq](const auto& e) { return e.first == seq; }),
+            dub.end());
+}
+
+AckLedger::CheckResult AckLedger::check(std::string_view key, bool found,
+                                        std::uint32_t value_crc) const {
+  std::lock_guard lock(mutex_);
+  CheckResult result;
+  const auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return result;  // never wrote this key
+  const KeyRecord& rec = it->second;
+
+  if (!rec.acked_crc.has_value()) {
+    // No write was ever acked: the key may hold any in-doubt value or be
+    // absent. A present value matching nothing we wrote is corruption.
+    if (!found) return result;
+    for (const auto& [seq, crc] : rec.in_doubt) {
+      if (crc == value_crc) return result;
+    }
+    result.verdict = Verdict::kCorrupt;
+    result.detail = "value matches no write this client issued";
+    return result;
+  }
+
+  if (!found) {
+    result.verdict = Verdict::kLostAck;
+    result.detail = "acked write (seq " + std::to_string(rec.acked_seq) +
+                    ") missing after recovery";
+    return result;
+  }
+  if (value_crc == *rec.acked_crc) return result;
+  // A write issued after the last ack may have been applied before the
+  // crash even though its ack never arrived — that is not loss.
+  for (const auto& [seq, crc] : rec.in_doubt) {
+    if (seq > rec.acked_seq && crc == value_crc) return result;
+  }
+  result.verdict = Verdict::kLostAck;
+  result.detail =
+      "recovered value (crc " + std::to_string(value_crc) +
+      ") is neither the acked write (seq " + std::to_string(rec.acked_seq) +
+      ", crc " + std::to_string(*rec.acked_crc) +
+      ") nor any later in-doubt write";
+  return result;
+}
+
+std::vector<std::string> AckLedger::acked_keys() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, rec] : keys_) {
+    if (rec.acked_crc.has_value()) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t AckLedger::issued_total() const {
+  std::lock_guard lock(mutex_);
+  return issued_total_;
+}
+
+std::uint64_t AckLedger::acked_total() const {
+  std::lock_guard lock(mutex_);
+  return acked_total_;
+}
+
+void AckLedger::write_jsonl(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  std::vector<const std::pair<const std::string, KeyRecord>*> rows;
+  rows.reserve(keys_.size());
+  for (const auto& kv : keys_) rows.push_back(&kv);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* row : rows) {
+    const KeyRecord& rec = row->second;
+    out << "{\"key\":\"" << json_escape(row->first) << "\"";
+    if (rec.acked_crc.has_value()) {
+      out << ",\"acked_crc\":" << *rec.acked_crc
+          << ",\"acked_seq\":" << rec.acked_seq;
+    }
+    out << ",\"in_doubt\":[";
+    bool first = true;
+    for (const auto& [seq, crc] : rec.in_doubt) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"seq\":" << seq << ",\"crc\":" << crc << "}";
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace chameleon::svc

@@ -1,0 +1,90 @@
+// Client-side acknowledgment ledger: the ground truth for "zero acked-write
+// loss" chaos verification (docs/FAULT_MODEL.md). Every PUT a client issues
+// is recorded *before* it hits the wire (in-doubt), and promoted to *acked*
+// when the server answers kOk. After a crash/recovery cycle, the recovered
+// value of each key must equal either the last acknowledged value or some
+// value that was still in doubt (issued, never acked) after it — anything
+// else is acknowledged-write loss or corruption, and the chaos suite treats
+// it as a hard failure.
+//
+// The check is exact only when each key's operations are sequential (one
+// writer per key, next PUT issued after the previous one resolved). The
+// load generator partitions keys per worker to guarantee exactly that.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace chameleon::svc {
+
+class AckLedger {
+ public:
+  /// Why a key's verification failed.
+  enum class Verdict : std::uint8_t {
+    kOk,            ///< value is consistent with the ledger
+    kLostAck,       ///< acked write missing or overwritten by an older value
+    kCorrupt,       ///< value matches nothing this client ever wrote
+  };
+
+  struct KeyRecord {
+    /// CRC32C of the last value the server acknowledged, and the issue
+    /// sequence number of that write.
+    std::optional<std::uint32_t> acked_crc;
+    std::uint64_t acked_seq = 0;
+    /// Writes issued but never acknowledged (crash/timeout mid-flight),
+    /// oldest first. Any of these may legitimately be the surviving value
+    /// if it was issued after the last acked write.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> in_doubt;
+  };
+
+  struct CheckResult {
+    Verdict verdict = Verdict::kOk;
+    std::string detail;  ///< human-readable mismatch description
+  };
+
+  /// Record a PUT about to be sent. Returns the issue sequence number to
+  /// pass to acked() when (if) the server confirms it.
+  std::uint64_t issued(std::string_view key, std::uint32_t value_crc);
+
+  /// The server acknowledged issue `seq` for `key` with kOk. The write is
+  /// now durable by contract; earlier in-doubt entries for the key are
+  /// superseded and dropped.
+  void acked(std::string_view key, std::uint64_t seq);
+
+  /// The write is known NOT to have been applied (e.g. the server shed it
+  /// before touching the store). Drops the in-doubt entry. A transport
+  /// failure is NOT such a case — the server may have applied the write
+  /// before the connection died — so callers must leave those in doubt.
+  void not_applied(std::string_view key, std::uint64_t seq);
+
+  /// Verify one recovered value (or its absence) against the ledger.
+  /// `found` says whether the key exists post-recovery; `value_crc` is the
+  /// CRC32C of the recovered value when it does.
+  CheckResult check(std::string_view key, bool found,
+                    std::uint32_t value_crc) const;
+
+  /// Keys with at least one acked write — the set check() must cover.
+  std::vector<std::string> acked_keys() const;
+
+  std::uint64_t issued_total() const;
+  std::uint64_t acked_total() const;
+
+  /// One JSON object per tracked key (machine-readable; consumed by the
+  /// chaos harness and archived from CI runs for postmortems).
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, KeyRecord> keys_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t issued_total_ = 0;
+  std::uint64_t acked_total_ = 0;
+};
+
+}  // namespace chameleon::svc

@@ -24,15 +24,23 @@ class AdmissionController {
     kAdmit,        ///< run it; caller must release() when the response is out
     kShedSession,  ///< session exhausted its credit window
     kShedGlobal,   ///< cluster-wide in-flight window is full
+    kShedDeadline, ///< the request's deadline already lapsed on arrival
   };
 
   explicit AdmissionController(const AdmissionConfig& config)
       : config_(config) {}
 
   /// Try to admit one request from a session with `session_inflight`
-  /// requests already outstanding. The session check runs first and consumes
-  /// no global slot when it sheds.
-  Decision admit(std::size_t session_inflight) {
+  /// requests already outstanding. A request whose deadline has already
+  /// lapsed (`deadline_expired`) is shed first — it consumes neither a
+  /// session credit nor a global slot, because servicing it late helps
+  /// nobody (the client stopped waiting). The session check runs next and
+  /// consumes no global slot when it sheds.
+  Decision admit(std::size_t session_inflight, bool deadline_expired = false) {
+    if (deadline_expired) {
+      shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+      return Decision::kShedDeadline;
+    }
     if (session_inflight >= config_.session_credits) {
       shed_session_.fetch_add(1, std::memory_order_relaxed);
       return Decision::kShedSession;
@@ -60,13 +68,17 @@ class AdmissionController {
   }
   std::uint64_t shed_total() const {
     return shed_session_.load(std::memory_order_relaxed) +
-           shed_global_.load(std::memory_order_relaxed);
+           shed_global_.load(std::memory_order_relaxed) +
+           shed_deadline_.load(std::memory_order_relaxed);
   }
   std::uint64_t shed_session_total() const {
     return shed_session_.load(std::memory_order_relaxed);
   }
   std::uint64_t shed_global_total() const {
     return shed_global_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_deadline_total() const {
+    return shed_deadline_.load(std::memory_order_relaxed);
   }
 
   const AdmissionConfig& config() const { return config_; }
@@ -77,6 +89,7 @@ class AdmissionController {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_session_{0};
   std::atomic<std::uint64_t> shed_global_{0};
+  std::atomic<std::uint64_t> shed_deadline_{0};
 };
 
 }  // namespace chameleon::svc

@@ -134,8 +134,14 @@ Frame ClientConn::recv_frame() {
 }
 
 Frame ClientConn::call(Op op, std::vector<std::uint8_t> payload) {
+  return call(op, std::move(payload), next_request_id_++, config_.deadline_ms);
+}
+
+Frame ClientConn::call(Op op, std::vector<std::uint8_t> payload,
+                       std::uint64_t request_id, std::uint32_t deadline_ms) {
   if (!connected()) connect();
-  Frame request{op, Status::kOk, next_request_id_++, std::move(payload)};
+  Frame request{op, Status::kOk, request_id, std::move(payload)};
+  request.deadline_ms = deadline_ms;
   scratch_.clear();
   encode_frame(request, scratch_);
   send_all(scratch_.data(), scratch_.size());
@@ -201,8 +207,15 @@ Nanos ClientPool::backoff_for(std::size_t attempt) {
 
 Frame ClientPool::call(Op op, std::vector<std::uint8_t> payload) {
   const std::size_t max_attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
+  // One id for the whole logical operation: every reconnect-and-replay
+  // attempt re-sends the SAME request id, so the server (and anyone reading
+  // traces) sees an idempotent replay, not a new operation.
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  const auto started = std::chrono::steady_clock::now();
   std::string last_error;
-  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+  std::size_t attempt = 1;
+  for (; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       {
         std::lock_guard lock(mutex_);
@@ -211,6 +224,15 @@ Frame ClientPool::call(Op op, std::vector<std::uint8_t> payload) {
       const Nanos wait = backoff_for(attempt);
       if (wait > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+      }
+      // The whole-operation budget bounds how long failover/replay may
+      // stall this caller; the lapsed check sits after the backoff so a
+      // sleep cannot push us past the deadline unnoticed.
+      if (config_.retry.total_deadline > 0 &&
+          std::chrono::steady_clock::now() - started >=
+              std::chrono::nanoseconds(config_.retry.total_deadline)) {
+        last_error += " (total deadline exhausted)";
+        break;
       }
     }
     auto conn = acquire();
@@ -221,11 +243,18 @@ Frame ClientPool::call(Op op, std::vector<std::uint8_t> payload) {
         std::lock_guard lock(mutex_);
         ++reconnects_;
       }
-      Frame response = conn->call(op, payload);  // copy: may retry
+      Frame response =
+          conn->call(op, payload, request_id, config_.deadline_ms);  // copy
       release(std::move(conn));
       if (retryable_status(response.status)) {
         last_error = status_name(response.status);
         continue;
+      }
+      if (response.status == Status::kDeadlineExceeded) {
+        // Terminal by design: the server shed it because the budget this
+        // client granted lapsed; retrying would blow the budget further.
+        std::lock_guard lock(mutex_);
+        ++deadline_exceeded_;
       }
       return response;
     } catch (const TransientFault& fault) {
@@ -237,7 +266,7 @@ Frame ClientPool::call(Op op, std::vector<std::uint8_t> payload) {
       throw;
     }
   }
-  throw kv::RetriesExhausted(op_name(op), max_attempts, last_error);
+  throw kv::RetriesExhausted(op_name(op), attempt - 1, last_error);
 }
 
 Status ClientPool::put(std::string_view key,
@@ -287,6 +316,39 @@ std::string ClientPool::digest() {
   return std::string(response.payload.begin(), response.payload.end());
 }
 
+std::string ClientPool::health_json() {
+  // Single attempt, no retry loop: a health probe must report the server's
+  // state *now*, and its caller (wait_serving, the chaos harness) owns the
+  // polling cadence.
+  auto conn = acquire();
+  try {
+    Frame response = conn->call(
+        Op::kHealth, {}, next_request_id_.fetch_add(1, std::memory_order_relaxed),
+        0);
+    release(std::move(conn));
+    return std::string(response.payload.begin(), response.payload.end());
+  } catch (...) {
+    release(std::move(conn));
+    throw;
+  }
+}
+
+bool ClientPool::wait_serving(Nanos timeout, Nanos poll_interval) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout);
+  for (;;) {
+    try {
+      const std::string health = health_json();
+      if (health.find("\"serving\":true") != std::string::npos) return true;
+    } catch (const TransientFault&) {
+      // Connection refused / reset: the server is mid-restart. Keep polling.
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(std::max<Nanos>(poll_interval, kMillisecond)));
+  }
+}
+
 std::uint64_t ClientPool::retries_total() const {
   std::lock_guard lock(mutex_);
   return retries_;
@@ -295,6 +357,11 @@ std::uint64_t ClientPool::retries_total() const {
 std::uint64_t ClientPool::reconnects_total() const {
   std::lock_guard lock(mutex_);
   return reconnects_;
+}
+
+std::uint64_t ClientPool::deadline_exceeded_total() const {
+  std::lock_guard lock(mutex_);
+  return deadline_exceeded_;
 }
 
 }  // namespace chameleon::svc

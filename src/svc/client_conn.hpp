@@ -6,6 +6,8 @@
 // (then kv::RetriesExhausted, matching the in-process client's contract).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -32,6 +34,11 @@ struct ClientConfig {
   std::uint32_t max_payload = kDefaultMaxPayload;
   /// Socket recv/send timeout when retry.op_timeout == 0 (0 = no timeout).
   Nanos default_io_timeout = 10 * kSecond;
+  /// Deadline budget stamped into every request frame, in milliseconds
+  /// (wire header field; 0 = no deadline). The server sheds requests whose
+  /// budget lapsed — on arrival and again at worker dequeue — answering
+  /// kDeadlineExceeded, which the pool treats as terminal (no retry).
+  std::uint32_t deadline_ms = 0;
 };
 
 /// One blocking connection. Not thread-safe; one outstanding request at a
@@ -54,6 +61,13 @@ class ClientConn {
   /// connection loss/timeouts (the connection is closed), std::runtime_error
   /// on protocol violations (mismatched id, malformed frame).
   Frame call(Op op, std::vector<std::uint8_t> payload);
+
+  /// Same, but with a caller-chosen request id and explicit deadline. The
+  /// pool uses this for failover: a logical operation keeps ONE id across
+  /// reconnect-and-replay attempts, so a replayed idempotent write is
+  /// recognizably the same operation in traces and server logs.
+  Frame call(Op op, std::vector<std::uint8_t> payload,
+             std::uint64_t request_id, std::uint32_t deadline_ms);
 
   std::uint64_t calls() const { return calls_; }
 
@@ -94,11 +108,23 @@ class ClientPool {
   /// Cluster state fingerprint as 16 lowercase hex chars (Op::kDigest).
   std::string digest();
 
+  /// Readiness JSON from the HEALTH op (answered inline in every serving
+  /// state, including mid-recovery). One attempt, no retry loop.
+  std::string health_json();
+
+  /// Block until the server reports `"serving":true` or the timeout lapses.
+  /// Polls HEALTH (reconnecting as needed) every `poll_interval`; survives
+  /// the connection-refused window while a killed server restarts. Returns
+  /// true once serving. This is how harnesses wait out recovery instead of
+  /// sleeping a guessed duration.
+  bool wait_serving(Nanos timeout, Nanos poll_interval = 20 * kMillisecond);
+
   /// Raw retried call: returns the first non-retryable response.
   Frame call(Op op, std::vector<std::uint8_t> payload);
 
   std::uint64_t retries_total() const;
   std::uint64_t reconnects_total() const;
+  std::uint64_t deadline_exceeded_total() const;
   const ClientConfig& config() const { return config_; }
 
  private:
@@ -117,6 +143,10 @@ class ClientPool {
   Xoshiro256 jitter_rng_;
   std::uint64_t retries_ = 0;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t deadline_exceeded_ = 0;
+  /// Pool-level id source: a logical operation draws one id here and keeps
+  /// it across every retry/reconnect/replay attempt (idempotent failover).
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 }  // namespace chameleon::svc

@@ -52,6 +52,15 @@ bool is_data_op(Op op) {
 
 }  // namespace
 
+const char* serving_state_name(ServingState s) {
+  switch (s) {
+    case ServingState::kRecovering: return "recovering";
+    case ServingState::kServing: return "serving";
+    case ServingState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
 Server::Server(core::Chameleon& system, const ServerConfig& config)
     : system_(system),
       config_(config),
@@ -85,6 +94,13 @@ Server::Server(core::Chameleon& system, const ServerConfig& config)
     metric_.shed_global =
         &reg.counter("chameleon_svc_shed_total", {{"scope", "global"}},
                      "Requests shed by admission control, by scope");
+    metric_.shed_deadline =
+        &reg.counter("chameleon_svc_shed_total", {{"scope", "deadline"}},
+                     "Requests shed by admission control, by scope");
+    metric_.deadline_exceeded =
+        &reg.counter("chameleon_svc_deadline_exceeded_total", {},
+                     "Requests answered kDeadlineExceeded (shed on arrival "
+                     "or past-deadline at worker dequeue)");
     metric_.bytes_read = &reg.counter("chameleon_svc_bytes_read_total", {},
                                       "Bytes read from service sockets");
     metric_.bytes_written =
@@ -165,6 +181,10 @@ void Server::start() {
   // begin life already draining (it would exit immediately, serving nothing).
   draining_ = false;
   drained_clean_.store(false, std::memory_order_relaxed);
+  state_.store(static_cast<std::uint8_t>(config_.start_recovering
+                                             ? ServingState::kRecovering
+                                             : ServingState::kServing),
+               std::memory_order_release);
   start_time_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
@@ -205,6 +225,24 @@ void Server::stop() {
   wait();
 }
 
+void Server::set_serving() {
+  std::uint8_t expected =
+      static_cast<std::uint8_t>(ServingState::kRecovering);
+  state_.compare_exchange_strong(
+      expected, static_cast<std::uint8_t>(ServingState::kServing),
+      std::memory_order_acq_rel);
+}
+
+void Server::set_recovery_info(const RecoveryInfo& info) {
+  std::lock_guard lock(recovery_mutex_);
+  recovery_ = info;
+}
+
+RecoveryInfo Server::recovery_info() const {
+  std::lock_guard lock(recovery_mutex_);
+  return recovery_;
+}
+
 ServerStats Server::stats() const {
   ServerStats s;
   s.accepted_total = accepted_total_.load(std::memory_order_relaxed);
@@ -222,6 +260,9 @@ ServerStats Server::stats() const {
   s.bytes_written_total = bytes_written_total_.load(std::memory_order_relaxed);
   s.inflight = admission_.inflight();
   s.slow_requests_total = slow_requests_total_.load(std::memory_order_relaxed);
+  s.deadline_exceeded_total =
+      deadline_exceeded_total_.load(std::memory_order_relaxed);
+  s.state = state();
   s.trace_dropped = obs::trace().dropped();
   s.uptime_seconds =
       start_time_.time_since_epoch().count() == 0
@@ -271,6 +312,8 @@ void Server::io_loop() {
     const auto now = std::chrono::steady_clock::now();
     if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
       draining_ = true;
+      state_.store(static_cast<std::uint8_t>(ServingState::kDraining),
+                   std::memory_order_release);
       drain_deadline_ = now + std::chrono::nanoseconds(config_.drain_timeout);
       if (listen_fd_ >= 0) {
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
@@ -426,13 +469,39 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
     return true;
   }
 
-  const auto decision = admission_.admit(session->inflight);
+  // A recovering server (durable boot mid-WAL-replay) sheds data ops with
+  // kRetryLater — clients back off and retry, and HEALTH reports the state —
+  // instead of racing the recovery's store mutations.
+  if (state() == ServingState::kRecovering) {
+    session->enqueue(Frame{frame.op, Status::kRetryLater, frame.request_id,
+                           {}});
+    responses_total_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // The deadline base is when the frame's bytes arrived (the session's last
+  // read), not when the IO thread got around to parsing them — time spent
+  // buffered in the session counts against the budget too.
+  const auto now = std::chrono::steady_clock::now();
+  const auto deadline =
+      frame.deadline_ms > 0
+          ? session->last_activity + std::chrono::milliseconds(frame.deadline_ms)
+          : std::chrono::steady_clock::time_point::max();
+
+  const auto decision = admission_.admit(session->inflight, now >= deadline);
   if (decision != AdmissionController::Decision::kAdmit) {
+    const bool deadline_shed =
+        decision == AdmissionController::Decision::kShedDeadline;
+    if (deadline_shed) {
+      deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+    }
     if (metric_.resolved && obs::enabled()) {
       (decision == AdmissionController::Decision::kShedSession
            ? metric_.shed_session
-           : metric_.shed_global)
+           : deadline_shed ? metric_.shed_deadline
+                           : metric_.shed_global)
           ->inc();
+      if (deadline_shed) metric_.deadline_exceeded->inc();
     }
     auto& sink = obs::trace();
     if (sink.accepts(obs::TraceType::kSvcShed)) {
@@ -443,7 +512,10 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
       e.from = op_name(frame.op);
       sink.record(std::move(e));
     }
-    session->enqueue(Frame{frame.op, Status::kRetryLater, frame.request_id,
+    session->enqueue(Frame{frame.op,
+                           deadline_shed ? Status::kDeadlineExceeded
+                                         : Status::kRetryLater,
+                           frame.request_id,
                            {}});
     responses_total_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -456,7 +528,8 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   Completion seed;
   seed.session = session;
   seed.op = frame.op;
-  seed.admitted_at = std::chrono::steady_clock::now();
+  seed.admitted_at = now;
+  seed.deadline = deadline;
   seed.request_bytes = frame.payload.size();
   seed.request_id = frame.request_id;
   // Fault rolls + the admission decision happened since the decode stamp.
@@ -471,16 +544,29 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
     // An injected stall is deliberately left in the queue stage: it is
     // scheduling delay, not store work.
     seed.span.stamp(obs::SvcStage::kQueue);
-    // Drop any WAL time a previous request on this worker thread left
-    // behind (e.g. its span was inactive), then carve this request's WAL
-    // append+fsync out of the store-exec stage.
-    obs::span_tls_take(obs::SvcStage::kWalFsync);
-    seed.response = execute(request);
-    const std::uint64_t wal_ns =
-        obs::span_tls_take(obs::SvcStage::kWalFsync);
-    seed.span.stamp(obs::SvcStage::kStoreExec);
-    seed.span.carve(obs::SvcStage::kStoreExec, obs::SvcStage::kWalFsync,
-                    wal_ns);
+    if (std::chrono::steady_clock::now() >= seed.deadline) {
+      // The deadline lapsed while the request sat on the worker queue: the
+      // client has stopped waiting, so executing now would burn store time
+      // for a response nobody reads. Shed without touching the store.
+      seed.response = Frame{request.op, Status::kDeadlineExceeded,
+                            request.request_id, {}};
+      deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+      if (metric_.resolved && obs::enabled()) {
+        metric_.deadline_exceeded->inc();
+      }
+      seed.span.stamp(obs::SvcStage::kStoreExec);
+    } else {
+      // Drop any WAL time a previous request on this worker thread left
+      // behind (e.g. its span was inactive), then carve this request's WAL
+      // append+fsync out of the store-exec stage.
+      obs::span_tls_take(obs::SvcStage::kWalFsync);
+      seed.response = execute(request);
+      const std::uint64_t wal_ns =
+          obs::span_tls_take(obs::SvcStage::kWalFsync);
+      seed.span.stamp(obs::SvcStage::kStoreExec);
+      seed.span.carve(obs::SvcStage::kStoreExec, obs::SvcStage::kWalFsync,
+                      wal_ns);
+    }
     {
       std::lock_guard lock(completion_mutex_);
       completions_.push_back(std::move(seed));
@@ -506,6 +592,14 @@ Frame Server::control_response(const Frame& request) {
     case Op::kMetrics: {
       obs::sync_trace_metrics();
       const std::string body = obs::render_prometheus(obs::metrics());
+      resp.payload.assign(body.begin(), body.end());
+      break;
+    }
+    case Op::kHealth: {
+      // Answered inline in every serving state (including kRecovering and
+      // kDraining): readiness probes must get a truthful answer precisely
+      // when data ops are being shed.
+      const std::string body = health_json();
       resp.payload.assign(body.begin(), body.end());
       break;
     }
@@ -746,10 +840,88 @@ std::string Server::stats_json() const {
   field("inflight", s.inflight);
   field("slow_requests_total", s.slow_requests_total);
   field("trace_dropped", s.trace_dropped);
+  field("shed_session_total", admission_.shed_session_total());
+  field("shed_global_total", admission_.shed_global_total());
+  field("shed_deadline_total", admission_.shed_deadline_total());
+  field("deadline_exceeded_total", s.deadline_exceeded_total);
+  out += ",\"state\":\"";
+  out += serving_state_name(s.state);
+  out += '"';
   out += ",\"uptime_seconds\":";
   out += json_number(s.uptime_seconds);
   out += ",\"draining\":";
   out += draining_ ? "true" : "false";
+  const RecoveryInfo rec = recovery_info();
+  out += ",\"recovered\":";
+  out += rec.recovered ? "true" : "false";
+  field("recoveries_total", rec.recoveries_total);
+  field("recovery_replayed_records", rec.replayed_records);
+  field("recovery_checkpoint_seq", rec.checkpoint_seq);
+  field("last_recovery_unix_ms", rec.last_recovery_unix_ms);
+  out += ",\"last_recovery_seconds\":";
+  out += json_number(rec.last_recovery_seconds);
+  if (obs::enabled()) {
+    // Durability counters, surfaced over the wire so the chaos harness and
+    // operators can watch WAL progress without scraping the metrics op. The
+    // names/help strings must match durability/manager.cpp registrations
+    // exactly — obs::Registry::counter() is get-or-create.
+    auto& reg = obs::metrics();
+    field("wal_records_total",
+          reg.counter("chameleon_wal_records_total", {},
+                      "WAL records appended since process start")
+              .value());
+    field("wal_bytes_appended",
+          static_cast<std::uint64_t>(
+              reg.gauge("chameleon_wal_bytes_appended", {},
+                        "WAL bytes appended since process start")
+                  .value()));
+    field("wal_fsyncs",
+          static_cast<std::uint64_t>(
+              reg.gauge("chameleon_wal_fsyncs", {},
+                        "WAL fsync calls since process start")
+                  .value()));
+    field("recovery_replayed_records_total",
+          reg.counter("chameleon_recovery_replayed_records_total", {},
+                      "WAL records re-applied during crash recovery")
+              .value());
+    out += ",\"recovery_duration_seconds\":";
+    out += json_number(
+        reg.gauge("chameleon_recovery_duration_seconds", {},
+                  "Wall-clock duration of the last crash recovery")
+            .value());
+  }
+  out += '}';
+  return out;
+}
+
+std::string Server::health_json() const {
+  const RecoveryInfo rec = recovery_info();
+  const ServingState st = state();
+  std::string out;
+  out.reserve(192);
+  out += "{\"state\":\"";
+  out += serving_state_name(st);
+  out += "\",\"serving\":";
+  out += st == ServingState::kServing ? "true" : "false";
+  out += ",\"uptime_seconds\":";
+  out += json_number(
+      start_time_.time_since_epoch().count() == 0
+          ? 0.0
+          : static_cast<double>(
+                elapsed_ns(start_time_, std::chrono::steady_clock::now())) /
+                1e9);
+  out += ",\"recovered\":";
+  out += rec.recovered ? "true" : "false";
+  out += ",\"recoveries_total\":";
+  out += std::to_string(rec.recoveries_total);
+  out += ",\"recovery_replayed_records\":";
+  out += std::to_string(rec.replayed_records);
+  out += ",\"recovery_checkpoint_seq\":";
+  out += std::to_string(rec.checkpoint_seq);
+  out += ",\"last_recovery_unix_ms\":";
+  out += std::to_string(rec.last_recovery_unix_ms);
+  out += ",\"last_recovery_seconds\":";
+  out += json_number(rec.last_recovery_seconds);
   out += '}';
   return out;
 }

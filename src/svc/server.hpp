@@ -62,10 +62,36 @@ struct SlowRequestConfig {
   std::uint64_t seed = 0x5eed;
 };
 
+/// Coarse lifecycle state the server reports over the wire (HEALTH op) so
+/// supervisors and load generators can probe readiness instead of sleeping:
+/// a freshly exec'd durable server listens immediately but sheds data ops
+/// with kRetryLater while recovery replays the WAL (kRecovering), serves
+/// once set_serving() is called, and reports kDraining during the graceful
+/// drain.
+enum class ServingState : std::uint8_t { kRecovering, kServing, kDraining };
+const char* serving_state_name(ServingState s);
+
+/// Recovery facts a durable boot hands the server (chameleon_server does
+/// this after durability::Manager::open()) so restarts are observable over
+/// the wire: both STATS and HEALTH carry these fields.
+struct RecoveryInfo {
+  bool recovered = false;            ///< prior on-disk state was restored
+  std::uint64_t recoveries_total = 0;
+  std::uint64_t replayed_records = 0;
+  std::uint64_t checkpoint_seq = 0;
+  std::uint64_t last_recovery_unix_ms = 0;  ///< wall clock, for operators
+  double last_recovery_seconds = 0.0;       ///< how long recovery took
+};
+
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;     ///< 0 = ephemeral (read back via port())
   std::uint32_t workers = 2;  ///< request-execution threads
+  /// Start in ServingState::kRecovering: listen and answer control ops
+  /// (HEALTH/STATS/PING) immediately, but shed data ops with kRetryLater
+  /// until set_serving() flips the state. A durable boot uses this so
+  /// recovery time is probe-able downtime, not connection-refused darkness.
+  bool start_recovering = false;
   AdmissionConfig admission;
   SlowRequestConfig slow;
   std::uint32_t max_payload = kDefaultMaxPayload;
@@ -96,8 +122,12 @@ struct ServerStats {
   std::uint64_t inflight = 0;
   std::uint64_t slow_requests_total = 0;  ///< kSvcSlowRequest events recorded
   std::uint64_t trace_dropped = 0;  ///< trace-ring events lost to wraparound
+  /// Requests answered kDeadlineExceeded: shed on arrival (deadline already
+  /// lapsed) plus shed at dequeue (deadline lapsed on the worker queue).
+  std::uint64_t deadline_exceeded_total = 0;
   double uptime_seconds = 0.0;      ///< since the last successful start()
   bool drained_clean = false;  ///< last drain finished inside drain_timeout
+  ServingState state = ServingState::kServing;
 };
 
 class Server {
@@ -133,12 +163,28 @@ class Server {
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
 
+  /// Leave ServingState::kRecovering and start accepting data ops. Safe to
+  /// call from any thread; a no-op when already serving or draining.
+  void set_serving();
+  ServingState state() const {
+    return static_cast<ServingState>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Install the recovery facts reported by STATS and HEALTH. Call before
+  /// set_serving() on a durable boot; callable from any thread.
+  void set_recovery_info(const RecoveryInfo& info);
+  RecoveryInfo recovery_info() const;
+
  private:
   struct Completion {
     std::shared_ptr<Session> session;
     Frame response;
     Op op = Op::kPing;
     std::chrono::steady_clock::time_point admitted_at;
+    /// Absolute deadline (receipt time + the frame's deadline_ms); the
+    /// worker sheds instead of executing once this passes. time_point::max()
+    /// when the request carried no deadline.
+    std::chrono::steady_clock::time_point deadline;
     std::uint64_t request_bytes = 0;
     std::uint64_t request_id = 0;
     /// Stage attribution, stamped along the way: decode/admission on the IO
@@ -156,6 +202,8 @@ class Server {
                                    obs::SvcStage::kCount)] = {};
     obs::Counter* shed_session = nullptr;
     obs::Counter* shed_global = nullptr;
+    obs::Counter* shed_deadline = nullptr;
+    obs::Counter* deadline_exceeded = nullptr;
     obs::Counter* bytes_read = nullptr;
     obs::Counter* bytes_written = nullptr;
     obs::Counter* sessions_opened = nullptr;
@@ -188,6 +236,7 @@ class Server {
   void reap_idle(std::chrono::steady_clock::time_point now);
   void update_epoll(Session& session);
   std::string stats_json() const;
+  std::string health_json() const;
   void note_request(Op op);
   void note_response(Op op, Nanos latency);
   void note_fault(const char* kind);
@@ -237,6 +286,12 @@ class Server {
   bool draining_ = false;  ///< IO-thread only
   std::chrono::steady_clock::time_point drain_deadline_;
 
+  /// ServingState, readable from any thread (HEALTH/STATS render it).
+  std::atomic<std::uint8_t> state_{
+      static_cast<std::uint8_t>(ServingState::kServing)};
+  mutable std::mutex recovery_mutex_;
+  RecoveryInfo recovery_;
+
   // stats (atomics: read from any thread via stats())
   std::atomic<std::uint64_t> accepted_total_{0};
   std::atomic<std::uint64_t> sessions_closed_total_{0};
@@ -248,6 +303,7 @@ class Server {
   std::atomic<std::uint64_t> bytes_written_total_{0};
   std::atomic<std::uint64_t> sessions_open_{0};
   std::atomic<std::uint64_t> slow_requests_total_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_total_{0};
   std::atomic<bool> drained_clean_{false};
 };
 

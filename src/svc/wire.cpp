@@ -41,6 +41,7 @@ const char* op_name(Op op) {
     case Op::kStats: return "stats";
     case Op::kMetrics: return "metrics";
     case Op::kDigest: return "digest";
+    case Op::kHealth: return "health";
     case Op::kCount: break;
   }
   return "unknown";
@@ -54,6 +55,7 @@ const char* status_name(Status s) {
     case Status::kBadRequest: return "bad_request";
     case Status::kShuttingDown: return "shutting_down";
     case Status::kError: return "error";
+    case Status::kDeadlineExceeded: return "deadline_exceeded";
     case Status::kCount: break;
   }
   return "unknown";
@@ -83,6 +85,8 @@ void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
   out.push_back(0);  // reserved
   put_u64(out, frame.request_id);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out, frame.deadline_ms);
+  put_u32(out, 0);  // reserved
   put_u32(out, crc32c(frame.payload));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
 }
@@ -111,7 +115,7 @@ DecodeResult FrameDecoder::next(Frame& out) {
   if (avail < kHeaderBytes) return DecodeResult::kNeedMore;
   const std::uint8_t* h = buffer_.data() + consumed_;
 
-  // Header validation runs on the first 24 bytes alone, so a hostile length
+  // Header validation runs on the first 32 bytes alone, so a hostile length
   // field is rejected before any payload is awaited or buffered.
   if (std::memcmp(h, kMagic, sizeof(kMagic)) != 0) {
     return poison(DecodeResult::kBadMagic);
@@ -126,16 +130,18 @@ DecodeResult FrameDecoder::next(Frame& out) {
   if (h[7] != 0) return poison(DecodeResult::kBadReserved);
   const std::uint32_t len = get_u32(h + 16);
   if (len > max_payload_) return poison(DecodeResult::kOversized);
+  if (get_u32(h + 24) != 0) return poison(DecodeResult::kBadReserved);
 
   if (avail < kHeaderBytes + len) return DecodeResult::kNeedMore;
   const std::uint8_t* body = h + kHeaderBytes;
-  if (crc32c({body, len}) != get_u32(h + 20)) {
+  if (crc32c({body, len}) != get_u32(h + 28)) {
     return poison(DecodeResult::kBadCrc);
   }
 
   out.op = static_cast<Op>(h[5]);
   out.status = static_cast<Status>(h[6]);
   out.request_id = get_u64(h + 8);
+  out.deadline_ms = get_u32(h + 20);
   out.payload.assign(body, body + len);
   consumed_ += kHeaderBytes + len;
   ++frames_decoded_;

@@ -1,5 +1,5 @@
 // Versioned length-prefixed binary wire protocol for the network service
-// layer (docs/SERVICE.md). Every message is one frame:
+// layer (docs/SERVICE.md). Every message is one frame (version 2):
 //
 //   offset size field
 //   0      4    magic "CHML"
@@ -9,12 +9,20 @@
 //   7      1    reserved, must be 0
 //   8      8    request id (echoed verbatim in the response)
 //   16     4    payload length (little-endian; bounded by max_payload)
-//   20     4    CRC32C of the payload bytes
-//   24     ...  payload
+//   20     4    deadline (milliseconds of budget granted by the sender,
+//               relative to receipt; 0 = none; 0 in responses)
+//   24     4    reserved, must be 0
+//   28     4    CRC32C of the payload bytes
+//   32     ...  payload
+//
+// Version 2 widened the header from 24 to 32 bytes to carry the per-request
+// deadline budget (docs/SERVICE.md): a server that dequeues a request after
+// its deadline lapsed sheds it with Status::kDeadlineExceeded instead of
+// servicing it late.
 //
 // Decoding is strict and bounded: FrameDecoder validates the header fields
 // *before* waiting for the payload (an oversized length is rejected from the
-// first 24 bytes, so a hostile peer cannot make the server buffer unbounded
+// first 32 bytes, so a hostile peer cannot make the server buffer unbounded
 // data), checks the payload checksum, and never throws — every malformed
 // input maps to a DecodeResult error that poisons the decoder, after which
 // the connection must be torn down.
@@ -47,6 +55,9 @@ enum class Op : std::uint8_t {
   kStats,     ///< request: empty; response: JSON service counters
   kMetrics,   ///< request: empty; response: Prometheus text exposition
   kDigest,    ///< request: empty; response: 16-hex-char cluster digest
+  kHealth,    ///< request: empty; response: JSON readiness report
+              ///< (state recovering|serving|draining + recovery counters);
+              ///< answered inline in every state so probes never block
   kCount
 };
 const char* op_name(Op op);
@@ -54,16 +65,18 @@ const char* op_name(Op op);
 enum class Status : std::uint8_t {
   kOk = 0,
   kNotFound,      ///< GET/DELETE of an absent key
-  kRetryLater,    ///< shed by admission control (HTTP-429 analogue)
+  kRetryLater,    ///< shed by admission control or a recovering server
   kBadRequest,    ///< malformed body; do not retry
   kShuttingDown,  ///< server is draining; reconnect elsewhere/later
   kError,         ///< internal failure; payload carries a message
+  kDeadlineExceeded,  ///< the request's deadline lapsed before execution;
+                      ///< the server shed it without touching the store
   kCount
 };
 const char* status_name(Status s);
 
-inline constexpr std::uint8_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 32;
 inline constexpr std::uint32_t kDefaultMaxPayload = 4u << 20;  ///< 4 MiB
 inline constexpr std::uint32_t kMaxKeyBytes = 4096;
 /// The literal magic bytes, in wire order.
@@ -74,6 +87,11 @@ struct Frame {
   Status status = Status::kOk;  ///< kOk on requests
   std::uint64_t request_id = 0;
   std::vector<std::uint8_t> payload;
+  /// Deadline budget the sender grants, in milliseconds relative to receipt
+  /// (relative, so no clock synchronization is assumed). 0 = no deadline.
+  /// Always 0 in responses. Deliberately the last member so aggregate
+  /// initialization of the classic four fields keeps working.
+  std::uint32_t deadline_ms = 0;
 };
 
 /// Append the encoded frame to `out`.

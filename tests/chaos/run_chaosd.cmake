@@ -1,0 +1,49 @@
+# Driver for the kill9-under-load chaos suite (ctest label `chaos`).
+#
+# Runs chameleon_chaosd — which boots a durable chameleon_server, hammers it
+# with chameleon_loadgen (acked-write ledger + verification on), delivers
+# seeded kill -9s mid-load, restarts through WAL recovery, and ends with a
+# quiesced digest-equality check — and fails the test unless the harness
+# reports a fully clean run (exit 0).
+#
+# Expected -D definitions:
+#   CHAOSD  — path to the chameleon_chaosd binary
+#   DIR     — scratch directory for this run (wiped first)
+#   SEED    — kill-schedule + workload seed
+#   KILLS   — number of kill -9s to deliver under load
+if(NOT DEFINED CHAOSD OR NOT DEFINED DIR OR NOT DEFINED SEED)
+  message(FATAL_ERROR "run_chaosd.cmake needs -DCHAOSD=... -DDIR=... -DSEED=...")
+endif()
+if(NOT DEFINED KILLS)
+  set(KILLS 3)
+endif()
+
+file(REMOVE_RECURSE "${DIR}")
+file(MAKE_DIRECTORY "${DIR}")
+
+execute_process(
+  COMMAND "${CHAOSD}"
+    "dir=${DIR}"
+    "seed=${SEED}"
+    "kills=${KILLS}"
+    "ops=6000"
+    "open_rate=2000"
+    "keys=400"
+    "concurrency=4"
+    "horizon_ms=2500"
+    # Bounded error window: a handful of ops may exhaust retries while the
+    # server is down, but acked-write loss and digest drift never pass.
+    "max_exhausted=10"
+    "report_out=${DIR}/report.json"
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  set(detail "")
+  foreach(log IN ITEMS report.json loadgen.log server.log)
+    if(EXISTS "${DIR}/${log}")
+      file(READ "${DIR}/${log}" content)
+      string(APPEND detail "\n--- ${log} ---\n${content}")
+    endif()
+  endforeach()
+  message(FATAL_ERROR "chameleon_chaosd seed=${SEED} failed (exit ${rc})${detail}")
+endif()

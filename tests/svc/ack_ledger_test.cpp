@@ -1,0 +1,115 @@
+// AckLedger unit tests: the acked/in-doubt bookkeeping behind the chaos
+// suite's zero-acked-write-loss verification.
+#include "svc/ack_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace chameleon::svc {
+namespace {
+
+using Verdict = AckLedger::Verdict;
+
+TEST(AckLedger, AckedWriteMustSurvive) {
+  AckLedger ledger;
+  const std::uint64_t seq = ledger.issued("k", 0xAAAA);
+  ledger.acked("k", seq);
+
+  EXPECT_EQ(ledger.check("k", true, 0xAAAA).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", false, 0).verdict, Verdict::kLostAck);
+  EXPECT_EQ(ledger.check("k", true, 0xBBBB).verdict, Verdict::kLostAck);
+  EXPECT_EQ(ledger.issued_total(), 1u);
+  EXPECT_EQ(ledger.acked_total(), 1u);
+}
+
+TEST(AckLedger, LaterInDoubtWriteIsAcceptable) {
+  AckLedger ledger;
+  const std::uint64_t s1 = ledger.issued("k", 0x1111);
+  ledger.acked("k", s1);
+  ledger.issued("k", 0x2222);  // issued, never acked (crash mid-flight)
+
+  // Either the acked value or the later in-doubt one may survive a crash;
+  // anything else is loss.
+  EXPECT_EQ(ledger.check("k", true, 0x1111).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", true, 0x2222).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", true, 0x3333).verdict, Verdict::kLostAck);
+  EXPECT_EQ(ledger.check("k", false, 0).verdict, Verdict::kLostAck);
+}
+
+TEST(AckLedger, NeverAckedKeyToleratesAbsenceButNotForeignValues) {
+  AckLedger ledger;
+  ledger.issued("k", 0x1111);
+  EXPECT_EQ(ledger.check("k", false, 0).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", true, 0x1111).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", true, 0x9999).verdict, Verdict::kCorrupt);
+}
+
+TEST(AckLedger, UntrackedKeyAlwaysPasses) {
+  AckLedger ledger;
+  EXPECT_EQ(ledger.check("other", true, 0xDEAD).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("other", false, 0).verdict, Verdict::kOk);
+}
+
+TEST(AckLedger, NotAppliedDropsTheInDoubtEntry) {
+  AckLedger ledger;
+  const std::uint64_t seq = ledger.issued("k", 0x1111);
+  ledger.not_applied("k", seq);
+  // The write is known to never have touched the store: a value matching it
+  // post-crash would mean corruption, not a legitimate survivor.
+  EXPECT_EQ(ledger.check("k", true, 0x1111).verdict, Verdict::kCorrupt);
+  EXPECT_EQ(ledger.check("k", false, 0).verdict, Verdict::kOk);
+}
+
+TEST(AckLedger, AckSupersedesEarlierInDoubtWrites) {
+  AckLedger ledger;
+  ledger.issued("k", 0x1111);  // never acked
+  const std::uint64_t s2 = ledger.issued("k", 0x2222);
+  ledger.acked("k", s2);
+  // The unacked first write happened-before the acked one; it can no longer
+  // legitimately be the surviving value.
+  EXPECT_EQ(ledger.check("k", true, 0x1111).verdict, Verdict::kLostAck);
+  EXPECT_EQ(ledger.check("k", true, 0x2222).verdict, Verdict::kOk);
+}
+
+TEST(AckLedger, StaleAckCannotRollTheLedgerBackwards) {
+  AckLedger ledger;
+  const std::uint64_t s1 = ledger.issued("k", 0x1111);
+  const std::uint64_t s2 = ledger.issued("k", 0x2222);
+  ledger.acked("k", s2);
+  ledger.acked("k", s1);  // late/duplicate ack of the superseded write
+  EXPECT_EQ(ledger.check("k", true, 0x2222).verdict, Verdict::kOk);
+  EXPECT_EQ(ledger.check("k", true, 0x1111).verdict, Verdict::kLostAck);
+}
+
+TEST(AckLedger, AckedKeysListsOnlyAckedSorted) {
+  AckLedger ledger;
+  ledger.acked("b", ledger.issued("b", 2));
+  ledger.issued("c", 3);  // in doubt only
+  ledger.acked("a", ledger.issued("a", 1));
+  const std::vector<std::string> keys = ledger.acked_keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(AckLedger, WriteJsonlEmitsOneSortedRowPerKey) {
+  AckLedger ledger;
+  ledger.acked("beta", ledger.issued("beta", 7));
+  ledger.issued("alpha", 9);
+  std::ostringstream out;
+  ledger.write_jsonl(out);
+  const std::string text = out.str();
+  const auto alpha = text.find("\"key\":\"alpha\"");
+  const auto beta = text.find("\"key\":\"beta\"");
+  ASSERT_NE(alpha, std::string::npos);
+  ASSERT_NE(beta, std::string::npos);
+  EXPECT_LT(alpha, beta);
+  EXPECT_NE(text.find("\"acked_crc\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"in_doubt\":[{\"seq\":"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace chameleon::svc

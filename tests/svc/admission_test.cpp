@@ -39,6 +39,24 @@ TEST(Admission, SessionCreditsShedWithoutConsumingGlobalSlot) {
   EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
 }
 
+TEST(Admission, ExpiredDeadlineShedsFirstAndConsumesNothing) {
+  AdmissionController ctrl({/*max_inflight=*/2, /*session_credits=*/1});
+  // Expired requests shed before the session/global checks, even when both
+  // windows would also reject, and consume neither credit nor slot.
+  EXPECT_EQ(ctrl.admit(0, /*deadline_expired=*/true),
+            AdmissionController::Decision::kShedDeadline);
+  EXPECT_EQ(ctrl.admit(5, /*deadline_expired=*/true),
+            AdmissionController::Decision::kShedDeadline);
+  EXPECT_EQ(ctrl.inflight(), 0u);
+  EXPECT_EQ(ctrl.shed_deadline_total(), 2u);
+  EXPECT_EQ(ctrl.shed_session_total(), 0u);
+  EXPECT_EQ(ctrl.shed_global_total(), 0u);
+  EXPECT_EQ(ctrl.shed_total(), 2u);
+  // A live request is still admitted afterwards.
+  EXPECT_EQ(ctrl.admit(0), AdmissionController::Decision::kAdmit);
+  EXPECT_EQ(ctrl.admitted_total(), 1u);
+}
+
 TEST(Admission, ConcurrentAdmitNeverExceedsWindow) {
   constexpr std::size_t kWindow = 16;
   AdmissionController ctrl({kWindow, /*session_credits=*/1 << 20});

@@ -1,0 +1,176 @@
+// Deadline + readiness integration tests (ctest label `svc`): per-request
+// deadline budgets shed with kDeadlineExceeded instead of burning store
+// time, the HEALTH op answers truthfully in every serving state, a server
+// booted in the recovering state sheds data ops until set_serving(), and
+// the STATS body carries the serving state and recovery facts.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+core::ChameleonConfig small_system() {
+  core::ChameleonConfig cfg;
+  cfg.servers = 12;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 256;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  return cfg;
+}
+
+ClientConfig client_for(const Server& server) {
+  ClientConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = server.port();
+  cfg.retry.base_backoff = 2 * kMillisecond;
+  return cfg;
+}
+
+std::vector<std::uint8_t> put_body(const std::string& key,
+                                   const std::string& value) {
+  std::vector<std::uint8_t> body;
+  encode_put_body(key,
+                  {reinterpret_cast<const std::uint8_t*>(value.data()),
+                   value.size()},
+                  body);
+  return body;
+}
+
+TEST(DeadlineHealth, StalledRequestPastDeadlineIsShedWithoutStoreWork) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  // Every request stalls 80ms on the worker before the dequeue-side deadline
+  // check, so a 20ms budget is deterministically blown while a no-deadline
+  // request still succeeds.
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 80 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  ClientConn conn(client_for(server));
+  Frame expired = conn.call(Op::kPut, put_body("k", "v"), 1, /*deadline_ms=*/20);
+  EXPECT_EQ(expired.status, Status::kDeadlineExceeded);
+
+  Frame unbounded = conn.call(Op::kPut, put_body("k", "v"), 2, /*deadline_ms=*/0);
+  EXPECT_EQ(unbounded.status, Status::kOk);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.deadline_exceeded_total, 1u);
+}
+
+TEST(DeadlineHealth, PoolTreatsDeadlineExceededAsTerminal) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.stall_rate = 1.0;
+  cfg.faults.stall = 60 * kMillisecond;
+  Server server(system, cfg);
+  server.start();
+
+  ClientConfig ccfg = client_for(server);
+  ccfg.deadline_ms = 10;
+  ClientPool pool(ccfg, 1);
+  const std::uint64_t retries_before = pool.retries_total();
+  EXPECT_EQ(pool.put("k", std::string_view("v")), Status::kDeadlineExceeded);
+  // Terminal: the budget lapsed, retrying would blow it further.
+  EXPECT_EQ(pool.retries_total(), retries_before);
+  EXPECT_EQ(pool.deadline_exceeded_total(), 1u);
+  server.stop();
+}
+
+TEST(DeadlineHealth, RecoveringServerShedsDataOpsAndAnswersHealth) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.start_recovering = true;
+  Server server(system, cfg);
+  server.start();
+  EXPECT_EQ(server.state(), ServingState::kRecovering);
+
+  ClientConn conn(client_for(server));
+  // Data ops shed with kRetryLater while recovery owns the store...
+  Frame put = conn.call(Op::kPut, put_body("k", "v"), 1, 0);
+  EXPECT_EQ(put.status, Status::kRetryLater);
+  // ...but HEALTH answers inline with the truthful state.
+  Frame health = conn.call(Op::kHealth, {}, 2, 0);
+  ASSERT_EQ(health.status, Status::kOk);
+  std::string body(health.payload.begin(), health.payload.end());
+  EXPECT_NE(body.find("\"state\":\"recovering\""), std::string::npos);
+  EXPECT_NE(body.find("\"serving\":false"), std::string::npos);
+
+  RecoveryInfo info;
+  info.recovered = true;
+  info.recoveries_total = 1;
+  info.replayed_records = 42;
+  info.checkpoint_seq = 7;
+  info.last_recovery_unix_ms = 1723200000000ull;
+  info.last_recovery_seconds = 0.25;
+  server.set_recovery_info(info);
+  server.set_serving();
+  EXPECT_EQ(server.state(), ServingState::kServing);
+
+  Frame put2 = conn.call(Op::kPut, put_body("k", "v"), 3, 0);
+  EXPECT_EQ(put2.status, Status::kOk);
+  Frame health2 = conn.call(Op::kHealth, {}, 4, 0);
+  body.assign(health2.payload.begin(), health2.payload.end());
+  EXPECT_NE(body.find("\"state\":\"serving\""), std::string::npos);
+  EXPECT_NE(body.find("\"serving\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"recovery_replayed_records\":42"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(DeadlineHealth, WaitServingRidesOutRecovery) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.start_recovering = true;
+  Server server(system, cfg);
+  server.start();
+
+  std::thread finisher([&server] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.set_serving();
+  });
+  ClientPool pool(client_for(server), 1);
+  EXPECT_TRUE(pool.wait_serving(5 * kSecond, 5 * kMillisecond));
+  finisher.join();
+  EXPECT_EQ(pool.put("k", std::string_view("v")), Status::kOk);
+  server.stop();
+}
+
+TEST(DeadlineHealth, StatsCarryStateAndRecoveryCounters) {
+  core::Chameleon system(small_system());
+  Server server(system, {});
+  server.start();
+  RecoveryInfo info;
+  info.recovered = true;
+  info.recoveries_total = 3;
+  info.replayed_records = 99;
+  info.checkpoint_seq = 11;
+  info.last_recovery_seconds = 1.5;
+  server.set_recovery_info(info);
+
+  ClientPool pool(client_for(server), 1);
+  const std::string stats = pool.stats_json();
+  EXPECT_NE(stats.find("\"state\":\"serving\""), std::string::npos);
+  EXPECT_NE(stats.find("\"deadline_exceeded_total\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"shed_deadline_total\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"recovered\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"recoveries_total\":3"), std::string::npos);
+  EXPECT_NE(stats.find("\"recovery_replayed_records\":99"),
+            std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace chameleon::svc

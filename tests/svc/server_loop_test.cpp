@@ -331,8 +331,9 @@ TEST(ServerLoop, MalformedFrameTearsDownConnectionOnly) {
   server.start();
 
   RawConn bad(server.port());
-  bad.send_bytes({'G', 'A', 'R', 'B', 'A', 'G', 'E', '!', 0, 1, 2, 3,
-                  4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  bad.send_bytes({'G', 'A', 'R', 'B', 'A', 'G', 'E', '!', 0,  1,  2,
+                  3,  4,  5,  6,  7,  8,  9,  10,  11, 12, 13, 14, 15,
+                  16, 17, 18, 19, 20, 21, 22, 23});
   EXPECT_TRUE(bad.read_eof());  // server closed us
 
   // The server survives and serves new connections.

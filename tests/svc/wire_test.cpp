@@ -22,6 +22,7 @@ Frame random_frame(Xoshiro256& rng, std::size_t max_payload = 512) {
   f.status = static_cast<Status>(
       rng.next_below(static_cast<std::uint64_t>(Status::kCount)));
   f.request_id = rng.next();
+  f.deadline_ms = static_cast<std::uint32_t>(rng.next());
   const auto len = rng.next_below(max_payload + 1);
   f.payload.resize(len);
   for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng.next());
@@ -32,6 +33,7 @@ void expect_frames_equal(const Frame& a, const Frame& b) {
   EXPECT_EQ(a.op, b.op);
   EXPECT_EQ(a.status, b.status);
   EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
   EXPECT_EQ(a.payload, b.payload);
 }
 
@@ -125,16 +127,20 @@ TEST(WireCodec, SeededBitFlipsNeverCrashAndErrorsStick) {
     const DecodeResult r = decoder.next(out);
     if (r == DecodeResult::kFrame) {
       // Undetectable flips can only live in the unchecksummed header fields
-      // (header integrity is TCP's job): the request id, or an op/status
-      // byte flipped onto another in-range value. The payload is CRC-covered.
+      // (header integrity is TCP's job): the request id, the deadline, or an
+      // op/status byte flipped onto another in-range value. The payload is
+      // CRC-covered.
       const std::size_t byte = bit / 8;
-      EXPECT_TRUE(byte == 5 || byte == 6 || (byte >= 8 && byte < 16))
+      EXPECT_TRUE(byte == 5 || byte == 6 || (byte >= 8 && byte < 16) ||
+                  (byte >= 20 && byte < 24))
           << "flip at byte " << byte << " decoded as a valid frame";
       EXPECT_EQ(out.payload, frame.payload);
       if (byte == 5) {
         EXPECT_NE(out.op, frame.op);
       } else if (byte == 6) {
         EXPECT_NE(out.status, frame.status);
+      } else if (byte >= 20 && byte < 24) {
+        EXPECT_NE(out.deadline_ms, frame.deadline_ms);
       } else {
         EXPECT_NE(out.request_id, frame.request_id);
       }
@@ -171,8 +177,24 @@ TEST(WireCodec, HeaderFieldCorruptionMapsToSpecificErrors) {
   EXPECT_EQ(decode_corrupt(6, static_cast<std::uint8_t>(Status::kCount)),
             DecodeResult::kBadStatus);
   EXPECT_EQ(decode_corrupt(7, 1), DecodeResult::kBadReserved);
-  EXPECT_EQ(decode_corrupt(20, 0xFF), DecodeResult::kBadCrc);
-  EXPECT_EQ(decode_corrupt(24, 0xFF), DecodeResult::kBadCrc);  // payload
+  EXPECT_EQ(decode_corrupt(24, 1), DecodeResult::kBadReserved);  // word 2
+  EXPECT_EQ(decode_corrupt(28, 0xFF), DecodeResult::kBadCrc);
+  EXPECT_EQ(decode_corrupt(32, 0xFF), DecodeResult::kBadCrc);  // payload
+}
+
+TEST(WireCodec, DeadlineRoundTripsAndDefaultsToZero) {
+  Frame with_deadline{Op::kPut, Status::kOk, 9, {1, 2, 3}};
+  with_deadline.deadline_ms = 1500;
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(with_deadline));
+  Frame out;
+  ASSERT_EQ(decoder.next(out), DecodeResult::kFrame);
+  EXPECT_EQ(out.deadline_ms, 1500u);
+
+  // The classic four-field aggregate still encodes a no-deadline frame.
+  decoder.feed(encode_frame(Frame{Op::kGet, Status::kOk, 10, {4}}));
+  ASSERT_EQ(decoder.next(out), DecodeResult::kFrame);
+  EXPECT_EQ(out.deadline_ms, 0u);
 }
 
 TEST(WireCodec, OversizedLengthRejectedFromHeaderAlone) {

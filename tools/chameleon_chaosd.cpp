@@ -1,0 +1,396 @@
+// chameleon_chaosd — crash-recovery chaos supervisor (docs/FAULT_MODEL.md).
+//
+// Runs a durable chameleon_server under a seeded kill schedule while a
+// loadgen child hammers it over real TCP, and verifies the whole-system
+// durability contract end to end:
+//
+//   1. boot the server (ephemeral port, durable data_dir), remember the port
+//   2. start chameleon_loadgen with verify=1 (acked-write ledger) pointed at it
+//   3. at each scheduled point, SIGKILL the server mid-load, restart it on
+//      the SAME port, and poll HEALTH until recovery finishes — measuring
+//      the downtime window instead of sleeping a guessed duration
+//   4. after the load drains: quiesced digest check — DIGEST, kill -9,
+//      restart, DIGEST again; the two fingerprints must be identical
+//   5. write a JSON report and exit nonzero on any violation: acked-write
+//      loss (loadgen exit), digest mismatch, a kill that missed live load,
+//      or a recovery that never became serving
+//
+// The kill schedule is a fault::FaultSchedule of kKill9 events generated
+// from `seed` (epochs map to wall milliseconds via epoch_ms), so a failing
+// run is reproducible by re-running with the same seed; the serialized
+// schedule is embedded in the report.
+//
+// Flags (leading "--" optional, key=value):
+//   server_bin=PATH        chameleon_server binary (default: next to chaosd)
+//   loadgen_bin=PATH       chameleon_loadgen binary (default: next to chaosd)
+//   dir=PATH               scratch dir: data_dir, port file, ledger, logs
+//                          (default: ./chaosd-run)
+//   host=127.0.0.1         listen host
+//   kills=3                kill -9s to deliver while the load runs
+//   seed=1337              kill-schedule + workload seed
+//   horizon_ms=3000        kills are spread over (0, horizon_ms]
+//   epoch_ms=50            FaultSchedule epoch -> wall ms scale
+//   ops=6000               loadgen operations
+//   open_rate=2000         loadgen target ops/sec (paces the run so the
+//                          schedule lands under live load; 0 = closed loop)
+//   keys=500               loadgen distinct keys
+//   concurrency=4          loadgen worker threads
+//   value_bytes=256        loadgen PUT payload size
+//   deadline_ms=0          per-request deadline the loadgen stamps
+//   max_exhausted=0        client ops allowed to exhaust retries (the
+//                          bounded error window; loss is never allowed)
+//   servers=8              simulated flash servers behind the store
+//   capacity_mb=64         simulated cluster capacity
+//   workers=2              server worker threads
+//   recovery_timeout_ms=30000  max wait for a restarted server to serve
+//   report_out=PATH        JSON report ("-" = stdout, the default)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_schedule.hpp"
+#include "svc/client_conn.hpp"
+
+using namespace chameleon;
+
+namespace {
+
+Config parse_flags(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    while (arg.rfind("--", 0) == 0) arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("expected key=value, got: " + arg);
+    }
+    config.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return config;
+}
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+Nanos now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// fork/exec a child with stdout+stderr appended to `log_path`.
+pid_t spawn(const std::vector<std::string>& args, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error("chaosd: fork failed");
+  if (pid == 0) {
+    if (!log_path.empty()) {
+      std::FILE* log = std::freopen(log_path.c_str(), "a", stdout);
+      if (log != nullptr) ::dup2(::fileno(stdout), ::fileno(stderr));
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    std::perror("chaosd: execv");
+    ::_exit(127);
+  }
+  return pid;
+}
+
+/// Non-blocking liveness probe; fills `status` when the child has exited.
+bool child_alive(pid_t pid, int* status) {
+  const pid_t r = ::waitpid(pid, status, WNOHANG);
+  return r == 0;
+}
+
+int wait_exit(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+/// Poll `path` until it holds a parseable port number.
+std::uint16_t await_port_file(const std::string& path, Nanos timeout) {
+  const Nanos deadline = now_ns() + timeout;
+  for (;;) {
+    std::ifstream in(path);
+    long port = 0;
+    if (in && (in >> port) && port > 0 && port < 65536) {
+      return static_cast<std::uint16_t>(port);
+    }
+    if (now_ns() >= deadline) {
+      throw std::runtime_error("chaosd: server never wrote " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+struct KillCycle {
+  std::uint64_t scheduled_ms = 0;   ///< offset into the run
+  std::uint64_t downtime_ms = 0;    ///< SIGKILL -> serving again
+  bool under_load = true;           ///< loadgen was still running at the kill
+  bool recovered = false;           ///< restart reached the serving state
+  std::string health;               ///< post-recovery HEALTH JSON
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config config = parse_flags(argc, argv);
+
+    const std::string self_dir = dirname_of(argv[0]);
+    const std::string server_bin =
+        config.get_string("server_bin", self_dir + "/chameleon_server");
+    const std::string loadgen_bin =
+        config.get_string("loadgen_bin", self_dir + "/chameleon_loadgen");
+    const std::string dir = config.get_string("dir", "./chaosd-run");
+    const std::string host = config.get_string("host", "127.0.0.1");
+    const auto kills = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("kills", 3)));
+    const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1337));
+    const auto horizon_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(100, config.get_int("horizon_ms", 3000)));
+    const auto epoch_ms = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, config.get_int("epoch_ms", 50)));
+    const Nanos recovery_timeout =
+        config.get_int("recovery_timeout_ms", 30'000) * kMillisecond;
+    const std::string report_out = config.get_string("report_out", "-");
+
+    if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("chaosd: cannot create dir " + dir);
+    }
+    const std::string data_dir = dir + "/data";
+    const std::string port_file = dir + "/port.txt";
+    const std::string server_log = dir + "/server.log";
+    const std::string loadgen_log = dir + "/loadgen.log";
+    const std::string ledger_path = dir + "/ledger.jsonl";
+    ::unlink(port_file.c_str());
+
+    // The kill schedule: kKill9 events at seeded epochs over the horizon.
+    // Serialized into the report so a failure reproduces from the seed.
+    fault::FaultSchedule schedule;
+    schedule.seed = seed;
+    {
+      Xoshiro256 rng(seed);
+      const std::uint64_t horizon_epochs =
+          std::max<std::uint64_t>(kills + 1, horizon_ms / epoch_ms);
+      std::vector<std::uint64_t> at;
+      for (std::size_t i = 0; i < kills; ++i) {
+        // Stratified: one kill per equal slice of the horizon, jittered
+        // inside the slice, so kills cannot bunch up at one instant.
+        const std::uint64_t lo = 1 + i * horizon_epochs / kills;
+        const std::uint64_t hi =
+            std::max<std::uint64_t>(lo + 1, (i + 1) * horizon_epochs / kills);
+        at.push_back(lo + rng.next() % (hi - lo));
+      }
+      for (const std::uint64_t epoch : at) {
+        fault::FaultEvent event;
+        event.at = static_cast<Epoch>(epoch);
+        event.kind = fault::FaultKind::kKill9;
+        schedule.events.push_back(event);
+      }
+    }
+
+    const auto server_args = [&](std::uint16_t port) {
+      std::vector<std::string> args = {
+          server_bin,
+          "listen=" + host + ":" + std::to_string(port),
+          "port_file=" + port_file,
+          "data_dir=" + data_dir,
+          "workers=" + config.get_string("workers", "2"),
+          "servers=" + config.get_string("servers", "8"),
+          "capacity_mb=" + config.get_string("capacity_mb", "64"),
+      };
+      return args;
+    };
+
+    pid_t server_pid = spawn(server_args(0), server_log);
+    const std::uint16_t port = await_port_file(port_file, 10 * kSecond);
+
+    svc::ClientConfig probe_config;
+    probe_config.host = host;
+    probe_config.port = port;
+    svc::ClientPool probe(probe_config, 1);
+    if (!probe.wait_serving(recovery_timeout)) {
+      throw std::runtime_error("chaosd: server never became serving");
+    }
+
+    // The load: acked-write ledger + verification ON, generous retry budget
+    // so clients ride out each restart, bounded error window enforced by
+    // max_exhausted inside loadgen itself.
+    const std::vector<std::string> loadgen_cmd = {
+        loadgen_bin,
+        "target=" + host + ":" + std::to_string(port),
+        "ops=" + config.get_string("ops", "6000"),
+        "open_rate=" + config.get_string("open_rate", "2000"),
+        "keys=" + config.get_string("keys", "500"),
+        "concurrency=" + config.get_string("concurrency", "4"),
+        "value_bytes=" + config.get_string("value_bytes", "256"),
+        "deadline_ms=" + config.get_string("deadline_ms", "0"),
+        "max_exhausted=" + config.get_string("max_exhausted", "0"),
+        "seed=" + std::to_string(seed),
+        "verify=1",
+        "ledger_out=" + ledger_path,
+        "preload=0",
+        "retry_attempts=12",
+        "retry_base_backoff_ms=4",
+        "wait_serving_ms=" +
+            std::to_string(recovery_timeout / kMillisecond),
+    };
+    const Nanos load_start = now_ns();
+    const pid_t loadgen_pid = spawn(loadgen_cmd, loadgen_log);
+
+    std::vector<KillCycle> cycles;
+    bool loadgen_done = false;
+    int loadgen_status = 0;
+    for (const fault::FaultEvent& event : schedule.events) {
+      if (event.kind != fault::FaultKind::kKill9) continue;
+      KillCycle cycle;
+      cycle.scheduled_ms = static_cast<std::uint64_t>(event.at) * epoch_ms;
+      const Nanos fire_at =
+          load_start + static_cast<Nanos>(cycle.scheduled_ms) * kMillisecond;
+      while (now_ns() < fire_at && !loadgen_done) {
+        if (!child_alive(loadgen_pid, &loadgen_status)) loadgen_done = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      cycle.under_load = !loadgen_done;
+
+      std::fprintf(stderr, "chaosd: kill -9 at +%llums (under_load=%d)\n",
+                   static_cast<unsigned long long>(cycle.scheduled_ms),
+                   cycle.under_load ? 1 : 0);
+      const Nanos down_start = now_ns();
+      ::kill(server_pid, SIGKILL);
+      wait_exit(server_pid);
+      server_pid = spawn(server_args(port), server_log);
+      cycle.recovered = probe.wait_serving(recovery_timeout);
+      cycle.downtime_ms = static_cast<std::uint64_t>(
+          (now_ns() - down_start) / kMillisecond);
+      if (cycle.recovered) cycle.health = probe.health_json();
+      cycles.push_back(std::move(cycle));
+      if (!cycles.back().recovered) break;
+    }
+
+    if (!loadgen_done) {
+      loadgen_status = wait_exit(loadgen_pid);
+    } else {
+      // Reap properly if the WNOHANG probe caught the exit.
+      if (WIFEXITED(loadgen_status)) {
+        loadgen_status = WEXITSTATUS(loadgen_status);
+      } else if (WIFSIGNALED(loadgen_status)) {
+        loadgen_status = 128 + WTERMSIG(loadgen_status);
+      }
+    }
+
+    // Quiesced digest check: the recovered state after one more crash must
+    // fingerprint identically — recovery is exact, not approximate.
+    std::string digest_before;
+    std::string digest_after;
+    bool digest_match = false;
+    bool final_recovered = false;
+    if (cycles.empty() || cycles.back().recovered) {
+      digest_before = probe.digest();
+      ::kill(server_pid, SIGKILL);
+      wait_exit(server_pid);
+      server_pid = spawn(server_args(port), server_log);
+      final_recovered = probe.wait_serving(recovery_timeout);
+      if (final_recovered) {
+        digest_after = probe.digest();
+        digest_match = !digest_before.empty() &&
+                       digest_before == digest_after;
+      }
+    }
+
+    ::kill(server_pid, SIGTERM);
+    wait_exit(server_pid);
+
+    std::size_t kills_under_load = 0;
+    std::size_t recovered_count = 0;
+    std::uint64_t max_downtime_ms = 0;
+    for (const KillCycle& c : cycles) {
+      if (c.under_load) ++kills_under_load;
+      if (c.recovered) ++recovered_count;
+      max_downtime_ms = std::max(max_downtime_ms, c.downtime_ms);
+    }
+    const bool ok = loadgen_status == 0 && digest_match && final_recovered &&
+                    recovered_count == cycles.size() &&
+                    cycles.size() == kills && kills_under_load == kills;
+
+    std::string report;
+    report.reserve(2048);
+    report += "{\n  \"schema_version\": 1,\n  \"tool\": \"chameleon_chaosd\"";
+    report += ",\n  \"seed\": " + std::to_string(seed);
+    report += ",\n  \"ok\": " + std::string(ok ? "true" : "false");
+    report += ",\n  \"loadgen_exit\": " + std::to_string(loadgen_status);
+    report += ",\n  \"kills_planned\": " + std::to_string(kills);
+    report += ",\n  \"kills_delivered\": " + std::to_string(cycles.size());
+    report += ",\n  \"kills_under_load\": " + std::to_string(kills_under_load);
+    report += ",\n  \"max_downtime_ms\": " + std::to_string(max_downtime_ms);
+    report += ",\n  \"digest_before\": ";
+    json_append_escaped(report, digest_before.c_str());
+    report += ",\n  \"digest_after\": ";
+    json_append_escaped(report, digest_after.c_str());
+    report += ",\n  \"digest_match\": ";
+    report += digest_match ? "true" : "false";
+    report += ",\n  \"schedule\": ";
+    json_append_escaped(report, schedule.serialize().c_str());
+    report += ",\n  \"cycles\": [";
+    for (std::size_t i = 0; i < cycles.size(); ++i) {
+      const KillCycle& c = cycles[i];
+      if (i > 0) report += ',';
+      report += "\n    { \"scheduled_ms\": " + std::to_string(c.scheduled_ms);
+      report += ", \"downtime_ms\": " + std::to_string(c.downtime_ms);
+      report += ", \"under_load\": ";
+      report += c.under_load ? "true" : "false";
+      report += ", \"recovered\": ";
+      report += c.recovered ? "true" : "false";
+      report += ", \"health\": ";
+      report += c.health.empty() ? "null" : c.health;
+      report += " }";
+    }
+    report += "\n  ]\n}\n";
+
+    if (report_out == "-") {
+      std::fwrite(report.data(), 1, report.size(), stdout);
+    } else {
+      std::ofstream out(report_out);
+      if (!out) {
+        std::fprintf(stderr, "chaosd: cannot open %s\n", report_out.c_str());
+        return 1;
+      }
+      out << report;
+    }
+    std::fprintf(stderr,
+                 "chaosd: %s — %zu/%zu kills under load, loadgen exit %d, "
+                 "digest %s, max downtime %llums\n",
+                 ok ? "PASS" : "FAIL", kills_under_load, kills,
+                 loadgen_status, digest_match ? "match" : "MISMATCH",
+                 static_cast<unsigned long long>(max_downtime_ms));
+    return ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "chameleon_chaosd: %s\n", error.what());
+    return 1;
+  }
+}

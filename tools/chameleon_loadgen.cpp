@@ -27,14 +27,34 @@
 //                          preload=0 this is a pure state probe, which is
 //                          how crash-recovery CI compares state across a
 //                          kill -9 restart
+//   deadline_ms=0          per-request deadline budget stamped into every
+//                          frame (0 = none); the server answers
+//                          kDeadlineExceeded when it lapses, counted and
+//                          reported but not treated as an error
+//   wait_serving_ms=0      before the run, poll the HEALTH op until the
+//                          server reports serving (instead of one ping);
+//                          rides out a durable server's recovery window
+//   verify=0               acked-write verification: track every PUT in an
+//                          AckLedger, and after the run read back every key
+//                          with an acknowledged write and check the value
+//                          against the ledger. Any violation (an acked
+//                          write lost or a value this client never wrote)
+//                          prints "ACKED-WRITE LOSS" and forces exit 1.
+//                          Keys are partitioned per worker so each key's
+//                          writes are sequential and the check is exact.
+//   ledger_out=PATH        dump the ledger as JSONL after the run
+//                          ("-" = stdout); implies tracking (as verify=1
+//                          does), without the readback pass unless verify=1
 //
 // Prints achieved throughput and per-op latency percentiles. Exits 0 on a
-// clean run, 1 when any protocol error or exhausted retry budget occurred.
+// clean run, 1 when any protocol error, exhausted retry budget, or
+// acked-write verification failure occurred.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -47,6 +67,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "kv/client.hpp"
+#include "svc/ack_ledger.hpp"
 #include "svc/client_conn.hpp"
 #include "workload/zipf.hpp"
 
@@ -65,6 +86,7 @@ struct WorkerResult {
   std::uint64_t not_found = 0;
   std::uint64_t exhausted = 0;       ///< kv::RetriesExhausted
   std::uint64_t protocol_errors = 0; ///< malformed frames / id mismatches
+  std::uint64_t deadline_exceeded = 0; ///< server shed past-deadline requests
 };
 
 Config parse_flags(int argc, char** argv) {
@@ -89,6 +111,19 @@ Nanos now_ns() {
 
 std::string key_for(std::uint64_t rank) {
   return "key-" + std::to_string(rank);
+}
+
+/// Make each tracked write's payload unique by stamping a tag into the
+/// leading bytes, so value CRCs distinguish writes and the ledger check is
+/// not trivially satisfied by identical payloads.
+void stamp_value(std::vector<std::uint8_t>& v, std::uint64_t tag) {
+  for (std::size_t i = 0; i < v.size() && i < 8; ++i) {
+    v[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+}
+
+std::uint32_t value_crc(const std::vector<std::uint8_t>& v) {
+  return svc::crc32c({v.data(), v.size()});
 }
 
 /// Full-fidelity histogram dump: every bucket (zeros included, so offsets
@@ -156,25 +191,60 @@ int main(int argc, char** argv) {
     const double open_rate = config.get_double("open_rate", 0.0);
     const bool preload = config.get_bool("preload", true);
     const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
+    const auto deadline_ms = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, config.get_int("deadline_ms", 0)));
+    const auto wait_serving_ms = config.get_int("wait_serving_ms", 0);
+    const bool verify = config.get_bool("verify", false);
+    const std::string ledger_out = config.get_string("ledger_out", "");
+    // Tracking costs a CRC + map update per PUT; only pay it when asked.
+    const bool tracked = verify || !ledger_out.empty();
+    const auto retry_attempts = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, config.get_int("retry_attempts", 4)));
+    const Nanos retry_base_backoff =
+        config.get_int("retry_base_backoff_ms", 1) * kMillisecond;
+    const auto max_exhausted = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, config.get_int("max_exhausted", 0)));
 
     svc::ClientConfig client_config;
     client_config.host = target.substr(0, colon);
     client_config.port =
         static_cast<std::uint16_t>(std::stoul(target.substr(colon + 1)));
+    client_config.deadline_ms = deadline_ms;
+    client_config.retry.max_attempts = retry_attempts;
+    client_config.retry.base_backoff = retry_base_backoff;
     svc::ClientPool pool(client_config, connections);
 
-    pool.ping();  // fail fast when the server is unreachable
+    if (wait_serving_ms > 0) {
+      // A durable server listens before recovery finishes; ride that window
+      // out by polling HEALTH instead of failing on the first kRetryLater.
+      if (!pool.wait_serving(wait_serving_ms * kMillisecond)) {
+        throw std::runtime_error(
+            "server did not report serving within " +
+            std::to_string(wait_serving_ms) + "ms");
+      }
+    } else {
+      pool.ping();  // fail fast when the server is unreachable
+    }
 
+    svc::AckLedger ledger;
+    std::atomic<std::uint64_t> stamp{1};
     const std::vector<std::uint8_t> value(value_bytes, 0xAB);
     const workload::ZipfGenerator zipf(keys, theta);
 
     if (preload) {
+      std::vector<std::uint8_t> v = value;
       for (std::uint64_t rank = 0; rank < keys; ++rank) {
-        const svc::Status s = pool.put(key_for(rank), value);
+        std::uint64_t seq = 0;
+        if (tracked) {
+          stamp_value(v, stamp.fetch_add(1, std::memory_order_relaxed));
+          seq = ledger.issued(key_for(rank), value_crc(v));
+        }
+        const svc::Status s = pool.put(key_for(rank), v);
         if (s != svc::Status::kOk) {
           throw std::runtime_error(std::string("preload PUT failed: ") +
                                    svc::status_name(s));
         }
+        if (tracked) ledger.acked(key_for(rank), seq);
       }
     }
 
@@ -198,6 +268,7 @@ int main(int argc, char** argv) {
                 : 0;
         Nanos next_fire = now_ns();
         std::vector<std::uint8_t> got;
+        std::vector<std::uint8_t> v = value;
         for (std::uint64_t i = 0; i < quota; ++i) {
           if (interval > 0) {
             next_fire += interval;
@@ -206,7 +277,12 @@ int main(int argc, char** argv) {
               std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
             }
           }
-          const std::string key = key_for(zipf.next(rng));
+          // Tracked runs partition the keyspace per worker (rank maps to
+          // rank*concurrency + w, disjoint across workers), so each key's
+          // writes are sequential and the ledger check is exact.
+          const std::uint64_t rank = zipf.next(rng);
+          const std::string key =
+              key_for(tracked ? rank * concurrency + w : rank);
           const bool is_get = rng.next_bool(read_ratio);
           const Nanos t0 = now_ns();
           try {
@@ -214,9 +290,23 @@ int main(int argc, char** argv) {
               const svc::Status s = pool.get(key, got);
               ++r.gets;
               if (s == svc::Status::kNotFound) ++r.not_found;
+              if (s == svc::Status::kDeadlineExceeded) ++r.deadline_exceeded;
             } else {
-              pool.put(key, value);
+              std::uint64_t seq = 0;
+              if (tracked) {
+                stamp_value(v, stamp.fetch_add(1, std::memory_order_relaxed));
+                seq = ledger.issued(key, value_crc(v));
+              }
+              const svc::Status s = pool.put(key, v);
               ++r.puts;
+              if (s == svc::Status::kOk) {
+                if (tracked) ledger.acked(key, seq);
+              } else if (s == svc::Status::kDeadlineExceeded) {
+                // Not acked: the entry stays in doubt. (An earlier attempt
+                // of the same operation may have been applied before its
+                // connection died, so it is NOT known-unapplied.)
+                ++r.deadline_exceeded;
+              }
             }
             const auto latency = static_cast<double>(now_ns() - t0);
             (is_get ? r.get_latency : r.put_latency).add(latency);
@@ -245,6 +335,7 @@ int main(int argc, char** argv) {
       total.not_found += r.not_found;
       total.exhausted += r.exhausted;
       total.protocol_errors += r.protocol_errors;
+      total.deadline_exceeded += r.deadline_exceeded;
     }
 
     const double secs = static_cast<double>(elapsed) / 1e9;
@@ -264,11 +355,68 @@ int main(int argc, char** argv) {
     report("get", total.get_latency);
     report("put", total.put_latency);
     std::printf("  retries: %llu, reconnects: %llu, exhausted: %llu, "
-                "protocol errors: %llu\n",
+                "protocol errors: %llu, deadline exceeded: %llu\n",
                 static_cast<unsigned long long>(pool.retries_total()),
                 static_cast<unsigned long long>(pool.reconnects_total()),
                 static_cast<unsigned long long>(total.exhausted),
-                static_cast<unsigned long long>(total.protocol_errors));
+                static_cast<unsigned long long>(total.protocol_errors),
+                static_cast<unsigned long long>(total.deadline_exceeded));
+
+    // Acked-write verification: every key the server acknowledged a PUT for
+    // must read back as that write (or a later still-in-doubt one). This is
+    // the client side of the durability contract; a violation after a chaos
+    // kill/recovery cycle is acknowledged-write loss.
+    std::uint64_t verify_violations = 0;
+    if (verify) {
+      std::vector<std::uint8_t> got;
+      const std::vector<std::string> acked = ledger.acked_keys();
+      for (const std::string& key : acked) {
+        bool found = false;
+        try {
+          const svc::Status s = pool.get(key, got);
+          if (s == svc::Status::kOk) {
+            found = true;
+          } else if (s != svc::Status::kNotFound) {
+            ++verify_violations;
+            std::fprintf(stderr, "verify: key %s unreadable: %s\n",
+                         key.c_str(), svc::status_name(s));
+            continue;
+          }
+        } catch (const std::exception& error) {
+          ++verify_violations;
+          std::fprintf(stderr, "verify: key %s unreadable: %s\n", key.c_str(),
+                       error.what());
+          continue;
+        }
+        const svc::AckLedger::CheckResult res =
+            ledger.check(key, found, found ? value_crc(got) : 0);
+        if (res.verdict != svc::AckLedger::Verdict::kOk) {
+          ++verify_violations;
+          std::fprintf(stderr, "ACKED-WRITE LOSS: key %s: %s\n", key.c_str(),
+                       res.detail.c_str());
+        }
+      }
+      std::printf("verify: %llu acked keys checked (%llu puts issued, %llu "
+                  "acked), %llu violations\n",
+                  static_cast<unsigned long long>(acked.size()),
+                  static_cast<unsigned long long>(ledger.issued_total()),
+                  static_cast<unsigned long long>(ledger.acked_total()),
+                  static_cast<unsigned long long>(verify_violations));
+    }
+
+    if (!ledger_out.empty()) {
+      if (ledger_out == "-") {
+        ledger.write_jsonl(std::cout);
+      } else {
+        std::ofstream out(ledger_out);
+        if (!out) {
+          std::fprintf(stderr, "chameleon_loadgen: cannot open %s\n",
+                       ledger_out.c_str());
+          return 1;
+        }
+        ledger.write_jsonl(out);
+      }
+    }
 
     if (config.get_bool("digest", false)) {
       std::printf("digest: %s\n", pool.digest().c_str());
@@ -298,7 +446,10 @@ int main(int argc, char** argv) {
       }
     }
 
-    return (total.protocol_errors > 0 || total.exhausted > 0) ? 1 : 0;
+    return (total.protocol_errors > 0 || total.exhausted > max_exhausted ||
+            verify_violations > 0)
+               ? 1
+               : 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "chameleon_loadgen: %s\n", error.what());
     return 1;

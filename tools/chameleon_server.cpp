@@ -40,6 +40,7 @@
 //
 // SIGINT/SIGTERM trigger the graceful drain: stop accepting, finish
 // in-flight requests, flush responses, then exit 0.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -139,32 +140,7 @@ int main(int argc, char** argv) {
     sys_config.ssd = flashsim::SsdConfig::sized_for(per_server, 0.7);
     core::Chameleon system(sys_config);
 
-    // Durability: recover from data_dir (if given) before serving, then
-    // journal every mutation from here on.
-    std::unique_ptr<durability::Manager> durable;
     const std::string data_dir = config.get_string("data_dir", "");
-    if (!data_dir.empty()) {
-      durability::DurabilityConfig dur_config;
-      dur_config.dir = data_dir;
-      dur_config.fsync = durability::fsync_policy_from_name(
-          config.get_string("fsync", "always"));
-      dur_config.checkpoint_every_epochs = static_cast<std::uint32_t>(
-          config.get_int("checkpoint_every_epochs", 1));
-      durable = std::make_unique<durability::Manager>(system, dur_config);
-      const durability::RecoveryReport report = durable->open();
-      std::printf(
-          "recovery: %s checkpoint seq=%llu epoch=%u, replayed %llu wal "
-          "records (%llu segments)%s, digest=%016llx, %.3fs\n",
-          report.checkpoint_loaded ? "loaded" : "no",
-          static_cast<unsigned long long>(report.checkpoint_seq),
-          report.checkpoint_epoch,
-          static_cast<unsigned long long>(report.replayed_records),
-          static_cast<unsigned long long>(report.segments_scanned),
-          report.torn_tail ? ", torn tail truncated" : "",
-          static_cast<unsigned long long>(report.digest),
-          report.duration_seconds);
-      std::fflush(stdout);
-    }
 
     svc::ServerConfig server_config;
     server_config.host = listen.substr(0, colon);
@@ -199,12 +175,19 @@ int main(int argc, char** argv) {
     server_config.faults.seed =
         static_cast<std::uint64_t>(config.get_int("seed", 0x5eed));
 
+    // Durable boots listen *before* recovery: the server comes up in the
+    // kRecovering state, sheds data ops with kRetryLater, and answers HEALTH
+    // inline, so restart downtime is probe-able instead of connection-refused
+    // darkness. Once the WAL replay finishes, set_serving() opens the gates.
+    server_config.start_recovering = !data_dir.empty();
+
     svc::Server server(system, server_config);
     server.start();
     std::printf("chameleon_server listening on %s:%u (%u workers, %u flash "
-                "servers)\n",
+                "servers)%s\n",
                 server.host().c_str(), server.port(), server_config.workers,
-                servers);
+                servers,
+                server_config.start_recovering ? ", recovering" : "");
     std::fflush(stdout);
 
     const std::string port_file = config.get_string("port_file", "");
@@ -214,6 +197,47 @@ int main(int argc, char** argv) {
     }
 
     svc::drain_on_signals(&server, {SIGINT, SIGTERM});
+
+    // Durability: recover from data_dir (if given), then journal every
+    // mutation from here on. Data ops stay shed until this completes.
+    std::unique_ptr<durability::Manager> durable;
+    if (!data_dir.empty()) {
+      durability::DurabilityConfig dur_config;
+      dur_config.dir = data_dir;
+      dur_config.fsync = durability::fsync_policy_from_name(
+          config.get_string("fsync", "always"));
+      dur_config.checkpoint_every_epochs = static_cast<std::uint32_t>(
+          config.get_int("checkpoint_every_epochs", 1));
+      durable = std::make_unique<durability::Manager>(system, dur_config);
+      const durability::RecoveryReport report = durable->open();
+      std::printf(
+          "recovery: %s checkpoint seq=%llu epoch=%u, replayed %llu wal "
+          "records (%llu segments)%s, digest=%016llx, %.3fs\n",
+          report.checkpoint_loaded ? "loaded" : "no",
+          static_cast<unsigned long long>(report.checkpoint_seq),
+          report.checkpoint_epoch,
+          static_cast<unsigned long long>(report.replayed_records),
+          static_cast<unsigned long long>(report.segments_scanned),
+          report.torn_tail ? ", torn tail truncated" : "",
+          static_cast<unsigned long long>(report.digest),
+          report.duration_seconds);
+      std::fflush(stdout);
+
+      svc::RecoveryInfo info;
+      info.recovered = report.recovered;
+      info.recoveries_total = report.recovered ? 1 : 0;
+      info.replayed_records = report.replayed_records;
+      info.checkpoint_seq = report.checkpoint_seq;
+      info.last_recovery_unix_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      info.last_recovery_seconds = report.duration_seconds;
+      server.set_recovery_info(info);
+      server.set_serving();
+      std::printf("serving\n");
+      std::fflush(stdout);
+    }
     server.wait();
     svc::drain_on_signals(nullptr, {SIGINT, SIGTERM});
 
