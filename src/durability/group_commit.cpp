@@ -1,0 +1,153 @@
+#include "durability/group_commit.hpp"
+
+#include <utility>
+
+#include "durability/manager.hpp"
+#include "obs/metrics.hpp"
+
+namespace chameleon::durability {
+
+GroupCommit::GroupCommit(Manager& manager) : manager_(manager) {
+  thread_ = std::thread([this] { committer_loop(); });
+}
+
+GroupCommit::~GroupCommit() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_one();
+  thread_.join();
+}
+
+void GroupCommit::when_durable(std::uint64_t seq, std::function<void()> fn) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (seq > durable_seq_ && !stop_) {
+      pending_.push_back(Waiter{seq, std::move(fn)});
+      work_cv_.notify_one();
+      return;
+    }
+    if (seq > durable_seq_) {
+      // Shutdown fallback (no committer to hand off to): make it durable
+      // synchronously, then ack inline.
+      lock.unlock();
+      const std::uint64_t covered = manager_.sync_covering();
+      lock.lock();
+      if (covered > durable_seq_) durable_seq_ = covered;
+      ++commits_;
+      lock.unlock();
+      fn();
+      return;
+    }
+    ++commits_;
+  }
+  fn();  // already durable: ack inline on the caller
+}
+
+void GroupCommit::wait_durable(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (seq <= durable_seq_) return;
+  if (stop_) {
+    lock.unlock();
+    const std::uint64_t covered = manager_.sync_covering();
+    lock.lock();
+    if (covered > durable_seq_) durable_seq_ = covered;
+    return;
+  }
+  ++sync_waiters_;
+  work_cv_.notify_one();
+  durable_cv_.wait(lock, [&] { return durable_seq_ >= seq || stop_; });
+  --sync_waiters_;
+  if (durable_seq_ < seq) {
+    // Stopped before our group ran: sync ourselves so the contract holds.
+    lock.unlock();
+    const std::uint64_t covered = manager_.sync_covering();
+    lock.lock();
+    if (covered > durable_seq_) durable_seq_ = covered;
+  }
+}
+
+std::uint64_t GroupCommit::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_seq_;
+}
+
+std::uint64_t GroupCommit::appended_seq() const {
+  return manager_.last_appended_seq();
+}
+
+std::uint64_t GroupCommit::groups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return groups_;
+}
+
+std::uint64_t GroupCommit::commits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commits_;
+}
+
+void GroupCommit::committer_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // A sync waiter only represents demand while something it could be
+      // waiting on is still uncovered; without the appended>durable guard
+      // the committer would spin no-op groups between durable_cv_ firing
+      // and the woken waiter decrementing sync_waiters_.
+      work_cv_.wait(lock, [&] {
+        return stop_ || !pending_.empty() ||
+               (sync_waiters_ > 0 &&
+                manager_.last_appended_seq() > durable_seq_);
+      });
+      if (stop_ && pending_.empty() && sync_waiters_ == 0) return;
+    }
+
+    // One fsync for the whole group: covers every record appended before
+    // this instant, including appends that raced in after the wakeup.
+    const std::uint64_t covered = manager_.sync_covering();
+
+    std::vector<Waiter> fired;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++groups_;
+      // Stable partition by hand: acks must fire in registration order so
+      // a pipelined session's responses keep their request order.
+      std::vector<Waiter> still;
+      still.reserve(pending_.size());
+      for (auto& w : pending_) {
+        if (w.seq <= covered) {
+          fired.push_back(std::move(w));
+        } else {
+          still.push_back(std::move(w));
+        }
+      }
+      pending_.swap(still);
+      commits_ += fired.size();
+    }
+    // Callbacks fire BEFORE durable_seq_ advances and wait_durable() wakes:
+    // a thread that saw wait_durable(appended_seq()) return therefore knows
+    // every ack continuation up to that seq has already run — the teardown
+    // barrier Server::wait() relies on before releasing reactor state.
+    for (auto& w : fired) {
+      if (w.fn) w.fn();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (covered > durable_seq_) durable_seq_ = covered;
+    }
+    durable_cv_.notify_all();
+    if (obs::enabled()) {
+      obs::metrics()
+          .counter("chameleon_wal_group_commits_total", {},
+                   "Group-commit fsync batches issued")
+          .inc();
+      obs::metrics()
+          .counter("chameleon_wal_group_commit_acks_total", {},
+                   "Acks released by group-commit fsync batches")
+          .inc(fired.size());
+    }
+  }
+}
+
+}  // namespace chameleon::durability

@@ -1,0 +1,83 @@
+// Group commit for fsync=always: instead of every journaled mutation paying
+// its own fsync inside the store critical section, appends go to the page
+// cache (WalWriter auto-fsync off) and a dedicated committer thread issues
+// ONE fsync covering every record appended since the previous group. An ack
+// for a mutation is released only once the commit sequence reaches that
+// mutation's WAL record seq — crash before the group fsync means the op was
+// simply never acked, so the no-acked-write-loss contract is unchanged.
+//
+// Leader/follower shape: the committer is the standing leader. Writers
+// (the serving path) append, read Manager::last_appended_seq(), and either
+// hand the ack continuation to when_durable() (svc completion path) or
+// block in wait_durable() (tests, synchronous callers). All waiters that
+// arrive while a group fsync is in flight share the next one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chameleon::durability {
+
+class Manager;
+
+class GroupCommit {
+ public:
+  /// Starts the committer thread. `manager` must outlive this object and
+  /// have deferred auto-fsync enabled (Manager does both when configured
+  /// with group_commit under fsync=always).
+  explicit GroupCommit(Manager& manager);
+  /// Drains every pending waiter (final group fsync) and joins the thread.
+  ~GroupCommit();
+
+  GroupCommit(const GroupCommit&) = delete;
+  GroupCommit& operator=(const GroupCommit&) = delete;
+
+  /// Invoke `fn` once every WAL record up to `seq` is on stable storage.
+  /// Runs inline on the caller when already durable (or seq == 0);
+  /// otherwise `fn` fires on the committer thread after the shared fsync.
+  /// `fn` must not block and must not call back into GroupCommit.
+  void when_durable(std::uint64_t seq, std::function<void()> fn);
+
+  /// Block the caller until `seq` is durable (joins the current group).
+  void wait_durable(std::uint64_t seq);
+
+  /// Highest record seq known durable.
+  std::uint64_t durable_seq() const;
+
+  /// Highest record seq appended to the WAL (Manager::last_appended_seq).
+  /// A writer that just appended under the store's serialization domain can
+  /// gate its ack on this — it is >= the seqs of its own records, so the
+  /// ack can only be delayed, never released early.
+  std::uint64_t appended_seq() const;
+
+  /// Group fsync batches issued / callbacks released. groups() « commits()
+  /// is the amortization the durability tests assert.
+  std::uint64_t groups() const;
+  std::uint64_t commits() const;
+
+ private:
+  struct Waiter {
+    std::uint64_t seq = 0;
+    std::function<void()> fn;  ///< empty for wait_durable() joiners
+  };
+
+  void committer_loop();
+
+  Manager& manager_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     ///< wakes the committer
+  std::condition_variable durable_cv_;  ///< wakes wait_durable() callers
+  std::vector<Waiter> pending_;
+  std::uint64_t durable_seq_ = 0;
+  std::uint64_t groups_ = 0;
+  std::uint64_t commits_ = 0;
+  std::size_t sync_waiters_ = 0;  ///< blocked wait_durable() callers
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace chameleon::durability

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "core/chameleon.hpp"
+#include "durability/group_commit.hpp"
 #include "fault/digest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -24,11 +25,20 @@ Manager::Manager(core::Chameleon& system, DurabilityConfig config)
   wal_ = std::make_unique<WalWriter>(config_.dir, config_.fsync,
                                      config_.segment_bytes,
                                      config_.fsync_interval_bytes);
+  if (config_.group_commit && config_.fsync == FsyncPolicy::kAlways) {
+    // The committer thread owns durability; appends stay in page cache
+    // until the group fsync (acks gate on GroupCommit::when_durable).
+    wal_->set_auto_fsync(false);
+  }
 }
 
 Manager::~Manager() {
+  group_commit_.reset();  // drains pending waiters with a final group fsync
   if (opened_) system_.attach_journal(nullptr);
-  if (wal_) wal_->sync();
+  if (wal_) {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_->sync();
+  }
 }
 
 RecoveryReport Manager::open() {
@@ -110,6 +120,7 @@ RecoveryReport Manager::open() {
   const std::uint64_t next_record = expected_seq == 0 ? 1 : expected_seq;
   wal_->set_next_record_seq(next_record);
   wal_->open_segment(next_segment, next_record);
+  last_appended_seq_.store(next_record - 1, std::memory_order_release);
   checkpoint_seq_ = report.checkpoint_loaded ? loaded.seq : 0;
   if (report.checkpoint_loaded) {
     retained_.emplace_back(loaded.seq, loaded.wal_segment_seq);
@@ -124,6 +135,9 @@ RecoveryReport Manager::open() {
 
   system_.attach_journal(this);
   opened_ = true;
+  if (config_.group_commit && config_.fsync == FsyncPolicy::kAlways) {
+    group_commit_ = std::make_unique<GroupCommit>(*this);
+  }
 
   if (obs::enabled()) {
     obs::metrics()
@@ -191,13 +205,23 @@ CheckpointMeta Manager::checkpoint() {
   // Barrier order matters: (1) everything logged so far reaches the disk,
   // (2) the WAL rotates so the snapshot's cursor points at a fresh segment,
   // (3) the snapshot commits atomically, (4) old files become garbage.
-  wal_->sync();
-  if (opened_ || records_since_checkpoint_ > 0) {
-    wal_->open_segment(wal_->segment_seq() + 1, wal_->next_record_seq());
+  // Only the WAL half needs wal_mutex_ (the committer thread may fsync
+  // concurrently); the snapshot itself runs on the store thread, which is
+  // the only appender.
+  std::uint64_t wal_segment = 0;
+  std::uint64_t next_record = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_->sync();
+    if (opened_ || records_since_checkpoint_ > 0) {
+      wal_->open_segment(wal_->segment_seq() + 1, wal_->next_record_seq());
+    }
+    wal_segment = wal_->segment_seq();
+    next_record = wal_->next_record_seq();
   }
   const std::uint64_t seq = ++checkpoint_seq_;
-  const CheckpointMeta meta = save_checkpoint(
-      config_.dir, seq, system_, wal_->segment_seq(), wal_->next_record_seq());
+  const CheckpointMeta meta =
+      save_checkpoint(config_.dir, seq, system_, wal_segment, next_record);
   retained_.emplace_back(seq, meta.wal_segment_seq);
   ++checkpoints_written_;
   const std::uint64_t records = records_since_checkpoint_;
@@ -240,9 +264,16 @@ void Manager::prune() {
 }
 
 void Manager::append(WalRecord record) {
-  wal_->append(std::move(record));
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    seq = wal_->append(std::move(record));
+    // Counter reads stay under the lock: fsyncs() moves on the committer
+    // thread in group-commit mode.
+    export_metrics();
+  }
+  last_appended_seq_.store(seq, std::memory_order_release);
   ++records_since_checkpoint_;
-  export_metrics();
 }
 
 void Manager::export_metrics() {

@@ -12,9 +12,11 @@
 // logged per the fsync policy until the manager is destroyed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <mutex>
 
 #include "common/journal.hpp"
 #include "durability/checkpoint.hpp"
@@ -26,6 +28,8 @@ class Chameleon;
 
 namespace chameleon::durability {
 
+class GroupCommit;
+
 struct DurabilityConfig {
   std::filesystem::path dir;  ///< data directory (created if absent)
   FsyncPolicy fsync = FsyncPolicy::kAlways;
@@ -36,6 +40,11 @@ struct DurabilityConfig {
   /// (between barriers kEpoch records replay the balancer best-effort).
   std::uint32_t checkpoint_every_epochs = 1;
   std::uint32_t retain_checkpoints = 2;  ///< older snapshots are pruned
+  /// Amortize fsync=always across concurrent writers: appends skip the
+  /// per-record fsync and a GroupCommit committer thread (started by
+  /// open()) batches one fsync per group; acks gate on when_durable().
+  /// Ignored unless fsync == kAlways.
+  bool group_commit = false;
 };
 
 /// What recovery found and did; printed by chameleon_server at boot and
@@ -73,7 +82,32 @@ class Manager : public MutationJournal {
   CheckpointMeta checkpoint();
 
   /// Force buffered WAL records to stable storage regardless of policy.
-  void sync() { wal_->sync(); }
+  void sync() {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    wal_->sync();
+  }
+
+  /// Group-commit primitive: one fsync covering every record appended
+  /// before the call. Returns the highest record seq now durable. Safe to
+  /// call from the committer thread while the store thread appends.
+  std::uint64_t sync_covering() {
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    const std::uint64_t seq = wal_->last_record_seq();
+    wal_->sync();
+    return seq;
+  }
+
+  /// Seq of the most recently appended record (0 = none). Lock-free; the
+  /// serving path reads it right after a mutation to learn which commit
+  /// seq its ack must wait for.
+  std::uint64_t last_appended_seq() const {
+    return last_appended_seq_.load(std::memory_order_acquire);
+  }
+
+  /// True when deferred-fsync group commit is running (config.group_commit
+  /// under fsync=always, after open()).
+  bool group_commit_active() const { return group_commit_ != nullptr; }
+  GroupCommit* group_commit() { return group_commit_.get(); }
 
   const DurabilityConfig& config() const { return config_; }
   const RecoveryReport& last_recovery() const { return recovery_; }
@@ -99,6 +133,11 @@ class Manager : public MutationJournal {
   core::Chameleon& system_;
   DurabilityConfig config_;
   std::unique_ptr<WalWriter> wal_;
+  /// Guards wal_ (and the checkpoint barrier's WAL half): the store thread
+  /// appends while the group-commit committer fsyncs.
+  std::mutex wal_mutex_;
+  std::atomic<std::uint64_t> last_appended_seq_{0};
+  std::unique_ptr<GroupCommit> group_commit_;
   std::uint64_t checkpoint_seq_ = 0;       ///< last checkpoint written/loaded
   std::uint64_t records_since_checkpoint_ = 0;
   std::uint64_t checkpoints_written_ = 0;

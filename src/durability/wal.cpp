@@ -303,15 +303,17 @@ std::uint64_t WalWriter::append(WalRecord record) {
   bytes_appended_ += frame.size();
   unsynced_bytes_ += frame.size();
   ++records_appended_;
-  switch (policy_) {
-    case FsyncPolicy::kAlways:
-      fsync_fd();
-      break;
-    case FsyncPolicy::kInterval:
-      if (unsynced_bytes_ >= fsync_interval_bytes_) fsync_fd();
-      break;
-    case FsyncPolicy::kNone:
-      break;
+  if (auto_fsync_) {
+    switch (policy_) {
+      case FsyncPolicy::kAlways:
+        fsync_fd();
+        break;
+      case FsyncPolicy::kInterval:
+        if (unsynced_bytes_ >= fsync_interval_bytes_) fsync_fd();
+        break;
+      case FsyncPolicy::kNone:
+        break;
+    }
   }
   return record.seq;
 }
@@ -322,6 +324,11 @@ void WalWriter::sync() {
 
 void WalWriter::close() {
   if (fd_ < 0) return;
+  // A durable policy must not drop bytes at a segment boundary: rotation
+  // (and group-commit mode, which defers per-record fsyncs) can leave
+  // unsynced records in the outgoing segment, and sync() after rotation
+  // only reaches the NEW fd.
+  if (unsynced_bytes_ > 0 && policy_ != FsyncPolicy::kNone) fsync_fd();
   ::close(fd_);
   fd_ = -1;
 }

@@ -126,11 +126,20 @@ class WalWriter {
   /// Force everything appended so far to stable storage.
   void sync();
 
-  /// Close the current segment (flushes; no fsync beyond policy).
+  /// Close the current segment. When the policy promises durability
+  /// (kInterval/kAlways) any unsynced bytes are fsynced first — a rotation
+  /// must never orphan records the policy said were safe.
   void close();
+
+  /// When false, append() skips the per-record/interval fsync and a caller
+  /// (the group-commit committer) owns durability via sync(). Rotation and
+  /// segment-header syncs still happen. Only meaningful for kAlways.
+  void set_auto_fsync(bool on) { auto_fsync_ = on; }
 
   std::uint64_t segment_seq() const { return segment_seq_; }
   std::uint64_t next_record_seq() const { return next_record_seq_; }
+  /// Seq of the most recently appended record (0 = none yet).
+  std::uint64_t last_record_seq() const { return next_record_seq_ - 1; }
   void set_next_record_seq(std::uint64_t seq) { next_record_seq_ = seq; }
 
   // Counters for obs export.
@@ -148,6 +157,7 @@ class WalWriter {
   std::uint64_t segment_bytes_;
   std::uint64_t fsync_interval_bytes_;
   int fd_ = -1;
+  bool auto_fsync_ = true;
   std::uint64_t segment_seq_ = 0;
   std::uint64_t next_record_seq_ = 1;
   std::uint64_t segment_written_ = 0;    ///< bytes in the current segment

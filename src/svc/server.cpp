@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <csignal>
@@ -17,6 +18,7 @@
 
 #include "common/faults.hpp"
 #include "common/json.hpp"
+#include "durability/group_commit.hpp"
 #include "fault/digest.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -31,7 +33,7 @@ namespace {
 /// requests without reading responses (each response can be far larger than
 /// the request, e.g. METRICS or GET of a large value) is disconnected
 /// instead of ballooning server memory. Enforced both on the inline
-/// control-response path and on the worker-completion path.
+/// control-response path and on the completion path.
 constexpr std::size_t kMaxSessionOutBytes = 32u << 20;
 
 [[noreturn]] void throw_errno(const char* what) {
@@ -61,11 +63,24 @@ const char* serving_state_name(ServingState s) {
   return "unknown";
 }
 
+const char* store_mode_name(StoreMode mode) {
+  switch (mode) {
+    case StoreMode::kMutex: return "mutex";
+    case StoreMode::kSharded: return "sharded";
+  }
+  return "unknown";
+}
+
+StoreMode store_mode_from_name(const std::string& name) {
+  if (name == "mutex") return StoreMode::kMutex;
+  if (name == "sharded") return StoreMode::kSharded;
+  throw std::invalid_argument("svc: unknown store mode '" + name +
+                              "' (expected mutex|sharded)");
+}
+
 Server::Server(core::Chameleon& system, const ServerConfig& config)
-    : system_(system),
-      config_(config),
-      admission_(config.admission),
-      fault_rng_(config.faults.seed) {
+    : system_(system), config_(config), admission_(config.admission) {
+  for (auto& fd : wake_fds_) fd.store(-1, std::memory_order_relaxed);
   if (obs::enabled()) {
     auto& reg = obs::metrics();
     for (std::size_t i = 0; i < static_cast<std::size_t>(Op::kCount); ++i) {
@@ -100,7 +115,7 @@ Server::Server(core::Chameleon& system, const ServerConfig& config)
     metric_.deadline_exceeded =
         &reg.counter("chameleon_svc_deadline_exceeded_total", {},
                      "Requests answered kDeadlineExceeded (shed on arrival "
-                     "or past-deadline at worker dequeue)");
+                     "or past-deadline at store dequeue)");
     metric_.bytes_read = &reg.counter("chameleon_svc_bytes_read_total", {},
                                       "Bytes read from service sockets");
     metric_.bytes_written =
@@ -115,6 +130,9 @@ Server::Server(core::Chameleon& system, const ServerConfig& config)
     metric_.protocol_errors =
         &reg.counter("chameleon_svc_protocol_errors_total", {},
                      "Connections torn down on malformed frames");
+    metric_.durable_gated =
+        &reg.counter("chameleon_svc_durable_gated_total", {},
+                     "Mutation acks held for a WAL group-commit fsync");
     metric_.inflight = &reg.gauge("chameleon_svc_inflight", {},
                                   "Admitted requests currently in flight");
     metric_.resolved = true;
@@ -126,98 +144,190 @@ Server::~Server() {
   wait();
 }
 
+void Server::open_reactor_sockets() {
+  const bool reuse_port = reactors_.size() > 1;
+  const std::string host =
+      config_.host == "localhost" ? "127.0.0.1" : config_.host;
+  std::uint16_t bound_port = config_.port;
+  for (auto& rp : reactors_) {
+    Reactor& r = *rp;
+    r.listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (r.listen_fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(r.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuse_port) {
+      // One accept socket per reactor on the same port: the kernel hashes
+      // incoming connections across them, so accepts never funnel through
+      // a single thread.
+      if (::setsockopt(r.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                       sizeof(one)) < 0) {
+        throw_errno("setsockopt(SO_REUSEPORT)");
+      }
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(bound_port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("svc: cannot parse listen host '" +
+                               config_.host + "' (numeric IPv4 expected)");
+    }
+    if (::bind(r.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind");
+    }
+    if (::listen(r.listen_fd, 128) < 0) throw_errno("listen");
+    if (bound_port == 0) {
+      // Ephemeral request: the first bind picks the port; every later
+      // reactor binds the same number.
+      sockaddr_in bound{};
+      socklen_t bound_len = sizeof(bound);
+      if (::getsockname(r.listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                        &bound_len) < 0) {
+        throw_errno("getsockname");
+      }
+      bound_port = ntohs(bound.sin_port);
+    }
+
+    r.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (r.epoll_fd < 0) throw_errno("epoll_create1");
+    r.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r.wake_fd < 0) throw_errno("eventfd");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r.listen_fd;
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.listen_fd, &ev) < 0) {
+      throw_errno("epoll_ctl(listen)");
+    }
+    ev.data.fd = r.wake_fd;
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, r.wake_fd, &ev) < 0) {
+      throw_errno("epoll_ctl(wake)");
+    }
+  }
+  port_ = bound_port;
+}
+
 void Server::start() {
   if (running()) throw std::runtime_error("svc: server already running");
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) throw_errno("socket");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  const std::string host =
-      config_.host == "localhost" ? "127.0.0.1" : config_.host;
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw std::runtime_error("svc: cannot parse listen host '" + config_.host +
-                             "' (numeric IPv4 expected)");
+  const std::size_t nreactors = std::clamp<std::size_t>(
+      config_.reactors == 0 ? 1 : config_.reactors, 1, kMaxReactors);
+  reactors_.clear();
+  for (std::size_t i = 0; i < nreactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->next_session_id = i + 1;
+    r->fault_rng = Xoshiro256(config_.faults.seed + i);
+    reactors_.push_back(std::move(r));
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    throw_errno("bind");
-  }
-  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) < 0) {
-    throw_errno("getsockname");
-  }
-  port_ = ntohs(bound.sin_port);
-
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  if (epoll_fd_ < 0) throw_errno("epoll_create1");
-  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (wake_fd_ < 0) throw_errno("eventfd");
-
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
-    throw_errno("epoll_ctl(listen)");
-  }
-  ev.data.fd = wake_fd_;
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
-    throw_errno("epoll_ctl(wake)");
+  try {
+    open_reactor_sockets();
+  } catch (...) {
+    for (auto& rp : reactors_) {
+      if (rp->listen_fd >= 0) ::close(rp->listen_fd);
+      if (rp->epoll_fd >= 0) ::close(rp->epoll_fd);
+      if (rp->wake_fd >= 0) ::close(rp->wake_fd);
+    }
+    reactors_.clear();
+    throw;
   }
 
-  pool_ = std::make_unique<ThreadPool>(std::max(1u, config_.workers));
+  if (config_.store_mode == StoreMode::kSharded) {
+    StorePipelineOptions opts;
+    opts.workers = std::max(1u, config_.workers);
+    opts.drain_batch = std::max(1u, config_.drain_batch);
+    pipeline_ = std::make_unique<StorePipeline>(system_, opts);
+    pipeline_->start();
+    pool_.reset();
+  } else {
+    pipeline_.reset();
+    pool_ = std::make_unique<ThreadPool>(std::max(1u, config_.workers));
+  }
+
   stop_requested_.store(false, std::memory_order_release);
-  io_done_.store(false, std::memory_order_release);
-  // A prior stop() leaves the drain flags set; a restarted IO loop must not
-  // begin life already draining (it would exit immediately, serving nothing).
-  draining_ = false;
   drained_clean_.store(false, std::memory_order_relaxed);
   state_.store(static_cast<std::uint8_t>(config_.start_recovering
                                              ? ServingState::kRecovering
                                              : ServingState::kServing),
                std::memory_order_release);
   start_time_ = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < nreactors; ++i) {
+    wake_fds_[i].store(reactors_[i]->wake_fd, std::memory_order_release);
+  }
+  reactor_count_.store(nreactors, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  io_thread_ = std::thread([this] { io_loop(); });
+  for (auto& rp : reactors_) {
+    Reactor* r = rp.get();
+    r->thread = std::thread([this, r] { io_loop(*r); });
+  }
 }
 
 void Server::request_stop() noexcept {
-  // Async-signal-safe: one atomic store plus one write(2).
+  // Async-signal-safe: one atomic store plus bounded write(2) calls against
+  // a fixed array of fds (never a container wait() could be mutating).
   stop_requested_.store(true, std::memory_order_release);
-  if (wake_fd_ >= 0) {
-    const std::uint64_t one = 1;
-    [[maybe_unused]] const ssize_t n =
-        ::write(wake_fd_, &one, sizeof(one));
+  const std::size_t n = reactor_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n && i < kMaxReactors; ++i) {
+    const int fd = wake_fds_[i].load(std::memory_order_acquire);
+    if (fd >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t w = ::write(fd, &one, sizeof(one));
+    }
   }
 }
 
 void Server::wait() {
   std::lock_guard lock(lifecycle_mutex_);
-  if (io_thread_.joinable()) io_thread_.join();
-  // The pool destructor drains queued jobs; their completions are dropped
-  // below. Destroy it before closing the wake fd the jobs may still poke.
+  // Everything below only matters for the teardown that actually had
+  // serving state; a second wait() (e.g. the destructor after an explicit
+  // stop()) must not re-touch the group-commit pointer, whose target may be
+  // gone by then.
+  const bool had_reactors = !reactors_.empty();
+  for (auto& rp : reactors_) {
+    if (rp->thread.joinable()) rp->thread.join();
+  }
+  // Stop the store backends next: queued jobs still execute (the pool
+  // destructor and pipeline stop drain their queues) and may post
+  // completions or register group-commit waiters, so the reactor structures
+  // they post into must still exist.
   pool_.reset();
-  {
-    std::lock_guard clock(completion_mutex_);
-    completions_.clear();
+  if (pipeline_) pipeline_->stop();
+  // Group-commit barrier: once wait_durable(appended_seq()) returns, every
+  // ack continuation registered by the serving path has already fired
+  // (committer fires callbacks before advancing durable_seq_), so nothing
+  // references the reactors beyond this point.
+  if (had_reactors) {
+    if (auto* gc = group_commit_.load(std::memory_order_acquire)) {
+      gc->wait_durable(gc->appended_seq());
+    }
   }
-  if (epoll_fd_ >= 0) {
-    ::close(epoll_fd_);
-    epoll_fd_ = -1;
+  bool all_clean = !reactors_.empty();
+  reactor_count_.store(0, std::memory_order_release);
+  for (auto& rp : reactors_) {
+    Reactor& r = *rp;
+    all_clean = all_clean && r.drained_clean;
+    {
+      // Dropped completions may hold the last ref to a session whose
+      // destructor recycles chunks into r.buffers — clear before the
+      // reactor itself goes away.
+      std::lock_guard clock(r.completion_mutex);
+      r.completions.clear();
+    }
+    wake_fds_[r.index].store(-1, std::memory_order_release);
+    if (r.epoll_fd >= 0) {
+      ::close(r.epoll_fd);
+      r.epoll_fd = -1;
+    }
+    if (r.wake_fd >= 0) {
+      ::close(r.wake_fd);
+      r.wake_fd = -1;
+    }
   }
-  if (wake_fd_ >= 0) {
-    ::close(wake_fd_);
-    wake_fd_ = -1;
+  if (!reactors_.empty()) {
+    drained_clean_.store(all_clean, std::memory_order_relaxed);
   }
+  reactors_.clear();
 }
 
 void Server::stop() {
@@ -262,6 +372,13 @@ ServerStats Server::stats() const {
   s.slow_requests_total = slow_requests_total_.load(std::memory_order_relaxed);
   s.deadline_exceeded_total =
       deadline_exceeded_total_.load(std::memory_order_relaxed);
+  s.durable_gated_total =
+      durable_gated_total_.load(std::memory_order_relaxed);
+  if (pipeline_) {
+    s.pipeline_jobs_total = pipeline_->jobs_executed();
+    s.pipeline_drains_total = pipeline_->drains();
+    s.pipeline_bypass_windows_total = pipeline_->bypass_windows();
+  }
   s.state = state();
   s.trace_dropped = obs::trace().dropped();
   s.uptime_seconds =
@@ -274,10 +391,10 @@ ServerStats Server::stats() const {
   return s;
 }
 
-void Server::io_loop() {
+void Server::io_loop(Reactor& r) {
   std::array<epoll_event, 64> events;
   for (;;) {
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
+    const int n = ::epoll_wait(r.epoll_fd, events.data(),
                                static_cast<int>(events.size()), 50);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -286,74 +403,77 @@ void Server::io_loop() {
     for (int i = 0; i < n; ++i) {
       const int fd = events[static_cast<std::size_t>(i)].data.fd;
       const std::uint32_t mask = events[static_cast<std::size_t>(i)].events;
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         std::uint64_t drained = 0;
-        [[maybe_unused]] const ssize_t r =
-            ::read(wake_fd_, &drained, sizeof(drained));
+        [[maybe_unused]] const ssize_t rd =
+            ::read(r.wake_fd, &drained, sizeof(drained));
         continue;
       }
-      if (fd == listen_fd_) {
-        accept_ready();
+      if (fd == r.listen_fd) {
+        accept_ready(r);
         continue;
       }
-      const auto it = sessions_.find(fd);
-      if (it == sessions_.end()) continue;
+      const auto it = r.sessions.find(fd);
+      if (it == r.sessions.end()) continue;
       const std::shared_ptr<Session> session = it->second;  // keep alive
       if ((mask & (EPOLLHUP | EPOLLERR)) != 0) session->peer_gone = true;
-      if ((mask & EPOLLIN) != 0) on_readable(session);
-      if (!session->closed() && (mask & EPOLLOUT) != 0) pump_out(session);
+      if ((mask & EPOLLIN) != 0) on_readable(r, session);
+      if (!session->closed() && (mask & EPOLLOUT) != 0) pump_out(r, session);
       if (!session->closed() && session->peer_gone &&
           session->inflight == 0 && !session->pending()) {
-        close_session(session);
+        close_session(r, session);
       }
     }
-    drain_completions();
+    drain_completions(r);
 
     const auto now = std::chrono::steady_clock::now();
-    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
-      draining_ = true;
+    if (stop_requested_.load(std::memory_order_acquire) && !r.draining) {
+      r.draining = true;
       state_.store(static_cast<std::uint8_t>(ServingState::kDraining),
                    std::memory_order_release);
-      drain_deadline_ = now + std::chrono::nanoseconds(config_.drain_timeout);
-      if (listen_fd_ >= 0) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
+      r.drain_deadline =
+          now + std::chrono::nanoseconds(config_.drain_timeout);
+      if (r.listen_fd >= 0) {
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, r.listen_fd, nullptr);
+        ::close(r.listen_fd);
+        r.listen_fd = -1;
       }
     }
-    if (draining_) {
+    if (r.draining) {
+      // admission_.inflight() is global, so with several reactors each one
+      // holds its sockets open until the whole server has quiesced — a
+      // response executing anywhere can still need flushing here.
       bool busy = admission_.inflight() > 0;
       if (!busy) {
-        for (const auto& [sfd, session] : sessions_) {
+        for (const auto& [sfd, session] : r.sessions) {
           if (session->inflight > 0 || session->pending()) {
             busy = true;
             break;
           }
         }
       }
-      if (!busy || now >= drain_deadline_) {
-        drained_clean_.store(!busy, std::memory_order_relaxed);
+      if (!busy || now >= r.drain_deadline) {
+        r.drained_clean = !busy;
         break;
       }
     } else if (config_.idle_timeout > 0) {
-      reap_idle(now);
+      reap_idle(r, now);
     }
-    flush_deferred_closes();
+    flush_deferred_closes(r);
   }
-  while (!sessions_.empty()) close_session(sessions_.begin()->second);
-  flush_deferred_closes();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  while (!r.sessions.empty()) close_session(r, r.sessions.begin()->second);
+  flush_deferred_closes(r);
+  if (r.listen_fd >= 0) {
+    ::close(r.listen_fd);
+    r.listen_fd = -1;
   }
-  running_.store(false, std::memory_order_release);
-  io_done_.store(true, std::memory_order_release);
+  if (r.index == 0) running_.store(false, std::memory_order_release);
 }
 
-void Server::accept_ready() {
+void Server::accept_ready(Reactor& r) {
   for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    const int fd = ::accept4(r.listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
@@ -361,15 +481,16 @@ void Server::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto session =
-        std::make_shared<Session>(fd, next_session_id_++, config_.max_payload);
+    auto session = std::make_shared<Session>(fd, r.next_session_id,
+                                             config_.max_payload, &r.buffers);
+    r.next_session_id += reactors_.size();  // ids unique across reactors
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
       continue;  // session destructor closes the fd
     }
-    sessions_.emplace(fd, session);
+    r.sessions.emplace(fd, session);
     accepted_total_.fetch_add(1, std::memory_order_relaxed);
     sessions_open_.fetch_add(1, std::memory_order_relaxed);
     if (metric_.resolved && obs::enabled()) metric_.sessions_opened->inc();
@@ -384,9 +505,9 @@ void Server::accept_ready() {
   }
 }
 
-void Server::on_readable(const std::shared_ptr<Session>& session) {
+void Server::on_readable(Reactor& r, const std::shared_ptr<Session>& session) {
   std::uint64_t nread = 0;
-  const Session::IoResult r = session->read_some(&nread);
+  const Session::IoResult res = session->read_some(&nread);
   if (nread > 0) {
     bytes_read_total_.fetch_add(nread, std::memory_order_relaxed);
     if (metric_.resolved && obs::enabled()) metric_.bytes_read->inc(nread);
@@ -400,47 +521,50 @@ void Server::on_readable(const std::shared_ptr<Session>& session) {
     const DecodeResult d = session->decoder().next(frame);
     span.stamp(obs::SvcStage::kDecode);
     if (d == DecodeResult::kFrame) {
-      if (!handle_frame(session, std::move(frame), std::move(span))) return;
+      if (!handle_frame(r, session, std::move(frame), std::move(span))) {
+        return;
+      }
       continue;
     }
     if (d == DecodeResult::kNeedMore) break;
     // Malformed frame: framing is lost, tear the connection down.
     protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
     if (metric_.resolved && obs::enabled()) metric_.protocol_errors->inc();
-    close_session(session);
+    close_session(r, session);
     return;
   }
-  if (r == Session::IoResult::kEof || r == Session::IoResult::kError) {
+  if (res == Session::IoResult::kEof || res == Session::IoResult::kError) {
     session->peer_gone = true;
   }
-  pump_out(session);
+  pump_out(r, session);
   if (!session->closed() && session->peer_gone && session->inflight == 0 &&
       !session->pending()) {
-    close_session(session);
+    close_session(r, session);
   }
 }
 
-bool Server::handle_frame(const std::shared_ptr<Session>& session,
+bool Server::handle_frame(Reactor& r, const std::shared_ptr<Session>& session,
                           Frame frame, obs::Span span) {
   note_request(frame.op);
   if (frame.status != Status::kOk) {
     // Requests must carry kOk; anything else is a confused peer.
     protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
     if (metric_.resolved && obs::enabled()) metric_.protocol_errors->inc();
-    close_session(session);
+    close_session(r, session);
     return false;
   }
 
   // Serving-path fault hooks: fixed roll order (drop, then stall) keeps the
-  // stream reproducible for a given seed, like the network fault plan.
+  // stream reproducible for a given seed, like the network fault plan. Each
+  // reactor rolls its own stream (seed + reactor index).
   Nanos stall = 0;
   if (config_.faults.conn_drop_rate > 0.0 || config_.faults.stall_rate > 0.0) {
-    const bool drop = fault_rng_.next_bool(config_.faults.conn_drop_rate);
-    const bool do_stall = fault_rng_.next_bool(config_.faults.stall_rate);
+    const bool drop = r.fault_rng.next_bool(config_.faults.conn_drop_rate);
+    const bool do_stall = r.fault_rng.next_bool(config_.faults.stall_rate);
     if (drop) {
       faults_injected_total_.fetch_add(1, std::memory_order_relaxed);
       note_fault("svc_conn_drop");
-      close_session(session);
+      close_session(r, session);
       return false;
     }
     if (do_stall) {
@@ -450,19 +574,17 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
     }
   }
 
-  const bool data_op = frame.op == Op::kGet || frame.op == Op::kPut ||
-                       frame.op == Op::kDelete || frame.op == Op::kDigest;
-  if (!data_op) {
+  if (!is_data_op(frame.op)) {
     session->enqueue(control_response(frame));
     responses_total_.fetch_add(1, std::memory_order_relaxed);
     if (session->pending_bytes() > kMaxSessionOutBytes) {
-      close_session(session);
+      close_session(r, session);
       return false;
     }
     return true;
   }
 
-  if (draining_) {
+  if (r.draining) {
     session->enqueue(Frame{frame.op, Status::kShuttingDown, frame.request_id,
                            {}});
     responses_total_.fetch_add(1, std::memory_order_relaxed);
@@ -527,6 +649,7 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   }
   Completion seed;
   seed.session = session;
+  seed.reactor = &r;
   seed.op = frame.op;
   seed.admitted_at = now;
   seed.deadline = deadline;
@@ -535,48 +658,74 @@ bool Server::handle_frame(const std::shared_ptr<Session>& session,
   // Fault rolls + the admission decision happened since the decode stamp.
   span.stamp(obs::SvcStage::kAdmission);
   seed.span = span;
-  pool_->submit([this, request = std::move(frame), stall,
-                 seed = std::move(seed)]() mutable {
-    if (stall > 0) {
-      std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
-    }
-    // Everything since the admission stamp was time on the worker queue.
-    // An injected stall is deliberately left in the queue stage: it is
-    // scheduling delay, not store work.
-    seed.span.stamp(obs::SvcStage::kQueue);
-    if (std::chrono::steady_clock::now() >= seed.deadline) {
-      // The deadline lapsed while the request sat on the worker queue: the
-      // client has stopped waiting, so executing now would burn store time
-      // for a response nobody reads. Shed without touching the store.
-      seed.response = Frame{request.op, Status::kDeadlineExceeded,
-                            request.request_id, {}};
-      deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
-      if (metric_.resolved && obs::enabled()) {
-        metric_.deadline_exceeded->inc();
-      }
-      seed.span.stamp(obs::SvcStage::kStoreExec);
-    } else {
-      // Drop any WAL time a previous request on this worker thread left
-      // behind (e.g. its span was inactive), then carve this request's WAL
-      // append+fsync out of the store-exec stage.
-      obs::span_tls_take(obs::SvcStage::kWalFsync);
-      seed.response = execute(request);
-      const std::uint64_t wal_ns =
-          obs::span_tls_take(obs::SvcStage::kWalFsync);
-      seed.span.stamp(obs::SvcStage::kStoreExec);
-      seed.span.carve(obs::SvcStage::kStoreExec, obs::SvcStage::kWalFsync,
-                      wal_ns);
-    }
-    {
-      std::lock_guard lock(completion_mutex_);
-      completions_.push_back(std::move(seed));
-    }
-    if (wake_fd_ >= 0) {
-      const std::uint64_t one = 1;
-      [[maybe_unused]] const ssize_t w = ::write(wake_fd_, &one, sizeof(one));
-    }
-  });
+  auto job = [this, request = std::move(frame), stall,
+              seed = std::move(seed)]() mutable {
+    run_request(std::move(request), stall, std::move(seed));
+  };
+  if (pipeline_) {
+    pipeline_->submit(std::move(job));
+  } else {
+    pool_->submit(std::move(job));
+  }
   return true;
+}
+
+void Server::run_request(Frame request, Nanos stall, Completion seed) {
+  if (stall > 0) {
+    // An injected stall sleeps right here on the store backend — on the
+    // coordinator in sharded mode that delays everything behind it, which
+    // is exactly the head-of-line pathology the chaos runs want to model.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+  }
+  // Everything since the admission stamp was time on the store queue. An
+  // injected stall is deliberately left in the queue stage: it is
+  // scheduling delay, not store work.
+  seed.span.stamp(obs::SvcStage::kQueue);
+  if (std::chrono::steady_clock::now() >= seed.deadline) {
+    // The deadline lapsed while the request sat on the queue: the client
+    // has stopped waiting, so executing now would burn store time for a
+    // response nobody reads. Shed without touching the store.
+    seed.response = Frame{request.op, Status::kDeadlineExceeded,
+                          request.request_id, {}};
+    deadline_exceeded_total_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) {
+      metric_.deadline_exceeded->inc();
+    }
+    seed.span.stamp(obs::SvcStage::kStoreExec);
+    post_completion(std::move(seed));
+    return;
+  }
+  // Drop any WAL time a previous request on this thread left behind (e.g.
+  // its span was inactive), then carve this request's WAL append+fsync out
+  // of the store-exec stage. Under group commit the fsync happens on the
+  // committer thread, so the carve-out shrinks toward the append cost and
+  // the wait shows up (truthfully) as completion-stage time.
+  obs::span_tls_take(obs::SvcStage::kWalFsync);
+  seed.response = execute(request);
+  const std::uint64_t wal_ns = obs::span_tls_take(obs::SvcStage::kWalFsync);
+  seed.span.stamp(obs::SvcStage::kStoreExec);
+  seed.span.carve(obs::SvcStage::kStoreExec, obs::SvcStage::kWalFsync,
+                  wal_ns);
+
+  // Group-commit gate: a journaled mutation is acked only once its WAL
+  // records are fsynced. appended_seq() read here runs under the store's
+  // serialization domain, so it is >= every seq this op appended; gating on
+  // it can only delay the ack, never release it early.
+  auto* gc = group_commit_.load(std::memory_order_acquire);
+  const bool journaled =
+      (request.op == Op::kPut || request.op == Op::kDelete) &&
+      seed.response.status == Status::kOk;
+  if (gc != nullptr && journaled) {
+    durable_gated_total_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_.resolved && obs::enabled()) metric_.durable_gated->inc();
+    const std::uint64_t seq = gc->appended_seq();
+    auto held = std::make_shared<Completion>(std::move(seed));
+    gc->when_durable(seq, [this, held]() mutable {
+      post_completion(std::move(*held));
+    });
+    return;
+  }
+  post_completion(std::move(seed));
 }
 
 Frame Server::control_response(const Frame& request) {
@@ -612,6 +761,10 @@ Frame Server::control_response(const Frame& request) {
 
 Frame Server::execute(const Frame& request) {
   Frame resp{request.op, Status::kOk, request.request_id, {}};
+  // kMutex: every store touch happens under store_mutex_. kSharded: this
+  // already runs on the pipeline coordinator — the store's single logical
+  // owner — so no lock exists at all.
+  const bool mutex_mode = pipeline_ == nullptr;
   try {
     switch (request.op) {
       case Op::kGet: {
@@ -620,7 +773,8 @@ Frame Server::execute(const Frame& request) {
           resp.status = Status::kBadRequest;
           break;
         }
-        std::lock_guard lock(store_mutex_);
+        std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
+        if (mutex_mode) lock.lock();
         if (!system_.client().contains(key)) {
           resp.status = Status::kNotFound;
           break;
@@ -634,13 +788,14 @@ Frame Server::execute(const Frame& request) {
           resp.status = Status::kBadRequest;
           break;
         }
-        std::lock_guard lock(store_mutex_);
+        std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
+        if (mutex_mode) lock.lock();
         system_.client().put(
             body.key,
             std::span<const std::uint8_t>(body.value.data(),
                                           body.value.size()),
             system_.current_epoch());
-        maybe_tick_epoch_locked();
+        maybe_tick_epoch();
         break;
       }
       case Op::kDelete: {
@@ -649,21 +804,31 @@ Frame Server::execute(const Frame& request) {
           resp.status = Status::kBadRequest;
           break;
         }
-        std::lock_guard lock(store_mutex_);
+        std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
+        if (mutex_mode) lock.lock();
         resp.status = system_.client().remove(key) ? Status::kOk
                                                    : Status::kNotFound;
         break;
       }
       case Op::kDigest: {
-        // Whole-cluster state fingerprint, taken under the store lock so it
-        // is a consistent point-in-time value. Crash-recovery CI compares
-        // this across a kill -9 restart.
-        std::lock_guard lock(store_mutex_);
-        const std::uint64_t digest = fault::cluster_digest(system_.store());
-        char hex[17];
-        std::snprintf(hex, sizeof(hex), "%016llx",
-                      static_cast<unsigned long long>(digest));
-        resp.payload.assign(hex, hex + 16);
+        // Whole-cluster state fingerprint, taken as a consistent
+        // point-in-time value. Crash-recovery CI compares this across a
+        // kill -9 restart, and the equivalence suite compares it across
+        // store backends — in sharded mode the bypass window's drain fence
+        // is what makes the snapshot consistent.
+        const auto compute = [&] {
+          const std::uint64_t digest = fault::cluster_digest(system_.store());
+          char hex[17];
+          std::snprintf(hex, sizeof(hex), "%016llx",
+                        static_cast<unsigned long long>(digest));
+          resp.payload.assign(hex, hex + 16);
+        };
+        if (pipeline_) {
+          pipeline_->bypass_inline(compute);
+        } else {
+          std::lock_guard lock(store_mutex_);
+          compute();
+        }
         break;
       }
       default:
@@ -685,19 +850,48 @@ Frame Server::execute(const Frame& request) {
   return resp;
 }
 
-void Server::maybe_tick_epoch_locked() {
+void Server::maybe_tick_epoch() {
   if (config_.epoch_every_ops == 0) return;
   if (++ops_since_epoch_ < config_.epoch_every_ops) return;
   ops_since_epoch_ = 0;
-  system_.advance_time(system_.now() + system_.config().epoch_length);
-  epoch_cache_.store(system_.current_epoch(), std::memory_order_relaxed);
+  const auto tick = [this] {
+    system_.advance_time(system_.now() + system_.config().epoch_length);
+    epoch_cache_.store(system_.current_epoch(), std::memory_order_relaxed);
+  };
+  if (pipeline_) {
+    // Inline bypass window, not a queued job: the tick must land exactly
+    // after the Nth data op (as it does under the mutex), not drift behind
+    // ops that were already queued.
+    pipeline_->bypass_inline(tick);
+  } else {
+    tick();
+  }
 }
 
-void Server::drain_completions() {
+void Server::post_completion(Completion&& c) {
+  Reactor& r = *c.reactor;
+  bool was_empty = false;
+  {
+    std::lock_guard lock(r.completion_mutex);
+    was_empty = r.completions.empty();
+    r.completions.push_back(std::move(c));
+  }
+  // Batched wakeup: only the empty→non-empty transition needs the eventfd —
+  // the reactor drains the whole queue per wake, so later posts ride along.
+  if (was_empty) {
+    const int fd = r.wake_fd;
+    if (fd >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t w = ::write(fd, &one, sizeof(one));
+    }
+  }
+}
+
+void Server::drain_completions(Reactor& r) {
   std::deque<Completion> batch;
   {
-    std::lock_guard lock(completion_mutex_);
-    batch.swap(completions_);
+    std::lock_guard lock(r.completion_mutex);
+    batch.swap(r.completions);
   }
   const auto now = std::chrono::steady_clock::now();
   for (Completion& c : batch) {
@@ -705,8 +899,8 @@ void Server::drain_completions() {
     if (c.session->inflight > 0) c.session->inflight -= 1;
     responses_total_.fetch_add(1, std::memory_order_relaxed);
     note_response(c.op, elapsed_ns(c.admitted_at, now));
-    // Time from the worker's last stamp to here sat in the completion
-    // queue waiting for the IO thread.
+    // Time from the store's last stamp to here sat in the completion queue
+    // waiting for the IO thread (and, under group commit, for the fsync).
     c.span.stamp(obs::SvcStage::kCompletion);
     auto& sink = obs::trace();
     if (sink.accepts(obs::TraceType::kSvcRequest)) {
@@ -723,20 +917,20 @@ void Server::drain_completions() {
     }
     if (!c.session->closed()) {
       c.session->enqueue(c.response);
-      pump_out(c.session);
+      pump_out(r, c.session);
       // Same cap handle_frame enforces on control responses: a client
       // pipelining data ops without reading its socket must not buffer
       // unbounded output (credits x max_payload can far exceed the cap).
       if (!c.session->closed() &&
           c.session->pending_bytes() > kMaxSessionOutBytes) {
-        close_session(c.session);
+        close_session(r, c.session);
       }
     }
     c.span.stamp(obs::SvcStage::kFlush);
     finalize_span(c);
     if (!c.session->closed() && c.session->peer_gone &&
         c.session->inflight == 0 && !c.session->pending()) {
-      close_session(c.session);
+      close_session(r, c.session);
     }
   }
   if (!batch.empty() && metric_.resolved && obs::enabled()) {
@@ -744,45 +938,45 @@ void Server::drain_completions() {
   }
 }
 
-void Server::pump_out(const std::shared_ptr<Session>& session) {
+void Server::pump_out(Reactor& r, const std::shared_ptr<Session>& session) {
   if (session->closed()) return;
   std::uint64_t written = 0;
-  const Session::IoResult r = session->flush(&written);
+  const Session::IoResult res = session->flush(&written);
   if (written > 0) {
     bytes_written_total_.fetch_add(written, std::memory_order_relaxed);
     if (metric_.resolved && obs::enabled()) {
       metric_.bytes_written->inc(written);
     }
   }
-  if (r == Session::IoResult::kError) {
-    close_session(session);
+  if (res == Session::IoResult::kError) {
+    close_session(r, session);
     return;
   }
-  update_epoll(*session);
+  update_epoll(r, *session);
 }
 
-void Server::update_epoll(Session& session) {
+void Server::update_epoll(Reactor& r, Session& session) {
   const bool want = session.pending();
   if (want == session.want_write || session.closed()) return;
   epoll_event ev{};
   ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
   ev.data.fd = session.fd();
-  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session.fd(), &ev) == 0) {
+  if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, session.fd(), &ev) == 0) {
     session.want_write = want;
   }
 }
 
-void Server::close_session(std::shared_ptr<Session> session) {
+void Server::close_session(Reactor& r, std::shared_ptr<Session> session) {
   const int fd = session->fd();
   if (fd < 0) return;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-  sessions_.erase(fd);
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  r.sessions.erase(fd);
   // Park the fd instead of closing it: the current epoll batch may still
   // hold queued events for this fd number, and closing now would let a
   // same-batch accept4 reuse the number, misrouting those stale events
   // (e.g. EPOLLHUP) to the fresh session. flush_deferred_closes() runs once
   // the batch is fully dispatched.
-  deferred_close_fds_.push_back(session->release_fd());
+  r.deferred_close_fds.push_back(session->release_fd());
   sessions_open_.fetch_sub(1, std::memory_order_relaxed);
   sessions_closed_total_.fetch_add(1, std::memory_order_relaxed);
   if (metric_.resolved && obs::enabled()) metric_.sessions_closed->inc();
@@ -796,22 +990,22 @@ void Server::close_session(std::shared_ptr<Session> session) {
   }
 }
 
-void Server::flush_deferred_closes() {
-  for (const int fd : deferred_close_fds_) {
+void Server::flush_deferred_closes(Reactor& r) {
+  for (const int fd : r.deferred_close_fds) {
     if (fd >= 0) ::close(fd);
   }
-  deferred_close_fds_.clear();
+  r.deferred_close_fds.clear();
 }
 
-void Server::reap_idle(std::chrono::steady_clock::time_point now) {
+void Server::reap_idle(Reactor& r, std::chrono::steady_clock::time_point now) {
   std::vector<std::shared_ptr<Session>> victims;
-  for (const auto& [fd, session] : sessions_) {
+  for (const auto& [fd, session] : r.sessions) {
     if (session->inflight > 0 || session->pending()) continue;
     if (elapsed_ns(session->last_activity, now) > config_.idle_timeout) {
       victims.push_back(session);
     }
   }
-  for (const auto& session : victims) close_session(session);
+  for (const auto& session : victims) close_session(r, session);
 }
 
 std::string Server::stats_json() const {
@@ -844,13 +1038,21 @@ std::string Server::stats_json() const {
   field("shed_global_total", admission_.shed_global_total());
   field("shed_deadline_total", admission_.shed_deadline_total());
   field("deadline_exceeded_total", s.deadline_exceeded_total);
+  out += ",\"store_mode\":\"";
+  out += store_mode_name(config_.store_mode);
+  out += '"';
+  field("reactors", reactor_count_.load(std::memory_order_relaxed));
+  field("pipeline_jobs_total", s.pipeline_jobs_total);
+  field("pipeline_drains_total", s.pipeline_drains_total);
+  field("pipeline_bypass_windows_total", s.pipeline_bypass_windows_total);
+  field("durable_gated_total", s.durable_gated_total);
   out += ",\"state\":\"";
   out += serving_state_name(s.state);
   out += '"';
   out += ",\"uptime_seconds\":";
   out += json_number(s.uptime_seconds);
   out += ",\"draining\":";
-  out += draining_ ? "true" : "false";
+  out += s.state == ServingState::kDraining ? "true" : "false";
   const RecoveryInfo rec = recovery_info();
   out += ",\"recovered\":";
   out += rec.recovered ? "true" : "false";
@@ -863,8 +1065,8 @@ std::string Server::stats_json() const {
   if (obs::enabled()) {
     // Durability counters, surfaced over the wire so the chaos harness and
     // operators can watch WAL progress without scraping the metrics op. The
-    // names/help strings must match durability/manager.cpp registrations
-    // exactly — obs::Registry::counter() is get-or-create.
+    // names/help strings must match the durability registrations exactly —
+    // obs::Registry::counter() is get-or-create.
     auto& reg = obs::metrics();
     field("wal_records_total",
           reg.counter("chameleon_wal_records_total", {},
@@ -880,6 +1082,14 @@ std::string Server::stats_json() const {
               reg.gauge("chameleon_wal_fsyncs", {},
                         "WAL fsync calls since process start")
                   .value()));
+    field("wal_group_commits_total",
+          reg.counter("chameleon_wal_group_commits_total", {},
+                      "Group-commit fsync batches issued")
+              .value());
+    field("wal_group_commit_acks_total",
+          reg.counter("chameleon_wal_group_commit_acks_total", {},
+                      "Acks released by group-commit fsync batches")
+              .value());
     field("recovery_replayed_records_total",
           reg.counter("chameleon_recovery_replayed_records_total", {},
                       "WAL records re-applied during crash recovery")
@@ -903,6 +1113,9 @@ std::string Server::health_json() const {
   out += serving_state_name(st);
   out += "\",\"serving\":";
   out += st == ServingState::kServing ? "true" : "false";
+  out += ",\"store_mode\":\"";
+  out += store_mode_name(config_.store_mode);
+  out += '"';
   out += ",\"uptime_seconds\":";
   out += json_number(
       start_time_.time_since_epoch().count() == 0

@@ -1,17 +1,31 @@
-// Epoll-based reactor serving the Chameleon KV cluster over the svc wire
-// protocol (docs/SERVICE.md). One IO thread owns every socket and all session
-// state; a worker pool executes admitted requests against the KvStore behind
-// the coordinator mutex (logical decisions stay serialized — the same
-// discipline DeviceExecutor imposes inside the simulation — while the store's
-// codec pool may still fan shard arithmetic out underneath).
+// Epoll-based reactor server for the Chameleon KV cluster over the svc wire
+// protocol (docs/SERVICE.md). One or more IO (reactor) threads own the
+// sockets and session state; admitted data ops execute on one of two store
+// backends:
+//
+//   StoreMode::kSharded (default) — a StorePipeline coordinator thread owns
+//   every core::Chameleon call (no store mutex exists) and fans per-device
+//   flash work out to sim::ShardExecutor shard threads; balancer epochs and
+//   DIGEST run in bypass windows behind drain fences (docs/PARALLELISM.md).
+//
+//   StoreMode::kMutex — the historical backend: a worker ThreadPool executes
+//   ops behind one coordinator mutex. Kept as the oracle the sharded path is
+//   digest-equivalence-tested against.
+//
+// With config.reactors > 1 each reactor owns its own epoll set, wake fd,
+// accept socket (SO_REUSEPORT — the kernel spreads connections), session
+// table, buffer pool, and completion queue; completions route back to the
+// reactor owning the session, and the completion eventfd is written only on
+// an empty→non-empty queue transition (batched wakeups).
 //
 // Lifecycle: start() binds/listens and spawns the threads; request_stop() is
-// async-signal-safe (an eventfd write), so a SIGTERM handler can trigger the
+// async-signal-safe (eventfd writes), so a SIGTERM handler can trigger the
 // graceful drain: stop accepting, answer new requests with kShuttingDown,
 // finish every admitted request, flush every response, then close. stop() is
 // request_stop() + wait().
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -30,6 +44,7 @@
 #include "obs/span.hpp"
 #include "svc/admission.hpp"
 #include "svc/session.hpp"
+#include "svc/store_pipeline.hpp"
 #include "svc/wire.hpp"
 
 namespace chameleon::obs {
@@ -38,11 +53,16 @@ class Gauge;
 class HistogramMetric;
 }  // namespace chameleon::obs
 
+namespace chameleon::durability {
+class GroupCommit;
+}  // namespace chameleon::durability
+
 namespace chameleon::svc {
 
 /// Seeded serving-path fault hooks (the chaos harness drives these): each
 /// received frame rolls connection-drop first, then response-stall, on one
 /// deterministic RNG stream, mirroring the FaultInjector's arming discipline.
+/// With multiple reactors each reactor derives its own stream (seed + index).
 struct ServiceFaultPlan {
   double conn_drop_rate = 0.0;  ///< P(kill the connection on a frame)
   double stall_rate = 0.0;      ///< P(delay the response by `stall`)
@@ -71,6 +91,12 @@ struct SlowRequestConfig {
 enum class ServingState : std::uint8_t { kRecovering, kServing, kDraining };
 const char* serving_state_name(ServingState s);
 
+/// Which backend executes admitted data ops (see the file comment).
+enum class StoreMode : std::uint8_t { kMutex, kSharded };
+const char* store_mode_name(StoreMode mode);
+/// Parse "mutex"/"sharded"; throws std::invalid_argument otherwise.
+StoreMode store_mode_from_name(const std::string& name);
+
 /// Recovery facts a durable boot hands the server (chameleon_server does
 /// this after durability::Manager::open()) so restarts are observable over
 /// the wire: both STATS and HEALTH carry these fields.
@@ -86,7 +112,15 @@ struct RecoveryInfo {
 struct ServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;     ///< 0 = ephemeral (read back via port())
-  std::uint32_t workers = 2;  ///< request-execution threads
+  /// kSharded: shard worker threads under the store coordinator.
+  /// kMutex: request-execution ThreadPool threads.
+  std::uint32_t workers = 2;
+  StoreMode store_mode = StoreMode::kSharded;
+  /// IO (reactor) threads. >1 binds one SO_REUSEPORT accept socket per
+  /// reactor and partitions sessions across them.
+  std::uint32_t reactors = 1;
+  /// kSharded: executor drain cadence (ops between drain fences while busy).
+  std::uint32_t drain_batch = 64;
   /// Start in ServingState::kRecovering: listen and answer control ops
   /// (HEALTH/STATS/PING) immediately, but shed data ops with kRetryLater
   /// until set_serving() flips the state. A durable boot uses this so
@@ -125,6 +159,12 @@ struct ServerStats {
   /// Requests answered kDeadlineExceeded: shed on arrival (deadline already
   /// lapsed) plus shed at dequeue (deadline lapsed on the worker queue).
   std::uint64_t deadline_exceeded_total = 0;
+  // Sharded store pipeline (zero in kMutex mode).
+  std::uint64_t pipeline_jobs_total = 0;
+  std::uint64_t pipeline_drains_total = 0;
+  std::uint64_t pipeline_bypass_windows_total = 0;
+  /// Acks held for a group-commit fsync (mutations gated on when_durable).
+  std::uint64_t durable_gated_total = 0;
   double uptime_seconds = 0.0;      ///< since the last successful start()
   bool drained_clean = false;  ///< last drain finished inside drain_timeout
   ServingState state = ServingState::kServing;
@@ -139,7 +179,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind, listen, spawn the IO thread and worker pool. Throws
+  /// Bind, listen, spawn the reactor threads and the store backend. Throws
   /// std::runtime_error on socket errors.
   void start();
 
@@ -149,12 +189,13 @@ class Server {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
-  /// Async-signal-safe drain trigger (eventfd write; callable from a signal
-  /// handler). The IO thread notices and starts the graceful drain.
+  /// Async-signal-safe drain trigger (eventfd writes; callable from a signal
+  /// handler). The reactor threads notice and start the graceful drain.
   void request_stop() noexcept;
 
-  /// Block until the IO thread finishes the drain, then join the workers and
-  /// release every socket. Idempotent; safe to call concurrently.
+  /// Block until every reactor finishes the drain, then stop the store
+  /// backend, flush any durability-gated acks, and release every socket.
+  /// Idempotent; safe to call concurrently.
   void wait();
 
   /// request_stop() + wait().
@@ -175,22 +216,60 @@ class Server {
   void set_recovery_info(const RecoveryInfo& info);
   RecoveryInfo recovery_info() const;
 
+  /// Gate acks for journaled mutations on WAL group commit: a PUT/DELETE
+  /// that appended WAL records is answered only once its records are
+  /// fsynced (GroupCommit::when_durable). Call between durability
+  /// Manager::open() and set_serving() on a durable boot; nullptr disables.
+  /// `gc` must outlive the server's serving phase (it is flushed in wait()).
+  void set_group_commit(durability::GroupCommit* gc) {
+    group_commit_.store(gc, std::memory_order_release);
+  }
+
  private:
+  struct Completion;
+
+  /// Per-IO-thread state: epoll set, wake eventfd, accept socket, session
+  /// table, deferred closes, output-buffer pool, and the completion queue
+  /// store threads post into. Everything except `completions`/`wake_fd` is
+  /// touched only by the owning IO thread.
+  struct Reactor {
+    std::size_t index = 0;
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    int listen_fd = -1;
+    std::thread thread;
+    std::map<int, std::shared_ptr<Session>> sessions;
+    /// Fds removed from sessions this epoll batch, held open until the batch
+    /// finishes so accept4 cannot recycle a number that stale queued events
+    /// still reference.
+    std::vector<int> deferred_close_fds;
+    /// Session ids: index+1, index+1+reactors, ... — unique across reactors.
+    std::uint64_t next_session_id = 0;
+    BufferPool buffers;
+    Xoshiro256 fault_rng{0x5eed};
+    bool draining = false;
+    std::chrono::steady_clock::time_point drain_deadline{};
+    bool drained_clean = false;
+    std::mutex completion_mutex;
+    std::deque<Completion> completions;
+  };
+
   struct Completion {
     std::shared_ptr<Session> session;
+    Reactor* reactor = nullptr;  ///< owns the session; receives the post
     Frame response;
     Op op = Op::kPing;
     std::chrono::steady_clock::time_point admitted_at;
     /// Absolute deadline (receipt time + the frame's deadline_ms); the
-    /// worker sheds instead of executing once this passes. time_point::max()
-    /// when the request carried no deadline.
+    /// store backend sheds instead of executing once this passes.
+    /// time_point::max() when the request carried no deadline.
     std::chrono::steady_clock::time_point deadline;
     std::uint64_t request_bytes = 0;
     std::uint64_t request_id = 0;
     /// Stage attribution, stamped along the way: decode/admission on the IO
-    /// thread, queue/store-exec (with the WAL carve-out) on the worker,
-    /// completion/flush back on the IO thread. Never touched concurrently —
-    /// ownership moves with the completion through the queue.
+    /// thread, queue/store-exec (with the WAL carve-out) on the store
+    /// backend, completion/flush back on the IO thread. Never touched
+    /// concurrently — ownership moves with the completion through the queue.
     obs::Span span;
   };
   struct MetricHandles {
@@ -209,32 +288,41 @@ class Server {
     obs::Counter* sessions_opened = nullptr;
     obs::Counter* sessions_closed = nullptr;
     obs::Counter* protocol_errors = nullptr;
+    obs::Counter* durable_gated = nullptr;
     obs::Gauge* inflight = nullptr;
     bool resolved = false;
   };
 
-  void io_loop();
-  void accept_ready();
-  void on_readable(const std::shared_ptr<Session>& session);
+  void open_reactor_sockets();
+  void io_loop(Reactor& r);
+  void accept_ready(Reactor& r);
+  void on_readable(Reactor& r, const std::shared_ptr<Session>& session);
   /// Returns false when the frame tore the session down. `span` carries the
   /// decode stamp taken by on_readable.
-  bool handle_frame(const std::shared_ptr<Session>& session, Frame frame,
-                    obs::Span span);
+  bool handle_frame(Reactor& r, const std::shared_ptr<Session>& session,
+                    Frame frame, obs::Span span);
   Frame control_response(const Frame& request);
+  /// The store half of a request: runs under store_mutex_ (kMutex) or on
+  /// the pipeline coordinator (kSharded).
   Frame execute(const Frame& request);
-  void maybe_tick_epoch_locked();
-  void drain_completions();
-  void pump_out(const std::shared_ptr<Session>& session);
+  /// Stall/deadline-check/execute/ack-gate body shared by both backends.
+  void run_request(Frame request, Nanos stall, Completion seed);
+  void maybe_tick_epoch();
+  /// Push a finished completion to its reactor; wakes the reactor's eventfd
+  /// only on the queue's empty→non-empty transition. Any-thread safe.
+  void post_completion(Completion&& c);
+  void drain_completions(Reactor& r);
+  void pump_out(Reactor& r, const std::shared_ptr<Session>& session);
   /// Takes its argument by value: callers often pass the shared_ptr stored
-  /// in sessions_ itself, which the erase below would otherwise destroy
+  /// in r.sessions itself, which the erase below would otherwise destroy
   /// while we still hold a reference to it.
-  void close_session(std::shared_ptr<Session> session);
+  void close_session(Reactor& r, std::shared_ptr<Session> session);
   /// ::close the fds parked by close_session. Must run between epoll batches
   /// (and after the loop exits), never while a batch's events are still being
   /// dispatched — see close_session.
-  void flush_deferred_closes();
-  void reap_idle(std::chrono::steady_clock::time_point now);
-  void update_epoll(Session& session);
+  void flush_deferred_closes(Reactor& r);
+  void reap_idle(Reactor& r, std::chrono::steady_clock::time_point now);
+  void update_epoll(Reactor& r, Session& session);
   std::string stats_json() const;
   std::string health_json() const;
   void note_request(Op op);
@@ -249,42 +337,38 @@ class Server {
   ServerConfig config_;
   MetricHandles metric_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;
   std::uint16_t port_ = 0;
 
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  /// Hard cap on config.reactors (clamped in start()).
+  static constexpr std::size_t kMaxReactors = 16;
+  /// Wake eventfds mirrored into a fixed array of atomics so request_stop()
+  /// stays async-signal-safe: no container traversal that wait() could be
+  /// mutating when the signal lands. -1 = slot closed.
+  std::array<std::atomic<int>, kMaxReactors> wake_fds_;
+  std::atomic<std::size_t> reactor_count_{0};
+  /// kMutex backend: request-execution pool + the coordinator mutex.
   std::unique_ptr<ThreadPool> pool_;
+  std::mutex store_mutex_;
+  /// kSharded backend: coordinator + shard executor (no store mutex).
+  std::unique_ptr<StorePipeline> pipeline_;
   std::mutex lifecycle_mutex_;  ///< serializes wait()/cleanup
 
   AdmissionController admission_;
-  Xoshiro256 fault_rng_;  ///< IO-thread only
 
-  /// Serializes every KvStore/Chameleon call (the coordinator discipline).
-  std::mutex store_mutex_;
+  std::atomic<durability::GroupCommit*> group_commit_{nullptr};
+
+  /// Data ops since the last epoch tick; guarded by the active backend's
+  /// serialization domain (store_mutex_ or the coordinator thread).
   std::uint64_t ops_since_epoch_ = 0;
-  /// Last epoch observed under store_mutex_, republished for trace events
-  /// recorded on the IO thread without taking the store lock.
+  /// Last epoch observed by the store backend, republished for trace events
+  /// recorded on the IO threads without store access.
   std::atomic<std::uint64_t> epoch_cache_{0};
-
-  std::mutex completion_mutex_;
-  std::deque<Completion> completions_;
-
-  std::map<int, std::shared_ptr<Session>> sessions_;  ///< IO-thread only
-  /// Fds removed from sessions_ this epoll batch, held open until the batch
-  /// finishes so accept4 cannot recycle a number that stale queued events
-  /// still reference. IO-thread only.
-  std::vector<int> deferred_close_fds_;
-  std::uint64_t next_session_id_ = 1;
 
   std::chrono::steady_clock::time_point start_time_{};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::atomic<bool> io_done_{false};
-  bool draining_ = false;  ///< IO-thread only
-  std::chrono::steady_clock::time_point drain_deadline_;
 
   /// ServingState, readable from any thread (HEALTH/STATS render it).
   std::atomic<std::uint8_t> state_{
@@ -304,6 +388,7 @@ class Server {
   std::atomic<std::uint64_t> sessions_open_{0};
   std::atomic<std::uint64_t> slow_requests_total_{0};
   std::atomic<std::uint64_t> deadline_exceeded_total_{0};
+  std::atomic<std::uint64_t> durable_gated_total_{0};
   std::atomic<bool> drained_clean_{false};
 };
 

@@ -1,19 +1,31 @@
 #include "svc/session.hpp"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 
 namespace chameleon::svc {
 
-Session::Session(int fd, std::uint64_t id, std::uint32_t max_payload)
+Session::Session(int fd, std::uint64_t id, std::uint32_t max_payload,
+                 BufferPool* pool)
     : last_activity(std::chrono::steady_clock::now()),
       fd_(fd),
       id_(id),
-      decoder_(max_payload) {}
+      decoder_(max_payload),
+      pool_(pool) {}
 
-Session::~Session() { close(); }
+Session::~Session() {
+  close();
+  if (pool_ != nullptr) {
+    while (!out_.empty()) {
+      pool_->put(std::move(out_.front()));
+      out_.pop_front();
+    }
+  }
+}
 
 void Session::close() {
   if (fd_ >= 0) {
@@ -52,21 +64,75 @@ Session::IoResult Session::read_some(std::uint64_t* bytes_read) {
   }
 }
 
+std::vector<std::uint8_t>& Session::tail_chunk() {
+  if (out_.empty() || out_.back().size() >= kChunkTarget) {
+    out_.push_back(pool_ != nullptr ? pool_->get()
+                                    : std::vector<std::uint8_t>{});
+  }
+  return out_.back();
+}
+
 void Session::enqueue(const std::vector<std::uint8_t>& bytes) {
-  out_.insert(out_.end(), bytes.begin(), bytes.end());
+  std::vector<std::uint8_t>& chunk = tail_chunk();
+  chunk.insert(chunk.end(), bytes.begin(), bytes.end());
+  pending_bytes_ += bytes.size();
+}
+
+void Session::enqueue(const Frame& frame) {
+  std::vector<std::uint8_t>& chunk = tail_chunk();
+  const std::size_t before = chunk.size();
+  encode_frame(frame, chunk);
+  pending_bytes_ += chunk.size() - before;
+}
+
+void Session::recycle_head() {
+  if (pool_ != nullptr) {
+    pool_->put(std::move(out_.front()));
+  }
+  out_.pop_front();
+  head_off_ = 0;
 }
 
 Session::IoResult Session::flush(std::uint64_t* bytes_written) {
   if (fd_ < 0) return IoResult::kError;
-  while (out_off_ < out_.size()) {
+  while (pending_bytes_ > 0) {
+    // Batch up to kMaxFlushIov chunks into one vectored write. The head
+    // chunk enters at its cursor; every later chunk enters whole.
+    iovec iov[kMaxFlushIov];
+    std::size_t niov = 0;
+    for (auto it = out_.begin(); it != out_.end() && niov < kMaxFlushIov;
+         ++it) {
+      const std::size_t off = niov == 0 ? head_off_ : 0;
+      if (it->size() == off) continue;  // empty tail chunk (never mid-queue)
+      iov[niov].iov_base = it->data() + off;
+      iov[niov].iov_len = it->size() - off;
+      ++niov;
+    }
+    if (niov == 0) break;
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
     // MSG_NOSIGNAL: a peer that resets mid-flush must surface as EPIPE, not
     // deliver SIGPIPE and kill the whole server process.
-    const ssize_t n = ::send(fd_, out_.data() + out_off_,
-                             out_.size() - out_off_, MSG_NOSIGNAL);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      out_off_ += static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      pending_bytes_ -= left;
       if (bytes_written != nullptr) {
         *bytes_written += static_cast<std::uint64_t>(n);
+      }
+      // Advance the cursor chunk by chunk; a short write that stops inside a
+      // chunk just moves head_off_ — the unsent suffix (and every later
+      // chunk) is retransmitted from exactly that byte on the next call.
+      while (left > 0) {
+        const std::size_t head_left = out_.front().size() - head_off_;
+        if (left < head_left) {
+          head_off_ += left;
+          left = 0;
+        } else {
+          left -= head_left;
+          recycle_head();
+        }
       }
       last_activity = std::chrono::steady_clock::now();
       continue;
@@ -77,10 +143,8 @@ Session::IoResult Session::flush(std::uint64_t* bytes_written) {
     if (n < 0 && errno == EINTR) continue;
     return IoResult::kError;
   }
-  if (out_off_ == out_.size()) {
-    out_.clear();
-    out_off_ = 0;
-  }
+  // Fully flushed: drop any drained-but-kept chunks (e.g. an empty tail).
+  while (!out_.empty()) recycle_head();
   return IoResult::kOk;
 }
 

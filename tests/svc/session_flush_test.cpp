@@ -1,0 +1,200 @@
+// Session output-path regression suite: the chunked writev-style flush must
+// deliver the exact enqueued frame stream — no reorder, no duplicate, no
+// gap — even when a tiny kernel send buffer forces short writes that stop
+// mid-iovec, mid-chunk, and mid-frame. A socketpair with a shrunken
+// SO_SNDBUF makes every one of those cursor positions happen for real; a
+// FrameDecoder on the read side is the oracle. The corruption case extends
+// the wire-corruption suite to BATCHED responses: a single flipped byte in
+// the middle of a multi-frame chunk must poison decoding at exactly that
+// frame, after every prior frame decoded clean.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/session.hpp"
+#include "svc/wire.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+struct SocketPair {
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(
+        ::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0, fds), 0);
+    writer = fds[0];
+    reader = fds[1];
+    // Shrink the send buffer as far as the kernel allows so flushes hit
+    // kWouldBlock constantly and short writes land mid-iovec.
+    const int tiny = 1;  // clamped up to the kernel minimum (~4.5 KiB)
+    ::setsockopt(writer, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+  }
+  ~SocketPair() {
+    if (reader >= 0) ::close(reader);
+    // `writer` is owned (and closed) by the Session.
+  }
+  int writer = -1;
+  int reader = -1;
+};
+
+/// A deterministic frame mix: empty payloads, small ones, and several
+/// bigger than Session::kChunkTarget so one frame spans chunk boundaries.
+std::vector<Frame> make_frames(int count) {
+  std::vector<Frame> frames;
+  frames.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Frame f;
+    f.op = (i % 3 == 0) ? Op::kGet : Op::kPut;
+    f.status = (i % 5 == 0) ? Status::kNotFound : Status::kOk;
+    f.request_id = 1000 + static_cast<std::uint64_t>(i);
+    std::size_t len = 0;
+    if (i % 17 == 0) {
+      len = Session::kChunkTarget + 40'000 +
+            static_cast<std::size_t>((i * 13) % 9000);  // multi-chunk
+    } else if (i % 2 == 0) {
+      len = static_cast<std::size_t>((i * 37) % 600);
+    }
+    f.payload.assign(len, static_cast<std::uint8_t>(i * 31 + 7));
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
+
+/// Drain whatever the reader holds into `sink`; returns bytes moved.
+std::size_t drain_reader(int fd, std::vector<std::uint8_t>& sink) {
+  std::size_t total = 0;
+  std::uint8_t buf[8192];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      EXPECT_TRUE(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+      break;
+    }
+    sink.insert(sink.end(), buf, buf + n);
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+TEST(SessionFlush, PartialWritesMidIovecPreserveTheExactFrameStream) {
+  SocketPair sp;
+  BufferPool pool;
+  Session session(sp.writer, 1, kDefaultMaxPayload, &pool);
+
+  const std::vector<Frame> frames = make_frames(120);
+  std::size_t expected_bytes = 0;
+  for (const Frame& f : frames) {
+    session.enqueue(f);
+    expected_bytes += kHeaderBytes + f.payload.size();
+  }
+  ASSERT_EQ(session.pending_bytes(), expected_bytes);
+
+  // Single-threaded ping-pong: flush until the kernel buffer fills, drain
+  // the reader, repeat. Every iteration leaves the cursor at a different
+  // offset inside some chunk/iovec.
+  std::vector<std::uint8_t> received;
+  std::uint64_t written = 0;
+  int spins = 0;
+  while (session.pending()) {
+    ASSERT_LT(++spins, 100000) << "flush made no progress";
+    const Session::IoResult r = session.flush(&written);
+    ASSERT_TRUE(r == Session::IoResult::kOk ||
+                r == Session::IoResult::kWouldBlock);
+    drain_reader(sp.reader, received);
+  }
+  drain_reader(sp.reader, received);
+  EXPECT_EQ(written, expected_bytes);
+  ASSERT_EQ(received.size(), expected_bytes);
+
+  // The oracle: the byte stream decodes to the identical frame sequence.
+  FrameDecoder decoder;
+  decoder.feed(received);
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    Frame got;
+    ASSERT_EQ(decoder.next(got), DecodeResult::kFrame) << "frame " << i;
+    EXPECT_EQ(got.request_id, frames[i].request_id) << "frame " << i;
+    EXPECT_EQ(got.op, frames[i].op);
+    EXPECT_EQ(got.status, frames[i].status);
+    EXPECT_EQ(got.payload, frames[i].payload) << "frame " << i;
+  }
+  Frame extra;
+  EXPECT_EQ(decoder.next(extra), DecodeResult::kNeedMore);  // nothing else
+}
+
+TEST(SessionFlush, CorruptByteInABatchedChunkPoisonsAtThatFrame) {
+  SocketPair sp;
+  Session session(sp.writer, 1, kDefaultMaxPayload);
+
+  // Small frames batch into one shared chunk; corrupt a payload byte of a
+  // frame in the middle of the batch.
+  const std::vector<Frame> frames = make_frames(40);
+  std::vector<std::size_t> offsets;  // start offset of each frame
+  std::size_t off = 0;
+  for (const Frame& f : frames) {
+    offsets.push_back(off);
+    off += kHeaderBytes + f.payload.size();
+    session.enqueue(f);
+  }
+
+  std::vector<std::uint8_t> received;
+  std::uint64_t written = 0;
+  while (session.pending()) {
+    const Session::IoResult r = session.flush(&written);
+    ASSERT_TRUE(r == Session::IoResult::kOk ||
+                r == Session::IoResult::kWouldBlock);
+    drain_reader(sp.reader, received);
+  }
+  drain_reader(sp.reader, received);
+  ASSERT_EQ(received.size(), off);
+
+  constexpr std::size_t kVictim = 22;  // even index: non-empty payload
+  ASSERT_FALSE(frames[kVictim].payload.empty());
+  received[offsets[kVictim] + kHeaderBytes] ^= 0x01;  // first payload byte
+
+  FrameDecoder decoder;
+  decoder.feed(received);
+  Frame got;
+  for (std::size_t i = 0; i < kVictim; ++i) {
+    ASSERT_EQ(decoder.next(got), DecodeResult::kFrame) << "frame " << i;
+    EXPECT_EQ(got.request_id, frames[i].request_id);
+  }
+  EXPECT_EQ(decoder.next(got), DecodeResult::kBadCrc);
+  EXPECT_TRUE(decoder.poisoned());  // batched framing is lost for good
+}
+
+TEST(SessionFlush, FlushedChunksRecycleThroughTheBufferPool) {
+  SocketPair sp;
+  BufferPool pool;
+  ASSERT_EQ(pool.size(), 0u);
+  {
+    Session session(sp.writer, 1, kDefaultMaxPayload, &pool);
+    const std::vector<Frame> frames = make_frames(60);
+    for (const Frame& f : frames) session.enqueue(f);
+    std::vector<std::uint8_t> received;
+    std::uint64_t written = 0;
+    while (session.pending()) {
+      const Session::IoResult r = session.flush(&written);
+      ASSERT_TRUE(r == Session::IoResult::kOk ||
+                  r == Session::IoResult::kWouldBlock);
+      drain_reader(sp.reader, received);
+    }
+    // Fully-flushed chunks went back to the pool instead of the heap.
+    EXPECT_GT(pool.size(), 0u);
+  }
+  // Recycled buffers come back non-empty-capacity and cleared.
+  const std::size_t pooled = pool.size();
+  ASSERT_GT(pooled, 0u);
+  std::vector<std::uint8_t> buf = pool.get();
+  EXPECT_GT(buf.capacity(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.size(), pooled - 1);
+}
+
+}  // namespace
+}  // namespace chameleon::svc

@@ -1,0 +1,175 @@
+// Concurrency stress for the sharded serving path (ctest label `parallel`;
+// the TSan CI job runs it): many client threads hammer a StorePipeline-backed
+// server while balancer epochs and DIGEST snapshots force bypass windows
+// through the live op stream. Nothing here asserts exact values — that is
+// the equivalence suite's job — it asserts the concurrent invariants that a
+// racy pipeline would break: every request answered exactly once, only
+// legal statuses, digests that are well-formed consistent snapshots, and
+// clean drains. The dedicated epoch_every_ops=1 case is the regression for
+// an in-flight op racing a bypass-window epoch tick: every single data op
+// opens a window while its successors are already queued behind it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+core::ChameleonConfig small_system() {
+  core::ChameleonConfig cfg;
+  cfg.servers = 12;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 256;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  return cfg;
+}
+
+ClientConfig client_for(const Server& server) {
+  ClientConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = server.port();
+  cfg.retry.base_backoff = 2 * kMillisecond;
+  return cfg;
+}
+
+bool legal_data_status(Status s) {
+  return s == Status::kOk || s == Status::kNotFound;
+}
+
+/// `threads` writer threads of `ops` mixed puts/gets/deletes each over a
+/// shared key space, with a DIGEST sprinkled in, against a server whose
+/// config the caller chose. Returns the server stats after a full drain.
+ServerStats hammer(Server& server, int threads, int ops,
+                   std::atomic<std::uint64_t>& illegal,
+                   std::atomic<std::uint64_t>& malformed_digests) {
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ClientPool pool(client_for(server), 2);
+      std::vector<std::uint8_t> got;
+      for (int i = 0; i < ops; ++i) {
+        const std::string key = "key-" + std::to_string((i * 7 + t) % 64);
+        Status s;
+        switch ((i + t) % 4) {
+          case 0:
+          case 1: {
+            const std::vector<std::uint8_t> value(
+                static_cast<std::size_t>(24 + i % 100),
+                static_cast<std::uint8_t>(t));
+            s = pool.put(key, value);
+            break;
+          }
+          case 2:
+            s = pool.get(key, got);
+            break;
+          default:
+            s = pool.remove(key);
+            break;
+        }
+        if (!legal_data_status(s)) illegal.fetch_add(1);
+        if (i % 25 == 24) {
+          // A digest taken mid-load races every queued op and the bypass
+          // window it needs; it must still be a 16-hex-char snapshot.
+          const std::string d = pool.digest();
+          bool ok = d.size() == 16;
+          for (const char c : d) {
+            ok = ok && std::isxdigit(static_cast<unsigned char>(c)) != 0;
+          }
+          if (!ok) malformed_digests.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  server.stop();
+  return server.stats();
+}
+
+TEST(ShardStress, MixedLoadWithEpochWindowsDrainsExactlyOnce) {
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.epoch_every_ops = 16;  // frequent bypass windows through live load
+  cfg.drain_batch = 8;       // frequent drain fences too
+  Server server(system, cfg);
+  server.start();
+
+  std::atomic<std::uint64_t> illegal{0};
+  std::atomic<std::uint64_t> malformed{0};
+  const ServerStats stats = hammer(server, 4, 150, illegal, malformed);
+
+  EXPECT_EQ(illegal.load(), 0u);
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_EQ(stats.protocol_errors_total, 0u);
+  EXPECT_EQ(stats.requests_total, stats.responses_total);
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_TRUE(stats.drained_clean);
+  // The pipeline really ran sharded: jobs flowed, drain fences fired, and
+  // epoch ticks + digests opened bypass windows under concurrent load.
+  EXPECT_GT(stats.pipeline_jobs_total, 0u);
+  EXPECT_GT(stats.pipeline_drains_total, 0u);
+  EXPECT_GT(stats.pipeline_bypass_windows_total, 0u);
+}
+
+TEST(ShardStress, EveryOpTicksAnEpochBypassRaceRegression) {
+  // Regression: an epoch tick runs bypass_inline INSIDE the coordinator job
+  // of the op that triggered it, while later ops from other connections are
+  // already queued. epoch_every_ops=1 makes every data op do this — the
+  // maximum-contention schedule for the window/queue handoff.
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.epoch_every_ops = 1;
+  Server server(system, cfg);
+  server.start();
+
+  std::atomic<std::uint64_t> illegal{0};
+  std::atomic<std::uint64_t> malformed{0};
+  const ServerStats stats = hammer(server, 3, 80, illegal, malformed);
+
+  EXPECT_EQ(illegal.load(), 0u);
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_EQ(stats.protocol_errors_total, 0u);
+  EXPECT_EQ(stats.requests_total, stats.responses_total);
+  EXPECT_TRUE(stats.drained_clean);
+  // Every executed data op opened a window (ticks == data ops), so windows
+  // must at least reach the per-thread op count.
+  EXPECT_GE(stats.pipeline_bypass_windows_total, 80u);
+}
+
+TEST(ShardStress, MultiReactorMixedLoadStaysConsistent) {
+  // Same invariants with sessions spread across SO_REUSEPORT reactors:
+  // completions must route to the reactor owning each session even while
+  // bypass windows reorder nothing.
+  core::Chameleon system(small_system());
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.reactors = 2;
+  cfg.epoch_every_ops = 32;
+  Server server(system, cfg);
+  server.start();
+
+  std::atomic<std::uint64_t> illegal{0};
+  std::atomic<std::uint64_t> malformed{0};
+  const ServerStats stats = hammer(server, 4, 100, illegal, malformed);
+
+  EXPECT_EQ(illegal.load(), 0u);
+  EXPECT_EQ(malformed.load(), 0u);
+  EXPECT_EQ(stats.protocol_errors_total, 0u);
+  EXPECT_EQ(stats.requests_total, stats.responses_total);
+  EXPECT_TRUE(stats.drained_clean);
+  EXPECT_GT(stats.pipeline_jobs_total, 0u);
+}
+
+}  // namespace
+}  // namespace chameleon::svc

@@ -30,9 +30,12 @@
 //   connections=4     pooled connections
 //   open_rate=5000    serve_open target ops/sec
 //   read_ratio=0.5    fraction of GETs
-//   workers=2         server execution threads
+//   workers=2         server store threads (shard workers / pool threads)
+//   store_mode=sharded  server store backend: sharded | mutex
+//   reactors=1        server IO threads (SO_REUSEPORT when > 1)
 //   servers=8         simulated flash servers behind the store
 //   durable=1         include serve_durable (tempdir WAL)
+//   group_commit=1    serve_durable: WAL group commit (shared fsyncs)
 //   sim=1             include the fig4/fig8 sim scenarios
 //   scale=0.02        sim scale factor (1.0 = paper volumes)
 //   sim_servers=20    sim cluster size
@@ -103,6 +106,9 @@ struct ServeKnobs {
   double open_rate = 5'000.0;
   double read_ratio = 0.5;
   std::uint32_t workers = 2;
+  svc::StoreMode store_mode = svc::StoreMode::kSharded;
+  std::uint32_t reactors = 1;
+  bool group_commit = true;
   std::uint32_t servers = 8;
   std::uint64_t seed = 42;
 };
@@ -251,6 +257,7 @@ obs::BenchScenario serve_scenario(const std::string& name,
     durability::DurabilityConfig dur_config;
     dur_config.dir = data_dir;
     dur_config.fsync = durability::FsyncPolicy::kAlways;
+    dur_config.group_commit = k.group_commit;
     durable = std::make_unique<durability::Manager>(system, dur_config);
     durable->open();
   }
@@ -258,7 +265,12 @@ obs::BenchScenario serve_scenario(const std::string& name,
   svc::ServerConfig server_config;
   server_config.port = 0;
   server_config.workers = k.workers;
+  server_config.store_mode = k.store_mode;
+  server_config.reactors = k.reactors;
   svc::Server server(system, server_config);
+  if (durable && durable->group_commit_active()) {
+    server.set_group_commit(durable->group_commit());
+  }
   server.start();
 
   svc::ClientConfig client_config;
@@ -277,7 +289,13 @@ obs::BenchScenario serve_scenario(const std::string& name,
              " value_bytes=" + std::to_string(k.value_bytes) +
              " concurrency=" + std::to_string(k.concurrency) +
              " rate=" + std::to_string(static_cast<std::uint64_t>(rate)) +
-             (data_dir.empty() ? "" : " durable=1");
+             " store_mode=" + svc::store_mode_name(k.store_mode) +
+             (k.reactors > 1 ? " reactors=" + std::to_string(k.reactors)
+                             : "") +
+             (data_dir.empty()
+                  ? ""
+                  : (k.group_commit ? " durable=1 group_commit=1"
+                                    : " durable=1"));
   s.ops = load.ops;
   s.elapsed_seconds = load.elapsed_seconds;
   s.ops_per_sec = load.elapsed_seconds > 0.0
@@ -371,6 +389,10 @@ int main(int argc, char** argv) {
     k.open_rate = config.get_double("open_rate", 5'000.0);
     k.read_ratio = config.get_double("read_ratio", 0.5);
     k.workers = static_cast<std::uint32_t>(config.get_int("workers", 2));
+    k.store_mode = svc::store_mode_from_name(
+        config.get_string("store_mode", "sharded"));
+    k.reactors = static_cast<std::uint32_t>(config.get_int("reactors", 1));
+    k.group_commit = config.get_bool("group_commit", true);
     k.servers = static_cast<std::uint32_t>(config.get_int("servers", 8));
     k.seed = static_cast<std::uint64_t>(config.get_int("seed", 42));
 

@@ -8,7 +8,14 @@
 // (# comments allowed) first; command-line flags override the file.
 //
 //   listen=127.0.0.1:7421   host:port to bind (port 0 = ephemeral)
-//   workers=2               request-execution threads
+//   workers=2               store threads: shard workers (sharded) or
+//                           request-execution pool threads (mutex)
+//   store_mode=sharded      store backend: sharded (coordinator + shard
+//                           executor, no global store lock) | mutex (the
+//                           historical single-lock path)
+//   reactors=1              IO threads; >1 binds one SO_REUSEPORT accept
+//                           socket per reactor
+//   drain_batch=64          sharded mode: ops between executor drain fences
 //   servers=8               simulated flash servers behind the store
 //   capacity_mb=256         target dataset capacity across the cluster
 //   max_inflight=256        global admission window
@@ -23,6 +30,9 @@
 //                           the newest checkpoint is restored and the WAL
 //                           tail replayed (docs/DURABILITY.md)
 //   fsync=always            WAL fsync policy: always | interval | none
+//   group_commit=1          fsync=always: batch concurrent mutations into
+//                           shared group fsyncs; acks release only once the
+//                           covering fsync lands (docs/DURABILITY.md)
 //   checkpoint_every_epochs=1  snapshot cadence (1 = every epoch barrier)
 //   slow_request_ms=0       record a kSvcSlowRequest trace event (full
 //                           per-stage breakdown) for data ops slower than
@@ -148,6 +158,12 @@ int main(int argc, char** argv) {
         std::stoul(listen.substr(colon + 1)));
     server_config.workers =
         static_cast<std::uint32_t>(config.get_int("workers", 2));
+    server_config.store_mode = svc::store_mode_from_name(
+        config.get_string("store_mode", "sharded"));
+    server_config.reactors =
+        static_cast<std::uint32_t>(config.get_int("reactors", 1));
+    server_config.drain_batch =
+        static_cast<std::uint32_t>(config.get_int("drain_batch", 64));
     server_config.admission.max_inflight =
         static_cast<std::size_t>(config.get_int("max_inflight", 256));
     server_config.admission.session_credits =
@@ -208,6 +224,7 @@ int main(int argc, char** argv) {
           config.get_string("fsync", "always"));
       dur_config.checkpoint_every_epochs = static_cast<std::uint32_t>(
           config.get_int("checkpoint_every_epochs", 1));
+      dur_config.group_commit = config.get_bool("group_commit", true);
       durable = std::make_unique<durability::Manager>(system, dur_config);
       const durability::RecoveryReport report = durable->open();
       std::printf(
@@ -234,11 +251,22 @@ int main(int argc, char** argv) {
               .count());
       info.last_recovery_seconds = report.duration_seconds;
       server.set_recovery_info(info);
+      // Group commit (fsync=always): acks for journaled mutations release
+      // only once the committer's covering fsync lands. Installed before
+      // set_serving() so no data op can race past ungated.
+      if (durable->group_commit_active()) {
+        server.set_group_commit(durable->group_commit());
+      }
       server.set_serving();
       std::printf("serving\n");
       std::fflush(stdout);
     }
     server.wait();
+    // The durability manager (and its group-commit engine) is destroyed when
+    // main returns — after the server object. Drop the server's pointer now
+    // that the serving phase is over so the destructor's second wait() holds
+    // no stale reference.
+    server.set_group_commit(nullptr);
     svc::drain_on_signals(nullptr, {SIGINT, SIGTERM});
 
     const svc::ServerStats stats = server.stats();
