@@ -4,11 +4,22 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
+#include "common/fnv.hpp"
 #include "common/types.hpp"
 
 namespace chameleon::cluster {
+
+/// Ring position of a string key: FNV-1a finalized with mix64. Raw FNV-1a of
+/// short sequential keys ("k-0", "k-1", ...) differs mostly in the low bits
+/// and clusters in one arc of the ring, starving every other server; the
+/// finalizer spreads it over the full 64-bit space (the same pattern as
+/// kv::KvStore::placement_hash for object ids).
+inline std::uint64_t key_point(std::string_view key) {
+  return mix64(fnv1a64(key));
+}
 
 class HashRing {
  public:

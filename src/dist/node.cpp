@@ -1,0 +1,158 @@
+#include "dist/node.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/faults.hpp"
+#include "common/fnv.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/wire.hpp"
+
+namespace chameleon::dist {
+
+/// One peer as seen by the monitor thread: the (lazily resolved) spec and a
+/// persistent heartbeat connection, re-established after any failure. Only
+/// the monitor thread touches a PeerLink.
+struct NodeRuntime::PeerLink {
+  PeerSpec spec;
+  std::uint16_t resolved_port = 0;
+  std::unique_ptr<svc::ClientConn> conn;
+};
+
+NodeRuntime::NodeRuntime(const NodeConfig& config,
+                         std::function<std::uint8_t()> state_fn)
+    : config_(config),
+      state_fn_(state_fn ? std::move(state_fn)
+                         : [] { return std::uint8_t{1}; }),
+      membership_(config.membership),
+      ring_(0, std::max<std::uint32_t>(1, config.ring_vnodes)) {
+  ring_.add_server(config_.node_id);
+  for (const PeerSpec& peer : config_.peers) {
+    if (peer.id == config_.node_id || ring_.contains(peer.id)) {
+      throw std::invalid_argument("dist: node " +
+                                  std::to_string(config_.node_id) +
+                                  ": duplicate/self peer id " +
+                                  std::to_string(peer.id));
+    }
+    ring_.add_server(peer.id);
+    membership_.add_peer(peer);
+    auto link = std::make_unique<PeerLink>();
+    link->spec = peer;
+    links_.push_back(std::move(link));
+  }
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+void NodeRuntime::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  stop_requested_.store(false, std::memory_order_release);
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void NodeRuntime::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+std::vector<std::uint32_t> NodeRuntime::placement(
+    std::uint64_t key_hash) const {
+  return ring_.successors(key_hash, ring_.server_count());
+}
+
+bool NodeRuntime::place(std::span<const std::uint8_t> request,
+                        std::vector<std::uint8_t>& response) {
+  std::string key;
+  if (!svc::decode_key_body(request, key)) return false;
+  svc::PlacementBody body;
+  body.view_version = membership_.view_version();
+  body.nodes = placement(cluster::key_point(key));
+  svc::encode_placement_body(body, response);
+  return true;
+}
+
+bool NodeRuntime::peer_health(std::span<const std::uint8_t> request,
+                              std::vector<std::uint8_t>& response) {
+  svc::PeerHealthBody incoming;
+  if (!svc::decode_peer_health_body(request, incoming)) return false;
+  // A heartbeat from the sender IS evidence of its liveness; renew its
+  // lease in this node's own view (unknown senders — e.g. a router probing
+  // with an id outside the peer set — are simply not tracked).
+  membership_.probe_ok(incoming.node_id);
+  svc::PeerHealthBody reply;
+  reply.node_id = config_.node_id;
+  reply.state = state_fn_();
+  reply.view_version = membership_.view_version();
+  svc::encode_peer_health_body(reply, response);
+  return true;
+}
+
+void NodeRuntime::probe_peer(PeerLink& link) {
+  const auto resolved = resolve_port(link.spec);
+  if (!resolved.has_value()) {
+    membership_.probe_missed(link.spec.id);
+    return;
+  }
+  // A peer restarted on a new ephemeral port invalidates the cached
+  // connection; re-resolving every round keeps port-file specs current.
+  if (link.conn && link.resolved_port != *resolved) link.conn.reset();
+  if (!link.conn) {
+    svc::ClientConfig cc;
+    cc.host = link.spec.host;
+    cc.port = *resolved;
+    cc.default_io_timeout = config_.heartbeat_timeout;
+    link.conn = std::make_unique<svc::ClientConn>(cc);
+    link.resolved_port = *resolved;
+  }
+  svc::PeerHealthBody body;
+  body.node_id = config_.node_id;
+  body.state = state_fn_();
+  body.view_version = membership_.view_version();
+  std::vector<std::uint8_t> payload;
+  svc::encode_peer_health_body(body, payload);
+  try {
+    const svc::Frame reply =
+        link.conn->call(svc::Op::kPeerHealth, std::move(payload));
+    heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
+    svc::PeerHealthBody answer;
+    // Liveness means "serving", not "reachable": a peer that answers while
+    // recovering (state 0) or misconfigured (bad reply, no runtime
+    // attached) still counts as a miss, so it only enters the live view
+    // once it actually serves data ops.
+    if (reply.status == svc::Status::kOk &&
+        svc::decode_peer_health_body(reply.payload, answer) &&
+        answer.state == 1) {
+      membership_.probe_ok(link.spec.id);
+    } else {
+      membership_.probe_missed(link.spec.id);
+    }
+  } catch (const TransientFault&) {
+    link.conn.reset();
+    membership_.probe_missed(link.spec.id);
+  } catch (const std::exception&) {
+    link.conn.reset();
+    membership_.probe_missed(link.spec.id);
+  }
+}
+
+void NodeRuntime::monitor_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    for (auto& link : links_) {
+      if (stop_requested_.load(std::memory_order_acquire)) return;
+      probe_peer(*link);
+    }
+    std::unique_lock lock(wake_mutex_);
+    wake_.wait_for(
+        lock, std::chrono::nanoseconds(config_.heartbeat_interval),
+        [this] { return stop_requested_.load(std::memory_order_acquire); });
+  }
+}
+
+}  // namespace chameleon::dist

@@ -1,0 +1,104 @@
+// Per-process node runtime for the distributed data plane
+// (docs/DISTRIBUTED.md): the piece a chameleon_server process attaches to
+// its svc::Server when it runs as one member of a multi-node cluster.
+//
+//   - Implements svc::PeerHandler, so the server answers kPlace (ring
+//     successor order for a key, over the full static node set) and
+//     kPeerHealth (renewing the sender's lease in this node's membership
+//     view) inline on its IO threads.
+//   - Runs a PeerMonitor thread that heartbeats every peer over real TCP
+//     (kPeerHealth frames through svc::ClientConn), so node<->node liveness
+//     is observed symmetrically — each node maintains its own Membership —
+//     and peers with port-file specs are resolved lazily as they bind.
+//
+// The node's ring is STATIC over the full configured node set: membership
+// changes never move ring points, they only filter which successors the
+// data plane targets. That is what keeps placement deterministic and key
+// movement zero across fail/rejoin cycles.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "common/types.hpp"
+#include "dist/membership.hpp"
+#include "dist/peer.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::svc {
+class ClientConn;
+}  // namespace chameleon::svc
+
+namespace chameleon::dist {
+
+struct NodeConfig {
+  std::uint32_t node_id = 0;
+  /// Every OTHER node in the cluster (self excluded).
+  std::vector<PeerSpec> peers;
+  std::uint32_t ring_vnodes = 64;
+  MembershipConfig membership;
+  /// Heartbeat cadence of the peer monitor thread (real time).
+  Nanos heartbeat_interval = 50 * kMillisecond;
+  /// Socket send/recv timeout of one heartbeat probe.
+  Nanos heartbeat_timeout = 250 * kMillisecond;
+};
+
+class NodeRuntime : public svc::PeerHandler {
+ public:
+  /// `state_fn` reports this node's serving state for heartbeat responses
+  /// (0 recovering / 1 serving / 2 draining); defaults to always-serving.
+  explicit NodeRuntime(const NodeConfig& config,
+                       std::function<std::uint8_t()> state_fn = {});
+  ~NodeRuntime() override;
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Spawn the peer monitor thread. Idempotent.
+  void start();
+  /// Stop and join the monitor thread. Idempotent; called by the dtor.
+  void stop();
+
+  // svc::PeerHandler
+  bool place(std::span<const std::uint8_t> request,
+             std::vector<std::uint8_t>& response) override;
+  bool peer_health(std::span<const std::uint8_t> request,
+                   std::vector<std::uint8_t>& response) override;
+
+  const Membership& membership() const { return membership_; }
+  Membership& membership() { return membership_; }
+  const NodeConfig& config() const { return config_; }
+  /// Ring successor order for a key hash over the FULL node set (self and
+  /// every peer), unfiltered by liveness.
+  std::vector<std::uint32_t> placement(std::uint64_t key_hash) const;
+  std::uint64_t heartbeats_sent() const {
+    return heartbeats_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PeerLink;  ///< monitor-thread-owned connection state per peer
+
+  void monitor_loop();
+  void probe_peer(PeerLink& link);
+
+  NodeConfig config_;
+  std::function<std::uint8_t()> state_fn_;
+  Membership membership_;
+  cluster::HashRing ring_;  ///< full static node set; never mutated
+
+  std::vector<std::unique_ptr<PeerLink>> links_;
+  std::thread monitor_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+};
+
+}  // namespace chameleon::dist

@@ -1,0 +1,97 @@
+#include "dist/peer.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace chameleon::dist {
+
+PeerSpec parse_peer_spec(const std::string& text) {
+  const auto at = text.find('@');
+  if (at == std::string::npos || at == 0) {
+    throw std::invalid_argument("dist: peer spec '" + text +
+                                "' (expected id@host:port or id@host:@file)");
+  }
+  PeerSpec spec;
+  try {
+    std::size_t consumed = 0;
+    const unsigned long id = std::stoul(text.substr(0, at), &consumed);
+    if (consumed != at || id > 0xffffffffUL) throw std::invalid_argument("");
+    spec.id = static_cast<std::uint32_t>(id);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("dist: peer spec '" + text +
+                                "': bad node id");
+  }
+  const std::string rest = text.substr(at + 1);
+  const auto colon = rest.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+    throw std::invalid_argument("dist: peer spec '" + text +
+                                "': expected host:port");
+  }
+  spec.host = rest.substr(0, colon);
+  const std::string port_part = rest.substr(colon + 1);
+  if (port_part[0] == '@') {
+    spec.port_file = port_part.substr(1);
+    if (spec.port_file.empty()) {
+      throw std::invalid_argument("dist: peer spec '" + text +
+                                  "': empty port file path");
+    }
+  } else {
+    try {
+      std::size_t consumed = 0;
+      const unsigned long port = std::stoul(port_part, &consumed);
+      if (consumed != port_part.size() || port == 0 || port > 65535) {
+        throw std::invalid_argument("");
+      }
+      spec.port = static_cast<std::uint16_t>(port);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("dist: peer spec '" + text +
+                                  "': bad port");
+    }
+  }
+  return spec;
+}
+
+std::vector<PeerSpec> parse_peer_list(const std::string& text) {
+  std::vector<PeerSpec> specs;
+  std::set<std::uint32_t> seen;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    PeerSpec spec = parse_peer_spec(item);
+    if (!seen.insert(spec.id).second) {
+      throw std::invalid_argument("dist: duplicate peer id " +
+                                  std::to_string(spec.id) + " in '" + text +
+                                  "'");
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    throw std::invalid_argument("dist: empty peer list '" + text + "'");
+  }
+  return specs;
+}
+
+std::optional<std::uint16_t> resolve_port(const PeerSpec& spec) {
+  if (spec.port != 0) return spec.port;
+  std::ifstream in(spec.port_file);
+  if (!in) return std::nullopt;
+  unsigned long port = 0;
+  in >> port;
+  if (!in || port == 0 || port > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(port);
+}
+
+std::string format_peer_spec(const PeerSpec& spec) {
+  std::string out = std::to_string(spec.id) + "@" + spec.host + ":";
+  if (spec.port != 0) {
+    out += std::to_string(spec.port);
+  } else {
+    out += "@" + spec.port_file;
+  }
+  return out;
+}
+
+}  // namespace chameleon::dist

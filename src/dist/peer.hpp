@@ -1,0 +1,41 @@
+// Peer addressing for the multi-node data plane (docs/DISTRIBUTED.md).
+//
+// A peer spec names one chameleon_server process: `id@host:port`, or
+// `id@host:@/path/to/port_file` for processes bound to an ephemeral port —
+// the port is then resolved lazily by reading the port file the server
+// writes after bind (chameleon_server --port_file=). Lazy resolution is what
+// lets multi-process tests spawn a whole cluster with port=0 and still wire
+// every process to every other deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chameleon::dist {
+
+struct PeerSpec {
+  std::uint32_t id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;       ///< 0 = unresolved; see port_file
+  std::string port_file;        ///< read (and re-read) when port == 0
+};
+
+/// Parse `id@host:port` or `id@host:@/path`. Throws std::invalid_argument
+/// on malformed input (including duplicate-free checks left to callers).
+PeerSpec parse_peer_spec(const std::string& text);
+
+/// Parse a comma-separated list of peer specs; throws on malformed entries
+/// or duplicate ids.
+std::vector<PeerSpec> parse_peer_list(const std::string& text);
+
+/// The spec's port if fixed, else the first whitespace-trimmed line of
+/// spec.port_file. Empty optional while the file is missing/empty/invalid
+/// (the server has not bound yet).
+std::optional<std::uint16_t> resolve_port(const PeerSpec& spec);
+
+/// Render a spec back to its `id@host:port` (or `id@host:@file`) form.
+std::string format_peer_spec(const PeerSpec& spec);
+
+}  // namespace chameleon::dist

@@ -1,0 +1,36 @@
+// Versioned replica blob codec (docs/DISTRIBUTED.md, replicate mode).
+//
+// The router never stores a client value verbatim on a node: it wraps it in
+// a small self-describing blob carrying the write's monotone version and a
+// tombstone flag. Versions are what make reads correct across fail/rejoin —
+// a node that was down for a write rejoins holding an OLDER blob under the
+// same key, and a reader that consults every live replica keeps only the
+// highest version. Tombstones make deletes rejoin-safe the same way: a
+// rejoined node cannot resurrect a deleted key, because the delete's higher
+// version outranks the stale value.
+//
+// Layout: u8 flags | u64 version (little-endian) | value bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace chameleon::dist {
+
+inline constexpr std::uint8_t kReplicaFlagTombstone = 0x01;
+
+struct ReplicaBlob {
+  std::uint64_t version = 0;
+  bool tombstone = false;
+  std::vector<std::uint8_t> value;  ///< empty for tombstones
+};
+
+void encode_replica_blob(std::uint64_t version, bool tombstone,
+                         std::span<const std::uint8_t> value,
+                         std::vector<std::uint8_t>& out);
+/// False on malformed input (short blob, unknown flags, tombstone carrying
+/// value bytes).
+bool decode_replica_blob(std::span<const std::uint8_t> blob, ReplicaBlob& out);
+
+}  // namespace chameleon::dist

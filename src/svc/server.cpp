@@ -48,8 +48,12 @@ Nanos elapsed_ns(std::chrono::steady_clock::time_point from,
 }
 
 bool is_data_op(Op op) {
+  // Peer store ops (kReplicate/kStripeWrite) and the wear snapshot ride the
+  // same admission/deadline/store-backend path as client data ops; kPlace
+  // and kPeerHealth are pure membership reads answered inline like kHealth.
   return op == Op::kGet || op == Op::kPut || op == Op::kDelete ||
-         op == Op::kDigest;
+         op == Op::kDigest || op == Op::kReplicate || op == Op::kStripeWrite ||
+         op == Op::kWearReport;
 }
 
 }  // namespace
@@ -88,14 +92,20 @@ Server::Server(core::Chameleon& system, const ServerConfig& config)
       metric_.requests[i] =
           &reg.counter("chameleon_svc_requests_total", {{"op", op}},
                        "Service requests received, by op");
+      // Bin counts bound the exposition, which renders every bucket of every
+      // {op} x {stage} series: at 1000 bins the METRICS payload outgrew the
+      // client's 4 MiB frame cap once the peer data ops (replicate /
+      // stripe_write / wear_report) joined the grid. Consumers of these
+      // histograms read sum/count (bench attribution) or coarse quantiles
+      // (Prometheus), so 100-200 linear bins lose nothing that was usable.
       metric_.latency[i] = &reg.histogram(
-          "chameleon_svc_request_latency_ns", 0.0, 1e8, 1000, {{"op", op}},
+          "chameleon_svc_request_latency_ns", 0.0, 1e8, 200, {{"op", op}},
           "Admission-to-response latency of served requests");
       if (!is_data_op(static_cast<Op>(i))) continue;
       for (std::size_t s = 0;
            s < static_cast<std::size_t>(obs::SvcStage::kCount); ++s) {
         metric_.stage[i][s] = &reg.histogram(
-            "chameleon_svc_stage_seconds", 0.0, 0.1, 1000,
+            "chameleon_svc_stage_seconds", 0.0, 0.1, 100,
             {{"op", op},
              {"stage", obs::svc_stage_name(static_cast<obs::SvcStage>(s))}},
             "Per-pipeline-stage time of served data requests "
@@ -752,6 +762,25 @@ Frame Server::control_response(const Frame& request) {
       resp.payload.assign(body.begin(), body.end());
       break;
     }
+    case Op::kPlace:
+    case Op::kPeerHealth: {
+      // Membership peer ops (docs/DISTRIBUTED.md): answered inline in every
+      // serving state — heartbeats must keep flowing while a node recovers
+      // or drains, exactly like HEALTH. Without an installed handler (a
+      // single-node server) both are malformed requests.
+      PeerHandler* handler = peer_handler_.load(std::memory_order_acquire);
+      bool ok = false;
+      if (handler != nullptr) {
+        ok = request.op == Op::kPlace
+                 ? handler->place(request.payload, resp.payload)
+                 : handler->peer_health(request.payload, resp.payload);
+      }
+      if (!ok) {
+        resp.status = Status::kBadRequest;
+        resp.payload.clear();
+      }
+      break;
+    }
     default:
       resp.status = Status::kBadRequest;
       break;
@@ -822,6 +851,76 @@ Frame Server::execute(const Frame& request) {
           std::snprintf(hex, sizeof(hex), "%016llx",
                         static_cast<unsigned long long>(digest));
           resp.payload.assign(hex, hex + 16);
+        };
+        if (pipeline_) {
+          pipeline_->bypass_inline(compute);
+        } else {
+          std::lock_guard lock(store_mutex_);
+          compute();
+        }
+        break;
+      }
+      case Op::kReplicate: {
+        // A router-fanned replica write: identical to kPut except the body
+        // carries the originating node id (diagnostics) and the op is
+        // counted separately, so node-local traffic and peer traffic are
+        // distinguishable in STATS/metrics.
+        ReplicateBody body;
+        if (!decode_replicate_body(request.payload, body)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
+        if (mutex_mode) lock.lock();
+        system_.client().put(
+            body.key,
+            std::span<const std::uint8_t>(body.value.data(),
+                                          body.value.size()),
+            system_.current_epoch());
+        maybe_tick_epoch();
+        break;
+      }
+      case Op::kStripeWrite: {
+        // One erasure-coded shard of a cross-node stripe: stored as a
+        // self-describing blob (ShardMeta + shard bytes) under the internal
+        // shard key, through the ordinary put path so the WAL, checkpoints,
+        // and DIGEST all cover shards with zero extra machinery.
+        StripeShardBody body;
+        if (!decode_stripe_shard_body(request.payload, body)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        std::vector<std::uint8_t> blob;
+        encode_shard_blob(body.meta,
+                          std::span<const std::uint8_t>(body.shard.data(),
+                                                        body.shard.size()),
+                          blob);
+        std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
+        if (mutex_mode) lock.lock();
+        system_.client().put(
+            shard_key(body.key, body.meta.index),
+            std::span<const std::uint8_t>(blob.data(), blob.size()),
+            system_.current_epoch());
+        maybe_tick_epoch();
+        break;
+      }
+      case Op::kWearReport: {
+        if (!request.payload.empty()) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
+        // Consistent point-in-time wear snapshot: like kDigest, the erase
+        // counters live in FTL state that shard threads mutate, so sharded
+        // mode reads them inside a drain-fenced bypass window.
+        const auto compute = [&] {
+          WearReportBody body;
+          body.node_id = config_.node_id;
+          body.epoch = system_.current_epoch();
+          body.server_erases = system_.cluster().erase_counts();
+          for (const std::uint64_t e : body.server_erases) {
+            body.total_erases += e;
+          }
+          encode_wear_report_body(body, resp.payload);
         };
         if (pipeline_) {
           pipeline_->bypass_inline(compute);
@@ -1041,6 +1140,7 @@ std::string Server::stats_json() const {
   out += ",\"store_mode\":\"";
   out += store_mode_name(config_.store_mode);
   out += '"';
+  field("node_id", config_.node_id);
   field("reactors", reactor_count_.load(std::memory_order_relaxed));
   field("pipeline_jobs_total", s.pipeline_jobs_total);
   field("pipeline_drains_total", s.pipeline_drains_total);
@@ -1116,6 +1216,8 @@ std::string Server::health_json() const {
   out += ",\"store_mode\":\"";
   out += store_mode_name(config_.store_mode);
   out += '"';
+  out += ",\"node_id\":";
+  out += std::to_string(config_.node_id);
   out += ",\"uptime_seconds\":";
   out += json_number(
       start_time_.time_since_epoch().count() == 0

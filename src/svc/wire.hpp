@@ -58,6 +58,20 @@ enum class Op : std::uint8_t {
   kHealth,    ///< request: empty; response: JSON readiness report
               ///< (state recovering|serving|draining + recovery counters);
               ///< answered inline in every state so probes never block
+  // --- inter-node peer ops (docs/DISTRIBUTED.md) ---------------------------
+  // Version 2 frames carry these between chameleon_router / chameleon_server
+  // processes; a node that is not running in distributed mode answers them
+  // with kBadRequest.
+  kPlace,        ///< request: key body; response: placement body (the ring's
+                 ///< full successor order for the key + membership view)
+  kReplicate,    ///< request: replicate body (origin node + key + value);
+                 ///< stores a full replica under the client key
+  kStripeWrite,  ///< request: stripe-shard body (EC geometry + shard bytes);
+                 ///< stores one shard blob under the internal shard key
+  kPeerHealth,   ///< request: peer-health body (sender id + view version);
+                 ///< renews the sender's lease; response echoes local view
+  kWearReport,   ///< request: empty; response: wear-report body (per-flash-
+                 ///< server erase counters) for cross-node wear aggregation
   kCount
 };
 const char* op_name(Op op);
@@ -166,5 +180,111 @@ bool decode_put_body(std::span<const std::uint8_t> payload, PutBody& out);
 /// GET/DELETE body: u32 key_len | key.
 void encode_key_body(std::string_view key, std::vector<std::uint8_t>& out);
 bool decode_key_body(std::span<const std::uint8_t> payload, std::string& out);
+
+// --- peer-op body codecs (docs/DISTRIBUTED.md) -----------------------------
+// Same conventions as the client bodies: little-endian fixed-width fields,
+// exact lengths, decoders that validate before every read. All of these ride
+// inside ordinary v2 frames, so the CRC32C payload checksum already covers
+// them; the stripe body additionally carries the CRC of the *original*
+// object so the router can verify a reconstruction end to end.
+
+/// REPLICATE body: u32 origin_node | u32 key_len | key | u32 value_len |
+/// value. Stored under the plain client key on the receiving node.
+struct ReplicateBody {
+  std::uint32_t origin_node = 0;  ///< router/originating node id (diagnostic)
+  std::string key;
+  std::vector<std::uint8_t> value;
+};
+void encode_replicate_body(const ReplicateBody& body,
+                           std::vector<std::uint8_t>& out);
+bool decode_replicate_body(std::span<const std::uint8_t> payload,
+                           ReplicateBody& out);
+
+/// Stripe shard flags (ShardMeta::flags).
+inline constexpr std::uint8_t kShardFlagTombstone = 0x01;
+
+/// Erasure-coding geometry + integrity metadata for one stripe shard. The
+/// same struct is embedded in the stored shard blob so a reader can recover
+/// the stripe parameters — and the write's version — from any single shard.
+/// Versions are what make reads correct across fail/rejoin: a rejoined node
+/// may hold shards of an older write, and the reader reconstructs only from
+/// the highest version with >= k shards. A tombstone (flags bit 0) records
+/// a versioned delete; its stripe_len is 0 and it carries no shard bytes.
+struct ShardMeta {
+  std::uint16_t k = 0;       ///< data shards
+  std::uint16_t m = 0;       ///< parity shards
+  std::uint32_t index = 0;   ///< this shard's index in [0, k + m)
+  std::uint64_t version = 0;  ///< router-assigned monotone write version
+  std::uint8_t flags = 0;     ///< kShardFlag* bits
+  std::uint64_t stripe_len = 0;  ///< original object payload bytes
+  std::uint32_t stripe_crc = 0;  ///< CRC32C of the original object payload
+};
+
+/// STRIPE_WRITE body: u32 origin_node | u32 key_len | key | shard blob,
+/// where the shard blob is ShardMeta (u16 k | u16 m | u32 index |
+/// u64 version | u8 flags | u64 stripe_len | u32 stripe_crc) followed by
+/// the raw shard bytes.
+struct StripeShardBody {
+  std::uint32_t origin_node = 0;
+  std::string key;  ///< the *client* key; nodes store under shard_key()
+  ShardMeta meta;
+  std::vector<std::uint8_t> shard;
+};
+void encode_stripe_shard_body(const StripeShardBody& body,
+                              std::vector<std::uint8_t>& out);
+bool decode_stripe_shard_body(std::span<const std::uint8_t> payload,
+                              StripeShardBody& out);
+
+/// The self-describing blob a node stores for one shard (and a router reads
+/// back with a plain GET of the shard key): ShardMeta header + shard bytes.
+void encode_shard_blob(const ShardMeta& meta,
+                       std::span<const std::uint8_t> shard,
+                       std::vector<std::uint8_t>& out);
+bool decode_shard_blob(std::span<const std::uint8_t> blob, ShardMeta& meta,
+                       std::vector<std::uint8_t>& shard);
+
+/// Internal key a stripe shard is stored under. The "\x01" prefix keeps the
+/// namespace disjoint from ordinary client traffic by convention (client
+/// keys are free-form bytes, but tools and tests never start keys with 0x01).
+std::string shard_key(std::string_view key, std::uint32_t index);
+
+/// PLACE response / membership exchange: u64 view_version | u32 count |
+/// count x u32 node ids, in ring-successor preference order.
+struct PlacementBody {
+  std::uint64_t view_version = 0;
+  std::vector<std::uint32_t> nodes;
+};
+void encode_placement_body(const PlacementBody& body,
+                           std::vector<std::uint8_t>& out);
+bool decode_placement_body(std::span<const std::uint8_t> payload,
+                           PlacementBody& out);
+
+/// PEER_HEALTH request and response: u32 node_id | u8 state |
+/// u64 view_version. In requests `state` is the sender's serving state
+/// (0 = recovering, 1 = serving, 2 = draining); responses echo the
+/// receiver's. View versions let either side notice a membership change.
+struct PeerHealthBody {
+  std::uint32_t node_id = 0;
+  std::uint8_t state = 0;
+  std::uint64_t view_version = 0;
+};
+void encode_peer_health_body(const PeerHealthBody& body,
+                             std::vector<std::uint8_t>& out);
+bool decode_peer_health_body(std::span<const std::uint8_t> payload,
+                             PeerHealthBody& out);
+
+/// WEAR_REPORT response: u32 node_id | u64 epoch | u64 total_erases |
+/// u32 server_count | server_count x u64 per-flash-server erase counters.
+/// The request payload is empty.
+struct WearReportBody {
+  std::uint32_t node_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t total_erases = 0;
+  std::vector<std::uint64_t> server_erases;
+};
+void encode_wear_report_body(const WearReportBody& body,
+                             std::vector<std::uint8_t>& out);
+bool decode_wear_report_body(std::span<const std::uint8_t> payload,
+                             WearReportBody& out);
 
 }  // namespace chameleon::svc

@@ -1,0 +1,127 @@
+// Property tests for cluster::HashRing at DISTRIBUTED-MODE scale
+// (docs/DISTRIBUTED.md): the dist routing tier places keys on 3-16 node
+// rings, so these pin the two properties that placement correctness and
+// rebalancing cost rest on — bounded imbalance at every cluster size, and
+// minimal key movement when the node set changes.
+#include "cluster/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/fnv.hpp"
+
+namespace chameleon::cluster {
+namespace {
+
+constexpr int kKeys = 20'000;
+
+std::uint64_t key_hash(int key) {
+  return fnv1a64(static_cast<std::uint64_t>(key));
+}
+
+TEST(HashRingProperty, BalanceBoundAcrossNodeCounts) {
+  // At every cluster size the dist tier actually runs (3-16 nodes, 64
+  // vnodes as dist::Router configures), the most loaded node stays within
+  // 2x the fair share and the least loaded above a third of it.
+  for (std::uint32_t nodes = 3; nodes <= 16; ++nodes) {
+    const HashRing ring(nodes, 64);
+    std::map<ServerId, int> counts;
+    for (int key = 0; key < kKeys; ++key) {
+      ++counts[ring.primary(key_hash(key))];
+    }
+    ASSERT_EQ(counts.size(), nodes) << "nodes=" << nodes;
+    const double fair = static_cast<double>(kKeys) / nodes;
+    for (const auto& [node, count] : counts) {
+      EXPECT_LT(count, fair * 2.0) << "nodes=" << nodes << " node=" << node;
+      EXPECT_GT(count, fair / 3.0) << "nodes=" << nodes << " node=" << node;
+    }
+  }
+}
+
+TEST(HashRingProperty, AddMovesOnlyToTheNewNode) {
+  // Growing n -> n+1 may only remap a key TO the added node; every other
+  // key keeps its owner. Checked at every step from 3 to 16 nodes.
+  for (std::uint32_t nodes = 3; nodes < 16; ++nodes) {
+    HashRing ring(nodes, 64);
+    std::vector<ServerId> before(kKeys);
+    for (int key = 0; key < kKeys; ++key) {
+      before[static_cast<std::size_t>(key)] = ring.primary(key_hash(key));
+    }
+    const ServerId added = nodes;
+    ring.add_server(added);
+    int moved = 0;
+    for (int key = 0; key < kKeys; ++key) {
+      const ServerId now = ring.primary(key_hash(key));
+      const ServerId old = before[static_cast<std::size_t>(key)];
+      if (now != old) {
+        ASSERT_EQ(now, added)
+            << "nodes=" << nodes << " key " << key << " moved " << old
+            << " -> " << now << " without involving the added node";
+        ++moved;
+      }
+    }
+    // The added node takes roughly a fair share — and only that.
+    const double fair = static_cast<double>(kKeys) / (nodes + 1);
+    EXPECT_GT(moved, fair * 0.3) << "nodes=" << nodes;
+    EXPECT_LT(moved, fair * 2.5) << "nodes=" << nodes;
+  }
+}
+
+TEST(HashRingProperty, RemoveMovesOnlyTheVictimsKeys) {
+  // Shrinking n -> n-1 may only remap keys the removed node owned; the
+  // moved fraction is the victim's share, about 1/n.
+  for (std::uint32_t nodes = 4; nodes <= 16; ++nodes) {
+    HashRing ring(nodes, 64);
+    std::vector<ServerId> before(kKeys);
+    for (int key = 0; key < kKeys; ++key) {
+      before[static_cast<std::size_t>(key)] = ring.primary(key_hash(key));
+    }
+    const ServerId victim = nodes / 2;
+    ring.remove_server(victim);
+    int moved = 0;
+    for (int key = 0; key < kKeys; ++key) {
+      const ServerId now = ring.primary(key_hash(key));
+      const ServerId old = before[static_cast<std::size_t>(key)];
+      if (old == victim) {
+        EXPECT_NE(now, victim);
+        ++moved;
+      } else {
+        ASSERT_EQ(now, old) << "nodes=" << nodes << " key " << key
+                            << " moved although node " << victim
+                            << " was removed";
+      }
+    }
+    const double fair = static_cast<double>(kKeys) / nodes;
+    EXPECT_GT(moved, fair * 0.3) << "nodes=" << nodes;
+    EXPECT_LT(moved, fair * 2.5) << "nodes=" << nodes;
+  }
+}
+
+TEST(HashRingProperty, SuccessorOrderStableUnderUnrelatedRemove) {
+  // The dist tier's failover contract: a key's successor ORDER (restricted
+  // to surviving nodes) is unchanged by removing an unrelated node, so
+  // membership-filtered placement equals ring-mutation placement without
+  // ever moving ring points.
+  const std::uint32_t nodes = 8;
+  HashRing ring(nodes, 64);
+  const ServerId victim = 5;
+  std::vector<std::vector<ServerId>> before(kKeys);
+  for (int key = 0; key < kKeys; ++key) {
+    before[static_cast<std::size_t>(key)] =
+        ring.successors(key_hash(key), nodes);
+  }
+  ring.remove_server(victim);
+  for (int key = 0; key < kKeys; ++key) {
+    const auto after = ring.successors(key_hash(key), nodes - 1);
+    std::vector<ServerId> filtered;
+    for (const ServerId id : before[static_cast<std::size_t>(key)]) {
+      if (id != victim) filtered.push_back(id);
+    }
+    ASSERT_EQ(after, filtered) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::cluster

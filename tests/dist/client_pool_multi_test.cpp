@@ -1,0 +1,159 @@
+// Multi-endpoint svc::ClientPool tests (ctest label `dist`): three plain
+// servers on loopback with NO router in front — the pool itself ring-routes
+// key ops to an owner endpoint and fails over along the ring when an
+// endpoint dies. This is the client-embedded counterpart of dist::Router
+// (docs/DISTRIBUTED.md, "embeddable" routing).
+#include "svc/client_conn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "mini_cluster.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::svc {
+namespace {
+
+struct PlainNode {
+  std::unique_ptr<core::Chameleon> system;
+  std::unique_ptr<Server> server;
+};
+
+class MultiEndpointPool : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 3;
+
+  void SetUp() override {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      PlainNode& node = nodes_[i];
+      node.system = std::make_unique<core::Chameleon>(dist::small_system());
+      ServerConfig cfg;
+      cfg.port = 0;
+      cfg.workers = 2;
+      cfg.node_id = static_cast<std::uint32_t>(i + 1);
+      node.server = std::make_unique<Server>(*node.system, cfg);
+      node.server->start();
+      Endpoint ep;
+      ep.node_id = static_cast<std::uint32_t>(i + 1);
+      ep.port = node.server->port();
+      endpoints_.push_back(ep);
+    }
+  }
+
+  void TearDown() override {
+    for (PlainNode& node : nodes_) {
+      if (node.server) node.server->stop();
+    }
+  }
+
+  ClientConfig pool_config() const {
+    ClientConfig cfg;
+    cfg.endpoints = endpoints_;
+    // Fast failover: a dead endpoint should cost two quick attempts, not
+    // the default budget.
+    cfg.retry.max_attempts = 2;
+    cfg.retry.base_backoff = 2 * kMillisecond;
+    return cfg;
+  }
+
+  PlainNode nodes_[kNodes];
+  std::vector<Endpoint> endpoints_;
+};
+
+TEST_F(MultiEndpointPool, RingRoutesKeysToExactlyOneOwner) {
+  ClientPool pool(pool_config(), 2);
+  ASSERT_EQ(pool.endpoint_count(), kNodes);
+  ASSERT_TRUE(pool.wait_serving(10 * kSecond));
+
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "mk-" + std::to_string(i);
+    ASSERT_EQ(pool.put(key, "v" + std::to_string(i)), Status::kOk);
+  }
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 30; ++i) {
+    const std::string key = "mk-" + std::to_string(i);
+    ASSERT_EQ(pool.get(key, got), Status::kOk) << key;
+    const std::string want = "v" + std::to_string(i);
+    EXPECT_EQ(std::string(got.begin(), got.end()), want);
+  }
+  // No endpoint died, so nothing ever moved past its first choice...
+  EXPECT_EQ(pool.failovers_total(), 0u);
+
+  // ...and each key lives on exactly one endpoint (routing, not broadcast),
+  // with every endpoint owning a share.
+  std::size_t copies_total = 0;
+  for (std::size_t e = 0; e < kNodes; ++e) {
+    std::size_t here = 0;
+    for (int i = 0; i < 30; ++i) {
+      if (pool.endpoint_pool(e).get("mk-" + std::to_string(i), got) ==
+          Status::kOk) {
+        ++here;
+      }
+    }
+    EXPECT_GT(here, 0u) << "endpoint " << e << " owns no keys";
+    copies_total += here;
+  }
+  EXPECT_EQ(copies_total, 30u);
+}
+
+TEST_F(MultiEndpointPool, FailsOverPastADeadEndpoint) {
+  ClientPool pool(pool_config(), 2);
+  ASSERT_TRUE(pool.wait_serving(10 * kSecond));
+
+  // Find two keys owned by endpoint 0 and one owned elsewhere.
+  std::vector<std::uint8_t> got;
+  std::string victim_key, victim_only_key, other_key;
+  for (int i = 0;
+       victim_key.empty() || victim_only_key.empty() || other_key.empty();
+       ++i) {
+    ASSERT_LT(i, 200) << "could not find keys for both owners";
+    const std::string key = "fk-" + std::to_string(i);
+    ASSERT_EQ(pool.put(key, "payload"), Status::kOk);
+    if (pool.endpoint_pool(0).get(key, got) == Status::kOk) {
+      if (victim_key.empty()) {
+        victim_key = key;
+      } else if (victim_only_key.empty()) {
+        victim_only_key = key;
+      }
+    } else if (other_key.empty()) {
+      other_key = key;
+    }
+  }
+
+  nodes_[0].server->stop();
+
+  // A write whose first choice is the dead endpoint lands on the next ring
+  // successor instead of failing.
+  ASSERT_EQ(pool.put(victim_key, "rewritten"), Status::kOk);
+  EXPECT_GT(pool.failovers_total(), 0u);
+  // And the follow-up read walks the same order past the dead node to the
+  // endpoint that took the failover write.
+  ASSERT_EQ(pool.get(victim_key, got), Status::kOk);
+  EXPECT_EQ(std::string(got.begin(), got.end()), "rewritten");
+
+  // A key that only ever lived on the dead endpoint is honestly kNotFound:
+  // the survivors answer, none of them have it, nothing throws. (The pool
+  // routes, it does not replicate — redundancy is dist::Router's job.)
+  EXPECT_EQ(pool.get(victim_only_key, got), Status::kNotFound);
+
+  // Keys owned by live endpoints are untouched by the failure.
+  ASSERT_EQ(pool.get(other_key, got), Status::kOk);
+  EXPECT_EQ(std::string(got.begin(), got.end()), "payload");
+
+  // wait_serving demands EVERY endpoint serving; with one down it must
+  // report false, not hang.
+  EXPECT_FALSE(pool.wait_serving(200 * kMillisecond));
+}
+
+TEST_F(MultiEndpointPool, DuplicateEndpointIdsRejected) {
+  ClientConfig cfg = pool_config();
+  cfg.endpoints.push_back(cfg.endpoints.front());
+  EXPECT_THROW(ClientPool pool(cfg, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace chameleon::svc

@@ -1,0 +1,221 @@
+// Unit tests for the dist building blocks (ctest label `dist`): peer-spec
+// parsing and lazy port resolution, the deterministic membership lease
+// state machine, and the versioned replica blob codec.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "dist/membership.hpp"
+#include "dist/peer.hpp"
+#include "dist/replica.hpp"
+
+namespace chameleon::dist {
+namespace {
+
+// --- peer specs --------------------------------------------------------------
+
+TEST(PeerSpec, ParsesFixedPort) {
+  const PeerSpec spec = parse_peer_spec("3@10.0.0.7:7421");
+  EXPECT_EQ(spec.id, 3u);
+  EXPECT_EQ(spec.host, "10.0.0.7");
+  EXPECT_EQ(spec.port, 7421u);
+  EXPECT_TRUE(spec.port_file.empty());
+  EXPECT_EQ(format_peer_spec(spec), "3@10.0.0.7:7421");
+}
+
+TEST(PeerSpec, ParsesPortFileForm) {
+  const PeerSpec spec = parse_peer_spec("1@127.0.0.1:@/tmp/n1-port.txt");
+  EXPECT_EQ(spec.id, 1u);
+  EXPECT_EQ(spec.port, 0u);
+  EXPECT_EQ(spec.port_file, "/tmp/n1-port.txt");
+  EXPECT_EQ(format_peer_spec(spec), "1@127.0.0.1:@/tmp/n1-port.txt");
+}
+
+TEST(PeerSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(parse_peer_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("nohost"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("1@host"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("x@host:1"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("1@host:notaport"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("1@:123"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_spec("1@host:99999"), std::invalid_argument);
+}
+
+TEST(PeerSpec, ListParsesAndRejectsDuplicates) {
+  const auto list = parse_peer_list("1@a:1,2@b:@/f,3@c:3");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1].port_file, "/f");
+  EXPECT_THROW(parse_peer_list("1@a:1,1@b:2"), std::invalid_argument);
+  EXPECT_THROW(parse_peer_list(""), std::invalid_argument);
+}
+
+TEST(PeerSpec, ResolvePortReadsAndRereadsFile) {
+  const std::string path =
+      ::testing::TempDir() + "resolve_port_test_port.txt";
+  std::remove(path.c_str());
+  PeerSpec spec;
+  spec.id = 1;
+  spec.port_file = path;
+  EXPECT_FALSE(resolve_port(spec).has_value());  // file missing
+  {
+    std::ofstream out(path);
+    out << "7421\n";
+  }
+  ASSERT_TRUE(resolve_port(spec).has_value());
+  EXPECT_EQ(*resolve_port(spec), 7421u);
+  {
+    // A restarted server rewrites the file; re-resolution must see it.
+    std::ofstream out(path);
+    out << "7500\n";
+  }
+  EXPECT_EQ(*resolve_port(spec), 7500u);
+  std::remove(path.c_str());
+}
+
+// --- membership --------------------------------------------------------------
+
+TEST(Membership, LeaseStateMachineIsDeterministic) {
+  Membership m({.suspect_after = 2, .dead_after = 4});
+  PeerSpec spec;
+  spec.id = 7;
+  m.add_peer(spec);
+  EXPECT_EQ(m.state_of(7), PeerState::kUnknown);
+  EXPECT_FALSE(m.settled());
+  EXPECT_FALSE(m.is_live(7));
+
+  EXPECT_TRUE(m.probe_ok(7));  // kUnknown -> kAlive
+  EXPECT_EQ(m.state_of(7), PeerState::kAlive);
+  EXPECT_TRUE(m.settled());
+  EXPECT_TRUE(m.is_live(7));
+
+  EXPECT_FALSE(m.probe_missed(7));  // 1 miss: still alive
+  EXPECT_EQ(m.state_of(7), PeerState::kAlive);
+  EXPECT_TRUE(m.probe_missed(7));  // 2nd miss: suspect
+  EXPECT_EQ(m.state_of(7), PeerState::kSuspect);
+  EXPECT_FALSE(m.is_live(7));
+  EXPECT_FALSE(m.probe_missed(7));  // 3rd miss: still suspect
+  EXPECT_TRUE(m.probe_missed(7));  // 4th miss: dead
+  EXPECT_EQ(m.state_of(7), PeerState::kDead);
+
+  EXPECT_EQ(m.rejoins_total(), 0u);
+  EXPECT_TRUE(m.probe_ok(7));  // rejoin
+  EXPECT_EQ(m.state_of(7), PeerState::kAlive);
+  EXPECT_EQ(m.rejoins_total(), 1u);
+}
+
+TEST(Membership, SuspectBlipAbsorbedWithoutRejoin) {
+  Membership m({.suspect_after = 2, .dead_after = 4});
+  PeerSpec spec;
+  spec.id = 1;
+  m.add_peer(spec);
+  m.probe_ok(1);
+  m.probe_missed(1);
+  m.probe_missed(1);
+  ASSERT_EQ(m.state_of(1), PeerState::kSuspect);
+  EXPECT_TRUE(m.probe_ok(1));
+  EXPECT_EQ(m.state_of(1), PeerState::kAlive);
+  EXPECT_EQ(m.rejoins_total(), 0u);  // a blip is not a rejoin
+}
+
+TEST(Membership, ViewVersionBumpsOnlyOnTransitions) {
+  Membership m;
+  PeerSpec spec;
+  spec.id = 1;
+  m.add_peer(spec);
+  const std::uint64_t v0 = m.view_version();
+  m.probe_ok(1);
+  const std::uint64_t v1 = m.view_version();
+  EXPECT_GT(v1, v0);
+  m.probe_ok(1);  // steady state: no transition
+  EXPECT_EQ(m.view_version(), v1);
+  m.probe_missed(1);  // below suspect threshold: no transition
+  EXPECT_EQ(m.view_version(), v1);
+}
+
+TEST(Membership, LiveIdsAscendingAndUnknownIdsIgnored) {
+  Membership m;
+  for (const std::uint32_t id : {5u, 1u, 3u}) {
+    PeerSpec spec;
+    spec.id = id;
+    m.add_peer(spec);
+  }
+  EXPECT_FALSE(m.probe_ok(99));  // not registered: ignored
+  m.probe_ok(5);
+  m.probe_ok(1);
+  EXPECT_EQ(m.live_ids(), (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(m.all_ids(), (std::vector<std::uint32_t>{1, 3, 5}));
+  EXPECT_THROW(m.spec_of(99), std::out_of_range);
+  PeerSpec dup;
+  dup.id = 3;
+  EXPECT_THROW(m.add_peer(dup), std::invalid_argument);
+}
+
+TEST(Membership, UnknownPeerDiesAfterEnoughMisses) {
+  // A peer that NEVER answered still settles (to kDead) after dead_after
+  // misses, so one crashed-at-boot node cannot wedge router startup.
+  Membership m({.suspect_after = 2, .dead_after = 4});
+  PeerSpec spec;
+  spec.id = 2;
+  m.add_peer(spec);
+  for (int i = 0; i < 3; ++i) m.probe_missed(2);
+  EXPECT_FALSE(m.settled());
+  m.probe_missed(2);
+  EXPECT_EQ(m.state_of(2), PeerState::kDead);
+  EXPECT_TRUE(m.settled());
+}
+
+// --- replica blobs -----------------------------------------------------------
+
+TEST(ReplicaBlob, RoundTripsValueAndVersion) {
+  const std::vector<std::uint8_t> value = {1, 2, 3, 255, 0, 42};
+  std::vector<std::uint8_t> blob;
+  encode_replica_blob(0x0123456789abcdefULL, false, value, blob);
+  ReplicaBlob out;
+  ASSERT_TRUE(decode_replica_blob(blob, out));
+  EXPECT_EQ(out.version, 0x0123456789abcdefULL);
+  EXPECT_FALSE(out.tombstone);
+  EXPECT_EQ(out.value, value);
+}
+
+TEST(ReplicaBlob, TombstoneCarriesNoValue) {
+  std::vector<std::uint8_t> blob;
+  encode_replica_blob(9, true, {}, blob);
+  EXPECT_EQ(blob.size(), 9u);
+  ReplicaBlob out;
+  ASSERT_TRUE(decode_replica_blob(blob, out));
+  EXPECT_TRUE(out.tombstone);
+  EXPECT_EQ(out.version, 9u);
+  EXPECT_TRUE(out.value.empty());
+}
+
+TEST(ReplicaBlob, MalformedBlobsRejected) {
+  ReplicaBlob out;
+  EXPECT_FALSE(decode_replica_blob({}, out));
+  const std::vector<std::uint8_t> short_blob(8, 0);
+  EXPECT_FALSE(decode_replica_blob(short_blob, out));
+  std::vector<std::uint8_t> bad_flags;
+  encode_replica_blob(1, false, {}, bad_flags);
+  bad_flags[0] = 0x80;  // unknown flag bit
+  EXPECT_FALSE(decode_replica_blob(bad_flags, out));
+  std::vector<std::uint8_t> fat_tombstone;
+  encode_replica_blob(1, true, {}, fat_tombstone);
+  fat_tombstone.push_back(7);  // tombstone with value bytes
+  EXPECT_FALSE(decode_replica_blob(fat_tombstone, out));
+}
+
+TEST(ReplicaBlob, HigherVersionWinsIsWellOrdered) {
+  // The read path's max-version rule needs encode/decode to preserve the
+  // total order of versions; spot-check boundary values.
+  for (const std::uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, ~0ULL}) {
+    std::vector<std::uint8_t> blob;
+    encode_replica_blob(v, false, {}, blob);
+    ReplicaBlob out;
+    ASSERT_TRUE(decode_replica_blob(blob, out));
+    EXPECT_EQ(out.version, v);
+  }
+}
+
+}  // namespace
+}  // namespace chameleon::dist

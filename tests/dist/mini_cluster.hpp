@@ -1,0 +1,152 @@
+// Shared in-process 3-node test harness for the dist suite: three
+// svc::Servers (each with a NodeRuntime attached) on loopback with fixed
+// post-bind ports, so tests can kill a node and restart it at the same
+// address — the in-process analogue of the multi-process chaosd topology.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/chameleon.hpp"
+#include "dist/node.hpp"
+#include "dist/router.hpp"
+#include "svc/client_conn.hpp"
+#include "svc/server.hpp"
+
+namespace chameleon::dist {
+
+inline core::ChameleonConfig small_system() {
+  core::ChameleonConfig cfg;
+  cfg.servers = 6;
+  cfg.ssd.pages_per_block = 8;
+  cfg.ssd.block_count = 256;
+  cfg.ssd.static_wl_delta = 0;
+  cfg.kv.initial_scheme = meta::RedState::kEc;
+  return cfg;
+}
+
+/// One in-process data node: simulated cluster + server + node runtime.
+struct TestNode {
+  std::unique_ptr<core::Chameleon> system;
+  std::unique_ptr<svc::Server> server;
+  std::unique_ptr<NodeRuntime> runtime;
+
+  void stop() {
+    if (runtime) runtime->stop();
+    if (server) {
+      server->set_peer_handler(nullptr);
+      server->stop();
+    }
+    runtime.reset();
+    server.reset();
+    system.reset();
+  }
+};
+
+class MiniCluster {
+ public:
+  static constexpr std::size_t kNodes = 3;
+
+  explicit MiniCluster(svc::StoreMode mode = svc::StoreMode::kSharded)
+      : store_mode_(mode) {
+    // First boot on ephemeral ports; pin the specs afterwards.
+    for (std::size_t i = 0; i < kNodes; ++i) boot(i, 0);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      PeerSpec spec;
+      spec.id = static_cast<std::uint32_t>(i + 1);
+      spec.host = "127.0.0.1";
+      spec.port = nodes_[i].server->port();
+      specs_.push_back(spec);
+    }
+    for (std::size_t i = 0; i < kNodes; ++i) attach_runtime(i);
+  }
+
+  ~MiniCluster() {
+    for (TestNode& node : nodes_) node.stop();
+  }
+
+  const std::vector<PeerSpec>& specs() const { return specs_; }
+  TestNode& node(std::size_t i) { return nodes_[i]; }
+
+  void kill(std::size_t i) { nodes_[i].stop(); }
+
+  void restart(std::size_t i) {
+    boot(i, specs_[i].port);
+    attach_runtime(i);
+  }
+
+ private:
+  void boot(std::size_t i, std::uint16_t port) {
+    TestNode& node = nodes_[i];
+    node.system = std::make_unique<core::Chameleon>(small_system());
+    svc::ServerConfig cfg;
+    cfg.port = port;
+    cfg.workers = 2;
+    cfg.store_mode = store_mode_;
+    cfg.epoch_every_ops = 100;
+    cfg.node_id = static_cast<std::uint32_t>(i + 1);
+    node.server = std::make_unique<svc::Server>(*node.system, cfg);
+    node.server->start();
+  }
+
+  void attach_runtime(std::size_t i) {
+    NodeConfig cfg;
+    cfg.node_id = static_cast<std::uint32_t>(i + 1);
+    for (std::size_t j = 0; j < kNodes; ++j) {
+      if (j != i) cfg.peers.push_back(specs_[j]);
+    }
+    cfg.heartbeat_interval = 10 * kMillisecond;
+    svc::Server* server = nodes_[i].server.get();
+    nodes_[i].runtime = std::make_unique<NodeRuntime>(
+        cfg, [server]() -> std::uint8_t {
+          return static_cast<std::uint8_t>(server->state());
+        });
+    server->set_peer_handler(nodes_[i].runtime.get());
+    nodes_[i].runtime->start();
+  }
+
+  svc::StoreMode store_mode_;
+  std::vector<TestNode> nodes_{kNodes};
+  std::vector<PeerSpec> specs_;
+};
+
+inline RouterConfig test_router_config(const MiniCluster& cluster,
+                                       RouteMode mode) {
+  RouterConfig cfg;
+  cfg.nodes = cluster.specs();
+  cfg.mode = mode;
+  cfg.replicas = 2;
+  cfg.ec_k = 2;
+  cfg.ec_m = 1;
+  cfg.heartbeat_interval = 10 * kMillisecond;
+  cfg.heartbeat_timeout = 200 * kMillisecond;
+  cfg.membership.suspect_after = 2;
+  cfg.membership.dead_after = 3;
+  cfg.io_timeout = 2 * kSecond;
+  return cfg;
+}
+
+template <typename Pred>
+::testing::AssertionResult await(Pred pred, const char* what,
+                                 std::chrono::seconds budget =
+                                     std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return ::testing::AssertionSuccess();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return ::testing::AssertionFailure() << "timed out waiting for " << what;
+}
+
+inline ::testing::AssertionResult await_live(Router& router,
+                                             std::size_t want) {
+  return await(
+      [&] { return router.membership().live_ids().size() == want; },
+      "live count");
+}
+
+}  // namespace chameleon::dist

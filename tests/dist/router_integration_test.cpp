@@ -1,0 +1,259 @@
+// In-process 3-node cluster integration tests for the dist routing tier
+// (ctest label `dist`): three svc::Servers with NodeRuntimes attached, a
+// dist::Router fronting them over real loopback TCP, and an ordinary
+// ClientPool speaking the unchanged client protocol to the router.
+// Covers replicate and stripe placement, write availability and read
+// correctness through a node fail/rejoin cycle (versioned stale-copy and
+// tombstone semantics), degraded stripe reconstruction, the inline peer
+// ops (PLACE / PEER_HEALTH / WEAR_REPORT), and wear aggregation.
+#include "dist/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mini_cluster.hpp"
+
+namespace chameleon::dist {
+namespace {
+
+svc::ClientConfig client_for(const Router& router) {
+  svc::ClientConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = router.port();
+  // Generous budget: the client must ride out the membership-detection
+  // window after a kill (kRetryLater until the router excludes the node).
+  cfg.retry.max_attempts = 10;
+  cfg.retry.base_backoff = 5 * kMillisecond;
+  return cfg;
+}
+
+std::vector<std::uint8_t> value_for(int i, std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (std::size_t b = 0; b < len; ++b) {
+    v[b] = static_cast<std::uint8_t>((i * 131 + static_cast<int>(b)) & 0xff);
+  }
+  return v;
+}
+
+TEST(RouterIntegration, ReplicateModeSurvivesFailAndRejoin) {
+  MiniCluster cluster;
+  Router router(test_router_config(cluster, RouteMode::kReplicate));
+  router.start();
+  ASSERT_TRUE(await_live(router, 3));
+  ASSERT_TRUE(router.serving());
+
+  svc::ClientPool client(client_for(router), 2);
+  ASSERT_TRUE(client.wait_serving(10 * kSecond));
+
+  // Baseline traffic through the unchanged client protocol.
+  std::vector<std::uint8_t> got;
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    ASSERT_EQ(client.put(key, value_for(i, 64)), svc::Status::kOk);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    ASSERT_EQ(client.get(key, got), svc::Status::kOk) << key;
+    EXPECT_EQ(got, value_for(i, 64)) << key;
+  }
+  ASSERT_EQ(client.remove("key-0"), svc::Status::kOk);
+  EXPECT_EQ(client.get("key-0", got), svc::Status::kNotFound);
+
+  // Kill the node that holds the first copy of a chosen key.
+  const std::string hot = "key-7";
+  const std::vector<std::uint32_t> targets = router.write_targets(hot);
+  ASSERT_GE(targets.size(), 2u);
+  const std::size_t victim = targets[0] - 1;
+  cluster.kill(victim);
+  // Wait for the full lease to lapse (suspect -> dead), not just exclusion:
+  // the rejoin counter below only moves on a dead -> alive transition, and
+  // on a fast machine the restart can otherwise land while the victim is
+  // still merely suspect.
+  ASSERT_TRUE(await(
+      [&] {
+        return router.membership().state_of(targets[0]) == PeerState::kDead;
+      },
+      "victim marked dead"));
+
+  // Availability and correctness with one node down: overwrite the hot key,
+  // delete another key the victim may hold, and keep reading everything.
+  ASSERT_EQ(client.put(hot, value_for(1007, 64)), svc::Status::kOk);
+  ASSERT_EQ(client.remove("key-8"), svc::Status::kOk);
+  for (int i = 1; i < 40; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const svc::Status status = client.get(key, got);
+    if (key == "key-8") {
+      EXPECT_EQ(status, svc::Status::kNotFound);
+    } else {
+      ASSERT_EQ(status, svc::Status::kOk) << key;
+      EXPECT_EQ(got, key == hot ? value_for(1007, 64) : value_for(i, 64));
+    }
+  }
+
+  // Rejoin: the restarted node holds STALE state (the old hot-key value,
+  // the undeleted key-8); versioned blobs must keep both reads correct.
+  cluster.restart(victim);
+  ASSERT_TRUE(await_live(router, 3));
+  EXPECT_GE(router.membership().rejoins_total(), 1u);
+  ASSERT_EQ(client.get(hot, got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(1007, 64));
+  EXPECT_EQ(client.get("key-8", got), svc::Status::kNotFound);
+  // The stale copy was actually consulted and outvoted, not just absent.
+  EXPECT_GT(router.stats().stale_replicas_skipped_total, 0u);
+  EXPECT_EQ(router.stats().protocol_errors_total, 0u);
+
+  router.stop();
+}
+
+TEST(RouterIntegration, StripeModeReconstructsDegradedReads) {
+  MiniCluster cluster;
+  Router router(test_router_config(cluster, RouteMode::kStripe));
+  router.start();
+  ASSERT_TRUE(await_live(router, 3));
+
+  svc::ClientPool client(client_for(router), 2);
+  std::vector<std::uint8_t> got;
+  // Values big enough that shards are non-trivial, with sizes that do not
+  // divide evenly by k (padding must strip exactly).
+  for (int i = 0; i < 25; ++i) {
+    const std::string key = "obj-" + std::to_string(i);
+    ASSERT_EQ(
+        client.put(key, value_for(i, 997 + static_cast<std::size_t>(i))),
+        svc::Status::kOk);
+  }
+  for (int i = 0; i < 25; ++i) {
+    const std::string key = "obj-" + std::to_string(i);
+    ASSERT_EQ(client.get(key, got), svc::Status::kOk) << key;
+    EXPECT_EQ(got, value_for(i, 997 + static_cast<std::size_t>(i))) << key;
+  }
+
+  // Degraded reads: with one node gone, stripes lost shards (3 shards
+  // round-robin over 3 nodes), so reads must reconstruct from parity.
+  cluster.kill(1);
+  ASSERT_TRUE(await([&] { return !router.membership().is_live(2); },
+                    "victim exclusion"));
+  for (int i = 0; i < 25; ++i) {
+    const std::string key = "obj-" + std::to_string(i);
+    ASSERT_EQ(client.get(key, got), svc::Status::kOk) << key << " degraded";
+    EXPECT_EQ(got, value_for(i, 997 + static_cast<std::size_t>(i))) << key;
+  }
+  EXPECT_GT(router.stats().reconstructions_total, 0u);
+
+  // Writes stay available degraded (shards double up on the live pair),
+  // and a delete is a versioned tombstone the rejoined node cannot undo.
+  ASSERT_EQ(client.put("obj-0", value_for(2000, 512)), svc::Status::kOk);
+  ASSERT_EQ(client.remove("obj-1"), svc::Status::kOk);
+
+  cluster.restart(1);
+  ASSERT_TRUE(await_live(router, 3));
+  ASSERT_EQ(client.get("obj-0", got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(2000, 512));
+  EXPECT_EQ(client.get("obj-1", got), svc::Status::kNotFound);
+  EXPECT_EQ(router.stats().protocol_errors_total, 0u);
+
+  router.stop();
+}
+
+TEST(RouterIntegration, PeerOpsAnswerInlineAndWearAggregates) {
+  MiniCluster cluster;
+  Router router(test_router_config(cluster, RouteMode::kReplicate));
+  router.start();
+  ASSERT_TRUE(await_live(router, 3));
+
+  // PLACE directly against a data node: full-ring successor order.
+  svc::ClientConfig node_cfg;
+  node_cfg.host = "127.0.0.1";
+  node_cfg.port = cluster.specs()[0].port;
+  svc::ClientConn conn(node_cfg);
+  {
+    std::vector<std::uint8_t> body;
+    svc::encode_key_body("some-key", body);
+    const svc::Frame reply = conn.call(svc::Op::kPlace, std::move(body));
+    ASSERT_EQ(reply.status, svc::Status::kOk);
+    svc::PlacementBody placement;
+    ASSERT_TRUE(svc::decode_placement_body(reply.payload, placement));
+    EXPECT_EQ(placement.nodes.size(), 3u);
+  }
+  // PEER_HEALTH: the node answers with its own id and serving state.
+  {
+    svc::PeerHealthBody ping;
+    ping.node_id = 0xfffffffe;
+    ping.state = 1;
+    std::vector<std::uint8_t> body;
+    svc::encode_peer_health_body(ping, body);
+    const svc::Frame reply = conn.call(svc::Op::kPeerHealth, std::move(body));
+    ASSERT_EQ(reply.status, svc::Status::kOk);
+    svc::PeerHealthBody health;
+    ASSERT_TRUE(svc::decode_peer_health_body(reply.payload, health));
+    EXPECT_EQ(health.node_id, 1u);
+    EXPECT_EQ(health.state, 1u);
+  }
+  // WEAR_REPORT: per-flash-server erase counters behind node 1.
+  {
+    const svc::Frame reply = conn.call(svc::Op::kWearReport, {});
+    ASSERT_EQ(reply.status, svc::Status::kOk);
+    svc::WearReportBody wear;
+    ASSERT_TRUE(svc::decode_wear_report_body(reply.payload, wear));
+    EXPECT_EQ(wear.node_id, 1u);
+    EXPECT_EQ(wear.server_erases.size(), 6u);
+  }
+
+  // The router aggregates wear across nodes and reports it in STATS.
+  router.poll_wear_now();
+  EXPECT_EQ(router.wear_view().size(), 3u);
+  const std::string stats = router.stats_json();
+  EXPECT_NE(stats.find("\"wear\":["), std::string::npos);
+  EXPECT_NE(stats.find("\"mode\":\"replicate\""), std::string::npos);
+
+  // The router's own front door answers PLACE and HEALTH too.
+  svc::ClientConfig router_cfg;
+  router_cfg.host = "127.0.0.1";
+  router_cfg.port = router.port();
+  svc::ClientConn front(router_cfg);
+  {
+    std::vector<std::uint8_t> body;
+    svc::encode_key_body("some-key", body);
+    const svc::Frame reply = front.call(svc::Op::kPlace, std::move(body));
+    ASSERT_EQ(reply.status, svc::Status::kOk);
+    svc::PlacementBody placement;
+    ASSERT_TRUE(svc::decode_placement_body(reply.payload, placement));
+    EXPECT_EQ(placement.nodes.size(), 3u);
+  }
+  const std::string health = router.health_json();
+  EXPECT_NE(health.find("\"serving\":true"), std::string::npos);
+  EXPECT_NE(health.find("\"live\":3"), std::string::npos);
+
+  router.stop();
+}
+
+TEST(RouterIntegration, WearRouteOrdersWriteTargetsByWear) {
+  MiniCluster cluster;
+  RouterConfig cfg = test_router_config(cluster, RouteMode::kReplicate);
+  cfg.wear_route = true;
+  Router router(cfg);
+  router.start();
+  ASSERT_TRUE(await_live(router, 3));
+
+  // Inject a wear view that makes node 3 pristine and node 1 worn out; the
+  // write fan-out must prefer the less-worn nodes regardless of ring order.
+  for (std::uint32_t id = 1; id <= 3; ++id) {
+    NodeWear wear;
+    wear.node_id = id;
+    wear.total_erases = (4 - id) * 1000;  // node 1 most worn
+    router.set_wear_for_test(wear);
+  }
+  for (int i = 0; i < 20; ++i) {
+    const auto targets =
+        router.write_targets("wear-key-" + std::to_string(i));
+    ASSERT_EQ(targets.size(), 2u);
+    // The least-worn node always leads the fan-out; the most-worn one
+    // never does.
+    EXPECT_EQ(targets[0], 3u);
+  }
+  router.stop();
+}
+
+}  // namespace
+}  // namespace chameleon::dist

@@ -1,0 +1,66 @@
+# Driver for the multi-process distributed chaos suite (ctest label `dist`).
+#
+# Runs chameleon_chaosd in mode=dist — which boots N chameleon_server data
+# nodes plus a chameleon_router front door, hammers the router with
+# chameleon_loadgen (acked-write ledger + verification on), SIGKILLs member
+# nodes at seeded schedule points, restarts each victim on a fresh ephemeral
+# port (port-file re-resolution), waits for the router to re-absorb it, and
+# ends with a quiesced aggregate-digest equality check across one more
+# kill/rejoin — and fails the test unless the harness reports a fully clean
+# run (exit 0).
+#
+# Expected -D definitions:
+#   CHAOSD     — path to the chameleon_chaosd binary
+#   DIR        — scratch directory for this run (wiped first)
+#   SEED       — kill-schedule + workload seed
+#   KILLS      — number of kill -9s to deliver under load
+#   ROUTE_MODE — replicate | stripe
+if(NOT DEFINED CHAOSD OR NOT DEFINED DIR OR NOT DEFINED SEED)
+  message(FATAL_ERROR
+    "run_dist_chaos.cmake needs -DCHAOSD=... -DDIR=... -DSEED=...")
+endif()
+if(NOT DEFINED KILLS)
+  set(KILLS 2)
+endif()
+if(NOT DEFINED ROUTE_MODE)
+  set(ROUTE_MODE stripe)
+endif()
+
+file(REMOVE_RECURSE "${DIR}")
+file(MAKE_DIRECTORY "${DIR}")
+
+execute_process(
+  COMMAND "${CHAOSD}"
+    "mode=dist"
+    "dir=${DIR}"
+    "seed=${SEED}"
+    "kills=${KILLS}"
+    "nodes=3"
+    "route_mode=${ROUTE_MODE}"
+    # ~4s of paced load with the kill horizon well inside it, so every
+    # scheduled kill lands while verified traffic is in flight.
+    "ops=6000"
+    "open_rate=1500"
+    "keys=300"
+    "concurrency=4"
+    "horizon_ms=2000"
+    # Bounded error window: a handful of ops may exhaust retries during the
+    # membership-detection gap, but acked-write loss and aggregate-digest
+    # drift never pass.
+    "max_exhausted=10"
+    "report_out=${DIR}/report.json"
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  set(detail "")
+  foreach(log IN ITEMS report.json loadgen.log router.log
+      node1.log node2.log node3.log)
+    if(EXISTS "${DIR}/${log}")
+      file(READ "${DIR}/${log}" content)
+      string(APPEND detail "\n--- ${log} ---\n${content}")
+    endif()
+  endforeach()
+  message(FATAL_ERROR
+    "chameleon_chaosd mode=dist seed=${SEED} route_mode=${ROUTE_MODE} "
+    "failed (exit ${rc})${detail}")
+endif()

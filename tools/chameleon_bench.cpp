@@ -13,6 +13,8 @@
 //   serve_open      open loop at a target rate (queue-wait visible)
 //   serve_durable   closed loop with the WAL journal attached
 //                   (wal_fsync stage populated)
+//   serve_dist      3-node loopback cluster behind dist::Router (RS 2+1
+//                   stripes; fanout_rpcs_per_op = wire amplification)
 //   fig4_wear       sim harness: Chameleon-EC wear balance at reduced scale
 //   fig8_timeline   sim harness: Chameleon-Rep epoch timeline
 //
@@ -35,6 +37,7 @@
 //   reactors=1        server IO threads (SO_REUSEPORT when > 1)
 //   servers=8         simulated flash servers behind the store
 //   durable=1         include serve_durable (tempdir WAL)
+//   dist=1            include serve_dist (3-node loopback + router)
 //   group_commit=1    serve_durable: WAL group commit (shared fsyncs)
 //   sim=1             include the fig4/fig8 sim scenarios
 //   scale=0.02        sim scale factor (1.0 = paper volumes)
@@ -58,6 +61,8 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "core/chameleon.hpp"
+#include "dist/node.hpp"
+#include "dist/router.hpp"
 #include "durability/manager.hpp"
 #include "kv/client.hpp"
 #include "obs/bench_report.hpp"
@@ -315,6 +320,129 @@ obs::BenchScenario serve_scenario(const std::string& name,
   return s;
 }
 
+/// Distributed serve scenario (docs/DISTRIBUTED.md): three data nodes on
+/// loopback, each its own cluster + server + NodeRuntime, fronted by a
+/// dist::Router striping RS(2+1) across them; the load driver talks to the
+/// router exactly like a single server. fanout_rpcs / ops exposes the
+/// inter-node wire amplification of the routing tier.
+obs::BenchScenario dist_scenario(const std::string& name,
+                                 const ServeKnobs& k) {
+  obs::metrics().reset_values();
+  constexpr std::size_t kNodes = 3;
+
+  struct DistNode {
+    std::unique_ptr<core::Chameleon> system;
+    std::unique_ptr<svc::Server> server;
+    std::unique_ptr<dist::NodeRuntime> runtime;
+  };
+  const auto per_server =
+      static_cast<std::uint64_t>(64) * 1024 * 1024 * 3 / 2 / k.servers;
+  core::ChameleonConfig sys_config;
+  sys_config.servers = k.servers;
+  sys_config.ssd = flashsim::SsdConfig::sized_for(per_server, 0.7);
+
+  std::vector<DistNode> nodes(kNodes);
+  std::vector<dist::PeerSpec> specs;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes[i].system = std::make_unique<core::Chameleon>(sys_config);
+    svc::ServerConfig server_config;
+    server_config.port = 0;
+    server_config.workers = k.workers;
+    server_config.store_mode = k.store_mode;
+    server_config.node_id = static_cast<std::uint32_t>(i + 1);
+    nodes[i].server =
+        std::make_unique<svc::Server>(*nodes[i].system, server_config);
+    nodes[i].server->start();
+    dist::PeerSpec spec;
+    spec.id = static_cast<std::uint32_t>(i + 1);
+    spec.host = "127.0.0.1";
+    spec.port = nodes[i].server->port();
+    specs.push_back(spec);
+  }
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    dist::NodeConfig node_config;
+    node_config.node_id = static_cast<std::uint32_t>(i + 1);
+    for (std::size_t j = 0; j < kNodes; ++j) {
+      if (j != i) node_config.peers.push_back(specs[j]);
+    }
+    node_config.heartbeat_interval = 25 * kMillisecond;
+    svc::Server* server = nodes[i].server.get();
+    nodes[i].runtime = std::make_unique<dist::NodeRuntime>(
+        node_config, [server]() -> std::uint8_t {
+          return static_cast<std::uint8_t>(server->state());
+        });
+    nodes[i].server->set_peer_handler(nodes[i].runtime.get());
+    nodes[i].runtime->start();
+  }
+
+  dist::RouterConfig router_config;
+  router_config.nodes = specs;
+  router_config.mode = dist::RouteMode::kStripe;
+  router_config.ec_k = 2;
+  router_config.ec_m = 1;
+  router_config.heartbeat_interval = 25 * kMillisecond;
+  dist::Router router(router_config);
+  router.start();
+  const Nanos deadline = now_ns() + 10 * kSecond;
+  while (!router.serving() && now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!router.serving()) throw std::runtime_error("dist router not serving");
+
+  svc::ClientConfig client_config;
+  client_config.host = "127.0.0.1";
+  client_config.port = router.port();
+  svc::ClientPool pool(client_config, k.connections);
+
+  const LoadResult load = drive(pool, k, 0.0);
+  const dist::RouterStats router_stats = router.stats();
+
+  obs::BenchScenario s;
+  s.name = name;
+  s.kind = "serve";
+  s.config = "ops=" + std::to_string(k.ops) +
+             " keys=" + std::to_string(k.keys) +
+             " value_bytes=" + std::to_string(k.value_bytes) +
+             " concurrency=" + std::to_string(k.concurrency) +
+             " nodes=" + std::to_string(kNodes) + " mode=stripe ec=2+1" +
+             " store_mode=" + svc::store_mode_name(k.store_mode);
+  s.ops = load.ops;
+  s.elapsed_seconds = load.elapsed_seconds;
+  s.ops_per_sec = load.elapsed_seconds > 0.0
+                      ? static_cast<double>(load.ops) / load.elapsed_seconds
+                      : 0.0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t shed = 0;
+  for (const DistNode& node : nodes) {
+    const svc::ServerStats node_stats = node.server->stats();
+    wire_bytes += node_stats.bytes_read_total + node_stats.bytes_written_total;
+    shed += node_stats.shed_total;
+  }
+  // Per CLIENT op, counting all inter-node traffic the op fanned out.
+  s.bytes_per_op =
+      load.ops > 0
+          ? static_cast<double>(wire_bytes) / static_cast<double>(load.ops)
+          : 0.0;
+  s.shed_total = shed + router_stats.retry_later_total;
+  s.errors = load.errors + router_stats.protocol_errors_total;
+  s.extra["fanout_rpcs_per_op"] =
+      load.ops > 0 ? static_cast<double>(router_stats.fanout_rpcs_total) /
+                         static_cast<double>(load.ops)
+                   : 0.0;
+  s.extra["reconstructions"] =
+      static_cast<double>(router_stats.reconstructions_total);
+  s.op_stats.push_back(op_stat("get", load.get_hist, load.get_stats));
+  s.op_stats.push_back(op_stat("put", load.put_hist, load.put_stats));
+
+  router.stop();
+  for (DistNode& node : nodes) {
+    node.runtime->stop();
+    node.server->set_peer_handler(nullptr);
+    node.server->stop();
+  }
+  return s;
+}
+
 obs::BenchScenario sim_scenario(const std::string& name, sim::Scheme scheme,
                                 double scale, std::uint32_t servers,
                                 std::uint64_t seed) {
@@ -415,6 +543,10 @@ int main(int argc, char** argv) {
       TempDir dir;
       report.scenarios.push_back(
           serve_scenario("serve_durable", k, 0.0, dir.path));
+    }
+    if (config.get_bool("dist", true)) {
+      std::fprintf(stderr, "bench: serve_dist...\n");
+      report.scenarios.push_back(dist_scenario("serve_dist", k));
     }
     if (sim) {
       std::fprintf(stderr, "bench: fig4_wear...\n");

@@ -27,6 +27,10 @@
 //                          preload=0 this is a pure state probe, which is
 //                          how crash-recovery CI compares state across a
 //                          kill -9 restart
+//   health=0               fetch the HEALTH report at the end and print
+//                          "health: <json>"; against a router the JSON
+//                          carries the live-node count, which is how
+//                          distributed CI probes degraded membership
 //   deadline_ms=0          per-request deadline budget stamped into every
 //                          frame (0 = none); the server answers
 //                          kDeadlineExceeded when it lapses, counted and
@@ -420,6 +424,10 @@ int main(int argc, char** argv) {
 
     if (config.get_bool("digest", false)) {
       std::printf("digest: %s\n", pool.digest().c_str());
+    }
+
+    if (config.get_bool("health", false)) {
+      std::printf("health: %s\n", pool.health_json().c_str());
     }
 
     const std::string latency_out = config.get_string("latency_out", "");

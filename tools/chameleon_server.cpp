@@ -26,6 +26,13 @@
 //   epoch_every_ops=10000   advance one balancing epoch every N data ops
 //   metrics=1               enable the metrics registry (METRICS op)
 //   port_file=PATH          write the bound port (for ephemeral-port CI)
+//   node_id=0               distributed mode: this node's id on the cluster
+//                           hash ring (docs/DISTRIBUTED.md)
+//   peers=SPEC,SPEC         distributed mode: every OTHER node, as
+//                           id@host:port or id@host:@/port/file specs;
+//                           attaches a dist::NodeRuntime (PLACE/PEER_HEALTH
+//                           answered inline, peer heartbeat monitor)
+//   heartbeat_ms=50         peer heartbeat cadence (distributed mode)
 //   data_dir=PATH           durability: WAL + checkpoints live here; on boot
 //                           the newest checkpoint is restored and the WAL
 //                           tail replayed (docs/DURABILITY.md)
@@ -64,6 +71,7 @@
 
 #include "common/config.hpp"
 #include "core/chameleon.hpp"
+#include "dist/node.hpp"
 #include "durability/manager.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -190,6 +198,8 @@ int main(int argc, char** argv) {
         config.get_int("fault_stall_ms", 20) * kMillisecond;
     server_config.faults.seed =
         static_cast<std::uint64_t>(config.get_int("seed", 0x5eed));
+    server_config.node_id =
+        static_cast<std::uint32_t>(config.get_int("node_id", 0));
 
     // Durable boots listen *before* recovery: the server comes up in the
     // kRecovering state, sheds data ops with kRetryLater, and answers HEALTH
@@ -198,12 +208,35 @@ int main(int argc, char** argv) {
     server_config.start_recovering = !data_dir.empty();
 
     svc::Server server(system, server_config);
+
+    // Distributed mode: attach the node runtime BEFORE the server listens,
+    // so the first arriving PLACE/PEER_HEALTH already has a handler.
+    std::unique_ptr<dist::NodeRuntime> node_runtime;
+    const std::string peers = config.get_string("peers", "");
+    if (!peers.empty()) {
+      dist::NodeConfig node_config;
+      node_config.node_id = server_config.node_id;
+      node_config.peers = dist::parse_peer_list(peers);
+      node_config.heartbeat_interval =
+          config.get_int("heartbeat_ms", 50) * kMillisecond;
+      node_runtime = std::make_unique<dist::NodeRuntime>(
+          node_config, [&server]() -> std::uint8_t {
+            return static_cast<std::uint8_t>(server.state());
+          });
+      server.set_peer_handler(node_runtime.get());
+    }
+
     server.start();
+    if (node_runtime) node_runtime->start();
     std::printf("chameleon_server listening on %s:%u (%u workers, %u flash "
                 "servers)%s\n",
                 server.host().c_str(), server.port(), server_config.workers,
                 servers,
                 server_config.start_recovering ? ", recovering" : "");
+    if (node_runtime) {
+      std::printf("distributed mode: node %u, %zu peers\n",
+                  server_config.node_id, node_runtime->config().peers.size());
+    }
     std::fflush(stdout);
 
     const std::string port_file = config.get_string("port_file", "");
@@ -262,6 +295,13 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
     }
     server.wait();
+    // Detach distributed-mode state before teardown: stop heartbeating
+    // peers and drop the server's handler pointer while the runtime is
+    // still alive.
+    if (node_runtime) {
+      node_runtime->stop();
+      server.set_peer_handler(nullptr);
+    }
     // The durability manager (and its group-commit engine) is destroyed when
     // main returns — after the server object. Drop the server's pointer now
     // that the serving phase is over so the destructor's second wait() holds
