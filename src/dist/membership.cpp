@@ -78,9 +78,10 @@ bool Membership::probe_missed(std::uint32_t id) {
   ++entry->heartbeats_missed;
   ++entry->consecutive_misses;
   const PeerState before = entry->state;
-  // kUnknown stays kUnknown on misses: a peer that never answered is not
-  // "dead", it just has not joined yet (the router's settled() gate relies
-  // on the distinction only until startup completes).
+  // kUnknown skips kSuspect but still settles to kDead at dead_after
+  // misses: a peer that never answered has not joined yet, and one
+  // crashed-at-boot node must not wedge the router's settled() gate
+  // forever.
   if (entry->state == PeerState::kAlive &&
       entry->consecutive_misses >= config_.suspect_after) {
     transition_locked(*entry, PeerState::kSuspect);

@@ -16,7 +16,6 @@
 #include "common/faults.hpp"
 #include "common/fnv.hpp"
 #include "common/json.hpp"
-#include "dist/replica.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "svc/client_conn.hpp"
@@ -44,6 +43,22 @@ std::string hex16(std::uint64_t v) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(v));
   return std::string(buf, 16);
+}
+
+/// Default write-version floor for a fresh router: wall-clock microseconds
+/// since the Unix epoch. Replica/shard blobs on the data nodes outlive the
+/// router process, so a restarted router must stamp new writes ABOVE every
+/// version it handed out before, or post-restart writes silently lose the
+/// newest-wins comparison. Each allocated version costs at least one
+/// network RPC (≫ 1 µs of wall time), so the in-process counter can never
+/// outrun this clock; the remaining assumption — documented in
+/// docs/DISTRIBUTED.md — is that the clock does not step backwards across
+/// restarts.
+std::uint64_t wallclock_version_floor() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -90,6 +105,11 @@ Router::Router(const RouterConfig& config)
     if (config_.replicas == 0) {
       throw std::invalid_argument("dist router: replicas must be >= 1");
     }
+    if (config_.replicas > config_.nodes.size()) {
+      throw std::invalid_argument(
+          "dist router: replicas exceeds the node count — no write could "
+          "ever be acked");
+    }
   } else {
     if (config_.ec_k == 0 || config_.ec_m == 0 ||
         config_.ec_k + config_.ec_m > 255) {
@@ -97,8 +117,20 @@ Router::Router(const RouterConfig& config)
           "dist router: stripe geometry must satisfy k >= 1, m >= 1, "
           "k + m <= 255");
     }
+    const std::uint32_t shard_count = config_.ec_k + config_.ec_m;
+    const auto per_node = static_cast<std::uint32_t>(
+        (shard_count + config_.nodes.size() - 1) / config_.nodes.size());
+    if (per_node > config_.ec_m) {
+      throw std::invalid_argument(
+          "dist router: stripe geometry cannot survive one node failure "
+          "even with every node live (a node would carry > m shards) — "
+          "no write could ever be acked");
+    }
     rs_.emplace(config_.ec_k + config_.ec_m, config_.ec_k);
   }
+  next_version_.store(config_.version_seed != 0 ? config_.version_seed
+                                                : wallclock_version_floor(),
+                      std::memory_order_relaxed);
   for (const PeerSpec& node : config_.nodes) {
     if (ring_.contains(node.id)) {
       throw std::invalid_argument("dist router: duplicate node id " +
@@ -208,7 +240,7 @@ svc::Status Router::replicate_put(std::string_view key, std::uint64_t version,
                                   bool tombstone,
                                   std::span<const std::uint8_t> value) {
   std::vector<std::uint8_t> blob;
-  encode_replica_blob(version, tombstone, value, blob);
+  svc::encode_replica_blob(version, tombstone, value, blob);
   svc::ReplicateBody body;
   body.origin_node = config_.router_id;
   body.key = std::string(key);
@@ -218,7 +250,11 @@ svc::Status Router::replicate_put(std::string_view key, std::uint64_t version,
 
   std::vector<std::uint32_t> targets =
       live_order(cluster::key_point(key), config_.wear_route);
-  if (targets.empty()) return svc::Status::kRetryLater;
+  // Never ack under-replicated: with fewer than `replicas` live nodes a
+  // write would land a single copy, and the one permitted node failure
+  // could then make a rejoined stale copy win reads. Shed instead — the
+  // client retries until the live set can hold every copy.
+  if (targets.size() < config_.replicas) return svc::Status::kRetryLater;
   if (targets.size() > config_.replicas) targets.resize(config_.replicas);
   // All-or-retry: the write is acked only when EVERY targeted replica
   // stored it. A partial write is answered kRetryLater; the client's retry
@@ -257,7 +293,15 @@ svc::Status Router::stripe_put(std::string_view key, std::uint64_t version,
 
   const std::vector<std::uint32_t> palette =
       live_order(cluster::key_point(key), config_.wear_route);
-  if (palette.empty()) return svc::Status::kRetryLater;
+  // Never ack a stripe that one node failure would make unreconstructable:
+  // round-robin over a small palette piles several shard indexes onto one
+  // node, and losing a node that carries more than m shards drops the
+  // stripe below k. Require every node to carry <= m shards, else shed and
+  // let the client retry once the membership view recovers.
+  if (palette.empty() ||
+      (shard_count + palette.size() - 1) / palette.size() > config_.ec_m) {
+    return svc::Status::kRetryLater;
+  }
   for (std::uint32_t i = 0; i < shard_count; ++i) {
     svc::StripeShardBody body;
     body.origin_node = config_.router_id;
@@ -267,8 +311,8 @@ svc::Status Router::stripe_put(std::string_view key, std::uint64_t version,
     body.shard = shards[i];
     std::vector<std::uint8_t> payload;
     svc::encode_stripe_shard_body(body, payload);
-    // Round-robin over the live successor order; with fewer live nodes than
-    // shards a node carries several shard indexes (degraded but available).
+    // Round-robin over the live successor order; the palette gate above
+    // caps any one node at m shard indexes.
     const std::uint32_t target = palette[i % palette.size()];
     const auto response =
         node_call(target, svc::Op::kStripeWrite, std::move(payload));
@@ -328,7 +372,7 @@ svc::Status Router::replicate_get(std::string_view key,
   svc::encode_key_body(key, body);
   bool found = false;
   bool failures = false;
-  ReplicaBlob best;
+  svc::ReplicaBlob best;
   for (const std::uint32_t id : candidates) {
     const auto response = node_call(id, svc::Op::kGet, body);
     if (!response.has_value()) {
@@ -336,8 +380,8 @@ svc::Status Router::replicate_get(std::string_view key,
       continue;
     }
     if (response->status != svc::Status::kOk) continue;  // kNotFound et al.
-    ReplicaBlob blob;
-    if (!decode_replica_blob(response->payload, blob)) {
+    svc::ReplicaBlob blob;
+    if (!svc::decode_replica_blob(response->payload, blob)) {
       protocol_errors_total_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
@@ -719,10 +763,16 @@ void Router::session_loop(int fd, std::uint64_t session_id) {
       }
     }
   }
+  // Unregister BEFORE closing: stop() walks session_fds_ calling shutdown,
+  // and once this fd is closed the kernel may hand the same number to a new
+  // descriptor — shutdown would then hit an unrelated socket.
+  {
+    std::lock_guard lock(sessions_mutex_);
+    session_fds_.erase(session_id);
+  }
   ::close(fd);
   sessions_open_.fetch_sub(1, std::memory_order_relaxed);
   std::lock_guard lock(sessions_mutex_);
-  session_fds_.erase(session_id);
   finished_sessions_.push_back(session_id);
 }
 

@@ -10,13 +10,18 @@
 //     changes never move ring points;
 //   - replicate mode: fans each PUT to the first `replicas` live successors
 //     as versioned replica blobs (kReplicate), acks only when ALL of them
-//     stored it; reads consult every live node and keep the highest
-//     version, so a rejoined node holding stale data can never win;
+//     stored it, and sheds (kRetryLater) when fewer than `replicas` nodes
+//     are live — an under-replicated ack could be silently lost to the one
+//     node failure the model permits; reads consult every live node and
+//     keep the highest version, so a rejoined node holding stale data can
+//     never win;
 //   - stripe mode: RS(k+m, k)-encodes each PUT and spreads the shards
 //     round-robin over the live successor order (kStripeWrite), acks only
-//     when every shard landed; reads gather shards from all live nodes and
-//     reconstruct the highest version with >= k shards, verifying the
-//     stripe CRC end to end;
+//     when every shard landed AND no node carries more than m shards (so
+//     any single node failure leaves >= k shards reconstructable), shedding
+//     otherwise; reads gather shards from all live nodes and reconstruct
+//     the highest version with >= k shards, verifying the stripe CRC end
+//     to end;
 //   - deletes write versioned tombstones through the same paths, so a
 //     rejoined node cannot resurrect a deleted key;
 //   - heartbeats every node (kPeerHealth) from a monitor thread and ALSO
@@ -85,6 +90,12 @@ struct RouterConfig {
   /// Wear-view poll cadence (kWearReport to every live node); 0 disables
   /// polling (the view can still be injected for tests).
   Nanos wear_poll_interval = 0;
+  /// Starting write version. 0 (the default) derives a floor from the wall
+  /// clock (microseconds since the Unix epoch) so a restarted router stamps
+  /// new writes above everything a previous incarnation stored on the data
+  /// nodes; nonzero pins the counter exactly (deterministic tests). See the
+  /// router-restart note in docs/DISTRIBUTED.md.
+  std::uint64_t version_seed = 0;
   /// Order write targets by ascending aggregate wear (see file comment).
   bool wear_route = false;
   /// Per-node RPC policy: deliberately small — the router's own failover
@@ -217,7 +228,10 @@ class Router {
   mutable std::mutex wear_mutex_;
   std::map<std::uint32_t, NodeWear> wear_;
 
-  /// Monotone write-version source (replica blobs / shard metas).
+  /// Monotone write-version source (replica blobs / shard metas). Seeded in
+  /// the constructor from config_.version_seed — by default a wall-clock
+  /// floor that outranks every version a previous router incarnation stored
+  /// on the (durable) data nodes.
   std::atomic<std::uint64_t> next_version_{1};
 
   int listen_fd_ = -1;

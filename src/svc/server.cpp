@@ -861,17 +861,35 @@ Frame Server::execute(const Frame& request) {
         break;
       }
       case Op::kReplicate: {
-        // A router-fanned replica write: identical to kPut except the body
-        // carries the originating node id (diagnostics) and the op is
-        // counted separately, so node-local traffic and peer traffic are
-        // distinguishable in STATS/metrics.
+        // A router-fanned replica write: like kPut, but the value must be a
+        // well-formed versioned replica blob and it is applied NEWEST-WINS.
+        // Same-key fan-outs from the router race unserialized across nodes,
+        // so without the version gate two concurrent PUTs could leave one
+        // node on v1 and another on v2 forever — and reads only mask that
+        // while the node holding v2 is live. The whole case runs under the
+        // store's serialization domain (store_mutex_ or the pipeline
+        // coordinator), so the read-compare-put is atomic.
         ReplicateBody body;
         if (!decode_replicate_body(request.payload, body)) {
           resp.status = Status::kBadRequest;
           break;
         }
+        ReplicaBlob incoming;
+        if (!decode_replica_blob(body.value, incoming)) {
+          resp.status = Status::kBadRequest;
+          break;
+        }
         std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
         if (mutex_mode) lock.lock();
+        if (system_.client().contains(body.key)) {
+          ReplicaBlob stored;
+          if (decode_replica_blob(
+                  system_.client().get(body.key, system_.current_epoch()),
+                  stored) &&
+              stored.version >= incoming.version) {
+            break;  // already at this version or newer: ack without writing
+          }
+        }
         system_.client().put(
             body.key,
             std::span<const std::uint8_t>(body.value.data(),
@@ -895,11 +913,23 @@ Frame Server::execute(const Frame& request) {
                           std::span<const std::uint8_t>(body.shard.data(),
                                                         body.shard.size()),
                           blob);
+        const std::string skey = shard_key(body.key, body.meta.index);
         std::unique_lock<std::mutex> lock(store_mutex_, std::defer_lock);
         if (mutex_mode) lock.lock();
+        // Newest-wins, for the same reason as kReplicate: racing same-key
+        // fan-outs must converge on the highest version at every node.
+        if (system_.client().contains(skey)) {
+          ShardMeta stored_meta;
+          std::vector<std::uint8_t> stored_shard;
+          if (decode_shard_blob(
+                  system_.client().get(skey, system_.current_epoch()),
+                  stored_meta, stored_shard) &&
+              stored_meta.version >= body.meta.version) {
+            break;  // already at this version or newer: ack without writing
+          }
+        }
         system_.client().put(
-            shard_key(body.key, body.meta.index),
-            std::span<const std::uint8_t>(blob.data(), blob.size()),
+            skey, std::span<const std::uint8_t>(blob.data(), blob.size()),
             system_.current_epoch());
         maybe_tick_epoch();
         break;

@@ -355,6 +355,32 @@ bool decode_shard_blob(std::span<const std::uint8_t> blob, ShardMeta& meta,
   return true;
 }
 
+void encode_replica_blob(std::uint64_t version, bool tombstone,
+                         std::span<const std::uint8_t> value,
+                         std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + 9 + value.size());
+  out.push_back(tombstone ? kReplicaFlagTombstone : 0);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(version >> shift));
+  }
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+bool decode_replica_blob(std::span<const std::uint8_t> blob,
+                         ReplicaBlob& out) {
+  if (blob.size() < 9) return false;
+  const std::uint8_t flags = blob[0];
+  if ((flags & ~kReplicaFlagTombstone) != 0) return false;
+  out.tombstone = (flags & kReplicaFlagTombstone) != 0;
+  out.version = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    out.version |= static_cast<std::uint64_t>(blob[1 + i]) << (8 * i);
+  }
+  if (out.tombstone && blob.size() != 9) return false;
+  out.value.assign(blob.begin() + 9, blob.end());
+  return true;
+}
+
 std::string shard_key(std::string_view key, std::uint32_t index) {
   std::string out;
   out.reserve(key.size() + 8);

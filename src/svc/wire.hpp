@@ -243,6 +243,30 @@ void encode_shard_blob(const ShardMeta& meta,
 bool decode_shard_blob(std::span<const std::uint8_t> blob, ShardMeta& meta,
                        std::vector<std::uint8_t>& shard);
 
+/// Replica blob flags (ReplicaBlob::tombstone on the wire).
+inline constexpr std::uint8_t kReplicaFlagTombstone = 0x01;
+
+/// The self-describing blob a node stores for one whole-value replica
+/// (replicate mode, docs/DISTRIBUTED.md): u8 flags | u64 version
+/// (little-endian) | value bytes. The router never stores a client value
+/// verbatim — the version is what makes reads correct across fail/rejoin
+/// (readers keep the highest version; nodes apply replica writes
+/// newest-wins), and the tombstone flag is what makes deletes rejoin-safe
+/// (a rejoined node cannot resurrect a deleted key). Tombstones carry no
+/// value bytes: 9 bytes exactly.
+struct ReplicaBlob {
+  std::uint64_t version = 0;
+  bool tombstone = false;
+  std::vector<std::uint8_t> value;  ///< empty for tombstones
+};
+
+void encode_replica_blob(std::uint64_t version, bool tombstone,
+                         std::span<const std::uint8_t> value,
+                         std::vector<std::uint8_t>& out);
+/// False on malformed input (short blob, unknown flags, tombstone carrying
+/// value bytes).
+bool decode_replica_blob(std::span<const std::uint8_t> blob, ReplicaBlob& out);
+
 /// Internal key a stripe shard is stored under. The "\x01" prefix keeps the
 /// namespace disjoint from ordinary client traffic by convention (client
 /// keys are free-form bytes, but tools and tests never start keys with 0x01).

@@ -1,6 +1,7 @@
 // Unit tests for the dist building blocks (ctest label `dist`): peer-spec
-// parsing and lazy port resolution, the deterministic membership lease
-// state machine, and the versioned replica blob codec.
+// parsing and lazy port resolution, and the deterministic membership lease
+// state machine. (The versioned replica blob codec lives in svc/wire and
+// is covered by wire_peer_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -9,7 +10,6 @@
 
 #include "dist/membership.hpp"
 #include "dist/peer.hpp"
-#include "dist/replica.hpp"
 
 namespace chameleon::dist {
 namespace {
@@ -164,57 +164,6 @@ TEST(Membership, UnknownPeerDiesAfterEnoughMisses) {
   m.probe_missed(2);
   EXPECT_EQ(m.state_of(2), PeerState::kDead);
   EXPECT_TRUE(m.settled());
-}
-
-// --- replica blobs -----------------------------------------------------------
-
-TEST(ReplicaBlob, RoundTripsValueAndVersion) {
-  const std::vector<std::uint8_t> value = {1, 2, 3, 255, 0, 42};
-  std::vector<std::uint8_t> blob;
-  encode_replica_blob(0x0123456789abcdefULL, false, value, blob);
-  ReplicaBlob out;
-  ASSERT_TRUE(decode_replica_blob(blob, out));
-  EXPECT_EQ(out.version, 0x0123456789abcdefULL);
-  EXPECT_FALSE(out.tombstone);
-  EXPECT_EQ(out.value, value);
-}
-
-TEST(ReplicaBlob, TombstoneCarriesNoValue) {
-  std::vector<std::uint8_t> blob;
-  encode_replica_blob(9, true, {}, blob);
-  EXPECT_EQ(blob.size(), 9u);
-  ReplicaBlob out;
-  ASSERT_TRUE(decode_replica_blob(blob, out));
-  EXPECT_TRUE(out.tombstone);
-  EXPECT_EQ(out.version, 9u);
-  EXPECT_TRUE(out.value.empty());
-}
-
-TEST(ReplicaBlob, MalformedBlobsRejected) {
-  ReplicaBlob out;
-  EXPECT_FALSE(decode_replica_blob({}, out));
-  const std::vector<std::uint8_t> short_blob(8, 0);
-  EXPECT_FALSE(decode_replica_blob(short_blob, out));
-  std::vector<std::uint8_t> bad_flags;
-  encode_replica_blob(1, false, {}, bad_flags);
-  bad_flags[0] = 0x80;  // unknown flag bit
-  EXPECT_FALSE(decode_replica_blob(bad_flags, out));
-  std::vector<std::uint8_t> fat_tombstone;
-  encode_replica_blob(1, true, {}, fat_tombstone);
-  fat_tombstone.push_back(7);  // tombstone with value bytes
-  EXPECT_FALSE(decode_replica_blob(fat_tombstone, out));
-}
-
-TEST(ReplicaBlob, HigherVersionWinsIsWellOrdered) {
-  // The read path's max-version rule needs encode/decode to preserve the
-  // total order of versions; spot-check boundary values.
-  for (const std::uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, ~0ULL}) {
-    std::vector<std::uint8_t> blob;
-    encode_replica_blob(v, false, {}, blob);
-    ReplicaBlob out;
-    ASSERT_TRUE(decode_replica_blob(blob, out));
-    EXPECT_EQ(out.version, v);
-  }
 }
 
 }  // namespace

@@ -127,6 +127,10 @@ inline RouterConfig test_router_config(const MiniCluster& cluster,
   cfg.membership.suspect_after = 2;
   cfg.membership.dead_after = 3;
   cfg.io_timeout = 2 * kSecond;
+  // Pin the version counter: the equivalence suite compares aggregate
+  // digests across two routers, and versions are baked into stored blobs,
+  // so both sides must allocate the identical sequence.
+  cfg.version_seed = 1;
   return cfg;
 }
 

@@ -4,12 +4,16 @@
 // ClientPool speaking the unchanged client protocol to the router.
 // Covers replicate and stripe placement, write availability and read
 // correctness through a node fail/rejoin cycle (versioned stale-copy and
-// tombstone semantics), degraded stripe reconstruction, the inline peer
-// ops (PLACE / PEER_HEALTH / WEAR_REPORT), and wear aggregation.
+// tombstone semantics), degraded stripe reconstruction, the strict write
+// gates (under-protected writes shed kRetryLater instead of acking),
+// router-restart version monotonicity, node-side newest-wins replica
+// application, the inline peer ops (PLACE / PEER_HEALTH / WEAR_REPORT),
+// and wear aggregation.
 #include "dist/router.hpp"
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -141,19 +145,150 @@ TEST(RouterIntegration, StripeModeReconstructsDegradedReads) {
   }
   EXPECT_GT(router.stats().reconstructions_total, 0u);
 
-  // Writes stay available degraded (shards double up on the live pair),
-  // and a delete is a versioned tombstone the rejoined node cannot undo.
-  ASSERT_EQ(client.put("obj-0", value_for(2000, 512)), svc::Status::kOk);
-  ASSERT_EQ(client.remove("obj-1"), svc::Status::kOk);
+  // Writes are SHED degraded: a 2+1 stripe over two live nodes would put
+  // two shards on one node, and that node failing would make the acked
+  // stripe unreconstructable — the router must refuse rather than ack an
+  // under-protected write (route_put directly, to see the raw status
+  // without the client's retry loop).
+  const std::vector<std::uint8_t> degraded_value = value_for(2000, 512);
+  EXPECT_EQ(router.route_put("obj-0", degraded_value),
+            svc::Status::kRetryLater);
+  EXPECT_EQ(router.route_delete("obj-1"), svc::Status::kRetryLater);
 
+  // Rejoin: writes resume, and every acked write then survives any single
+  // node failure — including a delete's tombstone.
   cluster.restart(1);
   ASSERT_TRUE(await_live(router, 3));
+  ASSERT_EQ(client.put("obj-0", value_for(2000, 512)), svc::Status::kOk);
+  ASSERT_EQ(client.remove("obj-1"), svc::Status::kOk);
   ASSERT_EQ(client.get("obj-0", got), svc::Status::kOk);
   EXPECT_EQ(got, value_for(2000, 512));
   EXPECT_EQ(client.get("obj-1", got), svc::Status::kNotFound);
+
+  // The property the write gate buys: kill a DIFFERENT node and the
+  // post-rejoin writes are still readable (reconstructed from >= k shards).
+  cluster.kill(2);
+  ASSERT_TRUE(await([&] { return !router.membership().is_live(3); },
+                    "second victim exclusion"));
+  ASSERT_EQ(client.get("obj-0", got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(2000, 512));
+  EXPECT_EQ(client.get("obj-1", got), svc::Status::kNotFound);
+  cluster.restart(2);
+  ASSERT_TRUE(await_live(router, 3));
   EXPECT_EQ(router.stats().protocol_errors_total, 0u);
 
   router.stop();
+}
+
+TEST(RouterIntegration, ReplicateModeShedsUnderReplicatedWrites) {
+  MiniCluster cluster;
+  Router router(test_router_config(cluster, RouteMode::kReplicate));
+  router.start();
+  ASSERT_TRUE(await_live(router, 3));
+  ASSERT_EQ(router.route_put("solo", value_for(1, 32)), svc::Status::kOk);
+
+  // With one live node left, a put would land a single copy; acking it
+  // would let that node's failure (plus a stale rejoin) silently lose the
+  // write. The router must shed instead.
+  cluster.kill(0);
+  cluster.kill(1);
+  ASSERT_TRUE(await(
+      [&] { return router.membership().live_ids().size() == 1; },
+      "two victims excluded"));
+  EXPECT_EQ(router.route_put("solo", value_for(2, 32)),
+            svc::Status::kRetryLater);
+  EXPECT_EQ(router.route_delete("solo"), svc::Status::kRetryLater);
+  EXPECT_GT(router.stats().retry_later_total, 0u);
+
+  cluster.restart(0);
+  cluster.restart(1);
+  ASSERT_TRUE(await_live(router, 3));
+  ASSERT_EQ(router.route_put("solo", value_for(2, 32)), svc::Status::kOk);
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(router.route_get("solo", got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(2, 32));
+  router.stop();
+}
+
+TEST(RouterIntegration, RouterRestartKeepsWritesVisible) {
+  // The data nodes outlive the router, so a restarted router must stamp
+  // new writes ABOVE every version its predecessor stored — otherwise
+  // post-restart puts and deletes silently lose the newest-wins read
+  // comparison against pre-restart blobs.
+  MiniCluster cluster;
+  auto first = std::make_unique<Router>(
+      test_router_config(cluster, RouteMode::kReplicate));
+  first->start();
+  ASSERT_TRUE(await_live(*first, 3));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(first->route_put("gen-" + std::to_string(i), value_for(i, 48)),
+              svc::Status::kOk);
+  }
+  first->stop();
+  first.reset();
+
+  // Second incarnation with the production default seed (wall-clock floor).
+  RouterConfig cfg = test_router_config(cluster, RouteMode::kReplicate);
+  cfg.version_seed = 0;
+  Router second(cfg);
+  second.start();
+  ASSERT_TRUE(await_live(second, 3));
+
+  std::vector<std::uint8_t> got;
+  ASSERT_EQ(second.route_put("gen-3", value_for(1003, 48)), svc::Status::kOk);
+  ASSERT_EQ(second.route_get("gen-3", got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(1003, 48));  // the NEW value, not the old blob
+  ASSERT_EQ(second.route_delete("gen-4"), svc::Status::kOk);
+  EXPECT_EQ(second.route_get("gen-4", got), svc::Status::kNotFound);
+  ASSERT_EQ(second.route_get("gen-5", got), svc::Status::kOk);
+  EXPECT_EQ(got, value_for(5, 48));  // untouched keys still read back
+  second.stop();
+}
+
+TEST(RouterIntegration, NodesApplyReplicaWritesNewestWins) {
+  // Same-key fan-outs race unserialized across nodes: a node that already
+  // holds version N must ack-and-ignore an arriving version < N, or two
+  // racing puts could leave nodes permanently disagreeing.
+  MiniCluster cluster;
+  svc::ClientConfig node_cfg;
+  node_cfg.host = "127.0.0.1";
+  node_cfg.port = cluster.specs()[0].port;
+  svc::ClientConn conn(node_cfg);
+
+  const auto replicate = [&](std::uint64_t version,
+                             const std::vector<std::uint8_t>& value) {
+    std::vector<std::uint8_t> blob;
+    svc::encode_replica_blob(version, false, value, blob);
+    svc::ReplicateBody body;
+    body.origin_node = 0xfffffffe;
+    body.key = "raced";
+    body.value = std::move(blob);
+    std::vector<std::uint8_t> payload;
+    svc::encode_replicate_body(body, payload);
+    return conn.call(svc::Op::kReplicate, std::move(payload)).status;
+  };
+  const std::vector<std::uint8_t> newer = value_for(7, 40);
+  const std::vector<std::uint8_t> older = value_for(8, 40);
+  ASSERT_EQ(replicate(5, newer), svc::Status::kOk);
+  ASSERT_EQ(replicate(3, older), svc::Status::kOk);  // acked but not applied
+
+  std::vector<std::uint8_t> key_body;
+  svc::encode_key_body("raced", key_body);
+  const svc::Frame reply = conn.call(svc::Op::kGet, std::move(key_body));
+  ASSERT_EQ(reply.status, svc::Status::kOk);
+  svc::ReplicaBlob stored;
+  ASSERT_TRUE(svc::decode_replica_blob(reply.payload, stored));
+  EXPECT_EQ(stored.version, 5u);
+  EXPECT_EQ(stored.value, newer);
+
+  // A value that is not a well-formed replica blob is a protocol error.
+  svc::ReplicateBody bad;
+  bad.key = "raced";
+  bad.value = {0x42};  // too short for flags + version
+  std::vector<std::uint8_t> bad_payload;
+  svc::encode_replicate_body(bad, bad_payload);
+  EXPECT_EQ(conn.call(svc::Op::kReplicate, std::move(bad_payload)).status,
+            svc::Status::kBadRequest);
 }
 
 TEST(RouterIntegration, PeerOpsAnswerInlineAndWearAggregates) {

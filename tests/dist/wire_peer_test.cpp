@@ -1,7 +1,7 @@
 // Codec tests for the inter-node protocol extension (ctest label `dist`):
 // round-trips and malformed-input rejection for the five peer-op bodies
 // (REPLICATE, STRIPE_WRITE, PLACE, PEER_HEALTH, WEAR_REPORT), the stored
-// shard blob, and the shard-key namespace.
+// shard and replica blobs, and the shard-key namespace.
 #include "svc/wire.hpp"
 
 #include <gtest/gtest.h>
@@ -138,6 +138,55 @@ TEST(StripeShardCodec, ShardKeysAreDistinctAndOutOfClientNamespace) {
   EXPECT_NE(shard_key("obj", 0), shard_key("other", 0));
   // No ambiguity between (key, index) pairs that concatenate alike.
   EXPECT_NE(shard_key("obj1", 2), shard_key("obj", 12));
+}
+
+TEST(ReplicaBlob, RoundTripsValueAndVersion) {
+  const std::vector<std::uint8_t> value = {1, 2, 3, 255, 0, 42};
+  std::vector<std::uint8_t> blob;
+  encode_replica_blob(0x0123456789abcdefULL, false, value, blob);
+  ReplicaBlob out;
+  ASSERT_TRUE(decode_replica_blob(blob, out));
+  EXPECT_EQ(out.version, 0x0123456789abcdefULL);
+  EXPECT_FALSE(out.tombstone);
+  EXPECT_EQ(out.value, value);
+}
+
+TEST(ReplicaBlob, TombstoneCarriesNoValue) {
+  std::vector<std::uint8_t> blob;
+  encode_replica_blob(9, true, {}, blob);
+  EXPECT_EQ(blob.size(), 9u);
+  ReplicaBlob out;
+  ASSERT_TRUE(decode_replica_blob(blob, out));
+  EXPECT_TRUE(out.tombstone);
+  EXPECT_EQ(out.version, 9u);
+  EXPECT_TRUE(out.value.empty());
+}
+
+TEST(ReplicaBlob, MalformedBlobsRejected) {
+  ReplicaBlob out;
+  EXPECT_FALSE(decode_replica_blob({}, out));
+  const std::vector<std::uint8_t> short_blob(8, 0);
+  EXPECT_FALSE(decode_replica_blob(short_blob, out));
+  std::vector<std::uint8_t> bad_flags;
+  encode_replica_blob(1, false, {}, bad_flags);
+  bad_flags[0] = 0x80;  // unknown flag bit
+  EXPECT_FALSE(decode_replica_blob(bad_flags, out));
+  std::vector<std::uint8_t> fat_tombstone;
+  encode_replica_blob(1, true, {}, fat_tombstone);
+  fat_tombstone.push_back(7);  // tombstone with value bytes
+  EXPECT_FALSE(decode_replica_blob(fat_tombstone, out));
+}
+
+TEST(ReplicaBlob, HigherVersionWinsIsWellOrdered) {
+  // The read path's max-version rule needs encode/decode to preserve the
+  // total order of versions; spot-check boundary values.
+  for (const std::uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, ~0ULL}) {
+    std::vector<std::uint8_t> blob;
+    encode_replica_blob(v, false, {}, blob);
+    ReplicaBlob out;
+    ASSERT_TRUE(decode_replica_blob(blob, out));
+    EXPECT_EQ(out.version, v);
+  }
 }
 
 TEST(PlacementCodec, RoundTripAndExactLength) {

@@ -20,6 +20,8 @@
 //   wear_route=0            order write fan-out by ascending node wear
 //   io_timeout_ms=2000      socket timeout of data-plane RPCs
 //   max_sessions=64         concurrent client connections
+//   version_seed=0          starting write version; 0 = wall-clock floor
+//                           (survives router restarts, docs/DISTRIBUTED.md)
 //   port_file=PATH          write the bound port (for ephemeral-port CI)
 //   metrics=1               enable the metrics registry (METRICS op)
 //
@@ -107,6 +109,8 @@ int main(int argc, char** argv) {
         config.get_int("io_timeout_ms", 2'000) * kMillisecond;
     router_config.max_sessions =
         static_cast<std::size_t>(config.get_int("max_sessions", 64));
+    router_config.version_seed =
+        static_cast<std::uint64_t>(config.get_int("version_seed", 0));
 
     dist::Router router(router_config);
     router.start();
